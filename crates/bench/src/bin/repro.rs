@@ -1,0 +1,480 @@
+//! `repro` — regenerates every table and figure of the Jackpine
+//! evaluation (see the experiment index in DESIGN.md).
+//!
+//! ```text
+//! repro [--scale S] [--reps R] [--sessions N] [--csv DIR] <experiment>...
+//! experiments: t1 t2 f1 f2 f3 f4 f5 f6 f7 all
+//! ```
+
+use jackpine_bench::{all_engines, dataset, engine_with_data, DEFAULT_SCALE};
+use jackpine_core::driver::{CacheMode, Driver};
+use jackpine_core::features::feature_matrix;
+use jackpine_core::macrobench::{all_scenarios, run_scenario, run_scenario_parallel, ScenarioConfig};
+use jackpine_core::micro::{analysis_suite, topo_suite, BenchQuery};
+use jackpine_core::report::{fmt_ms, fmt_qps, Table};
+use jackpine_core::Stats;
+use jackpine_datagen::{TigerConfig, TigerDataset};
+use jackpine_engine::{EngineProfile, SpatialConnector, SpatialDb};
+use std::sync::Arc;
+
+struct Options {
+    scale: f64,
+    reps: usize,
+    sessions: usize,
+    csv_dir: Option<String>,
+    experiments: Vec<String>,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        scale: DEFAULT_SCALE,
+        reps: 3,
+        sessions: 5,
+        csv_dir: None,
+        experiments: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => opts.scale = expect_num(args.next(), "--scale"),
+            "--reps" => opts.reps = expect_num(args.next(), "--reps") as usize,
+            "--sessions" => opts.sessions = expect_num(args.next(), "--sessions") as usize,
+            "--csv" => opts.csv_dir = Some(args.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => {
+                usage();
+            }
+            exp => opts.experiments.push(exp.to_ascii_lowercase()),
+        }
+    }
+    if opts.experiments.is_empty() {
+        opts.experiments.push("all".to_string());
+    }
+    opts
+}
+
+fn expect_num(v: Option<String>, flag: &str) -> f64 {
+    v.and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{flag} needs a numeric argument");
+        std::process::exit(2)
+    })
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--scale S] [--reps R] [--sessions N] [--csv DIR] \
+         <t1|t2|t3|f1..f8|all>..."
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let opts = parse_args();
+    let want = |e: &str| {
+        opts.experiments.iter().any(|x| x == e) || opts.experiments.iter().any(|x| x == "all")
+    };
+
+    println!("Jackpine reproduction harness");
+    println!(
+        "scale = {}, reps = {}, sessions = {}\n",
+        opts.scale, opts.reps, opts.sessions
+    );
+
+    let data = dataset(opts.scale);
+    eprintln!("dataset generated: {} rows; loading engines...", data.total_rows());
+    let engines = all_engines(&data);
+    let mut tables: Vec<Table> = Vec::new();
+
+    if want("t1") {
+        tables.push(t1_inventory(&data, opts.scale));
+    }
+    if want("t2") {
+        tables.push(t2_features(&engines));
+    }
+    if want("t3") {
+        tables.push(t3_load_times(&data));
+    }
+    if want("f1") {
+        tables.push(micro_table(
+            "F1  Micro: topological relations, warm cache (mean ms)",
+            &topo_suite(&data),
+            &engines,
+            CacheMode::Warm,
+            opts.reps,
+        ));
+    }
+    if want("f2") {
+        tables.push(micro_table(
+            "F2  Micro: topological relations, cold cache (mean ms)",
+            &topo_suite(&data),
+            &engines,
+            CacheMode::Cold,
+            opts.reps,
+        ));
+    }
+    if want("f3") {
+        tables.push(micro_table(
+            "F3  Micro: spatial analysis functions, warm cache (mean ms)",
+            &analysis_suite(&data),
+            &engines,
+            CacheMode::Warm,
+            opts.reps,
+        ));
+    }
+    if want("f4") {
+        tables.push(f4_macro(&data, &engines, opts.sessions));
+    }
+    if want("f5") {
+        tables.push(f5_indexing(&data, opts.reps));
+    }
+    if want("f6") {
+        tables.push(f6_scalability(opts.scale, opts.reps));
+    }
+    if want("f7") {
+        tables.push(f7_drilldown(&data, &engines, opts.sessions));
+    }
+    if want("f8") {
+        tables.push(f8_concurrency(&data, &engines, opts.sessions));
+    }
+
+    for t in &tables {
+        println!("{}", t.render());
+    }
+
+    if let Some(dir) = &opts.csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv output dir");
+        for t in &tables {
+            let slug: String = t
+                .title
+                .chars()
+                .take_while(|c| !c.is_whitespace())
+                .flat_map(char::to_lowercase)
+                .collect();
+            let path = format!("{dir}/{slug}.csv");
+            std::fs::write(&path, t.to_csv()).expect("write csv");
+            eprintln!("wrote {path}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// T1: dataset inventory
+// ---------------------------------------------------------------------------
+
+fn t1_inventory(data: &TigerDataset, scale: f64) -> Table {
+    let mut t = Table::new(
+        format!("T1  Dataset inventory (scale factor {scale})"),
+        &["table", "rows", "geometry", "role (TIGER analogue)"],
+    );
+    let rows: [(&str, usize, &str, &str); 5] = [
+        ("county", data.counties.len(), "POLYGON", "county boundaries"),
+        ("roads", data.roads.len(), "LINESTRING", "edges/roads with address ranges"),
+        ("arealm", data.arealm.len(), "POLYGON", "area landmarks"),
+        ("pointlm", data.pointlm.len(), "POINT", "point landmarks"),
+        ("areawater", data.areawater.len(), "POLYGON", "rivers and lakes"),
+    ];
+    for (name, n, g, role) in rows {
+        t.push_row(vec![name.into(), n.to_string(), g.into(), role.into()]);
+    }
+    t.push_row(vec!["TOTAL".into(), data.total_rows().to_string(), String::new(), String::new()]);
+    t
+}
+
+// ---------------------------------------------------------------------------
+// T3: data load and index build times
+// ---------------------------------------------------------------------------
+
+fn t3_load_times(data: &TigerDataset) -> Table {
+    use jackpine_core::load_dataset;
+    let mut t = Table::new(
+        "T3  Data load and index build times",
+        &["engine", "rows", "load ms", "index ms"],
+    );
+    for profile in EngineProfile::ALL {
+        let db = Arc::new(SpatialDb::new(profile));
+        let summary = load_dataset(&db, data).expect("load succeeds");
+        t.push_row(vec![
+            profile.name().to_string(),
+            summary.total_rows().to_string(),
+            fmt_ms(summary.load_time.as_secs_f64() * 1e3),
+            fmt_ms(summary.index_time.as_secs_f64() * 1e3),
+        ]);
+        eprint!(".");
+    }
+    eprintln!();
+    t
+}
+
+// ---------------------------------------------------------------------------
+// T2: feature matrix
+// ---------------------------------------------------------------------------
+
+fn t2_features(engines: &[Arc<SpatialDb>]) -> Table {
+    let conns: Vec<&dyn SpatialConnector> =
+        engines.iter().map(|e| e as &dyn SpatialConnector).collect();
+    let matrix = feature_matrix(&conns);
+    let mut headers: Vec<&str> = vec!["function"];
+    let names: Vec<String> = matrix.iter().map(|r| r.engine.clone()).collect();
+    for n in &names {
+        headers.push(n);
+    }
+    let mut t = Table::new("T2  Feature-support matrix", &headers);
+    for (i, (f, _)) in matrix[0].support.iter().enumerate() {
+        let mut row = vec![f.to_string()];
+        for r in &matrix {
+            row.push(if r.support[i].1 { "yes".into() } else { "-".into() });
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// F1/F2/F3: micro suites
+// ---------------------------------------------------------------------------
+
+fn micro_table(
+    title: &str,
+    suite: &[BenchQuery],
+    engines: &[Arc<SpatialDb>],
+    mode: CacheMode,
+    reps: usize,
+) -> Table {
+    let driver = Driver { repetitions: reps, warmup: 1, cache_mode: mode };
+    let mut headers: Vec<String> = vec!["id".into(), "query".into()];
+    for e in engines {
+        headers.push(format!("{} ms", e.name()));
+    }
+    headers.push("result".into());
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(title, &header_refs);
+
+    for q in suite {
+        let mut row = vec![q.id.to_string(), q.name.to_string()];
+        let mut result: Option<String> = None;
+        for e in engines {
+            match driver.run_query(e, q.id, &q.sql) {
+                Ok(m) => {
+                    row.push(fmt_ms(m.stats.mean_ms));
+                    if e.profile() == EngineProfile::ExactRtree {
+                        result = m.scalar;
+                    }
+                }
+                Err(err) if err.source.to_string().contains("not supported") => {
+                    row.push("n/s".into());
+                }
+                Err(err) => {
+                    eprintln!("warning: {} failed on {}: {}", q.id, e.name(), err);
+                    row.push("err".into());
+                }
+            }
+        }
+        row.push(result.unwrap_or_default());
+        t.push_row(row);
+        eprint!(".");
+    }
+    eprintln!();
+    t
+}
+
+// ---------------------------------------------------------------------------
+// F4: macro scenario throughput
+// ---------------------------------------------------------------------------
+
+fn f4_macro(data: &TigerDataset, engines: &[Arc<SpatialDb>], sessions: usize) -> Table {
+    let config = ScenarioConfig { seed: 0xbead, sessions };
+    let scenarios = all_scenarios(data, &config);
+    let mut headers: Vec<String> = vec!["id".into(), "scenario".into()];
+    for e in engines {
+        headers.push(format!("{} q/s", e.name()));
+    }
+    headers.push("skipped".into());
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new("F4  Macro workloads: throughput (queries/second)", &header_refs);
+
+    for s in &scenarios {
+        let mut row = vec![s.id.to_string(), s.name.to_string()];
+        let mut skipped = 0;
+        for e in engines {
+            match run_scenario(e, s) {
+                Ok(r) => {
+                    row.push(fmt_qps(r.throughput_qps()));
+                    skipped = skipped.max(r.skipped);
+                }
+                Err(err) => {
+                    eprintln!("warning: scenario {} failed on {}: {}", s.id, e.name(), err);
+                    row.push("err".into());
+                }
+            }
+        }
+        row.push(skipped.to_string());
+        t.push_row(row);
+        eprint!(".");
+    }
+    eprintln!();
+    t
+}
+
+// ---------------------------------------------------------------------------
+// F5: effect of spatial indexing
+// ---------------------------------------------------------------------------
+
+fn f5_indexing(data: &TigerDataset, reps: usize) -> Table {
+    let db = engine_with_data(EngineProfile::ExactRtree, data);
+    let driver = Driver { repetitions: reps, warmup: 1, cache_mode: CacheMode::Warm };
+    let suite = topo_suite(data);
+    let picks = ["T01", "T04", "T05", "T09", "T16"];
+    let mut t = Table::new(
+        "F5  Effect of spatial indexing (exact-rtree, mean ms)",
+        &["id", "query", "index on", "index off", "speedup"],
+    );
+    for q in suite.iter().filter(|q| picks.contains(&q.id)) {
+        db.set_use_spatial_index(true);
+        let on = driver.run_query(&db, q.id, &q.sql).expect("indexed run");
+        db.set_use_spatial_index(false);
+        let off = driver.run_query(&db, q.id, &q.sql).expect("sequential run");
+        db.set_use_spatial_index(true);
+        let speedup = if on.stats.mean_ms > 0.0 {
+            off.stats.mean_ms / on.stats.mean_ms
+        } else {
+            f64::INFINITY
+        };
+        t.push_row(vec![
+            q.id.to_string(),
+            q.name.to_string(),
+            fmt_ms(on.stats.mean_ms),
+            fmt_ms(off.stats.mean_ms),
+            format!("{speedup:.1}x"),
+        ]);
+        eprint!(".");
+    }
+    eprintln!();
+    t
+}
+
+// ---------------------------------------------------------------------------
+// F6: data-size scalability
+// ---------------------------------------------------------------------------
+
+fn f6_scalability(base_scale: f64, reps: usize) -> Table {
+    let factors = [0.5, 1.0, 2.0, 4.0];
+    let driver = Driver { repetitions: reps, warmup: 1, cache_mode: CacheMode::Warm };
+    let mut t = Table::new(
+        "F6  Data-size scalability (exact-rtree, mean ms)",
+        &["scale", "rows", "T01 bbox", "T08 join", "A04 scan"],
+    );
+    for f in factors {
+        let scale = base_scale * f;
+        let data = TigerDataset::generate(&TigerConfig {
+            seed: jackpine_bench::DEFAULT_SEED,
+            scale,
+        });
+        let db = engine_with_data(EngineProfile::ExactRtree, &data);
+        let suite = topo_suite(&data);
+        let analysis = analysis_suite(&data);
+        let t01 = suite.iter().find(|q| q.id == "T01").expect("T01 exists");
+        let t08 = suite.iter().find(|q| q.id == "T08").expect("T08 exists");
+        let a04 = analysis.iter().find(|q| q.id == "A04").expect("A04 exists");
+        let m1 = driver.run_query(&db, "T01", &t01.sql).expect("T01");
+        let m2 = driver.run_query(&db, "T08", &t08.sql).expect("T08");
+        let m3 = driver.run_query(&db, "A04", &a04.sql).expect("A04");
+        t.push_row(vec![
+            format!("{scale:.3}"),
+            data.total_rows().to_string(),
+            fmt_ms(m1.stats.mean_ms),
+            fmt_ms(m2.stats.mean_ms),
+            fmt_ms(m3.stats.mean_ms),
+        ]);
+        eprint!(".");
+    }
+    eprintln!();
+    t
+}
+
+// ---------------------------------------------------------------------------
+// F7: macro per-step drill-down
+// ---------------------------------------------------------------------------
+
+fn f7_drilldown(data: &TigerDataset, engines: &[Arc<SpatialDb>], sessions: usize) -> Table {
+    let config = ScenarioConfig { seed: 0xbead, sessions };
+    let scenarios = all_scenarios(data, &config);
+    let mut headers: Vec<String> = vec!["scenario".into(), "step".into()];
+    for e in engines {
+        headers.push(format!("{} ms", e.name()));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        "F7  Macro workloads: per-step mean latency (ms)",
+        &header_refs,
+    );
+
+    for s in &scenarios {
+        // Collect per-step stats for each engine, then join by label.
+        let mut per_engine: Vec<Vec<(String, Stats)>> = Vec::new();
+        for e in engines {
+            match run_scenario(e, s) {
+                Ok(r) => per_engine.push(r.per_step),
+                Err(err) => {
+                    eprintln!("warning: scenario {} failed on {}: {}", s.id, e.name(), err);
+                    per_engine.push(Vec::new());
+                }
+            }
+        }
+        let labels: Vec<String> = per_engine
+            .first()
+            .map(|v| v.iter().map(|(l, _)| l.clone()).collect())
+            .unwrap_or_default();
+        for label in labels {
+            let mut row = vec![s.id.to_string(), label.clone()];
+            for steps in &per_engine {
+                match steps.iter().find(|(l, _)| *l == label) {
+                    Some((_, st)) => row.push(fmt_ms(st.mean_ms)),
+                    None => row.push("n/s".into()),
+                }
+            }
+            t.push_row(row);
+        }
+        eprint!(".");
+    }
+    eprintln!();
+    t
+}
+
+// ---------------------------------------------------------------------------
+// F8: multi-client throughput scaling
+// ---------------------------------------------------------------------------
+
+fn f8_concurrency(data: &TigerDataset, engines: &[Arc<SpatialDb>], sessions: usize) -> Table {
+    let config = ScenarioConfig { seed: 0xbead, sessions };
+    // Map browsing is the scenario the paper scaled with clients: short,
+    // index-bound queries.
+    let scenario = all_scenarios(data, &config)
+        .into_iter()
+        .find(|s| s.id == "M1")
+        .expect("M1 exists");
+    let client_counts = [1usize, 2, 4, 8];
+    let mut headers: Vec<String> = vec!["clients".into()];
+    for e in engines {
+        headers.push(format!("{} q/s", e.name()));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        "F8  Multi-client throughput scaling (map browsing, queries/second)",
+        &header_refs,
+    );
+    for clients in client_counts {
+        let mut row = vec![clients.to_string()];
+        for e in engines {
+            match run_scenario_parallel(e, &scenario, clients) {
+                Ok(r) => row.push(fmt_qps(r.throughput_qps())),
+                Err(err) => {
+                    eprintln!("warning: F8 with {clients} clients on {}: {err}", e.name());
+                    row.push("err".into());
+                }
+            }
+        }
+        t.push_row(row);
+        eprint!(".");
+    }
+    eprintln!();
+    t
+}

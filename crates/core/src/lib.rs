@@ -1,0 +1,65 @@
+//! # jackpine-core
+//!
+//! The Jackpine spatial database benchmark (Ray, Simion & Demke Brown,
+//! ICDE 2011), reimplemented in Rust over in-process engine profiles.
+//!
+//! The benchmark has two components, exactly as in the paper:
+//!
+//! * **Micro benchmarks** ([`micro`]): queries exercising the DE-9IM
+//!   topological relations in isolation ([`micro::topo_suite`]) and the
+//!   spatial analysis functions ([`micro::analysis_suite`]).
+//! * **Macro workloads** ([`macrobench`]): six application scenarios —
+//!   map search and browsing, geocoding, reverse geocoding, flood risk
+//!   analysis, land information management and toxic spill analysis.
+//!
+//! Supporting pieces: a deterministic dataset loader ([`dataset`]), a
+//! timing driver with warm/cold modes ([`driver`]), the feature-support
+//! matrix ([`features`]) and text/CSV reporting ([`report`]).
+//!
+//! Everything is written against
+//! [`jackpine_engine::SpatialConnector`] — the portability layer that
+//! plays the role JDBC played in the original harness — so any backend
+//! implementing that trait can be benchmarked.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod driver;
+pub mod features;
+pub mod macrobench;
+pub mod micro;
+pub mod report;
+pub mod stats;
+
+pub use dataset::{load_dataset, LoadSummary};
+pub use driver::{CacheMode, Driver, QueryMeasurement};
+pub use stats::Stats;
+
+/// Benchmark-level errors: engine failures carrying query context.
+#[derive(Debug)]
+pub struct BenchError {
+    /// What the harness was doing.
+    pub context: String,
+    /// The underlying engine error.
+    pub source: jackpine_engine::EngineError,
+}
+
+impl std::fmt::Display for BenchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.context, self.source)
+    }
+}
+
+impl std::error::Error for BenchError {}
+
+/// Result alias for benchmark operations.
+pub type Result<T> = std::result::Result<T, BenchError>;
+
+/// Helper to attach context to engine errors.
+pub(crate) fn ctx<T>(
+    r: std::result::Result<T, jackpine_engine::EngineError>,
+    context: impl Into<String>,
+) -> Result<T> {
+    r.map_err(|source| BenchError { context: context.into(), source })
+}

@@ -1,0 +1,79 @@
+//! Scenario M4 — flood risk analysis.
+//!
+//! An analyst buffers a river to form the flood zone, then inventories
+//! what falls inside it: landmarks at risk, road segments cut off,
+//! settlements (point landmarks) affected, and the exact flooded area of
+//! each affected landmark.
+//!
+//! The first step computes the buffer inside the database (`ST_Buffer`),
+//! which the MBR-only profile cannot run — the step is skipped there,
+//! exactly the feature-gap behaviour the paper reports. The remaining
+//! steps use an application-side flood-zone geometry (computed here with
+//! the geometry kernel) so every engine answers the same questions.
+
+use super::{scenario_rng, Scenario, ScenarioConfig};
+use jackpine_datagen::TigerDataset;
+use jackpine_geom::algorithms::buffer::buffer_with_segments;
+use jackpine_geom::{wkt, Geometry};
+use rand::Rng;
+
+/// Buffer distance in degrees (≈ 2 km at this latitude).
+const FLOOD_DISTANCE: f64 = 0.02;
+
+/// Builds the flood-risk scenario.
+pub fn flood_risk(data: &TigerDataset, config: &ScenarioConfig) -> Scenario {
+    let mut rng = scenario_rng(config, 4);
+    let rivers: Vec<_> =
+        data.areawater.iter().filter(|w| w.name.ends_with("RIVER")).collect();
+    let mut steps = Vec::new();
+
+    for _ in 0..config.sessions {
+        let river = rivers[rng.gen_range(0..rivers.len())];
+        let river_geom = Geometry::Polygon(river.geom.clone());
+        let river_wkt = wkt::write(&river_geom);
+
+        // Step 1: in-database flood-zone construction (exact profiles).
+        steps.push((
+            "buffer river (in DB)".to_string(),
+            format!(
+                "SELECT ST_Area(ST_Buffer(ST_GeomFromText('{river_wkt}'), {FLOOD_DISTANCE}, 4))"
+            ),
+        ));
+
+        // Application-side zone for the inventory steps. A coarse arc
+        // approximation keeps the constant geometry manageable.
+        let zone = buffer_with_segments(&river_geom, FLOOD_DISTANCE, 2)
+            .expect("river buffer is well-defined");
+        let zone_wkt = wkt::write(&zone);
+
+        steps.push((
+            "landmarks at risk".to_string(),
+            format!(
+                "SELECT COUNT(*) FROM arealm WHERE ST_Intersects(geom, \
+                 ST_GeomFromText('{zone_wkt}'))"
+            ),
+        ));
+        steps.push((
+            "roads cut off".to_string(),
+            format!(
+                "SELECT COUNT(*) FROM roads WHERE ST_Intersects(geom, \
+                 ST_GeomFromText('{zone_wkt}'))"
+            ),
+        ));
+        steps.push((
+            "settlements affected".to_string(),
+            format!(
+                "SELECT COUNT(*) FROM pointlm WHERE ST_Within(geom, \
+                 ST_GeomFromText('{zone_wkt}'))"
+            ),
+        ));
+        steps.push((
+            "flooded area per landmark".to_string(),
+            format!(
+                "SELECT SUM(ST_Area(ST_Intersection(geom, ST_GeomFromText('{zone_wkt}')))) \
+                 FROM arealm WHERE ST_Intersects(geom, ST_GeomFromText('{zone_wkt}'))"
+            ),
+        ));
+    }
+    Scenario { id: "M4", name: "Flood risk analysis", steps }
+}

@@ -1,0 +1,42 @@
+//! Scenario M2 — geocoding: street address → coordinates.
+//!
+//! Each lookup resolves `"<number> <street name>, <zip>"` to the road
+//! segment holding that address range; the application interpolates the
+//! position along the returned centreline. The database-side work is the
+//! attribute-index lookup plus range filter — the workload that made the
+//! paper's systems lean on their B-tree indexes rather than the spatial
+//! ones.
+
+use super::{scenario_rng, Scenario, ScenarioConfig};
+use jackpine_datagen::TigerDataset;
+use rand::Rng;
+
+/// Lookups per session.
+const LOOKUPS: usize = 10;
+
+/// Builds the geocoding scenario.
+pub fn geocoding(data: &TigerDataset, config: &ScenarioConfig) -> Scenario {
+    let mut rng = scenario_rng(config, 2);
+    let mut steps = Vec::new();
+    for _ in 0..config.sessions {
+        for _ in 0..LOOKUPS {
+            // Address sampled from a real road, so most lookups hit; a few
+            // miss on purpose (wrong zip), as real geocoding traffic does.
+            let road = &data.roads[rng.gen_range(0..data.roads.len())];
+            let number = rng.gen_range(road.from_addr..=road.to_addr);
+            let zip = if rng.gen_bool(0.9) { road.zip } else { road.zip + 7777 };
+            steps.push((
+                "address lookup".to_string(),
+                format!(
+                    "SELECT id, name, from_addr, to_addr, geom FROM roads \
+                     WHERE name = '{}' AND zip = {} AND from_addr <= {} AND to_addr >= {}",
+                    road.name.replace('\'', "''"),
+                    zip,
+                    number,
+                    number
+                ),
+            ));
+        }
+    }
+    Scenario { id: "M2", name: "Geocoding", steps }
+}

@@ -1,0 +1,67 @@
+//! Scenario M5 — land information management.
+//!
+//! Cadastral-office traffic over the landmark ("parcel") table: fetch a
+//! parcel by id, find its neighbours (`Touches`), list parcels inside a
+//! county, total registered area per land-use category, and the public
+//! facilities nearest to the parcel.
+
+use super::{scenario_rng, Scenario, ScenarioConfig};
+use jackpine_datagen::TigerDataset;
+use jackpine_geom::{wkt, Geometry};
+use rand::Rng;
+
+/// Builds the land-information-management scenario.
+pub fn land_management(data: &TigerDataset, config: &ScenarioConfig) -> Scenario {
+    let mut rng = scenario_rng(config, 5);
+    let mut steps = Vec::new();
+
+    for _ in 0..config.sessions {
+        let parcel = &data.arealm[rng.gen_range(0..data.arealm.len())];
+        let parcel_wkt = wkt::write(&Geometry::Polygon(parcel.geom.clone()));
+        let county = &data.counties[rng.gen_range(0..data.counties.len())];
+        let county_wkt = wkt::write(&Geometry::Polygon(county.geom.clone()));
+
+        steps.push((
+            "parcel by id".to_string(),
+            format!("SELECT id, name, category FROM arealm WHERE id = {}", parcel.id),
+        ));
+        steps.push((
+            "neighbouring parcels".to_string(),
+            format!(
+                "SELECT COUNT(*) FROM arealm WHERE ST_Intersects(geom, \
+                 ST_GeomFromText('{parcel_wkt}')) AND id <> {}",
+                parcel.id
+            ),
+        ));
+        steps.push((
+            "parcels in county".to_string(),
+            format!(
+                "SELECT COUNT(*) FROM arealm WHERE ST_Within(geom, \
+                 ST_GeomFromText('{county_wkt}'))"
+            ),
+        ));
+        steps.push((
+            "registered area in county".to_string(),
+            format!(
+                "SELECT SUM(ST_Area(geom)) FROM arealm WHERE ST_Within(geom, \
+                 ST_GeomFromText('{county_wkt}'))"
+            ),
+        ));
+        steps.push((
+            "area by land-use category".to_string(),
+            "SELECT category, COUNT(*), SUM(ST_Area(geom)) FROM arealm \
+             GROUP BY category ORDER BY 1"
+                .to_string(),
+        ));
+        let c = parcel.geom.envelope().center().expect("parcel envelope non-empty");
+        steps.push((
+            "nearest facilities".to_string(),
+            format!(
+                "SELECT id, name FROM pointlm \
+                 ORDER BY ST_Distance(geom, ST_GeomFromText('POINT ({} {})')) LIMIT 5",
+                c.x, c.y
+            ),
+        ));
+    }
+    Scenario { id: "M5", name: "Land information management", steps }
+}

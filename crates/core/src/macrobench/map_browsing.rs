@@ -1,0 +1,46 @@
+//! Scenario M1 — map search and browsing.
+//!
+//! A user opens a map, then pans and zooms: each map view fetches every
+//! visible layer (roads, area landmarks, water, point landmarks) with a
+//! bounding-box query, at three successive zoom levels per session. This
+//! is the window-query-dominated workload web map servers put on a
+//! spatial database.
+
+use super::{scenario_rng, Scenario, ScenarioConfig};
+use jackpine_datagen::{TigerDataset, EXTENT};
+use rand::Rng;
+
+/// Builds the map search & browsing scenario.
+pub fn map_browsing(data: &TigerDataset, config: &ScenarioConfig) -> Scenario {
+    let mut rng = scenario_rng(config, 1);
+    let mut steps = Vec::new();
+    // Zoom half-sizes in degrees: region, city, neighbourhood.
+    const ZOOMS: [f64; 3] = [0.8, 0.2, 0.05];
+    const LAYERS: [&str; 4] = ["roads", "arealm", "areawater", "pointlm"];
+
+    for _ in 0..config.sessions {
+        // Start the session at a random landmark (users search for a
+        // place, then browse around it).
+        let lm = &data.arealm[rng.gen_range(0..data.arealm.len())];
+        let center = lm.geom.envelope().center().expect("landmark envelope non-empty");
+        for (zi, half) in ZOOMS.iter().enumerate() {
+            // Small pan between zoom levels.
+            let cx = center.x + rng.gen_range(-0.1..0.1);
+            let cy = center.y + rng.gen_range(-0.1..0.1);
+            let x0 = (cx - half).max(EXTENT.min_x);
+            let x1 = (cx + half).min(EXTENT.max_x);
+            let y0 = (cy - half).max(EXTENT.min_y);
+            let y1 = (cy + half).min(EXTENT.max_y);
+            for layer in LAYERS {
+                steps.push((
+                    format!("zoom{} {layer}", zi + 1),
+                    format!(
+                        "SELECT COUNT(*) FROM {layer} WHERE MBRIntersects(geom, \
+                         ST_MakeEnvelope({x0}, {y0}, {x1}, {y1}))"
+                    ),
+                ));
+            }
+        }
+    }
+    Scenario { id: "M1", name: "Map search and browsing", steps }
+}

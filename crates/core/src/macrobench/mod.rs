@@ -1,0 +1,334 @@
+//! The macro workload component: six application scenarios, each a
+//! sequence of queries modelled on a common spatial-data application, as
+//! named in the paper — map search and browsing, geocoding, reverse
+//! geocoding, flood risk analysis, land information management and toxic
+//! spill analysis.
+//!
+//! Each scenario pre-generates a deterministic set of *sessions* (a user
+//! interaction's worth of queries) from the dataset and a seed; the
+//! runner measures total throughput and per-step latency. Steps a system
+//! cannot execute (missing functions in the MBR-only profile) are counted
+//! as skipped, which is how the paper reports feature gaps inside macro
+//! workloads.
+
+mod flood_risk;
+mod geocoding;
+mod land_mgmt;
+mod map_browsing;
+mod reverse_geocoding;
+mod toxic_spill;
+
+pub use flood_risk::flood_risk;
+pub use geocoding::geocoding;
+pub use land_mgmt::land_management;
+pub use map_browsing::map_browsing;
+pub use reverse_geocoding::reverse_geocoding;
+pub use toxic_spill::toxic_spill;
+
+use crate::stats::Stats;
+use crate::Result;
+use jackpine_datagen::TigerDataset;
+use jackpine_engine::{EngineError, SpatialConnector};
+use jackpine_sqlmini::SqlError;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// A macro workload: an id, a name and the pre-generated query steps.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Stable identifier (`M1` … `M6`).
+    pub id: &'static str,
+    /// Scenario name as in the paper.
+    pub name: &'static str,
+    /// `(step label, sql)` pairs across all sessions.
+    pub steps: Vec<(String, String)>,
+}
+
+/// Parameters shared by the scenario generators.
+#[derive(Clone, Copy, Debug)]
+pub struct ScenarioConfig {
+    /// RNG seed (independent of the dataset seed).
+    pub seed: u64,
+    /// Number of user sessions to generate.
+    pub sessions: usize,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig { seed: 0xbead, sessions: 10 }
+    }
+}
+
+/// Builds all six scenarios.
+pub fn all_scenarios(data: &TigerDataset, config: &ScenarioConfig) -> Vec<Scenario> {
+    vec![
+        map_browsing(data, config),
+        geocoding(data, config),
+        reverse_geocoding(data, config),
+        flood_risk(data, config),
+        land_management(data, config),
+        toxic_spill(data, config),
+    ]
+}
+
+/// Outcome of running one scenario on one engine.
+#[derive(Clone, Debug)]
+pub struct ScenarioResult {
+    /// Scenario id.
+    pub id: &'static str,
+    /// Scenario name.
+    pub name: &'static str,
+    /// Engine name.
+    pub engine: String,
+    /// Successfully executed queries.
+    pub executed: usize,
+    /// Steps skipped because the engine lacks a required function.
+    pub skipped: usize,
+    /// Total wall time over executed queries.
+    pub elapsed: Duration,
+    /// Per-step-label latency statistics (the F7 drill-down).
+    pub per_step: Vec<(String, Stats)>,
+}
+
+impl ScenarioResult {
+    /// Queries per second over the executed steps.
+    pub fn throughput_qps(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.executed as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Runs a scenario start to finish on one connection.
+///
+/// Steps failing with [`SqlError::UnsupportedFeature`] are skipped and
+/// counted; any other failure aborts the run.
+pub fn run_scenario(conn: &dyn SpatialConnector, scenario: &Scenario) -> Result<ScenarioResult> {
+    let mut executed = 0usize;
+    let mut skipped = 0usize;
+    let mut elapsed = Duration::ZERO;
+    let mut buckets: BTreeMap<String, Vec<Duration>> = BTreeMap::new();
+
+    for (label, sql) in &scenario.steps {
+        let start = Instant::now();
+        match conn.execute(sql) {
+            Ok(_) => {
+                let d = start.elapsed();
+                elapsed += d;
+                executed += 1;
+                buckets.entry(label.clone()).or_default().push(d);
+            }
+            Err(EngineError::Sql(SqlError::UnsupportedFeature(_))) => {
+                skipped += 1;
+            }
+            Err(source) => {
+                return Err(crate::BenchError {
+                    context: format!("scenario {} step {label}", scenario.id),
+                    source,
+                })
+            }
+        }
+    }
+
+    Ok(ScenarioResult {
+        id: scenario.id,
+        name: scenario.name,
+        engine: conn.name(),
+        executed,
+        skipped,
+        elapsed,
+        per_step: buckets
+            .into_iter()
+            .map(|(label, samples)| (label, Stats::from_durations(&samples)))
+            .collect(),
+    })
+}
+
+/// Shared helper: deterministic RNG for a scenario.
+pub(crate) fn scenario_rng(config: &ScenarioConfig, tag: u64) -> rand::rngs::SmallRng {
+    use rand::SeedableRng;
+    rand::rngs::SmallRng::seed_from_u64(
+        config.seed.wrapping_mul(0xA076_1D64_78BD_642F).wrapping_add(tag),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::load_dataset;
+    use jackpine_datagen::TigerConfig;
+    use jackpine_engine::{EngineProfile, SpatialDb};
+    use std::sync::Arc;
+
+    fn tiny() -> (TigerDataset, ScenarioConfig) {
+        (
+            TigerDataset::generate(&TigerConfig { seed: 11, scale: 0.02 }),
+            ScenarioConfig { seed: 5, sessions: 2 },
+        )
+    }
+
+    #[test]
+    fn scenarios_generate_deterministic_steps() {
+        let (data, cfg) = tiny();
+        let a = all_scenarios(&data, &cfg);
+        let b = all_scenarios(&data, &cfg);
+        assert_eq!(a.len(), 6);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.steps, y.steps, "{} not deterministic", x.id);
+            assert!(!x.steps.is_empty(), "{} has no steps", x.id);
+        }
+        // All six named scenarios of the paper are present.
+        let ids: Vec<&str> = a.iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec!["M1", "M2", "M3", "M4", "M5", "M6"]);
+    }
+
+    #[test]
+    fn scenarios_run_on_exact_engine() {
+        let (data, cfg) = tiny();
+        let db = Arc::new(SpatialDb::new(EngineProfile::ExactRtree));
+        load_dataset(&db, &data).unwrap();
+        for s in all_scenarios(&data, &cfg) {
+            let r = run_scenario(&db, &s).unwrap();
+            assert_eq!(r.skipped, 0, "{} skipped steps on exact engine", s.id);
+            assert_eq!(r.executed, s.steps.len());
+            assert!(r.throughput_qps() > 0.0);
+            assert!(!r.per_step.is_empty());
+        }
+    }
+
+    #[test]
+    fn mbr_engine_skips_unsupported_steps_only() {
+        let (data, cfg) = tiny();
+        let db = Arc::new(SpatialDb::new(EngineProfile::MbrOnly));
+        load_dataset(&db, &data).unwrap();
+        let mut any_skipped = false;
+        for s in all_scenarios(&data, &cfg) {
+            let r = run_scenario(&db, &s).unwrap();
+            any_skipped |= r.skipped > 0;
+            assert_eq!(r.executed + r.skipped, s.steps.len());
+        }
+        assert!(any_skipped, "flood-risk buffering must be unsupported on mbr-only");
+    }
+}
+
+/// Outcome of a multi-client run: the F8 concurrency experiment.
+#[derive(Clone, Debug)]
+pub struct ParallelResult {
+    /// Scenario id.
+    pub id: &'static str,
+    /// Number of concurrent clients.
+    pub clients: usize,
+    /// Total queries executed across clients.
+    pub executed: usize,
+    /// Steps skipped (unsupported functions), across clients.
+    pub skipped: usize,
+    /// Wall time of the whole run (not the per-client sum).
+    pub wall: Duration,
+}
+
+impl ParallelResult {
+    /// Aggregate throughput across all clients.
+    pub fn throughput_qps(&self) -> f64 {
+        if self.wall.is_zero() {
+            return 0.0;
+        }
+        self.executed as f64 / self.wall.as_secs_f64()
+    }
+}
+
+/// Runs a scenario with `clients` concurrent workers, each executing the
+/// full step list against the shared connection (the multi-user load the
+/// paper applied to measure throughput scaling).
+///
+/// Steps failing with [`SqlError::UnsupportedFeature`] are counted as
+/// skipped; any other error aborts the run.
+pub fn run_scenario_parallel(
+    conn: &(dyn SpatialConnector + Sync),
+    scenario: &Scenario,
+    clients: usize,
+) -> Result<ParallelResult> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let executed = AtomicUsize::new(0);
+    let skipped = AtomicUsize::new(0);
+    let failure: parking_lot::Mutex<Option<crate::BenchError>> = parking_lot::Mutex::new(None);
+
+    let start = Instant::now();
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..clients.max(1) {
+            scope.spawn(|_| {
+                for (label, sql) in &scenario.steps {
+                    if failure.lock().is_some() {
+                        return;
+                    }
+                    match conn.execute(sql) {
+                        Ok(_) => {
+                            executed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(EngineError::Sql(SqlError::UnsupportedFeature(_))) => {
+                            skipped.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(source) => {
+                            *failure.lock() = Some(crate::BenchError {
+                                context: format!(
+                                    "parallel scenario {} step {label}",
+                                    scenario.id
+                                ),
+                                source,
+                            });
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("scenario worker panicked");
+    let wall = start.elapsed();
+
+    if let Some(err) = failure.into_inner() {
+        return Err(err);
+    }
+    Ok(ParallelResult {
+        id: scenario.id,
+        clients,
+        executed: executed.into_inner(),
+        skipped: skipped.into_inner(),
+        wall,
+    })
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+    use crate::dataset::load_dataset;
+    use jackpine_datagen::TigerConfig;
+    use jackpine_engine::{EngineProfile, SpatialDb};
+    use std::sync::Arc;
+
+    #[test]
+    fn parallel_clients_execute_everything() {
+        let data = TigerDataset::generate(&TigerConfig { seed: 4, scale: 0.02 });
+        let db = Arc::new(SpatialDb::new(EngineProfile::ExactRtree));
+        load_dataset(&db, &data).unwrap();
+        let cfg = ScenarioConfig { seed: 2, sessions: 1 };
+        let s = super::map_browsing(&data, &cfg);
+        let r = run_scenario_parallel(&db, &s, 4).unwrap();
+        assert_eq!(r.executed, 4 * s.steps.len());
+        assert_eq!(r.skipped, 0);
+        assert!(r.throughput_qps() > 0.0);
+    }
+
+    #[test]
+    fn parallel_run_skips_unsupported_like_serial() {
+        let data = TigerDataset::generate(&TigerConfig { seed: 4, scale: 0.02 });
+        let db = Arc::new(SpatialDb::new(EngineProfile::MbrOnly));
+        load_dataset(&db, &data).unwrap();
+        let cfg = ScenarioConfig { seed: 2, sessions: 1 };
+        let s = super::flood_risk(&data, &cfg);
+        let r = run_scenario_parallel(&db, &s, 2).unwrap();
+        assert!(r.skipped >= 2, "buffer steps must be skipped on both clients");
+        assert_eq!(r.executed + r.skipped, 2 * s.steps.len());
+    }
+}

@@ -1,0 +1,36 @@
+//! Scenario M3 — reverse geocoding: coordinates → nearest address.
+//!
+//! Each query finds the road nearest to a GPS-style fix. The access path
+//! is the k-nearest-neighbour search on the spatial index (the planner's
+//! `ORDER BY ST_Distance(...) LIMIT k` recognition), with exact distance
+//! refinement on the candidates.
+
+use super::{scenario_rng, Scenario, ScenarioConfig};
+use jackpine_datagen::TigerDataset;
+use rand::Rng;
+
+/// Fixes per session.
+const FIXES: usize = 10;
+
+/// Builds the reverse-geocoding scenario.
+pub fn reverse_geocoding(data: &TigerDataset, config: &ScenarioConfig) -> Scenario {
+    let mut rng = scenario_rng(config, 3);
+    let mut steps = Vec::new();
+    for _ in 0..config.sessions {
+        for _ in 0..FIXES {
+            // GPS fixes cluster near roads: perturb a random road vertex.
+            let road = &data.roads[rng.gen_range(0..data.roads.len())];
+            let base = road.geom.coords()[rng.gen_range(0..road.geom.num_coords())];
+            let x = base.x + rng.gen_range(-0.002..0.002);
+            let y = base.y + rng.gen_range(-0.002..0.002);
+            steps.push((
+                "nearest road".to_string(),
+                format!(
+                    "SELECT id, name FROM roads \
+                     ORDER BY ST_Distance(geom, ST_GeomFromText('POINT ({x} {y})')) LIMIT 1"
+                ),
+            ));
+        }
+    }
+    Scenario { id: "M3", name: "Reverse geocoding", steps }
+}

@@ -1,0 +1,68 @@
+//! Scenario M6 — toxic spill analysis.
+//!
+//! Emergency response around a spill site: impact rings at three radii,
+//! roads to close, water bodies at contamination risk, population proxy
+//! (point landmarks) inside each ring, and the nearest large facilities
+//! for staging. Ring geometries are built application-side (a circle
+//! around the spill point) so every profile can answer.
+
+use super::{scenario_rng, Scenario, ScenarioConfig};
+use jackpine_datagen::{TigerDataset, EXTENT};
+use jackpine_geom::algorithms::buffer::buffer_with_segments;
+use jackpine_geom::{wkt, Geometry, Point};
+use rand::Rng;
+
+/// Impact ring radii in degrees.
+const RADII: [f64; 3] = [0.02, 0.05, 0.1];
+
+/// Builds the toxic-spill scenario.
+pub fn toxic_spill(data: &TigerDataset, config: &ScenarioConfig) -> Scenario {
+    let mut rng = scenario_rng(config, 6);
+    let mut steps = Vec::new();
+
+    for _ in 0..config.sessions {
+        // Spills happen on roads: pick a random road vertex.
+        let road = &data.roads[rng.gen_range(0..data.roads.len())];
+        let site = road.geom.coords()[rng.gen_range(0..road.geom.num_coords())];
+        let site_geom =
+            Geometry::Point(Point::from_coord(site).expect("road vertex is finite"));
+
+        for (ri, radius) in RADII.iter().enumerate() {
+            let ring = buffer_with_segments(&site_geom, *radius, 4)
+                .expect("point buffer is well-defined");
+            let ring_wkt = wkt::write(&ring);
+            steps.push((
+                format!("ring{} roads to close", ri + 1),
+                format!(
+                    "SELECT COUNT(*) FROM roads WHERE ST_Intersects(geom, \
+                     ST_GeomFromText('{ring_wkt}'))"
+                ),
+            ));
+            steps.push((
+                format!("ring{} water at risk", ri + 1),
+                format!(
+                    "SELECT COUNT(*) FROM areawater WHERE ST_Intersects(geom, \
+                     ST_GeomFromText('{ring_wkt}'))"
+                ),
+            ));
+            steps.push((
+                format!("ring{} population proxy", ri + 1),
+                format!(
+                    "SELECT COUNT(*) FROM pointlm WHERE ST_Within(geom, \
+                     ST_GeomFromText('{ring_wkt}'))"
+                ),
+            ));
+        }
+        // Staging: nearest large facilities, bounded to the state extent.
+        let x = site.x.clamp(EXTENT.min_x, EXTENT.max_x);
+        let y = site.y.clamp(EXTENT.min_y, EXTENT.max_y);
+        steps.push((
+            "staging facilities".to_string(),
+            format!(
+                "SELECT id, name FROM arealm \
+                 ORDER BY ST_Distance(geom, ST_GeomFromText('POINT ({x} {y})')) LIMIT 3"
+            ),
+        ));
+    }
+    Scenario { id: "M6", name: "Toxic spill analysis", steps }
+}

@@ -1,0 +1,89 @@
+//! The spatial-analysis micro suite: one query per analysis function,
+//! mirroring the paper's second micro-benchmark half.
+
+use super::{BenchQuery, QueryConstants};
+use jackpine_datagen::TigerDataset;
+
+/// Builds the 12-query analysis-function suite against `data`.
+///
+/// Aggregations force the function to run over every qualifying row, so
+/// the measured time is dominated by the function itself rather than by
+/// result transfer — the isolation property the micro benchmark is after.
+pub fn analysis_suite(data: &TigerDataset) -> Vec<BenchQuery> {
+    let c = QueryConstants::from_dataset(data);
+    let q = |id: &'static str, name: &'static str, sql: String| BenchQuery { id, name, sql };
+    vec![
+        q(
+            "A01",
+            "Dimension over polygons",
+            "SELECT COUNT(*) FROM arealm WHERE ST_Dimension(geom) = 2".to_string(),
+        ),
+        q(
+            "A02",
+            "Envelope area over polygons",
+            "SELECT AVG(ST_Area(ST_Envelope(geom))) FROM arealm".to_string(),
+        ),
+        q(
+            "A03",
+            "Length over all roads",
+            "SELECT SUM(ST_Length(geom)) FROM roads".to_string(),
+        ),
+        q(
+            "A04",
+            "Area over all polygons",
+            "SELECT SUM(ST_Area(geom)) FROM arealm".to_string(),
+        ),
+        q(
+            "A05",
+            "Boundary complexity of water bodies",
+            "SELECT COUNT(*) FROM areawater WHERE ST_NumPoints(ST_Boundary(geom)) > 10"
+                .to_string(),
+        ),
+        q(
+            "A06",
+            "Buffer around point landmarks",
+            "SELECT SUM(ST_Area(ST_Buffer(geom, 0.01))) FROM pointlm".to_string(),
+        ),
+        q(
+            "A07",
+            "ConvexHull of landmarks",
+            "SELECT SUM(ST_Area(ST_ConvexHull(geom))) FROM arealm".to_string(),
+        ),
+        q(
+            "A08",
+            "Centroid of landmarks (western half)",
+            format!(
+                "SELECT COUNT(*) FROM arealm WHERE ST_X(ST_Centroid(geom)) < {}",
+                c.mid_x
+            ),
+        ),
+        q(
+            "A09",
+            "Distance from a fixed point",
+            format!(
+                "SELECT COUNT(*) FROM pointlm WHERE \
+                 ST_Distance(geom, ST_GeomFromText('{}')) < 1.0",
+                c.center_point_wkt
+            ),
+        ),
+        q(
+            "A10",
+            "Union of overlapping landmark/water pairs",
+            "SELECT SUM(ST_Area(ST_Union(a.geom, b.geom))) FROM arealm a \
+             JOIN areawater b ON ST_Overlaps(a.geom, b.geom)"
+                .to_string(),
+        ),
+        q(
+            "A11",
+            "Intersection of overlapping landmark/water pairs",
+            "SELECT SUM(ST_Area(ST_Intersection(a.geom, b.geom))) FROM arealm a \
+             JOIN areawater b ON ST_Overlaps(a.geom, b.geom)"
+                .to_string(),
+        ),
+        q(
+            "A12",
+            "Simplify all roads",
+            "SELECT SUM(ST_NumPoints(ST_Simplify(geom, 0.005))) FROM roads".to_string(),
+        ),
+    ]
+}

@@ -1,0 +1,122 @@
+//! The micro benchmark component: basic spatial operations in isolation.
+//!
+//! As in the paper, the suite has two halves:
+//! * [`topo_suite`] — queries based on the Dimensionally Extended
+//!   9-Intersection Model of topological relations, over every geometry
+//!   type combination the dataset offers,
+//! * [`analysis_suite`] — queries based on the spatial analysis
+//!   functions (area, length, buffer, convex hull, overlay, …).
+
+mod analysis;
+mod topo;
+
+pub use analysis::analysis_suite;
+pub use topo::topo_suite;
+
+use jackpine_datagen::TigerDataset;
+use jackpine_geom::{wkt, Envelope, Geometry};
+
+/// One micro-benchmark query.
+#[derive(Clone, Debug)]
+pub struct BenchQuery {
+    /// Stable identifier (`T01` … / `A01` …).
+    pub id: &'static str,
+    /// Human-readable description (relation and operand types).
+    pub name: &'static str,
+    /// The SQL text.
+    pub sql: String,
+}
+
+/// Constant geometries extracted deterministically from the dataset, used
+/// as literal operands inside the micro queries.
+pub(crate) struct QueryConstants {
+    /// WKT of a mid-sized query window (≈ 4 % of the state).
+    pub window_wkt: String,
+    /// WKT of a small query window (≈ 0.1 % of the state).
+    pub small_window_wkt: String,
+    /// WKT of one river band polygon.
+    pub river_wkt: String,
+    /// WKT of a sample road polyline.
+    pub road_wkt: String,
+    /// WKT of a sample area landmark polygon.
+    pub arealm_wkt: String,
+    /// WKT of a point near the centre of the extent.
+    pub center_point_wkt: String,
+    /// x-coordinate of the extent centre.
+    pub mid_x: f64,
+}
+
+impl QueryConstants {
+    pub(crate) fn from_dataset(data: &TigerDataset) -> QueryConstants {
+        let extent = jackpine_datagen::EXTENT;
+        let cx = (extent.min_x + extent.max_x) * 0.5;
+        let cy = (extent.min_y + extent.max_y) * 0.5;
+        let window = Envelope::new(
+            cx - extent.width() * 0.1,
+            cy - extent.height() * 0.1,
+            cx + extent.width() * 0.1,
+            cy + extent.height() * 0.1,
+        );
+        let small = Envelope::new(
+            cx - extent.width() * 0.016,
+            cy - extent.height() * 0.016,
+            cx + extent.width() * 0.016,
+            cy + extent.height() * 0.016,
+        );
+        let river = data
+            .areawater
+            .iter()
+            .find(|w| w.name.ends_with("RIVER"))
+            .unwrap_or(&data.areawater[0]);
+        let road = &data.roads[data.roads.len() / 2];
+        let lm = &data.arealm[data.arealm.len() / 3];
+        QueryConstants {
+            window_wkt: env_wkt(&window),
+            small_window_wkt: env_wkt(&small),
+            river_wkt: wkt::write(&Geometry::Polygon(river.geom.clone())),
+            road_wkt: wkt::write(&Geometry::LineString(road.geom.clone())),
+            arealm_wkt: wkt::write(&Geometry::Polygon(lm.geom.clone())),
+            center_point_wkt: format!("POINT ({cx} {cy})"),
+            mid_x: cx,
+        }
+    }
+}
+
+fn env_wkt(e: &Envelope) -> String {
+    format!(
+        "POLYGON (({x0} {y0}, {x1} {y0}, {x1} {y1}, {x0} {y1}, {x0} {y0}))",
+        x0 = e.min_x,
+        y0 = e.min_y,
+        x1 = e.max_x,
+        y1 = e.max_y
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jackpine_datagen::TigerConfig;
+
+    #[test]
+    fn suites_have_expected_sizes_and_distinct_ids() {
+        let data = TigerDataset::generate(&TigerConfig { seed: 3, scale: 0.02 });
+        let t = topo_suite(&data);
+        let a = analysis_suite(&data);
+        assert_eq!(t.len(), 19, "topological relation suite");
+        assert_eq!(a.len(), 12, "analysis function suite");
+        let mut ids: Vec<&str> = t.iter().chain(a.iter()).map(|q| q.id).collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "duplicate query ids");
+    }
+
+    #[test]
+    fn all_queries_parse() {
+        let data = TigerDataset::generate(&TigerConfig { seed: 3, scale: 0.02 });
+        for q in topo_suite(&data).iter().chain(analysis_suite(&data).iter()) {
+            jackpine_sqlmini::parser::parse(&q.sql)
+                .unwrap_or_else(|e| panic!("{}: {} in {}", q.id, e, q.sql));
+        }
+    }
+}

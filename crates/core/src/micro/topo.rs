@@ -1,0 +1,175 @@
+//! The topological-relations micro suite: one query per DE-9IM relation ×
+//! geometry-type combination, mirroring the structure of the paper's
+//! micro benchmark.
+
+use super::{BenchQuery, QueryConstants};
+use jackpine_datagen::TigerDataset;
+
+/// Builds the 19-query topological suite against `data`.
+///
+/// The operand-type coverage follows the paper: polygon/polygon from
+/// `arealm` × `areawater` and `county` × `county`, line/polygon from
+/// `roads` × water, line/line between roads, point/polygon and point/line
+/// from `pointlm`, plus the bounding-box search every spatial benchmark
+/// starts from. Join queries run through the spatial-index path; the
+/// constant-operand queries measure index filter + refinement on a single
+/// table.
+pub fn topo_suite(data: &TigerDataset) -> Vec<BenchQuery> {
+    let c = QueryConstants::from_dataset(data);
+    let q = |id: &'static str, name: &'static str, sql: String| BenchQuery { id, name, sql };
+    vec![
+        // ---- bounding box ------------------------------------------------
+        q(
+            "T01",
+            "BoundingBox search (polygon table)",
+            format!(
+                "SELECT COUNT(*) FROM arealm WHERE MBRIntersects(geom, ST_GeomFromText('{}'))",
+                c.window_wkt
+            ),
+        ),
+        // ---- polygon / polygon -------------------------------------------
+        q(
+            "T02",
+            "Equals polygon/polygon",
+            "SELECT COUNT(*) FROM arealm a JOIN areawater b ON ST_Equals(a.geom, b.geom)"
+                .to_string(),
+        ),
+        q(
+            "T03",
+            "Disjoint polygon/polygon (constant region)",
+            format!(
+                "SELECT COUNT(*) FROM arealm WHERE ST_Disjoint(geom, ST_GeomFromText('{}'))",
+                c.window_wkt
+            ),
+        ),
+        q(
+            "T04",
+            "Intersects polygon/polygon",
+            format!(
+                "SELECT COUNT(*) FROM arealm WHERE ST_Intersects(geom, ST_GeomFromText('{}'))",
+                c.river_wkt
+            ),
+        ),
+        q(
+            "T05",
+            "Touches polygon/polygon (county adjacency)",
+            "SELECT COUNT(*) FROM county a JOIN county b ON ST_Touches(a.geom, b.geom) \
+             WHERE a.id < b.id"
+                .to_string(),
+        ),
+        q(
+            "T06",
+            "Within polygon/polygon",
+            format!(
+                "SELECT COUNT(*) FROM arealm WHERE ST_Within(geom, ST_GeomFromText('{}'))",
+                c.window_wkt
+            ),
+        ),
+        q(
+            "T07",
+            "Contains polygon/polygon",
+            format!(
+                "SELECT COUNT(*) FROM county WHERE ST_Contains(geom, ST_GeomFromText('{}'))",
+                c.arealm_wkt
+            ),
+        ),
+        q(
+            "T08",
+            "Overlaps polygon/polygon",
+            "SELECT COUNT(*) FROM arealm a JOIN areawater b ON ST_Overlaps(a.geom, b.geom)"
+                .to_string(),
+        ),
+        // ---- line / polygon -----------------------------------------------
+        q(
+            "T09",
+            "Crosses line/polygon (roads × river)",
+            format!(
+                "SELECT COUNT(*) FROM roads WHERE ST_Crosses(geom, ST_GeomFromText('{}'))",
+                c.river_wkt
+            ),
+        ),
+        q(
+            "T10",
+            "Intersects line/polygon",
+            "SELECT COUNT(*) FROM roads r JOIN areawater w ON ST_Intersects(r.geom, w.geom)"
+                .to_string(),
+        ),
+        q(
+            "T11",
+            "Within line/polygon",
+            format!(
+                "SELECT COUNT(*) FROM roads WHERE ST_Within(geom, ST_GeomFromText('{}'))",
+                c.window_wkt
+            ),
+        ),
+        q(
+            "T12",
+            "Touches line/polygon",
+            format!(
+                "SELECT COUNT(*) FROM roads WHERE ST_Touches(geom, ST_GeomFromText('{}'))",
+                c.arealm_wkt
+            ),
+        ),
+        // ---- line / line ----------------------------------------------------
+        q(
+            "T13",
+            "Equals line/line",
+            format!(
+                "SELECT COUNT(*) FROM roads WHERE ST_Equals(geom, ST_GeomFromText('{}'))",
+                c.road_wkt
+            ),
+        ),
+        q(
+            "T14",
+            "Crosses line/line (intersections with a road)",
+            format!(
+                "SELECT COUNT(*) FROM roads WHERE ST_Crosses(geom, ST_GeomFromText('{}'))",
+                c.road_wkt
+            ),
+        ),
+        q(
+            "T15",
+            "Overlaps line/line",
+            format!(
+                "SELECT COUNT(*) FROM roads WHERE ST_Overlaps(geom, ST_GeomFromText('{}'))",
+                c.road_wkt
+            ),
+        ),
+        // ---- point / polygon ------------------------------------------------
+        q(
+            "T16",
+            "Within point/polygon (selective window)",
+            format!(
+                "SELECT COUNT(*) FROM pointlm WHERE ST_Within(geom, ST_GeomFromText('{}'))",
+                c.small_window_wkt
+            ),
+        ),
+        q(
+            "T17",
+            "Contains polygon/point (landmarks containing a point)",
+            format!(
+                "SELECT COUNT(*) FROM arealm WHERE ST_Contains(geom, ST_GeomFromText('{}'))",
+                c.center_point_wkt
+            ),
+        ),
+        // ---- point / line ----------------------------------------------------
+        q(
+            "T18",
+            "Intersects point/line",
+            format!(
+                "SELECT COUNT(*) FROM pointlm WHERE ST_Intersects(geom, ST_GeomFromText('{}'))",
+                c.road_wkt
+            ),
+        ),
+        // ---- generic relate ---------------------------------------------------
+        q(
+            "T19",
+            "Relate with explicit DE-9IM pattern (overlaps)",
+            format!(
+                "SELECT COUNT(*) FROM arealm WHERE ST_Relate(geom, ST_GeomFromText('{}'), \
+                 'T*T***T**')",
+                c.window_wkt
+            ),
+        ),
+    ]
+}

@@ -1,0 +1,30 @@
+//! # jackpine-datagen
+//!
+//! Deterministic synthetic stand-in for the TIGER/Line data the Jackpine
+//! paper loaded (roads/edges, area landmarks, point landmarks, area
+//! water, county boundaries for a US state).
+//!
+//! The generator reproduces the *statistical shape* that matters to the
+//! benchmark rather than real geography:
+//!
+//! * a state-sized extent divided into counties whose boundaries are
+//!   **exactly shared** between neighbours (so `Touches` queries have
+//!   non-trivial answers),
+//! * per-county street grids of named roads with address ranges and zip
+//!   codes (the geocoding scenarios' raw material),
+//! * clustered polygonal landmarks and water bodies, including long
+//!   river bands crossing many counties (flood-risk analysis),
+//! * point landmarks.
+//!
+//! Everything is seeded: the same [`TigerConfig`] always produces the
+//! same dataset, which keeps benchmark runs comparable across engines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod names;
+mod tiger;
+
+pub use tiger::{
+    AreaLandmark, AreaWater, County, PointLandmark, Road, TigerConfig, TigerDataset, EXTENT,
+};

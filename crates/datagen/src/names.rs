@@ -1,0 +1,70 @@
+//! Name pools for the synthetic TIGER tables.
+
+/// Street base names, cycled with directional prefixes and type suffixes.
+pub const STREET_NAMES: [&str; 40] = [
+    "OAK", "ELM", "MAPLE", "CEDAR", "PINE", "WALNUT", "MAIN", "FIRST", "SECOND", "THIRD",
+    "FOURTH", "FIFTH", "WASHINGTON", "JEFFERSON", "LINCOLN", "MADISON", "JACKSON", "FRANKLIN",
+    "HOUSTON", "AUSTIN", "TRAVIS", "CROCKETT", "BOWIE", "LAMAR", "BRAZOS", "COLORADO", "PECAN",
+    "MESQUITE", "JUNIPER", "WILLOW", "SYCAMORE", "MAGNOLIA", "CHERRY", "PEACH", "HICKORY",
+    "RIVER", "LAKE", "HILL", "VALLEY", "PRAIRIE",
+];
+
+/// Street type suffixes.
+pub const STREET_TYPES: [&str; 8] = ["ST", "AVE", "RD", "DR", "LN", "BLVD", "CT", "PKWY"];
+
+/// Directional prefixes (empty = none).
+pub const DIRECTIONS: [&str; 5] = ["", "N", "S", "E", "W"];
+
+/// Area landmark categories with name stems.
+pub const AREALM_KINDS: [(&str, &str); 8] = [
+    ("PARK", "K22"),
+    ("SCHOOL", "D43"),
+    ("CEMETERY", "D82"),
+    ("GOLF COURSE", "D81"),
+    ("HOSPITAL", "D31"),
+    ("AIRPORT", "D57"),
+    ("SHOPPING CENTER", "D61"),
+    ("UNIVERSITY", "D43"),
+];
+
+/// Point landmark categories.
+pub const POINTLM_KINDS: [(&str, &str); 8] = [
+    ("CHURCH", "D44"),
+    ("TOWER", "D71"),
+    ("FIRE STATION", "D65"),
+    ("LIBRARY", "D37"),
+    ("POST OFFICE", "D36"),
+    ("CITY HALL", "D36"),
+    ("MONUMENT", "D70"),
+    ("WATER TANK", "D71"),
+];
+
+/// River name stems.
+pub const RIVER_NAMES: [&str; 8] = [
+    "TRINITY", "BRAZOS", "COLORADO", "GUADALUPE", "NUECES", "SABINE", "PECOS", "RED",
+];
+
+/// Lake name stems.
+pub const LAKE_NAMES: [&str; 8] = [
+    "CLEAR", "CADDO", "TRAVIS", "WHITNEY", "LEWISVILLE", "CONROE", "FALCON", "AMISTAD",
+];
+
+/// County name stems (cycled with a numeric suffix when exhausted).
+pub const COUNTY_NAMES: [&str; 16] = [
+    "HARRIS", "DALLAS", "TARRANT", "BEXAR", "TRAVIS", "COLLIN", "DENTON", "HIDALGO",
+    "EL PASO", "FORT BEND", "MONTGOMERY", "WILLIAMSON", "CAMERON", "NUECES", "BELL", "GALVESTON",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_are_nonempty_and_distinct() {
+        assert!(STREET_NAMES.len() >= 16);
+        let mut sorted = STREET_NAMES.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), STREET_NAMES.len(), "duplicate street names");
+    }
+}

@@ -1,0 +1,1194 @@
+//! The `SpatialDb` facade: catalog + heaps + indexes + SQL, under one
+//! engine profile.
+
+use crate::EngineProfile;
+use jackpine_geom::{Coord, Envelope};
+use jackpine_index::{GridIndex, OrderedIndex, RTree, RTreeConfig};
+use jackpine_sqlmini::ast::Statement;
+use jackpine_sqlmini::plan::PlanOptions;
+use jackpine_sqlmini::provider::{CatalogProvider, TableProvider};
+use jackpine_sqlmini::{exec, parser, plan, ResultSet, SqlError};
+use jackpine_storage::{
+    Catalog, ColumnDef, DataType, Row, RowId, Schema, StorageError, Table, Value,
+};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors surfaced by [`SpatialDb`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum EngineError {
+    /// SQL front-end error.
+    Sql(SqlError),
+    /// Storage error.
+    Storage(StorageError),
+    /// Index management error (bad column, wrong type, duplicate index).
+    Index(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Sql(e) => write!(f, "{e}"),
+            EngineError::Storage(e) => write!(f, "{e}"),
+            EngineError::Index(m) => write!(f, "index error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<SqlError> for EngineError {
+    fn from(e: SqlError) -> Self {
+        EngineError::Sql(e)
+    }
+}
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}
+
+/// A spatial index over one geometry column.
+enum SpatialIdx {
+    Rtree(RTree<RowId>),
+    Grid(GridIndex<RowId>),
+}
+
+impl SpatialIdx {
+    fn insert(&mut self, env: Envelope, id: RowId) {
+        match self {
+            SpatialIdx::Rtree(t) => t.insert(env, id),
+            SpatialIdx::Grid(g) => g.insert(env, id),
+        }
+    }
+
+    fn window(&self, env: &Envelope) -> Vec<RowId> {
+        match self {
+            SpatialIdx::Rtree(t) => t.window(env),
+            SpatialIdx::Grid(g) => g.window(env),
+        }
+    }
+
+    fn nearest(&self, q: Coord, k: usize) -> Vec<RowId> {
+        match self {
+            SpatialIdx::Rtree(t) => t.nearest(q, k).into_iter().map(|(_, v)| v).collect(),
+            SpatialIdx::Grid(g) => g.nearest(q, k).into_iter().map(|(_, v)| v).collect(),
+        }
+    }
+
+    fn remove(&mut self, env: &Envelope, id: RowId) {
+        match self {
+            SpatialIdx::Rtree(t) => {
+                t.remove(env, |v| *v == id);
+            }
+            SpatialIdx::Grid(g) => {
+                g.remove(env, |v| *v == id);
+            }
+        }
+    }
+}
+
+/// Ordered-index key: the orderable subset of [`Value`].
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum Key {
+    Int(i64),
+    Text(String),
+}
+
+impl Key {
+    fn from_value(v: &Value) -> Option<Key> {
+        match v {
+            Value::Int(i) => Some(Key::Int(*i)),
+            Value::Text(s) => Some(Key::Text(s.clone())),
+            _ => None,
+        }
+    }
+}
+
+/// Per-table index bookkeeping.
+#[derive(Default)]
+struct TableIndexes {
+    spatial: HashMap<usize, SpatialIdx>,
+    ordered: HashMap<usize, OrderedIndex<Key, RowId>>,
+}
+
+/// An embedded spatial database instance under one [`EngineProfile`].
+pub struct SpatialDb {
+    profile: EngineProfile,
+    catalog: Catalog,
+    indexes: RwLock<HashMap<String, TableIndexes>>,
+    use_spatial_index: RwLock<bool>,
+    /// Prepared-plan cache keyed by SQL text; invalidated by DDL and by
+    /// toggling index use. Mirrors the prepared-statement caches of the
+    /// systems under benchmark.
+    plan_cache: RwLock<HashMap<String, Arc<jackpine_sqlmini::plan::PlannedSelect>>>,
+    plan_cache_enabled: RwLock<bool>,
+    plan_cache_hits: std::sync::atomic::AtomicU64,
+    plan_cache_misses: std::sync::atomic::AtomicU64,
+}
+
+impl SpatialDb {
+    /// Creates an empty database under the given profile.
+    pub fn new(profile: EngineProfile) -> SpatialDb {
+        SpatialDb {
+            profile,
+            catalog: Catalog::new(),
+            indexes: RwLock::new(HashMap::new()),
+            use_spatial_index: RwLock::new(true),
+            plan_cache: RwLock::new(HashMap::new()),
+            plan_cache_enabled: RwLock::new(true),
+            plan_cache_hits: std::sync::atomic::AtomicU64::new(0),
+            plan_cache_misses: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// The engine profile.
+    pub fn profile(&self) -> EngineProfile {
+        self.profile
+    }
+
+    /// Enables or disables spatial-index use by the planner (the F5
+    /// indexing experiment's switch).
+    pub fn set_use_spatial_index(&self, on: bool) {
+        *self.use_spatial_index.write() = on;
+        self.plan_cache.write().clear();
+    }
+
+    /// Enables or disables the prepared-plan cache (ablation switch).
+    pub fn set_plan_cache(&self, on: bool) {
+        *self.plan_cache_enabled.write() = on;
+        self.plan_cache.write().clear();
+    }
+
+    /// `(hits, misses)` of the plan cache since creation.
+    pub fn plan_cache_stats(&self) -> (u64, u64) {
+        use std::sync::atomic::Ordering;
+        (
+            self.plan_cache_hits.load(Ordering::Relaxed),
+            self.plan_cache_misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Creates a table programmatically.
+    pub fn create_table(&self, name: &str, columns: Vec<ColumnDef>) -> crate::Result<()> {
+        let schema = Schema::new(columns)?;
+        self.catalog.create_table(name, schema)?;
+        self.indexes.write().insert(name.to_ascii_lowercase(), TableIndexes::default());
+        self.plan_cache.write().clear();
+        Ok(())
+    }
+
+    /// Inserts a row programmatically, maintaining any indexes.
+    pub fn insert_row(&self, table: &str, row: Row) -> crate::Result<RowId> {
+        let t = self.catalog.table(table)?;
+        let id = t.heap.insert(row.clone())?;
+        let mut indexes = self.indexes.write();
+        if let Some(ti) = indexes.get_mut(&table.to_ascii_lowercase()) {
+            for (col, idx) in ti.spatial.iter_mut() {
+                if let Some(Value::Geom(g)) = row.get(*col) {
+                    idx.insert(g.envelope(), id);
+                }
+            }
+            for (col, idx) in ti.ordered.iter_mut() {
+                if let Some(k) = row.get(*col).and_then(Key::from_value) {
+                    idx.insert(k, id);
+                }
+            }
+        }
+        Ok(id)
+    }
+
+    /// Builds a spatial index on a geometry column. Uses R\*-tree STR
+    /// bulk loading or grid construction depending on the profile.
+    pub fn create_spatial_index(&self, table: &str, column: &str) -> crate::Result<()> {
+        let t = self.catalog.table(table)?;
+        let col = t.schema().column_index(column)?;
+        if t.schema().columns()[col].ty != DataType::Geometry {
+            return Err(EngineError::Index(format!(
+                "column '{column}' of '{table}' is not a geometry"
+            )));
+        }
+        // Gather (envelope, id) pairs.
+        let mut items: Vec<(Envelope, RowId)> = Vec::with_capacity(t.heap.len());
+        let mut extent = Envelope::EMPTY;
+        t.heap.scan(|id, row| {
+            if let Some(Value::Geom(g)) = row.get(col) {
+                let e = g.envelope();
+                extent.expand_to_include(&e);
+                items.push((e, id));
+            }
+        })?;
+
+        let idx = if self.profile.uses_grid_index() {
+            let cells = ((items.len() as f64).sqrt().ceil() as usize).clamp(16, 256);
+            let extent = if extent.is_empty() {
+                Envelope::new(0.0, 0.0, 1.0, 1.0)
+            } else {
+                extent.expanded_by(extent.margin() * 0.001 + 1e-9)
+            };
+            let mut g = GridIndex::new(extent, cells, cells);
+            for (e, id) in items {
+                g.insert(e, id);
+            }
+            SpatialIdx::Grid(g)
+        } else {
+            SpatialIdx::Rtree(RTree::bulk_load(RTreeConfig::default(), items))
+        };
+
+        let mut indexes = self.indexes.write();
+        let ti = indexes.entry(table.to_ascii_lowercase()).or_default();
+        if ti.spatial.insert(col, idx).is_some() {
+            return Err(EngineError::Index(format!(
+                "spatial index on '{table}.{column}' already exists"
+            )));
+        }
+        drop(indexes);
+        self.plan_cache.write().clear();
+        Ok(())
+    }
+
+    /// Builds an ordered (attribute) index on an integer or text column.
+    pub fn create_ordered_index(&self, table: &str, column: &str) -> crate::Result<()> {
+        let t = self.catalog.table(table)?;
+        let col = t.schema().column_index(column)?;
+        match t.schema().columns()[col].ty {
+            DataType::Int | DataType::Text => {}
+            other => {
+                return Err(EngineError::Index(format!(
+                    "ordered index unsupported on {} column '{column}'",
+                    other.sql_name()
+                )))
+            }
+        }
+        let mut idx: OrderedIndex<Key, RowId> = OrderedIndex::new();
+        t.heap.scan(|id, row| {
+            if let Some(k) = row.get(col).and_then(Key::from_value) {
+                idx.insert(k, id);
+            }
+        })?;
+        let mut indexes = self.indexes.write();
+        let ti = indexes.entry(table.to_ascii_lowercase()).or_default();
+        if ti.ordered.insert(col, idx).is_some() {
+            return Err(EngineError::Index(format!(
+                "ordered index on '{table}.{column}' already exists"
+            )));
+        }
+        drop(indexes);
+        self.plan_cache.write().clear();
+        Ok(())
+    }
+
+    /// Runs one SQL statement.
+    pub fn execute(self: &Arc<Self>, sql: &str) -> crate::Result<ResultSet> {
+        match parser::parse(sql)? {
+            Statement::Select(select) => {
+                let cache_on = *self.plan_cache_enabled.read();
+                if cache_on {
+                    if let Some(planned) = self.plan_cache.read().get(sql).cloned() {
+                        self.plan_cache_hits
+                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        return Ok(exec::execute(&planned)?);
+                    }
+                }
+                self.plan_cache_misses.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let opts = PlanOptions {
+                    mode: self.profile.function_mode(),
+                    use_spatial_index: *self.use_spatial_index.read(),
+                };
+                let adapter = DbCatalogAdapter { db: self.clone() };
+                let planned = Arc::new(plan::plan_select(&adapter, &select, &opts)?);
+                if cache_on {
+                    let mut cache = self.plan_cache.write();
+                    // Bound the cache: macro scenarios generate many
+                    // one-off statements; cap like a real statement cache.
+                    if cache.len() >= 512 {
+                        cache.clear();
+                    }
+                    cache.insert(sql.to_string(), planned.clone());
+                }
+                Ok(exec::execute(&planned)?)
+            }
+            Statement::CreateTable { name, columns } => {
+                let cols = columns
+                    .into_iter()
+                    .map(|(n, ty)| {
+                        Ok(ColumnDef::new(&n, parse_type(&ty).ok_or_else(|| {
+                            EngineError::Sql(SqlError::Type(format!("unknown type '{ty}'")))
+                        })?))
+                    })
+                    .collect::<crate::Result<Vec<_>>>()?;
+                self.create_table(&name, cols)?;
+                Ok(affected(0))
+            }
+            Statement::Delete { table, filters } => {
+                let n = self.delete_where(&table, &filters)?;
+                Ok(affected(n))
+            }
+            Statement::DropTable { name } => {
+                let existed = self.catalog.drop_table(&name);
+                if !existed {
+                    return Err(EngineError::Storage(StorageError::NoSuchTable(name)));
+                }
+                self.indexes.write().remove(&name.to_ascii_lowercase());
+                self.plan_cache.write().clear();
+                Ok(affected(0))
+            }
+            Statement::Update { table, assignments, filters } => {
+                let n = self.update_where(&table, &assignments, &filters)?;
+                Ok(affected(n))
+            }
+            Statement::Explain(inner) => match *inner {
+                Statement::Select(select) => {
+                    let opts = PlanOptions {
+                        mode: self.profile.function_mode(),
+                        use_spatial_index: *self.use_spatial_index.read(),
+                    };
+                    let adapter = DbCatalogAdapter { db: self.clone() };
+                    let planned = plan::plan_select(&adapter, &select, &opts)?;
+                    let rows = planned
+                        .root
+                        .describe()
+                        .lines()
+                        .map(|l| vec![Value::Text(l.to_string())])
+                        .collect();
+                    Ok(ResultSet { columns: vec!["plan".into()], rows })
+                }
+                _ => Err(EngineError::Sql(SqlError::Type(
+                    "EXPLAIN supports only SELECT".into(),
+                ))),
+            },
+            Statement::Insert { table, rows } => {
+                let mode = self.profile.function_mode();
+                let mut n = 0;
+                for exprs in rows {
+                    let mut row = Vec::with_capacity(exprs.len());
+                    for e in exprs {
+                        row.push(eval_const_expr(&e, mode)?);
+                    }
+                    self.insert_row(&table, row)?;
+                    n += 1;
+                }
+                Ok(affected(n))
+            }
+        }
+    }
+
+    /// Deletes the rows of `table` matching the conjunction of `filters`,
+    /// maintaining every index. Returns the number of rows removed.
+    fn delete_where(
+        &self,
+        table: &str,
+        filters: &[jackpine_sqlmini::ast::Expr],
+    ) -> crate::Result<usize> {
+        let t = self.catalog.table(table)?;
+        let schema = t.schema().clone();
+        let columns: Vec<(String, String)> = schema
+            .columns()
+            .iter()
+            .map(|c| (table.to_string(), c.name.clone()))
+            .collect();
+        let mode = self.profile.function_mode();
+        let bound: Vec<_> = filters
+            .iter()
+            .map(|f| plan::bind_columns(columns.clone(), f))
+            .collect::<std::result::Result<_, _>>()?;
+
+        // Find victims first (cannot mutate while scanning).
+        let mut victims: Vec<(RowId, Arc<Row>)> = Vec::new();
+        for id in t.heap.row_ids() {
+            let row = t.heap.get(id)?;
+            // A row is deleted when EVERY filter term holds (the WHERE
+            // conjunction); no filters means delete everything.
+            let mut matches = true;
+            for p in &bound {
+                let v = jackpine_sqlmini::exec::eval(p, &row, mode)?;
+                if !jackpine_sqlmini::exec::truthy(&v) {
+                    matches = false;
+                    break;
+                }
+            }
+            if matches {
+                victims.push((id, row));
+            }
+        }
+
+        let mut indexes = self.indexes.write();
+        let ti = indexes.entry(table.to_ascii_lowercase()).or_default();
+        for (id, row) in &victims {
+            for (col, idx) in ti.spatial.iter_mut() {
+                if let Some(Value::Geom(g)) = row.get(*col) {
+                    idx.remove(&g.envelope(), *id);
+                }
+            }
+            for (col, idx) in ti.ordered.iter_mut() {
+                if let Some(k) = row.get(*col).and_then(Key::from_value) {
+                    idx.remove(&k, |v| *v == *id);
+                }
+            }
+            t.heap.delete(*id);
+        }
+        Ok(victims.len())
+    }
+
+    /// Updates the rows of `table` matching `filters`, applying the
+    /// assignments (right-hand sides may reference the old row). Each
+    /// victim is deleted and reinserted, which keeps every index correct.
+    /// Returns the number of rows updated.
+    fn update_where(
+        &self,
+        table: &str,
+        assignments: &[(String, jackpine_sqlmini::ast::Expr)],
+        filters: &[jackpine_sqlmini::ast::Expr],
+    ) -> crate::Result<usize> {
+        let t = self.catalog.table(table)?;
+        let schema = t.schema().clone();
+        let columns: Vec<(String, String)> = schema
+            .columns()
+            .iter()
+            .map(|c| (table.to_string(), c.name.clone()))
+            .collect();
+        let mode = self.profile.function_mode();
+        let bound_filters: Vec<_> = filters
+            .iter()
+            .map(|f| plan::bind_columns(columns.clone(), f))
+            .collect::<std::result::Result<_, _>>()?;
+        let bound_assignments: Vec<(usize, _)> = assignments
+            .iter()
+            .map(|(col, e)| {
+                Ok((
+                    schema.column_index(col)?,
+                    plan::bind_columns(columns.clone(), e)?,
+                ))
+            })
+            .collect::<crate::Result<_>>()?;
+
+        // Compute the replacement rows first.
+        let mut victims: Vec<(RowId, Row)> = Vec::new();
+        for id in t.heap.row_ids() {
+            let row = t.heap.get(id)?;
+            let mut matches = true;
+            for p in &bound_filters {
+                let v = jackpine_sqlmini::exec::eval(p, &row, mode)?;
+                if !jackpine_sqlmini::exec::truthy(&v) {
+                    matches = false;
+                    break;
+                }
+            }
+            if !matches {
+                continue;
+            }
+            let mut new_row: Row = row.as_ref().clone();
+            for (col, e) in &bound_assignments {
+                new_row[*col] = jackpine_sqlmini::exec::eval(e, &row, mode)?;
+            }
+            schema.check_row(&new_row)?;
+            victims.push((id, new_row));
+        }
+
+        let n = victims.len();
+        for (id, new_row) in victims {
+            // Remove from indexes + heap, then reinsert through the
+            // index-maintaining path.
+            let old = t.heap.get(id)?;
+            {
+                let mut indexes = self.indexes.write();
+                if let Some(ti) = indexes.get_mut(&table.to_ascii_lowercase()) {
+                    for (col, idx) in ti.spatial.iter_mut() {
+                        if let Some(Value::Geom(g)) = old.get(*col) {
+                            idx.remove(&g.envelope(), id);
+                        }
+                    }
+                    for (col, idx) in ti.ordered.iter_mut() {
+                        if let Some(k) = old.get(*col).and_then(Key::from_value) {
+                            idx.remove(&k, |v| *v == id);
+                        }
+                    }
+                }
+            }
+            t.heap.delete(id);
+            self.insert_row(table, new_row)?;
+        }
+        Ok(n)
+    }
+
+    /// Evicts all decoded-row caches (cold-run support).
+    pub fn clear_caches(&self) {
+        self.catalog.clear_all_caches();
+    }
+
+    /// The underlying catalog table (for loaders and tests).
+    pub fn table(&self, name: &str) -> crate::Result<Arc<Table>> {
+        Ok(self.catalog.table(name)?)
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        self.catalog.table_names()
+    }
+
+    /// Column indices carrying a (spatial, ordered) index on `table`.
+    pub(crate) fn index_definitions(&self, table: &str) -> (Vec<usize>, Vec<usize>) {
+        let indexes = self.indexes.read();
+        match indexes.get(&table.to_ascii_lowercase()) {
+            Some(ti) => {
+                let mut s: Vec<usize> = ti.spatial.keys().copied().collect();
+                let mut o: Vec<usize> = ti.ordered.keys().copied().collect();
+                s.sort_unstable();
+                o.sort_unstable();
+                (s, o)
+            }
+            None => (Vec::new(), Vec::new()),
+        }
+    }
+}
+
+fn affected(n: usize) -> ResultSet {
+    ResultSet { columns: vec!["rows_affected".into()], rows: vec![vec![Value::Int(n as i64)]] }
+}
+
+fn parse_type(ty: &str) -> Option<DataType> {
+    match ty.to_ascii_uppercase().as_str() {
+        "BIGINT" | "INT" | "INTEGER" => Some(DataType::Int),
+        "DOUBLE" | "FLOAT" | "REAL" => Some(DataType::Float),
+        "TEXT" | "VARCHAR" | "STRING" => Some(DataType::Text),
+        "GEOMETRY" => Some(DataType::Geometry),
+        _ => None,
+    }
+}
+
+/// Evaluates a column-free expression (INSERT values).
+fn eval_const_expr(
+    e: &jackpine_sqlmini::ast::Expr,
+    mode: jackpine_sqlmini::FunctionMode,
+) -> crate::Result<Value> {
+    use jackpine_sqlmini::ast::Expr;
+    Ok(match e {
+        Expr::Literal(v) => v.clone(),
+        Expr::Neg(inner) => match eval_const_expr(inner, mode)? {
+            Value::Int(i) => Value::Int(-i),
+            Value::Float(f) => Value::Float(-f),
+            other => {
+                return Err(EngineError::Sql(SqlError::Type(format!(
+                    "cannot negate {other:?}"
+                ))))
+            }
+        },
+        Expr::Func { name, args } => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval_const_expr(a, mode)?);
+            }
+            jackpine_sqlmini::functions::call(mode, name, &vals)?
+        }
+        other => {
+            return Err(EngineError::Sql(SqlError::Type(format!(
+                "INSERT values must be constants, got {other:?}"
+            ))))
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Provider adapters
+// ---------------------------------------------------------------------------
+
+struct DbCatalogAdapter {
+    db: Arc<SpatialDb>,
+}
+
+impl CatalogProvider for DbCatalogAdapter {
+    fn table(&self, name: &str) -> jackpine_sqlmini::Result<Arc<dyn TableProvider>> {
+        let table = self.db.catalog.table(name).map_err(SqlError::from)?;
+        Ok(Arc::new(DbTableAdapter {
+            db: self.db.clone(),
+            key: name.to_ascii_lowercase(),
+            table,
+        }))
+    }
+}
+
+struct DbTableAdapter {
+    db: Arc<SpatialDb>,
+    key: String,
+    table: Arc<Table>,
+}
+
+impl TableProvider for DbTableAdapter {
+    fn schema(&self) -> Arc<Schema> {
+        self.table.schema().clone()
+    }
+
+    fn row_ids(&self) -> Vec<RowId> {
+        self.table.heap.row_ids()
+    }
+
+    fn fetch(&self, id: RowId) -> jackpine_sqlmini::Result<Arc<Row>> {
+        self.table.heap.get(id).map_err(SqlError::from)
+    }
+
+    fn spatial_candidates(&self, col: usize, env: &Envelope) -> Option<Vec<RowId>> {
+        let indexes = self.db.indexes.read();
+        let ti = indexes.get(&self.key)?;
+        Some(ti.spatial.get(&col)?.window(env))
+    }
+
+    fn ordered_candidates(&self, col: usize, key: &Value) -> Option<Vec<RowId>> {
+        let indexes = self.db.indexes.read();
+        let ti = indexes.get(&self.key)?;
+        let idx = ti.ordered.get(&col)?;
+        let k = Key::from_value(key)?;
+        Some(idx.get(&k).to_vec())
+    }
+
+    fn nearest(&self, col: usize, query: Coord, k: usize) -> Option<Vec<RowId>> {
+        let indexes = self.db.indexes.read();
+        let ti = indexes.get(&self.key)?;
+        Some(ti.spatial.get(&col)?.nearest(query, k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db(profile: EngineProfile) -> Arc<SpatialDb> {
+        let db = Arc::new(SpatialDb::new(profile));
+        db.execute("CREATE TABLE parcels (id BIGINT, name TEXT, geom GEOMETRY)").unwrap();
+        for (id, name, wkt) in [
+            (1, "a", "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))"),
+            (2, "b", "POLYGON ((1 1, 3 1, 3 3, 1 3, 1 1))"),
+            (3, "c", "POLYGON ((10 10, 12 10, 12 12, 10 12, 10 10))"),
+            (4, "d", "POLYGON ((2 0, 4 0, 4 2, 2 2, 2 0))"),
+        ] {
+            db.execute(&format!(
+                "INSERT INTO parcels VALUES ({id}, '{name}', ST_GeomFromText('{wkt}'))"
+            ))
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn end_to_end_select() {
+        let db = db(EngineProfile::ExactRtree);
+        let r = db.execute("SELECT id, name FROM parcels WHERE id > 2 ORDER BY id").unwrap();
+        assert_eq!(r.columns, vec!["id", "name"]);
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0][0], Value::Int(3));
+    }
+
+    #[test]
+    fn spatial_predicate_with_index() {
+        let db = db(EngineProfile::ExactRtree);
+        db.create_spatial_index("parcels", "geom").unwrap();
+        let r = db
+            .execute(
+                "SELECT COUNT(*) FROM parcels WHERE ST_Intersects(geom, \
+                 ST_GeomFromText('POLYGON ((0.5 0.5, 1.5 0.5, 1.5 1.5, 0.5 1.5, 0.5 0.5))'))",
+            )
+            .unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(2))); // parcels 1 and 2
+    }
+
+    #[test]
+    fn index_and_scan_agree() {
+        for profile in [EngineProfile::ExactRtree, EngineProfile::ExactGrid] {
+            let db = db(profile);
+            db.create_spatial_index("parcels", "geom").unwrap();
+            let sql = "SELECT COUNT(*) FROM parcels WHERE ST_Overlaps(geom, \
+                       ST_GeomFromText('POLYGON ((1 1, 3 1, 3 3, 1 3, 1 1))'))";
+            let with = db.execute(sql).unwrap();
+            db.set_use_spatial_index(false);
+            let without = db.execute(sql).unwrap();
+            assert_eq!(with, without, "profile {profile}");
+        }
+    }
+
+    #[test]
+    fn spatial_join_between_tables() {
+        let db = db(EngineProfile::ExactRtree);
+        db.execute("CREATE TABLE probes (pid BIGINT, geom GEOMETRY)").unwrap();
+        db.execute("INSERT INTO probes VALUES (100, ST_GeomFromText('POINT (1.5 1.5)'))")
+            .unwrap();
+        db.create_spatial_index("parcels", "geom").unwrap();
+        let r = db
+            .execute(
+                "SELECT p.id FROM probes q JOIN parcels p ON ST_Contains(p.geom, q.geom) \
+                 ORDER BY p.id",
+            )
+            .unwrap();
+        let ids: Vec<&Value> = r.rows.iter().map(|r| &r[0]).collect();
+        assert_eq!(ids, vec![&Value::Int(1), &Value::Int(2)]);
+    }
+
+    #[test]
+    fn mbr_profile_differs_on_refinement() {
+        // A thin diagonal line whose MBR covers a small parcel it misses.
+        let exact = db(EngineProfile::ExactRtree);
+        let mbr = db(EngineProfile::MbrOnly);
+        for d in [&exact, &mbr] {
+            d.execute("CREATE TABLE lines (id BIGINT, geom GEOMETRY)").unwrap();
+            d.execute(
+                "INSERT INTO lines VALUES (1, ST_GeomFromText('LINESTRING (0 4, 4 8)'))",
+            )
+            .unwrap();
+        }
+        let sql = "SELECT COUNT(*) FROM lines l, parcels p \
+                   WHERE ST_Intersects(l.geom, p.geom) AND p.id = 2";
+        // Line 2 slips past parcel 2's (1,1) corner: its MBR (0,0)-(1.5,1.5)
+        // overlaps the parcel's MBR, but the segment x+y = 1.5 never reaches
+        // the square (which needs x+y ≥ 2).
+        for d in [&exact, &mbr] {
+            d.execute(
+                "INSERT INTO lines VALUES (2, ST_GeomFromText('LINESTRING (0 1.5, 1.5 0)'))",
+            )
+            .unwrap();
+        }
+        let e = exact.execute(sql).unwrap();
+        let m = mbr.execute(sql).unwrap();
+        let ev = e.scalar().unwrap().as_i64().unwrap();
+        let mv = m.scalar().unwrap().as_i64().unwrap();
+        assert_eq!(ev, 0, "exact semantics reject the MBR-only false positive");
+        assert_eq!(mv, 1, "MBR semantics accept the false positive");
+    }
+
+    #[test]
+    fn ordered_index_lookup() {
+        let db = db(EngineProfile::ExactRtree);
+        db.create_ordered_index("parcels", "name").unwrap();
+        let r = db.execute("SELECT id FROM parcels WHERE name = 'b'").unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn knn_via_order_by_distance() {
+        let db = db(EngineProfile::ExactRtree);
+        db.create_spatial_index("parcels", "geom").unwrap();
+        let r = db
+            .execute(
+                "SELECT id FROM parcels \
+                 ORDER BY ST_Distance(geom, ST_GeomFromText('POINT (11 11)')) LIMIT 2",
+            )
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(3)); // the far parcel is nearest to (11,11)
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn unsupported_feature_error_in_mbr_profile() {
+        let db = db(EngineProfile::MbrOnly);
+        let err = db.execute("SELECT ST_Buffer(geom, 1.0) FROM parcels");
+        assert!(matches!(
+            err,
+            Err(EngineError::Sql(SqlError::UnsupportedFeature(_)))
+        ));
+    }
+
+    #[test]
+    fn errors_surface() {
+        let db = db(EngineProfile::ExactRtree);
+        assert!(db.execute("SELECT * FROM nonexistent").is_err());
+        assert!(db.execute("SELECT nocolumn FROM parcels").is_err());
+        assert!(db.create_spatial_index("parcels", "name").is_err());
+        assert!(db.create_ordered_index("parcels", "geom").is_err());
+        db.create_spatial_index("parcels", "geom").unwrap();
+        assert!(db.create_spatial_index("parcels", "geom").is_err()); // duplicate
+    }
+
+    #[test]
+    fn insert_maintains_indexes() {
+        let db = db(EngineProfile::ExactRtree);
+        db.create_spatial_index("parcels", "geom").unwrap();
+        db.execute(
+            "INSERT INTO parcels VALUES (5, 'e', \
+             ST_GeomFromText('POLYGON ((0.2 0.2, 0.8 0.2, 0.8 0.8, 0.2 0.8, 0.2 0.2))'))",
+        )
+        .unwrap();
+        let r = db
+            .execute(
+                "SELECT COUNT(*) FROM parcels WHERE ST_Within(geom, \
+                 ST_GeomFromText('POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))'))",
+            )
+            .unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn cold_cache_still_correct() {
+        let db = db(EngineProfile::ExactRtree);
+        db.clear_caches();
+        let r = db.execute("SELECT COUNT(*) FROM parcels").unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(4)));
+        let stats = db.table("parcels").unwrap().heap.stats();
+        assert!(stats.cache_misses > 0, "cold run must decode rows");
+    }
+}
+
+#[cfg(test)]
+mod dml_tests {
+    use super::*;
+
+    fn db_with_rows(profile: EngineProfile) -> Arc<SpatialDb> {
+        let db = Arc::new(SpatialDb::new(profile));
+        db.execute("CREATE TABLE pts (id BIGINT, name TEXT, geom GEOMETRY)").unwrap();
+        for i in 0..20 {
+            db.execute(&format!(
+                "INSERT INTO pts VALUES ({i}, 'p{i}', ST_GeomFromText('POINT ({i} {i})'))"
+            ))
+            .unwrap();
+        }
+        db.create_spatial_index("pts", "geom").unwrap();
+        db.create_ordered_index("pts", "name").unwrap();
+        db
+    }
+
+    #[test]
+    fn delete_with_scalar_filter() {
+        let db = db_with_rows(EngineProfile::ExactRtree);
+        let r = db.execute("DELETE FROM pts WHERE id >= 15").unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(5)));
+        // The SURVIVORS must be exactly ids 0..14 (guards against
+        // deleting the complement).
+        let r = db.execute("SELECT MIN(id), MAX(id), COUNT(*) FROM pts").unwrap();
+        assert_eq!(r.rows[0], vec![Value::Int(0), Value::Int(14), Value::Int(15)]);
+        // Idempotent second delete.
+        let r = db.execute("DELETE FROM pts WHERE id >= 15").unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(0)));
+    }
+
+    #[test]
+    fn delete_maintains_spatial_index_on_both_index_kinds() {
+        for profile in [EngineProfile::ExactRtree, EngineProfile::ExactGrid] {
+            let db = db_with_rows(profile);
+            db.execute(
+                "DELETE FROM pts WHERE ST_Within(geom, ST_MakeEnvelope(-1, -1, 4.5, 4.5))",
+            )
+            .unwrap();
+            // The spatial-index path must see the deletions: points 0–4
+            // are gone, 5–19 remain.
+            let r = db
+                .execute(
+                    "SELECT MIN(id), COUNT(*) FROM pts WHERE ST_Within(geom, \
+                     ST_MakeEnvelope(-1, -1, 25, 25))",
+                )
+                .unwrap();
+            assert_eq!(
+                r.rows[0],
+                vec![Value::Int(5), Value::Int(15)],
+                "profile {profile}"
+            );
+        }
+    }
+
+    #[test]
+    fn delete_maintains_ordered_index() {
+        let db = db_with_rows(EngineProfile::ExactRtree);
+        db.execute("DELETE FROM pts WHERE name = 'p5'").unwrap();
+        let r = db.execute("SELECT COUNT(*) FROM pts WHERE name = 'p5'").unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(0)));
+        let r = db.execute("SELECT COUNT(*) FROM pts WHERE name = 'p6'").unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn delete_without_where_empties_table() {
+        let db = db_with_rows(EngineProfile::ExactRtree);
+        let r = db.execute("DELETE FROM pts").unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(20)));
+        assert_eq!(
+            db.execute("SELECT COUNT(*) FROM pts").unwrap().scalar(),
+            Some(&Value::Int(0))
+        );
+    }
+
+    #[test]
+    fn explain_shows_access_paths() {
+        let db = db_with_rows(EngineProfile::ExactRtree);
+        let r = db
+            .execute(
+                "EXPLAIN SELECT COUNT(*) FROM pts WHERE ST_Within(geom, \
+                 ST_MakeEnvelope(0, 0, 5, 5))",
+            )
+            .unwrap();
+        let plan: String =
+            r.rows.iter().map(|row| row[0].to_string() + "\n").collect();
+        assert!(plan.contains("SpatialIndexScan"), "plan was:\n{plan}");
+        assert!(plan.contains("Aggregate"), "plan was:\n{plan}");
+
+        db.set_use_spatial_index(false);
+        let r = db
+            .execute(
+                "EXPLAIN SELECT COUNT(*) FROM pts WHERE ST_Within(geom, \
+                 ST_MakeEnvelope(0, 0, 5, 5))",
+            )
+            .unwrap();
+        let plan: String =
+            r.rows.iter().map(|row| row[0].to_string() + "\n").collect();
+        assert!(plan.contains("SeqScan"), "plan was:\n{plan}");
+
+        // Ordered index path.
+        db.set_use_spatial_index(true);
+        let r = db.execute("EXPLAIN SELECT id FROM pts WHERE name = 'p3'").unwrap();
+        let plan: String =
+            r.rows.iter().map(|row| row[0].to_string() + "\n").collect();
+        assert!(plan.contains("OrderedIndexScan"), "plan was:\n{plan}");
+
+        // kNN path.
+        let r = db
+            .execute(
+                "EXPLAIN SELECT id FROM pts \
+                 ORDER BY ST_Distance(geom, ST_GeomFromText('POINT (3 3)')) LIMIT 2",
+            )
+            .unwrap();
+        let plan: String =
+            r.rows.iter().map(|row| row[0].to_string() + "\n").collect();
+        assert!(plan.contains("KnnScan"), "plan was:\n{plan}");
+    }
+
+    #[test]
+    fn explain_non_select_rejected() {
+        let db = db_with_rows(EngineProfile::ExactRtree);
+        assert!(db.execute("EXPLAIN DELETE FROM pts").is_err());
+    }
+}
+
+#[cfg(test)]
+mod group_by_tests {
+    use super::*;
+
+    fn db() -> Arc<SpatialDb> {
+        let db = Arc::new(SpatialDb::new(EngineProfile::ExactRtree));
+        db.execute("CREATE TABLE sales (region TEXT, amount BIGINT)").unwrap();
+        for (r, a) in [
+            ("north", 10),
+            ("south", 5),
+            ("north", 20),
+            ("east", 7),
+            ("south", 15),
+            ("north", 1),
+        ] {
+            db.execute(&format!("INSERT INTO sales VALUES ('{r}', {a})")).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn group_by_with_aggregates() {
+        let db = db();
+        let r = db
+            .execute(
+                "SELECT region, COUNT(*), SUM(amount) FROM sales \
+                 GROUP BY region ORDER BY 1",
+            )
+            .unwrap();
+        assert_eq!(r.columns, vec!["region", "count", "sum"]);
+        assert_eq!(
+            r.rows,
+            vec![
+                vec![Value::Text("east".into()), Value::Int(1), Value::Float(7.0)],
+                vec![Value::Text("north".into()), Value::Int(3), Value::Float(31.0)],
+                vec![Value::Text("south".into()), Value::Int(2), Value::Float(20.0)],
+            ]
+        );
+    }
+
+    #[test]
+    fn group_by_spatial_measure() {
+        let db = db();
+        db.execute("CREATE TABLE lots (county TEXT, geom GEOMETRY)").unwrap();
+        for (c, wkt) in [
+            ("a", "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))"),
+            ("a", "POLYGON ((5 5, 6 5, 6 6, 5 6, 5 5))"),
+            ("b", "POLYGON ((0 0, 3 0, 3 3, 0 3, 0 0))"),
+        ] {
+            db.execute(&format!("INSERT INTO lots VALUES ('{c}', ST_GeomFromText('{wkt}'))"))
+                .unwrap();
+        }
+        let r = db
+            .execute("SELECT county, SUM(ST_Area(geom)) FROM lots GROUP BY county ORDER BY 1")
+            .unwrap();
+        assert_eq!(
+            r.rows,
+            vec![
+                vec![Value::Text("a".into()), Value::Float(5.0)],
+                vec![Value::Text("b".into()), Value::Float(9.0)],
+            ]
+        );
+    }
+
+    #[test]
+    fn non_grouped_column_rejected() {
+        let db = db();
+        let err = db.execute("SELECT region, amount FROM sales GROUP BY region");
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn group_by_without_aggregates_is_distinct() {
+        let db = db();
+        let r = db.execute("SELECT region FROM sales GROUP BY region ORDER BY 1").unwrap();
+        assert_eq!(r.rows.len(), 3);
+        assert_eq!(r.rows[0][0], Value::Text("east".into()));
+    }
+}
+
+#[cfg(test)]
+mod update_tests {
+    use super::*;
+
+    fn db() -> Arc<SpatialDb> {
+        let db = Arc::new(SpatialDb::new(EngineProfile::ExactRtree));
+        db.execute("CREATE TABLE pois (id BIGINT, name TEXT, geom GEOMETRY)").unwrap();
+        for i in 0..10 {
+            db.execute(&format!(
+                "INSERT INTO pois VALUES ({i}, 'poi{i}', ST_GeomFromText('POINT ({i} 0)'))"
+            ))
+            .unwrap();
+        }
+        db.create_spatial_index("pois", "geom").unwrap();
+        db.create_ordered_index("pois", "name").unwrap();
+        db
+    }
+
+    #[test]
+    fn update_scalar_column() {
+        let db = db();
+        let r = db.execute("UPDATE pois SET name = 'renamed' WHERE id < 3").unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(3)));
+        let r = db.execute("SELECT COUNT(*) FROM pois WHERE name = 'renamed'").unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(3)));
+        // Old names gone from the ordered index.
+        let r = db.execute("SELECT COUNT(*) FROM pois WHERE name = 'poi1'").unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(0)));
+    }
+
+    #[test]
+    fn update_geometry_maintains_spatial_index() {
+        let db = db();
+        // Move point 5 far away.
+        db.execute(
+            "UPDATE pois SET geom = ST_GeomFromText('POINT (100 100)') WHERE id = 5",
+        )
+        .unwrap();
+        let near = db
+            .execute(
+                "SELECT COUNT(*) FROM pois WHERE ST_DWithin(geom, \
+                 ST_GeomFromText('POINT (5 0)'), 0.5)",
+            )
+            .unwrap();
+        assert_eq!(near.scalar(), Some(&Value::Int(0)), "old location still indexed");
+        let far = db
+            .execute(
+                "SELECT COUNT(*) FROM pois WHERE ST_DWithin(geom, \
+                 ST_GeomFromText('POINT (100 100)'), 0.5)",
+            )
+            .unwrap();
+        assert_eq!(far.scalar(), Some(&Value::Int(1)), "new location not indexed");
+    }
+
+    #[test]
+    fn update_rhs_references_old_row() {
+        let db = db();
+        db.execute("UPDATE pois SET id = id + 100").unwrap();
+        let r = db.execute("SELECT MIN(id), MAX(id) FROM pois").unwrap();
+        assert_eq!(r.rows[0], vec![Value::Int(100), Value::Int(109)]);
+    }
+
+    #[test]
+    fn update_with_affine_function() {
+        let db = db();
+        db.execute("UPDATE pois SET geom = ST_Translate(geom, 0, 10) WHERE id = 2").unwrap();
+        let r = db
+            .execute("SELECT ST_AsText(geom) FROM pois WHERE id = 2")
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::Text("POINT (2 10)".into()));
+    }
+
+    #[test]
+    fn update_type_mismatch_rejected() {
+        let db = db();
+        assert!(db.execute("UPDATE pois SET id = 'not a number'").is_err());
+        assert!(db.execute("UPDATE pois SET missing = 1").is_err());
+    }
+}
+
+#[cfg(test)]
+mod plan_cache_tests {
+    use super::*;
+
+    #[test]
+    fn cache_hits_on_repeated_statements() {
+        let db = Arc::new(SpatialDb::new(EngineProfile::ExactRtree));
+        db.execute("CREATE TABLE t (id BIGINT)").unwrap();
+        db.execute("INSERT INTO t VALUES (1), (2), (3)").unwrap();
+        let sql = "SELECT COUNT(*) FROM t WHERE id > 1";
+        let r1 = db.execute(sql).unwrap();
+        let (h0, _) = db.plan_cache_stats();
+        let r2 = db.execute(sql).unwrap();
+        let (h1, _) = db.plan_cache_stats();
+        assert_eq!(r1, r2);
+        assert_eq!(h1, h0 + 1, "second execution must hit the cache");
+    }
+
+    #[test]
+    fn ddl_invalidates_cache() {
+        let db = Arc::new(SpatialDb::new(EngineProfile::ExactRtree));
+        db.execute("CREATE TABLE g (id BIGINT, geom GEOMETRY)").unwrap();
+        db.execute("INSERT INTO g VALUES (1, ST_GeomFromText('POINT (1 1)'))").unwrap();
+        let sql = "SELECT COUNT(*) FROM g WHERE ST_Intersects(geom, \
+                   ST_MakeEnvelope(0, 0, 2, 2))";
+        db.execute(sql).unwrap(); // cached with SeqScan (no index yet)
+        db.create_spatial_index("g", "geom").unwrap(); // must invalidate
+        let r = db.execute("EXPLAIN SELECT COUNT(*) FROM g WHERE ST_Intersects(geom, \
+                   ST_MakeEnvelope(0, 0, 2, 2))").unwrap();
+        let plan: String = r.rows.iter().map(|row| row[0].to_string()).collect();
+        assert!(plan.contains("SpatialIndexScan"), "stale plan survived DDL: {plan}");
+        // And the cached execution path agrees with a fresh one.
+        let with_cache = db.execute(sql).unwrap();
+        db.set_plan_cache(false);
+        let without = db.execute(sql).unwrap();
+        assert_eq!(with_cache, without);
+    }
+
+    #[test]
+    fn toggling_index_use_invalidates() {
+        let db = Arc::new(SpatialDb::new(EngineProfile::ExactRtree));
+        db.execute("CREATE TABLE g (id BIGINT, geom GEOMETRY)").unwrap();
+        for i in 0..5 {
+            db.execute(&format!(
+                "INSERT INTO g VALUES ({i}, ST_GeomFromText('POINT ({i} 0)'))"
+            ))
+            .unwrap();
+        }
+        db.create_spatial_index("g", "geom").unwrap();
+        let sql = "SELECT COUNT(*) FROM g WHERE ST_DWithin(geom, \
+                   ST_GeomFromText('POINT (2 0)'), 1.5)";
+        let a = db.execute(sql).unwrap();
+        db.set_use_spatial_index(false);
+        let b = db.execute(sql).unwrap();
+        assert_eq!(a, b, "answers must not depend on the plan-cache state");
+    }
+}
+
+#[cfg(test)]
+mod drop_table_tests {
+    use super::*;
+
+    #[test]
+    fn drop_removes_table_and_invalidates_plans() {
+        let db = Arc::new(SpatialDb::new(EngineProfile::ExactRtree));
+        db.execute("CREATE TABLE t (id BIGINT)").unwrap();
+        db.execute("INSERT INTO t VALUES (1)").unwrap();
+        db.execute("SELECT COUNT(*) FROM t").unwrap(); // cache a plan
+        db.execute("DROP TABLE t").unwrap();
+        assert!(db.execute("SELECT COUNT(*) FROM t").is_err());
+        assert!(db.execute("DROP TABLE t").is_err()); // already gone
+        // The name is reusable with a different schema.
+        db.execute("CREATE TABLE t (name TEXT)").unwrap();
+        db.execute("INSERT INTO t VALUES ('x')").unwrap();
+        let r = db.execute("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(1)));
+    }
+}

@@ -1,0 +1,28 @@
+//! # jackpine-engine
+//!
+//! The spatial database engines under benchmark: a storage + index + SQL
+//! facade ([`SpatialDb`]) instantiated under three profiles
+//! ([`EngineProfile`]) that model the systems compared in the Jackpine
+//! paper, and the portability layer ([`SpatialConnector`]) that plays the
+//! role JDBC played in the original harness.
+//!
+//! | Profile | Models | Index | Predicates |
+//! |---|---|---|---|
+//! | [`EngineProfile::ExactRtree`] | PostgreSQL/PostGIS | R\*-tree (GiST-like) | exact, filter-refine |
+//! | [`EngineProfile::MbrOnly`] | MySQL (paper era) | R-tree | MBR-only, reduced function set |
+//! | [`EngineProfile::ExactGrid`] | commercial "DBMS X" | fixed grid (tessellation) | exact, filter-refine |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod connector;
+mod db;
+mod persist;
+mod profile;
+
+pub use connector::{all_profiles, SpatialConnector};
+pub use db::{EngineError, SpatialDb};
+pub use profile::EngineProfile;
+
+/// Result alias for engine operations.
+pub type Result<T> = std::result::Result<T, EngineError>;

@@ -1,0 +1,305 @@
+//! Database persistence: save a [`SpatialDb`] to a single file and open
+//! it again, rebuilding indexes.
+//!
+//! Format (all little-endian):
+//!
+//! ```text
+//! magic "JKPN" | version u32 | profile u8 | table count u32
+//! per table:
+//!   name (u32 len + utf8) | column count u32
+//!   per column: name (u32 len + utf8) | type tag u8
+//!   spatial-index column count u32 | column ids u32...
+//!   ordered-index column count u32 | column ids u32...
+//!   row count u64 | per row: u32 len + row bytes (the heap codec)
+//! ```
+//!
+//! Indexes are stored as *definitions* and rebuilt on open (bulk loads are
+//! fast and this keeps the file format independent of index internals —
+//! the same trade-off SQLite's `REINDEX`-on-restore makes).
+
+use crate::{EngineError, EngineProfile, Result, SpatialDb};
+use bytes::{Buf, BufMut, BytesMut};
+use jackpine_storage::{ColumnDef, DataType, Value};
+use std::io::{Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+const MAGIC: &[u8; 4] = b"JKPN";
+const VERSION: u32 = 1;
+
+fn io_err(e: std::io::Error) -> EngineError {
+    EngineError::Index(format!("persistence I/O: {e}"))
+}
+
+fn corrupt(msg: &str) -> EngineError {
+    EngineError::Index(format!("persistence: {msg}"))
+}
+
+fn type_tag(ty: DataType) -> u8 {
+    match ty {
+        DataType::Int => 0,
+        DataType::Float => 1,
+        DataType::Text => 2,
+        DataType::Geometry => 3,
+    }
+}
+
+fn tag_type(tag: u8) -> Option<DataType> {
+    match tag {
+        0 => Some(DataType::Int),
+        1 => Some(DataType::Float),
+        2 => Some(DataType::Text),
+        3 => Some(DataType::Geometry),
+        _ => None,
+    }
+}
+
+fn profile_tag(p: EngineProfile) -> u8 {
+    match p {
+        EngineProfile::ExactRtree => 0,
+        EngineProfile::MbrOnly => 1,
+        EngineProfile::ExactGrid => 2,
+    }
+}
+
+fn tag_profile(tag: u8) -> Option<EngineProfile> {
+    match tag {
+        0 => Some(EngineProfile::ExactRtree),
+        1 => Some(EngineProfile::MbrOnly),
+        2 => Some(EngineProfile::ExactGrid),
+        _ => None,
+    }
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(data: &mut &[u8]) -> Result<String> {
+    if data.remaining() < 4 {
+        return Err(corrupt("truncated string length"));
+    }
+    let len = data.get_u32_le() as usize;
+    if data.remaining() < len {
+        return Err(corrupt("truncated string payload"));
+    }
+    let s = std::str::from_utf8(&data[..len])
+        .map_err(|_| corrupt("invalid UTF-8"))?
+        .to_string();
+    data.advance(len);
+    Ok(s)
+}
+
+impl SpatialDb {
+    /// Serializes every table (schema, index definitions, rows) to `path`.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        let mut buf = BytesMut::with_capacity(1 << 16);
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION);
+        buf.put_u8(profile_tag(self.profile()));
+
+        let names = self.table_names();
+        buf.put_u32_le(names.len() as u32);
+        for name in &names {
+            let table = self.table(name)?;
+            let schema = table.schema().clone();
+            put_str(&mut buf, &table.name);
+            buf.put_u32_le(schema.arity() as u32);
+            for col in schema.columns() {
+                put_str(&mut buf, &col.name);
+                buf.put_u8(type_tag(col.ty));
+            }
+            let (spatial_cols, ordered_cols) = self.index_definitions(name);
+            buf.put_u32_le(spatial_cols.len() as u32);
+            for c in spatial_cols {
+                buf.put_u32_le(c as u32);
+            }
+            buf.put_u32_le(ordered_cols.len() as u32);
+            for c in ordered_cols {
+                buf.put_u32_le(c as u32);
+            }
+
+            buf.put_u64_le(table.heap.len() as u64);
+            table.heap.scan(|_, row| {
+                let bytes = Value::encode_row(row);
+                buf.put_u32_le(bytes.len() as u32);
+                buf.put_slice(&bytes);
+            })?;
+        }
+
+        let mut f = std::fs::File::create(path).map_err(io_err)?;
+        f.write_all(&buf).map_err(io_err)?;
+        Ok(())
+    }
+
+    /// Opens a database saved with [`SpatialDb::save`], rebuilding every
+    /// index. The stored engine profile is restored.
+    pub fn open(path: impl AsRef<Path>) -> Result<Arc<SpatialDb>> {
+        let mut raw = Vec::new();
+        std::fs::File::open(path).map_err(io_err)?.read_to_end(&mut raw).map_err(io_err)?;
+        let mut data: &[u8] = &raw;
+
+        if data.remaining() < 9 || &data[..4] != MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        data.advance(4);
+        let version = data.get_u32_le();
+        if version != VERSION {
+            return Err(corrupt(&format!("unsupported version {version}")));
+        }
+        let profile =
+            tag_profile(data.get_u8()).ok_or_else(|| corrupt("unknown profile tag"))?;
+        let db = Arc::new(SpatialDb::new(profile));
+
+        if data.remaining() < 4 {
+            return Err(corrupt("truncated table count"));
+        }
+        let ntables = data.get_u32_le();
+        for _ in 0..ntables {
+            let name = get_str(&mut data)?;
+            if data.remaining() < 4 {
+                return Err(corrupt("truncated column count"));
+            }
+            let ncols = data.get_u32_le();
+            let mut cols = Vec::with_capacity(ncols as usize);
+            for _ in 0..ncols {
+                let cname = get_str(&mut data)?;
+                if data.remaining() < 1 {
+                    return Err(corrupt("truncated column type"));
+                }
+                let ty = tag_type(data.get_u8()).ok_or_else(|| corrupt("unknown type tag"))?;
+                cols.push(ColumnDef::new(&cname, ty));
+            }
+            let schema_cols = cols.clone();
+            db.create_table(&name, cols)?;
+
+            let read_cols = |data: &mut &[u8]| -> Result<Vec<usize>> {
+                if data.remaining() < 4 {
+                    return Err(corrupt("truncated index count"));
+                }
+                let n = data.get_u32_le();
+                let mut out = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    if data.remaining() < 4 {
+                        return Err(corrupt("truncated index column"));
+                    }
+                    out.push(data.get_u32_le() as usize);
+                }
+                Ok(out)
+            };
+            let spatial_cols = read_cols(&mut data)?;
+            let ordered_cols = read_cols(&mut data)?;
+
+            if data.remaining() < 8 {
+                return Err(corrupt("truncated row count"));
+            }
+            let nrows = data.get_u64_le();
+            for _ in 0..nrows {
+                if data.remaining() < 4 {
+                    return Err(corrupt("truncated row length"));
+                }
+                let len = data.get_u32_le() as usize;
+                if data.remaining() < len {
+                    return Err(corrupt("truncated row payload"));
+                }
+                let row = Value::decode_row(&data[..len])?;
+                data.advance(len);
+                db.insert_row(&name, row)?;
+            }
+
+            // Rebuild indexes from their definitions (bulk path).
+            for c in spatial_cols {
+                let col_name = schema_cols
+                    .get(c)
+                    .ok_or_else(|| corrupt("spatial index column out of range"))?
+                    .name
+                    .clone();
+                db.create_spatial_index(&name, &col_name)?;
+            }
+            for c in ordered_cols {
+                let col_name = schema_cols
+                    .get(c)
+                    .ok_or_else(|| corrupt("ordered index column out of range"))?
+                    .name
+                    .clone();
+                db.create_ordered_index(&name, &col_name)?;
+            }
+        }
+        Ok(db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("jackpine-persist-{name}-{}.db", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip_preserves_data_and_indexes() {
+        let db = Arc::new(SpatialDb::new(EngineProfile::ExactGrid));
+        db.execute("CREATE TABLE pois (id BIGINT, name TEXT, score DOUBLE, geom GEOMETRY)")
+            .unwrap();
+        for i in 0..50 {
+            db.execute(&format!(
+                "INSERT INTO pois VALUES ({i}, 'p{i}', {i}.5, \
+                 ST_GeomFromText('POINT ({i} {i})'))"
+            ))
+            .unwrap();
+        }
+        db.execute("INSERT INTO pois VALUES (999, NULL, NULL, NULL)").unwrap();
+        db.create_spatial_index("pois", "geom").unwrap();
+        db.create_ordered_index("pois", "name").unwrap();
+
+        let path = temp_path("roundtrip");
+        db.save(&path).unwrap();
+        let restored = SpatialDb::open(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(restored.profile(), EngineProfile::ExactGrid);
+        let want = db.execute("SELECT COUNT(*) FROM pois").unwrap();
+        let got = restored.execute("SELECT COUNT(*) FROM pois").unwrap();
+        assert_eq!(want, got);
+
+        // Indexes were rebuilt: spatial and ordered paths both answer.
+        let r = restored
+            .execute(
+                "SELECT COUNT(*) FROM pois WHERE ST_DWithin(geom, \
+                 ST_GeomFromText('POINT (10 10)'), 1.5)",
+            )
+            .unwrap();
+        assert_eq!(r.scalar().unwrap().to_string(), "3"); // points 9,10,11
+        let r = restored.execute("SELECT id FROM pois WHERE name = 'p7'").unwrap();
+        assert_eq!(r.rows[0][0].to_string(), "7");
+        // NULL row survived.
+        let r = restored.execute("SELECT COUNT(*) FROM pois WHERE name IS NULL").unwrap();
+        assert_eq!(r.scalar().unwrap().to_string(), "1");
+    }
+
+    #[test]
+    fn rejects_garbage_files() {
+        let path = temp_path("garbage");
+        std::fs::write(&path, b"not a database").unwrap();
+        assert!(SpatialDb::open(&path).is_err());
+        std::fs::write(&path, b"JKPN\x63\x00\x00\x00").unwrap(); // wrong version
+        assert!(SpatialDb::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+        assert!(SpatialDb::open("/nonexistent/dir/x.db").is_err());
+    }
+
+    #[test]
+    fn empty_database_roundtrips() {
+        let db = Arc::new(SpatialDb::new(EngineProfile::ExactRtree));
+        let path = temp_path("empty");
+        db.save(&path).unwrap();
+        let restored = SpatialDb::open(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(restored.profile(), EngineProfile::ExactRtree);
+        assert!(restored.table_names().is_empty());
+    }
+}

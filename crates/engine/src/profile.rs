@@ -1,0 +1,76 @@
+//! Engine profiles: the three systems the benchmark compares.
+
+use jackpine_sqlmini::FunctionMode;
+
+/// Which spatial-database behaviour a [`crate::SpatialDb`] instance
+/// exhibits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EngineProfile {
+    /// PostGIS-like: R\*-tree index, exact filter-refine predicates, full
+    /// function set.
+    ExactRtree,
+    /// MySQL-like (paper era): R-tree index but predicates evaluated on
+    /// MBRs only, several analysis functions unavailable.
+    MbrOnly,
+    /// Commercial-like ("DBMS X"): fixed-grid tessellation index, exact
+    /// predicates, full function set.
+    ExactGrid,
+}
+
+impl EngineProfile {
+    /// All profiles, in the order results are reported.
+    pub const ALL: [EngineProfile; 3] =
+        [EngineProfile::ExactRtree, EngineProfile::MbrOnly, EngineProfile::ExactGrid];
+
+    /// Human-readable name used in benchmark reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineProfile::ExactRtree => "exact-rtree",
+            EngineProfile::MbrOnly => "mbr-only",
+            EngineProfile::ExactGrid => "exact-grid",
+        }
+    }
+
+    /// The system this profile stands in for.
+    pub fn models(self) -> &'static str {
+        match self {
+            EngineProfile::ExactRtree => "PostgreSQL/PostGIS (GiST R-tree)",
+            EngineProfile::MbrOnly => "MySQL 5.x spatial (MBR semantics)",
+            EngineProfile::ExactGrid => "commercial DBMS X (grid tessellation)",
+        }
+    }
+
+    /// Function-evaluation semantics.
+    pub fn function_mode(self) -> FunctionMode {
+        match self {
+            EngineProfile::MbrOnly => FunctionMode::MbrOnly,
+            _ => FunctionMode::Exact,
+        }
+    }
+
+    /// Whether the profile indexes with a grid rather than an R-tree.
+    pub fn uses_grid_index(self) -> bool {
+        matches!(self, EngineProfile::ExactGrid)
+    }
+}
+
+impl std::fmt::Display for EngineProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_metadata() {
+        assert_eq!(EngineProfile::ALL.len(), 3);
+        assert_eq!(EngineProfile::ExactRtree.function_mode(), FunctionMode::Exact);
+        assert_eq!(EngineProfile::MbrOnly.function_mode(), FunctionMode::MbrOnly);
+        assert!(EngineProfile::ExactGrid.uses_grid_index());
+        assert!(!EngineProfile::ExactRtree.uses_grid_index());
+        assert_eq!(EngineProfile::MbrOnly.to_string(), "mbr-only");
+    }
+}

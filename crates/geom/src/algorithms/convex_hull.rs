@@ -1,0 +1,195 @@
+//! Convex hull via Andrew's monotone chain, with robust turn decisions.
+
+use super::orientation::{orient2d, Orientation};
+use crate::{Coord, Geometry, GeometryCollection, LineString, MultiPoint, Point, Polygon, Result};
+
+/// Computes the convex hull of any geometry.
+///
+/// Result type follows the usual spatial-SQL convention:
+/// * empty input → empty `GEOMETRYCOLLECTION`,
+/// * a single distinct coordinate → `POINT`,
+/// * all coordinates collinear → `LINESTRING` (the extreme pair),
+/// * otherwise → convex `POLYGON` with counter-clockwise shell.
+pub fn convex_hull(g: &Geometry) -> Result<Geometry> {
+    let mut pts = Vec::with_capacity(g.num_coords());
+    collect_coords(g, &mut pts);
+    hull_of_coords(&mut pts)
+}
+
+/// Hull of a raw coordinate set (consumed: sorted and deduplicated in place).
+pub(crate) fn hull_of_coords(pts: &mut Vec<Coord>) -> Result<Geometry> {
+    pts.sort_by(|a, b| a.x.total_cmp(&b.x).then(a.y.total_cmp(&b.y)));
+    pts.dedup();
+
+    match pts.len() {
+        0 => return Ok(Geometry::GeometryCollection(GeometryCollection(Vec::new()))),
+        1 => return Ok(Geometry::Point(Point::from_coord(pts[0])?)),
+        2 => {
+            return Ok(Geometry::LineString(LineString::new(vec![pts[0], pts[1]])?));
+        }
+        _ => {}
+    }
+
+    // Monotone chain: lower hull then upper hull.
+    let mut hull: Vec<Coord> = Vec::with_capacity(pts.len() + 1);
+    for &p in pts.iter() {
+        while hull.len() >= 2
+            && orient2d(hull[hull.len() - 2], hull[hull.len() - 1], p)
+                != Orientation::CounterClockwise
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    let lower_len = hull.len() + 1;
+    for &p in pts.iter().rev().skip(1) {
+        while hull.len() >= lower_len
+            && orient2d(hull[hull.len() - 2], hull[hull.len() - 1], p)
+                != Orientation::CounterClockwise
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    // The last point repeats the first: that is exactly the ring closure.
+    if hull.len() < 4 {
+        // All points collinear: extremes are the first and last of the
+        // sorted order.
+        return Ok(Geometry::LineString(LineString::new(vec![
+            pts[0],
+            pts[pts.len() - 1],
+        ])?));
+    }
+    let ring = crate::polygon::Ring::new(hull)?;
+    Ok(Geometry::Polygon(Polygon::new(ring, Vec::new())))
+}
+
+/// Appends every coordinate of `g` to `out`.
+pub fn collect_coords(g: &Geometry, out: &mut Vec<Coord>) {
+    match g {
+        Geometry::Point(p) => out.extend(p.coord()),
+        Geometry::LineString(l) => out.extend_from_slice(l.coords()),
+        Geometry::Polygon(p) => {
+            for r in p.rings() {
+                out.extend_from_slice(r.coords());
+            }
+        }
+        Geometry::MultiPoint(MultiPoint(ps)) => {
+            for p in ps {
+                out.extend(p.coord());
+            }
+        }
+        Geometry::MultiLineString(m) => {
+            for l in &m.0 {
+                out.extend_from_slice(l.coords());
+            }
+        }
+        Geometry::MultiPolygon(m) => {
+            for p in &m.0 {
+                for r in p.rings() {
+                    out.extend_from_slice(r.coords());
+                }
+            }
+        }
+        Geometry::GeometryCollection(c) => {
+            for g in &c.0 {
+                collect_coords(g, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::measures::area;
+
+    fn mp(pts: &[(f64, f64)]) -> Geometry {
+        Geometry::MultiPoint(MultiPoint(
+            pts.iter().map(|&(x, y)| Point::new(x, y).unwrap()).collect(),
+        ))
+    }
+
+    #[test]
+    fn hull_of_square_with_interior_points() {
+        let g = mp(&[
+            (0.0, 0.0),
+            (4.0, 0.0),
+            (4.0, 4.0),
+            (0.0, 4.0),
+            (2.0, 2.0), // interior
+            (1.0, 2.0), // interior
+            (2.0, 0.0), // on edge
+        ]);
+        let h = convex_hull(&g).unwrap();
+        match &h {
+            Geometry::Polygon(p) => {
+                assert_eq!(p.area(), 16.0);
+                // Edge-collinear point must be dropped.
+                assert_eq!(p.exterior().num_coords(), 5);
+                assert!(p.exterior().is_ccw());
+            }
+            other => panic!("expected polygon, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hull_degenerate_cases() {
+        assert!(matches!(
+            convex_hull(&mp(&[])).unwrap(),
+            Geometry::GeometryCollection(_)
+        ));
+        assert!(matches!(convex_hull(&mp(&[(1.0, 1.0)])).unwrap(), Geometry::Point(_)));
+        assert!(matches!(
+            convex_hull(&mp(&[(1.0, 1.0), (1.0, 1.0)])).unwrap(),
+            Geometry::Point(_)
+        ));
+        match convex_hull(&mp(&[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0), (3.0, 3.0)])).unwrap() {
+            Geometry::LineString(l) => {
+                assert_eq!(l.coords(), &[Coord::new(0.0, 0.0), Coord::new(3.0, 3.0)]);
+            }
+            other => panic!("expected linestring, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hull_is_idempotent() {
+        let g = mp(&[(0.0, 0.0), (5.0, 1.0), (3.0, 4.0), (1.0, 3.0), (2.0, 1.0)]);
+        let h1 = convex_hull(&g).unwrap();
+        let h2 = convex_hull(&h1).unwrap();
+        assert_eq!(area(&h1), area(&h2));
+        match (&h1, &h2) {
+            (Geometry::Polygon(a), Geometry::Polygon(b)) => {
+                assert_eq!(a.exterior().num_coords(), b.exterior().num_coords());
+            }
+            _ => panic!("expected polygons"),
+        }
+    }
+
+    #[test]
+    fn hull_of_linestring() {
+        let l: Geometry =
+            LineString::from_xy(&[(0.0, 0.0), (2.0, 3.0), (4.0, 0.0), (2.0, 1.0)]).unwrap().into();
+        match convex_hull(&l).unwrap() {
+            Geometry::Polygon(p) => assert_eq!(p.area(), 6.0),
+            other => panic!("expected polygon, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hull_contains_all_inputs() {
+        use crate::algorithms::locate::{locate_in_polygon, Location};
+        let pts =
+            [(0.3, 0.9), (2.7, 0.1), (3.9, 2.2), (1.4, 3.8), (0.1, 2.0), (2.0, 2.0), (1.0, 1.0)];
+        let g = mp(&pts);
+        match convex_hull(&g).unwrap() {
+            Geometry::Polygon(p) => {
+                for &(x, y) in &pts {
+                    let loc = locate_in_polygon(Coord::new(x, y), &p);
+                    assert_ne!(loc, Location::Exterior, "({x},{y}) escaped the hull");
+                }
+            }
+            other => panic!("expected polygon, got {other:?}"),
+        }
+    }
+}

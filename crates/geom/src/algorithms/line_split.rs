@@ -1,0 +1,239 @@
+//! Splitting a polyline by a polygon's boundary and classifying the pieces.
+//!
+//! This is the workhorse behind line/polygon DE-9IM computation and the
+//! flood-risk / toxic-spill macro scenarios ("which road portions lie in
+//! the hazard zone?").
+
+use super::locate::{locate_in_polygon, Location};
+use super::segment::{segment_intersection, SegmentIntersection};
+use crate::{Coord, LineString, Polygon};
+
+/// Classification of a line portion relative to a polygon.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PortionClass {
+    /// The portion runs through the polygon's interior.
+    Inside,
+    /// The portion runs along the polygon's boundary (collinear overlap).
+    OnBoundary,
+    /// The portion lies outside the polygon.
+    Outside,
+}
+
+/// A maximal run of the input line with a uniform classification.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinePortion {
+    /// Which side of the polygon the portion is on.
+    pub class: PortionClass,
+    /// The portion's coordinates (at least two, consecutive distinct).
+    pub coords: Vec<Coord>,
+}
+
+impl LinePortion {
+    /// Length of the portion.
+    pub fn length(&self) -> f64 {
+        self.coords.windows(2).map(|w| w[0].distance(w[1])).sum()
+    }
+}
+
+/// Splits `line` at every crossing with `poly`'s boundary and returns the
+/// classified maximal portions, in order along the line.
+///
+/// Empty lines produce no portions. Consecutive portions of equal class are
+/// merged, so the output alternates classes except around isolated tangent
+/// touches (where an `Outside` portion can follow another `Outside` portion
+/// is impossible — they merge — but a zero-length touch does not create a
+/// portion at all; use the portion endpoints to detect such touch points).
+pub fn split_line_by_polygon(line: &LineString, poly: &Polygon) -> Vec<LinePortion> {
+    let mut portions: Vec<LinePortion> = Vec::new();
+    let mut cut_params: Vec<f64> = Vec::new();
+    let mut overlaps: Vec<(f64, f64)> = Vec::new();
+
+    for (a, b) in line.segments() {
+        // Gather parametric cut positions on this segment, remembering the
+        // collinear-overlap intervals separately: a piece inside such an
+        // interval runs along the polygon boundary, and must be classified
+        // from the interval rather than by locating its midpoint (the
+        // rounded midpoint of a diagonal segment is generally not exactly
+        // on the chord, so the exact point-location would miss Boundary).
+        cut_params.clear();
+        overlaps.clear();
+        cut_params.push(0.0);
+        cut_params.push(1.0);
+        let seg_env = crate::Envelope::from_coords([a, b].iter());
+        if seg_env.intersects(&poly.envelope()) {
+            for (c, d) in poly.rings().flat_map(|r| r.segments()) {
+                match segment_intersection(a, b, c, d) {
+                    SegmentIntersection::None => {}
+                    SegmentIntersection::Point(p) => cut_params.push(param_on_segment(a, b, p)),
+                    SegmentIntersection::Overlap(p, q) => {
+                        let (tp, tq) = (param_on_segment(a, b, p), param_on_segment(a, b, q));
+                        cut_params.push(tp);
+                        cut_params.push(tq);
+                        overlaps.push((tp.min(tq), tp.max(tq)));
+                    }
+                }
+            }
+        }
+        cut_params.sort_by(f64::total_cmp);
+        cut_params.dedup_by(|x, y| (*x - *y).abs() < 1e-12);
+
+        // Classify each sub-piece.
+        for w in cut_params.windows(2) {
+            let (t0, t1) = (w[0], w[1]);
+            if t1 - t0 < 1e-12 {
+                continue;
+            }
+            let p0 = a.lerp(b, t0);
+            let p1 = a.lerp(b, t1);
+            if p0 == p1 {
+                continue;
+            }
+            let tol = 1e-9;
+            let on_boundary = overlaps.iter().any(|&(lo, hi)| lo <= t0 + tol && t1 <= hi + tol);
+            let class = if on_boundary {
+                PortionClass::OnBoundary
+            } else {
+                let mid = a.lerp(b, (t0 + t1) * 0.5);
+                match locate_in_polygon(mid, poly) {
+                    Location::Interior => PortionClass::Inside,
+                    Location::Boundary => PortionClass::OnBoundary,
+                    Location::Exterior => PortionClass::Outside,
+                }
+            };
+            push_piece(&mut portions, class, p0, p1);
+        }
+    }
+    portions
+}
+
+/// Parametric position of `p` (known to lie on segment `a b`) in `[0, 1]`.
+fn param_on_segment(a: Coord, b: Coord, p: Coord) -> f64 {
+    let dx = (b.x - a.x).abs();
+    let dy = (b.y - a.y).abs();
+    let t = if dx >= dy {
+        if b.x == a.x {
+            0.0
+        } else {
+            (p.x - a.x) / (b.x - a.x)
+        }
+    } else {
+        (p.y - a.y) / (b.y - a.y)
+    };
+    t.clamp(0.0, 1.0)
+}
+
+/// Appends a piece, merging with the previous portion when the class
+/// matches and the coordinates chain.
+fn push_piece(portions: &mut Vec<LinePortion>, class: PortionClass, p0: Coord, p1: Coord) {
+    if let Some(last) = portions.last_mut() {
+        if last.class == class && last.coords.last() == Some(&p0) {
+            last.coords.push(p1);
+            return;
+        }
+    }
+    portions.push(LinePortion { class, coords: vec![p0, p1] });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sq(x0: f64, y0: f64, s: f64) -> Polygon {
+        Polygon::from_xy(&[(x0, y0), (x0 + s, y0), (x0 + s, y0 + s), (x0, y0 + s)]).unwrap()
+    }
+
+    fn line(pts: &[(f64, f64)]) -> LineString {
+        LineString::from_xy(pts).unwrap()
+    }
+
+    #[test]
+    fn transversal_crossing() {
+        let p = sq(0.0, 0.0, 4.0);
+        let l = line(&[(-2.0, 2.0), (6.0, 2.0)]);
+        let portions = split_line_by_polygon(&l, &p);
+        let classes: Vec<_> = portions.iter().map(|p| p.class).collect();
+        assert_eq!(
+            classes,
+            vec![PortionClass::Outside, PortionClass::Inside, PortionClass::Outside]
+        );
+        assert!((portions[1].length() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fully_inside() {
+        let p = sq(0.0, 0.0, 4.0);
+        let l = line(&[(1.0, 1.0), (3.0, 3.0)]);
+        let portions = split_line_by_polygon(&l, &p);
+        assert_eq!(portions.len(), 1);
+        assert_eq!(portions[0].class, PortionClass::Inside);
+    }
+
+    #[test]
+    fn fully_outside() {
+        let p = sq(0.0, 0.0, 4.0);
+        let l = line(&[(5.0, 5.0), (9.0, 5.0)]);
+        let portions = split_line_by_polygon(&l, &p);
+        assert_eq!(portions.len(), 1);
+        assert_eq!(portions[0].class, PortionClass::Outside);
+    }
+
+    #[test]
+    fn collinear_run_along_edge() {
+        let p = sq(0.0, 0.0, 4.0);
+        // Runs along the bottom edge from outside to past the middle.
+        let l = line(&[(-1.0, 0.0), (2.0, 0.0)]);
+        let portions = split_line_by_polygon(&l, &p);
+        let classes: Vec<_> = portions.iter().map(|p| p.class).collect();
+        assert_eq!(classes, vec![PortionClass::Outside, PortionClass::OnBoundary]);
+        assert!((portions[1].length() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tangent_touch_creates_no_inside_portion() {
+        let p = sq(0.0, 0.0, 4.0);
+        // Touches the corner (0,0) only.
+        let l = line(&[(-1.0, -1.0), (1.0, 1.0)]);
+        // passes through the corner into the interior actually — use a true
+        // tangent instead: grazes the bottom-left corner travelling along
+        // the diagonal x + y = 0.
+        let t = line(&[(-2.0, 2.0), (2.0, -2.0)]);
+        let portions = split_line_by_polygon(&t, &p);
+        assert!(portions.iter().all(|pp| pp.class == PortionClass::Outside));
+        // And the diagonal through the corner does enter.
+        let portions = split_line_by_polygon(&l, &p);
+        assert!(portions.iter().any(|pp| pp.class == PortionClass::Inside));
+    }
+
+    #[test]
+    fn multi_segment_zigzag() {
+        let p = sq(0.0, 0.0, 4.0);
+        let l = line(&[(-1.0, 1.0), (2.0, 1.0), (2.0, 5.0), (3.0, 5.0), (3.0, 2.0)]);
+        let portions = split_line_by_polygon(&l, &p);
+        let classes: Vec<_> = portions.iter().map(|p| p.class).collect();
+        assert_eq!(
+            classes,
+            vec![
+                PortionClass::Outside,
+                PortionClass::Inside,
+                PortionClass::Outside,
+                PortionClass::Inside,
+            ]
+        );
+    }
+
+    #[test]
+    fn hole_interaction() {
+        use crate::polygon::Ring;
+        let outer = Ring::from_xy(&[(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]).unwrap();
+        let hole = Ring::from_xy(&[(4.0, 4.0), (6.0, 4.0), (6.0, 6.0), (4.0, 6.0)]).unwrap();
+        let p = Polygon::new(outer, vec![hole]);
+        let l = line(&[(1.0, 5.0), (9.0, 5.0)]);
+        let portions = split_line_by_polygon(&l, &p);
+        let classes: Vec<_> = portions.iter().map(|p| p.class).collect();
+        assert_eq!(
+            classes,
+            vec![PortionClass::Inside, PortionClass::Outside, PortionClass::Inside]
+        );
+        assert!((portions[1].length() - 2.0).abs() < 1e-9);
+    }
+}

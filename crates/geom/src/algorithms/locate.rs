@@ -1,0 +1,147 @@
+//! Point-in-polygon location with exact boundary detection.
+
+use super::orientation::{orient2d, Orientation};
+use super::segment::point_on_segment;
+use crate::{Coord, Polygon};
+
+/// Where a point lies relative to an areal geometry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Location {
+    /// Strictly inside.
+    Interior,
+    /// Exactly on an edge or vertex.
+    Boundary,
+    /// Strictly outside.
+    Exterior,
+}
+
+/// Locates `p` relative to the closed region bounded by `ring` (a closed
+/// coordinate sequence, first == last). Winding direction is irrelevant.
+///
+/// Uses a ray-crossing count whose crossing decisions are made with the
+/// robust orientation predicate, so the result is exact for all inputs.
+pub fn locate_in_ring(p: Coord, ring: &[Coord]) -> Location {
+    debug_assert!(ring.len() >= 4 && ring.first() == ring.last());
+    let mut crossings = 0u32;
+    for w in ring.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        if point_on_segment(p, a, b) {
+            return Location::Boundary;
+        }
+        // Half-open vertical span test avoids double-counting shared
+        // vertices: upward edges own their start, downward their end.
+        let upward = a.y <= p.y && b.y > p.y;
+        let downward = b.y <= p.y && a.y > p.y;
+        if upward {
+            if orient2d(a, b, p) == Orientation::CounterClockwise {
+                crossings += 1;
+            }
+        } else if downward && orient2d(a, b, p) == Orientation::Clockwise {
+            crossings += 1;
+        }
+    }
+    if crossings % 2 == 1 {
+        Location::Interior
+    } else {
+        Location::Exterior
+    }
+}
+
+/// Locates `p` relative to a polygon, treating holes correctly: a point
+/// inside a hole is exterior, a point on a hole boundary is boundary.
+pub fn locate_in_polygon(p: Coord, poly: &Polygon) -> Location {
+    // Cheap envelope reject first.
+    if !poly.envelope().contains_coord(p) {
+        return Location::Exterior;
+    }
+    match locate_in_ring(p, poly.exterior().coords()) {
+        Location::Exterior => Location::Exterior,
+        Location::Boundary => Location::Boundary,
+        Location::Interior => {
+            for hole in poly.holes() {
+                match locate_in_ring(p, hole.coords()) {
+                    Location::Interior => return Location::Exterior,
+                    Location::Boundary => return Location::Boundary,
+                    Location::Exterior => {}
+                }
+            }
+            Location::Interior
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::polygon::Ring;
+
+    fn c(x: f64, y: f64) -> Coord {
+        Coord::new(x, y)
+    }
+
+    fn square() -> Vec<Coord> {
+        vec![c(0.0, 0.0), c(4.0, 0.0), c(4.0, 4.0), c(0.0, 4.0), c(0.0, 0.0)]
+    }
+
+    #[test]
+    fn ring_location_basics() {
+        let r = square();
+        assert_eq!(locate_in_ring(c(2.0, 2.0), &r), Location::Interior);
+        assert_eq!(locate_in_ring(c(5.0, 2.0), &r), Location::Exterior);
+        assert_eq!(locate_in_ring(c(4.0, 2.0), &r), Location::Boundary);
+        assert_eq!(locate_in_ring(c(0.0, 0.0), &r), Location::Boundary);
+        assert_eq!(locate_in_ring(c(2.0, 4.0), &r), Location::Boundary);
+    }
+
+    #[test]
+    fn ray_through_vertex_not_double_counted() {
+        // Point whose rightward ray passes exactly through the vertex (4,2)
+        // of a diamond. Correct answer: interior.
+        let diamond = vec![c(2.0, 0.0), c(4.0, 2.0), c(2.0, 4.0), c(0.0, 2.0), c(2.0, 0.0)];
+        assert_eq!(locate_in_ring(c(2.0, 2.0), &diamond), Location::Interior);
+        // Exterior point whose ray passes through two vertices ((0,2) and
+        // (4,2)): still exterior.
+        assert_eq!(locate_in_ring(c(-1.0, 2.0), &diamond), Location::Exterior);
+    }
+
+    #[test]
+    fn winding_direction_is_irrelevant() {
+        let mut r = square();
+        r.reverse();
+        assert_eq!(locate_in_ring(c(2.0, 2.0), &r), Location::Interior);
+        assert_eq!(locate_in_ring(c(5.0, 5.0), &r), Location::Exterior);
+    }
+
+    #[test]
+    fn polygon_with_hole() {
+        let outer = Ring::from_xy(&[(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]).unwrap();
+        let hole = Ring::from_xy(&[(4.0, 4.0), (6.0, 4.0), (6.0, 6.0), (4.0, 6.0)]).unwrap();
+        let p = Polygon::new(outer, vec![hole]);
+        assert_eq!(locate_in_polygon(c(1.0, 1.0), &p), Location::Interior);
+        assert_eq!(locate_in_polygon(c(5.0, 5.0), &p), Location::Exterior); // in hole
+        assert_eq!(locate_in_polygon(c(4.0, 5.0), &p), Location::Boundary); // hole edge
+        assert_eq!(locate_in_polygon(c(0.0, 5.0), &p), Location::Boundary);
+        assert_eq!(locate_in_polygon(c(-1.0, 5.0), &p), Location::Exterior);
+    }
+
+    #[test]
+    fn concave_ring() {
+        // A "U" shape: the notch is exterior.
+        let u = vec![
+            c(0.0, 0.0),
+            c(6.0, 0.0),
+            c(6.0, 6.0),
+            c(4.0, 6.0),
+            c(4.0, 2.0),
+            c(2.0, 2.0),
+            c(2.0, 6.0),
+            c(0.0, 6.0),
+            c(0.0, 0.0),
+        ];
+        assert_eq!(locate_in_ring(c(3.0, 4.0), &u), Location::Exterior); // notch
+        assert_eq!(locate_in_ring(c(1.0, 4.0), &u), Location::Interior); // left arm
+        assert_eq!(locate_in_ring(c(5.0, 4.0), &u), Location::Interior); // right arm
+        assert_eq!(locate_in_ring(c(3.0, 1.0), &u), Location::Interior); // base
+        assert_eq!(locate_in_ring(c(3.0, 2.0), &u), Location::Boundary); // notch floor
+    }
+}

@@ -1,0 +1,231 @@
+//! Scalar measures: area, length and centroid for every geometry type.
+
+use crate::polygon::Ring;
+use crate::{Coord, Geometry, LineString, Polygon};
+
+/// Total enclosed area of a geometry. Zero for points and lines; for
+/// collections, the sum over members.
+pub fn area(g: &Geometry) -> f64 {
+    match g {
+        Geometry::Point(_) | Geometry::MultiPoint(_) => 0.0,
+        Geometry::LineString(_) | Geometry::MultiLineString(_) => 0.0,
+        Geometry::Polygon(p) => p.area(),
+        Geometry::MultiPolygon(m) => m.area(),
+        Geometry::GeometryCollection(c) => c.0.iter().map(area).sum(),
+    }
+}
+
+/// Total curve length of a geometry. For polygons this is the perimeter
+/// (matching `ST_Length` semantics of several systems for 2-D data, and the
+/// quantity Jackpine's analysis micro benchmark measures); zero for points.
+pub fn length(g: &Geometry) -> f64 {
+    match g {
+        Geometry::Point(_) | Geometry::MultiPoint(_) => 0.0,
+        Geometry::LineString(l) => l.length(),
+        Geometry::MultiLineString(m) => m.length(),
+        Geometry::Polygon(p) => p.perimeter(),
+        Geometry::MultiPolygon(m) => m.0.iter().map(Polygon::perimeter).sum(),
+        Geometry::GeometryCollection(c) => c.0.iter().map(length).sum(),
+    }
+}
+
+/// Centroid of a geometry, or `None` for empty input.
+///
+/// Follows the OGC convention of using only the highest-dimension
+/// components: polygons use the area-weighted centroid (holes subtract),
+/// lines the length-weighted centroid, point sets the arithmetic mean.
+pub fn centroid(g: &Geometry) -> Option<Coord> {
+    let mut acc = CentroidAccumulator::default();
+    acc.add_geometry(g);
+    acc.finish()
+}
+
+/// Streaming centroid accumulation at all three dimensions; the highest
+/// dimension with mass wins.
+#[derive(Default)]
+struct CentroidAccumulator {
+    area_sum: f64,
+    area_cx: f64,
+    area_cy: f64,
+    len_sum: f64,
+    len_cx: f64,
+    len_cy: f64,
+    pt_count: f64,
+    pt_cx: f64,
+    pt_cy: f64,
+}
+
+impl CentroidAccumulator {
+    fn add_geometry(&mut self, g: &Geometry) {
+        match g {
+            Geometry::Point(p) => {
+                if let Some(c) = p.coord() {
+                    self.add_point(c);
+                }
+            }
+            Geometry::MultiPoint(m) => {
+                for p in &m.0 {
+                    if let Some(c) = p.coord() {
+                        self.add_point(c);
+                    }
+                }
+            }
+            Geometry::LineString(l) => self.add_line(l),
+            Geometry::MultiLineString(m) => {
+                for l in &m.0 {
+                    self.add_line(l);
+                }
+            }
+            Geometry::Polygon(p) => self.add_polygon(p),
+            Geometry::MultiPolygon(m) => {
+                for p in &m.0 {
+                    self.add_polygon(p);
+                }
+            }
+            Geometry::GeometryCollection(c) => {
+                for g in &c.0 {
+                    self.add_geometry(g);
+                }
+            }
+        }
+    }
+
+    fn add_point(&mut self, c: Coord) {
+        self.pt_count += 1.0;
+        self.pt_cx += c.x;
+        self.pt_cy += c.y;
+    }
+
+    fn add_line(&mut self, l: &LineString) {
+        for (a, b) in l.segments() {
+            let len = a.distance(b);
+            let mid = a.lerp(b, 0.5);
+            self.len_sum += len;
+            self.len_cx += mid.x * len;
+            self.len_cy += mid.y * len;
+        }
+    }
+
+    fn add_polygon(&mut self, p: &Polygon) {
+        // Signed contribution: CCW exterior adds, CW holes subtract.
+        self.add_ring_signed(p.exterior());
+        for h in p.holes() {
+            self.add_ring_signed(h);
+        }
+    }
+
+    fn add_ring_signed(&mut self, r: &Ring) {
+        // Triangulation against the origin: each edge (a,b) contributes a
+        // signed triangle (0,a,b) with centroid (a+b)/3 and signed area
+        // cross(a,b)/2.
+        for (a, b) in r.segments() {
+            let signed = a.cross(b) * 0.5;
+            self.area_sum += signed;
+            self.area_cx += (a.x + b.x) / 3.0 * signed;
+            self.area_cy += (a.y + b.y) / 3.0 * signed;
+        }
+    }
+
+    fn finish(self) -> Option<Coord> {
+        if self.area_sum.abs() > 0.0 {
+            return Some(Coord::new(self.area_cx / self.area_sum, self.area_cy / self.area_sum));
+        }
+        if self.len_sum > 0.0 {
+            return Some(Coord::new(self.len_cx / self.len_sum, self.len_cy / self.len_sum));
+        }
+        if self.pt_count > 0.0 {
+            return Some(Coord::new(self.pt_cx / self.pt_count, self.pt_cy / self.pt_count));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::polygon::Ring;
+    use crate::{GeometryCollection, MultiPoint, Point};
+
+    fn square(x0: f64, y0: f64, s: f64) -> Polygon {
+        Polygon::from_xy(&[(x0, y0), (x0 + s, y0), (x0 + s, y0 + s), (x0, y0 + s)]).unwrap()
+    }
+
+    #[test]
+    fn areas() {
+        assert_eq!(area(&square(0.0, 0.0, 2.0).into()), 4.0);
+        assert_eq!(area(&Point::new(1.0, 1.0).unwrap().into()), 0.0);
+        let l: Geometry = LineString::from_xy(&[(0.0, 0.0), (5.0, 0.0)]).unwrap().into();
+        assert_eq!(area(&l), 0.0);
+    }
+
+    #[test]
+    fn lengths() {
+        let l: Geometry = LineString::from_xy(&[(0.0, 0.0), (3.0, 4.0)]).unwrap().into();
+        assert_eq!(length(&l), 5.0);
+        assert_eq!(length(&square(0.0, 0.0, 2.0).into()), 8.0);
+        assert_eq!(length(&Point::new(0.0, 0.0).unwrap().into()), 0.0);
+    }
+
+    #[test]
+    fn centroid_of_square() {
+        let c = centroid(&square(0.0, 0.0, 2.0).into()).unwrap();
+        assert!(c.close_to(Coord::new(1.0, 1.0), 1e-12));
+    }
+
+    #[test]
+    fn centroid_with_hole_shifts_away() {
+        // 4×4 square with a hole in its right half: centroid moves left.
+        let outer = Ring::from_xy(&[(0.0, 0.0), (4.0, 0.0), (4.0, 4.0), (0.0, 4.0)]).unwrap();
+        let hole = Ring::from_xy(&[(2.5, 1.5), (3.5, 1.5), (3.5, 2.5), (2.5, 2.5)]).unwrap();
+        let p = Polygon::new(outer, vec![hole]);
+        let c = centroid(&p.into()).unwrap();
+        assert!(c.x < 2.0);
+        assert!((c.y - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn centroid_of_line_is_length_weighted() {
+        // Two segments: long one dominates.
+        let l = LineString::from_xy(&[(0.0, 0.0), (10.0, 0.0), (10.0, 1.0)]).unwrap();
+        let c = centroid(&l.into()).unwrap();
+        assert!(c.x > 5.0);
+    }
+
+    #[test]
+    fn centroid_of_points_is_mean() {
+        let mp = MultiPoint(vec![
+            Point::new(0.0, 0.0).unwrap(),
+            Point::new(2.0, 0.0).unwrap(),
+            Point::new(1.0, 3.0).unwrap(),
+        ]);
+        let c = centroid(&mp.into()).unwrap();
+        assert!(c.close_to(Coord::new(1.0, 1.0), 1e-12));
+    }
+
+    #[test]
+    fn highest_dimension_wins_in_collections() {
+        let gc = GeometryCollection(vec![
+            Point::new(100.0, 100.0).unwrap().into(),
+            square(0.0, 0.0, 2.0).into(),
+        ]);
+        let c = centroid(&Geometry::GeometryCollection(gc)).unwrap();
+        // The faraway point must not influence the areal centroid.
+        assert!(c.close_to(Coord::new(1.0, 1.0), 1e-12));
+    }
+
+    #[test]
+    fn empty_centroid_is_none() {
+        assert_eq!(centroid(&Point::empty().into()), None);
+        assert_eq!(
+            centroid(&Geometry::GeometryCollection(GeometryCollection(vec![]))),
+            None
+        );
+    }
+
+    #[test]
+    fn translated_centroid_translates() {
+        let c1 = centroid(&square(0.0, 0.0, 2.0).into()).unwrap();
+        let c2 = centroid(&square(100.0, 50.0, 2.0).into()).unwrap();
+        assert!(Coord::new(c2.x - 100.0, c2.y - 50.0).close_to(c1, 1e-9));
+    }
+}

@@ -1,0 +1,35 @@
+//! Geometric algorithms: robust predicates, measures, constructive
+//! operations and overlay.
+//!
+//! The modules are layered:
+//!
+//! 1. [`orientation`] and [`segment`] — exact-sign primitives,
+//! 2. [`locate`], [`measures`], [`mod@distance`], [`mod@convex_hull`],
+//!    [`mod@simplify`] — point-set queries and measures built on (1),
+//! 3. [`clip`], [`mod@buffer`], [`line_split`] — constructive operations used
+//!    by the spatial-analysis micro benchmarks and macro scenarios.
+
+pub mod affine;
+pub mod buffer;
+pub mod clip;
+pub mod convex_hull;
+pub mod distance;
+pub mod geodesic;
+pub mod line_split;
+pub mod locate;
+pub mod measures;
+pub mod orientation;
+pub mod segment;
+pub mod simplify;
+
+pub use affine::{affine, rotate, scale, translate, AffineTransform};
+pub use buffer::buffer;
+pub use clip::{difference, intersection, union, BoolOp};
+pub use convex_hull::convex_hull;
+pub use distance::distance;
+pub use line_split::{split_line_by_polygon, LinePortion, PortionClass};
+pub use locate::{locate_in_polygon, locate_in_ring, Location};
+pub use measures::{area, centroid, length};
+pub use orientation::{orient2d, Orientation};
+pub use segment::{segment_intersection, SegmentIntersection};
+pub use simplify::simplify;

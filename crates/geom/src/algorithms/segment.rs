@@ -1,0 +1,251 @@
+//! Exact segment–segment intersection classification.
+//!
+//! Decisions (does it intersect? proper crossing? collinear overlap?) are
+//! made with the robust [`orient2d`] predicate, so they are exact. Only the
+//! *coordinates* of a computed crossing point are subject to rounding,
+//! which is the standard trade-off in floating-point geometry kernels.
+
+use super::orientation::{orient2d, Orientation};
+use crate::Coord;
+
+/// Result of intersecting two closed segments.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SegmentIntersection {
+    /// The segments share no point.
+    None,
+    /// The segments share exactly one point.
+    Point(Coord),
+    /// The segments are collinear and share a sub-segment of positive
+    /// length, reported as its two endpoints.
+    Overlap(Coord, Coord),
+}
+
+/// `true` when `p` lies on the closed segment `a b` (exact test).
+pub fn point_on_segment(p: Coord, a: Coord, b: Coord) -> bool {
+    if orient2d(a, b, p) != Orientation::Collinear {
+        return false;
+    }
+    within_bounds(p, a, b)
+}
+
+/// `true` when `p` lies strictly inside the open segment `a b`.
+pub fn point_in_segment_interior(p: Coord, a: Coord, b: Coord) -> bool {
+    point_on_segment(p, a, b) && p != a && p != b
+}
+
+/// Collinear bounding test: assumes `p` is collinear with `a b`.
+#[inline]
+fn within_bounds(p: Coord, a: Coord, b: Coord) -> bool {
+    let (min_x, max_x) = if a.x <= b.x { (a.x, b.x) } else { (b.x, a.x) };
+    let (min_y, max_y) = if a.y <= b.y { (a.y, b.y) } else { (b.y, a.y) };
+    p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y
+}
+
+/// Intersects the closed segments `a b` and `c d`.
+///
+/// Classification (none / point / overlap) is exact; a reported crossing
+/// coordinate is the correctly rounded parametric solution.
+pub fn segment_intersection(a: Coord, b: Coord, c: Coord, d: Coord) -> SegmentIntersection {
+    let o1 = orient2d(c, d, a);
+    let o2 = orient2d(c, d, b);
+    let o3 = orient2d(a, b, c);
+    let o4 = orient2d(a, b, d);
+
+    // General position: proper crossing.
+    if o1 != o2
+        && o3 != o4
+        && o1 != Orientation::Collinear
+        && o2 != Orientation::Collinear
+        && o3 != Orientation::Collinear
+        && o4 != Orientation::Collinear
+    {
+        return SegmentIntersection::Point(cross_point(a, b, c, d));
+    }
+
+    // Collect endpoint-on-segment incidences (covers T-junctions and
+    // endpoint-to-endpoint touches).
+    let mut touch: Option<Coord> = None;
+    let push = |p: Coord, touch: &mut Option<Coord>| if touch.is_none() { *touch = Some(p) };
+    let all_collinear = o1 == Orientation::Collinear
+        && o2 == Orientation::Collinear
+        && o3 == Orientation::Collinear
+        && o4 == Orientation::Collinear;
+
+    if all_collinear {
+        return collinear_overlap(a, b, c, d);
+    }
+
+    if o1 == Orientation::Collinear && within_bounds(a, c, d) {
+        push(a, &mut touch);
+    }
+    if o2 == Orientation::Collinear && within_bounds(b, c, d) {
+        push(b, &mut touch);
+    }
+    if o3 == Orientation::Collinear && within_bounds(c, a, b) {
+        push(c, &mut touch);
+    }
+    if o4 == Orientation::Collinear && within_bounds(d, a, b) {
+        push(d, &mut touch);
+    }
+    match touch {
+        Some(p) => SegmentIntersection::Point(p),
+        None => {
+            // Mixed signs but no collinear incidence within bounds → the
+            // infinite lines cross outside at least one segment.
+            if o1 != o2 && o3 != o4 {
+                SegmentIntersection::Point(cross_point(a, b, c, d))
+            } else {
+                SegmentIntersection::None
+            }
+        }
+    }
+}
+
+/// Overlap of two segments already known to be collinear.
+fn collinear_overlap(a: Coord, b: Coord, c: Coord, d: Coord) -> SegmentIntersection {
+    // Project onto the dominant axis to order the endpoints.
+    let use_x = (b.x - a.x).abs() >= (b.y - a.y).abs();
+    let key = |p: Coord| if use_x { p.x } else { p.y };
+
+    let (s1, e1) = if key(a) <= key(b) { (a, b) } else { (b, a) };
+    let (s2, e2) = if key(c) <= key(d) { (c, d) } else { (d, c) };
+
+    let lo = if key(s1) >= key(s2) { s1 } else { s2 };
+    let hi = if key(e1) <= key(e2) { e1 } else { e2 };
+
+    if key(lo) > key(hi) {
+        SegmentIntersection::None
+    } else if lo == hi || key(lo) == key(hi) {
+        SegmentIntersection::Point(lo)
+    } else {
+        SegmentIntersection::Overlap(lo, hi)
+    }
+}
+
+/// Parametric crossing point of two non-parallel lines.
+fn cross_point(a: Coord, b: Coord, c: Coord, d: Coord) -> Coord {
+    let r = b - a;
+    let s = d - c;
+    let denom = r.cross(s);
+    if denom == 0.0 {
+        // Callers guarantee non-parallelism; degrade gracefully anyway.
+        return a;
+    }
+    let t = (c - a).cross(s) / denom;
+    a.lerp(b, t.clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(x: f64, y: f64) -> Coord {
+        Coord::new(x, y)
+    }
+
+    #[test]
+    fn proper_crossing() {
+        match segment_intersection(c(0.0, 0.0), c(2.0, 2.0), c(0.0, 2.0), c(2.0, 0.0)) {
+            SegmentIntersection::Point(p) => {
+                assert!(p.close_to(c(1.0, 1.0), 1e-12));
+            }
+            other => panic!("expected point, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disjoint_segments() {
+        assert_eq!(
+            segment_intersection(c(0.0, 0.0), c(1.0, 0.0), c(0.0, 1.0), c(1.0, 1.0)),
+            SegmentIntersection::None
+        );
+        // Collinear but separated.
+        assert_eq!(
+            segment_intersection(c(0.0, 0.0), c(1.0, 0.0), c(2.0, 0.0), c(3.0, 0.0)),
+            SegmentIntersection::None
+        );
+    }
+
+    #[test]
+    fn endpoint_touch() {
+        assert_eq!(
+            segment_intersection(c(0.0, 0.0), c(1.0, 0.0), c(1.0, 0.0), c(2.0, 1.0)),
+            SegmentIntersection::Point(c(1.0, 0.0))
+        );
+    }
+
+    #[test]
+    fn t_junction() {
+        // c-d ends on the interior of a-b.
+        assert_eq!(
+            segment_intersection(c(0.0, 0.0), c(2.0, 0.0), c(1.0, 1.0), c(1.0, 0.0)),
+            SegmentIntersection::Point(c(1.0, 0.0))
+        );
+    }
+
+    #[test]
+    fn collinear_overlap_segment() {
+        match segment_intersection(c(0.0, 0.0), c(3.0, 0.0), c(1.0, 0.0), c(5.0, 0.0)) {
+            SegmentIntersection::Overlap(p, q) => {
+                assert_eq!(p, c(1.0, 0.0));
+                assert_eq!(q, c(3.0, 0.0));
+            }
+            other => panic!("expected overlap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn collinear_touch_at_single_point() {
+        assert_eq!(
+            segment_intersection(c(0.0, 0.0), c(1.0, 0.0), c(1.0, 0.0), c(2.0, 0.0)),
+            SegmentIntersection::Point(c(1.0, 0.0))
+        );
+    }
+
+    #[test]
+    fn vertical_collinear_overlap() {
+        match segment_intersection(c(0.0, 0.0), c(0.0, 4.0), c(0.0, 3.0), c(0.0, 1.0)) {
+            SegmentIntersection::Overlap(p, q) => {
+                assert_eq!(p, c(0.0, 1.0));
+                assert_eq!(q, c(0.0, 3.0));
+            }
+            other => panic!("expected overlap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn containment_overlap() {
+        // One segment entirely inside the other.
+        match segment_intersection(c(0.0, 0.0), c(10.0, 0.0), c(2.0, 0.0), c(4.0, 0.0)) {
+            SegmentIntersection::Overlap(p, q) => {
+                assert_eq!(p, c(2.0, 0.0));
+                assert_eq!(q, c(4.0, 0.0));
+            }
+            other => panic!("expected overlap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn point_on_segment_tests() {
+        assert!(point_on_segment(c(1.0, 1.0), c(0.0, 0.0), c(2.0, 2.0)));
+        assert!(point_on_segment(c(0.0, 0.0), c(0.0, 0.0), c(2.0, 2.0)));
+        assert!(!point_on_segment(c(3.0, 3.0), c(0.0, 0.0), c(2.0, 2.0)));
+        assert!(!point_on_segment(c(1.0, 1.0001), c(0.0, 0.0), c(2.0, 2.0)));
+        assert!(point_in_segment_interior(c(1.0, 1.0), c(0.0, 0.0), c(2.0, 2.0)));
+        assert!(!point_in_segment_interior(c(0.0, 0.0), c(0.0, 0.0), c(2.0, 2.0)));
+    }
+
+    #[test]
+    fn near_parallel_classification_is_exact() {
+        // Two segments that are *exactly* parallel but offset by one ulp
+        // must not be reported as crossing.
+        let eps = f64::EPSILON;
+        let r = segment_intersection(
+            c(0.0, 0.0),
+            c(1.0, 0.0),
+            c(0.0, eps),
+            c(1.0, eps),
+        );
+        assert_eq!(r, SegmentIntersection::None);
+    }
+}

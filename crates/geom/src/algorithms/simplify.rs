@@ -1,0 +1,177 @@
+//! Douglas–Peucker polyline simplification.
+
+use super::distance::point_segment_distance_sq;
+use crate::{
+    Coord, Geometry, GeometryCollection, LineString, MultiLineString, MultiPolygon, Polygon,
+    Result,
+};
+
+/// Simplifies a geometry with the Douglas–Peucker algorithm at the given
+/// tolerance (maximum allowed deviation).
+///
+/// * Points are returned unchanged.
+/// * Linestrings keep their endpoints.
+/// * Polygon rings are simplified but never below a valid ring; if a ring
+///   would collapse, the original ring is kept (the conservative behaviour
+///   of `ST_Simplify`'s "preserve" variants).
+pub fn simplify(g: &Geometry, tolerance: f64) -> Result<Geometry> {
+    if tolerance < 0.0 || !tolerance.is_finite() {
+        return Err(crate::GeomError::InvalidArgument(
+            "simplify tolerance must be finite and non-negative".into(),
+        ));
+    }
+    Ok(simplify_inner(g, tolerance * tolerance))
+}
+
+fn simplify_inner(g: &Geometry, tol_sq: f64) -> Geometry {
+    match g {
+        Geometry::Point(_) | Geometry::MultiPoint(_) => g.clone(),
+        Geometry::LineString(l) => Geometry::LineString(simplify_line(l, tol_sq)),
+        Geometry::MultiLineString(m) => Geometry::MultiLineString(MultiLineString(
+            m.0.iter().map(|l| simplify_line(l, tol_sq)).collect(),
+        )),
+        Geometry::Polygon(p) => Geometry::Polygon(simplify_polygon(p, tol_sq)),
+        Geometry::MultiPolygon(m) => Geometry::MultiPolygon(MultiPolygon(
+            m.0.iter().map(|p| simplify_polygon(p, tol_sq)).collect(),
+        )),
+        Geometry::GeometryCollection(c) => Geometry::GeometryCollection(GeometryCollection(
+            c.0.iter().map(|g| simplify_inner(g, tol_sq)).collect(),
+        )),
+    }
+}
+
+fn simplify_line(l: &LineString, tol_sq: f64) -> LineString {
+    let coords = l.coords();
+    if coords.len() <= 2 {
+        return l.clone();
+    }
+    let mut keep = vec![false; coords.len()];
+    keep[0] = true;
+    keep[coords.len() - 1] = true;
+    dp_mark(coords, 0, coords.len() - 1, tol_sq, &mut keep);
+    let kept: Vec<Coord> =
+        coords.iter().zip(&keep).filter(|(_, &k)| k).map(|(c, _)| *c).collect();
+    // Kept endpoints guarantee ≥2 coords and no consecutive duplicates
+    // (subsequence of a duplicate-free sequence... except endpoints of a
+    // closed line). Fall back to the original on the rare invalid case.
+    LineString::new(kept).unwrap_or_else(|_| l.clone())
+}
+
+/// Marks, between `lo` and `hi` (both already kept), the vertices that
+/// survive at the given squared tolerance. Iterative stack to avoid deep
+/// recursion on pathological inputs.
+fn dp_mark(coords: &[Coord], lo: usize, hi: usize, tol_sq: f64, keep: &mut [bool]) {
+    let mut stack = vec![(lo, hi)];
+    while let Some((lo, hi)) = stack.pop() {
+        if hi <= lo + 1 {
+            continue;
+        }
+        let (a, b) = (coords[lo], coords[hi]);
+        let mut worst = lo;
+        let mut worst_d = -1.0;
+        for (i, &c) in coords.iter().enumerate().take(hi).skip(lo + 1) {
+            let d = point_segment_distance_sq(c, a, b);
+            if d > worst_d {
+                worst_d = d;
+                worst = i;
+            }
+        }
+        if worst_d > tol_sq {
+            keep[worst] = true;
+            stack.push((lo, worst));
+            stack.push((worst, hi));
+        }
+    }
+}
+
+fn simplify_polygon(p: &Polygon, tol_sq: f64) -> Polygon {
+    let simplify_ring = |r: &crate::polygon::Ring| -> crate::polygon::Ring {
+        let line = r.to_linestring();
+        let s = simplify_line(&line, tol_sq);
+        crate::polygon::Ring::new(s.coords().to_vec()).unwrap_or_else(|_| r.clone())
+    };
+    Polygon::new(
+        simplify_ring(p.exterior()),
+        p.holes().iter().map(simplify_ring).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn removes_near_collinear_vertices() {
+        let l = LineString::from_xy(&[
+            (0.0, 0.0),
+            (1.0, 0.01),
+            (2.0, -0.01),
+            (3.0, 0.005),
+            (4.0, 0.0),
+        ])
+        .unwrap();
+        match simplify(&l.into(), 0.1).unwrap() {
+            Geometry::LineString(s) => {
+                assert_eq!(s.num_coords(), 2);
+                assert_eq!(s.start(), Some(Coord::new(0.0, 0.0)));
+                assert_eq!(s.end(), Some(Coord::new(4.0, 0.0)));
+            }
+            other => panic!("expected linestring, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn keeps_significant_vertices() {
+        let l = LineString::from_xy(&[(0.0, 0.0), (2.0, 5.0), (4.0, 0.0)]).unwrap();
+        match simplify(&l.into(), 0.1).unwrap() {
+            Geometry::LineString(s) => assert_eq!(s.num_coords(), 3),
+            other => panic!("expected linestring, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_tolerance_is_identity_for_general_position() {
+        let l = LineString::from_xy(&[(0.0, 0.0), (1.0, 2.0), (3.0, -1.0), (4.0, 4.0)]).unwrap();
+        match simplify(&l.clone().into(), 0.0).unwrap() {
+            Geometry::LineString(s) => assert_eq!(s, l),
+            other => panic!("expected linestring, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn polygon_ring_never_collapses() {
+        let p = Polygon::from_xy(&[(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)]).unwrap();
+        // Huge tolerance would collapse the ring; original must survive.
+        match simplify(&p.clone().into(), 1000.0).unwrap() {
+            Geometry::Polygon(s) => assert_eq!(s.area(), p.area()),
+            other => panic!("expected polygon, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn polygon_detail_reduction() {
+        // Octagon-ish ring with tiny wobbles on one edge.
+        let p = Polygon::from_xy(&[
+            (0.0, 0.0),
+            (1.0, 0.001),
+            (2.0, -0.001),
+            (3.0, 0.0),
+            (3.0, 3.0),
+            (0.0, 3.0),
+        ])
+        .unwrap();
+        match simplify(&p.into(), 0.01).unwrap() {
+            Geometry::Polygon(s) => assert_eq!(s.exterior().num_coords(), 5),
+            other => panic!("expected polygon, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_tolerance() {
+        let g: Geometry = Point::new(0.0, 0.0).unwrap().into();
+        assert!(simplify(&g, -1.0).is_err());
+        assert!(simplify(&g, f64::NAN).is_err());
+    }
+
+    use crate::Point;
+}

@@ -1,0 +1,180 @@
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A 2-D coordinate with `f64` components.
+///
+/// `Coord` is a plain value type: it implements the arithmetic operators as
+/// vector operations and provides the handful of scalar helpers (dot product,
+/// cross product, norms) that the algorithm modules build on.
+///
+/// Coordinates compare bitwise-exactly via `PartialEq`; algorithms that need
+/// tolerance use [`Coord::close_to`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Coord {
+    /// Easting / longitude component.
+    pub x: f64,
+    /// Northing / latitude component.
+    pub y: f64,
+}
+
+impl Coord {
+    /// Creates a coordinate from its two components.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Coord { x, y }
+    }
+
+    /// Returns `true` when both components are finite (not NaN/±∞).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+
+    /// Dot product with `other`.
+    #[inline]
+    pub fn dot(self, other: Coord) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Z-component of the cross product with `other`.
+    #[inline]
+    pub fn cross(self, other: Coord) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Squared Euclidean distance to `other`.
+    ///
+    /// Prefer this over [`Coord::distance`] in comparisons — it avoids the
+    /// square root in hot paths.
+    #[inline]
+    pub fn distance_sq(self, other: Coord) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(self, other: Coord) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean norm.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Returns `true` when `other` lies within `eps` (Euclidean) of `self`.
+    #[inline]
+    pub fn close_to(self, other: Coord, eps: f64) -> bool {
+        self.distance_sq(other) <= eps * eps
+    }
+
+    /// Linear interpolation: `self + t * (other - self)`.
+    #[inline]
+    pub fn lerp(self, other: Coord, t: f64) -> Coord {
+        Coord::new(self.x + t * (other.x - self.x), self.y + t * (other.y - self.y))
+    }
+}
+
+impl Add for Coord {
+    type Output = Coord;
+    #[inline]
+    fn add(self, rhs: Coord) -> Coord {
+        Coord::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Coord {
+    type Output = Coord;
+    #[inline]
+    fn sub(self, rhs: Coord) -> Coord {
+        Coord::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Coord {
+    type Output = Coord;
+    #[inline]
+    fn mul(self, rhs: f64) -> Coord {
+        Coord::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Neg for Coord {
+    type Output = Coord;
+    #[inline]
+    fn neg(self) -> Coord {
+        Coord::new(-self.x, -self.y)
+    }
+}
+
+impl From<(f64, f64)> for Coord {
+    #[inline]
+    fn from((x, y): (f64, f64)) -> Self {
+        Coord::new(x, y)
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({} {})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_behaves_like_vectors() {
+        let a = Coord::new(1.0, 2.0);
+        let b = Coord::new(3.0, -1.0);
+        assert_eq!(a + b, Coord::new(4.0, 1.0));
+        assert_eq!(a - b, Coord::new(-2.0, 3.0));
+        assert_eq!(a * 2.0, Coord::new(2.0, 4.0));
+        assert_eq!(-a, Coord::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn dot_and_cross() {
+        let a = Coord::new(1.0, 0.0);
+        let b = Coord::new(0.0, 1.0);
+        assert_eq!(a.dot(b), 0.0);
+        assert_eq!(a.cross(b), 1.0);
+        assert_eq!(b.cross(a), -1.0);
+    }
+
+    #[test]
+    fn distances() {
+        let a = Coord::new(0.0, 0.0);
+        let b = Coord::new(3.0, 4.0);
+        assert_eq!(a.distance_sq(b), 25.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert!(a.close_to(Coord::new(1e-9, 0.0), 1e-8));
+        assert!(!a.close_to(Coord::new(1e-7, 0.0), 1e-8));
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Coord::new(0.0, 0.0);
+        let b = Coord::new(2.0, 4.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Coord::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(Coord::new(1.0, 2.0).is_finite());
+        assert!(!Coord::new(f64::NAN, 0.0).is_finite());
+        assert!(!Coord::new(0.0, f64::INFINITY).is_finite());
+    }
+}

@@ -1,0 +1,67 @@
+use std::fmt;
+
+/// Errors produced by geometry construction, parsing and algorithms.
+///
+/// The crate never panics on untrusted input; every fallible entry point
+/// returns one of these variants instead.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GeomError {
+    /// A geometry violated a structural invariant (e.g. a ring with fewer
+    /// than four coordinates, or a linestring with a single coordinate).
+    InvalidGeometry(String),
+    /// Well-Known Text could not be parsed; carries position and message.
+    WktParse {
+        /// Byte offset in the input where the problem was detected.
+        position: usize,
+        /// Human-readable description of what was expected.
+        message: String,
+    },
+    /// Well-Known Binary could not be decoded.
+    WkbDecode(String),
+    /// A coordinate was NaN or infinite where a finite value is required.
+    NonFiniteCoordinate,
+    /// An algorithm received arguments outside its domain
+    /// (e.g. a negative buffer distance larger than the shape supports).
+    InvalidArgument(String),
+    /// An overlay (intersection/union/difference) could not be completed
+    /// on the given input, typically because of unresolvable degeneracy.
+    OverlayFailure(String),
+}
+
+impl fmt::Display for GeomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeomError::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
+            GeomError::WktParse { position, message } => {
+                write!(f, "WKT parse error at byte {position}: {message}")
+            }
+            GeomError::WkbDecode(msg) => write!(f, "WKB decode error: {msg}"),
+            GeomError::NonFiniteCoordinate => {
+                write!(f, "coordinate must be finite (no NaN/Inf)")
+            }
+            GeomError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            GeomError::OverlayFailure(msg) => write!(f, "overlay failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GeomError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GeomError::WktParse { position: 7, message: "expected '('".into() };
+        assert!(e.to_string().contains("byte 7"));
+        assert!(e.to_string().contains("expected '('"));
+        assert!(GeomError::NonFiniteCoordinate.to_string().contains("finite"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(GeomError::InvalidGeometry("x".into()));
+        assert!(e.to_string().contains("invalid geometry"));
+    }
+}

@@ -1,0 +1,138 @@
+use crate::{Envelope, Geometry, LineString, Point, Polygon};
+
+/// A collection of [`Point`]s treated as one geometry.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MultiPoint(pub Vec<Point>);
+
+/// A collection of [`LineString`]s treated as one geometry.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MultiLineString(pub Vec<LineString>);
+
+/// A collection of [`Polygon`]s treated as one geometry.
+///
+/// As in most spatial databases, member polygons are expected to have
+/// disjoint interiors; algorithms document where they rely on this.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MultiPolygon(pub Vec<Polygon>);
+
+/// A heterogeneous collection of geometries.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct GeometryCollection(pub Vec<Geometry>);
+
+impl MultiPoint {
+    /// `true` when the collection holds no non-empty point.
+    pub fn is_empty(&self) -> bool {
+        self.0.iter().all(Point::is_empty)
+    }
+
+    /// Minimum bounding rectangle of all members.
+    pub fn envelope(&self) -> Envelope {
+        let mut e = Envelope::EMPTY;
+        for p in &self.0 {
+            e.expand_to_include(&p.envelope());
+        }
+        e
+    }
+}
+
+impl MultiLineString {
+    /// `true` when the collection holds no non-empty linestring.
+    pub fn is_empty(&self) -> bool {
+        self.0.iter().all(LineString::is_empty)
+    }
+
+    /// Minimum bounding rectangle of all members.
+    pub fn envelope(&self) -> Envelope {
+        let mut e = Envelope::EMPTY;
+        for l in &self.0 {
+            e.expand_to_include(&l.envelope());
+        }
+        e
+    }
+
+    /// Total length of all member lines.
+    pub fn length(&self) -> f64 {
+        self.0.iter().map(LineString::length).sum()
+    }
+}
+
+impl MultiPolygon {
+    /// `true` when the collection holds no polygon.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Minimum bounding rectangle of all members.
+    pub fn envelope(&self) -> Envelope {
+        let mut e = Envelope::EMPTY;
+        for p in &self.0 {
+            e.expand_to_include(&p.envelope());
+        }
+        e
+    }
+
+    /// Total area of all member polygons (assumes disjoint interiors).
+    pub fn area(&self) -> f64 {
+        self.0.iter().map(Polygon::area).sum()
+    }
+}
+
+impl GeometryCollection {
+    /// `true` when every member is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.iter().all(Geometry::is_empty)
+    }
+
+    /// Minimum bounding rectangle of all members.
+    pub fn envelope(&self) -> Envelope {
+        let mut e = Envelope::EMPTY;
+        for g in &self.0 {
+            e.expand_to_include(&g.envelope());
+        }
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multipoint_envelope_and_emptiness() {
+        let mp = MultiPoint(vec![Point::new(0.0, 0.0).unwrap(), Point::new(2.0, 3.0).unwrap()]);
+        assert_eq!(mp.envelope(), Envelope::new(0.0, 0.0, 2.0, 3.0));
+        assert!(!mp.is_empty());
+        assert!(MultiPoint(vec![]).is_empty());
+        assert!(MultiPoint(vec![Point::empty()]).is_empty());
+    }
+
+    #[test]
+    fn multilinestring_length() {
+        let a = LineString::from_xy(&[(0.0, 0.0), (3.0, 0.0)]).unwrap();
+        let b = LineString::from_xy(&[(0.0, 0.0), (0.0, 4.0)]).unwrap();
+        let ml = MultiLineString(vec![a, b]);
+        assert_eq!(ml.length(), 7.0);
+        assert_eq!(ml.envelope(), Envelope::new(0.0, 0.0, 3.0, 4.0));
+    }
+
+    #[test]
+    fn multipolygon_area() {
+        let a = Polygon::from_xy(&[(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)]).unwrap();
+        let b = Polygon::from_xy(&[(2.0, 0.0), (4.0, 0.0), (4.0, 2.0), (2.0, 2.0)]).unwrap();
+        let mp = MultiPolygon(vec![a, b]);
+        assert_eq!(mp.area(), 5.0);
+        assert_eq!(mp.envelope(), Envelope::new(0.0, 0.0, 4.0, 2.0));
+    }
+
+    #[test]
+    fn collection_recursive_emptiness() {
+        let gc = GeometryCollection(vec![
+            Geometry::Point(Point::empty()),
+            Geometry::LineString(LineString::empty()),
+        ]);
+        assert!(gc.is_empty());
+        let gc2 = GeometryCollection(vec![Geometry::Point(Point::new(1.0, 1.0).unwrap())]);
+        assert!(!gc2.is_empty());
+        assert_eq!(gc2.envelope(), Envelope::new(1.0, 1.0, 1.0, 1.0));
+    }
+}

@@ -1,0 +1,321 @@
+//! Well-Known Binary encoding and decoding.
+//!
+//! Supports both byte orders on read (the leading byte-order mark decides)
+//! and emits little-endian on write, matching the behaviour of the systems
+//! Jackpine originally benchmarked. `POINT EMPTY` is encoded as a point
+//! with NaN coordinates, the de-facto convention.
+
+use crate::polygon::Ring;
+use crate::{
+    Coord, GeomError, Geometry, GeometryCollection, LineString, MultiLineString, MultiPoint,
+    MultiPolygon, Point, Polygon, Result,
+};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Encodes a geometry as little-endian WKB.
+pub fn encode(g: &Geometry) -> Bytes {
+    let mut buf = BytesMut::with_capacity(estimate_size(g));
+    encode_into(g, &mut buf);
+    buf.freeze()
+}
+
+/// Decodes a WKB byte string (either endianness).
+pub fn decode(mut data: &[u8]) -> Result<Geometry> {
+    let g = decode_geometry(&mut data)?;
+    if !data.is_empty() {
+        return Err(GeomError::WkbDecode(format!("{} trailing bytes", data.len())));
+    }
+    Ok(g)
+}
+
+fn estimate_size(g: &Geometry) -> usize {
+    16 * g.num_coords() + 64
+}
+
+// ---------------------------------------------------------------------------
+// Encoding (always little-endian)
+// ---------------------------------------------------------------------------
+
+fn encode_into(g: &Geometry, buf: &mut BytesMut) {
+    buf.put_u8(1); // little-endian
+    buf.put_u32_le(g.geometry_type().wkb_code());
+    match g {
+        Geometry::Point(p) => match p.coord() {
+            Some(c) => put_coord(c, buf),
+            None => {
+                buf.put_f64_le(f64::NAN);
+                buf.put_f64_le(f64::NAN);
+            }
+        },
+        Geometry::LineString(l) => put_coord_seq(l.coords(), buf),
+        Geometry::Polygon(p) => put_polygon_body(p, buf),
+        Geometry::MultiPoint(m) => {
+            buf.put_u32_le(m.0.len() as u32);
+            for p in &m.0 {
+                encode_into(&Geometry::Point(*p), buf);
+            }
+        }
+        Geometry::MultiLineString(m) => {
+            buf.put_u32_le(m.0.len() as u32);
+            for l in &m.0 {
+                encode_into(&Geometry::LineString(l.clone()), buf);
+            }
+        }
+        Geometry::MultiPolygon(m) => {
+            buf.put_u32_le(m.0.len() as u32);
+            for p in &m.0 {
+                encode_into(&Geometry::Polygon(p.clone()), buf);
+            }
+        }
+        Geometry::GeometryCollection(c) => {
+            buf.put_u32_le(c.0.len() as u32);
+            for g in &c.0 {
+                encode_into(g, buf);
+            }
+        }
+    }
+}
+
+fn put_coord(c: Coord, buf: &mut BytesMut) {
+    buf.put_f64_le(c.x);
+    buf.put_f64_le(c.y);
+}
+
+fn put_coord_seq(coords: &[Coord], buf: &mut BytesMut) {
+    buf.put_u32_le(coords.len() as u32);
+    for &c in coords {
+        put_coord(c, buf);
+    }
+}
+
+fn put_polygon_body(p: &Polygon, buf: &mut BytesMut) {
+    buf.put_u32_le(1 + p.holes().len() as u32);
+    put_coord_seq(p.exterior().coords(), buf);
+    for h in p.holes() {
+        put_coord_seq(h.coords(), buf);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Sanity cap on declared element counts, to reject hostile inputs before
+/// attempting huge allocations.
+const MAX_ELEMENTS: u32 = 64 * 1024 * 1024;
+
+fn decode_geometry(data: &mut &[u8]) -> Result<Geometry> {
+    if data.remaining() < 5 {
+        return Err(GeomError::WkbDecode("truncated header".into()));
+    }
+    let little = match data.get_u8() {
+        0 => false,
+        1 => true,
+        other => return Err(GeomError::WkbDecode(format!("bad byte-order mark {other}"))),
+    };
+    let code = get_u32(data, little)?;
+    match code {
+        1 => {
+            let c = get_coord(data, little)?;
+            if c.x.is_nan() && c.y.is_nan() {
+                Ok(Geometry::Point(Point::empty()))
+            } else {
+                Ok(Geometry::Point(Point::from_coord(c)?))
+            }
+        }
+        2 => Ok(Geometry::LineString(LineString::new(get_coord_seq(data, little)?)?)),
+        3 => Ok(Geometry::Polygon(get_polygon_body(data, little)?)),
+        4 => {
+            let n = get_count(data, little)?;
+            let mut pts = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                match decode_geometry(data)? {
+                    Geometry::Point(p) => pts.push(p),
+                    other => {
+                        return Err(GeomError::WkbDecode(format!(
+                            "multipoint member is {:?}",
+                            other.geometry_type()
+                        )))
+                    }
+                }
+            }
+            Ok(Geometry::MultiPoint(MultiPoint(pts)))
+        }
+        5 => {
+            let n = get_count(data, little)?;
+            let mut ls = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                match decode_geometry(data)? {
+                    Geometry::LineString(l) => ls.push(l),
+                    other => {
+                        return Err(GeomError::WkbDecode(format!(
+                            "multilinestring member is {:?}",
+                            other.geometry_type()
+                        )))
+                    }
+                }
+            }
+            Ok(Geometry::MultiLineString(MultiLineString(ls)))
+        }
+        6 => {
+            let n = get_count(data, little)?;
+            let mut ps = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                match decode_geometry(data)? {
+                    Geometry::Polygon(p) => ps.push(p),
+                    other => {
+                        return Err(GeomError::WkbDecode(format!(
+                            "multipolygon member is {:?}",
+                            other.geometry_type()
+                        )))
+                    }
+                }
+            }
+            Ok(Geometry::MultiPolygon(MultiPolygon(ps)))
+        }
+        7 => {
+            let n = get_count(data, little)?;
+            let mut gs = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                gs.push(decode_geometry(data)?);
+            }
+            Ok(Geometry::GeometryCollection(GeometryCollection(gs)))
+        }
+        other => Err(GeomError::WkbDecode(format!("unknown geometry code {other}"))),
+    }
+}
+
+fn get_u32(data: &mut &[u8], little: bool) -> Result<u32> {
+    if data.remaining() < 4 {
+        return Err(GeomError::WkbDecode("truncated u32".into()));
+    }
+    Ok(if little { data.get_u32_le() } else { data.get_u32() })
+}
+
+fn get_count(data: &mut &[u8], little: bool) -> Result<u32> {
+    let n = get_u32(data, little)?;
+    if n > MAX_ELEMENTS {
+        return Err(GeomError::WkbDecode(format!("element count {n} exceeds sanity cap")));
+    }
+    Ok(n)
+}
+
+fn get_f64(data: &mut &[u8], little: bool) -> Result<f64> {
+    if data.remaining() < 8 {
+        return Err(GeomError::WkbDecode("truncated f64".into()));
+    }
+    Ok(if little { data.get_f64_le() } else { data.get_f64() })
+}
+
+fn get_coord(data: &mut &[u8], little: bool) -> Result<Coord> {
+    let x = get_f64(data, little)?;
+    let y = get_f64(data, little)?;
+    Ok(Coord::new(x, y))
+}
+
+fn get_coord_seq(data: &mut &[u8], little: bool) -> Result<Vec<Coord>> {
+    let n = get_count(data, little)?;
+    if (data.remaining() as u64) < n as u64 * 16 {
+        return Err(GeomError::WkbDecode("coordinate sequence longer than buffer".into()));
+    }
+    let mut out = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let c = get_coord(data, little)?;
+        if !c.is_finite() {
+            return Err(GeomError::WkbDecode("non-finite coordinate".into()));
+        }
+        out.push(c);
+    }
+    Ok(out)
+}
+
+fn get_polygon_body(data: &mut &[u8], little: bool) -> Result<Polygon> {
+    let nrings = get_count(data, little)?;
+    if nrings == 0 {
+        return Err(GeomError::WkbDecode("polygon with zero rings".into()));
+    }
+    let exterior = Ring::new(get_coord_seq(data, little)?)?;
+    let mut holes = Vec::with_capacity(nrings as usize - 1);
+    for _ in 1..nrings {
+        holes.push(Ring::new(get_coord_seq(data, little)?)?);
+    }
+    Ok(Polygon::new(exterior, holes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wkt;
+
+    fn roundtrip(wkt_str: &str) {
+        let g = wkt::parse(wkt_str).unwrap();
+        let bytes = encode(&g);
+        let g2 = decode(&bytes).unwrap();
+        assert_eq!(g, g2, "WKB roundtrip failed for {wkt_str}");
+    }
+
+    #[test]
+    fn roundtrip_all_types() {
+        roundtrip("POINT (1 2)");
+        roundtrip("POINT EMPTY");
+        roundtrip("LINESTRING (0 0, 1 1, 2 0)");
+        roundtrip("LINESTRING EMPTY");
+        roundtrip("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))");
+        roundtrip("POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (2 2, 4 2, 4 4, 2 4, 2 2))");
+        roundtrip("MULTIPOINT ((0 0), (1 1))");
+        roundtrip("MULTILINESTRING ((0 0, 1 1), (2 2, 3 3))");
+        roundtrip("MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1, 0 0)))");
+        roundtrip("GEOMETRYCOLLECTION (POINT (1 2), LINESTRING (0 0, 1 1))");
+        roundtrip("GEOMETRYCOLLECTION EMPTY");
+    }
+
+    #[test]
+    fn big_endian_decoding() {
+        // Hand-build a big-endian POINT (1 2).
+        let mut buf = BytesMut::new();
+        buf.put_u8(0);
+        buf.put_u32(1);
+        buf.put_f64(1.0);
+        buf.put_f64(2.0);
+        match decode(&buf).unwrap() {
+            Geometry::Point(p) => {
+                assert_eq!(p.x(), Some(1.0));
+                assert_eq!(p.y(), Some(2.0));
+            }
+            other => panic!("expected point, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(decode(&[]).is_err());
+        assert!(decode(&[2, 0, 0, 0, 1]).is_err()); // bad byte-order mark
+        assert!(decode(&[1, 9, 0, 0, 0]).is_err()); // unknown type code
+        // Truncated coordinate payload.
+        let mut buf = BytesMut::new();
+        buf.put_u8(1);
+        buf.put_u32_le(1);
+        buf.put_f64_le(1.0);
+        assert!(decode(&buf).is_err());
+        // Hostile element count.
+        let mut buf = BytesMut::new();
+        buf.put_u8(1);
+        buf.put_u32_le(2); // linestring
+        buf.put_u32_le(u32::MAX);
+        assert!(decode(&buf).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let g = wkt::parse("POINT (1 2)").unwrap();
+        let mut bytes = encode(&g).to_vec();
+        bytes.push(0);
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let g = wkt::parse("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))").unwrap();
+        assert_eq!(encode(&g), encode(&g));
+    }
+}

@@ -1,0 +1,38 @@
+//! # jackpine-index
+//!
+//! Spatial and attribute access methods for the Jackpine engines:
+//!
+//! * [`RTree`] — an R\*-tree (forced reinsert, margin-driven split, STR
+//!   bulk load, window and k-nearest-neighbour search). This is the
+//!   PostGIS-GiST analogue used by the `ExactRtree` and `MbrOnly` engine
+//!   profiles.
+//! * [`GridIndex`] — a fixed multi-cell grid (tessellation) index, the
+//!   commercial-DBMS analogue used by the `ExactGrid` profile.
+//! * [`OrderedIndex`] — a sorted attribute index used by the geocoding
+//!   macro scenario for street-name lookups.
+//!
+//! All spatial indexes are keyed by [`jackpine_geom::Envelope`] and store
+//! a caller-chosen payload (typically a row id).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod grid;
+mod ordered;
+mod rtree;
+
+pub use grid::GridIndex;
+pub use ordered::OrderedIndex;
+pub use rtree::{RTree, RTreeConfig};
+
+/// Statistics shared by the spatial indexes, for the benchmark's
+/// instrumentation (index structure vs. probe cost).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Tree height (R-tree) or 1 (grid).
+    pub height: usize,
+    /// Total number of stored entries.
+    pub entries: usize,
+    /// Internal nodes (R-tree) or occupied cells (grid).
+    pub nodes: usize,
+}

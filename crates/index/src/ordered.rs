@@ -1,0 +1,146 @@
+//! Ordered attribute index (B-tree-backed) for non-spatial lookups —
+//! street-name and zip-code access paths in the geocoding scenarios.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// A sorted multimap from keys to payloads with exact, range and (for
+/// string keys) prefix lookups.
+#[derive(Clone, Debug)]
+pub struct OrderedIndex<K: Ord + Clone, T: Clone> {
+    map: BTreeMap<K, Vec<T>>,
+    len: usize,
+}
+
+impl<K: Ord + Clone, T: Clone> Default for OrderedIndex<K, T> {
+    fn default() -> Self {
+        OrderedIndex { map: BTreeMap::new(), len: 0 }
+    }
+}
+
+impl<K: Ord + Clone, T: Clone> OrderedIndex<K, T> {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored entries (not distinct keys).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of distinct keys.
+    pub fn key_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Inserts an entry under `key` (duplicates allowed).
+    pub fn insert(&mut self, key: K, value: T) {
+        self.map.entry(key).or_default().push(value);
+        self.len += 1;
+    }
+
+    /// Removes one entry under `key` for which `pred` holds; returns it.
+    pub fn remove(&mut self, key: &K, pred: impl Fn(&T) -> bool) -> Option<T> {
+        let bucket = self.map.get_mut(key)?;
+        let pos = bucket.iter().position(pred)?;
+        let out = bucket.swap_remove(pos);
+        if bucket.is_empty() {
+            self.map.remove(key);
+        }
+        self.len -= 1;
+        Some(out)
+    }
+
+    /// All payloads stored under exactly `key`.
+    pub fn get(&self, key: &K) -> &[T] {
+        self.map.get(key).map_or(&[], Vec::as_slice)
+    }
+
+    /// Payloads for keys in `[lo, hi]` (inclusive), in key order.
+    pub fn range(&self, lo: &K, hi: &K) -> Vec<T> {
+        let mut out = Vec::new();
+        for (_, bucket) in
+            self.map.range((Bound::Included(lo.clone()), Bound::Included(hi.clone())))
+        {
+            out.extend(bucket.iter().cloned());
+        }
+        out
+    }
+}
+
+impl<T: Clone> OrderedIndex<String, T> {
+    /// Payloads for every key starting with `prefix`, in key order.
+    pub fn prefix(&self, prefix: &str) -> Vec<T> {
+        let mut out = Vec::new();
+        for (k, bucket) in self.map.range(prefix.to_string()..) {
+            if !k.starts_with(prefix) {
+                break;
+            }
+            out.extend(bucket.iter().cloned());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_and_duplicates() {
+        let mut idx: OrderedIndex<String, usize> = OrderedIndex::new();
+        idx.insert("OAK ST".into(), 1);
+        idx.insert("OAK ST".into(), 2);
+        idx.insert("ELM AVE".into(), 3);
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.key_count(), 2);
+        let mut hits = idx.get(&"OAK ST".to_string()).to_vec();
+        hits.sort_unstable();
+        assert_eq!(hits, vec![1, 2]);
+        assert!(idx.get(&"PINE RD".to_string()).is_empty());
+    }
+
+    #[test]
+    fn range_scan() {
+        let mut idx: OrderedIndex<i64, char> = OrderedIndex::new();
+        for (k, v) in [(10, 'a'), (20, 'b'), (30, 'c'), (40, 'd')] {
+            idx.insert(k, v);
+        }
+        assert_eq!(idx.range(&15, &35), vec!['b', 'c']);
+        assert_eq!(idx.range(&10, &10), vec!['a']);
+        assert_eq!(idx.range(&50, &60), Vec::<char>::new());
+    }
+
+    #[test]
+    fn prefix_scan() {
+        let mut idx: OrderedIndex<String, usize> = OrderedIndex::new();
+        idx.insert("OAK ST".into(), 1);
+        idx.insert("OAKWOOD DR".into(), 2);
+        idx.insert("ELM AVE".into(), 3);
+        idx.insert("OAL".into(), 4);
+        let mut hits = idx.prefix("OAK");
+        hits.sort_unstable();
+        assert_eq!(hits, vec![1, 2]);
+        assert_eq!(idx.prefix("Z"), Vec::<usize>::new());
+        assert_eq!(idx.prefix("").len(), 4);
+    }
+
+    #[test]
+    fn removal() {
+        let mut idx: OrderedIndex<String, usize> = OrderedIndex::new();
+        idx.insert("A".into(), 1);
+        idx.insert("A".into(), 2);
+        assert_eq!(idx.remove(&"A".to_string(), |&v| v == 1), Some(1));
+        assert_eq!(idx.get(&"A".to_string()), &[2]);
+        assert_eq!(idx.remove(&"A".to_string(), |&v| v == 9), None);
+        assert_eq!(idx.remove(&"A".to_string(), |&v| v == 2), Some(2));
+        assert!(idx.is_empty());
+        assert_eq!(idx.key_count(), 0);
+    }
+}

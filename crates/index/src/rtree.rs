@@ -1,0 +1,867 @@
+//! R\*-tree: the R-tree variant of Beckmann et al. with margin-driven
+//! splits and forced reinsertion, plus Sort-Tile-Recursive bulk loading.
+
+use jackpine_geom::{Coord, Envelope};
+use std::collections::BinaryHeap;
+
+/// Tuning parameters for an [`RTree`].
+#[derive(Clone, Copy, Debug)]
+pub struct RTreeConfig {
+    /// Maximum entries per node before a split (R\*-tree `M`).
+    pub max_entries: usize,
+    /// Minimum entries per node (R\*-tree `m`); must be ≤ `max_entries / 2`.
+    pub min_entries: usize,
+    /// Entries removed and reinserted on first overflow (R\*-tree `p`).
+    pub reinsert_count: usize,
+    /// Disable forced reinsertion entirely (ablation switch; falls back to
+    /// split-on-overflow like a classic quadratic R-tree).
+    pub forced_reinsert: bool,
+}
+
+impl Default for RTreeConfig {
+    fn default() -> Self {
+        // M = 16, m = 40 % M, p = 30 % M — the classic R*-tree settings.
+        RTreeConfig { max_entries: 16, min_entries: 6, reinsert_count: 5, forced_reinsert: true }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Node<T> {
+    Internal { entries: Vec<(Envelope, usize)> },
+    Leaf { entries: Vec<(Envelope, T)> },
+}
+
+impl<T> Node<T> {
+    fn len(&self) -> usize {
+        match self {
+            Node::Internal { entries } => entries.len(),
+            Node::Leaf { entries } => entries.len(),
+        }
+    }
+    fn envelope(&self) -> Envelope {
+        let mut e = Envelope::EMPTY;
+        match self {
+            Node::Internal { entries } => {
+                for (env, _) in entries {
+                    e.expand_to_include(env);
+                }
+            }
+            Node::Leaf { entries } => {
+                for (env, _) in entries {
+                    e.expand_to_include(env);
+                }
+            }
+        }
+        e
+    }
+}
+
+/// An R\*-tree mapping envelopes to payloads.
+///
+/// Payloads are `Clone` (row ids in practice). The tree supports one-at-a-
+/// time insertion with forced reinsert, deletion with tree condensation,
+/// STR bulk loading, window queries and best-first k-nearest-neighbour
+/// search.
+#[derive(Clone, Debug)]
+pub struct RTree<T: Clone> {
+    nodes: Vec<Node<T>>,
+    root: usize,
+    height: usize, // leaf level = 0; root is at `height`
+    len: usize,
+    config: RTreeConfig,
+}
+
+impl<T: Clone> Default for RTree<T> {
+    fn default() -> Self {
+        RTree::new(RTreeConfig::default())
+    }
+}
+
+impl<T: Clone> RTree<T> {
+    /// Creates an empty tree with the given configuration.
+    pub fn new(config: RTreeConfig) -> RTree<T> {
+        assert!(config.max_entries >= 4, "max_entries must be at least 4");
+        assert!(
+            config.min_entries >= 1 && config.min_entries <= config.max_entries / 2,
+            "min_entries must be in [1, max_entries/2]"
+        );
+        RTree {
+            nodes: vec![Node::Leaf { entries: Vec::new() }],
+            root: 0,
+            height: 0,
+            len: 0,
+            config,
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Structure statistics.
+    pub fn stats(&self) -> crate::IndexStats {
+        crate::IndexStats { height: self.height + 1, entries: self.len, nodes: self.nodes.len() }
+    }
+
+    /// Bounding envelope of the whole tree.
+    pub fn envelope(&self) -> Envelope {
+        self.nodes[self.root].envelope()
+    }
+
+    // ------------------------------------------------------------------
+    // Insertion
+    // ------------------------------------------------------------------
+
+    /// Inserts an entry.
+    pub fn insert(&mut self, env: Envelope, value: T) {
+        let mut reinserted = vec![false; self.height + 1];
+        self.insert_entry(env, Entry::Leaf(value), 0, &mut reinserted);
+        self.len += 1;
+    }
+
+    fn insert_entry(
+        &mut self,
+        env: Envelope,
+        entry: Entry<T>,
+        level: usize,
+        reinserted: &mut Vec<bool>,
+    ) {
+        let path = self.choose_path(env, level);
+        let node_id = *path.last().expect("path never empty");
+        match (&mut self.nodes[node_id], entry) {
+            (Node::Leaf { entries }, Entry::Leaf(v)) => entries.push((env, v)),
+            (Node::Internal { entries }, Entry::Node(child)) => entries.push((env, child)),
+            _ => unreachable!("level bookkeeping placed entry at wrong node kind"),
+        }
+        self.refresh_upward(&path);
+        self.overflow_chain(path, level, reinserted);
+    }
+
+    /// Root-to-target path choosing, at each step, the child needing least
+    /// enlargement (least overlap increase directly above the leaves, per
+    /// the R\* heuristic).
+    fn choose_path(&self, env: Envelope, target_level: usize) -> Vec<usize> {
+        let mut path = Vec::with_capacity(self.height + 1);
+        let mut node_id = self.root;
+        let mut level = self.height;
+        path.push(node_id);
+        while level > target_level {
+            let Node::Internal { entries } = &self.nodes[node_id] else {
+                unreachable!("internal levels hold internal nodes");
+            };
+            let idx = if level == 1 {
+                self.pick_min_overlap(entries, env)
+            } else {
+                pick_min_enlargement(entries, env)
+            };
+            node_id = entries[idx].1;
+            level -= 1;
+            path.push(node_id);
+        }
+        path
+    }
+
+    fn pick_min_overlap(&self, entries: &[(Envelope, usize)], env: Envelope) -> usize {
+        let mut best = 0;
+        let mut best_key = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        for (i, (e, _)) in entries.iter().enumerate() {
+            let grown = e.union(&env);
+            let mut overlap_before = 0.0;
+            let mut overlap_after = 0.0;
+            for (j, (o, _)) in entries.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                if let Some(x) = e.intersection(o) {
+                    overlap_before += x.area();
+                }
+                if let Some(x) = grown.intersection(o) {
+                    overlap_after += x.area();
+                }
+            }
+            let key = (overlap_after - overlap_before, grown.area() - e.area(), e.area());
+            if key < best_key {
+                best_key = key;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Recomputes the parent-entry envelopes along `path`, bottom-up.
+    fn refresh_upward(&mut self, path: &[usize]) {
+        for i in (1..path.len()).rev() {
+            let child = path[i];
+            let env = self.nodes[child].envelope();
+            if let Node::Internal { entries } = &mut self.nodes[path[i - 1]] {
+                if let Some(e) = entries.iter_mut().find(|(_, c)| *c == child) {
+                    e.0 = env;
+                }
+            }
+        }
+    }
+
+    /// Resolves overflow at the end of `path`, propagating splits upward.
+    fn overflow_chain(&mut self, mut path: Vec<usize>, mut level: usize, reinserted: &mut Vec<bool>) {
+        loop {
+            let node_id = *path.last().expect("path never empty");
+            if self.nodes[node_id].len() <= self.config.max_entries {
+                return;
+            }
+            let is_root = node_id == self.root;
+            if self.config.forced_reinsert && !is_root && !reinserted[level] {
+                reinserted[level] = true;
+                self.forced_reinsert(node_id, &path, level, reinserted);
+                return;
+            }
+
+            // Split the node.
+            let min = self.config.min_entries;
+            let new_node = match &mut self.nodes[node_id] {
+                Node::Leaf { entries } => {
+                    let split_at = rstar_split_point(entries, min, |e| e.0);
+                    Node::Leaf { entries: entries.split_off(split_at) }
+                }
+                Node::Internal { entries } => {
+                    let split_at = rstar_split_point(entries, min, |e| e.0);
+                    Node::Internal { entries: entries.split_off(split_at) }
+                }
+            };
+            let new_env = new_node.envelope();
+            let old_env = self.nodes[node_id].envelope();
+            let new_id = self.nodes.len();
+            self.nodes.push(new_node);
+
+            if is_root {
+                let root = Node::Internal { entries: vec![(old_env, node_id), (new_env, new_id)] };
+                self.root = self.nodes.len();
+                self.nodes.push(root);
+                self.height += 1;
+                reinserted.push(false);
+                return;
+            }
+            // Fix the parent: refresh this node's entry, add the new one,
+            // then continue the overflow check one level up.
+            let parent = path[path.len() - 2];
+            if let Node::Internal { entries } = &mut self.nodes[parent] {
+                if let Some(e) = entries.iter_mut().find(|(_, c)| *c == node_id) {
+                    e.0 = old_env;
+                }
+                entries.push((new_env, new_id));
+            }
+            path.pop();
+            level += 1;
+            self.refresh_upward(&path);
+        }
+    }
+
+    /// Removes the `p` entries farthest from the node's centre and
+    /// reinserts them (the R\* improvement over plain R-trees).
+    fn forced_reinsert(
+        &mut self,
+        node_id: usize,
+        path: &[usize],
+        level: usize,
+        reinserted: &mut Vec<bool>,
+    ) {
+        let center = match self.nodes[node_id].envelope().center() {
+            Some(c) => c,
+            None => return,
+        };
+        let p = self.config.reinsert_count.min(self.nodes[node_id].len() / 2).max(1);
+        let removed: Vec<(Envelope, Entry<T>)> = match &mut self.nodes[node_id] {
+            Node::Leaf { entries } => {
+                sort_by_center_distance_leaf(entries, center);
+                entries.drain(entries.len() - p..).map(|(e, v)| (e, Entry::Leaf(v))).collect()
+            }
+            Node::Internal { entries } => {
+                sort_by_center_distance_node(entries, center);
+                entries.drain(entries.len() - p..).map(|(e, v)| (e, Entry::Node(v))).collect()
+            }
+        };
+        self.refresh_upward(path);
+        for (env, entry) in removed {
+            self.insert_entry(env, entry, level, reinserted);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Bulk load
+    // ------------------------------------------------------------------
+
+    /// Builds a tree from scratch with Sort-Tile-Recursive packing.
+    pub fn bulk_load(config: RTreeConfig, mut items: Vec<(Envelope, T)>) -> RTree<T> {
+        if items.is_empty() {
+            return RTree::new(config);
+        }
+        let cap = config.max_entries;
+        let mut tree = RTree {
+            nodes: Vec::new(),
+            root: 0,
+            height: 0,
+            len: items.len(),
+            config,
+        };
+
+        // Leaf level: sort by x, tile into vertical slices, sort each slice
+        // by y, pack runs of `cap`.
+        let n = items.len();
+        let leaf_count = n.div_ceil(cap);
+        let slice_count = (leaf_count as f64).sqrt().ceil() as usize;
+        let slice_size = n.div_ceil(slice_count);
+        items.sort_by(|a, b| center_x(&a.0).total_cmp(&center_x(&b.0)));
+
+        let mut level_ids: Vec<usize> = Vec::new();
+        let mut i = 0;
+        while i < n {
+            let end = (i + slice_size).min(n);
+            let slice = &mut items[i..end];
+            slice.sort_by(|a, b| center_y(&a.0).total_cmp(&center_y(&b.0)));
+            let mut j = 0;
+            while j < slice.len() {
+                let chunk_end = (j + cap).min(slice.len());
+                let entries: Vec<(Envelope, T)> = slice[j..chunk_end].to_vec();
+                level_ids.push(tree.nodes.len());
+                tree.nodes.push(Node::Leaf { entries });
+                j = chunk_end;
+            }
+            i = end;
+        }
+
+        // Build internal levels the same way until one node remains.
+        let mut height = 0;
+        while level_ids.len() > 1 {
+            height += 1;
+            let mut upper: Vec<(Envelope, usize)> =
+                level_ids.iter().map(|&id| (tree.nodes[id].envelope(), id)).collect();
+            upper.sort_by(|a, b| center_x(&a.0).total_cmp(&center_x(&b.0)));
+            let count = upper.len().div_ceil(cap);
+            let slices = (count as f64).sqrt().ceil() as usize;
+            let per_slice = upper.len().div_ceil(slices);
+            let mut next_ids: Vec<usize> = Vec::new();
+            let mut i = 0;
+            while i < upper.len() {
+                let end = (i + per_slice).min(upper.len());
+                let slice = &mut upper[i..end];
+                slice.sort_by(|a, b| center_y(&a.0).total_cmp(&center_y(&b.0)));
+                let mut j = 0;
+                while j < slice.len() {
+                    let chunk_end = (j + cap).min(slice.len());
+                    next_ids.push(tree.nodes.len());
+                    tree.nodes.push(Node::Internal { entries: slice[j..chunk_end].to_vec() });
+                    j = chunk_end;
+                }
+                i = end;
+            }
+            level_ids = next_ids;
+        }
+        tree.root = level_ids[0];
+        tree.height = height;
+        tree
+    }
+
+    // ------------------------------------------------------------------
+    // Deletion
+    // ------------------------------------------------------------------
+
+    /// Removes one entry matching `env` exactly for which `pred` returns
+    /// true. Returns the removed payload, if any. Underfull nodes are
+    /// condensed by reinserting their entries, recursively up the tree.
+    pub fn remove(&mut self, env: &Envelope, pred: impl Fn(&T) -> bool) -> Option<T> {
+        let path = self.find_leaf_path(self.root, env, &pred)?;
+        let leaf = *path.last().expect("path never empty");
+        let removed = match &mut self.nodes[leaf] {
+            Node::Leaf { entries } => {
+                let pos = entries.iter().position(|(e, v)| e == env && pred(v))?;
+                Some(entries.swap_remove(pos).1)
+            }
+            Node::Internal { .. } => None,
+        }?;
+        self.len -= 1;
+        self.refresh_upward(&path);
+        self.condense(path);
+        Some(removed)
+    }
+
+    /// Walks `path` bottom-up, dissolving underfull nodes by reinserting
+    /// their entries, then shrinks a single-child root.
+    fn condense(&mut self, mut path: Vec<usize>) {
+        let mut level = 0usize;
+        while path.len() > 1 {
+            let node_id = path.pop().expect("checked len");
+            if self.nodes[node_id].len() >= self.config.min_entries {
+                level += 1;
+                continue;
+            }
+            // Detach from parent and reinsert the orphaned entries.
+            let parent = *path.last().expect("checked len");
+            if let Node::Internal { entries } = &mut self.nodes[parent] {
+                if let Some(pos) = entries.iter().position(|&(_, c)| c == node_id) {
+                    entries.swap_remove(pos);
+                }
+            }
+            self.refresh_upward(&path);
+            let orphans: Vec<(Envelope, Entry<T>)> = match &mut self.nodes[node_id] {
+                Node::Leaf { entries } => std::mem::take(entries)
+                    .into_iter()
+                    .map(|(e, v)| (e, Entry::Leaf(v)))
+                    .collect(),
+                Node::Internal { entries } => std::mem::take(entries)
+                    .into_iter()
+                    .map(|(e, c)| (e, Entry::Node(c)))
+                    .collect(),
+            };
+            for (env, entry) in orphans {
+                let mut reinserted = vec![false; self.height + 1];
+                self.insert_entry(env, entry, level, &mut reinserted);
+            }
+            level += 1;
+        }
+        // Shrink a root that has become a single-child internal node.
+        while self.height > 0 {
+            let Node::Internal { entries } = &self.nodes[self.root] else {
+                break;
+            };
+            if entries.len() == 1 {
+                self.root = entries[0].1;
+                self.height -= 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn find_leaf_path(
+        &self,
+        node_id: usize,
+        env: &Envelope,
+        pred: &impl Fn(&T) -> bool,
+    ) -> Option<Vec<usize>> {
+        match &self.nodes[node_id] {
+            Node::Leaf { entries } => entries
+                .iter()
+                .any(|(e, v)| e == env && pred(v))
+                .then(|| vec![node_id]),
+            Node::Internal { entries } => {
+                for (e, child) in entries {
+                    if e.contains_envelope(env) {
+                        if let Some(mut path) = self.find_leaf_path(*child, env, pred) {
+                            path.insert(0, node_id);
+                            return Some(path);
+                        }
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Calls `visit` for every entry whose envelope intersects `window`.
+    pub fn query_window(&self, window: &Envelope, mut visit: impl FnMut(&Envelope, &T)) {
+        self.query_rec(self.root, window, &mut visit);
+    }
+
+    /// Collects the payloads of every entry intersecting `window`.
+    pub fn window(&self, window: &Envelope) -> Vec<T> {
+        let mut out = Vec::new();
+        self.query_window(window, |_, v| out.push(v.clone()));
+        out
+    }
+
+    fn query_rec(
+        &self,
+        node_id: usize,
+        window: &Envelope,
+        visit: &mut impl FnMut(&Envelope, &T),
+    ) {
+        match &self.nodes[node_id] {
+            Node::Leaf { entries } => {
+                for (e, v) in entries {
+                    if e.intersects(window) {
+                        visit(e, v);
+                    }
+                }
+            }
+            Node::Internal { entries } => {
+                for (e, child) in entries {
+                    if e.intersects(window) {
+                        self.query_rec(*child, window, visit);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Best-first k-nearest-neighbour search from `query`, by envelope
+    /// distance. Returns `(distance, payload)` pairs in ascending order.
+    pub fn nearest(&self, query: Coord, k: usize) -> Vec<(f64, T)> {
+        #[derive(PartialEq)]
+        struct Cand {
+            dist: f64,
+            node: Option<usize>, // None = leaf entry
+            entry: usize,
+        }
+        impl Eq for Cand {}
+        impl Ord for Cand {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                // Reverse for a min-heap.
+                other.dist.total_cmp(&self.dist)
+            }
+        }
+        impl PartialOrd for Cand {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        let mut out: Vec<(f64, T)> = Vec::with_capacity(k);
+        if k == 0 || self.is_empty() {
+            return out;
+        }
+        let mut heap: BinaryHeap<Cand> = BinaryHeap::new();
+        heap.push(Cand { dist: 0.0, node: Some(self.root), entry: 0 });
+        while let Some(c) = heap.pop() {
+            match c.node {
+                Some(node_id) => match &self.nodes[node_id] {
+                    Node::Internal { entries } => {
+                        for (e, child) in entries {
+                            heap.push(Cand {
+                                dist: e.distance_to_coord(query),
+                                node: Some(*child),
+                                entry: 0,
+                            });
+                        }
+                    }
+                    Node::Leaf { entries } => {
+                        for (i, (e, _)) in entries.iter().enumerate() {
+                            heap.push(Cand {
+                                dist: e.distance_to_coord(query),
+                                node: None,
+                                entry: i | (node_id << 32),
+                            });
+                        }
+                    }
+                },
+                None => {
+                    let node_id = c.entry >> 32;
+                    let i = c.entry & 0xFFFF_FFFF;
+                    if let Node::Leaf { entries } = &self.nodes[node_id] {
+                        out.push((c.dist, entries[i].1.clone()));
+                        if out.len() == k {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+enum Entry<T> {
+    Leaf(T),
+    Node(usize),
+}
+
+fn center_x(e: &Envelope) -> f64 {
+    (e.min_x + e.max_x) * 0.5
+}
+fn center_y(e: &Envelope) -> f64 {
+    (e.min_y + e.max_y) * 0.5
+}
+
+fn sort_by_center_distance_leaf<T>(entries: &mut [(Envelope, T)], center: Coord) {
+    entries.sort_by(|a, b| {
+        let da = a.0.center().map_or(f64::INFINITY, |c| c.distance_sq(center));
+        let db = b.0.center().map_or(f64::INFINITY, |c| c.distance_sq(center));
+        da.total_cmp(&db)
+    });
+}
+
+fn sort_by_center_distance_node(entries: &mut [(Envelope, usize)], center: Coord) {
+    entries.sort_by(|a, b| {
+        let da = a.0.center().map_or(f64::INFINITY, |c| c.distance_sq(center));
+        let db = b.0.center().map_or(f64::INFINITY, |c| c.distance_sq(center));
+        da.total_cmp(&db)
+    });
+}
+
+fn pick_min_enlargement(entries: &[(Envelope, usize)], env: Envelope) -> usize {
+    let mut best = 0;
+    let mut best_key = (f64::INFINITY, f64::INFINITY);
+    for (i, (e, _)) in entries.iter().enumerate() {
+        let grown = e.union(&env);
+        let key = (grown.area() - e.area(), e.area());
+        if key < best_key {
+            best_key = key;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Sorts `entries` in place along the better split axis and returns the
+/// index at which to split, following the R\*-tree margin/overlap rule.
+fn rstar_split_point<T>(
+    entries: &mut [(Envelope, T)],
+    min_entries: usize,
+    env_of: impl Fn(&(Envelope, T)) -> Envelope,
+) -> usize {
+    let total = entries.len();
+    let upper = total - min_entries;
+
+    // For each axis, compute the total margin over all valid distributions.
+    let mut best_axis = 0;
+    let mut best_margin = f64::INFINITY;
+    for axis in 0..2 {
+        sort_axis(entries, axis, &env_of);
+        let (prefix, suffix) = envelope_scans(entries, &env_of);
+        let mut margin_sum = 0.0;
+        for split in min_entries..=upper {
+            margin_sum += prefix[split - 1].margin() + suffix[split].margin();
+        }
+        if margin_sum < best_margin {
+            best_margin = margin_sum;
+            best_axis = axis;
+        }
+    }
+    sort_axis(entries, best_axis, &env_of);
+    let (prefix, suffix) = envelope_scans(entries, &env_of);
+    let mut best_split = min_entries;
+    let mut best_key = (f64::INFINITY, f64::INFINITY);
+    for split in min_entries..=upper {
+        let left = prefix[split - 1];
+        let right = suffix[split];
+        let overlap = left.intersection(&right).map_or(0.0, |e| e.area());
+        let key = (overlap, left.area() + right.area());
+        if key < best_key {
+            best_key = key;
+            best_split = split;
+        }
+    }
+    best_split
+}
+
+fn sort_axis<T>(entries: &mut [(Envelope, T)], axis: usize, env_of: &impl Fn(&(Envelope, T)) -> Envelope) {
+    entries.sort_by(|a, b| {
+        let (ea, eb) = (env_of(a), env_of(b));
+        if axis == 0 {
+            ea.min_x.total_cmp(&eb.min_x).then(ea.max_x.total_cmp(&eb.max_x))
+        } else {
+            ea.min_y.total_cmp(&eb.min_y).then(ea.max_y.total_cmp(&eb.max_y))
+        }
+    });
+}
+
+/// Prefix/suffix running envelopes of a sorted entry list.
+fn envelope_scans<T>(
+    entries: &[(Envelope, T)],
+    env_of: &impl Fn(&(Envelope, T)) -> Envelope,
+) -> (Vec<Envelope>, Vec<Envelope>) {
+    let n = entries.len();
+    let mut prefix = vec![Envelope::EMPTY; n];
+    let mut acc = Envelope::EMPTY;
+    for (i, e) in entries.iter().enumerate() {
+        acc.expand_to_include(&env_of(e));
+        prefix[i] = acc;
+    }
+    let mut suffix = vec![Envelope::EMPTY; n];
+    let mut acc = Envelope::EMPTY;
+    for i in (0..n).rev() {
+        acc.expand_to_include(&env_of(&entries[i]));
+        suffix[i] = acc;
+    }
+    (prefix, suffix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt_env(x: f64, y: f64) -> Envelope {
+        Envelope::new(x, y, x, y)
+    }
+
+    /// Deterministic pseudo-random point cloud.
+    fn cloud(n: usize) -> Vec<(Envelope, usize)> {
+        let mut state = 0x12345678u64;
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let x = ((state >> 33) % 10_000) as f64 / 10.0;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let y = ((state >> 33) % 10_000) as f64 / 10.0;
+            out.push((pt_env(x, y), i));
+        }
+        out
+    }
+
+    #[test]
+    fn insert_and_window_query() {
+        let mut t: RTree<usize> = RTree::default();
+        for (e, v) in cloud(500) {
+            t.insert(e, v);
+        }
+        assert_eq!(t.len(), 500);
+        let window = Envelope::new(100.0, 100.0, 300.0, 300.0);
+        let mut got = t.window(&window);
+        got.sort_unstable();
+        // Compare against brute force.
+        let mut want: Vec<usize> = cloud(500)
+            .into_iter()
+            .filter(|(e, _)| window.intersects(e))
+            .map(|(_, v)| v)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+        assert!(!want.is_empty());
+    }
+
+    #[test]
+    fn bulk_load_matches_brute_force() {
+        let items = cloud(2000);
+        let t = RTree::bulk_load(RTreeConfig::default(), items.clone());
+        assert_eq!(t.len(), 2000);
+        for window in [
+            Envelope::new(0.0, 0.0, 50.0, 50.0),
+            Envelope::new(500.0, 500.0, 700.0, 900.0),
+            Envelope::new(999.0, 999.0, 1000.0, 1000.0),
+            Envelope::new(-10.0, -10.0, -5.0, -5.0),
+        ] {
+            let mut got = t.window(&window);
+            got.sort_unstable();
+            let mut want: Vec<usize> = items
+                .iter()
+                .filter(|(e, _)| window.intersects(e))
+                .map(|(_, v)| *v)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "window {window:?}");
+        }
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let items = cloud(800);
+        let t = RTree::bulk_load(RTreeConfig::default(), items.clone());
+        let q = Coord::new(500.0, 500.0);
+        let got = t.nearest(q, 10);
+        assert_eq!(got.len(), 10);
+        let mut dists: Vec<f64> =
+            items.iter().map(|(e, _)| e.distance_to_coord(q)).collect();
+        dists.sort_by(f64::total_cmp);
+        for (i, (d, _)) in got.iter().enumerate() {
+            assert!((d - dists[i]).abs() < 1e-9, "k={i}: {d} vs {}", dists[i]);
+        }
+        // Ascending order.
+        for w in got.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+    }
+
+    #[test]
+    fn knn_edge_cases() {
+        let t: RTree<usize> = RTree::default();
+        assert!(t.nearest(Coord::new(0.0, 0.0), 5).is_empty());
+        let mut t: RTree<usize> = RTree::default();
+        t.insert(pt_env(1.0, 1.0), 7);
+        let r = t.nearest(Coord::new(0.0, 0.0), 5);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].1, 7);
+        assert!(t.nearest(Coord::new(0.0, 0.0), 0).is_empty());
+    }
+
+    #[test]
+    fn removal_and_condensation() {
+        let items = cloud(300);
+        let mut t = RTree::bulk_load(RTreeConfig::default(), items.clone());
+        // Remove half the entries.
+        for (e, v) in items.iter().take(150) {
+            let removed = t.remove(e, |x| x == v);
+            assert_eq!(removed, Some(*v), "failed to remove {v}");
+        }
+        assert_eq!(t.len(), 150);
+        // Remaining entries still queryable.
+        let all = Envelope::new(-1.0, -1.0, 2000.0, 2000.0);
+        let mut got = t.window(&all);
+        got.sort_unstable();
+        let want: Vec<usize> = (150..300).collect();
+        assert_eq!(got, want);
+        // Removing a non-existent entry returns None.
+        assert_eq!(t.remove(&pt_env(-99.0, -99.0), |_| true), None);
+    }
+
+    #[test]
+    fn envelopes_stay_consistent_under_mixed_workload() {
+        let mut t: RTree<usize> = RTree::default();
+        let items = cloud(400);
+        for (e, v) in items.iter().take(200) {
+            t.insert(*e, *v);
+        }
+        for (e, v) in items.iter().take(100) {
+            assert!(t.remove(e, |x| x == v).is_some());
+        }
+        for (e, v) in items.iter().skip(200) {
+            t.insert(*e, *v);
+        }
+        assert_eq!(t.len(), 300);
+        let mut got = t.window(&Envelope::new(-1.0, -1.0, 2000.0, 2000.0));
+        got.sort_unstable();
+        let want: Vec<usize> = (100..400).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn rectangles_not_just_points() {
+        let mut t: RTree<&str> = RTree::default();
+        t.insert(Envelope::new(0.0, 0.0, 10.0, 10.0), "big");
+        t.insert(Envelope::new(2.0, 2.0, 3.0, 3.0), "small");
+        t.insert(Envelope::new(20.0, 20.0, 30.0, 30.0), "far");
+        let hits = t.window(&Envelope::new(2.5, 2.5, 2.6, 2.6));
+        assert_eq!(hits.len(), 2);
+        assert!(hits.contains(&"big") && hits.contains(&"small"));
+    }
+
+    #[test]
+    fn forced_reinsert_ablation_still_correct() {
+        let cfg = RTreeConfig { forced_reinsert: false, ..RTreeConfig::default() };
+        let mut t: RTree<usize> = RTree::new(cfg);
+        let items = cloud(600);
+        for (e, v) in &items {
+            t.insert(*e, *v);
+        }
+        let window = Envelope::new(200.0, 200.0, 400.0, 400.0);
+        let mut got = t.window(&window);
+        got.sort_unstable();
+        let mut want: Vec<usize> =
+            items.iter().filter(|(e, _)| window.intersects(e)).map(|(_, v)| *v).collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn stats_reflect_structure() {
+        let t = RTree::bulk_load(RTreeConfig::default(), cloud(1000));
+        let s = t.stats();
+        assert_eq!(s.entries, 1000);
+        assert!(s.height >= 2, "1000 entries with M=16 must be at least 2 levels");
+        assert!(s.nodes > 1000 / 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_entries")]
+    fn bad_config_panics() {
+        let _: RTree<usize> =
+            RTree::new(RTreeConfig { max_entries: 8, min_entries: 5, ..Default::default() });
+    }
+}

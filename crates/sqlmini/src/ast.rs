@@ -1,0 +1,219 @@
+//! Abstract syntax of the supported SQL subset.
+
+use jackpine_storage::Value;
+
+/// A parsed statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Statement {
+    /// `SELECT ...`
+    Select(Select),
+    /// `CREATE TABLE name (col TYPE, ...)`
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column name/type pairs (types as written).
+        columns: Vec<(String, String)>,
+    },
+    /// `INSERT INTO name VALUES (...), (...)`
+    Insert {
+        /// Target table.
+        table: String,
+        /// One expression list per row.
+        rows: Vec<Vec<Expr>>,
+    },
+    /// `UPDATE name SET col = expr [, ...] [WHERE ...]`
+    Update {
+        /// Target table.
+        table: String,
+        /// `(column, new value)` assignments.
+        assignments: Vec<(String, Expr)>,
+        /// Conjunctive filter terms (empty = update everything).
+        filters: Vec<Expr>,
+    },
+    /// `DELETE FROM name [WHERE ...]`
+    Delete {
+        /// Target table.
+        table: String,
+        /// Conjunctive filter terms (empty = delete everything).
+        filters: Vec<Expr>,
+    },
+    /// `DROP TABLE name`
+    DropTable {
+        /// Table to drop.
+        name: String,
+    },
+    /// `EXPLAIN SELECT ...` — show the plan instead of executing it.
+    Explain(Box<Statement>),
+}
+
+/// A `SELECT` statement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Select {
+    /// Projection list.
+    pub items: Vec<SelectItem>,
+    /// `FROM` tables (comma-joined and `JOIN ... ON` folded together, with
+    /// the join conditions appended to `filters`).
+    pub from: Vec<TableRef>,
+    /// Conjunctive `WHERE`/`ON` terms.
+    pub filters: Vec<Expr>,
+    /// `GROUP BY` expressions.
+    pub group_by: Vec<Expr>,
+    /// `ORDER BY` expressions with ascending flags.
+    pub order_by: Vec<(Expr, bool)>,
+    /// `LIMIT n`.
+    pub limit: Option<usize>,
+}
+
+/// A projection item.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// An expression with an optional `AS` alias.
+    Expr {
+        /// The projected expression.
+        expr: Expr,
+        /// Output column name, if given.
+        alias: Option<String>,
+    },
+}
+
+/// A table reference with an optional alias.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TableRef {
+    /// Table name in the catalog.
+    pub table: String,
+    /// Alias (defaults to the table name).
+    pub alias: String,
+}
+
+/// Binary operators in precedence groups.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// Logical OR.
+    Or,
+    /// Logical AND.
+    And,
+    /// `=`
+    Eq,
+    /// `<>`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+/// An expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// A literal value.
+    Literal(Value),
+    /// A column reference, optionally qualified by table alias.
+    Column {
+        /// Qualifier (`a` in `a.geom`).
+        table: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// A function call such as `ST_Area(geom)`. `COUNT(*)` is parsed with
+    /// a single [`Expr::Star`] argument.
+    Func {
+        /// Function name (case preserved; matched case-insensitively).
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// The bare `*` inside `COUNT(*)`.
+    Star,
+    /// A binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// Arithmetic negation.
+    Neg(Box<Expr>),
+    /// `expr BETWEEN lo AND hi`.
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Lower bound (inclusive).
+        lo: Box<Expr>,
+        /// Upper bound (inclusive).
+        hi: Box<Expr>,
+    },
+    /// `expr IS NULL` / `expr IS NOT NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// `true` for `IS NOT NULL`.
+        negated: bool,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for binary nodes.
+    pub fn binary(op: BinOp, left: Expr, right: Expr) -> Expr {
+        Expr::Binary { op, left: Box::new(left), right: Box::new(right) }
+    }
+
+    /// Flattens a conjunction tree into its terms; non-AND expressions
+    /// yield themselves.
+    pub fn split_conjunction(self, out: &mut Vec<Expr>) {
+        match self {
+            Expr::Binary { op: BinOp::And, left, right } => {
+                left.split_conjunction(out);
+                right.split_conjunction(out);
+            }
+            other => out.push(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conjunction_splitting() {
+        let a = Expr::Column { table: None, name: "a".into() };
+        let b = Expr::Column { table: None, name: "b".into() };
+        let c = Expr::Column { table: None, name: "c".into() };
+        let e = Expr::binary(
+            BinOp::And,
+            Expr::binary(BinOp::And, a.clone(), b.clone()),
+            c.clone(),
+        );
+        let mut terms = Vec::new();
+        e.split_conjunction(&mut terms);
+        assert_eq!(terms, vec![a, b, c]);
+
+        // OR is not split.
+        let o = Expr::binary(
+            BinOp::Or,
+            Expr::Column { table: None, name: "x".into() },
+            Expr::Column { table: None, name: "y".into() },
+        );
+        let mut terms = Vec::new();
+        o.clone().split_conjunction(&mut terms);
+        assert_eq!(terms, vec![o]);
+    }
+}

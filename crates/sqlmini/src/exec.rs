@@ -1,0 +1,569 @@
+//! Plan execution: expression evaluation and the physical operators.
+
+use crate::ast::BinOp;
+use crate::functions::{self, FunctionMode};
+use crate::plan::{AggExpr, AggOutput, BoundExpr, PlanNode, PlannedSelect};
+use crate::provider::TableProvider;
+use crate::{Result, SqlError};
+use jackpine_geom::Envelope;
+use jackpine_storage::Value;
+use std::sync::Arc;
+
+/// The materialized result of a query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResultSet {
+    /// Output column labels.
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl ResultSet {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no rows were produced.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The single scalar of a one-row, one-column result (e.g. `COUNT(*)`).
+    pub fn scalar(&self) -> Option<&Value> {
+        match (self.rows.len(), self.columns.len()) {
+            (1, 1) => self.rows[0].first(),
+            _ => None,
+        }
+    }
+}
+
+/// Executes a planned `SELECT`.
+pub fn execute(plan: &PlannedSelect) -> Result<ResultSet> {
+    let rows = run(&plan.root, plan.mode)?;
+    Ok(ResultSet { columns: plan.columns.clone(), rows })
+}
+
+fn run(node: &PlanNode, mode: FunctionMode) -> Result<Vec<Vec<Value>>> {
+    match node {
+        PlanNode::SingleRow => Ok(vec![Vec::new()]),
+        PlanNode::Scan { table } => scan_all(table),
+        PlanNode::SpatialIndexScan { table, col, query, expand } => {
+            let env = probe_envelope(query, expand, mode)?;
+            match table.spatial_candidates(*col, &env) {
+                Some(ids) => {
+                    let mut out = Vec::with_capacity(ids.len());
+                    for id in ids {
+                        out.push(table.fetch(id)?.as_ref().clone());
+                    }
+                    Ok(out)
+                }
+                None => scan_all(table),
+            }
+        }
+        PlanNode::OrderedIndexScan { table, col, key } => {
+            let key = eval(key, &[], mode)?;
+            match table.ordered_candidates(*col, &key) {
+                Some(ids) => {
+                    let mut out = Vec::with_capacity(ids.len());
+                    for id in ids {
+                        out.push(table.fetch(id)?.as_ref().clone());
+                    }
+                    Ok(out)
+                }
+                None => scan_all(table),
+            }
+        }
+        PlanNode::KnnScan { table, col, query, k } => {
+            let g = eval(query, &[], mode)?;
+            let geom = g
+                .as_geom()
+                .ok_or_else(|| SqlError::Type("k-NN query expression must be a geometry".into()))?;
+            let center = geom
+                .envelope()
+                .center()
+                .ok_or_else(|| SqlError::Type("k-NN query geometry is empty".into()))?;
+            match table.nearest(*col, center, *k) {
+                Some(ids) => {
+                    let mut out = Vec::with_capacity(ids.len());
+                    for id in ids {
+                        out.push(table.fetch(id)?.as_ref().clone());
+                    }
+                    Ok(out)
+                }
+                None => scan_all(table),
+            }
+        }
+        PlanNode::Filter { input, predicate } => {
+            let rows = run(input, mode)?;
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                if truthy(&eval(predicate, &row, mode)?) {
+                    out.push(row);
+                }
+            }
+            Ok(out)
+        }
+        PlanNode::NestedLoopJoin { left, right } => {
+            let l = run(left, mode)?;
+            let r = run(right, mode)?;
+            let mut out = Vec::with_capacity(l.len() * r.len().max(1));
+            for lr in &l {
+                for rr in &r {
+                    let mut row = lr.clone();
+                    row.extend(rr.iter().cloned());
+                    out.push(row);
+                }
+            }
+            Ok(out)
+        }
+        PlanNode::SpatialIndexJoin { left, right, right_col, probe, expand } => {
+            let l = run(left, mode)?;
+            let expand_by = match expand {
+                Some(e) => eval(e, &[], mode)?
+                    .as_f64()
+                    .ok_or_else(|| SqlError::Type("DWithin distance must be numeric".into()))?,
+                None => 0.0,
+            };
+            let mut out = Vec::new();
+            for lr in &l {
+                let g = eval(probe, lr, mode)?;
+                let Some(geom) = g.as_geom() else {
+                    continue; // NULL geometry joins nothing
+                };
+                let env = geom.envelope().expanded_by(expand_by);
+                let ids = match right.spatial_candidates(*right_col, &env) {
+                    Some(ids) => ids,
+                    // No index after all: degenerate to scanning the right
+                    // table for this probe.
+                    None => right.row_ids(),
+                };
+                for id in ids {
+                    let rr = right.fetch(id)?;
+                    let mut row = lr.clone();
+                    row.extend(rr.iter().cloned());
+                    out.push(row);
+                }
+            }
+            Ok(out)
+        }
+        PlanNode::Project { input, exprs } => {
+            let rows = run(input, mode)?;
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                let mut projected = Vec::with_capacity(exprs.len());
+                for (e, _) in exprs {
+                    projected.push(eval(e, &row, mode)?);
+                }
+                out.push(projected);
+            }
+            Ok(out)
+        }
+        PlanNode::Aggregate { input, group_by, outputs } => {
+            let rows = run(input, mode)?;
+            if group_by.is_empty() {
+                let mut out_row = Vec::with_capacity(outputs.len());
+                for (o, _) in outputs {
+                    match o {
+                        AggOutput::Agg(agg) => out_row.push(eval_aggregate(agg, &rows, mode)?),
+                        AggOutput::Group(_) => {
+                            return Err(SqlError::Type(
+                                "group column without GROUP BY".into(),
+                            ))
+                        }
+                    }
+                }
+                return Ok(vec![out_row]);
+            }
+            // Sort rows by their grouping keys, then fold each run.
+            let mut keyed: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(rows.len());
+            for row in rows {
+                let mut key = Vec::with_capacity(group_by.len());
+                for g in group_by {
+                    key.push(eval(g, &row, mode)?);
+                }
+                keyed.push((key, row));
+            }
+            keyed.sort_by(|(ka, _), (kb, _)| {
+                for (a, b) in ka.iter().zip(kb) {
+                    let ord = compare_values(a, b);
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            let mut out = Vec::new();
+            let mut i = 0;
+            while i < keyed.len() {
+                let mut j = i + 1;
+                while j < keyed.len()
+                    && keyed[i]
+                        .0
+                        .iter()
+                        .zip(&keyed[j].0)
+                        .all(|(a, b)| compare_values(a, b) == std::cmp::Ordering::Equal)
+                {
+                    j += 1;
+                }
+                let group_rows: Vec<Vec<Value>> =
+                    keyed[i..j].iter().map(|(_, r)| r.clone()).collect();
+                let mut out_row = Vec::with_capacity(outputs.len());
+                for (o, _) in outputs {
+                    match o {
+                        AggOutput::Group(g) => out_row.push(keyed[i].0[*g].clone()),
+                        AggOutput::Agg(agg) => {
+                            out_row.push(eval_aggregate(agg, &group_rows, mode)?)
+                        }
+                    }
+                }
+                out.push(out_row);
+                i = j;
+            }
+            Ok(out)
+        }
+        PlanNode::Sort { input, keys } => {
+            let rows = run(input, mode)?;
+            // Precompute key tuples, then sort by them.
+            let mut keyed: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(rows.len());
+            for row in rows {
+                let mut kt = Vec::with_capacity(keys.len());
+                for (e, _) in keys {
+                    kt.push(eval(e, &row, mode)?);
+                }
+                keyed.push((kt, row));
+            }
+            keyed.sort_by(|(ka, _), (kb, _)| {
+                for (i, (_, asc)) in keys.iter().enumerate() {
+                    let ord = compare_values(&ka[i], &kb[i]);
+                    let ord = if *asc { ord } else { ord.reverse() };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            Ok(keyed.into_iter().map(|(_, r)| r).collect())
+        }
+        PlanNode::Limit { input, n } => {
+            let mut rows = run(input, mode)?;
+            rows.truncate(*n);
+            Ok(rows)
+        }
+    }
+}
+
+fn scan_all(table: &Arc<dyn TableProvider>) -> Result<Vec<Vec<Value>>> {
+    let ids = table.row_ids();
+    let mut out = Vec::with_capacity(ids.len());
+    for id in ids {
+        out.push(table.fetch(id)?.as_ref().clone());
+    }
+    Ok(out)
+}
+
+fn probe_envelope(
+    query: &BoundExpr,
+    expand: &Option<BoundExpr>,
+    mode: FunctionMode,
+) -> Result<Envelope> {
+    let v = eval(query, &[], mode)?;
+    let g = v
+        .as_geom()
+        .ok_or_else(|| SqlError::Type("spatial index probe must be a geometry".into()))?;
+    let mut env = g.envelope();
+    if let Some(e) = expand {
+        let d = eval(e, &[], mode)?
+            .as_f64()
+            .ok_or_else(|| SqlError::Type("DWithin distance must be numeric".into()))?;
+        env = env.expanded_by(d);
+    }
+    Ok(env)
+}
+
+/// SQL truthiness: non-zero numbers are true; NULL and everything else is
+/// false.
+pub fn truthy(v: &Value) -> bool {
+    match v {
+        Value::Int(i) => *i != 0,
+        Value::Float(f) => *f != 0.0,
+        _ => false,
+    }
+}
+
+/// Total ordering for sorting: NULLs first, then numeric, text, geometry
+/// (by WKT) — enough for benchmark queries.
+pub fn compare_values(a: &Value, b: &Value) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (a, b) {
+        (Value::Null, Value::Null) => Ordering::Equal,
+        (Value::Null, _) => Ordering::Less,
+        (_, Value::Null) => Ordering::Greater,
+        (Value::Int(x), Value::Int(y)) => x.cmp(y),
+        (Value::Text(x), Value::Text(y)) => x.cmp(y),
+        _ => match (a.as_f64(), b.as_f64()) {
+            (Some(x), Some(y)) => x.total_cmp(&y),
+            _ => a.to_string().cmp(&b.to_string()),
+        },
+    }
+}
+
+/// Evaluates a bound expression over a tuple.
+pub fn eval(e: &BoundExpr, row: &[Value], mode: FunctionMode) -> Result<Value> {
+    Ok(match e {
+        BoundExpr::Literal(v) => v.clone(),
+        BoundExpr::Column(i) => row
+            .get(*i)
+            .cloned()
+            .ok_or_else(|| SqlError::Type(format!("column offset {i} out of range")))?,
+        BoundExpr::Func { name, args } => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval(a, row, mode)?);
+            }
+            functions::call(mode, name, &vals)?
+        }
+        BoundExpr::Binary { op, left, right } => {
+            let l = eval(left, row, mode)?;
+            // Short-circuit logic.
+            match op {
+                BinOp::And => {
+                    if !truthy(&l) {
+                        return Ok(Value::Int(0));
+                    }
+                    return Ok(Value::Int(i64::from(truthy(&eval(right, row, mode)?))));
+                }
+                BinOp::Or => {
+                    if truthy(&l) {
+                        return Ok(Value::Int(1));
+                    }
+                    return Ok(Value::Int(i64::from(truthy(&eval(right, row, mode)?))));
+                }
+                _ => {}
+            }
+            let r = eval(right, row, mode)?;
+            eval_binary(*op, &l, &r)?
+        }
+        BoundExpr::Not(inner) => Value::Int(i64::from(!truthy(&eval(inner, row, mode)?))),
+        BoundExpr::Neg(inner) => match eval(inner, row, mode)? {
+            Value::Int(i) => Value::Int(-i),
+            Value::Float(f) => Value::Float(-f),
+            Value::Null => Value::Null,
+            other => return Err(SqlError::Type(format!("cannot negate {other:?}"))),
+        },
+        BoundExpr::Between { expr, lo, hi } => {
+            let v = eval(expr, row, mode)?;
+            let lo = eval(lo, row, mode)?;
+            let hi = eval(hi, row, mode)?;
+            if v.is_null() || lo.is_null() || hi.is_null() {
+                Value::Int(0)
+            } else {
+                let ge = compare_values(&v, &lo) != std::cmp::Ordering::Less;
+                let le = compare_values(&v, &hi) != std::cmp::Ordering::Greater;
+                Value::Int(i64::from(ge && le))
+            }
+        }
+        BoundExpr::IsNull { expr, negated } => {
+            let v = eval(expr, row, mode)?;
+            Value::Int(i64::from(v.is_null() != *negated))
+        }
+    })
+}
+
+fn eval_binary(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
+    use std::cmp::Ordering;
+    // NULL propagates through comparisons (as false) and arithmetic.
+    if l.is_null() || r.is_null() {
+        return Ok(match op {
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => Value::Null,
+            _ => Value::Int(0),
+        });
+    }
+    Ok(match op {
+        BinOp::Eq => Value::Int(i64::from(value_eq(l, r))),
+        BinOp::Neq => Value::Int(i64::from(!value_eq(l, r))),
+        BinOp::Lt => Value::Int(i64::from(compare_values(l, r) == Ordering::Less)),
+        BinOp::Le => Value::Int(i64::from(compare_values(l, r) != Ordering::Greater)),
+        BinOp::Gt => Value::Int(i64::from(compare_values(l, r) == Ordering::Greater)),
+        BinOp::Ge => Value::Int(i64::from(compare_values(l, r) != Ordering::Less)),
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => arith(op, l, r)?,
+        BinOp::And | BinOp::Or => unreachable!("short-circuited by caller"),
+    })
+}
+
+fn value_eq(l: &Value, r: &Value) -> bool {
+    match (l, r) {
+        (Value::Int(a), Value::Int(b)) => a == b,
+        (Value::Text(a), Value::Text(b)) => a == b,
+        (Value::Geom(a), Value::Geom(b)) => a == b,
+        _ => match (l.as_f64(), r.as_f64()) {
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        },
+    }
+}
+
+fn arith(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
+    // Integer arithmetic stays integral except division.
+    if let (Value::Int(a), Value::Int(b)) = (l, r) {
+        return Ok(match op {
+            BinOp::Add => Value::Int(a.wrapping_add(*b)),
+            BinOp::Sub => Value::Int(a.wrapping_sub(*b)),
+            BinOp::Mul => Value::Int(a.wrapping_mul(*b)),
+            BinOp::Div => {
+                if *b == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(*a as f64 / *b as f64)
+                }
+            }
+            _ => unreachable!(),
+        });
+    }
+    let (a, b) = match (l.as_f64(), r.as_f64()) {
+        (Some(a), Some(b)) => (a, b),
+        _ => {
+            return Err(SqlError::Type(format!(
+                "arithmetic on non-numeric values {l:?} and {r:?}"
+            )))
+        }
+    };
+    Ok(match op {
+        BinOp::Add => Value::Float(a + b),
+        BinOp::Sub => Value::Float(a - b),
+        BinOp::Mul => Value::Float(a * b),
+        BinOp::Div => {
+            if b == 0.0 {
+                Value::Null
+            } else {
+                Value::Float(a / b)
+            }
+        }
+        _ => unreachable!(),
+    })
+}
+
+fn eval_aggregate(agg: &AggExpr, rows: &[Vec<Value>], mode: FunctionMode) -> Result<Value> {
+    match agg {
+        AggExpr::CountStar => Ok(Value::Int(rows.len() as i64)),
+        AggExpr::Count(e) => {
+            let mut n = 0i64;
+            for row in rows {
+                if !eval(e, row, mode)?.is_null() {
+                    n += 1;
+                }
+            }
+            Ok(Value::Int(n))
+        }
+        AggExpr::Sum(e) | AggExpr::Avg(e) => {
+            let mut sum = 0.0;
+            let mut n = 0usize;
+            for row in rows {
+                let v = eval(e, row, mode)?;
+                if let Some(f) = v.as_f64() {
+                    sum += f;
+                    n += 1;
+                }
+            }
+            if n == 0 {
+                return Ok(Value::Null);
+            }
+            Ok(match agg {
+                AggExpr::Sum(_) => Value::Float(sum),
+                _ => Value::Float(sum / n as f64),
+            })
+        }
+        AggExpr::Min(e) | AggExpr::Max(e) => {
+            let mut best: Option<Value> = None;
+            for row in rows {
+                let v = eval(e, row, mode)?;
+                if v.is_null() {
+                    continue;
+                }
+                best = Some(match best {
+                    None => v,
+                    Some(b) => {
+                        let keep_new = match agg {
+                            AggExpr::Min(_) => {
+                                compare_values(&v, &b) == std::cmp::Ordering::Less
+                            }
+                            _ => compare_values(&v, &b) == std::cmp::Ordering::Greater,
+                        };
+                        if keep_new {
+                            v
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            Ok(best.unwrap_or(Value::Null))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness() {
+        assert!(truthy(&Value::Int(1)));
+        assert!(truthy(&Value::Float(0.5)));
+        assert!(!truthy(&Value::Int(0)));
+        assert!(!truthy(&Value::Null));
+        assert!(!truthy(&Value::Text("yes".into())));
+    }
+
+    #[test]
+    fn value_comparisons() {
+        use std::cmp::Ordering;
+        assert_eq!(compare_values(&Value::Int(1), &Value::Int(2)), Ordering::Less);
+        assert_eq!(compare_values(&Value::Int(2), &Value::Float(1.5)), Ordering::Greater);
+        assert_eq!(compare_values(&Value::Null, &Value::Int(0)), Ordering::Less);
+        assert_eq!(
+            compare_values(&Value::Text("a".into()), &Value::Text("b".into())),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn arithmetic_semantics() {
+        assert_eq!(
+            eval_binary(BinOp::Add, &Value::Int(2), &Value::Int(3)).unwrap(),
+            Value::Int(5)
+        );
+        assert_eq!(
+            eval_binary(BinOp::Div, &Value::Int(1), &Value::Int(0)).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            eval_binary(BinOp::Mul, &Value::Float(2.0), &Value::Int(3)).unwrap(),
+            Value::Float(6.0)
+        );
+        assert_eq!(
+            eval_binary(BinOp::Add, &Value::Null, &Value::Int(3)).unwrap(),
+            Value::Null
+        );
+        assert!(eval_binary(BinOp::Add, &Value::Text("a".into()), &Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn is_null_logic() {
+        let e = BoundExpr::IsNull {
+            expr: Box::new(BoundExpr::Literal(Value::Null)),
+            negated: false,
+        };
+        assert_eq!(eval(&e, &[], FunctionMode::Exact).unwrap(), Value::Int(1));
+        let e = BoundExpr::IsNull {
+            expr: Box::new(BoundExpr::Literal(Value::Int(5))),
+            negated: true,
+        };
+        assert_eq!(eval(&e, &[], FunctionMode::Exact).unwrap(), Value::Int(1));
+        let e = BoundExpr::IsNull {
+            expr: Box::new(BoundExpr::Literal(Value::Int(5))),
+            negated: false,
+        };
+        assert_eq!(eval(&e, &[], FunctionMode::Exact).unwrap(), Value::Int(0));
+    }
+}

@@ -1,0 +1,594 @@
+//! Recursive-descent parser for the supported SQL subset.
+
+use crate::ast::{BinOp, Expr, Select, SelectItem, Statement, TableRef};
+use crate::token::{tokenize, Token, TokenKind};
+use crate::{Result, SqlError};
+use jackpine_storage::Value;
+
+/// Parses one SQL statement.
+pub fn parse(sql: &str) -> Result<Statement> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn position(&self) -> usize {
+        self.tokens[self.pos].position
+    }
+
+    fn advance(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> SqlError {
+        SqlError::Parse { position: self.position(), message: message.into() }
+    }
+
+    /// Consumes the given keyword (case-insensitive) if present.
+    fn accept_kw(&mut self, kw: &str) -> bool {
+        if let TokenKind::Ident(s) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.advance();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.accept_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {kw}")))
+        }
+    }
+
+    fn accept(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<()> {
+        if self.accept(kind) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}")))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        // A trailing semicolon is tolerated... we have no semicolon token,
+        // so simply require EOF.
+        if matches!(self.peek(), TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(self.err("unexpected trailing tokens"))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.advance() {
+            TokenKind::Ident(s) => Ok(s),
+            _ => Err(self.err("expected an identifier")),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+
+    fn statement(&mut self) -> Result<Statement> {
+        if self.accept_kw("EXPLAIN") {
+            return Ok(Statement::Explain(Box::new(self.statement()?)));
+        }
+        if self.accept_kw("UPDATE") {
+            let table = self.ident()?;
+            self.expect_kw("SET")?;
+            let mut assignments = Vec::new();
+            loop {
+                let col = self.ident()?;
+                self.expect(&TokenKind::Eq, "'='")?;
+                assignments.push((col, self.expr()?));
+                if !self.accept(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            let mut filters = Vec::new();
+            if self.accept_kw("WHERE") {
+                self.expr()?.split_conjunction(&mut filters);
+            }
+            return Ok(Statement::Update { table, assignments, filters });
+        }
+        if self.accept_kw("DELETE") {
+            self.expect_kw("FROM")?;
+            let table = self.ident()?;
+            let mut filters = Vec::new();
+            if self.accept_kw("WHERE") {
+                self.expr()?.split_conjunction(&mut filters);
+            }
+            return Ok(Statement::Delete { table, filters });
+        }
+        if self.accept_kw("SELECT") {
+            return Ok(Statement::Select(self.select_body()?));
+        }
+        if self.accept_kw("CREATE") {
+            self.expect_kw("TABLE")?;
+            return self.create_table();
+        }
+        if self.accept_kw("DROP") {
+            self.expect_kw("TABLE")?;
+            let name = self.ident()?;
+            return Ok(Statement::DropTable { name });
+        }
+        if self.accept_kw("INSERT") {
+            self.expect_kw("INTO")?;
+            return self.insert();
+        }
+        Err(self.err("expected SELECT, EXPLAIN, DELETE, UPDATE, CREATE/DROP TABLE or INSERT INTO"))
+    }
+
+    fn create_table(&mut self) -> Result<Statement> {
+        let name = self.ident()?;
+        self.expect(&TokenKind::LParen, "'('")?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.ident()?;
+            let ty = self.ident()?;
+            columns.push((col, ty));
+            if !self.accept(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen, "')'")?;
+        Ok(Statement::CreateTable { name, columns })
+    }
+
+    fn insert(&mut self) -> Result<Statement> {
+        let table = self.ident()?;
+        self.expect_kw("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(&TokenKind::LParen, "'('")?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.expr()?);
+                if !self.accept(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen, "')'")?;
+            rows.push(row);
+            if !self.accept(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(Statement::Insert { table, rows })
+    }
+
+    fn select_body(&mut self) -> Result<Select> {
+        // Projection list.
+        let mut items = Vec::new();
+        loop {
+            if self.accept(&TokenKind::Star) {
+                items.push(SelectItem::Wildcard);
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.accept_kw("AS") {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.accept(&TokenKind::Comma) {
+                break;
+            }
+        }
+
+        // FROM is optional: `SELECT <expr>` evaluates over a single
+        // empty tuple (constant queries like `SELECT ST_Area(...)`).
+        let mut from = Vec::new();
+        let mut filters: Vec<Expr> = Vec::new();
+        if self.accept_kw("FROM") {
+            from.push(self.table_ref()?);
+        }
+        loop {
+            if from.is_empty() {
+                break;
+            }
+            if self.accept(&TokenKind::Comma) {
+                from.push(self.table_ref()?);
+            } else if self.accept_kw("JOIN") || {
+                // INNER JOIN
+                if self.accept_kw("INNER") {
+                    self.expect_kw("JOIN")?;
+                    true
+                } else {
+                    false
+                }
+            } {
+                from.push(self.table_ref()?);
+                self.expect_kw("ON")?;
+                self.expr()?.split_conjunction(&mut filters);
+            } else {
+                break;
+            }
+        }
+
+        if self.accept_kw("WHERE") {
+            self.expr()?.split_conjunction(&mut filters);
+        }
+
+        let mut group_by = Vec::new();
+        if self.accept_kw("GROUP") {
+            self.expect_kw("BY")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.accept(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let mut order_by = Vec::new();
+        if self.accept_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let e = self.expr()?;
+                let asc = if self.accept_kw("DESC") {
+                    false
+                } else {
+                    self.accept_kw("ASC");
+                    true
+                };
+                order_by.push((e, asc));
+                if !self.accept(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let limit = if self.accept_kw("LIMIT") {
+            match self.advance() {
+                TokenKind::Number(n) => Some(
+                    n.parse::<usize>().map_err(|_| self.err("LIMIT must be an integer"))?,
+                ),
+                _ => return Err(self.err("expected a number after LIMIT")),
+            }
+        } else {
+            None
+        };
+
+        Ok(Select { items, from, filters, group_by, order_by, limit })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        let table = self.ident()?;
+        // Optional alias: a bare identifier that is not a clause keyword.
+        let alias = match self.peek() {
+            TokenKind::Ident(s) if !is_clause_keyword(s) => {
+                let a = s.clone();
+                self.advance();
+                a
+            }
+            _ => table.clone(),
+        };
+        Ok(TableRef { table, alias })
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions (precedence climbing)
+    // ------------------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.accept_kw("OR") {
+            let right = self.and_expr()?;
+            left = Expr::binary(BinOp::Or, left, right);
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.not_expr()?;
+        while self.accept_kw("AND") {
+            let right = self.not_expr()?;
+            left = Expr::binary(BinOp::And, left, right);
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.accept_kw("NOT") {
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.comparison()
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let left = self.additive()?;
+        // BETWEEN lo AND hi
+        if self.accept_kw("BETWEEN") {
+            let lo = self.additive()?;
+            self.expect_kw("AND")?;
+            let hi = self.additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                lo: Box::new(lo),
+                hi: Box::new(hi),
+            });
+        }
+        if self.accept_kw("IS") {
+            let negated = self.accept_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+        }
+        let op = match self.peek() {
+            TokenKind::Eq => BinOp::Eq,
+            TokenKind::Neq => BinOp::Neq,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Ge => BinOp::Ge,
+            _ => return Ok(left),
+        };
+        self.advance();
+        let right = self.additive()?;
+        Ok(Expr::binary(op, left, right))
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let right = self.multiplicative()?;
+            left = Expr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.advance();
+            let right = self.unary()?;
+            left = Expr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.accept(&TokenKind::Minus) {
+            return Ok(Expr::Neg(Box::new(self.unary()?)));
+        }
+        if self.accept(&TokenKind::Plus) {
+            return self.unary();
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.advance() {
+            TokenKind::Number(n) => {
+                if n.contains('.') || n.contains('e') || n.contains('E') {
+                    n.parse::<f64>()
+                        .map(|f| Expr::Literal(Value::Float(f)))
+                        .map_err(|_| self.err("malformed number"))
+                } else {
+                    n.parse::<i64>()
+                        .map(|i| Expr::Literal(Value::Int(i)))
+                        .map_err(|_| self.err("malformed integer"))
+                }
+            }
+            TokenKind::StringLit(s) => Ok(Expr::Literal(Value::Text(s))),
+            TokenKind::LParen => {
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen, "')'")?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                if name.eq_ignore_ascii_case("NULL") {
+                    return Ok(Expr::Literal(Value::Null));
+                }
+                if name.eq_ignore_ascii_case("TRUE") {
+                    return Ok(Expr::Literal(Value::Int(1)));
+                }
+                if name.eq_ignore_ascii_case("FALSE") {
+                    return Ok(Expr::Literal(Value::Int(0)));
+                }
+                if self.accept(&TokenKind::LParen) {
+                    // Function call.
+                    let mut args = Vec::new();
+                    if !self.accept(&TokenKind::RParen) {
+                        loop {
+                            if self.accept(&TokenKind::Star) {
+                                args.push(Expr::Star);
+                            } else {
+                                args.push(self.expr()?);
+                            }
+                            if !self.accept(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(&TokenKind::RParen, "')'")?;
+                    }
+                    return Ok(Expr::Func { name, args });
+                }
+                if self.accept(&TokenKind::Dot) {
+                    let col = self.ident()?;
+                    return Ok(Expr::Column { table: Some(name), name: col });
+                }
+                Ok(Expr::Column { table: None, name })
+            }
+            other => Err(self.err(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+fn is_clause_keyword(s: &str) -> bool {
+    const KW: [&str; 11] = [
+        "WHERE", "JOIN", "INNER", "ON", "ORDER", "LIMIT", "GROUP", "AND", "OR", "AS", "FROM",
+    ];
+    KW.iter().any(|k| s.eq_ignore_ascii_case(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sel(sql: &str) -> Select {
+        match parse(sql).unwrap() {
+            Statement::Select(s) => s,
+            other => panic!("expected select, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_select() {
+        let s = sel("SELECT * FROM roads");
+        assert_eq!(s.items, vec![SelectItem::Wildcard]);
+        assert_eq!(s.from, vec![TableRef { table: "roads".into(), alias: "roads".into() }]);
+        assert!(s.filters.is_empty());
+    }
+
+    #[test]
+    fn aliases_and_qualified_columns() {
+        let s = sel("SELECT a.id, b.name AS bn FROM arealm a, areawater b WHERE a.id = b.id");
+        assert_eq!(s.from.len(), 2);
+        assert_eq!(s.from[0].alias, "a");
+        assert_eq!(s.filters.len(), 1);
+        match &s.items[1] {
+            SelectItem::Expr { alias, .. } => assert_eq!(alias.as_deref(), Some("bn")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spatial_function_calls() {
+        let s = sel(
+            "SELECT COUNT(*) FROM arealm a JOIN areawater b \
+             ON ST_Overlaps(a.geom, b.geom) WHERE a.id > 5",
+        );
+        assert_eq!(s.from.len(), 2);
+        assert_eq!(s.filters.len(), 2); // ON term + WHERE term
+        match &s.items[0] {
+            SelectItem::Expr { expr: Expr::Func { name, args }, .. } => {
+                assert_eq!(name, "COUNT");
+                assert_eq!(args, &vec![Expr::Star]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn where_conjunction_is_split() {
+        let s = sel("SELECT * FROM t WHERE a = 1 AND b = 2 AND c = 3");
+        assert_eq!(s.filters.len(), 3);
+        // OR stays intact.
+        let s = sel("SELECT * FROM t WHERE a = 1 OR b = 2");
+        assert_eq!(s.filters.len(), 1);
+    }
+
+    #[test]
+    fn order_and_limit() {
+        let s = sel("SELECT * FROM t ORDER BY a DESC, b LIMIT 10");
+        assert_eq!(s.order_by.len(), 2);
+        assert!(!s.order_by[0].1);
+        assert!(s.order_by[1].1);
+        assert_eq!(s.limit, Some(10));
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let s = sel("SELECT 1 + 2 * 3 FROM t");
+        match &s.items[0] {
+            SelectItem::Expr { expr: Expr::Binary { op: BinOp::Add, right, .. }, .. } => {
+                assert!(matches!(**right, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn between_and_is_null() {
+        let s = sel("SELECT * FROM t WHERE x BETWEEN 1 AND 5 AND y IS NOT NULL");
+        assert_eq!(s.filters.len(), 2);
+        assert!(matches!(s.filters[0], Expr::Between { .. }));
+        assert!(matches!(s.filters[1], Expr::IsNull { negated: true, .. }));
+    }
+
+    #[test]
+    fn create_and_insert() {
+        match parse("CREATE TABLE roads (id BIGINT, name TEXT, geom GEOMETRY)").unwrap() {
+            Statement::CreateTable { name, columns } => {
+                assert_eq!(name, "roads");
+                assert_eq!(columns.len(), 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse("INSERT INTO roads VALUES (1, 'Oak', NULL), (2, 'Elm', NULL)").unwrap() {
+            Statement::Insert { table, rows } => {
+                assert_eq!(table, "roads");
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[0].len(), 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("SELECT").is_err());
+        assert!(parse("SELECT * FROM").is_err());
+        assert!(parse("SELECT * FROM t WHERE").is_err());
+        assert!(parse("SELECT * FROM t garbage garbage").is_err());
+        assert!(matches!(
+            parse("DROP TABLE t").unwrap(),
+            Statement::DropTable { .. }
+        ));
+        assert!(parse("DROP t").is_err());
+        assert!(parse("DELETE t").is_err()); // missing FROM
+        assert!(parse("SELECT * FROM t LIMIT abc").is_err());
+    }
+
+    #[test]
+    fn string_literal_geometry() {
+        let s = sel("SELECT * FROM t WHERE ST_Within(geom, ST_GeomFromText('POINT (1 2)'))");
+        assert_eq!(s.filters.len(), 1);
+    }
+}

@@ -1,0 +1,41 @@
+//! Storage-access traits the SQL engine consumes.
+//!
+//! `jackpine-engine` implements these over its catalog, heaps and indexes;
+//! the planner and executor in this crate only ever see the traits, which
+//! keeps the SQL layer portable across engine profiles — the role JDBC
+//! plays in the original Jackpine.
+
+use crate::Result;
+use jackpine_geom::{Coord, Envelope};
+use jackpine_storage::{Row, RowId, Schema, Value};
+use std::sync::Arc;
+
+/// A readable table with optional index access paths.
+pub trait TableProvider: Send + Sync {
+    /// The table's schema.
+    fn schema(&self) -> Arc<Schema>;
+
+    /// Ids of all live rows (storage order).
+    fn row_ids(&self) -> Vec<RowId>;
+
+    /// Fetches one row.
+    fn fetch(&self, id: RowId) -> Result<Arc<Row>>;
+
+    /// Candidate rows whose geometry envelope (column `col`) intersects
+    /// `env`, served by a spatial index. `None` when no usable index
+    /// exists (the planner then falls back to a scan).
+    fn spatial_candidates(&self, col: usize, env: &Envelope) -> Option<Vec<RowId>>;
+
+    /// Rows whose column `col` equals `key`, served by an ordered index.
+    fn ordered_candidates(&self, col: usize, key: &Value) -> Option<Vec<RowId>>;
+
+    /// The `k` rows nearest to `query` by envelope distance of column
+    /// `col`, served by a spatial index.
+    fn nearest(&self, col: usize, query: Coord, k: usize) -> Option<Vec<RowId>>;
+}
+
+/// Name → table resolution.
+pub trait CatalogProvider: Send + Sync {
+    /// Resolves a table by name (case-insensitive).
+    fn table(&self, name: &str) -> Result<Arc<dyn TableProvider>>;
+}

@@ -1,0 +1,60 @@
+use std::fmt;
+
+/// Errors from the storage layer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StorageError {
+    /// A row did not match the table schema.
+    SchemaMismatch(String),
+    /// A value could not be decoded from its page representation.
+    Corrupt(String),
+    /// A referenced row does not exist (deleted or never written).
+    RowNotFound {
+        /// Page index of the missing row.
+        page: u32,
+        /// Slot index of the missing row.
+        slot: u16,
+    },
+    /// A referenced table does not exist.
+    NoSuchTable(String),
+    /// A table with this name already exists.
+    TableExists(String),
+    /// A referenced column does not exist.
+    NoSuchColumn(String),
+    /// Geometry (de)serialization failed.
+    Geometry(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+            StorageError::Corrupt(m) => write!(f, "corrupt storage: {m}"),
+            StorageError::RowNotFound { page, slot } => {
+                write!(f, "row not found at page {page} slot {slot}")
+            }
+            StorageError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            StorageError::TableExists(t) => write!(f, "table already exists: {t}"),
+            StorageError::NoSuchColumn(c) => write!(f, "no such column: {c}"),
+            StorageError::Geometry(m) => write!(f, "geometry codec: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<jackpine_geom::GeomError> for StorageError {
+    fn from(e: jackpine_geom::GeomError) -> Self {
+        StorageError::Geometry(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(StorageError::NoSuchTable("roads".into()).to_string().contains("roads"));
+        assert!(StorageError::RowNotFound { page: 3, slot: 7 }.to_string().contains("page 3"));
+    }
+}

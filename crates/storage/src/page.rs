@@ -1,0 +1,134 @@
+//! Slotted pages: the serialized resting place of rows.
+//!
+//! A page is a byte buffer with tuples packed from the front and a slot
+//! directory (offset, length) growing from the back, the classic heap-file
+//! layout. Deleted slots are tombstoned (length 0) so row ids stay stable.
+
+use crate::{Result, StorageError};
+
+/// Target page payload size in bytes. A tuple larger than this gets a
+/// dedicated oversized page (spatial rows with large polygons are common
+/// in cadastral data, so this must not be a hard limit).
+pub const PAGE_SIZE: usize = 8192;
+
+const SLOT_BYTES: usize = 8; // u32 offset + u32 length
+
+/// A slotted page.
+#[derive(Clone, Debug)]
+pub struct Page {
+    data: Vec<u8>,
+    /// (offset, len) per slot; len == 0 marks a tombstone.
+    slots: Vec<(u32, u32)>,
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Page::new()
+    }
+}
+
+impl Page {
+    /// Creates an empty page.
+    pub fn new() -> Page {
+        Page { data: Vec::with_capacity(PAGE_SIZE), slots: Vec::new() }
+    }
+
+    /// Bytes used by tuples plus slot directory.
+    pub fn used(&self) -> usize {
+        self.data.len() + self.slots.len() * SLOT_BYTES
+    }
+
+    /// `true` when `tuple_len` more bytes (plus a slot) would overflow the
+    /// target page size. Oversized tuples report `false` only on an empty
+    /// page, where they are always accepted.
+    pub fn fits(&self, tuple_len: usize) -> bool {
+        if self.slots.is_empty() {
+            return true; // an empty page accepts anything (oversized page)
+        }
+        self.used() + tuple_len + SLOT_BYTES <= PAGE_SIZE
+    }
+
+    /// Number of slots, live and tombstoned.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Appends a tuple, returning its slot number.
+    pub fn insert(&mut self, tuple: &[u8]) -> u16 {
+        let offset = self.data.len() as u32;
+        self.data.extend_from_slice(tuple);
+        self.slots.push((offset, tuple.len() as u32));
+        (self.slots.len() - 1) as u16
+    }
+
+    /// Reads the tuple in `slot`.
+    ///
+    /// # Errors
+    /// [`StorageError::RowNotFound`] for out-of-range or tombstoned slots.
+    pub fn get(&self, slot: u16) -> Result<&[u8]> {
+        match self.slots.get(slot as usize) {
+            Some(&(off, len)) if len > 0 => {
+                Ok(&self.data[off as usize..off as usize + len as usize])
+            }
+            _ => Err(StorageError::RowNotFound { page: u32::MAX, slot }),
+        }
+    }
+
+    /// Tombstones `slot`. Returns whether a live tuple was removed.
+    pub fn delete(&mut self, slot: u16) -> bool {
+        match self.slots.get_mut(slot as usize) {
+            Some(s) if s.1 > 0 => {
+                s.1 = 0;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Iterates the live tuples as `(slot, bytes)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u16, &[u8])> {
+        self.slots.iter().enumerate().filter(|&(_i, &(_off, len))| len > 0).map(|(i, &(off, len))| (i as u16, &self.data[off as usize..off as usize + len as usize]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_delete() {
+        let mut p = Page::new();
+        let s0 = p.insert(b"hello");
+        let s1 = p.insert(b"world!");
+        assert_eq!(p.get(s0).unwrap(), b"hello");
+        assert_eq!(p.get(s1).unwrap(), b"world!");
+        assert!(p.delete(s0));
+        assert!(!p.delete(s0)); // already gone
+        assert!(p.get(s0).is_err());
+        assert_eq!(p.get(s1).unwrap(), b"world!"); // untouched
+        assert!(p.get(99).is_err());
+    }
+
+    #[test]
+    fn iteration_skips_tombstones() {
+        let mut p = Page::new();
+        p.insert(b"a");
+        let s1 = p.insert(b"b");
+        p.insert(b"c");
+        p.delete(s1);
+        let live: Vec<&[u8]> = p.iter().map(|(_, b)| b).collect();
+        assert_eq!(live, vec![b"a".as_slice(), b"c".as_slice()]);
+        assert_eq!(p.slot_count(), 3);
+    }
+
+    #[test]
+    fn capacity_accounting() {
+        let mut p = Page::new();
+        assert!(p.fits(PAGE_SIZE * 10)); // empty page accepts oversized
+        p.insert(&vec![0u8; 4000]);
+        assert!(p.fits(4000));
+        assert!(!p.fits(5000));
+        p.insert(&vec![0u8; 4000]);
+        assert!(!p.fits(500));
+    }
+}

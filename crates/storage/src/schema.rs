@@ -1,0 +1,166 @@
+//! Table schemas and type checking.
+
+use crate::{Result, StorageError, Value};
+
+/// SQL column types supported by the engines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DataType {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 text.
+    Text,
+    /// Spatial geometry.
+    Geometry,
+}
+
+impl DataType {
+    /// SQL spelling of the type.
+    pub fn sql_name(self) -> &'static str {
+        match self {
+            DataType::Int => "BIGINT",
+            DataType::Float => "DOUBLE",
+            DataType::Text => "TEXT",
+            DataType::Geometry => "GEOMETRY",
+        }
+    }
+}
+
+/// A column definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ColumnDef {
+    /// Column name (matched case-insensitively).
+    pub name: String,
+    /// Column type.
+    pub ty: DataType,
+}
+
+impl ColumnDef {
+    /// Shorthand constructor.
+    pub fn new(name: &str, ty: DataType) -> ColumnDef {
+        ColumnDef { name: name.to_string(), ty }
+    }
+}
+
+/// An ordered list of columns.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Schema {
+    columns: Vec<ColumnDef>,
+}
+
+impl Schema {
+    /// Builds a schema; column names must be distinct (case-insensitive).
+    pub fn new(columns: Vec<ColumnDef>) -> Result<Schema> {
+        for (i, a) in columns.iter().enumerate() {
+            for b in &columns[i + 1..] {
+                if a.name.eq_ignore_ascii_case(&b.name) {
+                    return Err(StorageError::SchemaMismatch(format!(
+                        "duplicate column name '{}'",
+                        a.name
+                    )));
+                }
+            }
+        }
+        Ok(Schema { columns })
+    }
+
+    /// The column list.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of the named column (case-insensitive).
+    pub fn column_index(&self, name: &str) -> Result<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+            .ok_or_else(|| StorageError::NoSuchColumn(name.to_string()))
+    }
+
+    /// Validates a row against the schema (arity and value types; NULL is
+    /// accepted for any column).
+    pub fn check_row(&self, row: &[Value]) -> Result<()> {
+        if row.len() != self.columns.len() {
+            return Err(StorageError::SchemaMismatch(format!(
+                "expected {} values, got {}",
+                self.columns.len(),
+                row.len()
+            )));
+        }
+        for (v, col) in row.iter().zip(&self.columns) {
+            let ok = match (v, col.ty) {
+                (Value::Null, _) => true,
+                (Value::Int(_), DataType::Int) => true,
+                (Value::Float(_), DataType::Float) => true,
+                (Value::Int(_), DataType::Float) => true, // widening accepted
+                (Value::Text(_), DataType::Text) => true,
+                (Value::Geom(_), DataType::Geometry) => true,
+                _ => false,
+            };
+            if !ok {
+                return Err(StorageError::SchemaMismatch(format!(
+                    "value {v:?} does not fit column '{}' of type {}",
+                    col.name,
+                    col.ty.sql_name()
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ColumnDef::new("id", DataType::Int),
+            ColumnDef::new("name", DataType::Text),
+            ColumnDef::new("geom", DataType::Geometry),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup_case_insensitive() {
+        let s = schema();
+        assert_eq!(s.column_index("ID").unwrap(), 0);
+        assert_eq!(s.column_index("Geom").unwrap(), 2);
+        assert!(s.column_index("missing").is_err());
+        assert_eq!(s.arity(), 3);
+    }
+
+    #[test]
+    fn duplicate_columns_rejected() {
+        assert!(Schema::new(vec![
+            ColumnDef::new("a", DataType::Int),
+            ColumnDef::new("A", DataType::Text),
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn row_checking() {
+        let s = schema();
+        let g = jackpine_geom::wkt::parse("POINT (1 2)").unwrap();
+        assert!(s.check_row(&[Value::Int(1), Value::Text("x".into()), Value::Geom(g)]).is_ok());
+        assert!(s.check_row(&[Value::Int(1), Value::Null, Value::Null]).is_ok());
+        assert!(s.check_row(&[Value::Int(1), Value::Text("x".into())]).is_err()); // arity
+        assert!(s
+            .check_row(&[Value::Text("no".into()), Value::Text("x".into()), Value::Null])
+            .is_err()); // type
+    }
+
+    #[test]
+    fn int_widens_to_float() {
+        let s = Schema::new(vec![ColumnDef::new("v", DataType::Float)]).unwrap();
+        assert!(s.check_row(&[Value::Int(3)]).is_ok());
+    }
+}

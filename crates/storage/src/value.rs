@@ -1,0 +1,231 @@
+//! Typed SQL values and their page codec.
+
+use crate::{Result, StorageError};
+use bytes::{Buf, BufMut, BytesMut};
+use jackpine_geom::{wkb, Geometry};
+use std::fmt;
+
+/// A single SQL value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Text(String),
+    /// Spatial value (stored as WKB on pages).
+    Geom(Geometry),
+}
+
+/// A tuple of values, ordered per the table schema.
+pub type Row = Vec<Value>;
+
+impl Value {
+    /// `true` for SQL NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view: Int and Float coerce to `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view (no float coercion).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Geometry view.
+    pub fn as_geom(&self) -> Option<&Geometry> {
+        match self {
+            Value::Geom(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// Serializes the value into `buf` (tag byte + payload).
+    pub fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Value::Null => buf.put_u8(0),
+            Value::Int(i) => {
+                buf.put_u8(1);
+                buf.put_i64_le(*i);
+            }
+            Value::Float(f) => {
+                buf.put_u8(2);
+                buf.put_f64_le(*f);
+            }
+            Value::Text(s) => {
+                buf.put_u8(3);
+                buf.put_u32_le(s.len() as u32);
+                buf.put_slice(s.as_bytes());
+            }
+            Value::Geom(g) => {
+                buf.put_u8(4);
+                let bytes = wkb::encode(g);
+                buf.put_u32_le(bytes.len() as u32);
+                buf.put_slice(&bytes);
+            }
+        }
+    }
+
+    /// Decodes one value from the front of `data`, advancing it.
+    pub fn decode(data: &mut &[u8]) -> Result<Value> {
+        if data.is_empty() {
+            return Err(StorageError::Corrupt("empty value payload".into()));
+        }
+        let tag = data.get_u8();
+        match tag {
+            0 => Ok(Value::Null),
+            1 => {
+                if data.remaining() < 8 {
+                    return Err(StorageError::Corrupt("truncated int".into()));
+                }
+                Ok(Value::Int(data.get_i64_le()))
+            }
+            2 => {
+                if data.remaining() < 8 {
+                    return Err(StorageError::Corrupt("truncated float".into()));
+                }
+                Ok(Value::Float(data.get_f64_le()))
+            }
+            3 => {
+                let len = get_len(data)?;
+                let s = std::str::from_utf8(&data[..len])
+                    .map_err(|_| StorageError::Corrupt("invalid UTF-8".into()))?
+                    .to_string();
+                data.advance(len);
+                Ok(Value::Text(s))
+            }
+            4 => {
+                let len = get_len(data)?;
+                let g = wkb::decode(&data[..len])?;
+                data.advance(len);
+                Ok(Value::Geom(g))
+            }
+            t => Err(StorageError::Corrupt(format!("unknown value tag {t}"))),
+        }
+    }
+
+    /// Serializes a whole row.
+    pub fn encode_row(row: &[Value]) -> BytesMut {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u16_le(row.len() as u16);
+        for v in row {
+            v.encode(&mut buf);
+        }
+        buf
+    }
+
+    /// Decodes a whole row.
+    pub fn decode_row(mut data: &[u8]) -> Result<Row> {
+        if data.remaining() < 2 {
+            return Err(StorageError::Corrupt("truncated row header".into()));
+        }
+        let n = data.get_u16_le() as usize;
+        let mut row = Vec::with_capacity(n);
+        for _ in 0..n {
+            row.push(Value::decode(&mut data)?);
+        }
+        Ok(row)
+    }
+}
+
+fn get_len(data: &mut &[u8]) -> Result<usize> {
+    if data.remaining() < 4 {
+        return Err(StorageError::Corrupt("truncated length".into()));
+    }
+    let len = data.get_u32_le() as usize;
+    if data.remaining() < len {
+        return Err(StorageError::Corrupt("length exceeds payload".into()));
+    }
+    Ok(len)
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Text(s) => write!(f, "{s}"),
+            Value::Geom(g) => write!(f, "{}", jackpine_geom::wkt::write(g)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jackpine_geom::wkt;
+
+    #[test]
+    fn roundtrip_scalars() {
+        let row = vec![
+            Value::Null,
+            Value::Int(-42),
+            Value::Float(3.25),
+            Value::Text("Oak St".into()),
+        ];
+        let bytes = Value::encode_row(&row);
+        assert_eq!(Value::decode_row(&bytes).unwrap(), row);
+    }
+
+    #[test]
+    fn roundtrip_geometry() {
+        let g = wkt::parse("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))").unwrap();
+        let row = vec![Value::Int(1), Value::Geom(g.clone())];
+        let bytes = Value::encode_row(&row);
+        let back = Value::decode_row(&bytes).unwrap();
+        assert_eq!(back[1].as_geom(), Some(&g));
+    }
+
+    #[test]
+    fn corrupt_payloads_rejected() {
+        assert!(Value::decode_row(&[]).is_err());
+        assert!(Value::decode_row(&[2, 0]).is_err()); // claims 2 values, none present
+        let mut bad = Value::encode_row(&[Value::Text("hello".into())]).to_vec();
+        bad.truncate(bad.len() - 2);
+        assert!(Value::decode_row(&bad).is_err());
+        // Unknown tag.
+        assert!(Value::decode_row(&[1, 0, 99]).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(7).as_f64(), Some(7.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Text("x".into()).as_f64(), None);
+        assert_eq!(Value::Int(7).as_i64(), Some(7));
+        assert_eq!(Value::Float(7.0).as_i64(), None);
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Text("a".into()).as_str(), Some("a"));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(5).to_string(), "5");
+        let g = wkt::parse("POINT (1 2)").unwrap();
+        assert_eq!(Value::Geom(g).to_string(), "POINT (1 2)");
+    }
+}

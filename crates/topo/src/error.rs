@@ -1,0 +1,33 @@
+use std::fmt;
+
+/// Errors from topological computations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TopoError {
+    /// A DE-9IM pattern string was malformed (wrong length or characters).
+    BadPattern(String),
+    /// The operand combination is not supported (mixed-dimension
+    /// geometry collections).
+    Unsupported(String),
+}
+
+impl fmt::Display for TopoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopoError::BadPattern(p) => write!(f, "bad DE-9IM pattern '{p}'"),
+            TopoError::Unsupported(msg) => write!(f, "unsupported relate operands: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TopoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(TopoError::BadPattern("xyz".into()).to_string().contains("xyz"));
+        assert!(TopoError::Unsupported("mixed".into()).to_string().contains("mixed"));
+    }
+}

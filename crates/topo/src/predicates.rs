@@ -1,0 +1,224 @@
+//! The named topological predicates of the OGC Simple Features standard,
+//! defined as DE-9IM pattern matches — exactly the relations Jackpine's
+//! topological micro benchmark queries.
+
+use crate::{relate, Result};
+use jackpine_geom::{Dimension, Geometry};
+
+/// `a` and `b` are topologically equal (same point set): `T*F**FFF*`.
+pub fn equals(a: &Geometry, b: &Geometry) -> Result<bool> {
+    relate(a, b)?.matches("T*F**FFF*")
+}
+
+/// `a` and `b` share no point: `FF*FF****`.
+pub fn disjoint(a: &Geometry, b: &Geometry) -> Result<bool> {
+    relate(a, b)?.matches("FF*FF****")
+}
+
+/// `a` and `b` share at least one point (negation of [`disjoint`]).
+pub fn intersects(a: &Geometry, b: &Geometry) -> Result<bool> {
+    Ok(!disjoint(a, b)?)
+}
+
+/// `a` touches `b`: they intersect, but only at boundaries
+/// (`FT*******`, `F**T*****` or `F***T****`).
+pub fn touches(a: &Geometry, b: &Geometry) -> Result<bool> {
+    let m = relate(a, b)?;
+    Ok(m.matches("FT*******")? || m.matches("F**T*****")? || m.matches("F***T****")?)
+}
+
+/// `a` crosses `b`: interiors intersect in a lower dimension than the
+/// operands allow.
+pub fn crosses(a: &Geometry, b: &Geometry) -> Result<bool> {
+    let m = relate(a, b)?;
+    let da = a.dimension();
+    let db = b.dimension();
+    if da < db {
+        m.matches("T*T******")
+    } else if da > db {
+        m.matches("T*****T**")
+    } else if da == Dimension::One && db == Dimension::One {
+        m.matches("0********")
+    } else {
+        Ok(false)
+    }
+}
+
+/// `a` lies within `b`: `T*F**F***`.
+pub fn within(a: &Geometry, b: &Geometry) -> Result<bool> {
+    relate(a, b)?.matches("T*F**F***")
+}
+
+/// `a` contains `b` (transpose of [`within`]).
+pub fn contains(a: &Geometry, b: &Geometry) -> Result<bool> {
+    within(b, a)
+}
+
+/// `a` overlaps `b`: same dimension, interiors intersect, and each has
+/// interior points the other lacks.
+pub fn overlaps(a: &Geometry, b: &Geometry) -> Result<bool> {
+    let m = relate(a, b)?;
+    let da = a.dimension();
+    let db = b.dimension();
+    if da != db {
+        return Ok(false);
+    }
+    match da {
+        Dimension::Zero | Dimension::Two => m.matches("T*T***T**"),
+        Dimension::One => m.matches("1*T***T**"),
+        _ => Ok(false),
+    }
+}
+
+/// `a` covers `b`: every point of `b` is a point of `a`.
+pub fn covers(a: &Geometry, b: &Geometry) -> Result<bool> {
+    let m = relate(a, b)?;
+    Ok(m.matches("T*****FF*")?
+        || m.matches("*T****FF*")?
+        || m.matches("***T**FF*")?
+        || m.matches("****T*FF*")?)
+}
+
+/// `a` is covered by `b` (transpose of [`covers`]).
+pub fn covered_by(a: &Geometry, b: &Geometry) -> Result<bool> {
+    covers(b, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jackpine_geom::wkt;
+
+    fn g(w: &str) -> Geometry {
+        wkt::parse(w).unwrap()
+    }
+
+    const SQ: &str = "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))";
+    const SQ_SHIFT: &str = "POLYGON ((1 1, 3 1, 3 3, 1 3, 1 1))";
+    const SQ_FAR: &str = "POLYGON ((5 5, 6 5, 6 6, 5 6, 5 5))";
+    const SQ_INNER: &str = "POLYGON ((0.5 0.5, 1.5 0.5, 1.5 1.5, 0.5 1.5, 0.5 0.5))";
+    const SQ_EDGE: &str = "POLYGON ((2 0, 4 0, 4 2, 2 2, 2 0))";
+
+    #[test]
+    fn equals_pred() {
+        assert!(equals(&g(SQ), &g(SQ)).unwrap());
+        // Same region, different vertex order/start.
+        assert!(equals(&g(SQ), &g("POLYGON ((2 0, 2 2, 0 2, 0 0, 2 0))")).unwrap());
+        assert!(!equals(&g(SQ), &g(SQ_SHIFT)).unwrap());
+        assert!(equals(
+            &g("LINESTRING (0 0, 2 0)"),
+            &g("LINESTRING (2 0, 0 0)")
+        )
+        .unwrap());
+        // Same line with an extra interior vertex.
+        assert!(equals(
+            &g("LINESTRING (0 0, 2 0)"),
+            &g("LINESTRING (0 0, 1 0, 2 0)")
+        )
+        .unwrap());
+    }
+
+    #[test]
+    fn disjoint_and_intersects() {
+        assert!(disjoint(&g(SQ), &g(SQ_FAR)).unwrap());
+        assert!(!disjoint(&g(SQ), &g(SQ_SHIFT)).unwrap());
+        assert!(intersects(&g(SQ), &g(SQ_SHIFT)).unwrap());
+        assert!(intersects(&g(SQ), &g(SQ_EDGE)).unwrap()); // edge touch
+    }
+
+    #[test]
+    fn touches_pred() {
+        assert!(touches(&g(SQ), &g(SQ_EDGE)).unwrap());
+        assert!(!touches(&g(SQ), &g(SQ_SHIFT)).unwrap()); // overlap, not touch
+        assert!(!touches(&g(SQ), &g(SQ_FAR)).unwrap());
+        // Point on polygon boundary touches; inside does not.
+        assert!(touches(&g("POINT (2 1)"), &g(SQ)).unwrap());
+        assert!(!touches(&g("POINT (1 1)"), &g(SQ)).unwrap());
+        // Lines meeting end-to-end.
+        assert!(touches(
+            &g("LINESTRING (0 0, 1 0)"),
+            &g("LINESTRING (1 0, 2 0)")
+        )
+        .unwrap());
+    }
+
+    #[test]
+    fn crosses_pred() {
+        assert!(crosses(
+            &g("LINESTRING (0 0, 2 2)"),
+            &g("LINESTRING (0 2, 2 0)")
+        )
+        .unwrap());
+        assert!(crosses(&g("LINESTRING (-1 1, 3 1)"), &g(SQ)).unwrap());
+        // A line fully inside does not cross.
+        assert!(!crosses(&g("LINESTRING (0.5 1, 1.5 1)"), &g(SQ)).unwrap());
+        // Touching lines do not cross.
+        assert!(!crosses(
+            &g("LINESTRING (0 0, 1 0)"),
+            &g("LINESTRING (1 0, 2 0)")
+        )
+        .unwrap());
+        // Multipoint crossing a polygon: some in, some out.
+        assert!(crosses(&g("MULTIPOINT ((1 1), (9 9))"), &g(SQ)).unwrap());
+    }
+
+    #[test]
+    fn within_contains() {
+        assert!(within(&g(SQ_INNER), &g(SQ)).unwrap());
+        assert!(contains(&g(SQ), &g(SQ_INNER)).unwrap());
+        assert!(!within(&g(SQ), &g(SQ_INNER)).unwrap());
+        assert!(within(&g("POINT (1 1)"), &g(SQ)).unwrap());
+        // A point on the boundary is NOT within (but is covered by).
+        assert!(!within(&g("POINT (2 1)"), &g(SQ)).unwrap());
+        assert!(covered_by(&g("POINT (2 1)"), &g(SQ)).unwrap());
+        assert!(covers(&g(SQ), &g("POINT (2 1)")).unwrap());
+    }
+
+    #[test]
+    fn overlaps_pred() {
+        assert!(overlaps(&g(SQ), &g(SQ_SHIFT)).unwrap());
+        assert!(!overlaps(&g(SQ), &g(SQ_INNER)).unwrap()); // containment
+        assert!(!overlaps(&g(SQ), &g(SQ_EDGE)).unwrap()); // touch
+        assert!(!overlaps(&g(SQ), &g(SQ)).unwrap()); // equal
+        // Collinear partially overlapping lines.
+        assert!(overlaps(
+            &g("LINESTRING (0 0, 2 0)"),
+            &g("LINESTRING (1 0, 3 0)")
+        )
+        .unwrap());
+        // Crossing lines do not overlap (dim-0 intersection).
+        assert!(!overlaps(
+            &g("LINESTRING (0 0, 2 2)"),
+            &g("LINESTRING (0 2, 2 0)")
+        )
+        .unwrap());
+        // Point sets sharing some but not all members.
+        assert!(overlaps(
+            &g("MULTIPOINT ((0 0), (1 1))"),
+            &g("MULTIPOINT ((1 1), (2 2))")
+        )
+        .unwrap());
+    }
+
+    #[test]
+    fn covers_vs_contains_boundary_case() {
+        // A polygon covers a line on its boundary but does not contain it.
+        let edge_line = g("LINESTRING (0.5 0, 1.5 0)");
+        assert!(covers(&g(SQ), &edge_line).unwrap());
+        assert!(!contains(&g(SQ), &edge_line).unwrap());
+    }
+
+    #[test]
+    fn predicate_consistency_within_implies_covered_by() {
+        let pairs = [
+            (SQ_INNER, SQ),
+            ("POINT (1 1)", SQ),
+            ("LINESTRING (0.5 1, 1.5 1)", SQ),
+        ];
+        for (a, b) in pairs {
+            assert!(within(&g(a), &g(b)).unwrap(), "{a} within {b}");
+            assert!(covered_by(&g(a), &g(b)).unwrap(), "{a} coveredBy {b}");
+            assert!(contains(&g(b), &g(a)).unwrap(), "{b} contains {a}");
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! DE-9IM computation for curve operands (line/line and line/area).
+
+use super::shape::{locate_in_areas, split_line_by_areas, LineSet};
+use crate::matrix::{IntersectionMatrix, Position};
+use jackpine_geom::algorithms::locate::Location;
+use jackpine_geom::algorithms::segment::{
+    point_on_segment, segment_intersection, SegmentIntersection,
+};
+use jackpine_geom::{Coord, Dimension, LineString, Polygon};
+
+/// Tolerance for parametric interval bookkeeping (purely 1-D arithmetic on
+/// already-exact classifications).
+const T_EPS: f64 = 1e-12;
+
+/// Matrix of two curve sets.
+pub fn lines_lines(a: &LineSet, b: &LineSet) -> IntersectionMatrix {
+    let mut m = IntersectionMatrix::empty();
+    m.set(Position::Exterior, Position::Exterior, Dimension::Two);
+
+    let mut shared_dim1 = false;
+    let mut crossing_points: Vec<Coord> = Vec::new();
+    let mut a_covered = true;
+    let mut intervals: Vec<(f64, f64)> = Vec::new();
+
+    for la in &a.lines {
+        for (p, q) in la.segments() {
+            intervals.clear();
+            for lb in &b.lines {
+                for (r, s) in lb.segments() {
+                    match segment_intersection(p, q, r, s) {
+                        SegmentIntersection::None => {}
+                        SegmentIntersection::Point(x) => crossing_points.push(x),
+                        SegmentIntersection::Overlap(x, y) => {
+                            shared_dim1 = true;
+                            intervals.push(interval(p, q, x, y));
+                        }
+                    }
+                }
+            }
+            if !covers_unit(&mut intervals) {
+                a_covered = false;
+            }
+        }
+    }
+    let b_covered = curve_set_covered(&b.lines, &a.lines);
+
+    // Interior × interior.
+    if shared_dim1 {
+        m.set(Position::Interior, Position::Interior, Dimension::One);
+    } else {
+        for &p in &crossing_points {
+            if !a.boundary.contains(&p) && !b.boundary.contains(&p) {
+                m.set_at_least(Position::Interior, Position::Interior, Dimension::Zero);
+                break;
+            }
+        }
+    }
+
+    // Boundary rows/columns from endpoint classification.
+    for &e in &a.boundary {
+        if on_curves(e, &b.lines) {
+            if b.boundary.contains(&e) {
+                m.set_at_least(Position::Boundary, Position::Boundary, Dimension::Zero);
+            } else {
+                m.set_at_least(Position::Boundary, Position::Interior, Dimension::Zero);
+            }
+        } else {
+            m.set_at_least(Position::Boundary, Position::Exterior, Dimension::Zero);
+        }
+    }
+    for &e in &b.boundary {
+        if on_curves(e, &a.lines) {
+            if !a.boundary.contains(&e) {
+                m.set_at_least(Position::Interior, Position::Boundary, Dimension::Zero);
+            }
+        } else {
+            m.set_at_least(Position::Exterior, Position::Boundary, Dimension::Zero);
+        }
+    }
+
+    // Escape cells.
+    if !a_covered {
+        m.set_at_least(Position::Interior, Position::Exterior, Dimension::One);
+    }
+    if !b_covered {
+        m.set_at_least(Position::Exterior, Position::Interior, Dimension::One);
+    }
+    m
+}
+
+/// Matrix of a curve set against a polygon set.
+pub fn lines_areas(l: &LineSet, areas: &[Polygon]) -> IntersectionMatrix {
+    use jackpine_geom::algorithms::line_split::PortionClass;
+
+    let mut m = IntersectionMatrix::empty();
+    m.set(Position::Exterior, Position::Exterior, Dimension::Two);
+    m.set(Position::Exterior, Position::Interior, Dimension::Two);
+
+    for line in &l.lines {
+        for portion in split_line_by_areas(line, areas) {
+            match portion.class {
+                PortionClass::Inside => {
+                    m.set_at_least(Position::Interior, Position::Interior, Dimension::One);
+                }
+                PortionClass::OnBoundary => {
+                    m.set_at_least(Position::Interior, Position::Boundary, Dimension::One);
+                }
+                PortionClass::Outside => {
+                    m.set_at_least(Position::Interior, Position::Exterior, Dimension::One);
+                }
+            }
+            // Point events: any portion vertex on the areas' boundary.
+            for &c in &portion.coords {
+                if locate_in_areas(c, areas) == Location::Boundary {
+                    if l.boundary.contains(&c) {
+                        m.set_at_least(Position::Boundary, Position::Boundary, Dimension::Zero);
+                    } else {
+                        m.set_at_least(Position::Interior, Position::Boundary, Dimension::Zero);
+                    }
+                }
+            }
+        }
+    }
+
+    for &e in &l.boundary {
+        match locate_in_areas(e, areas) {
+            Location::Interior => {
+                m.set_at_least(Position::Boundary, Position::Interior, Dimension::Zero)
+            }
+            Location::Boundary => {
+                m.set_at_least(Position::Boundary, Position::Boundary, Dimension::Zero)
+            }
+            Location::Exterior => {
+                m.set_at_least(Position::Boundary, Position::Exterior, Dimension::Zero)
+            }
+        }
+    }
+
+    // E × B: does any part of the areas' boundary escape the curve set?
+    let rings_covered = areas.iter().all(|p| {
+        p.rings().all(|r| {
+            let ring_line = r.to_linestring();
+            curve_covered(&ring_line, &l.lines)
+        })
+    });
+    if !rings_covered {
+        m.set_at_least(Position::Exterior, Position::Boundary, Dimension::One);
+    }
+    m
+}
+
+/// `true` when `c` lies on any segment of `lines`.
+fn on_curves(c: Coord, lines: &[LineString]) -> bool {
+    lines.iter().any(|l| l.segments().any(|(a, b)| point_on_segment(c, a, b)))
+}
+
+/// `true` when every segment of every member of `subject` is covered by
+/// collinear overlaps with `cover`.
+fn curve_set_covered(subject: &[LineString], cover: &[LineString]) -> bool {
+    subject.iter().all(|l| curve_covered(l, cover))
+}
+
+fn curve_covered(l: &LineString, cover: &[LineString]) -> bool {
+    let mut intervals: Vec<(f64, f64)> = Vec::new();
+    for (p, q) in l.segments() {
+        intervals.clear();
+        for lc in cover {
+            for (r, s) in lc.segments() {
+                if let SegmentIntersection::Overlap(x, y) = segment_intersection(p, q, r, s) {
+                    intervals.push(interval(p, q, x, y));
+                }
+            }
+        }
+        if !covers_unit(&mut intervals) {
+            return false;
+        }
+    }
+    true
+}
+
+/// The parametric interval of collinear overlap `[x, y]` on segment `p q`.
+fn interval(p: Coord, q: Coord, x: Coord, y: Coord) -> (f64, f64) {
+    let tx = param(p, q, x);
+    let ty = param(p, q, y);
+    (tx.min(ty), tx.max(ty))
+}
+
+fn param(a: Coord, b: Coord, p: Coord) -> f64 {
+    let dx = (b.x - a.x).abs();
+    let dy = (b.y - a.y).abs();
+    let t = if dx >= dy {
+        if b.x == a.x {
+            0.0
+        } else {
+            (p.x - a.x) / (b.x - a.x)
+        }
+    } else {
+        (p.y - a.y) / (b.y - a.y)
+    };
+    t.clamp(0.0, 1.0)
+}
+
+/// `true` when the merged intervals cover `[0, 1]`.
+fn covers_unit(intervals: &mut [(f64, f64)]) -> bool {
+    if intervals.is_empty() {
+        return false;
+    }
+    intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut reach: f64 = 0.0;
+    for &(lo, hi) in intervals.iter() {
+        if lo > reach + T_EPS {
+            return false;
+        }
+        reach = reach.max(hi);
+        if reach >= 1.0 - T_EPS {
+            return true;
+        }
+    }
+    reach >= 1.0 - T_EPS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relate::shape::mod2_boundary;
+
+    fn lineset(coords: &[&[(f64, f64)]]) -> LineSet {
+        let lines: Vec<LineString> =
+            coords.iter().map(|c| LineString::from_xy(c).unwrap()).collect();
+        LineSet { boundary: mod2_boundary(&lines), lines }
+    }
+
+    #[test]
+    fn interval_coverage() {
+        let mut v = vec![(0.0, 0.5), (0.5, 1.0)];
+        assert!(covers_unit(&mut v));
+        let mut v = vec![(0.0, 0.4), (0.6, 1.0)];
+        assert!(!covers_unit(&mut v));
+        let mut v = vec![(0.2, 1.0)];
+        assert!(!covers_unit(&mut v));
+        let mut v: Vec<(f64, f64)> = vec![];
+        assert!(!covers_unit(&mut v));
+        let mut v = vec![(0.0, 0.3), (0.1, 0.8), (0.75, 1.0)];
+        assert!(covers_unit(&mut v));
+    }
+
+    #[test]
+    fn multiline_junction_interior_crossing() {
+        // A path through (1,0) built of two segments crosses a vertical
+        // line at the junction: II must be 0 (junction is interior, mod-2).
+        let a = lineset(&[&[(0.0, 0.0), (1.0, 0.0)], &[(1.0, 0.0), (2.0, 0.0)]]);
+        let b = lineset(&[&[(1.0, -1.0), (1.0, 1.0)]]);
+        let m = lines_lines(&a, &b);
+        assert_eq!(m.get(Position::Interior, Position::Interior), Dimension::Zero);
+    }
+
+    #[test]
+    fn covered_line_has_no_exterior_escape() {
+        let a = lineset(&[&[(1.0, 0.0), (2.0, 0.0)]]);
+        let b = lineset(&[&[(0.0, 0.0), (3.0, 0.0)]]);
+        let m = lines_lines(&a, &b);
+        assert_eq!(m.get(Position::Interior, Position::Exterior), Dimension::Empty);
+        assert_eq!(m.get(Position::Exterior, Position::Interior), Dimension::One);
+    }
+
+    #[test]
+    fn line_area_boundary_coverage() {
+        // A line tracing the full square boundary: EB must be F.
+        let square = Polygon::from_xy(&[(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)]).unwrap();
+        let trace = lineset(&[&[
+            (0.0, 0.0),
+            (1.0, 0.0),
+            (1.0, 1.0),
+            (0.0, 1.0),
+            (0.0, 0.0),
+        ]]);
+        let m = lines_areas(&trace, &[square]);
+        assert_eq!(m.get(Position::Exterior, Position::Boundary), Dimension::Empty);
+        assert_eq!(m.get(Position::Interior, Position::Boundary), Dimension::One);
+        assert_eq!(m.get(Position::Interior, Position::Interior), Dimension::Empty);
+    }
+}

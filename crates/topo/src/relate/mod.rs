@@ -1,0 +1,426 @@
+//! DE-9IM matrix computation, organized by operand dimension pair.
+
+mod line_rel;
+mod point_rel;
+mod poly_rel;
+mod shape;
+
+use crate::matrix::{IntersectionMatrix, Position};
+use crate::Result;
+use jackpine_geom::{Dimension, Geometry};
+use shape::Shape;
+
+pub use shape::interior_point;
+
+/// Computes the DE-9IM intersection matrix of `a` against `b`.
+///
+/// Supported operands: all seven concrete geometry types; geometry
+/// collections are accepted when their members are of a single dimension
+/// family (all points, all lines or all polygons). Mixed collections
+/// return [`crate::TopoError::Unsupported`].
+pub fn relate(a: &Geometry, b: &Geometry) -> Result<IntersectionMatrix> {
+    let sa = shape::decompose(a)?;
+    let sb = shape::decompose(b)?;
+    Ok(relate_shapes(&sa, &sb))
+}
+
+fn relate_shapes(a: &Shape, b: &Shape) -> IntersectionMatrix {
+    match (a, b) {
+        (Shape::Empty, _) => empty_vs(b),
+        (_, Shape::Empty) => empty_vs(a).transposed(),
+        (Shape::Points(pa), Shape::Points(pb)) => point_rel::points_points(pa, pb),
+        (Shape::Points(p), Shape::Lines(l)) => point_rel::points_lines(p, l),
+        (Shape::Lines(l), Shape::Points(p)) => point_rel::points_lines(p, l).transposed(),
+        (Shape::Points(p), Shape::Areas(ar)) => point_rel::points_areas(p, ar),
+        (Shape::Areas(ar), Shape::Points(p)) => point_rel::points_areas(p, ar).transposed(),
+        (Shape::Lines(la), Shape::Lines(lb)) => line_rel::lines_lines(la, lb),
+        (Shape::Lines(l), Shape::Areas(ar)) => line_rel::lines_areas(l, ar),
+        (Shape::Areas(ar), Shape::Lines(l)) => line_rel::lines_areas(l, ar).transposed(),
+        (Shape::Areas(aa), Shape::Areas(ab)) => poly_rel::areas_areas(aa, ab),
+    }
+}
+
+/// Matrix for "empty geometry vs `other`": only the exterior row of the
+/// empty operand can intersect anything.
+fn empty_vs(other: &Shape) -> IntersectionMatrix {
+    let mut m = IntersectionMatrix::empty();
+    m.set(Position::Exterior, Position::Exterior, Dimension::Two);
+    match other {
+        Shape::Empty => {}
+        Shape::Points(_) => {
+            m.set(Position::Exterior, Position::Interior, Dimension::Zero);
+        }
+        Shape::Lines(l) => {
+            m.set(Position::Exterior, Position::Interior, Dimension::One);
+            if !l.boundary.is_empty() {
+                m.set(Position::Exterior, Position::Boundary, Dimension::Zero);
+            }
+        }
+        Shape::Areas(_) => {
+            m.set(Position::Exterior, Position::Interior, Dimension::Two);
+            m.set(Position::Exterior, Position::Boundary, Dimension::One);
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jackpine_geom::wkt;
+
+    fn rel(a: &str, b: &str) -> String {
+        relate(&wkt::parse(a).unwrap(), &wkt::parse(b).unwrap()).unwrap().to_string()
+    }
+
+    // ------------------------------------------------------------------
+    // Point / point
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn point_point_equal() {
+        assert_eq!(rel("POINT (1 1)", "POINT (1 1)"), "0FFFFFFF2");
+    }
+
+    #[test]
+    fn point_point_distinct() {
+        assert_eq!(rel("POINT (1 1)", "POINT (2 2)"), "FF0FFF0F2");
+    }
+
+    #[test]
+    fn multipoint_subset() {
+        // A ⊂ B: no point of A outside B, but B has extras.
+        assert_eq!(rel("POINT (1 1)", "MULTIPOINT ((1 1), (2 2))"), "0FFFFF0F2");
+        assert_eq!(rel("MULTIPOINT ((1 1), (2 2))", "POINT (1 1)"), "0F0FFFFF2");
+    }
+
+    // ------------------------------------------------------------------
+    // Point / line
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn point_on_line_interior() {
+        // II=0; IE=F (point entirely on line); EI=1 (line interior extends
+        // beyond); EB=0 (line endpoints not covered).
+        assert_eq!(rel("POINT (1 0)", "LINESTRING (0 0, 2 0)"), "0FFFFF102");
+    }
+
+    #[test]
+    fn point_at_line_endpoint_touches() {
+        let m = rel("POINT (0 0)", "LINESTRING (0 0, 2 0)");
+        // The point meets the line's *boundary*: I×B cell = 0, I×I empty.
+        assert_eq!(m, "F0FFFF102");
+    }
+
+    #[test]
+    fn point_off_line_disjoint() {
+        assert_eq!(rel("POINT (5 5)", "LINESTRING (0 0, 2 0)"), "FF0FFF102");
+    }
+
+    // ------------------------------------------------------------------
+    // Point / polygon
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn point_in_polygon_within() {
+        assert_eq!(
+            rel("POINT (1 1)", "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))"),
+            "0FFFFF212"
+        );
+    }
+
+    #[test]
+    fn point_on_polygon_boundary() {
+        assert_eq!(
+            rel("POINT (2 1)", "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))"),
+            "F0FFFF212"
+        );
+    }
+
+    #[test]
+    fn point_outside_polygon() {
+        assert_eq!(
+            rel("POINT (9 9)", "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))"),
+            "FF0FFF212"
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Line / line
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn crossing_lines() {
+        assert_eq!(
+            rel("LINESTRING (0 0, 2 2)", "LINESTRING (0 2, 2 0)"),
+            "0F1FF0102"
+        );
+    }
+
+    #[test]
+    fn touching_lines_at_endpoints() {
+        assert_eq!(
+            rel("LINESTRING (0 0, 1 0)", "LINESTRING (1 0, 2 0)"),
+            "FF1F00102"
+        );
+    }
+
+    #[test]
+    fn equal_lines() {
+        assert_eq!(
+            rel("LINESTRING (0 0, 2 0)", "LINESTRING (0 0, 2 0)"),
+            "1FFF0FFF2"
+        );
+        // Also equal when traversed in reverse.
+        assert_eq!(
+            rel("LINESTRING (0 0, 2 0)", "LINESTRING (2 0, 0 0)"),
+            "1FFF0FFF2"
+        );
+    }
+
+    #[test]
+    fn overlapping_collinear_lines() {
+        assert_eq!(
+            rel("LINESTRING (0 0, 2 0)", "LINESTRING (1 0, 3 0)"),
+            "1010F0102"
+        );
+    }
+
+    #[test]
+    fn line_within_line() {
+        assert_eq!(
+            rel("LINESTRING (1 0, 2 0)", "LINESTRING (0 0, 3 0)"),
+            "1FF0FF102"
+        );
+    }
+
+    #[test]
+    fn t_junction_lines() {
+        // B's endpoint meets A's interior.
+        assert_eq!(
+            rel("LINESTRING (0 0, 2 0)", "LINESTRING (1 0, 1 1)"),
+            "F01FF0102"
+        );
+    }
+
+    #[test]
+    fn disjoint_lines() {
+        assert_eq!(
+            rel("LINESTRING (0 0, 1 0)", "LINESTRING (5 5, 6 5)"),
+            "FF1FF0102"
+        );
+    }
+
+    #[test]
+    fn closed_line_has_no_boundary() {
+        // A ring-shaped linestring: boundary row must be all F.
+        let m = rel(
+            "LINESTRING (0 0, 1 0, 1 1, 0 0)",
+            "LINESTRING (5 5, 6 5)",
+        );
+        assert_eq!(m, "FF1FFF102");
+    }
+
+    // ------------------------------------------------------------------
+    // Line / polygon
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn line_crossing_polygon() {
+        assert_eq!(
+            rel("LINESTRING (-1 1, 3 1)", "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))"),
+            "101FF0212"
+        );
+    }
+
+    #[test]
+    fn line_within_polygon() {
+        assert_eq!(
+            rel("LINESTRING (0.5 1, 1.5 1)", "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))"),
+            "1FF0FF212"
+        );
+    }
+
+    #[test]
+    fn line_touching_polygon_boundary() {
+        // The line lies entirely along the polygon's bottom edge: its
+        // interior meets only the boundary (IB=1), endpoints too (BB=0).
+        assert_eq!(
+            rel("LINESTRING (0.5 0, 1.5 0)", "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))"),
+            "F1FF0F212"
+        );
+    }
+
+    #[test]
+    fn line_disjoint_polygon() {
+        assert_eq!(
+            rel("LINESTRING (5 5, 6 6)", "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))"),
+            "FF1FF0212"
+        );
+    }
+
+    #[test]
+    fn line_ending_on_polygon_boundary_from_outside() {
+        assert_eq!(
+            rel("LINESTRING (3 1, 2 1)", "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))"),
+            "FF1F00212"
+        );
+    }
+
+    #[test]
+    fn line_entering_through_boundary_ending_inside() {
+        assert_eq!(
+            rel("LINESTRING (3 1, 1 1)", "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))"),
+            "1010F0212"
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Polygon / polygon
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn equal_polygons() {
+        assert_eq!(
+            rel(
+                "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))",
+                "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))"
+            ),
+            "2FFF1FFF2"
+        );
+    }
+
+    #[test]
+    fn overlapping_polygons() {
+        assert_eq!(
+            rel(
+                "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))",
+                "POLYGON ((1 1, 3 1, 3 3, 1 3, 1 1))"
+            ),
+            "212101212"
+        );
+    }
+
+    #[test]
+    fn disjoint_polygons() {
+        assert_eq!(
+            rel(
+                "POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))",
+                "POLYGON ((5 5, 6 5, 6 6, 5 6, 5 5))"
+            ),
+            "FF2FF1212"
+        );
+    }
+
+    #[test]
+    fn polygon_within_polygon() {
+        assert_eq!(
+            rel(
+                "POLYGON ((1 1, 2 1, 2 2, 1 2, 1 1))",
+                "POLYGON ((0 0, 3 0, 3 3, 0 3, 0 0))"
+            ),
+            "2FF1FF212"
+        );
+    }
+
+    #[test]
+    fn polygon_contains_polygon() {
+        assert_eq!(
+            rel(
+                "POLYGON ((0 0, 3 0, 3 3, 0 3, 0 0))",
+                "POLYGON ((1 1, 2 1, 2 2, 1 2, 1 1))"
+            ),
+            "212FF1FF2"
+        );
+    }
+
+    #[test]
+    fn touching_polygons_share_edge() {
+        assert_eq!(
+            rel(
+                "POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))",
+                "POLYGON ((1 0, 2 0, 2 1, 1 1, 1 0))"
+            ),
+            "FF2F11212"
+        );
+    }
+
+    #[test]
+    fn touching_polygons_at_corner() {
+        assert_eq!(
+            rel(
+                "POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))",
+                "POLYGON ((1 1, 2 1, 2 2, 1 2, 1 1))"
+            ),
+            "FF2F01212"
+        );
+    }
+
+    #[test]
+    fn polygon_in_hole_is_disjoint() {
+        let donut = "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (2 2, 8 2, 8 8, 2 8, 2 2))";
+        let inner = "POLYGON ((4 4, 6 4, 6 6, 4 6, 4 4))";
+        assert_eq!(rel(inner, donut), "FF2FF1212");
+    }
+
+    #[test]
+    fn polygon_filling_hole_touches() {
+        let donut = "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (2 2, 8 2, 8 8, 2 8, 2 2))";
+        let plug = "POLYGON ((2 2, 8 2, 8 8, 2 8, 2 2))";
+        let m = rel(plug, donut);
+        // Interiors disjoint, boundaries share the hole ring (dim 1).
+        assert!(m.starts_with('F'), "II must be F, got {m}");
+        assert_eq!(&m[4..5], "1"); // BB
+    }
+
+    // ------------------------------------------------------------------
+    // Empty operands
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn empty_vs_polygon() {
+        assert_eq!(rel("POINT EMPTY", "POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))"), "FFFFFF212");
+        assert_eq!(rel("POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))", "POINT EMPTY"), "FF2FF1FF2");
+        assert_eq!(rel("POINT EMPTY", "POINT EMPTY"), "FFFFFFFF2");
+    }
+
+    #[test]
+    fn mixed_collection_unsupported() {
+        let gc = wkt::parse("GEOMETRYCOLLECTION (POINT (0 0), LINESTRING (1 1, 2 2))").unwrap();
+        let p = wkt::parse("POINT (0 0)").unwrap();
+        assert!(relate(&gc, &p).is_err());
+    }
+
+    #[test]
+    fn single_family_collection_supported() {
+        let gc = wkt::parse("GEOMETRYCOLLECTION (POINT (1 1), POINT (2 2))").unwrap();
+        let p = wkt::parse("POINT (1 1)").unwrap();
+        let m = relate(&p, &gc).unwrap();
+        assert_eq!(m.to_string(), "0FFFFF0F2");
+    }
+
+    // ------------------------------------------------------------------
+    // Symmetry invariant
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn relate_is_transpose_symmetric() {
+        let cases = [
+            ("POINT (1 1)", "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))"),
+            ("LINESTRING (-1 1, 3 1)", "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))"),
+            ("LINESTRING (0 0, 2 2)", "LINESTRING (0 2, 2 0)"),
+            (
+                "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))",
+                "POLYGON ((1 1, 3 1, 3 3, 1 3, 1 1))",
+            ),
+            ("MULTIPOINT ((0 0), (3 3))", "LINESTRING (0 0, 2 0)"),
+        ];
+        for (a, b) in cases {
+            let ga = wkt::parse(a).unwrap();
+            let gb = wkt::parse(b).unwrap();
+            let ab = relate(&ga, &gb).unwrap();
+            let ba = relate(&gb, &ga).unwrap();
+            assert_eq!(ab.transposed(), ba, "transpose symmetry failed for {a} / {b}");
+        }
+    }
+}

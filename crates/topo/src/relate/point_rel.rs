@@ -1,0 +1,117 @@
+//! DE-9IM computation where the first operand is a point set.
+
+use super::shape::{coord_on_lines, locate_in_areas, LineSet};
+use crate::matrix::{IntersectionMatrix, Position};
+use jackpine_geom::algorithms::locate::Location;
+use jackpine_geom::algorithms::segment::point_in_segment_interior;
+use jackpine_geom::{Coord, Dimension, Polygon};
+
+/// Matrix of two finite point sets. Point sets have empty boundaries, so
+/// only the interior/exterior rows and columns are populated.
+pub fn points_points(a: &[Coord], b: &[Coord]) -> IntersectionMatrix {
+    let mut m = IntersectionMatrix::empty();
+    m.set(Position::Exterior, Position::Exterior, Dimension::Two);
+    for &p in a {
+        if b.contains(&p) {
+            m.set_at_least(Position::Interior, Position::Interior, Dimension::Zero);
+        } else {
+            m.set_at_least(Position::Interior, Position::Exterior, Dimension::Zero);
+        }
+    }
+    for &q in b {
+        if !a.contains(&q) {
+            m.set_at_least(Position::Exterior, Position::Interior, Dimension::Zero);
+        }
+    }
+    m
+}
+
+/// Matrix of a point set against a curve set.
+pub fn points_lines(pts: &[Coord], ls: &LineSet) -> IntersectionMatrix {
+    let mut m = IntersectionMatrix::empty();
+    m.set(Position::Exterior, Position::Exterior, Dimension::Two);
+    // The curve interior always extends beyond finitely many points.
+    m.set(Position::Exterior, Position::Interior, Dimension::One);
+
+    for &p in pts {
+        if ls.boundary.contains(&p) {
+            m.set_at_least(Position::Interior, Position::Boundary, Dimension::Zero);
+        } else if on_lines_interior(p, ls) {
+            m.set_at_least(Position::Interior, Position::Interior, Dimension::Zero);
+        } else {
+            m.set_at_least(Position::Interior, Position::Exterior, Dimension::Zero);
+        }
+    }
+    for &e in &ls.boundary {
+        if !pts.contains(&e) {
+            m.set_at_least(Position::Exterior, Position::Boundary, Dimension::Zero);
+        }
+    }
+    m
+}
+
+/// `true` when `p` lies on the curve set but not in its mod-2 boundary —
+/// i.e., in the curve set's interior.
+fn on_lines_interior(p: Coord, ls: &LineSet) -> bool {
+    if ls.boundary.contains(&p) {
+        return false;
+    }
+    // Interior vertices and interior-of-segment points both qualify; an
+    // endpoint shared by an even number of curves also does (mod-2 rule).
+    coord_on_lines(p, &ls.lines)
+        || ls.lines.iter().any(|l| {
+            l.segments().any(|(a, b)| point_in_segment_interior(p, a, b))
+        })
+}
+
+/// Matrix of a point set against a polygon set.
+pub fn points_areas(pts: &[Coord], areas: &[Polygon]) -> IntersectionMatrix {
+    let mut m = IntersectionMatrix::empty();
+    m.set(Position::Exterior, Position::Exterior, Dimension::Two);
+    m.set(Position::Exterior, Position::Interior, Dimension::Two);
+    m.set(Position::Exterior, Position::Boundary, Dimension::One);
+
+    for &p in pts {
+        let cell = match locate_in_areas(p, areas) {
+            Location::Interior => Position::Interior,
+            Location::Boundary => Position::Boundary,
+            Location::Exterior => Position::Exterior,
+        };
+        m.set_at_least(Position::Interior, cell, Dimension::Zero);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jackpine_geom::LineString;
+
+    fn c(x: f64, y: f64) -> Coord {
+        Coord::new(x, y)
+    }
+
+    #[test]
+    fn points_points_cells() {
+        let m = points_points(&[c(0.0, 0.0), c(1.0, 1.0)], &[c(1.0, 1.0), c(2.0, 2.0)]);
+        assert_eq!(m.to_string(), "0F0FFF0F2");
+    }
+
+    #[test]
+    fn point_in_line_set_interior_via_even_junction() {
+        // Two curves meeting at (1,0): the junction is interior (mod-2).
+        let a = LineString::from_xy(&[(0.0, 0.0), (1.0, 0.0)]).unwrap();
+        let b = LineString::from_xy(&[(1.0, 0.0), (2.0, 0.0)]).unwrap();
+        let ls = LineSet { boundary: super::super::shape::mod2_boundary(&[a.clone(), b.clone()]), lines: vec![a, b] };
+        let m = points_lines(&[c(1.0, 0.0)], &ls);
+        assert_eq!(m.get(Position::Interior, Position::Interior), Dimension::Zero);
+        assert_eq!(m.get(Position::Interior, Position::Boundary), Dimension::Empty);
+    }
+
+    #[test]
+    fn points_areas_all_three_cells() {
+        let p = Polygon::from_xy(&[(0.0, 0.0), (2.0, 0.0), (2.0, 2.0), (0.0, 2.0)]).unwrap();
+        let m = points_areas(&[c(1.0, 1.0), c(2.0, 1.0), c(9.0, 9.0)], &[p]);
+        assert_eq!(m.to_string(), "000FFF212");
+    }
+}

@@ -1,0 +1,159 @@
+//! DE-9IM computation for areal × areal operands.
+//!
+//! Strategy: each ring of each operand is split against the *other*
+//! polygon set (reusing the line-splitting machinery), which yields the
+//! boundary rows directly; the interior cells are then derived from the
+//! boundary observations plus interior-point probes, per the containment
+//! arguments documented inline.
+
+use super::shape::{interior_point, locate_in_areas, split_line_by_areas};
+use crate::matrix::{IntersectionMatrix, Position};
+use jackpine_geom::algorithms::line_split::PortionClass;
+use jackpine_geom::algorithms::locate::Location;
+use jackpine_geom::{Dimension, Polygon};
+
+/// Per-operand boundary observations against the other operand.
+#[derive(Default, Debug)]
+struct BoundaryObs {
+    /// Some boundary portion runs strictly inside the other.
+    inside: bool,
+    /// Some boundary portion runs along the other's boundary.
+    on_boundary_dim1: bool,
+    /// Some isolated boundary point lies on the other's boundary.
+    on_boundary_dim0: bool,
+    /// Some boundary portion runs strictly outside the other.
+    outside: bool,
+}
+
+fn observe(subject: &[Polygon], other: &[Polygon]) -> BoundaryObs {
+    let mut obs = BoundaryObs::default();
+    for poly in subject {
+        for ring in poly.rings() {
+            let line = ring.to_linestring();
+            for portion in split_line_by_areas(&line, other) {
+                match portion.class {
+                    PortionClass::Inside => obs.inside = true,
+                    PortionClass::OnBoundary => obs.on_boundary_dim1 = true,
+                    PortionClass::Outside => obs.outside = true,
+                }
+                if !obs.on_boundary_dim0 {
+                    for &c in &portion.coords {
+                        if locate_in_areas(c, other) == Location::Boundary {
+                            obs.on_boundary_dim0 = true;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    obs
+}
+
+/// Matrix of two polygon sets (each with pairwise disjoint interiors).
+pub fn areas_areas(a: &[Polygon], b: &[Polygon]) -> IntersectionMatrix {
+    let mut m = IntersectionMatrix::empty();
+    m.set(Position::Exterior, Position::Exterior, Dimension::Two);
+
+    let oa = observe(a, b); // A's boundary against B
+    let ob = observe(b, a); // B's boundary against A
+
+    // Boundary rows, read straight off the observations.
+    if oa.inside {
+        m.set(Position::Boundary, Position::Interior, Dimension::One);
+    }
+    if oa.outside {
+        m.set(Position::Boundary, Position::Exterior, Dimension::One);
+    }
+    if ob.inside {
+        m.set(Position::Interior, Position::Boundary, Dimension::One);
+    }
+    if ob.outside {
+        m.set(Position::Exterior, Position::Boundary, Dimension::One);
+    }
+    if oa.on_boundary_dim1 || ob.on_boundary_dim1 {
+        m.set(Position::Boundary, Position::Boundary, Dimension::One);
+    } else if oa.on_boundary_dim0 || ob.on_boundary_dim0 {
+        m.set(Position::Boundary, Position::Boundary, Dimension::Zero);
+    }
+
+    // Interior-point probes (each located against the whole other set).
+    let a_probe_in_b = a
+        .iter()
+        .map(|p| locate_in_areas(interior_point(p), b))
+        .collect::<Vec<_>>();
+    let b_probe_in_a = b
+        .iter()
+        .map(|p| locate_in_areas(interior_point(p), a))
+        .collect::<Vec<_>>();
+
+    // Interior × interior: the interiors meet iff a boundary of one runs
+    // through the interior of the other (an open set: any boundary point
+    // inside it is a limit of interior-interior points), or some member's
+    // interior point lies in the other's interior (covers containment and
+    // exact equality, where no boundary crosses).
+    let ii = oa.inside
+        || ob.inside
+        || a_probe_in_b.contains(&Location::Interior)
+        || b_probe_in_a.contains(&Location::Interior);
+    if ii {
+        m.set(Position::Interior, Position::Interior, Dimension::Two);
+    }
+
+    // Interior × exterior: A's interior escapes B iff A's boundary runs
+    // outside B, or B's boundary runs strictly inside A (so points of B's
+    // exterior lie arbitrarily close inside A's interior), or some member
+    // of A sits entirely in B's exterior (probe).
+    let ie = oa.outside
+        || ob.inside
+        || a_probe_in_b.contains(&Location::Exterior);
+    if ie {
+        m.set(Position::Interior, Position::Exterior, Dimension::Two);
+    }
+    let ei = ob.outside
+        || oa.inside
+        || b_probe_in_a.contains(&Location::Exterior);
+    if ei {
+        m.set(Position::Exterior, Position::Interior, Dimension::Two);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sq(x0: f64, y0: f64, s: f64) -> Polygon {
+        Polygon::from_xy(&[(x0, y0), (x0 + s, y0), (x0 + s, y0 + s), (x0, y0 + s)]).unwrap()
+    }
+
+    #[test]
+    fn observations_for_overlap() {
+        let a = [sq(0.0, 0.0, 2.0)];
+        let b = [sq(1.0, 1.0, 2.0)];
+        let obs = observe(&a, &b);
+        assert!(obs.inside);
+        assert!(obs.outside);
+        assert!(obs.on_boundary_dim0); // crossing points at (2,1) and (1,2)
+        assert!(!obs.on_boundary_dim1);
+    }
+
+    #[test]
+    fn multipolygon_against_band() {
+        // Two squares, one inside the band, one outside.
+        let parts = [sq(0.0, 0.0, 1.0), sq(5.0, 5.0, 1.0)];
+        let band = [sq(-1.0, -1.0, 3.0)];
+        let m = areas_areas(&parts, &band);
+        // Interiors meet (first square), A escapes (second square), and
+        // B's interior escapes A.
+        assert_eq!(m.get(Position::Interior, Position::Interior), Dimension::Two);
+        assert_eq!(m.get(Position::Interior, Position::Exterior), Dimension::Two);
+        assert_eq!(m.get(Position::Exterior, Position::Interior), Dimension::Two);
+    }
+
+    #[test]
+    fn equal_squares_have_clean_matrix() {
+        let m = areas_areas(&[sq(0.0, 0.0, 2.0)], &[sq(0.0, 0.0, 2.0)]);
+        assert_eq!(m.to_string(), "2FFF1FFF2");
+    }
+}

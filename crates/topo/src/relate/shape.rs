@@ -1,0 +1,278 @@
+//! Decomposition of geometries into the three dimension families the
+//! relate algorithms operate on, plus shared point-set helpers.
+
+use crate::{Result, TopoError};
+use jackpine_geom::algorithms::locate::{locate_in_polygon, Location};
+use jackpine_geom::algorithms::segment::point_on_segment;
+use jackpine_geom::{Coord, Geometry, LineString, Polygon};
+
+/// A set of linestrings together with its combinatorial (mod-2) boundary.
+#[derive(Debug)]
+pub struct LineSet {
+    /// The member curves (all non-empty).
+    pub lines: Vec<LineString>,
+    /// Endpoints occurring an odd number of times across the members.
+    pub boundary: Vec<Coord>,
+}
+
+/// A geometry reduced to its dimension family.
+#[derive(Debug)]
+pub enum Shape {
+    /// No point at all.
+    Empty,
+    /// A finite point set.
+    Points(Vec<Coord>),
+    /// A set of curves.
+    Lines(LineSet),
+    /// A set of polygons with pairwise disjoint interiors.
+    Areas(Vec<Polygon>),
+}
+
+/// Flattens `g` into one dimension family.
+pub fn decompose(g: &Geometry) -> Result<Shape> {
+    let mut pts: Vec<Coord> = Vec::new();
+    let mut lines: Vec<LineString> = Vec::new();
+    let mut areas: Vec<Polygon> = Vec::new();
+    collect(g, &mut pts, &mut lines, &mut areas);
+
+    match (!pts.is_empty(), !lines.is_empty(), !areas.is_empty()) {
+        (false, false, false) => Ok(Shape::Empty),
+        (true, false, false) => {
+            pts.sort_by(|a, b| a.x.total_cmp(&b.x).then(a.y.total_cmp(&b.y)));
+            pts.dedup();
+            Ok(Shape::Points(pts))
+        }
+        (false, true, false) => {
+            let boundary = mod2_boundary(&lines);
+            Ok(Shape::Lines(LineSet { lines, boundary }))
+        }
+        (false, false, true) => Ok(Shape::Areas(areas)),
+        _ => Err(TopoError::Unsupported(
+            "geometry collection mixes dimension families".into(),
+        )),
+    }
+}
+
+fn collect(g: &Geometry, pts: &mut Vec<Coord>, lines: &mut Vec<LineString>, areas: &mut Vec<Polygon>) {
+    match g {
+        Geometry::Point(p) => pts.extend(p.coord()),
+        Geometry::MultiPoint(m) => pts.extend(m.0.iter().filter_map(|p| p.coord())),
+        Geometry::LineString(l) => {
+            if !l.is_empty() {
+                lines.push(l.clone());
+            }
+        }
+        Geometry::MultiLineString(m) => {
+            lines.extend(m.0.iter().filter(|l| !l.is_empty()).cloned());
+        }
+        Geometry::Polygon(p) => areas.push(p.clone()),
+        Geometry::MultiPolygon(m) => areas.extend(m.0.iter().cloned()),
+        Geometry::GeometryCollection(c) => {
+            for g in &c.0 {
+                collect(g, pts, lines, areas);
+            }
+        }
+    }
+}
+
+/// The mod-2 boundary of a curve set: endpoints terminating an odd number
+/// of member curves. Closed curves contribute nothing.
+pub fn mod2_boundary(lines: &[LineString]) -> Vec<Coord> {
+    let mut counts: Vec<(Coord, usize)> = Vec::new();
+    for l in lines {
+        if l.is_closed() || l.is_empty() {
+            continue;
+        }
+        for c in [l.start(), l.end()].into_iter().flatten() {
+            match counts.iter_mut().find(|(k, _)| *k == c) {
+                Some(e) => e.1 += 1,
+                None => counts.push((c, 1)),
+            }
+        }
+    }
+    counts.into_iter().filter(|&(_, n)| n % 2 == 1).map(|(c, _)| c).collect()
+}
+
+/// `true` when `c` lies on any segment of the curve set.
+pub fn coord_on_lines(c: Coord, lines: &[LineString]) -> bool {
+    lines.iter().any(|l| l.segments().any(|(a, b)| point_on_segment(c, a, b)))
+}
+
+/// Locates `c` relative to a polygon set with pairwise disjoint interiors:
+/// interior of any member wins, then boundary of any member.
+pub fn locate_in_areas(c: Coord, areas: &[Polygon]) -> Location {
+    let mut on_boundary = false;
+    for p in areas {
+        match locate_in_polygon(c, p) {
+            Location::Interior => return Location::Interior,
+            Location::Boundary => on_boundary = true,
+            Location::Exterior => {}
+        }
+    }
+    if on_boundary {
+        Location::Boundary
+    } else {
+        Location::Exterior
+    }
+}
+
+/// A point strictly inside the polygon, found by scanning horizontal lines
+/// through the envelope and probing span midpoints.
+///
+/// Valid polygons always enclose area, so the scan terminates; the function
+/// panics only on geometry violating the `Polygon` construction invariants.
+pub fn interior_point(poly: &Polygon) -> Coord {
+    let env = poly.envelope();
+    // Try a few scanlines; midheight first, then golden-ratio offsets.
+    let fractions = [0.5, 0.381966, 0.618034, 0.25, 0.75, 0.1, 0.9, 0.05, 0.95];
+    for f in fractions {
+        let y = env.min_y + env.height() * f;
+        let mut xs: Vec<f64> = Vec::new();
+        for ring in poly.rings() {
+            for (a, b) in ring.segments() {
+                // Half-open rule to avoid double counting vertices.
+                let (lo, hi) = if a.y <= b.y { (a, b) } else { (b, a) };
+                if lo.y <= y && hi.y > y {
+                    let t = (y - lo.y) / (hi.y - lo.y);
+                    xs.push(lo.x + t * (hi.x - lo.x));
+                }
+            }
+        }
+        xs.sort_by(f64::total_cmp);
+        for w in xs.windows(2) {
+            let mid = Coord::new((w[0] + w[1]) * 0.5, y);
+            if locate_in_polygon(mid, poly) == Location::Interior {
+                return mid;
+            }
+        }
+    }
+    // Last resort: centroid-like fallback (valid for convex polygons).
+    let c = poly.exterior().coords();
+    let mut acc = Coord::new(0.0, 0.0);
+    for p in &c[..c.len() - 1] {
+        acc = acc + *p;
+    }
+    acc * (1.0 / (c.len() - 1) as f64)
+}
+
+/// Splits `line` by every polygon of a disjoint-interior set; a piece is
+/// `Inside` if inside any member, `OnBoundary` if along any member's
+/// boundary, `Outside` otherwise.
+pub fn split_line_by_areas(
+    line: &LineString,
+    areas: &[Polygon],
+) -> Vec<jackpine_geom::algorithms::line_split::LinePortion> {
+    use jackpine_geom::algorithms::line_split::{split_line_by_polygon, LinePortion, PortionClass};
+
+    let mut resolved: Vec<LinePortion> = Vec::new();
+    let mut pending: Vec<LineString> = vec![line.clone()];
+    for poly in areas {
+        let mut still_outside: Vec<LineString> = Vec::new();
+        for piece in pending {
+            for portion in split_line_by_polygon(&piece, poly) {
+                match portion.class {
+                    PortionClass::Inside | PortionClass::OnBoundary => resolved.push(portion),
+                    PortionClass::Outside => {
+                        if let Ok(l) = LineString::new(portion.coords) {
+                            still_outside.push(l);
+                        }
+                    }
+                }
+            }
+        }
+        pending = still_outside;
+        if pending.is_empty() {
+            break;
+        }
+    }
+    for piece in pending {
+        resolved.push(LinePortion {
+            class: PortionClass::Outside,
+            coords: piece.coords().to_vec(),
+        })
+    }
+    resolved
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jackpine_geom::wkt;
+
+    #[test]
+    fn decompose_families() {
+        let g = wkt::parse("MULTIPOINT ((0 0), (1 1), (0 0))").unwrap();
+        match decompose(&g).unwrap() {
+            Shape::Points(p) => assert_eq!(p.len(), 2), // deduplicated
+            other => panic!("expected points, got {other:?}"),
+        }
+        let g = wkt::parse("GEOMETRYCOLLECTION EMPTY").unwrap();
+        assert!(matches!(decompose(&g).unwrap(), Shape::Empty));
+        let g = wkt::parse("POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))").unwrap();
+        assert!(matches!(decompose(&g).unwrap(), Shape::Areas(_)));
+    }
+
+    #[test]
+    fn mod2_boundary_rules() {
+        let a = LineString::from_xy(&[(0.0, 0.0), (1.0, 0.0)]).unwrap();
+        let b = LineString::from_xy(&[(1.0, 0.0), (2.0, 0.0)]).unwrap();
+        let c = LineString::from_xy(&[(1.0, 0.0), (1.0, 1.0)]).unwrap();
+        // Two lines meeting at (1,0): that point is not a boundary.
+        let bd = mod2_boundary(&[a.clone(), b.clone()]);
+        assert_eq!(bd.len(), 2);
+        assert!(!bd.contains(&Coord::new(1.0, 0.0)));
+        // Three lines meeting at (1,0): odd count, so it is.
+        let bd = mod2_boundary(&[a, b, c]);
+        assert!(bd.contains(&Coord::new(1.0, 0.0)));
+    }
+
+    #[test]
+    fn interior_point_is_interior() {
+        use jackpine_geom::algorithms::locate::{locate_in_polygon, Location};
+        let cases = [
+            "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))",
+            // Concave "U" shape.
+            "POLYGON ((0 0, 6 0, 6 6, 4 6, 4 2, 2 2, 2 6, 0 6, 0 0))",
+            // Donut: the scanline at mid-height passes through the hole.
+            "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (2 2, 8 2, 8 8, 2 8, 2 2))",
+            // Thin sliver triangle.
+            "POLYGON ((0 0, 10 0, 10 0.001, 0 0))",
+        ];
+        for c in cases {
+            let g = wkt::parse(c).unwrap();
+            let p = match g {
+                Geometry::Polygon(p) => p,
+                _ => unreachable!(),
+            };
+            let ip = interior_point(&p);
+            assert_eq!(locate_in_polygon(ip, &p), Location::Interior, "for {c}");
+        }
+    }
+
+    #[test]
+    fn split_by_multiple_areas() {
+        use jackpine_geom::algorithms::line_split::PortionClass;
+        let a = match wkt::parse("POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))").unwrap() {
+            Geometry::Polygon(p) => p,
+            _ => unreachable!(),
+        };
+        let b = match wkt::parse("POLYGON ((4 0, 6 0, 6 2, 4 2, 4 0))").unwrap() {
+            Geometry::Polygon(p) => p,
+            _ => unreachable!(),
+        };
+        let line = LineString::from_xy(&[(-1.0, 1.0), (7.0, 1.0)]).unwrap();
+        let portions = split_line_by_areas(&line, &[a, b]);
+        let inside_len: f64 = portions
+            .iter()
+            .filter(|p| p.class == PortionClass::Inside)
+            .map(|p| p.length())
+            .sum();
+        let outside_len: f64 = portions
+            .iter()
+            .filter(|p| p.class == PortionClass::Outside)
+            .map(|p| p.length())
+            .sum();
+        assert!((inside_len - 4.0).abs() < 1e-9, "inside = {inside_len}");
+        assert!((outside_len - 4.0).abs() < 1e-9, "outside = {outside_len}");
+    }
+}

@@ -1,0 +1,75 @@
+//! Geocoding and reverse geocoding over the synthetic road network — the
+//! workloads behind Jackpine's M2/M3 macro scenarios.
+//!
+//! Forward: `"<number> <street>, <zip>"` → a coordinate interpolated
+//! along the matching road's address range.
+//! Reverse: a GPS fix → the nearest road and approximate street number.
+//!
+//! ```sh
+//! cargo run --release --example geocoding
+//! ```
+
+use jackpine::bench::load_dataset;
+use jackpine::datagen::{TigerConfig, TigerDataset};
+use jackpine::engine::{EngineProfile, SpatialDb};
+use jackpine::geom::{wkt, Geometry};
+use std::sync::Arc;
+
+fn main() {
+    let data = TigerDataset::generate(&TigerConfig { seed: 20110411, scale: 0.05 });
+    let db = Arc::new(SpatialDb::new(EngineProfile::ExactRtree));
+    load_dataset(&db, &data).expect("load");
+
+    // ---- forward geocoding -------------------------------------------------
+    // Take three real addresses from the dataset.
+    println!("forward geocoding:");
+    for road in data.roads.iter().step_by(data.roads.len() / 3).take(3) {
+        let number = (road.from_addr + road.to_addr) / 2;
+        let r = db
+            .execute(&format!(
+                "SELECT from_addr, to_addr, geom FROM roads \
+                 WHERE name = '{}' AND zip = {} AND from_addr <= {number} AND to_addr >= {number}",
+                road.name, road.zip
+            ))
+            .expect("lookup");
+        match r.rows.first() {
+            Some(row) => {
+                let lo = row[0].as_i64().unwrap_or(0);
+                let hi = row[1].as_i64().unwrap_or(1);
+                let geom = row[2].as_geom().expect("road geometry");
+                // Interpolate the position along the centreline.
+                let Geometry::LineString(line) =
+                    wkt::parse(&wkt::write(geom)).expect("roundtrip")
+                else {
+                    unreachable!("roads are linestrings");
+                };
+                let t = (number - lo) as f64 / (hi - lo).max(1) as f64;
+                let pos = line.interpolate(t * line.length()).expect("non-empty road");
+                println!(
+                    "  {number} {} ({}) -> ({:.5}, {:.5})",
+                    road.name, road.zip, pos.x, pos.y
+                );
+            }
+            None => println!("  {number} {} ({}): no match", road.name, road.zip),
+        }
+    }
+
+    // ---- reverse geocoding ---------------------------------------------------
+    println!("\nreverse geocoding:");
+    for road in data.roads.iter().skip(7).step_by(data.roads.len() / 3).take(3) {
+        // Simulate a GPS fix near this road.
+        let v = road.geom.coords()[0];
+        let (x, y) = (v.x + 0.0005, v.y - 0.0005);
+        let r = db
+            .execute(&format!(
+                "SELECT name, zip, from_addr FROM roads \
+                 ORDER BY ST_Distance(geom, ST_GeomFromText('POINT ({x} {y})')) LIMIT 1"
+            ))
+            .expect("knn");
+        let row = &r.rows[0];
+        println!(
+            "  fix ({x:.5}, {y:.5}) -> near {} block of {} ({})",
+            row[2], row[0], row[1]
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Quick start: create a spatial database, load a few features, and run
+//! the core query shapes — window search, topological predicate, spatial
+//! join, nearest neighbour.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use jackpine::engine::{EngineProfile, SpatialDb};
+use std::sync::Arc;
+
+fn main() {
+    let db = Arc::new(SpatialDb::new(EngineProfile::ExactRtree));
+
+    // Schema + data: a handful of city features.
+    db.execute("CREATE TABLE parks (id BIGINT, name TEXT, geom GEOMETRY)").unwrap();
+    db.execute("CREATE TABLE cafes (id BIGINT, name TEXT, geom GEOMETRY)").unwrap();
+    let parks = [
+        (1, "Riverside Park", "POLYGON ((0 0, 4 0, 4 3, 0 3, 0 0))"),
+        (2, "Oak Commons", "POLYGON ((6 1, 9 1, 9 4, 6 4, 6 1))"),
+        (3, "Hilltop Green", "POLYGON ((2 5, 5 5, 5 8, 2 8, 2 5))"),
+    ];
+    for (id, name, wkt) in parks {
+        db.execute(&format!(
+            "INSERT INTO parks VALUES ({id}, '{name}', ST_GeomFromText('{wkt}'))"
+        ))
+        .unwrap();
+    }
+    let cafes = [
+        (1, "Bean There", "POINT (1 1)"),
+        (2, "Grindhouse", "POINT (7 2)"),
+        (3, "Percolator", "POINT (5 9)"),
+        (4, "Drip Drop", "POINT (3 6)"),
+    ];
+    for (id, name, wkt) in cafes {
+        db.execute(&format!(
+            "INSERT INTO cafes VALUES ({id}, '{name}', ST_GeomFromText('{wkt}'))"
+        ))
+        .unwrap();
+    }
+    db.create_spatial_index("parks", "geom").unwrap();
+    db.create_spatial_index("cafes", "geom").unwrap();
+
+    // 1. Window search: what's on this map tile?
+    let r = db
+        .execute(
+            "SELECT name FROM parks WHERE MBRIntersects(geom, ST_MakeEnvelope(0, 0, 5, 5))",
+        )
+        .unwrap();
+    println!("parks on tile (0,0)-(5,5):");
+    for row in &r.rows {
+        println!("  - {}", row[0]);
+    }
+
+    // 2. Topological predicate: cafés inside a park.
+    let r = db
+        .execute(
+            "SELECT c.name, p.name FROM cafes c JOIN parks p ON ST_Within(c.geom, p.geom)",
+        )
+        .unwrap();
+    println!("\ncafés inside parks:");
+    for row in &r.rows {
+        println!("  - {} in {}", row[0], row[1]);
+    }
+
+    // 3. Analysis function: park areas.
+    let r = db.execute("SELECT name, ST_Area(geom) FROM parks ORDER BY 2 DESC").unwrap();
+    println!("\npark areas:");
+    for row in &r.rows {
+        println!("  - {}: {}", row[0], row[1]);
+    }
+
+    // 4. Nearest neighbour: the café closest to a point.
+    let r = db
+        .execute(
+            "SELECT name FROM cafes \
+             ORDER BY ST_Distance(geom, ST_GeomFromText('POINT (4 4)')) LIMIT 1",
+        )
+        .unwrap();
+    println!("\nnearest café to (4,4): {}", r.rows[0][0]);
+}

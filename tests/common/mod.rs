@@ -1,0 +1,63 @@
+//! Shared generators for the integration and property tests: random (but
+//! always *valid*) geometries built from proptest primitives.
+
+#![allow(dead_code)]
+
+use jackpine::geom::{Coord, Geometry, LineString, Point, Polygon, Ring};
+use proptest::prelude::*;
+
+/// A finite coordinate within a benchmark-like range.
+pub fn coord() -> impl Strategy<Value = Coord> {
+    (-1000.0..1000.0f64, -1000.0..1000.0f64).prop_map(|(x, y)| Coord::new(x, y))
+}
+
+/// A random point geometry.
+pub fn point() -> impl Strategy<Value = Geometry> {
+    coord().prop_map(|c| Geometry::Point(Point::from_coord(c).expect("finite coord")))
+}
+
+/// A random polyline with 2–10 distinct vertices.
+pub fn linestring() -> impl Strategy<Value = Geometry> {
+    (coord(), proptest::collection::vec((-10.0..10.0f64, -10.0..10.0f64), 1..9)).prop_map(
+        |(start, deltas)| {
+            let mut pts = vec![start];
+            for (dx, dy) in deltas {
+                let last = *pts.last().expect("non-empty");
+                // Guarantee distinct consecutive vertices.
+                let c = Coord::new(last.x + dx + 0.001, last.y + dy + 0.001);
+                pts.push(c);
+            }
+            Geometry::LineString(LineString::new(pts).expect("constructed distinct"))
+        },
+    )
+}
+
+/// A random star-shaped (hence simple and valid) polygon: sorted angles
+/// with positive radii around a centre.
+pub fn polygon() -> impl Strategy<Value = Geometry> {
+    star_polygon().prop_map(Geometry::Polygon)
+}
+
+/// The underlying star-polygon strategy.
+pub fn star_polygon() -> impl Strategy<Value = Polygon> {
+    (
+        coord(),
+        proptest::collection::vec(0.5..10.0f64, 3..12),
+        0.0..std::f64::consts::TAU,
+    )
+        .prop_map(|(center, radii, phase)| {
+            let n = radii.len();
+            let mut pts: Vec<Coord> = Vec::with_capacity(n + 1);
+            for (k, r) in radii.iter().enumerate() {
+                let theta = phase + std::f64::consts::TAU * k as f64 / n as f64;
+                pts.push(Coord::new(center.x + r * theta.cos(), center.y + r * theta.sin()));
+            }
+            pts.push(pts[0]);
+            Polygon::new(Ring::new(pts).expect("star ring is simple"), Vec::new())
+        })
+}
+
+/// Any of the three basic geometry kinds.
+pub fn geometry() -> impl Strategy<Value = Geometry> {
+    prop_oneof![point(), linestring(), polygon()]
+}

@@ -1,0 +1,106 @@
+//! Cross-engine integration tests: the two exact profiles must agree on
+//! every micro query; the MBR-only profile must return supersets on
+//! positively-monotone predicates; index use must never change answers.
+
+use jackpine::bench::load_dataset;
+use jackpine::bench::micro::{analysis_suite, topo_suite};
+use jackpine::datagen::{TigerConfig, TigerDataset};
+use jackpine::engine::{EngineProfile, SpatialConnector, SpatialDb};
+use jackpine::storage::Value;
+use std::sync::Arc;
+
+fn setup(profile: EngineProfile, data: &TigerDataset) -> Arc<SpatialDb> {
+    let db = Arc::new(SpatialDb::new(profile));
+    load_dataset(&db, data).expect("dataset loads");
+    db
+}
+
+fn data() -> TigerDataset {
+    TigerDataset::generate(&TigerConfig { seed: 77, scale: 0.02 })
+}
+
+#[test]
+fn exact_profiles_agree_on_every_micro_query() {
+    let data = data();
+    let rtree = setup(EngineProfile::ExactRtree, &data);
+    let grid = setup(EngineProfile::ExactGrid, &data);
+    for q in topo_suite(&data).iter().chain(analysis_suite(&data).iter()) {
+        let a = rtree.execute(&q.sql).unwrap_or_else(|e| panic!("{} on rtree: {e}", q.id));
+        let b = grid.execute(&q.sql).unwrap_or_else(|e| panic!("{} on grid: {e}", q.id));
+        assert_eq!(a.rows, b.rows, "{} ({}) differs between exact engines", q.id, q.name);
+    }
+}
+
+#[test]
+fn index_toggle_never_changes_answers() {
+    let data = data();
+    let db = setup(EngineProfile::ExactRtree, &data);
+    for q in topo_suite(&data) {
+        db.set_use_spatial_index(true);
+        let with = db.execute(&q.sql).unwrap_or_else(|e| panic!("{} indexed: {e}", q.id));
+        db.set_use_spatial_index(false);
+        let without = db.execute(&q.sql).unwrap_or_else(|e| panic!("{} seq: {e}", q.id));
+        assert_eq!(with.rows, without.rows, "{} ({}) differs with index off", q.id, q.name);
+        db.set_use_spatial_index(true);
+    }
+}
+
+#[test]
+fn mbr_profile_returns_supersets_on_monotone_predicates() {
+    let data = data();
+    let exact = setup(EngineProfile::ExactRtree, &data);
+    let mbr = setup(EngineProfile::MbrOnly, &data);
+    // Queries whose MBR evaluation can only add rows: Intersects on a
+    // constant region and the roads/river crossing count.
+    let monotone = ["T04", "T09", "T14", "T16"];
+    let mut strictly_larger = false;
+    for q in topo_suite(&data).iter().filter(|q| monotone.contains(&q.id)) {
+        let e = count(&exact, &q.sql);
+        let m = count(&mbr, &q.sql);
+        assert!(m >= e, "{}: MBR count {m} below exact {e}", q.id);
+        strictly_larger |= m > e;
+    }
+    assert!(
+        strictly_larger,
+        "at this scale, at least one MBR count should show false positives"
+    );
+}
+
+#[test]
+fn cold_runs_return_warm_answers() {
+    let data = data();
+    let db = setup(EngineProfile::ExactRtree, &data);
+    for q in topo_suite(&data).iter().take(8) {
+        let warm = db.execute(&q.sql).expect("warm run");
+        db.clear_caches();
+        let cold = db.execute(&q.sql).expect("cold run");
+        assert_eq!(warm.rows, cold.rows, "{} cold/warm mismatch", q.id);
+    }
+}
+
+#[test]
+fn micro_queries_have_nontrivial_answers() {
+    // Guard against a silently empty benchmark: across the topological
+    // suite, a healthy share of queries must return non-zero counts.
+    let data = TigerDataset::generate(&TigerConfig { seed: 77, scale: 0.05 });
+    let db = setup(EngineProfile::ExactRtree, &data);
+    let mut nonzero = 0;
+    let mut total = 0;
+    for q in topo_suite(&data) {
+        if let Some(v) = db.execute(&q.sql).expect("query runs").scalar().and_then(Value::as_i64)
+        {
+            total += 1;
+            if v > 0 {
+                nonzero += 1;
+            }
+        }
+    }
+    assert!(
+        nonzero * 2 >= total,
+        "only {nonzero} of {total} topological queries return rows; dataset too sparse"
+    );
+}
+
+fn count(db: &Arc<SpatialDb>, sql: &str) -> i64 {
+    db.execute(sql).expect("query runs").scalar().and_then(Value::as_i64).unwrap_or(-1)
+}

@@ -1,0 +1,146 @@
+//! Property tests: the spatial indexes must agree with brute force under
+//! arbitrary data and query mixes.
+
+use jackpine::geom::{Coord, Envelope};
+use jackpine::index::{GridIndex, OrderedIndex, RTree, RTreeConfig};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary envelope in a bounded range.
+fn env() -> impl Strategy<Value = Envelope> {
+    (-100.0..100.0f64, -100.0..100.0f64, 0.0..20.0f64, 0.0..20.0f64)
+        .prop_map(|(x, y, w, h)| Envelope::new(x, y, x + w, y + h))
+}
+
+fn brute_window(items: &[(Envelope, usize)], w: &Envelope) -> Vec<usize> {
+    let mut v: Vec<usize> =
+        items.iter().filter(|(e, _)| w.intersects(e)).map(|(_, i)| *i).collect();
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn rtree_window_matches_brute_force(
+        envs in proptest::collection::vec(env(), 1..300),
+        window in env(),
+    ) {
+        let items: Vec<(Envelope, usize)> =
+            envs.into_iter().enumerate().map(|(i, e)| (e, i)).collect();
+        // Incremental insert path.
+        let mut t: RTree<usize> = RTree::default();
+        for (e, v) in &items {
+            t.insert(*e, *v);
+        }
+        let mut got = t.window(&window);
+        got.sort_unstable();
+        prop_assert_eq!(&got, &brute_window(&items, &window));
+        // Bulk-load path must agree too.
+        let bulk = RTree::bulk_load(RTreeConfig::default(), items.clone());
+        let mut got = bulk.window(&window);
+        got.sort_unstable();
+        prop_assert_eq!(&got, &brute_window(&items, &window));
+    }
+
+    #[test]
+    fn rtree_survives_deletions(
+        envs in proptest::collection::vec(env(), 2..200),
+        window in env(),
+    ) {
+        let items: Vec<(Envelope, usize)> =
+            envs.into_iter().enumerate().map(|(i, e)| (e, i)).collect();
+        let mut t = RTree::bulk_load(RTreeConfig::default(), items.clone());
+        // Delete every other entry.
+        for (e, v) in items.iter().step_by(2) {
+            prop_assert_eq!(t.remove(e, |x| x == v), Some(*v));
+        }
+        let remaining: Vec<(Envelope, usize)> =
+            items.iter().skip(1).step_by(2).cloned().collect();
+        let mut got = t.window(&window);
+        got.sort_unstable();
+        prop_assert_eq!(got, brute_window(&remaining, &window));
+        prop_assert_eq!(t.len(), remaining.len());
+    }
+
+    #[test]
+    fn grid_agrees_with_rtree(
+        envs in proptest::collection::vec(env(), 1..200),
+        window in env(),
+        cells in 2..24usize,
+    ) {
+        let items: Vec<(Envelope, usize)> =
+            envs.into_iter().enumerate().map(|(i, e)| (e, i)).collect();
+        let extent = Envelope::new(-110.0, -110.0, 130.0, 130.0);
+        let mut g: GridIndex<usize> = GridIndex::new(extent, cells, cells);
+        for (e, v) in &items {
+            g.insert(*e, *v);
+        }
+        let mut got = g.window(&window);
+        got.sort_unstable();
+        prop_assert_eq!(got, brute_window(&items, &window));
+    }
+
+    #[test]
+    fn knn_orders_match_brute_force(
+        envs in proptest::collection::vec(env(), 1..150),
+        qx in -120.0..120.0f64,
+        qy in -120.0..120.0f64,
+        k in 1..12usize,
+    ) {
+        let items: Vec<(Envelope, usize)> =
+            envs.into_iter().enumerate().map(|(i, e)| (e, i)).collect();
+        let q = Coord::new(qx, qy);
+        let t = RTree::bulk_load(RTreeConfig::default(), items.clone());
+        let got = t.nearest(q, k);
+        let mut dists: Vec<f64> =
+            items.iter().map(|(e, _)| e.distance_to_coord(q)).collect();
+        dists.sort_by(f64::total_cmp);
+        prop_assert_eq!(got.len(), k.min(items.len()));
+        for (i, (d, _)) in got.iter().enumerate() {
+            prop_assert!((d - dists[i]).abs() < 1e-9,
+                "k={i}: rtree {d} vs brute {}", dists[i]);
+        }
+        // Grid kNN must agree on distances as well.
+        let extent = Envelope::new(-110.0, -110.0, 130.0, 130.0);
+        let mut g: GridIndex<usize> = GridIndex::new(extent, 16, 16);
+        for (e, v) in &items {
+            g.insert(*e, *v);
+        }
+        let got = g.nearest(q, k);
+        for (i, (d, _)) in got.iter().enumerate() {
+            prop_assert!((d - dists[i]).abs() < 1e-9,
+                "grid k={i}: {d} vs brute {}", dists[i]);
+        }
+    }
+
+    #[test]
+    fn ordered_index_matches_btree_semantics(
+        pairs in proptest::collection::vec((0i64..50, 0usize..1000), 0..200),
+        probe in 0i64..50,
+        (lo, hi) in (0i64..50, 0i64..50),
+    ) {
+        let mut idx: OrderedIndex<i64, usize> = OrderedIndex::new();
+        for (k, v) in &pairs {
+            idx.insert(*k, *v);
+        }
+        prop_assert_eq!(idx.len(), pairs.len());
+        let mut got = idx.get(&probe).to_vec();
+        got.sort_unstable();
+        let mut want: Vec<usize> =
+            pairs.iter().filter(|(k, _)| *k == probe).map(|(_, v)| *v).collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+
+        let (lo, hi) = (lo.min(hi), lo.max(hi));
+        let mut got = idx.range(&lo, &hi);
+        got.sort_unstable();
+        let mut want: Vec<usize> = pairs
+            .iter()
+            .filter(|(k, _)| *k >= lo && *k <= hi)
+            .map(|(_, v)| *v)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,79 @@
+//! Fuzz-style property tests for the SQL front end: the parser must never
+//! panic, and well-formed statements must round-trip through execution
+//! deterministically.
+
+use jackpine::engine::{EngineProfile, SpatialDb};
+use jackpine::sql::parser::parse;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary printable garbage: the parser may reject it, but must
+    /// never panic or loop.
+    #[test]
+    fn parser_never_panics_on_garbage(input in "[ -~]{0,120}") {
+        let _ = parse(&input);
+    }
+
+    /// Garbage built from SQL-looking fragments (much more likely to get
+    /// deep into the grammar than uniform noise).
+    #[test]
+    fn parser_never_panics_on_sql_shaped_garbage(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("SELECT"), Just("FROM"), Just("WHERE"), Just("JOIN"),
+                Just("ON"), Just("ORDER"), Just("BY"), Just("GROUP"),
+                Just("LIMIT"), Just("AND"), Just("OR"), Just("NOT"),
+                Just("BETWEEN"), Just("IS"), Just("NULL"), Just("*"),
+                Just(","), Just("("), Just(")"), Just("="), Just("<"),
+                Just(">"), Just("<="), Just("'txt'"), Just("42"), Just("1.5"),
+                Just("tbl"), Just("a"), Just("geom"),
+                Just("ST_Area"), Just("COUNT"), Just("ST_GeomFromText"),
+                Just("INSERT"), Just("INTO"), Just("VALUES"), Just("DELETE"),
+                Just("UPDATE"), Just("SET"), Just("EXPLAIN"),
+            ],
+            0..24,
+        )
+    ) {
+        let sql = parts.join(" ");
+        let _ = parse(&sql);
+    }
+
+    /// The engine surface must be panic-free too: executing arbitrary
+    /// SQL-shaped text returns Ok or Err, never aborts.
+    #[test]
+    fn engine_never_panics_on_sql_shaped_garbage(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("SELECT"), Just("COUNT"), Just("(*)"), Just("FROM"),
+                Just("t"), Just("WHERE"), Just("id"), Just("="), Just("1"),
+                Just("ST_Within"), Just("(geom,"), Just("geom)"),
+                Just("ORDER BY"), Just("LIMIT 5"), Just("GROUP BY"),
+            ],
+            0..16,
+        )
+    ) {
+        let db = Arc::new(SpatialDb::new(EngineProfile::ExactRtree));
+        db.execute("CREATE TABLE t (id BIGINT, geom GEOMETRY)").expect("ddl");
+        db.execute("INSERT INTO t VALUES (1, ST_GeomFromText('POINT (0 0)'))").expect("dml");
+        let sql = parts.join(" ");
+        let _ = db.execute(&sql);
+    }
+
+    /// Statements the generator KNOWS are valid must parse.
+    #[test]
+    fn generated_valid_selects_parse(
+        cols in proptest::collection::vec(prop_oneof![Just("id"), Just("name")], 1..3),
+        limit in proptest::option::of(1..100usize),
+        desc in any::<bool>(),
+    ) {
+        let mut sql = format!("SELECT {} FROM t WHERE id > 0", cols.join(", "));
+        sql.push_str(&format!(" ORDER BY id {}", if desc { "DESC" } else { "ASC" }));
+        if let Some(n) = limit {
+            sql.push_str(&format!(" LIMIT {n}"));
+        }
+        prop_assert!(parse(&sql).is_ok(), "failed to parse {sql}");
+    }
+}
