@@ -1,23 +1,18 @@
 //! Ablation benches for the design choices DESIGN.md calls out:
 //!
 //! * R\*-tree forced reinsert on/off (build cost vs. query quality),
-//! * STR bulk load vs. one-at-a-time insertion,
+//! * STR bulk load vs. one-at-a-time insertion (serial and parallel),
 //! * grid index resolution sweep,
 //! * buffer arc fidelity (`quad_segs`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use jackpine_bench::dataset;
+use jackpine_bench::timer::bench;
 use jackpine_geom::algorithms::buffer::buffer_with_segments;
 use jackpine_geom::{Envelope, Geometry};
 use jackpine_index::{GridIndex, RTree, RTreeConfig};
 
 fn items(scale: f64) -> Vec<(Envelope, usize)> {
-    dataset(scale)
-        .roads
-        .iter()
-        .enumerate()
-        .map(|(i, r)| (r.geom.envelope(), i))
-        .collect()
+    dataset(scale).roads.iter().enumerate().map(|(i, r)| (r.geom.envelope(), i)).collect()
 }
 
 fn query_windows(extent: Envelope) -> Vec<Envelope> {
@@ -35,114 +30,92 @@ fn query_windows(extent: Envelope) -> Vec<Envelope> {
     out
 }
 
-fn bench_rtree_build(c: &mut Criterion) {
-    let items = items(0.03);
-    let mut group = c.benchmark_group("ablation_rtree_build");
-    group.sample_size(10);
-    group.bench_function("insert_forced_reinsert", |b| {
-        b.iter(|| {
-            let mut t: RTree<usize> = RTree::new(RTreeConfig::default());
-            for (e, v) in &items {
-                t.insert(*e, *v);
-            }
-            t
-        })
+fn bench_rtree_build(items: &[(Envelope, usize)]) {
+    bench("ablation_rtree_build", "insert_forced_reinsert", 10, || {
+        let mut t: RTree<usize> = RTree::new(RTreeConfig::default());
+        for (e, v) in items {
+            t.insert(*e, *v);
+        }
     });
-    group.bench_function("insert_no_reinsert", |b| {
-        b.iter(|| {
-            let mut t: RTree<usize> =
-                RTree::new(RTreeConfig { forced_reinsert: false, ..RTreeConfig::default() });
-            for (e, v) in &items {
-                t.insert(*e, *v);
-            }
-            t
-        })
+    bench("ablation_rtree_build", "insert_no_reinsert", 10, || {
+        let mut t: RTree<usize> =
+            RTree::new(RTreeConfig { forced_reinsert: false, ..RTreeConfig::default() });
+        for (e, v) in items {
+            t.insert(*e, *v);
+        }
     });
-    group.bench_function("str_bulk_load", |b| {
-        b.iter(|| RTree::bulk_load(RTreeConfig::default(), items.clone()))
+    bench("ablation_rtree_build", "str_bulk_load", 10, || {
+        RTree::bulk_load(RTreeConfig::default(), items.to_vec());
     });
-    group.finish();
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    bench("ablation_rtree_build", &format!("str_bulk_load_w{workers}"), 10, || {
+        RTree::bulk_load_parallel(RTreeConfig::default(), items.to_vec(), workers);
+    });
 }
 
-fn bench_rtree_query_quality(c: &mut Criterion) {
-    let items = items(0.03);
+fn bench_rtree_query_quality(items: &[(Envelope, usize)]) {
     let extent = jackpine_datagen::EXTENT;
     let windows = query_windows(extent);
 
     let mut incremental: RTree<usize> = RTree::new(RTreeConfig::default());
-    for (e, v) in &items {
+    for (e, v) in items {
         incremental.insert(*e, *v);
     }
     let no_reinsert = {
         let mut t: RTree<usize> =
             RTree::new(RTreeConfig { forced_reinsert: false, ..RTreeConfig::default() });
-        for (e, v) in &items {
+        for (e, v) in items {
             t.insert(*e, *v);
         }
         t
     };
-    let bulk = RTree::bulk_load(RTreeConfig::default(), items.clone());
+    let bulk = RTree::bulk_load(RTreeConfig::default(), items.to_vec());
 
-    let mut group = c.benchmark_group("ablation_rtree_query");
-    group.sample_size(20);
     for (name, tree) in
         [("reinsert", &incremental), ("no_reinsert", &no_reinsert), ("str_bulk", &bulk)]
     {
-        group.bench_with_input(BenchmarkId::new("window", name), tree, |b, t| {
-            b.iter(|| {
-                let mut n = 0usize;
-                for w in &windows {
-                    n += t.window(w).len();
-                }
-                n
-            })
+        bench("ablation_rtree_query", &format!("window/{name}"), 20, || {
+            let mut n = 0usize;
+            for w in &windows {
+                n += tree.window(w).len();
+            }
+            std::hint::black_box(n);
         });
     }
-    group.finish();
 }
 
-fn bench_grid_resolution(c: &mut Criterion) {
-    let items = items(0.03);
+fn bench_grid_resolution(items: &[(Envelope, usize)]) {
     let extent = jackpine_datagen::EXTENT.expanded_by(0.01);
     let windows = query_windows(extent);
-    let mut group = c.benchmark_group("ablation_grid_resolution");
-    group.sample_size(20);
     for cells in [8usize, 32, 128] {
         let mut g: GridIndex<usize> = GridIndex::new(extent, cells, cells);
-        for (e, v) in &items {
+        for (e, v) in items {
             g.insert(*e, *v);
         }
-        group.bench_with_input(BenchmarkId::new("window", cells), &g, |b, g| {
-            b.iter(|| {
-                let mut n = 0usize;
-                for w in &windows {
-                    n += g.window(w).len();
-                }
-                n
-            })
+        bench("ablation_grid_resolution", &format!("window/{cells}"), 20, || {
+            let mut n = 0usize;
+            for w in &windows {
+                n += g.window(w).len();
+            }
+            std::hint::black_box(n);
         });
     }
-    group.finish();
 }
 
-fn bench_buffer_quad_segs(c: &mut Criterion) {
+fn bench_buffer_quad_segs() {
     let data = dataset(0.03);
     let road = Geometry::LineString(data.roads[0].geom.clone());
-    let mut group = c.benchmark_group("ablation_buffer_fidelity");
-    group.sample_size(10);
     for quad in [2usize, 8, 16] {
-        group.bench_with_input(BenchmarkId::new("quad_segs", quad), &quad, |b, &q| {
-            b.iter(|| buffer_with_segments(&road, 0.01, q).expect("buffer runs"))
+        bench("ablation_buffer_fidelity", &format!("quad_segs/{quad}"), 10, || {
+            buffer_with_segments(&road, 0.01, quad).expect("buffer runs");
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_rtree_build,
-    bench_rtree_query_quality,
-    bench_grid_resolution,
-    bench_buffer_quad_segs
-);
-criterion_main!(benches);
+fn main() {
+    let items = items(0.03);
+    bench_rtree_build(&items);
+    bench_rtree_query_quality(&items);
+    bench_grid_resolution(&items);
+    bench_buffer_quad_segs();
+}

@@ -1,31 +1,25 @@
-//! Criterion benches mirroring F5: the same query with the spatial index
+//! Timed benches mirroring F5: the same query with the spatial index
 //! enabled vs. the sequential refine-everything plan.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jackpine_bench::timer::bench;
 use jackpine_bench::{dataset, engine_with_data};
 use jackpine_core::micro::topo_suite;
-use jackpine_engine::EngineProfile;
+use jackpine_engine::{EngineProfile, SpatialConnector};
 
-fn bench_indexing(c: &mut Criterion) {
+fn main() {
     let data = dataset(0.03);
     let db = engine_with_data(EngineProfile::ExactRtree, &data);
     let suite = topo_suite(&data);
     let picks = ["T01", "T04", "T16"];
 
-    let mut group = c.benchmark_group("indexing");
-    group.sample_size(10);
     for q in suite.iter().filter(|q| picks.contains(&q.id)) {
         for on in [true, false] {
             let label = if on { "indexed" } else { "seqscan" };
-            group.bench_with_input(BenchmarkId::new(q.id, label), &q.sql, |b, sql| {
-                db.set_use_spatial_index(on);
-                b.iter(|| db.execute(sql).expect("query runs"));
+            db.set_use_spatial_index(on);
+            bench("indexing", &format!("{}/{}", q.id, label), 10, || {
+                db.execute(&q.sql).expect("query runs");
             });
         }
     }
     db.set_use_spatial_index(true);
-    group.finish();
 }
-
-criterion_group!(benches, bench_indexing);
-criterion_main!(benches);

@@ -1,26 +1,20 @@
-//! Criterion benches mirroring F4: one session of each macro scenario.
+//! Timed benches mirroring F4: one session of each macro scenario.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jackpine_bench::timer::bench;
 use jackpine_bench::{all_engines, dataset};
 use jackpine_core::macrobench::{all_scenarios, run_scenario, ScenarioConfig};
-use jackpine_engine::SpatialConnector;
 
-fn bench_macro(c: &mut Criterion) {
+fn main() {
     let data = dataset(0.03);
     let engines = all_engines(&data);
     let scenarios = all_scenarios(&data, &ScenarioConfig { seed: 99, sessions: 1 });
 
-    let mut group = c.benchmark_group("macro_scenarios");
-    group.sample_size(10);
     for s in &scenarios {
         for e in &engines {
-            group.bench_with_input(BenchmarkId::new(s.id, e.name()), s, |b, s| {
-                b.iter(|| run_scenario(e, s).expect("scenario runs"))
+            use jackpine_engine::SpatialConnector;
+            bench("macro_scenarios", &format!("{}/{}", s.id, e.name()), 10, || {
+                run_scenario(e, s).expect("scenario runs");
             });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_macro);
-criterion_main!(benches);

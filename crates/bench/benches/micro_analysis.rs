@@ -1,34 +1,26 @@
-//! Criterion benches mirroring F3: representative spatial-analysis micro
+//! Timed benches mirroring F3: representative spatial-analysis micro
 //! queries, on the profiles that support each function.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jackpine_bench::timer::bench;
 use jackpine_bench::{all_engines, dataset};
 use jackpine_core::micro::analysis_suite;
 use jackpine_engine::SpatialConnector;
 
-fn bench_analysis(c: &mut Criterion) {
+fn main() {
     let data = dataset(0.03);
     let engines = all_engines(&data);
     let suite = analysis_suite(&data);
     let picks = ["A03", "A04", "A06", "A07", "A11"];
 
-    let mut group = c.benchmark_group("micro_analysis");
-    group.sample_size(10);
     for q in suite.iter().filter(|q| picks.contains(&q.id)) {
         for e in &engines {
             // Skip unsupported function/profile combinations up front.
             if e.execute(&q.sql).is_err() {
                 continue;
             }
-            group.bench_with_input(
-                BenchmarkId::new(q.id, e.name()),
-                &q.sql,
-                |b, sql| b.iter(|| e.execute(sql).expect("query runs")),
-            );
+            bench("micro_analysis", &format!("{}/{}", q.id, e.name()), 10, || {
+                e.execute(&q.sql).expect("query runs");
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_analysis);
-criterion_main!(benches);

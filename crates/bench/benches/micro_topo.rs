@@ -1,30 +1,22 @@
-//! Criterion benches mirroring F1: representative topological-relation
+//! Timed benches mirroring F1: representative topological-relation
 //! micro queries on all three engine profiles.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jackpine_bench::timer::bench;
 use jackpine_bench::{all_engines, dataset};
 use jackpine_core::micro::topo_suite;
 use jackpine_engine::SpatialConnector;
 
-fn bench_topo(c: &mut Criterion) {
+fn main() {
     let data = dataset(0.03);
     let engines = all_engines(&data);
     let suite = topo_suite(&data);
     let picks = ["T01", "T04", "T05", "T09", "T16"];
 
-    let mut group = c.benchmark_group("micro_topo");
-    group.sample_size(10);
     for q in suite.iter().filter(|q| picks.contains(&q.id)) {
         for e in &engines {
-            group.bench_with_input(
-                BenchmarkId::new(q.id, e.name()),
-                &q.sql,
-                |b, sql| b.iter(|| e.execute(sql).expect("query runs")),
-            );
+            bench("micro_topo", &format!("{}/{}", q.id, e.name()), 10, || {
+                e.execute(&q.sql).expect("query runs");
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_topo);
-criterion_main!(benches);

@@ -1,32 +1,24 @@
-//! Criterion benches mirroring F6: fixed queries at growing dataset
-//! scales (indexed window query, indexed spatial join, full analysis
-//! scan).
+//! Timed benches mirroring F6: fixed queries at growing dataset
+//! scales (indexed window query, full analysis scan).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use jackpine_bench::timer::bench;
 use jackpine_bench::{engine_with_data, DEFAULT_SEED};
 use jackpine_core::micro::{analysis_suite, topo_suite};
 use jackpine_datagen::{TigerConfig, TigerDataset};
 use jackpine_engine::EngineProfile;
 
-fn bench_scalability(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scalability");
-    group.sample_size(10);
+fn main() {
     for scale in [0.02, 0.04, 0.08] {
         let data = TigerDataset::generate(&TigerConfig { seed: DEFAULT_SEED, scale });
         let rows = data.total_rows();
         let db = engine_with_data(EngineProfile::ExactRtree, &data);
         let t01 = topo_suite(&data).into_iter().find(|q| q.id == "T01").expect("T01");
         let a04 = analysis_suite(&data).into_iter().find(|q| q.id == "A04").expect("A04");
-        group.throughput(Throughput::Elements(rows as u64));
-        group.bench_with_input(BenchmarkId::new("bbox", rows), &t01.sql, |b, sql| {
-            b.iter(|| db.execute(sql).expect("query runs"))
+        bench("scalability", &format!("bbox/{rows}rows"), 10, || {
+            db.execute(&t01.sql).expect("query runs");
         });
-        group.bench_with_input(BenchmarkId::new("area_scan", rows), &a04.sql, |b, sql| {
-            b.iter(|| db.execute(sql).expect("query runs"))
+        bench("scalability", &format!("area_scan/{rows}rows"), 10, || {
+            db.execute(&a04.sql).expect("query runs");
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_scalability);
-criterion_main!(benches);

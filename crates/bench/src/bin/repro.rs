@@ -2,14 +2,25 @@
 //! evaluation (see the experiment index in DESIGN.md).
 //!
 //! ```text
-//! repro [--scale S] [--reps R] [--sessions N] [--csv DIR] <experiment>...
-//! experiments: t1 t2 f1 f2 f3 f4 f5 f6 f7 all
+//! repro [--scale S] [--reps R] [--sessions N] [--workers W] [--csv DIR] <experiment>...
+//! experiments: t1 t2 t3 f1..f8 all bench-json
 //! ```
+//!
+//! `--workers 0` (the default) uses the machine's available parallelism;
+//! `--workers 1` forces serial execution. The worker count in effect is
+//! recorded under every report header.
+//!
+//! `bench-json` times the spatial-join micros and the join-heavy macro
+//! scenarios at `workers=1` vs. the configured worker count and writes
+//! `BENCH_1.json` (github-action-benchmark `customSmallerIsBetter`
+//! entries), checking that both settings return identical results.
 
 use jackpine_bench::{all_engines, dataset, engine_with_data, DEFAULT_SCALE};
 use jackpine_core::driver::{CacheMode, Driver};
 use jackpine_core::features::feature_matrix;
-use jackpine_core::macrobench::{all_scenarios, run_scenario, run_scenario_parallel, ScenarioConfig};
+use jackpine_core::macrobench::{
+    all_scenarios, run_scenario, run_scenario_parallel, ScenarioConfig,
+};
 use jackpine_core::micro::{analysis_suite, topo_suite, BenchQuery};
 use jackpine_core::report::{fmt_ms, fmt_qps, Table};
 use jackpine_core::Stats;
@@ -21,6 +32,7 @@ struct Options {
     scale: f64,
     reps: usize,
     sessions: usize,
+    workers: usize,
     csv_dir: Option<String>,
     experiments: Vec<String>,
 }
@@ -30,6 +42,7 @@ fn parse_args() -> Options {
         scale: DEFAULT_SCALE,
         reps: 3,
         sessions: 5,
+        workers: 0,
         csv_dir: None,
         experiments: Vec::new(),
     };
@@ -39,6 +52,7 @@ fn parse_args() -> Options {
             "--scale" => opts.scale = expect_num(args.next(), "--scale"),
             "--reps" => opts.reps = expect_num(args.next(), "--reps") as usize,
             "--sessions" => opts.sessions = expect_num(args.next(), "--sessions") as usize,
+            "--workers" => opts.workers = expect_num(args.next(), "--workers") as usize,
             "--csv" => opts.csv_dir = Some(args.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => {
                 usage();
@@ -48,6 +62,14 @@ fn parse_args() -> Options {
     }
     if opts.experiments.is_empty() {
         opts.experiments.push("all".to_string());
+    }
+    const KNOWN: &[&str] =
+        &["t1", "t2", "t3", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "all", "bench-json"];
+    for exp in &opts.experiments {
+        if !KNOWN.contains(&exp.as_str()) {
+            eprintln!("unknown experiment: {exp}");
+            usage();
+        }
     }
     opts
 }
@@ -61,8 +83,8 @@ fn expect_num(v: Option<String>, flag: &str) -> f64 {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--scale S] [--reps R] [--sessions N] [--csv DIR] \
-         <t1|t2|t3|f1..f8|all>..."
+        "usage: repro [--scale S] [--reps R] [--sessions N] [--workers W] [--csv DIR] \
+         <t1|t2|t3|f1..f8|all|bench-json>..."
     );
     std::process::exit(2)
 }
@@ -74,14 +96,16 @@ fn main() {
     };
 
     println!("Jackpine reproduction harness");
-    println!(
-        "scale = {}, reps = {}, sessions = {}\n",
-        opts.scale, opts.reps, opts.sessions
-    );
+    println!("scale = {}, reps = {}, sessions = {}\n", opts.scale, opts.reps, opts.sessions);
 
     let data = dataset(opts.scale);
     eprintln!("dataset generated: {} rows; loading engines...", data.total_rows());
     let engines = all_engines(&data);
+    for e in &engines {
+        e.set_workers(opts.workers);
+    }
+    let workers = engines.first().map(|e| e.workers()).unwrap_or(1);
+    println!("intra-query workers = {workers}\n");
     let mut tables: Vec<Table> = Vec::new();
 
     if want("t1") {
@@ -134,6 +158,15 @@ fn main() {
     }
     if want("f8") {
         tables.push(f8_concurrency(&data, &engines, opts.sessions));
+    }
+
+    // Record run context under every table header.
+    for t in &mut tables {
+        t.context = format!("workers={workers}");
+    }
+
+    if opts.experiments.iter().any(|x| x == "bench-json") {
+        bench_json(&data, &opts);
     }
 
     for t in &tables {
@@ -364,10 +397,8 @@ fn f6_scalability(base_scale: f64, reps: usize) -> Table {
     );
     for f in factors {
         let scale = base_scale * f;
-        let data = TigerDataset::generate(&TigerConfig {
-            seed: jackpine_bench::DEFAULT_SEED,
-            scale,
-        });
+        let data =
+            TigerDataset::generate(&TigerConfig { seed: jackpine_bench::DEFAULT_SEED, scale });
         let db = engine_with_data(EngineProfile::ExactRtree, &data);
         let suite = topo_suite(&data);
         let analysis = analysis_suite(&data);
@@ -402,10 +433,7 @@ fn f7_drilldown(data: &TigerDataset, engines: &[Arc<SpatialDb>], sessions: usize
         headers.push(format!("{} ms", e.name()));
     }
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-    let mut t = Table::new(
-        "F7  Macro workloads: per-step mean latency (ms)",
-        &header_refs,
-    );
+    let mut t = Table::new("F7  Macro workloads: per-step mean latency (ms)", &header_refs);
 
     for s in &scenarios {
         // Collect per-step stats for each engine, then join by label.
@@ -440,6 +468,117 @@ fn f7_drilldown(data: &TigerDataset, engines: &[Arc<SpatialDb>], sessions: usize
 }
 
 // ---------------------------------------------------------------------------
+// bench-json: serial vs. parallel timings for CI tracking
+// ---------------------------------------------------------------------------
+
+struct JsonBench {
+    name: String,
+    value: f64,
+    unit: &'static str,
+}
+
+/// Times the spatial-join micros (T02/T05/T08/T10) and the join-heavy
+/// macro scenarios (M4 flood risk, M6 toxic spill) at `workers=1` vs. the
+/// configured worker count, asserting identical results, and writes
+/// `BENCH_1.json` in github-action-benchmark `customSmallerIsBetter`
+/// shape. Ratio entries are parallel-over-serial, so smaller is better
+/// there too (0.5 = a 2x speedup).
+fn bench_json(data: &TigerDataset, opts: &Options) {
+    let db = engine_with_data(EngineProfile::ExactRtree, data);
+    db.set_workers(opts.workers);
+    let workers = db.workers();
+    let driver = Driver { repetitions: opts.reps, warmup: 1, cache_mode: CacheMode::Warm };
+    let mut entries: Vec<JsonBench> = Vec::new();
+
+    let suite = topo_suite(data);
+    let picks = ["T02", "T05", "T08", "T10"];
+    for q in suite.iter().filter(|q| picks.contains(&q.id)) {
+        db.set_workers(1);
+        let serial_rows = db.execute(&q.sql).expect("serial run");
+        let serial = driver.run_query(&db, q.id, &q.sql).expect("serial timing");
+        db.set_workers(workers);
+        let parallel_rows = db.execute(&q.sql).expect("parallel run");
+        let parallel = driver.run_query(&db, q.id, &q.sql).expect("parallel timing");
+        assert_eq!(
+            serial_rows, parallel_rows,
+            "{}: workers=1 and workers={workers} disagree",
+            q.id
+        );
+        let ratio = parallel.stats.mean_ms / serial.stats.mean_ms;
+        println!(
+            "micro {}: workers=1 {} ms, workers={workers} {} ms ({:.2}x speedup)",
+            q.id,
+            fmt_ms(serial.stats.mean_ms),
+            fmt_ms(parallel.stats.mean_ms),
+            1.0 / ratio
+        );
+        entries.push(JsonBench {
+            name: format!("micro/{} workers=1", q.id),
+            value: serial.stats.mean_ms,
+            unit: "ms",
+        });
+        entries.push(JsonBench {
+            name: format!("micro/{} workers={workers}", q.id),
+            value: parallel.stats.mean_ms,
+            unit: "ms",
+        });
+        entries.push(JsonBench {
+            name: format!("micro/{} parallel_over_serial", q.id),
+            value: ratio,
+            unit: "ratio",
+        });
+    }
+
+    let config = ScenarioConfig { seed: 0xbead, sessions: opts.sessions };
+    let scenarios = all_scenarios(data, &config);
+    for s in scenarios.iter().filter(|s| s.id == "M4" || s.id == "M6") {
+        db.set_workers(1);
+        let serial = run_scenario(&db, s).expect("serial scenario");
+        db.set_workers(workers);
+        let parallel = run_scenario(&db, s).expect("parallel scenario");
+        let serial_ms = 1e3 / serial.throughput_qps();
+        let parallel_ms = 1e3 / parallel.throughput_qps();
+        let ratio = parallel_ms / serial_ms;
+        println!(
+            "macro {}: workers=1 {} ms/query, workers={workers} {} ms/query ({:.2}x speedup)",
+            s.id,
+            fmt_ms(serial_ms),
+            fmt_ms(parallel_ms),
+            1.0 / ratio
+        );
+        entries.push(JsonBench {
+            name: format!("macro/{} workers=1", s.id),
+            value: serial_ms,
+            unit: "ms/query",
+        });
+        entries.push(JsonBench {
+            name: format!("macro/{} workers={workers}", s.id),
+            value: parallel_ms,
+            unit: "ms/query",
+        });
+        entries.push(JsonBench {
+            name: format!("macro/{} parallel_over_serial", s.id),
+            value: ratio,
+            unit: "ratio",
+        });
+    }
+
+    let mut json = String::from("[\n");
+    for (i, e) in entries.iter().enumerate() {
+        json.push_str(&format!(
+            "  {{ \"name\": \"{}\", \"value\": {:.6}, \"unit\": \"{}\" }}{}\n",
+            e.name,
+            e.value,
+            e.unit,
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("]\n");
+    std::fs::write("BENCH_1.json", json).expect("write BENCH_1.json");
+    println!("wrote BENCH_1.json ({} entries)\n", entries.len());
+}
+
+// ---------------------------------------------------------------------------
 // F8: multi-client throughput scaling
 // ---------------------------------------------------------------------------
 
@@ -447,10 +586,8 @@ fn f8_concurrency(data: &TigerDataset, engines: &[Arc<SpatialDb>], sessions: usi
     let config = ScenarioConfig { seed: 0xbead, sessions };
     // Map browsing is the scenario the paper scaled with clients: short,
     // index-bound queries.
-    let scenario = all_scenarios(data, &config)
-        .into_iter()
-        .find(|s| s.id == "M1")
-        .expect("M1 exists");
+    let scenario =
+        all_scenarios(data, &config).into_iter().find(|s| s.id == "M1").expect("M1 exists");
     let client_counts = [1usize, 2, 4, 8];
     let mut headers: Vec<String> = vec!["clients".into()];
     for e in engines {

@@ -1,0 +1,67 @@
+//! Minimal timing harness for the `cargo bench` targets.
+//!
+//! The benches were originally Criterion groups; with the workspace now
+//! zero-external-dependency they are plain `harness = false` binaries
+//! built on this module: warm up once, take `samples` wall-clock
+//! measurements, and print a `group/id: mean .. (min ..)` line per
+//! benchmark.
+
+use std::time::{Duration, Instant};
+
+/// Result of one benchmark: all sample durations, in measurement order.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// `group/id` label the samples were reported under.
+    pub label: String,
+    /// Individual sample wall times.
+    pub samples: Vec<Duration>,
+}
+
+impl BenchResult {
+    /// Arithmetic mean of the samples.
+    pub fn mean(&self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.iter().sum::<Duration>() / self.samples.len() as u32
+    }
+
+    /// Fastest sample.
+    pub fn min(&self) -> Duration {
+        self.samples.iter().min().copied().unwrap_or(Duration::ZERO)
+    }
+}
+
+/// Times `f` (`samples` runs after one warm-up) and prints one line.
+pub fn bench(group: &str, id: &str, samples: usize, mut f: impl FnMut()) -> BenchResult {
+    f(); // warm-up: touch caches, first-use lazies, page faults
+    let mut out = Vec::with_capacity(samples);
+    for _ in 0..samples.max(1) {
+        let start = Instant::now();
+        f();
+        out.push(start.elapsed());
+    }
+    let result = BenchResult { label: format!("{group}/{id}"), samples: out };
+    println!(
+        "{:<48} mean {:>10.3} ms   min {:>10.3} ms   ({} samples)",
+        result.label,
+        result.mean().as_secs_f64() * 1e3,
+        result.min().as_secs_f64() * 1e3,
+        result.samples.len()
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collects_requested_samples() {
+        let mut runs = 0;
+        let r = bench("t", "noop", 3, || runs += 1);
+        assert_eq!(runs, 4); // warm-up + 3 samples
+        assert_eq!(r.samples.len(), 3);
+        assert!(r.min() <= r.mean() || r.samples.iter().all(|s| s.is_zero()));
+    }
+}

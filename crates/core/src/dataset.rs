@@ -220,9 +220,7 @@ mod tests {
         let db = Arc::new(SpatialDb::new(EngineProfile::ExactRtree));
         load_dataset(&db, &data).unwrap();
         let name = &data.roads[0].name;
-        let r = db
-            .execute(&format!("SELECT COUNT(*) FROM roads WHERE name = '{name}'"))
-            .unwrap();
+        let r = db.execute(&format!("SELECT COUNT(*) FROM roads WHERE name = '{name}'")).unwrap();
         assert!(r.scalar().unwrap().as_i64().unwrap() >= 1);
     }
 }

@@ -54,10 +54,7 @@ pub fn feature_matrix(conns: &[&dyn SpatialConnector]) -> Vec<FeatureRow> {
         .iter()
         .map(|c| FeatureRow {
             engine: c.name(),
-            support: PROBED_FUNCTIONS
-                .iter()
-                .map(|f| (*f, c.supports_function(f)))
-                .collect(),
+            support: PROBED_FUNCTIONS.iter().map(|f| (*f, c.supports_function(f))).collect(),
         })
         .collect()
 }

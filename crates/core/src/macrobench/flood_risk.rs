@@ -15,7 +15,6 @@ use super::{scenario_rng, Scenario, ScenarioConfig};
 use jackpine_datagen::TigerDataset;
 use jackpine_geom::algorithms::buffer::buffer_with_segments;
 use jackpine_geom::{wkt, Geometry};
-use rand::Rng;
 
 /// Buffer distance in degrees (≈ 2 km at this latitude).
 const FLOOD_DISTANCE: f64 = 0.02;
@@ -23,8 +22,7 @@ const FLOOD_DISTANCE: f64 = 0.02;
 /// Builds the flood-risk scenario.
 pub fn flood_risk(data: &TigerDataset, config: &ScenarioConfig) -> Scenario {
     let mut rng = scenario_rng(config, 4);
-    let rivers: Vec<_> =
-        data.areawater.iter().filter(|w| w.name.ends_with("RIVER")).collect();
+    let rivers: Vec<_> = data.areawater.iter().filter(|w| w.name.ends_with("RIVER")).collect();
     let mut steps = Vec::new();
 
     for _ in 0..config.sessions {

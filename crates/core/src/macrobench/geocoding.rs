@@ -9,7 +9,6 @@
 
 use super::{scenario_rng, Scenario, ScenarioConfig};
 use jackpine_datagen::TigerDataset;
-use rand::Rng;
 
 /// Lookups per session.
 const LOOKUPS: usize = 10;

@@ -8,7 +8,6 @@
 use super::{scenario_rng, Scenario, ScenarioConfig};
 use jackpine_datagen::TigerDataset;
 use jackpine_geom::{wkt, Geometry};
-use rand::Rng;
 
 /// Builds the land-information-management scenario.
 pub fn land_management(data: &TigerDataset, config: &ScenarioConfig) -> Scenario {

@@ -8,7 +8,6 @@
 
 use super::{scenario_rng, Scenario, ScenarioConfig};
 use jackpine_datagen::{TigerDataset, EXTENT};
-use rand::Rng;
 
 /// Builds the map search & browsing scenario.
 pub fn map_browsing(data: &TigerDataset, config: &ScenarioConfig) -> Scenario {

@@ -146,9 +146,8 @@ pub fn run_scenario(conn: &dyn SpatialConnector, scenario: &Scenario) -> Result<
 }
 
 /// Shared helper: deterministic RNG for a scenario.
-pub(crate) fn scenario_rng(config: &ScenarioConfig, tag: u64) -> rand::rngs::SmallRng {
-    use rand::SeedableRng;
-    rand::rngs::SmallRng::seed_from_u64(
+pub(crate) fn scenario_rng(config: &ScenarioConfig, tag: u64) -> jackpine_datagen::rng::Rng {
+    jackpine_datagen::rng::Rng::seed_from_u64(
         config.seed.wrapping_mul(0xA076_1D64_78BD_642F).wrapping_add(tag),
     )
 }
@@ -252,12 +251,13 @@ pub fn run_scenario_parallel(
 
     let executed = AtomicUsize::new(0);
     let skipped = AtomicUsize::new(0);
-    let failure: parking_lot::Mutex<Option<crate::BenchError>> = parking_lot::Mutex::new(None);
+    let failure: jackpine_storage::sync::Mutex<Option<crate::BenchError>> =
+        jackpine_storage::sync::Mutex::new(None);
 
     let start = Instant::now();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..clients.max(1) {
-            scope.spawn(|_| {
+            scope.spawn(|| {
                 for (label, sql) in &scenario.steps {
                     if failure.lock().is_some() {
                         return;
@@ -271,10 +271,7 @@ pub fn run_scenario_parallel(
                         }
                         Err(source) => {
                             *failure.lock() = Some(crate::BenchError {
-                                context: format!(
-                                    "parallel scenario {} step {label}",
-                                    scenario.id
-                                ),
+                                context: format!("parallel scenario {} step {label}", scenario.id),
                                 source,
                             });
                             return;
@@ -283,8 +280,7 @@ pub fn run_scenario_parallel(
                 }
             });
         }
-    })
-    .expect("scenario worker panicked");
+    });
     let wall = start.elapsed();
 
     if let Some(err) = failure.into_inner() {

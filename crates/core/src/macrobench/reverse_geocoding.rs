@@ -7,7 +7,6 @@
 
 use super::{scenario_rng, Scenario, ScenarioConfig};
 use jackpine_datagen::TigerDataset;
-use rand::Rng;
 
 /// Fixes per session.
 const FIXES: usize = 10;

@@ -10,7 +10,6 @@ use super::{scenario_rng, Scenario, ScenarioConfig};
 use jackpine_datagen::{TigerDataset, EXTENT};
 use jackpine_geom::algorithms::buffer::buffer_with_segments;
 use jackpine_geom::{wkt, Geometry, Point};
-use rand::Rng;
 
 /// Impact ring radii in degrees.
 const RADII: [f64; 3] = [0.02, 0.05, 0.1];
@@ -24,12 +23,11 @@ pub fn toxic_spill(data: &TigerDataset, config: &ScenarioConfig) -> Scenario {
         // Spills happen on roads: pick a random road vertex.
         let road = &data.roads[rng.gen_range(0..data.roads.len())];
         let site = road.geom.coords()[rng.gen_range(0..road.geom.num_coords())];
-        let site_geom =
-            Geometry::Point(Point::from_coord(site).expect("road vertex is finite"));
+        let site_geom = Geometry::Point(Point::from_coord(site).expect("road vertex is finite"));
 
         for (ri, radius) in RADII.iter().enumerate() {
-            let ring = buffer_with_segments(&site_geom, *radius, 4)
-                .expect("point buffer is well-defined");
+            let ring =
+                buffer_with_segments(&site_geom, *radius, 4).expect("point buffer is well-defined");
             let ring_wkt = wkt::write(&ring);
             steps.push((
                 format!("ring{} roads to close", ri + 1),

@@ -23,21 +23,12 @@ pub fn analysis_suite(data: &TigerDataset) -> Vec<BenchQuery> {
             "Envelope area over polygons",
             "SELECT AVG(ST_Area(ST_Envelope(geom))) FROM arealm".to_string(),
         ),
-        q(
-            "A03",
-            "Length over all roads",
-            "SELECT SUM(ST_Length(geom)) FROM roads".to_string(),
-        ),
-        q(
-            "A04",
-            "Area over all polygons",
-            "SELECT SUM(ST_Area(geom)) FROM arealm".to_string(),
-        ),
+        q("A03", "Length over all roads", "SELECT SUM(ST_Length(geom)) FROM roads".to_string()),
+        q("A04", "Area over all polygons", "SELECT SUM(ST_Area(geom)) FROM arealm".to_string()),
         q(
             "A05",
             "Boundary complexity of water bodies",
-            "SELECT COUNT(*) FROM areawater WHERE ST_NumPoints(ST_Boundary(geom)) > 10"
-                .to_string(),
+            "SELECT COUNT(*) FROM areawater WHERE ST_NumPoints(ST_Boundary(geom)) > 10".to_string(),
         ),
         q(
             "A06",
@@ -52,10 +43,7 @@ pub fn analysis_suite(data: &TigerDataset) -> Vec<BenchQuery> {
         q(
             "A08",
             "Centroid of landmarks (western half)",
-            format!(
-                "SELECT COUNT(*) FROM arealm WHERE ST_X(ST_Centroid(geom)) < {}",
-                c.mid_x
-            ),
+            format!("SELECT COUNT(*) FROM arealm WHERE ST_X(ST_Centroid(geom)) < {}", c.mid_x),
         ),
         q(
             "A09",

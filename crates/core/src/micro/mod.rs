@@ -63,11 +63,8 @@ impl QueryConstants {
             cx + extent.width() * 0.016,
             cy + extent.height() * 0.016,
         );
-        let river = data
-            .areawater
-            .iter()
-            .find(|w| w.name.ends_with("RIVER"))
-            .unwrap_or(&data.areawater[0]);
+        let river =
+            data.areawater.iter().find(|w| w.name.ends_with("RIVER")).unwrap_or(&data.areawater[0]);
         let road = &data.roads[data.roads.len() / 2];
         let lm = &data.arealm[data.arealm.len() / 3];
         QueryConstants {

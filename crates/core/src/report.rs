@@ -7,6 +7,8 @@ use std::fmt::Write as _;
 pub struct Table {
     /// Table caption.
     pub title: String,
+    /// Run-context note rendered under the title (e.g. `workers=8`).
+    pub context: String,
     /// Column headers.
     pub headers: Vec<String>,
     /// Data rows (strings, pre-formatted).
@@ -18,9 +20,16 @@ impl Table {
     pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
         Table {
             title: title.into(),
+            context: String::new(),
             headers: headers.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
         }
+    }
+
+    /// Attaches a run-context note (shown in parentheses under the title).
+    pub fn with_context(mut self, context: impl Into<String>) -> Table {
+        self.context = context.into();
+        self
     }
 
     /// Appends a row (padded/truncated to the header width).
@@ -42,6 +51,9 @@ impl Table {
         let mut out = String::new();
         if !self.title.is_empty() {
             let _ = writeln!(out, "## {}", self.title);
+        }
+        if !self.context.is_empty() {
+            let _ = writeln!(out, "({})", self.context);
         }
         let line = |out: &mut String, cells: &[String]| {
             for (i, cell) in cells.iter().enumerate().take(ncols) {
@@ -124,6 +136,15 @@ mod tests {
         assert_eq!(lines.len(), 5);
         assert!(lines[1].starts_with("query"));
         assert!(lines[2].starts_with("---"));
+    }
+
+    #[test]
+    fn context_line_under_title() {
+        let t = Table::new("Demo", &["a"]).with_context("workers=8");
+        let s = t.render();
+        assert!(s.contains("## Demo\n(workers=8)\n"));
+        // CSV stays pure data.
+        assert!(!t.to_csv().contains("workers"));
     }
 
     #[test]

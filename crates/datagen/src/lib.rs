@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 mod names;
+pub mod rng;
 mod tiger;
 
 pub use tiger::{

@@ -2,11 +2,46 @@
 
 /// Street base names, cycled with directional prefixes and type suffixes.
 pub const STREET_NAMES: [&str; 40] = [
-    "OAK", "ELM", "MAPLE", "CEDAR", "PINE", "WALNUT", "MAIN", "FIRST", "SECOND", "THIRD",
-    "FOURTH", "FIFTH", "WASHINGTON", "JEFFERSON", "LINCOLN", "MADISON", "JACKSON", "FRANKLIN",
-    "HOUSTON", "AUSTIN", "TRAVIS", "CROCKETT", "BOWIE", "LAMAR", "BRAZOS", "COLORADO", "PECAN",
-    "MESQUITE", "JUNIPER", "WILLOW", "SYCAMORE", "MAGNOLIA", "CHERRY", "PEACH", "HICKORY",
-    "RIVER", "LAKE", "HILL", "VALLEY", "PRAIRIE",
+    "OAK",
+    "ELM",
+    "MAPLE",
+    "CEDAR",
+    "PINE",
+    "WALNUT",
+    "MAIN",
+    "FIRST",
+    "SECOND",
+    "THIRD",
+    "FOURTH",
+    "FIFTH",
+    "WASHINGTON",
+    "JEFFERSON",
+    "LINCOLN",
+    "MADISON",
+    "JACKSON",
+    "FRANKLIN",
+    "HOUSTON",
+    "AUSTIN",
+    "TRAVIS",
+    "CROCKETT",
+    "BOWIE",
+    "LAMAR",
+    "BRAZOS",
+    "COLORADO",
+    "PECAN",
+    "MESQUITE",
+    "JUNIPER",
+    "WILLOW",
+    "SYCAMORE",
+    "MAGNOLIA",
+    "CHERRY",
+    "PEACH",
+    "HICKORY",
+    "RIVER",
+    "LAKE",
+    "HILL",
+    "VALLEY",
+    "PRAIRIE",
 ];
 
 /// Street type suffixes.
@@ -40,19 +75,31 @@ pub const POINTLM_KINDS: [(&str, &str); 8] = [
 ];
 
 /// River name stems.
-pub const RIVER_NAMES: [&str; 8] = [
-    "TRINITY", "BRAZOS", "COLORADO", "GUADALUPE", "NUECES", "SABINE", "PECOS", "RED",
-];
+pub const RIVER_NAMES: [&str; 8] =
+    ["TRINITY", "BRAZOS", "COLORADO", "GUADALUPE", "NUECES", "SABINE", "PECOS", "RED"];
 
 /// Lake name stems.
-pub const LAKE_NAMES: [&str; 8] = [
-    "CLEAR", "CADDO", "TRAVIS", "WHITNEY", "LEWISVILLE", "CONROE", "FALCON", "AMISTAD",
-];
+pub const LAKE_NAMES: [&str; 8] =
+    ["CLEAR", "CADDO", "TRAVIS", "WHITNEY", "LEWISVILLE", "CONROE", "FALCON", "AMISTAD"];
 
 /// County name stems (cycled with a numeric suffix when exhausted).
 pub const COUNTY_NAMES: [&str; 16] = [
-    "HARRIS", "DALLAS", "TARRANT", "BEXAR", "TRAVIS", "COLLIN", "DENTON", "HIDALGO",
-    "EL PASO", "FORT BEND", "MONTGOMERY", "WILLIAMSON", "CAMERON", "NUECES", "BELL", "GALVESTON",
+    "HARRIS",
+    "DALLAS",
+    "TARRANT",
+    "BEXAR",
+    "TRAVIS",
+    "COLLIN",
+    "DENTON",
+    "HIDALGO",
+    "EL PASO",
+    "FORT BEND",
+    "MONTGOMERY",
+    "WILLIAMSON",
+    "CAMERON",
+    "NUECES",
+    "BELL",
+    "GALVESTON",
 ];
 
 #[cfg(test)]

@@ -1,9 +1,8 @@
 //! The TIGER-like dataset generator.
 
 use crate::names;
+use crate::rng::Rng;
 use jackpine_geom::{Coord, Envelope, Geometry, LineString, Point, Polygon};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Generation parameters.
 #[derive(Clone, Copy, Debug)]
@@ -22,8 +21,7 @@ impl Default for TigerConfig {
 }
 
 /// Extent of the synthetic state (Texas-like, in lon/lat degrees).
-pub const EXTENT: Envelope =
-    Envelope { min_x: -106.0, min_y: 25.8, max_x: -93.5, max_y: 36.5 };
+pub const EXTENT: Envelope = Envelope { min_x: -106.0, min_y: 25.8, max_x: -93.5, max_y: 36.5 };
 
 /// A county boundary record.
 #[derive(Clone, Debug)]
@@ -128,11 +126,11 @@ impl TigerDataset {
     }
 }
 
-fn rng_for(seed: u64, tag: u64) -> SmallRng {
-    SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(tag))
+fn rng_for(seed: u64, tag: u64) -> Rng {
+    Rng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(tag))
 }
 
-fn jitter(rng: &mut SmallRng, amount: f64) -> f64 {
+fn jitter(rng: &mut Rng, amount: f64) -> f64 {
     rng.gen_range(-amount..amount)
 }
 
@@ -249,8 +247,8 @@ fn gen_roads(seed: u64, vlines: &[Vec<Coord>], hlines: &[Vec<Coord>], scale: f64
             let (x0, x1) = (x0 + (x1 - x0) * inset, x1 - (x1 - x0) * inset);
             let (y0, y1) = (y0 + (y1 - y0) * inset, y1 - (y1 - y0) * inset);
             for _ in 0..per_county {
-                let horizontal: bool = rng.gen();
-                let nseg = rng.gen_range(2..7);
+                let horizontal = rng.gen_bool(0.5);
+                let nseg = rng.gen_range(2..7usize);
                 let mut pts: Vec<Coord> = Vec::with_capacity(nseg + 1);
                 if horizontal {
                     let y = rng.gen_range(y0..y1);
@@ -302,7 +300,7 @@ fn gen_roads(seed: u64, vlines: &[Vec<Coord>], hlines: &[Vec<Coord>], scale: f64
 }
 
 /// Star-convex blob polygon around a centre.
-fn blob(rng: &mut SmallRng, center: Coord, radius: f64, verts: usize) -> Polygon {
+fn blob(rng: &mut Rng, center: Coord, radius: f64, verts: usize) -> Polygon {
     let mut pts = Vec::with_capacity(verts + 1);
     for k in 0..verts {
         let theta = std::f64::consts::TAU * k as f64 / verts as f64;
@@ -310,23 +308,17 @@ fn blob(rng: &mut SmallRng, center: Coord, radius: f64, verts: usize) -> Polygon
         pts.push(Coord::new(center.x + r * theta.cos(), center.y + r * theta.sin()));
     }
     pts.push(pts[0]);
-    Polygon::new(
-        jackpine_geom::polygon::Ring::new(pts).expect("blob ring is valid"),
-        Vec::new(),
-    )
+    Polygon::new(jackpine_geom::polygon::Ring::new(pts).expect("blob ring is valid"), Vec::new())
 }
 
-fn random_point(rng: &mut SmallRng) -> Coord {
-    Coord::new(
-        rng.gen_range(EXTENT.min_x..EXTENT.max_x),
-        rng.gen_range(EXTENT.min_y..EXTENT.max_y),
-    )
+fn random_point(rng: &mut Rng) -> Coord {
+    Coord::new(rng.gen_range(EXTENT.min_x..EXTENT.max_x), rng.gen_range(EXTENT.min_y..EXTENT.max_y))
 }
 
 /// Clustered random position: half the records concentrate around a few
 /// metro hot spots, the rest spread uniformly (TIGER data is strongly
 /// clustered, and index behaviour depends on it).
-fn clustered_point(rng: &mut SmallRng, hotspots: &[Coord]) -> Coord {
+fn clustered_point(rng: &mut Rng, hotspots: &[Coord]) -> Coord {
     if rng.gen_bool(0.5) && !hotspots.is_empty() {
         let h = hotspots[rng.gen_range(0..hotspots.len())];
         let r = rng.gen_range(0.0..0.8f64);
@@ -339,7 +331,7 @@ fn clustered_point(rng: &mut SmallRng, hotspots: &[Coord]) -> Coord {
     random_point(rng)
 }
 
-fn hotspots(rng: &mut SmallRng) -> Vec<Coord> {
+fn hotspots(rng: &mut Rng) -> Vec<Coord> {
     (0..6).map(|_| random_point(rng)).collect()
 }
 
@@ -351,7 +343,7 @@ fn gen_arealm(seed: u64, scale: f64) -> Vec<AreaLandmark> {
     for id in 1..=count as i64 {
         let center = clustered_point(&mut rng, &hot);
         let radius = rng.gen_range(0.005..0.08);
-        let verts = rng.gen_range(6..14);
+        let verts = rng.gen_range(6..14usize);
         let (kind, code) = names::AREALM_KINDS[rng.gen_range(0..names::AREALM_KINDS.len())];
         let stem = names::STREET_NAMES[rng.gen_range(0..names::STREET_NAMES.len())];
         out.push(AreaLandmark {
@@ -400,8 +392,7 @@ fn gen_areawater(seed: u64, scale: f64) -> Vec<AreaWater> {
         let mut center: Vec<Coord> = Vec::with_capacity(steps + 1);
         for k in 0..=steps {
             center.push(Coord::new(EXTENT.min_x + k as f64 * dx, y));
-            y = (y + jitter(&mut rng, 0.25))
-                .clamp(EXTENT.min_y + 0.5, EXTENT.max_y - 0.5);
+            y = (y + jitter(&mut rng, 0.25)).clamp(EXTENT.min_y + 0.5, EXTENT.max_y - 0.5);
         }
         // Band polygon: north side west→east, then south side east→west.
         let mut ring: Vec<Coord> = Vec::with_capacity(2 * center.len() + 1);
@@ -434,7 +425,7 @@ fn gen_areawater(seed: u64, scale: f64) -> Vec<AreaWater> {
             names::LAKE_NAMES[k % names::LAKE_NAMES.len()],
             k / names::LAKE_NAMES.len() + 1
         );
-        let verts = rng.gen_range(8..16);
+        let verts = rng.gen_range(8..16usize);
         out.push(AreaWater { id, name, geom: blob(&mut rng, center, radius, verts) });
         id += 1;
     }
@@ -562,11 +553,8 @@ mod tests {
     #[test]
     fn rivers_cross_many_counties() {
         let d = small();
-        let river = d
-            .areawater
-            .iter()
-            .find(|w| w.name.ends_with("RIVER"))
-            .expect("at least one river");
+        let river =
+            d.areawater.iter().find(|w| w.name.ends_with("RIVER")).expect("at least one river");
         let crossed = d
             .counties
             .iter()

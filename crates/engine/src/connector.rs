@@ -25,6 +25,16 @@ pub trait SpatialConnector: Send + Sync {
 
     /// Turns use of spatial indexes on or off, where the system allows it.
     fn set_use_spatial_index(&self, on: bool);
+
+    /// Sets the intra-query worker count, where the system allows it
+    /// (`0` = system default, `1` = serial). Systems without intra-query
+    /// parallelism ignore the call.
+    fn set_workers(&self, _workers: usize) {}
+
+    /// The intra-query worker count currently in effect.
+    fn workers(&self) -> usize {
+        1
+    }
 }
 
 impl SpatialConnector for Arc<SpatialDb> {
@@ -46,6 +56,14 @@ impl SpatialConnector for Arc<SpatialDb> {
 
     fn set_use_spatial_index(&self, on: bool) {
         SpatialDb::set_use_spatial_index(self, on)
+    }
+
+    fn set_workers(&self, workers: usize) {
+        SpatialDb::set_workers(self, workers)
+    }
+
+    fn workers(&self) -> usize {
+        SpatialDb::workers(self)
     }
 }
 

@@ -8,10 +8,10 @@ use jackpine_sqlmini::ast::Statement;
 use jackpine_sqlmini::plan::PlanOptions;
 use jackpine_sqlmini::provider::{CatalogProvider, TableProvider};
 use jackpine_sqlmini::{exec, parser, plan, ResultSet, SqlError};
+use jackpine_storage::sync::RwLock;
 use jackpine_storage::{
     Catalog, ColumnDef, DataType, Row, RowId, Schema, StorageError, Table, Value,
 };
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -127,6 +127,10 @@ pub struct SpatialDb {
     plan_cache_enabled: RwLock<bool>,
     plan_cache_hits: std::sync::atomic::AtomicU64,
     plan_cache_misses: std::sync::atomic::AtomicU64,
+    /// Intra-query worker threads for the morsel executor and parallel
+    /// index builds. Defaults to the machine's available parallelism;
+    /// `1` means fully serial execution.
+    workers: std::sync::atomic::AtomicUsize,
 }
 
 impl SpatialDb {
@@ -141,7 +145,25 @@ impl SpatialDb {
             plan_cache_enabled: RwLock::new(true),
             plan_cache_hits: std::sync::atomic::AtomicU64::new(0),
             plan_cache_misses: std::sync::atomic::AtomicU64::new(0),
+            workers: std::sync::atomic::AtomicUsize::new(default_workers()),
         }
+    }
+
+    /// Sets the intra-query worker count. `0` restores the default
+    /// (available parallelism); `1` forces serial execution. Results are
+    /// bit-identical at any setting — only wall-clock changes.
+    pub fn set_workers(&self, workers: usize) {
+        let w = if workers == 0 { default_workers() } else { workers };
+        self.workers.store(w, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// The current intra-query worker count.
+    pub fn workers(&self) -> usize {
+        self.workers.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    fn exec_options(&self) -> exec::ExecOptions {
+        exec::ExecOptions { workers: self.workers() }
     }
 
     /// The engine profile.
@@ -234,7 +256,11 @@ impl SpatialDb {
             }
             SpatialIdx::Grid(g)
         } else {
-            SpatialIdx::Rtree(RTree::bulk_load(RTreeConfig::default(), items))
+            SpatialIdx::Rtree(RTree::bulk_load_parallel(
+                RTreeConfig::default(),
+                items,
+                self.workers(),
+            ))
         };
 
         let mut indexes = self.indexes.write();
@@ -287,9 +313,8 @@ impl SpatialDb {
                 let cache_on = *self.plan_cache_enabled.read();
                 if cache_on {
                     if let Some(planned) = self.plan_cache.read().get(sql).cloned() {
-                        self.plan_cache_hits
-                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        return Ok(exec::execute(&planned)?);
+                        self.plan_cache_hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        return Ok(exec::execute_with(&planned, &self.exec_options())?);
                     }
                 }
                 self.plan_cache_misses.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -308,15 +333,18 @@ impl SpatialDb {
                     }
                     cache.insert(sql.to_string(), planned.clone());
                 }
-                Ok(exec::execute(&planned)?)
+                Ok(exec::execute_with(&planned, &self.exec_options())?)
             }
             Statement::CreateTable { name, columns } => {
                 let cols = columns
                     .into_iter()
                     .map(|(n, ty)| {
-                        Ok(ColumnDef::new(&n, parse_type(&ty).ok_or_else(|| {
-                            EngineError::Sql(SqlError::Type(format!("unknown type '{ty}'")))
-                        })?))
+                        Ok(ColumnDef::new(
+                            &n,
+                            parse_type(&ty).ok_or_else(|| {
+                                EngineError::Sql(SqlError::Type(format!("unknown type '{ty}'")))
+                            })?,
+                        ))
                     })
                     .collect::<crate::Result<Vec<_>>>()?;
                 self.create_table(&name, cols)?;
@@ -355,9 +383,7 @@ impl SpatialDb {
                         .collect();
                     Ok(ResultSet { columns: vec!["plan".into()], rows })
                 }
-                _ => Err(EngineError::Sql(SqlError::Type(
-                    "EXPLAIN supports only SELECT".into(),
-                ))),
+                _ => Err(EngineError::Sql(SqlError::Type("EXPLAIN supports only SELECT".into()))),
             },
             Statement::Insert { table, rows } => {
                 let mode = self.profile.function_mode();
@@ -384,11 +410,8 @@ impl SpatialDb {
     ) -> crate::Result<usize> {
         let t = self.catalog.table(table)?;
         let schema = t.schema().clone();
-        let columns: Vec<(String, String)> = schema
-            .columns()
-            .iter()
-            .map(|c| (table.to_string(), c.name.clone()))
-            .collect();
+        let columns: Vec<(String, String)> =
+            schema.columns().iter().map(|c| (table.to_string(), c.name.clone())).collect();
         let mode = self.profile.function_mode();
         let bound: Vec<_> = filters
             .iter()
@@ -444,11 +467,8 @@ impl SpatialDb {
     ) -> crate::Result<usize> {
         let t = self.catalog.table(table)?;
         let schema = t.schema().clone();
-        let columns: Vec<(String, String)> = schema
-            .columns()
-            .iter()
-            .map(|c| (table.to_string(), c.name.clone()))
-            .collect();
+        let columns: Vec<(String, String)> =
+            schema.columns().iter().map(|c| (table.to_string(), c.name.clone())).collect();
         let mode = self.profile.function_mode();
         let bound_filters: Vec<_> = filters
             .iter()
@@ -457,10 +477,7 @@ impl SpatialDb {
         let bound_assignments: Vec<(usize, _)> = assignments
             .iter()
             .map(|(col, e)| {
-                Ok((
-                    schema.column_index(col)?,
-                    plan::bind_columns(columns.clone(), e)?,
-                ))
+                Ok((schema.column_index(col)?, plan::bind_columns(columns.clone(), e)?))
             })
             .collect::<crate::Result<_>>()?;
 
@@ -544,6 +561,11 @@ impl SpatialDb {
     }
 }
 
+/// Default intra-query worker count: the machine's available parallelism.
+fn default_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
 fn affected(n: usize) -> ResultSet {
     ResultSet { columns: vec!["rows_affected".into()], rows: vec![vec![Value::Int(n as i64)]] }
 }
@@ -570,9 +592,7 @@ fn eval_const_expr(
             Value::Int(i) => Value::Int(-i),
             Value::Float(f) => Value::Float(-f),
             other => {
-                return Err(EngineError::Sql(SqlError::Type(format!(
-                    "cannot negate {other:?}"
-                ))))
+                return Err(EngineError::Sql(SqlError::Type(format!("cannot negate {other:?}"))))
             }
         },
         Expr::Func { name, args } => {
@@ -601,11 +621,7 @@ struct DbCatalogAdapter {
 impl CatalogProvider for DbCatalogAdapter {
     fn table(&self, name: &str) -> jackpine_sqlmini::Result<Arc<dyn TableProvider>> {
         let table = self.db.catalog.table(name).map_err(SqlError::from)?;
-        Ok(Arc::new(DbTableAdapter {
-            db: self.db.clone(),
-            key: name.to_ascii_lowercase(),
-            table,
-        }))
+        Ok(Arc::new(DbTableAdapter { db: self.db.clone(), key: name.to_ascii_lowercase(), table }))
     }
 }
 
@@ -710,8 +726,7 @@ mod tests {
     fn spatial_join_between_tables() {
         let db = db(EngineProfile::ExactRtree);
         db.execute("CREATE TABLE probes (pid BIGINT, geom GEOMETRY)").unwrap();
-        db.execute("INSERT INTO probes VALUES (100, ST_GeomFromText('POINT (1.5 1.5)'))")
-            .unwrap();
+        db.execute("INSERT INTO probes VALUES (100, ST_GeomFromText('POINT (1.5 1.5)'))").unwrap();
         db.create_spatial_index("parcels", "geom").unwrap();
         let r = db
             .execute(
@@ -730,10 +745,8 @@ mod tests {
         let mbr = db(EngineProfile::MbrOnly);
         for d in [&exact, &mbr] {
             d.execute("CREATE TABLE lines (id BIGINT, geom GEOMETRY)").unwrap();
-            d.execute(
-                "INSERT INTO lines VALUES (1, ST_GeomFromText('LINESTRING (0 4, 4 8)'))",
-            )
-            .unwrap();
+            d.execute("INSERT INTO lines VALUES (1, ST_GeomFromText('LINESTRING (0 4, 4 8)'))")
+                .unwrap();
         }
         let sql = "SELECT COUNT(*) FROM lines l, parcels p \
                    WHERE ST_Intersects(l.geom, p.geom) AND p.id = 2";
@@ -741,10 +754,8 @@ mod tests {
         // overlaps the parcel's MBR, but the segment x+y = 1.5 never reaches
         // the square (which needs x+y ≥ 2).
         for d in [&exact, &mbr] {
-            d.execute(
-                "INSERT INTO lines VALUES (2, ST_GeomFromText('LINESTRING (0 1.5, 1.5 0)'))",
-            )
-            .unwrap();
+            d.execute("INSERT INTO lines VALUES (2, ST_GeomFromText('LINESTRING (0 1.5, 1.5 0)'))")
+                .unwrap();
         }
         let e = exact.execute(sql).unwrap();
         let m = mbr.execute(sql).unwrap();
@@ -780,10 +791,7 @@ mod tests {
     fn unsupported_feature_error_in_mbr_profile() {
         let db = db(EngineProfile::MbrOnly);
         let err = db.execute("SELECT ST_Buffer(geom, 1.0) FROM parcels");
-        assert!(matches!(
-            err,
-            Err(EngineError::Sql(SqlError::UnsupportedFeature(_)))
-        ));
+        assert!(matches!(err, Err(EngineError::Sql(SqlError::UnsupportedFeature(_)))));
     }
 
     #[test]
@@ -862,10 +870,8 @@ mod dml_tests {
     fn delete_maintains_spatial_index_on_both_index_kinds() {
         for profile in [EngineProfile::ExactRtree, EngineProfile::ExactGrid] {
             let db = db_with_rows(profile);
-            db.execute(
-                "DELETE FROM pts WHERE ST_Within(geom, ST_MakeEnvelope(-1, -1, 4.5, 4.5))",
-            )
-            .unwrap();
+            db.execute("DELETE FROM pts WHERE ST_Within(geom, ST_MakeEnvelope(-1, -1, 4.5, 4.5))")
+                .unwrap();
             // The spatial-index path must see the deletions: points 0–4
             // are gone, 5–19 remain.
             let r = db
@@ -874,11 +880,7 @@ mod dml_tests {
                      ST_MakeEnvelope(-1, -1, 25, 25))",
                 )
                 .unwrap();
-            assert_eq!(
-                r.rows[0],
-                vec![Value::Int(5), Value::Int(15)],
-                "profile {profile}"
-            );
+            assert_eq!(r.rows[0], vec![Value::Int(5), Value::Int(15)], "profile {profile}");
         }
     }
 
@@ -897,10 +899,7 @@ mod dml_tests {
         let db = db_with_rows(EngineProfile::ExactRtree);
         let r = db.execute("DELETE FROM pts").unwrap();
         assert_eq!(r.scalar(), Some(&Value::Int(20)));
-        assert_eq!(
-            db.execute("SELECT COUNT(*) FROM pts").unwrap().scalar(),
-            Some(&Value::Int(0))
-        );
+        assert_eq!(db.execute("SELECT COUNT(*) FROM pts").unwrap().scalar(), Some(&Value::Int(0)));
     }
 
     #[test]
@@ -912,8 +911,7 @@ mod dml_tests {
                  ST_MakeEnvelope(0, 0, 5, 5))",
             )
             .unwrap();
-        let plan: String =
-            r.rows.iter().map(|row| row[0].to_string() + "\n").collect();
+        let plan: String = r.rows.iter().map(|row| row[0].to_string() + "\n").collect();
         assert!(plan.contains("SpatialIndexScan"), "plan was:\n{plan}");
         assert!(plan.contains("Aggregate"), "plan was:\n{plan}");
 
@@ -924,15 +922,13 @@ mod dml_tests {
                  ST_MakeEnvelope(0, 0, 5, 5))",
             )
             .unwrap();
-        let plan: String =
-            r.rows.iter().map(|row| row[0].to_string() + "\n").collect();
+        let plan: String = r.rows.iter().map(|row| row[0].to_string() + "\n").collect();
         assert!(plan.contains("SeqScan"), "plan was:\n{plan}");
 
         // Ordered index path.
         db.set_use_spatial_index(true);
         let r = db.execute("EXPLAIN SELECT id FROM pts WHERE name = 'p3'").unwrap();
-        let plan: String =
-            r.rows.iter().map(|row| row[0].to_string() + "\n").collect();
+        let plan: String = r.rows.iter().map(|row| row[0].to_string() + "\n").collect();
         assert!(plan.contains("OrderedIndexScan"), "plan was:\n{plan}");
 
         // kNN path.
@@ -942,8 +938,7 @@ mod dml_tests {
                  ORDER BY ST_Distance(geom, ST_GeomFromText('POINT (3 3)')) LIMIT 2",
             )
             .unwrap();
-        let plan: String =
-            r.rows.iter().map(|row| row[0].to_string() + "\n").collect();
+        let plan: String = r.rows.iter().map(|row| row[0].to_string() + "\n").collect();
         assert!(plan.contains("KnnScan"), "plan was:\n{plan}");
     }
 
@@ -961,14 +956,9 @@ mod group_by_tests {
     fn db() -> Arc<SpatialDb> {
         let db = Arc::new(SpatialDb::new(EngineProfile::ExactRtree));
         db.execute("CREATE TABLE sales (region TEXT, amount BIGINT)").unwrap();
-        for (r, a) in [
-            ("north", 10),
-            ("south", 5),
-            ("north", 20),
-            ("east", 7),
-            ("south", 15),
-            ("north", 1),
-        ] {
+        for (r, a) in
+            [("north", 10), ("south", 5), ("north", 20), ("east", 7), ("south", 15), ("north", 1)]
+        {
             db.execute(&format!("INSERT INTO sales VALUES ('{r}', {a})")).unwrap();
         }
         db
@@ -1068,10 +1058,8 @@ mod update_tests {
     fn update_geometry_maintains_spatial_index() {
         let db = db();
         // Move point 5 far away.
-        db.execute(
-            "UPDATE pois SET geom = ST_GeomFromText('POINT (100 100)') WHERE id = 5",
-        )
-        .unwrap();
+        db.execute("UPDATE pois SET geom = ST_GeomFromText('POINT (100 100)') WHERE id = 5")
+            .unwrap();
         let near = db
             .execute(
                 "SELECT COUNT(*) FROM pois WHERE ST_DWithin(geom, \
@@ -1100,9 +1088,7 @@ mod update_tests {
     fn update_with_affine_function() {
         let db = db();
         db.execute("UPDATE pois SET geom = ST_Translate(geom, 0, 10) WHERE id = 2").unwrap();
-        let r = db
-            .execute("SELECT ST_AsText(geom) FROM pois WHERE id = 2")
-            .unwrap();
+        let r = db.execute("SELECT ST_AsText(geom) FROM pois WHERE id = 2").unwrap();
         assert_eq!(r.rows[0][0], Value::Text("POINT (2 10)".into()));
     }
 
@@ -1141,8 +1127,12 @@ mod plan_cache_tests {
                    ST_MakeEnvelope(0, 0, 2, 2))";
         db.execute(sql).unwrap(); // cached with SeqScan (no index yet)
         db.create_spatial_index("g", "geom").unwrap(); // must invalidate
-        let r = db.execute("EXPLAIN SELECT COUNT(*) FROM g WHERE ST_Intersects(geom, \
-                   ST_MakeEnvelope(0, 0, 2, 2))").unwrap();
+        let r = db
+            .execute(
+                "EXPLAIN SELECT COUNT(*) FROM g WHERE ST_Intersects(geom, \
+                   ST_MakeEnvelope(0, 0, 2, 2))",
+            )
+            .unwrap();
         let plan: String = r.rows.iter().map(|row| row[0].to_string()).collect();
         assert!(plan.contains("SpatialIndexScan"), "stale plan survived DDL: {plan}");
         // And the cached execution path agrees with a fresh one.
@@ -1157,10 +1147,8 @@ mod plan_cache_tests {
         let db = Arc::new(SpatialDb::new(EngineProfile::ExactRtree));
         db.execute("CREATE TABLE g (id BIGINT, geom GEOMETRY)").unwrap();
         for i in 0..5 {
-            db.execute(&format!(
-                "INSERT INTO g VALUES ({i}, ST_GeomFromText('POINT ({i} 0)'))"
-            ))
-            .unwrap();
+            db.execute(&format!("INSERT INTO g VALUES ({i}, ST_GeomFromText('POINT ({i} 0)'))"))
+                .unwrap();
         }
         db.create_spatial_index("g", "geom").unwrap();
         let sql = "SELECT COUNT(*) FROM g WHERE ST_DWithin(geom, \
@@ -1185,7 +1173,7 @@ mod drop_table_tests {
         db.execute("DROP TABLE t").unwrap();
         assert!(db.execute("SELECT COUNT(*) FROM t").is_err());
         assert!(db.execute("DROP TABLE t").is_err()); // already gone
-        // The name is reusable with a different schema.
+                                                      // The name is reusable with a different schema.
         db.execute("CREATE TABLE t (name TEXT)").unwrap();
         db.execute("INSERT INTO t VALUES ('x')").unwrap();
         let r = db.execute("SELECT COUNT(*) FROM t").unwrap();

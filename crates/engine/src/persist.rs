@@ -18,7 +18,7 @@
 //! the same trade-off SQLite's `REINDEX`-on-restore makes).
 
 use crate::{EngineError, EngineProfile, Result, SpatialDb};
-use bytes::{Buf, BufMut, BytesMut};
+use jackpine_geom::codec::{PutBytes, TakeBytes};
 use jackpine_storage::{ColumnDef, DataType, Value};
 use std::io::{Read, Write};
 use std::path::Path;
@@ -71,7 +71,7 @@ fn tag_profile(tag: u8) -> Option<EngineProfile> {
     }
 }
 
-fn put_str(buf: &mut BytesMut, s: &str) {
+fn put_str(buf: &mut Vec<u8>, s: &str) {
     buf.put_u32_le(s.len() as u32);
     buf.put_slice(s.as_bytes());
 }
@@ -84,9 +84,7 @@ fn get_str(data: &mut &[u8]) -> Result<String> {
     if data.remaining() < len {
         return Err(corrupt("truncated string payload"));
     }
-    let s = std::str::from_utf8(&data[..len])
-        .map_err(|_| corrupt("invalid UTF-8"))?
-        .to_string();
+    let s = std::str::from_utf8(&data[..len]).map_err(|_| corrupt("invalid UTF-8"))?.to_string();
     data.advance(len);
     Ok(s)
 }
@@ -94,7 +92,7 @@ fn get_str(data: &mut &[u8]) -> Result<String> {
 impl SpatialDb {
     /// Serializes every table (schema, index definitions, rows) to `path`.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
-        let mut buf = BytesMut::with_capacity(1 << 16);
+        let mut buf: Vec<u8> = Vec::with_capacity(1 << 16);
         buf.put_slice(MAGIC);
         buf.put_u32_le(VERSION);
         buf.put_u8(profile_tag(self.profile()));
@@ -148,8 +146,7 @@ impl SpatialDb {
         if version != VERSION {
             return Err(corrupt(&format!("unsupported version {version}")));
         }
-        let profile =
-            tag_profile(data.get_u8()).ok_or_else(|| corrupt("unknown profile tag"))?;
+        let profile = tag_profile(data.get_u8()).ok_or_else(|| corrupt("unknown profile tag"))?;
         let db = Arc::new(SpatialDb::new(profile));
 
         if data.remaining() < 4 {

@@ -62,10 +62,7 @@ impl AffineTransform {
     /// Applies the transform to one coordinate.
     #[inline]
     pub fn apply(&self, p: Coord) -> Coord {
-        Coord::new(
-            self.a * p.x + self.b * p.y + self.c,
-            self.d * p.x + self.e * p.y + self.f,
-        )
+        Coord::new(self.a * p.x + self.b * p.y + self.c, self.d * p.x + self.e * p.y + self.f)
     }
 
     /// Composition: `self ∘ other` (apply `other` first).
@@ -142,9 +139,8 @@ fn map_line(l: &LineString, t: &AffineTransform) -> Result<LineString> {
 }
 
 fn map_polygon(p: &Polygon, t: &AffineTransform) -> Result<Polygon> {
-    let map_ring = |r: &Ring| -> Result<Ring> {
-        Ring::new(r.coords().iter().map(|&c| t.apply(c)).collect())
-    };
+    let map_ring =
+        |r: &Ring| -> Result<Ring> { Ring::new(r.coords().iter().map(|&c| t.apply(c)).collect()) };
     Ok(Polygon::new(
         map_ring(p.exterior())?,
         p.holes().iter().map(map_ring).collect::<Result<_>>()?,

@@ -8,9 +8,7 @@
 //! go through the overlay module, so the result is a proper polygon set.
 
 use super::clip::{difference, union};
-use crate::{
-    Coord, GeomError, Geometry, GeometryCollection, LineString, Polygon, Result,
-};
+use crate::{Coord, GeomError, Geometry, GeometryCollection, LineString, Polygon, Result};
 
 /// Number of segments per quarter circle used to approximate arcs.
 /// Eight matches PostGIS's default `quad_segs`.
@@ -47,9 +45,9 @@ pub fn buffer_with_segments(g: &Geometry, distance: f64, quad_segs: usize) -> Re
             Geometry::Polygon(_) | Geometry::MultiPolygon(_) => {
                 negative_polygon_buffer(g, -distance, quad_segs)
             }
-            _ => Err(GeomError::InvalidArgument(
-                "negative buffer requires an areal geometry".into(),
-            )),
+            _ => {
+                Err(GeomError::InvalidArgument("negative buffer requires an areal geometry".into()))
+            }
         };
     }
 
@@ -117,7 +115,14 @@ pub fn buffer_with_segments(g: &Geometry, distance: f64, quad_segs: usize) -> Re
 /// produce bitwise-identical coordinates wherever they overlap. Capsules
 /// of adjacent polyline segments share their joint's cap vertices exactly,
 /// which keeps the downstream overlay free of near-coincident slivers.
-fn arc_points(center: Coord, radius: f64, from: f64, to: f64, quad_segs: usize, out: &mut Vec<Coord>) {
+fn arc_points(
+    center: Coord,
+    radius: f64,
+    from: f64,
+    to: f64,
+    quad_segs: usize,
+    out: &mut Vec<Coord>,
+) {
     let per_circle = 4 * quad_segs as i64;
     let step = std::f64::consts::TAU / per_circle as f64;
     let push = |theta: f64, out: &mut Vec<Coord>| {
@@ -263,7 +268,8 @@ mod tests {
 
     #[test]
     fn bent_line_buffer() {
-        let l: Geometry = LineString::from_xy(&[(0.0, 0.0), (5.0, 0.0), (5.0, 5.0)]).unwrap().into();
+        let l: Geometry =
+            LineString::from_xy(&[(0.0, 0.0), (5.0, 0.0), (5.0, 5.0)]).unwrap().into();
         let b = buffer(&l, 0.5).unwrap();
         let a = area(&b);
         // Two capsules of length 5 overlapping near the elbow: total close

@@ -169,10 +169,9 @@ pub(crate) fn coord_intersects_geometry(c: Coord, g: &Geometry) -> bool {
 
 fn lines_of<'a>(g: &'a Geometry, out: &mut Vec<&'a LineString>) {
     match g {
-        Geometry::LineString(l)
-            if !l.is_empty() => {
-                out.push(l);
-            }
+        Geometry::LineString(l) if !l.is_empty() => {
+            out.push(l);
+        }
         Geometry::MultiLineString(m) => out.extend(m.0.iter().filter(|l| !l.is_empty())),
         Geometry::GeometryCollection(c) => {
             for g in &c.0 {
@@ -224,8 +223,7 @@ fn line_line_intersection(a: &Geometry, b: &Geometry) -> Result<Geometry> {
     } else if points.is_empty() {
         Ok(Geometry::MultiLineString(MultiLineString(overlaps)))
     } else {
-        let mut members: Vec<Geometry> =
-            overlaps.into_iter().map(Geometry::LineString).collect();
+        let mut members: Vec<Geometry> = overlaps.into_iter().map(Geometry::LineString).collect();
         members.push(collapse_points(points));
         Ok(Geometry::GeometryCollection(GeometryCollection(members)))
     }
@@ -489,13 +487,15 @@ fn shared_edge_keep(
     let other_left = locate_in_polygon(left_probe, other) == Location::Interior;
     match op {
         // Same side ⇒ the edge bounds both regions identically.
-        BoolOp::Intersection | BoolOp::Union => other_left && is_first_operand || {
-            // For union, edges whose left side is *outside* both operands
-            // also bound the result when interiors are on the same side;
-            // with interior-left convention, subject interior is left, so
-            // "same side" simply means other_left.
-            false
-        },
+        BoolOp::Intersection | BoolOp::Union => {
+            other_left && is_first_operand || {
+                // For union, edges whose left side is *outside* both operands
+                // also bound the result when interiors are on the same side;
+                // with interior-left convention, subject interior is left, so
+                // "same side" simply means other_left.
+                false
+            }
+        }
         // Difference keeps A-boundary edges where B is on the right.
         BoolOp::Difference => is_first_operand && !other_left,
     }
@@ -681,11 +681,7 @@ fn assemble_polygons(raw_rings: Vec<Vec<Coord>>) -> Result<Vec<Polygon>> {
         // Orphan hole: numerical artefact; drop it.
     }
 
-    Ok(shells
-        .into_iter()
-        .zip(assigned)
-        .map(|(shell, hs)| Polygon::new(shell, hs))
-        .collect())
+    Ok(shells.into_iter().zip(assigned).map(|(shell, hs)| Polygon::new(shell, hs)).collect())
 }
 
 #[cfg(test)]
@@ -694,9 +690,7 @@ mod tests {
     use crate::algorithms::measures::area;
 
     fn sq(x0: f64, y0: f64, s: f64) -> Geometry {
-        Polygon::from_xy(&[(x0, y0), (x0 + s, y0), (x0 + s, y0 + s), (x0, y0 + s)])
-            .unwrap()
-            .into()
+        Polygon::from_xy(&[(x0, y0), (x0 + s, y0), (x0 + s, y0 + s), (x0, y0 + s)]).unwrap().into()
     }
 
     #[test]
@@ -805,7 +799,9 @@ mod tests {
         let a: Geometry = LineString::from_xy(&[(0.0, 0.0), (2.0, 2.0)]).unwrap().into();
         let b: Geometry = LineString::from_xy(&[(0.0, 2.0), (2.0, 0.0)]).unwrap().into();
         match intersection(&a, &b).unwrap() {
-            Geometry::Point(p) => assert!(p.coord().unwrap().close_to(Coord::new(1.0, 1.0), 1e-9)),
+            Geometry::Point(p) => {
+                assert!(p.coord().unwrap().close_to(Coord::new(1.0, 1.0), 1e-9))
+            }
             other => panic!("expected point, got {other:?}"),
         }
         // Collinear overlap.
@@ -871,7 +867,11 @@ mod capsule_regression {
         let c1 = buffer(&s1, 0.5).unwrap();
         let c2 = buffer(&s2, 0.5).unwrap();
         let u = union(&c1, &c2).unwrap();
-        assert!(matches!(u, Geometry::Polygon(_)), "expected single polygon, got {:?}", u.geometry_type());
+        assert!(
+            matches!(u, Geometry::Polygon(_)),
+            "expected single polygon, got {:?}",
+            u.geometry_type()
+        );
         let a = area(&u);
         // Two capsules (each ≈ 5.78) minus the elbow overlap (≈ disc quarter
         // + square ≈ 0.94): ≈ 10.6.

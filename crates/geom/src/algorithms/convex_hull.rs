@@ -55,10 +55,7 @@ pub(crate) fn hull_of_coords(pts: &mut Vec<Coord>) -> Result<Geometry> {
     if hull.len() < 4 {
         // All points collinear: extremes are the first and last of the
         // sorted order.
-        return Ok(Geometry::LineString(LineString::new(vec![
-            pts[0],
-            pts[pts.len() - 1],
-        ])?));
+        return Ok(Geometry::LineString(LineString::new(vec![pts[0], pts[pts.len() - 1]])?));
     }
     let ring = crate::polygon::Ring::new(hull)?;
     Ok(Geometry::Polygon(Polygon::new(ring, Vec::new())))
@@ -135,15 +132,9 @@ mod tests {
 
     #[test]
     fn hull_degenerate_cases() {
-        assert!(matches!(
-            convex_hull(&mp(&[])).unwrap(),
-            Geometry::GeometryCollection(_)
-        ));
+        assert!(matches!(convex_hull(&mp(&[])).unwrap(), Geometry::GeometryCollection(_)));
         assert!(matches!(convex_hull(&mp(&[(1.0, 1.0)])).unwrap(), Geometry::Point(_)));
-        assert!(matches!(
-            convex_hull(&mp(&[(1.0, 1.0), (1.0, 1.0)])).unwrap(),
-            Geometry::Point(_)
-        ));
+        assert!(matches!(convex_hull(&mp(&[(1.0, 1.0), (1.0, 1.0)])).unwrap(), Geometry::Point(_)));
         match convex_hull(&mp(&[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0), (3.0, 3.0)])).unwrap() {
             Geometry::LineString(l) => {
                 assert_eq!(l.coords(), &[Coord::new(0.0, 0.0), Coord::new(3.0, 3.0)]);

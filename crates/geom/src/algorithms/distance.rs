@@ -197,9 +197,7 @@ mod tests {
     }
 
     fn sq(x0: f64, y0: f64, s: f64) -> Geometry {
-        Polygon::from_xy(&[(x0, y0), (x0 + s, y0), (x0 + s, y0 + s), (x0, y0 + s)])
-            .unwrap()
-            .into()
+        Polygon::from_xy(&[(x0, y0), (x0 + s, y0), (x0 + s, y0 + s), (x0, y0 + s)]).unwrap().into()
     }
 
     #[test]
@@ -246,7 +244,7 @@ mod tests {
         assert_eq!(distance(&sq(0.0, 0.0, 2.0), &sq(5.0, 0.0, 2.0)), 3.0);
         assert_eq!(distance(&sq(0.0, 0.0, 4.0), &sq(1.0, 1.0, 1.0)), 0.0); // nested
         assert_eq!(distance(&sq(0.0, 0.0, 2.0), &sq(1.0, 1.0, 2.0)), 0.0); // overlapping
-        // diagonal separation
+                                                                           // diagonal separation
         let d = distance(&sq(0.0, 0.0, 1.0), &sq(2.0, 2.0, 1.0));
         assert!((d - std::f64::consts::SQRT_2).abs() < 1e-12);
     }

@@ -18,8 +18,7 @@ pub fn haversine_distance(a: Coord, b: Coord) -> f64 {
     let (lon2, lat2) = (b.x.to_radians(), b.y.to_radians());
     let dlat = lat2 - lat1;
     let dlon = lon2 - lon1;
-    let h = (dlat * 0.5).sin().powi(2)
-        + lat1.cos() * lat2.cos() * (dlon * 0.5).sin().powi(2);
+    let h = (dlat * 0.5).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon * 0.5).sin().powi(2);
     2.0 * EARTH_RADIUS_M * h.sqrt().min(1.0).asin()
 }
 

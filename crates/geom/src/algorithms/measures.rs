@@ -216,10 +216,7 @@ mod tests {
     #[test]
     fn empty_centroid_is_none() {
         assert_eq!(centroid(&Point::empty().into()), None);
-        assert_eq!(
-            centroid(&Geometry::GeometryCollection(GeometryCollection(vec![]))),
-            None
-        );
+        assert_eq!(centroid(&Geometry::GeometryCollection(GeometryCollection(vec![]))), None);
     }
 
     #[test]

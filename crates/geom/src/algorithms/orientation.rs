@@ -171,22 +171,14 @@ fn orient2d_exact(a: Coord, b: Coord, c: Coord) -> Orientation {
     // det = (axcy_hi+axcy_lo)(bycy_hi+bycy_lo) - (aycy_hi+aycy_lo)(bxcx_hi+bxcx_lo)
     // Expand both products into exact component lists.
     let mut components: Vec<f64> = Vec::with_capacity(16);
-    for &(p, q) in &[
-        (axcy_hi, bycy_hi),
-        (axcy_hi, bycy_lo),
-        (axcy_lo, bycy_hi),
-        (axcy_lo, bycy_lo),
-    ] {
+    for &(p, q) in &[(axcy_hi, bycy_hi), (axcy_hi, bycy_lo), (axcy_lo, bycy_hi), (axcy_lo, bycy_lo)]
+    {
         let (x, y) = two_product(p, q);
         components.push(x);
         components.push(y);
     }
-    for &(p, q) in &[
-        (aycy_hi, bxcx_hi),
-        (aycy_hi, bxcx_lo),
-        (aycy_lo, bxcx_hi),
-        (aycy_lo, bxcx_lo),
-    ] {
+    for &(p, q) in &[(aycy_hi, bxcx_hi), (aycy_hi, bxcx_lo), (aycy_lo, bxcx_hi), (aycy_lo, bxcx_lo)]
+    {
         let (x, y) = two_product(p, q);
         components.push(-x);
         components.push(-y);

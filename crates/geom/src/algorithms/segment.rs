@@ -65,7 +65,11 @@ pub fn segment_intersection(a: Coord, b: Coord, c: Coord, d: Coord) -> SegmentIn
     // Collect endpoint-on-segment incidences (covers T-junctions and
     // endpoint-to-endpoint touches).
     let mut touch: Option<Coord> = None;
-    let push = |p: Coord, touch: &mut Option<Coord>| if touch.is_none() { *touch = Some(p) };
+    let push = |p: Coord, touch: &mut Option<Coord>| {
+        if touch.is_none() {
+            *touch = Some(p)
+        }
+    };
     let all_collinear = o1 == Orientation::Collinear
         && o2 == Orientation::Collinear
         && o3 == Orientation::Collinear
@@ -240,12 +244,7 @@ mod tests {
         // Two segments that are *exactly* parallel but offset by one ulp
         // must not be reported as crossing.
         let eps = f64::EPSILON;
-        let r = segment_intersection(
-            c(0.0, 0.0),
-            c(1.0, 0.0),
-            c(0.0, eps),
-            c(1.0, eps),
-        );
+        let r = segment_intersection(c(0.0, 0.0), c(1.0, 0.0), c(0.0, eps), c(1.0, eps));
         assert_eq!(r, SegmentIntersection::None);
     }
 }

@@ -2,8 +2,7 @@
 
 use super::distance::point_segment_distance_sq;
 use crate::{
-    Coord, Geometry, GeometryCollection, LineString, MultiLineString, MultiPolygon, Polygon,
-    Result,
+    Coord, Geometry, GeometryCollection, LineString, MultiLineString, MultiPolygon, Polygon, Result,
 };
 
 /// Simplifies a geometry with the Douglas–Peucker algorithm at the given
@@ -49,8 +48,7 @@ fn simplify_line(l: &LineString, tol_sq: f64) -> LineString {
     keep[0] = true;
     keep[coords.len() - 1] = true;
     dp_mark(coords, 0, coords.len() - 1, tol_sq, &mut keep);
-    let kept: Vec<Coord> =
-        coords.iter().zip(&keep).filter(|(_, &k)| k).map(|(c, _)| *c).collect();
+    let kept: Vec<Coord> = coords.iter().zip(&keep).filter(|(_, &k)| k).map(|(c, _)| *c).collect();
     // Kept endpoints guarantee ≥2 coords and no consecutive duplicates
     // (subsequence of a duplicate-free sequence... except endpoints of a
     // closed line). Fall back to the original on the rare invalid case.
@@ -90,10 +88,7 @@ fn simplify_polygon(p: &Polygon, tol_sq: f64) -> Polygon {
         let s = simplify_line(&line, tol_sq);
         crate::polygon::Ring::new(s.coords().to_vec()).unwrap_or_else(|_| r.clone())
     };
-    Polygon::new(
-        simplify_ring(p.exterior()),
-        p.holes().iter().map(simplify_ring).collect(),
-    )
+    Polygon::new(simplify_ring(p.exterior()), p.holes().iter().map(simplify_ring).collect())
 }
 
 #[cfg(test)]
@@ -102,14 +97,9 @@ mod tests {
 
     #[test]
     fn removes_near_collinear_vertices() {
-        let l = LineString::from_xy(&[
-            (0.0, 0.0),
-            (1.0, 0.01),
-            (2.0, -0.01),
-            (3.0, 0.005),
-            (4.0, 0.0),
-        ])
-        .unwrap();
+        let l =
+            LineString::from_xy(&[(0.0, 0.0), (1.0, 0.01), (2.0, -0.01), (3.0, 0.005), (4.0, 0.0)])
+                .unwrap();
         match simplify(&l.into(), 0.1).unwrap() {
             Geometry::LineString(s) => {
                 assert_eq!(s.num_coords(), 2);

@@ -1,0 +1,178 @@
+//! Minimal byte-buffer codec traits over `Vec<u8>` and `&[u8]`.
+//!
+//! The workspace builds fully offline with zero external crates, so the
+//! handful of `bytes::{Buf, BufMut}` operations the codecs need are
+//! provided here as extension traits: [`PutBytes`] for appending to a
+//! `Vec<u8>` and [`TakeBytes`] for consuming from the front of a
+//! `&[u8]` cursor (`data: &mut &[u8]`, as in the `bytes` crate).
+//!
+//! Readers panic on underflow, exactly like `bytes::Buf`; callers are
+//! expected to check [`TakeBytes::remaining`] first, which is what every
+//! decoder in the workspace already does.
+
+/// Append-side codec operations on a growable byte buffer.
+pub trait PutBytes {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16);
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32);
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
+    /// Appends a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64);
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64);
+    /// Appends a big-endian `f64`.
+    fn put_f64(&mut self, v: f64);
+    /// Appends raw bytes.
+    fn put_slice(&mut self, v: &[u8]);
+}
+
+impl PutBytes for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+    fn put_u16_le(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_i64_le(&mut self, v: i64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_f64_le(&mut self, v: f64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_f64(&mut self, v: f64) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_slice(&mut self, v: &[u8]) {
+        self.extend_from_slice(v);
+    }
+}
+
+/// Consume-side codec operations on a byte-slice cursor.
+///
+/// Implemented for `&[u8]`, so a `data: &mut &[u8]` cursor advances past
+/// everything it reads.
+pub trait TakeBytes {
+    /// Bytes left in the cursor.
+    fn remaining(&self) -> usize;
+    /// Skips `n` bytes. Panics if fewer remain.
+    fn advance(&mut self, n: usize);
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16;
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32;
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+    /// Reads a little-endian `i64`.
+    fn get_i64_le(&mut self) -> i64;
+    /// Reads a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64;
+    /// Reads a big-endian `f64`.
+    fn get_f64(&mut self) -> f64;
+}
+
+macro_rules! take_fixed {
+    ($self:ident, $ty:ty, $conv:ident) => {{
+        const N: usize = std::mem::size_of::<$ty>();
+        let (head, tail) = $self.split_at(N);
+        let v = <$ty>::$conv(head.try_into().expect("split_at returned N bytes"));
+        *$self = tail;
+        v
+    }};
+}
+
+impl TakeBytes for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+    fn get_u8(&mut self) -> u8 {
+        let v = self[0];
+        *self = &self[1..];
+        v
+    }
+    fn get_u16_le(&mut self) -> u16 {
+        take_fixed!(self, u16, from_le_bytes)
+    }
+    fn get_u32_le(&mut self) -> u32 {
+        take_fixed!(self, u32, from_le_bytes)
+    }
+    fn get_u32(&mut self) -> u32 {
+        take_fixed!(self, u32, from_be_bytes)
+    }
+    fn get_u64_le(&mut self) -> u64 {
+        take_fixed!(self, u64, from_le_bytes)
+    }
+    fn get_i64_le(&mut self) -> i64 {
+        take_fixed!(self, i64, from_le_bytes)
+    }
+    fn get_f64_le(&mut self) -> f64 {
+        take_fixed!(self, f64, from_le_bytes)
+    }
+    fn get_f64(&mut self) -> f64 {
+        take_fixed!(self, f64, from_be_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut buf = Vec::new();
+        buf.put_u8(7);
+        buf.put_u16_le(300);
+        buf.put_u32_le(70_000);
+        buf.put_u32(70_000);
+        buf.put_u64_le(1 << 40);
+        buf.put_i64_le(-12);
+        buf.put_f64_le(2.5);
+        buf.put_f64(-2.5);
+        buf.put_slice(b"ab");
+
+        let mut data: &[u8] = &buf;
+        assert_eq!(data.remaining(), buf.len());
+        assert_eq!(data.get_u8(), 7);
+        assert_eq!(data.get_u16_le(), 300);
+        assert_eq!(data.get_u32_le(), 70_000);
+        assert_eq!(data.get_u32(), 70_000);
+        assert_eq!(data.get_u64_le(), 1 << 40);
+        assert_eq!(data.get_i64_le(), -12);
+        assert_eq!(data.get_f64_le(), 2.5);
+        assert_eq!(data.get_f64(), -2.5);
+        assert_eq!(data, b"ab");
+        data.advance(2);
+        assert_eq!(data.remaining(), 0);
+    }
+
+    #[test]
+    fn little_and_big_endian_differ() {
+        let mut le = Vec::new();
+        le.put_u32_le(1);
+        let mut be = Vec::new();
+        be.put_u32(1);
+        assert_eq!(le, [1, 0, 0, 0]);
+        assert_eq!(be, [0, 0, 0, 1]);
+    }
+}

@@ -31,12 +31,7 @@ impl Envelope {
     /// Creates an envelope from bounds, normalizing the order of each pair.
     #[inline]
     pub fn new(x1: f64, y1: f64, x2: f64, y2: f64) -> Envelope {
-        Envelope {
-            min_x: x1.min(x2),
-            min_y: y1.min(y2),
-            max_x: x1.max(x2),
-            max_y: y1.max(y2),
-        }
+        Envelope { min_x: x1.min(x2), min_y: y1.min(y2), max_x: x1.max(x2), max_y: y1.max(y2) }
     }
 
     /// Creates a degenerate envelope covering a single coordinate.

@@ -265,11 +265,8 @@ fn boundary_of_lines(lines: &[LineString]) -> Geometry {
             bump(e);
         }
     }
-    let pts: Vec<Point> = counts
-        .into_iter()
-        .filter(|&(_, n)| n % 2 == 1)
-        .map(|(c, _)| Point(Some(c)))
-        .collect();
+    let pts: Vec<Point> =
+        counts.into_iter().filter(|&(_, n)| n % 2 == 1).map(|(c, _)| Point(Some(c))).collect();
     Geometry::MultiPoint(MultiPoint(pts))
 }
 
@@ -358,8 +355,7 @@ mod tests {
 
     #[test]
     fn boundary_of_closed_line_is_empty() {
-        let ring =
-            LineString::from_xy(&[(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 0.0)]).unwrap();
+        let ring = LineString::from_xy(&[(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 0.0)]).unwrap();
         match Geometry::from(ring).boundary() {
             Geometry::MultiPoint(mp) => assert!(mp.0.is_empty()),
             other => panic!("expected multipoint, got {other:?}"),

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod algorithms;
+pub mod codec;
 mod coord;
 mod envelope;
 mod error;

@@ -132,10 +132,7 @@ impl Polygon {
     /// winding of each ring.
     pub fn new(exterior: Ring, holes: Vec<Ring>) -> Polygon {
         let exterior = if exterior.is_ccw() { exterior } else { exterior.reversed() };
-        let holes = holes
-            .into_iter()
-            .map(|h| if h.is_ccw() { h.reversed() } else { h })
-            .collect();
+        let holes = holes.into_iter().map(|h| if h.is_ccw() { h.reversed() } else { h }).collect();
         Polygon { exterior, holes }
     }
 

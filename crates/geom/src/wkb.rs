@@ -5,18 +5,18 @@
 //! Jackpine originally benchmarked. `POINT EMPTY` is encoded as a point
 //! with NaN coordinates, the de-facto convention.
 
+use crate::codec::{PutBytes, TakeBytes};
 use crate::polygon::Ring;
 use crate::{
     Coord, GeomError, Geometry, GeometryCollection, LineString, MultiLineString, MultiPoint,
     MultiPolygon, Point, Polygon, Result,
 };
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// Encodes a geometry as little-endian WKB.
-pub fn encode(g: &Geometry) -> Bytes {
-    let mut buf = BytesMut::with_capacity(estimate_size(g));
+pub fn encode(g: &Geometry) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(estimate_size(g));
     encode_into(g, &mut buf);
-    buf.freeze()
+    buf
 }
 
 /// Decodes a WKB byte string (either endianness).
@@ -36,7 +36,7 @@ fn estimate_size(g: &Geometry) -> usize {
 // Encoding (always little-endian)
 // ---------------------------------------------------------------------------
 
-fn encode_into(g: &Geometry, buf: &mut BytesMut) {
+fn encode_into(g: &Geometry, buf: &mut Vec<u8>) {
     buf.put_u8(1); // little-endian
     buf.put_u32_le(g.geometry_type().wkb_code());
     match g {
@@ -76,19 +76,19 @@ fn encode_into(g: &Geometry, buf: &mut BytesMut) {
     }
 }
 
-fn put_coord(c: Coord, buf: &mut BytesMut) {
+fn put_coord(c: Coord, buf: &mut Vec<u8>) {
     buf.put_f64_le(c.x);
     buf.put_f64_le(c.y);
 }
 
-fn put_coord_seq(coords: &[Coord], buf: &mut BytesMut) {
+fn put_coord_seq(coords: &[Coord], buf: &mut Vec<u8>) {
     buf.put_u32_le(coords.len() as u32);
     for &c in coords {
         put_coord(c, buf);
     }
 }
 
-fn put_polygon_body(p: &Polygon, buf: &mut BytesMut) {
+fn put_polygon_body(p: &Polygon, buf: &mut Vec<u8>) {
     buf.put_u32_le(1 + p.holes().len() as u32);
     put_coord_seq(p.exterior().coords(), buf);
     for h in p.holes() {
@@ -272,7 +272,7 @@ mod tests {
     #[test]
     fn big_endian_decoding() {
         // Hand-build a big-endian POINT (1 2).
-        let mut buf = BytesMut::new();
+        let mut buf = Vec::new();
         buf.put_u8(0);
         buf.put_u32(1);
         buf.put_f64(1.0);
@@ -291,14 +291,14 @@ mod tests {
         assert!(decode(&[]).is_err());
         assert!(decode(&[2, 0, 0, 0, 1]).is_err()); // bad byte-order mark
         assert!(decode(&[1, 9, 0, 0, 0]).is_err()); // unknown type code
-        // Truncated coordinate payload.
-        let mut buf = BytesMut::new();
+                                                    // Truncated coordinate payload.
+        let mut buf = Vec::new();
         buf.put_u8(1);
         buf.put_u32_le(1);
         buf.put_f64_le(1.0);
         assert!(decode(&buf).is_err());
         // Hostile element count.
-        let mut buf = BytesMut::new();
+        let mut buf = Vec::new();
         buf.put_u8(1);
         buf.put_u32_le(2); // linestring
         buf.put_u32_le(u32::MAX);
@@ -308,7 +308,7 @@ mod tests {
     #[test]
     fn trailing_bytes_rejected() {
         let g = wkt::parse("POINT (1 2)").unwrap();
-        let mut bytes = encode(&g).to_vec();
+        let mut bytes = encode(&g);
         bytes.push(0);
         assert!(decode(&bytes).is_err());
     }

@@ -303,9 +303,8 @@ impl<'a> Parser<'a> {
             }
             "POLYGON" => {
                 if self.try_keyword("EMPTY") {
-                    return Err(self.err(
-                        "POLYGON EMPTY is not representable; use GEOMETRYCOLLECTION EMPTY",
-                    ));
+                    return Err(self
+                        .err("POLYGON EMPTY is not representable; use GEOMETRYCOLLECTION EMPTY"));
                 }
                 Ok(Geometry::Polygon(self.polygon_body()?))
             }
@@ -428,9 +427,7 @@ mod tests {
             other => panic!("expected multipoint, got {other:?}"),
         }
         roundtrip("MULTILINESTRING ((0 0, 1 1), (2 2, 3 3))");
-        roundtrip(
-            "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1, 0 0)), ((5 5, 6 5, 6 6, 5 6, 5 5)))",
-        );
+        roundtrip("MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1, 0 0)), ((5 5, 6 5, 6 6, 5 6, 5 5)))");
         roundtrip("GEOMETRYCOLLECTION (POINT (1 2), LINESTRING (0 0, 1 1))");
         roundtrip("GEOMETRYCOLLECTION EMPTY");
         roundtrip("MULTIPOLYGON EMPTY");
@@ -461,9 +458,7 @@ mod tests {
 
     #[test]
     fn nested_collection() {
-        roundtrip(
-            "GEOMETRYCOLLECTION (GEOMETRYCOLLECTION (POINT (1 1)), POINT (2 2))",
-        );
+        roundtrip("GEOMETRYCOLLECTION (GEOMETRYCOLLECTION (POINT (1 1)), POINT (2 2))");
     }
 
     #[test]

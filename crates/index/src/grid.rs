@@ -301,11 +301,8 @@ mod tests {
         ] {
             let mut got = g.window(&window);
             got.sort_unstable();
-            let mut want: Vec<usize> = items
-                .iter()
-                .filter(|(e, _)| window.intersects(e))
-                .map(|(_, v)| *v)
-                .collect();
+            let mut want: Vec<usize> =
+                items.iter().filter(|(e, _)| window.intersects(e)).map(|(_, v)| *v).collect();
             want.sort_unstable();
             assert_eq!(got, want, "window {window:?}");
         }
@@ -334,8 +331,7 @@ mod tests {
         let q = Coord::new(473.0, 519.0);
         let got = g.nearest(q, 8);
         assert_eq!(got.len(), 8);
-        let mut dists: Vec<f64> =
-            items.iter().map(|(e, _)| e.distance_to_coord(q)).collect();
+        let mut dists: Vec<f64> = items.iter().map(|(e, _)| e.distance_to_coord(q)).collect();
         dists.sort_by(f64::total_cmp);
         for (i, (d, _)) in got.iter().enumerate() {
             assert!((d - dists[i]).abs() < 1e-9, "k={i}: got {d}, want {}", dists[i]);
@@ -347,8 +343,7 @@ mod tests {
         let (g, items) = build(300);
         let q = Coord::new(0.0, 0.0);
         let got = g.nearest(q, 3);
-        let mut dists: Vec<f64> =
-            items.iter().map(|(e, _)| e.distance_to_coord(q)).collect();
+        let mut dists: Vec<f64> = items.iter().map(|(e, _)| e.distance_to_coord(q)).collect();
         dists.sort_by(f64::total_cmp);
         assert!((got[0].0 - dists[0]).abs() < 1e-9);
         assert!((got[2].0 - dists[2]).abs() < 1e-9);

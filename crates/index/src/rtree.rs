@@ -208,7 +208,12 @@ impl<T: Clone> RTree<T> {
     }
 
     /// Resolves overflow at the end of `path`, propagating splits upward.
-    fn overflow_chain(&mut self, mut path: Vec<usize>, mut level: usize, reinserted: &mut Vec<bool>) {
+    fn overflow_chain(
+        &mut self,
+        mut path: Vec<usize>,
+        mut level: usize,
+        reinserted: &mut Vec<bool>,
+    ) {
         loop {
             let node_id = *path.last().expect("path never empty");
             if self.nodes[node_id].len() <= self.config.max_entries {
@@ -301,13 +306,7 @@ impl<T: Clone> RTree<T> {
             return RTree::new(config);
         }
         let cap = config.max_entries;
-        let mut tree = RTree {
-            nodes: Vec::new(),
-            root: 0,
-            height: 0,
-            len: items.len(),
-            config,
-        };
+        let mut tree = RTree { nodes: Vec::new(), root: 0, height: 0, len: items.len(), config };
 
         // Leaf level: sort by x, tile into vertical slices, sort each slice
         // by y, pack runs of `cap`.
@@ -335,6 +334,149 @@ impl<T: Clone> RTree<T> {
         }
 
         // Build internal levels the same way until one node remains.
+        let mut height = 0;
+        while level_ids.len() > 1 {
+            height += 1;
+            let mut upper: Vec<(Envelope, usize)> =
+                level_ids.iter().map(|&id| (tree.nodes[id].envelope(), id)).collect();
+            upper.sort_by(|a, b| center_x(&a.0).total_cmp(&center_x(&b.0)));
+            let count = upper.len().div_ceil(cap);
+            let slices = (count as f64).sqrt().ceil() as usize;
+            let per_slice = upper.len().div_ceil(slices);
+            let mut next_ids: Vec<usize> = Vec::new();
+            let mut i = 0;
+            while i < upper.len() {
+                let end = (i + per_slice).min(upper.len());
+                let slice = &mut upper[i..end];
+                slice.sort_by(|a, b| center_y(&a.0).total_cmp(&center_y(&b.0)));
+                let mut j = 0;
+                while j < slice.len() {
+                    let chunk_end = (j + cap).min(slice.len());
+                    next_ids.push(tree.nodes.len());
+                    tree.nodes.push(Node::Internal { entries: slice[j..chunk_end].to_vec() });
+                    j = chunk_end;
+                }
+                i = end;
+            }
+            level_ids = next_ids;
+        }
+        tree.root = level_ids[0];
+        tree.height = height;
+        tree
+    }
+
+    /// [`RTree::bulk_load`] with the sort and leaf-packing phases spread
+    /// over `workers` scoped threads.
+    ///
+    /// Produces a tree with exactly the same structure as the serial STR
+    /// path: the x-sort is a stable chunked merge sort and slices are
+    /// packed in slice order, so node layout is independent of worker
+    /// count. `workers <= 1` (or a small input) falls back to the serial
+    /// path directly.
+    pub fn bulk_load_parallel(
+        config: RTreeConfig,
+        items: Vec<(Envelope, T)>,
+        workers: usize,
+    ) -> RTree<T>
+    where
+        T: Send,
+    {
+        /// Below this many items the spawn overhead beats the speedup.
+        const PARALLEL_CUTOFF: usize = 8 * 1024;
+
+        let n = items.len();
+        let workers = workers.min(n / (PARALLEL_CUTOFF / 2).max(1)).max(1);
+        if workers <= 1 || n < PARALLEL_CUTOFF {
+            return RTree::bulk_load(config, items);
+        }
+        let cap = config.max_entries;
+        let mut tree = RTree { nodes: Vec::new(), root: 0, height: 0, len: n, config };
+
+        // Phase 1 — stable parallel sort by center x: sort contiguous
+        // chunks concurrently, then k-way merge preferring the earliest
+        // chunk on ties (the merge of a stable merge sort).
+        let chunk_len = n.div_ceil(workers);
+        let mut parts: Vec<Vec<(Envelope, T)>> = Vec::with_capacity(workers);
+        let mut rest = items;
+        while rest.len() > chunk_len {
+            let tail = rest.split_off(chunk_len);
+            parts.push(rest);
+            rest = tail;
+        }
+        parts.push(rest);
+        std::thread::scope(|scope| {
+            for part in &mut parts {
+                scope.spawn(|| part.sort_by(|a, b| center_x(&a.0).total_cmp(&center_x(&b.0))));
+            }
+        });
+        let mut heads: Vec<_> = parts.into_iter().map(|p| p.into_iter().peekable()).collect();
+        let mut items: Vec<(Envelope, T)> = Vec::with_capacity(n);
+        loop {
+            let mut best: Option<(usize, f64)> = None;
+            for (p, head) in heads.iter_mut().enumerate() {
+                if let Some((env, _)) = head.peek() {
+                    let key = center_x(env);
+                    // total_cmp matches the chunk sorts' comparator, so
+                    // NaN centers merge exactly where serial sort puts
+                    // them; strict Less keeps the earliest chunk on ties.
+                    let better = match best {
+                        None => true,
+                        Some((_, bk)) => key.total_cmp(&bk) == std::cmp::Ordering::Less,
+                    };
+                    if better {
+                        best = Some((p, key));
+                    }
+                }
+            }
+            match best {
+                Some((p, _)) => items.push(heads[p].next().expect("peeked non-empty")),
+                None => break,
+            }
+        }
+
+        // Phase 2 — tile into vertical slices and pack each slice's
+        // leaves concurrently; slices are independent and their leaves
+        // are appended in slice order afterwards, keeping ids identical
+        // to the serial layout.
+        let leaf_count = n.div_ceil(cap);
+        let slice_count = (leaf_count as f64).sqrt().ceil() as usize;
+        let slice_size = n.div_ceil(slice_count);
+        let mut assigned: Vec<Vec<(usize, &mut [(Envelope, T)])>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for (i, slice) in items.chunks_mut(slice_size).enumerate() {
+            assigned[i % workers].push((i, slice));
+        }
+        let mut packed: Vec<(usize, Vec<Node<T>>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = assigned
+                .into_iter()
+                .map(|batch| {
+                    scope.spawn(move || {
+                        let mut out: Vec<(usize, Vec<Node<T>>)> = Vec::new();
+                        for (idx, slice) in batch {
+                            slice.sort_by(|a, b| center_y(&a.0).total_cmp(&center_y(&b.0)));
+                            let leaves: Vec<Node<T>> = slice
+                                .chunks(cap)
+                                .map(|run| Node::Leaf { entries: run.to_vec() })
+                                .collect();
+                            out.push((idx, leaves));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("packer panicked")).collect()
+        });
+        packed.sort_by_key(|(idx, _)| *idx);
+        let mut level_ids: Vec<usize> = Vec::new();
+        for (_, leaves) in packed {
+            for leaf in leaves {
+                level_ids.push(tree.nodes.len());
+                tree.nodes.push(leaf);
+            }
+        }
+
+        // Phase 3 — internal levels hold ~1/cap of the entries per level;
+        // building them serially is cheap and identical to bulk_load.
         let mut height = 0;
         while level_ids.len() > 1 {
             height += 1;
@@ -408,14 +550,12 @@ impl<T: Clone> RTree<T> {
             }
             self.refresh_upward(&path);
             let orphans: Vec<(Envelope, Entry<T>)> = match &mut self.nodes[node_id] {
-                Node::Leaf { entries } => std::mem::take(entries)
-                    .into_iter()
-                    .map(|(e, v)| (e, Entry::Leaf(v)))
-                    .collect(),
-                Node::Internal { entries } => std::mem::take(entries)
-                    .into_iter()
-                    .map(|(e, c)| (e, Entry::Node(c)))
-                    .collect(),
+                Node::Leaf { entries } => {
+                    std::mem::take(entries).into_iter().map(|(e, v)| (e, Entry::Leaf(v))).collect()
+                }
+                Node::Internal { entries } => {
+                    std::mem::take(entries).into_iter().map(|(e, c)| (e, Entry::Node(c))).collect()
+                }
             };
             for (env, entry) in orphans {
                 let mut reinserted = vec![false; self.height + 1];
@@ -444,10 +584,9 @@ impl<T: Clone> RTree<T> {
         pred: &impl Fn(&T) -> bool,
     ) -> Option<Vec<usize>> {
         match &self.nodes[node_id] {
-            Node::Leaf { entries } => entries
-                .iter()
-                .any(|(e, v)| e == env && pred(v))
-                .then(|| vec![node_id]),
+            Node::Leaf { entries } => {
+                entries.iter().any(|(e, v)| e == env && pred(v)).then(|| vec![node_id])
+            }
             Node::Internal { entries } => {
                 for (e, child) in entries {
                     if e.contains_envelope(env) {
@@ -478,12 +617,7 @@ impl<T: Clone> RTree<T> {
         out
     }
 
-    fn query_rec(
-        &self,
-        node_id: usize,
-        window: &Envelope,
-        visit: &mut impl FnMut(&Envelope, &T),
-    ) {
+    fn query_rec(&self, node_id: usize, window: &Envelope, visit: &mut impl FnMut(&Envelope, &T)) {
         match &self.nodes[node_id] {
             Node::Leaf { entries } => {
                 for (e, v) in entries {
@@ -652,7 +786,11 @@ fn rstar_split_point<T>(
     best_split
 }
 
-fn sort_axis<T>(entries: &mut [(Envelope, T)], axis: usize, env_of: &impl Fn(&(Envelope, T)) -> Envelope) {
+fn sort_axis<T>(
+    entries: &mut [(Envelope, T)],
+    axis: usize,
+    env_of: &impl Fn(&(Envelope, T)) -> Envelope,
+) {
     entries.sort_by(|a, b| {
         let (ea, eb) = (env_of(a), env_of(b));
         if axis == 0 {
@@ -717,11 +855,8 @@ mod tests {
         let mut got = t.window(&window);
         got.sort_unstable();
         // Compare against brute force.
-        let mut want: Vec<usize> = cloud(500)
-            .into_iter()
-            .filter(|(e, _)| window.intersects(e))
-            .map(|(_, v)| v)
-            .collect();
+        let mut want: Vec<usize> =
+            cloud(500).into_iter().filter(|(e, _)| window.intersects(e)).map(|(_, v)| v).collect();
         want.sort_unstable();
         assert_eq!(got, want);
         assert!(!want.is_empty());
@@ -740,14 +875,41 @@ mod tests {
         ] {
             let mut got = t.window(&window);
             got.sort_unstable();
-            let mut want: Vec<usize> = items
-                .iter()
-                .filter(|(e, _)| window.intersects(e))
-                .map(|(_, v)| *v)
-                .collect();
+            let mut want: Vec<usize> =
+                items.iter().filter(|(e, _)| window.intersects(e)).map(|(_, v)| *v).collect();
             want.sort_unstable();
             assert_eq!(got, want, "window {window:?}");
         }
+    }
+
+    #[test]
+    fn parallel_bulk_load_matches_serial_structure() {
+        // Above the parallel cutoff, every worker count must reproduce
+        // the serial tree node-for-node (same ids, same entries).
+        let items = cloud(20_000);
+        let serial = RTree::bulk_load(RTreeConfig::default(), items.clone());
+        for workers in [1, 2, 3, 4, 7] {
+            let par = RTree::bulk_load_parallel(RTreeConfig::default(), items.clone(), workers);
+            assert_eq!(par.len(), serial.len(), "workers={workers}");
+            assert_eq!(par.root, serial.root, "workers={workers}");
+            assert_eq!(par.height, serial.height, "workers={workers}");
+            assert_eq!(par.nodes.len(), serial.nodes.len(), "workers={workers}");
+            for (i, (a, b)) in par.nodes.iter().zip(&serial.nodes).enumerate() {
+                match (a, b) {
+                    (Node::Leaf { entries: ea }, Node::Leaf { entries: eb }) => {
+                        assert_eq!(ea, eb, "leaf {i} differs at workers={workers}")
+                    }
+                    (Node::Internal { entries: ea }, Node::Internal { entries: eb }) => {
+                        assert_eq!(ea, eb, "internal {i} differs at workers={workers}")
+                    }
+                    _ => panic!("node {i} kind differs at workers={workers}"),
+                }
+            }
+        }
+        // Tiny inputs take the serial path but must still answer queries.
+        let small = cloud(100);
+        let t = RTree::bulk_load_parallel(RTreeConfig::default(), small.clone(), 8);
+        assert_eq!(t.len(), 100);
     }
 
     #[test]
@@ -757,8 +919,7 @@ mod tests {
         let q = Coord::new(500.0, 500.0);
         let got = t.nearest(q, 10);
         assert_eq!(got.len(), 10);
-        let mut dists: Vec<f64> =
-            items.iter().map(|(e, _)| e.distance_to_coord(q)).collect();
+        let mut dists: Vec<f64> = items.iter().map(|(e, _)| e.distance_to_coord(q)).collect();
         dists.sort_by(f64::total_cmp);
         for (i, (d, _)) in got.iter().enumerate() {
             assert!((d - dists[i]).abs() < 1e-9, "k={i}: {d} vs {}", dists[i]);

@@ -197,11 +197,7 @@ mod tests {
         let a = Expr::Column { table: None, name: "a".into() };
         let b = Expr::Column { table: None, name: "b".into() };
         let c = Expr::Column { table: None, name: "c".into() };
-        let e = Expr::binary(
-            BinOp::And,
-            Expr::binary(BinOp::And, a.clone(), b.clone()),
-            c.clone(),
-        );
+        let e = Expr::binary(BinOp::And, Expr::binary(BinOp::And, a.clone(), b.clone()), c.clone());
         let mut terms = Vec::new();
         e.split_conjunction(&mut terms);
         assert_eq!(terms, vec![a, b, c]);

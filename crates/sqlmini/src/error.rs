@@ -78,8 +78,6 @@ mod tests {
     fn displays() {
         let e = SqlError::Parse { position: 12, message: "expected FROM".into() };
         assert!(e.to_string().contains("byte 12"));
-        assert!(SqlError::UnsupportedFeature("ST_Buffer".into())
-            .to_string()
-            .contains("ST_Buffer"));
+        assert!(SqlError::UnsupportedFeature("ST_Buffer".into()).to_string().contains("ST_Buffer"));
     }
 }

@@ -1,4 +1,18 @@
 //! Plan execution: expression evaluation and the physical operators.
+//!
+//! The executor is **morsel-driven**: operators over large inputs split
+//! their work into fixed-size morsels ([`MORSEL_SIZE`] rows) dispatched
+//! to a scoped worker pool (`std::thread::scope`). Worker count comes
+//! from [`ExecOptions`]; `workers = 1` runs everything on the calling
+//! thread. Results are collected per-morsel and reassembled in morsel
+//! order, so **output is bit-identical for every worker count** — the
+//! equivalence tests rely on that.
+//!
+//! Rows flow between operators as [`LazyRow`]s — late materialization:
+//! scans pass `Arc`-counted handles to heap rows instead of deep-cloning
+//! values at every operator boundary, joins concatenate handle lists,
+//! and only `Project`/`Aggregate` outputs (and the final result set)
+//! materialize actual tuples.
 
 use crate::ast::BinOp;
 use crate::functions::{self, FunctionMode};
@@ -6,8 +20,18 @@ use crate::plan::{AggExpr, AggOutput, BoundExpr, PlanNode, PlannedSelect};
 use crate::provider::TableProvider;
 use crate::{Result, SqlError};
 use jackpine_geom::Envelope;
-use jackpine_storage::Value;
+use jackpine_storage::{Row, Value};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Rows per morsel. Inputs at or below this size always run serially,
+/// so small queries pay no thread overhead.
+pub const MORSEL_SIZE: usize = 1024;
+
+/// Upper bound on speculative `Vec` capacity hints (rows). Join outputs
+/// can legitimately exceed this; it only caps the *pre-allocation*, so a
+/// hostile or mis-estimated cross product cannot OOM up front.
+const MAX_CAPACITY_HINT: usize = 1 << 20;
 
 /// The materialized result of a query.
 #[derive(Clone, Debug, PartialEq)]
@@ -38,44 +62,229 @@ impl ResultSet {
     }
 }
 
-/// Executes a planned `SELECT`.
+/// Executor knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecOptions {
+    /// Worker threads for morsel dispatch; `1` = serial execution.
+    pub workers: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { workers: 1 }
+    }
+}
+
+/// Executes a planned `SELECT` serially (one worker).
 pub fn execute(plan: &PlannedSelect) -> Result<ResultSet> {
-    let rows = run(&plan.root, plan.mode)?;
+    execute_with(plan, &ExecOptions::default())
+}
+
+/// Executes a planned `SELECT` with explicit executor options.
+pub fn execute_with(plan: &PlannedSelect, opts: &ExecOptions) -> Result<ResultSet> {
+    let ctx = ExecCtx { mode: plan.mode, workers: opts.workers.max(1) };
+    let lazy = run(&plan.root, &ctx)?;
+    // Final materialization: the only place surviving rows are deep-copied.
+    let rows =
+        ctx.parallel_morsels(&lazy, |chunk| Ok(chunk.iter().map(LazyRow::materialize).collect()))?;
     Ok(ResultSet { columns: plan.columns.clone(), rows })
 }
 
-fn run(node: &PlanNode, mode: FunctionMode) -> Result<Vec<Vec<Value>>> {
+// ---------------------------------------------------------------------------
+// Late-materialized rows
+// ---------------------------------------------------------------------------
+
+/// A row flowing between operators without materializing its values.
+#[derive(Clone, Debug)]
+pub enum LazyRow {
+    /// Concatenation of zero or more base-table row handles (scans and
+    /// joins). Column offsets run across the parts in order.
+    Handles(Vec<Arc<Row>>),
+    /// A computed tuple (`Project`/`Aggregate` output).
+    Owned(Vec<Value>),
+}
+
+impl LazyRow {
+    /// The zero-column row (`SELECT` without `FROM`).
+    pub fn empty() -> LazyRow {
+        LazyRow::Handles(Vec::new())
+    }
+
+    /// A single-table row handle.
+    fn one(row: Arc<Row>) -> LazyRow {
+        LazyRow::Handles(vec![row])
+    }
+
+    /// The row formed by `self`'s columns followed by `other`'s.
+    fn join(&self, other: &LazyRow) -> LazyRow {
+        match (self, other) {
+            (LazyRow::Handles(a), LazyRow::Handles(b)) => {
+                let mut parts = Vec::with_capacity(a.len() + b.len());
+                parts.extend(a.iter().cloned());
+                parts.extend(b.iter().cloned());
+                LazyRow::Handles(parts)
+            }
+            _ => {
+                let mut vals = self.materialize();
+                vals.extend(self_extend(other));
+                LazyRow::Owned(vals)
+            }
+        }
+    }
+
+    /// The row extended by one more table-row handle (index join probes).
+    fn join_handle(&self, handle: Arc<Row>) -> LazyRow {
+        match self {
+            LazyRow::Handles(a) => {
+                let mut parts = Vec::with_capacity(a.len() + 1);
+                parts.extend(a.iter().cloned());
+                parts.push(handle);
+                LazyRow::Handles(parts)
+            }
+            LazyRow::Owned(vals) => {
+                let mut vals = vals.clone();
+                vals.extend(handle.iter().cloned());
+                LazyRow::Owned(vals)
+            }
+        }
+    }
+
+    /// Deep-copies the row into a flat tuple.
+    fn materialize(&self) -> Vec<Value> {
+        match self {
+            LazyRow::Handles(parts) => {
+                let n = parts.iter().map(|p| p.len()).sum();
+                let mut out = Vec::with_capacity(n);
+                for part in parts {
+                    out.extend(part.iter().cloned());
+                }
+                out
+            }
+            LazyRow::Owned(vals) => vals.clone(),
+        }
+    }
+}
+
+fn self_extend(row: &LazyRow) -> Vec<Value> {
+    row.materialize()
+}
+
+/// Column access shared by materialized slices and [`LazyRow`]s, so one
+/// expression evaluator serves both.
+pub trait TupleView {
+    /// The value at flat column offset `i`, if in range.
+    fn col(&self, i: usize) -> Option<&Value>;
+}
+
+impl TupleView for LazyRow {
+    fn col(&self, i: usize) -> Option<&Value> {
+        match self {
+            LazyRow::Handles(parts) => {
+                let mut i = i;
+                for part in parts {
+                    if i < part.len() {
+                        return Some(&part[i]);
+                    }
+                    i -= part.len();
+                }
+                None
+            }
+            LazyRow::Owned(vals) => vals.get(i),
+        }
+    }
+}
+
+struct SliceView<'a>(&'a [Value]);
+
+impl TupleView for SliceView<'_> {
+    fn col(&self, i: usize) -> Option<&Value> {
+        self.0.get(i)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Morsel dispatch
+// ---------------------------------------------------------------------------
+
+struct ExecCtx {
+    mode: FunctionMode,
+    workers: usize,
+}
+
+impl ExecCtx {
+    /// Applies `f` to morsels of `items`, concatenating outputs in morsel
+    /// order. With one worker (or one morsel's worth of input) this is a
+    /// single direct call on the current thread; otherwise morsels are
+    /// claimed by scoped worker threads off a shared counter. Morsel
+    /// boundaries depend only on `MORSEL_SIZE`, and outputs are stitched
+    /// by morsel index, so results are identical for any worker count.
+    fn parallel_morsels<I, O>(
+        &self,
+        items: &[I],
+        f: impl Fn(&[I]) -> Result<Vec<O>> + Sync,
+    ) -> Result<Vec<O>>
+    where
+        I: Sync,
+        O: Send,
+    {
+        if self.workers <= 1 || items.len() <= MORSEL_SIZE {
+            return f(items);
+        }
+        let morsels: Vec<&[I]> = items.chunks(MORSEL_SIZE).collect();
+        let nworkers = self.workers.min(morsels.len());
+        let counter = AtomicUsize::new(0);
+        let mut results: Vec<(usize, Result<Vec<O>>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..nworkers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let idx = counter.fetch_add(1, Ordering::Relaxed);
+                            let Some(morsel) = morsels.get(idx) else {
+                                break;
+                            };
+                            local.push((idx, f(morsel)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("morsel worker panicked")).collect()
+        });
+        results.sort_by_key(|(idx, _)| *idx);
+        let mut out = Vec::with_capacity(items.len());
+        for (_, r) in results {
+            out.extend(r?);
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Operators
+// ---------------------------------------------------------------------------
+
+fn run(node: &PlanNode, ctx: &ExecCtx) -> Result<Vec<LazyRow>> {
+    let mode = ctx.mode;
     match node {
-        PlanNode::SingleRow => Ok(vec![Vec::new()]),
-        PlanNode::Scan { table } => scan_all(table),
+        PlanNode::SingleRow => Ok(vec![LazyRow::empty()]),
+        PlanNode::Scan { table } => fetch_rows(table, table.row_ids(), ctx),
         PlanNode::SpatialIndexScan { table, col, query, expand } => {
             let env = probe_envelope(query, expand, mode)?;
             match table.spatial_candidates(*col, &env) {
-                Some(ids) => {
-                    let mut out = Vec::with_capacity(ids.len());
-                    for id in ids {
-                        out.push(table.fetch(id)?.as_ref().clone());
-                    }
-                    Ok(out)
-                }
-                None => scan_all(table),
+                Some(ids) => fetch_rows(table, ids, ctx),
+                None => fetch_rows(table, table.row_ids(), ctx),
             }
         }
         PlanNode::OrderedIndexScan { table, col, key } => {
-            let key = eval(key, &[], mode)?;
+            let key = eval_const(key, mode)?;
             match table.ordered_candidates(*col, &key) {
-                Some(ids) => {
-                    let mut out = Vec::with_capacity(ids.len());
-                    for id in ids {
-                        out.push(table.fetch(id)?.as_ref().clone());
-                    }
-                    Ok(out)
-                }
-                None => scan_all(table),
+                Some(ids) => fetch_rows(table, ids, ctx),
+                None => fetch_rows(table, table.row_ids(), ctx),
             }
         }
         PlanNode::KnnScan { table, col, query, k } => {
-            let g = eval(query, &[], mode)?;
+            let g = eval_const(query, mode)?;
             let geom = g
                 .as_geom()
                 .ok_or_else(|| SqlError::Type("k-NN query expression must be a geometry".into()))?;
@@ -84,106 +293,110 @@ fn run(node: &PlanNode, mode: FunctionMode) -> Result<Vec<Vec<Value>>> {
                 .center()
                 .ok_or_else(|| SqlError::Type("k-NN query geometry is empty".into()))?;
             match table.nearest(*col, center, *k) {
-                Some(ids) => {
-                    let mut out = Vec::with_capacity(ids.len());
-                    for id in ids {
-                        out.push(table.fetch(id)?.as_ref().clone());
-                    }
-                    Ok(out)
-                }
-                None => scan_all(table),
+                Some(ids) => fetch_rows(table, ids, ctx),
+                None => fetch_rows(table, table.row_ids(), ctx),
             }
         }
         PlanNode::Filter { input, predicate } => {
-            let rows = run(input, mode)?;
-            let mut out = Vec::with_capacity(rows.len());
-            for row in rows {
-                if truthy(&eval(predicate, &row, mode)?) {
-                    out.push(row);
+            let rows = run(input, ctx)?;
+            ctx.parallel_morsels(&rows, |chunk| {
+                let mut out = Vec::with_capacity(chunk.len());
+                for row in chunk {
+                    if truthy(&eval_view(predicate, row, mode)?) {
+                        out.push(row.clone());
+                    }
                 }
-            }
-            Ok(out)
+                Ok(out)
+            })
         }
         PlanNode::NestedLoopJoin { left, right } => {
-            let l = run(left, mode)?;
-            let r = run(right, mode)?;
-            let mut out = Vec::with_capacity(l.len() * r.len().max(1));
-            for lr in &l {
-                for rr in &r {
-                    let mut row = lr.clone();
-                    row.extend(rr.iter().cloned());
-                    out.push(row);
+            let l = run(left, ctx)?;
+            let r = run(right, ctx)?;
+            ctx.parallel_morsels(&l, |chunk| {
+                // Capacity is a capped hint: the cross product itself is
+                // produced incrementally, never pre-allocated in full.
+                let hint = chunk.len().saturating_mul(r.len()).min(MAX_CAPACITY_HINT);
+                let mut out = Vec::with_capacity(hint);
+                for lr in chunk {
+                    for rr in &r {
+                        out.push(lr.join(rr));
+                    }
                 }
-            }
-            Ok(out)
+                Ok(out)
+            })
         }
         PlanNode::SpatialIndexJoin { left, right, right_col, probe, expand } => {
-            let l = run(left, mode)?;
+            let l = run(left, ctx)?;
             let expand_by = match expand {
-                Some(e) => eval(e, &[], mode)?
+                Some(e) => eval_const(e, mode)?
                     .as_f64()
                     .ok_or_else(|| SqlError::Type("DWithin distance must be numeric".into()))?,
                 None => 0.0,
             };
-            let mut out = Vec::new();
-            for lr in &l {
-                let g = eval(probe, lr, mode)?;
-                let Some(geom) = g.as_geom() else {
-                    continue; // NULL geometry joins nothing
-                };
-                let env = geom.envelope().expanded_by(expand_by);
-                let ids = match right.spatial_candidates(*right_col, &env) {
-                    Some(ids) => ids,
-                    // No index after all: degenerate to scanning the right
-                    // table for this probe.
-                    None => right.row_ids(),
-                };
-                for id in ids {
-                    let rr = right.fetch(id)?;
-                    let mut row = lr.clone();
-                    row.extend(rr.iter().cloned());
-                    out.push(row);
+            ctx.parallel_morsels(&l, |chunk| {
+                let mut out = Vec::new();
+                for lr in chunk {
+                    let g = eval_view(probe, lr, mode)?;
+                    let Some(geom) = g.as_geom() else {
+                        continue; // NULL geometry joins nothing
+                    };
+                    let env = geom.envelope().expanded_by(expand_by);
+                    let ids = match right.spatial_candidates(*right_col, &env) {
+                        Some(ids) => ids,
+                        // No index after all: degenerate to scanning the
+                        // right table for this probe.
+                        None => right.row_ids(),
+                    };
+                    for id in ids {
+                        out.push(lr.join_handle(right.fetch(id)?));
+                    }
                 }
-            }
-            Ok(out)
+                Ok(out)
+            })
         }
         PlanNode::Project { input, exprs } => {
-            let rows = run(input, mode)?;
-            let mut out = Vec::with_capacity(rows.len());
-            for row in rows {
-                let mut projected = Vec::with_capacity(exprs.len());
-                for (e, _) in exprs {
-                    projected.push(eval(e, &row, mode)?);
+            let rows = run(input, ctx)?;
+            ctx.parallel_morsels(&rows, |chunk| {
+                let mut out = Vec::with_capacity(chunk.len());
+                for row in chunk {
+                    let mut projected = Vec::with_capacity(exprs.len());
+                    for (e, _) in exprs {
+                        projected.push(eval_view(e, row, mode)?);
+                    }
+                    out.push(LazyRow::Owned(projected));
                 }
-                out.push(projected);
-            }
-            Ok(out)
+                Ok(out)
+            })
         }
         PlanNode::Aggregate { input, group_by, outputs } => {
-            let rows = run(input, mode)?;
+            let rows = run(input, ctx)?;
             if group_by.is_empty() {
                 let mut out_row = Vec::with_capacity(outputs.len());
                 for (o, _) in outputs {
                     match o {
-                        AggOutput::Agg(agg) => out_row.push(eval_aggregate(agg, &rows, mode)?),
+                        AggOutput::Agg(agg) => out_row.push(eval_aggregate(agg, &rows, ctx)?),
                         AggOutput::Group(_) => {
-                            return Err(SqlError::Type(
-                                "group column without GROUP BY".into(),
-                            ))
+                            return Err(SqlError::Type("group column without GROUP BY".into()))
                         }
                     }
                 }
-                return Ok(vec![out_row]);
+                return Ok(vec![LazyRow::Owned(out_row)]);
             }
-            // Sort rows by their grouping keys, then fold each run.
-            let mut keyed: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(rows.len());
-            for row in rows {
-                let mut key = Vec::with_capacity(group_by.len());
-                for g in group_by {
-                    key.push(eval(g, &row, mode)?);
+            // Compute grouping keys morsel-parallel, sort the keyed rows,
+            // then fold each run — aggregating directly over the
+            // `keyed[i..j]` slice (no per-group row copies).
+            let keys: Vec<Vec<Value>> = ctx.parallel_morsels(&rows, |chunk| {
+                let mut out = Vec::with_capacity(chunk.len());
+                for row in chunk {
+                    let mut key = Vec::with_capacity(group_by.len());
+                    for g in group_by {
+                        key.push(eval_view(g, row, mode)?);
+                    }
+                    out.push(key);
                 }
-                keyed.push((key, row));
-            }
+                Ok(out)
+            })?;
+            let mut keyed: Vec<(Vec<Value>, LazyRow)> = keys.into_iter().zip(rows).collect();
             keyed.sort_by(|(ka, _), (kb, _)| {
                 for (a, b) in ka.iter().zip(kb) {
                     let ord = compare_values(a, b);
@@ -193,7 +406,8 @@ fn run(node: &PlanNode, mode: FunctionMode) -> Result<Vec<Vec<Value>>> {
                 }
                 std::cmp::Ordering::Equal
             });
-            let mut out = Vec::new();
+            // Group boundaries, then aggregate the groups morsel-parallel.
+            let mut bounds: Vec<(usize, usize)> = Vec::new();
             let mut i = 0;
             while i < keyed.len() {
                 let mut j = i + 1;
@@ -206,33 +420,43 @@ fn run(node: &PlanNode, mode: FunctionMode) -> Result<Vec<Vec<Value>>> {
                 {
                     j += 1;
                 }
-                let group_rows: Vec<Vec<Value>> =
-                    keyed[i..j].iter().map(|(_, r)| r.clone()).collect();
-                let mut out_row = Vec::with_capacity(outputs.len());
-                for (o, _) in outputs {
-                    match o {
-                        AggOutput::Group(g) => out_row.push(keyed[i].0[*g].clone()),
-                        AggOutput::Agg(agg) => {
-                            out_row.push(eval_aggregate(agg, &group_rows, mode)?)
-                        }
-                    }
-                }
-                out.push(out_row);
+                bounds.push((i, j));
                 i = j;
             }
-            Ok(out)
+            let keyed = &keyed;
+            ctx.parallel_morsels(&bounds, |chunk| {
+                let mut out = Vec::with_capacity(chunk.len());
+                for &(i, j) in chunk {
+                    let group = &keyed[i..j];
+                    let mut out_row = Vec::with_capacity(outputs.len());
+                    for (o, _) in outputs {
+                        match o {
+                            AggOutput::Group(g) => out_row.push(keyed[i].0[*g].clone()),
+                            AggOutput::Agg(agg) => {
+                                out_row.push(eval_aggregate_slice(agg, group, mode)?)
+                            }
+                        }
+                    }
+                    out.push(LazyRow::Owned(out_row));
+                }
+                Ok(out)
+            })
         }
         PlanNode::Sort { input, keys } => {
-            let rows = run(input, mode)?;
-            // Precompute key tuples, then sort by them.
-            let mut keyed: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(rows.len());
-            for row in rows {
-                let mut kt = Vec::with_capacity(keys.len());
-                for (e, _) in keys {
-                    kt.push(eval(e, &row, mode)?);
+            let rows = run(input, ctx)?;
+            // Precompute key tuples morsel-parallel, then sort by them.
+            let key_tuples: Vec<Vec<Value>> = ctx.parallel_morsels(&rows, |chunk| {
+                let mut out = Vec::with_capacity(chunk.len());
+                for row in chunk {
+                    let mut kt = Vec::with_capacity(keys.len());
+                    for (e, _) in keys {
+                        kt.push(eval_view(e, row, mode)?);
+                    }
+                    out.push(kt);
                 }
-                keyed.push((kt, row));
-            }
+                Ok(out)
+            })?;
+            let mut keyed: Vec<(Vec<Value>, LazyRow)> = key_tuples.into_iter().zip(rows).collect();
             keyed.sort_by(|(ka, _), (kb, _)| {
                 for (i, (_, asc)) in keys.iter().enumerate() {
                     let ord = compare_values(&ka[i], &kb[i]);
@@ -246,20 +470,27 @@ fn run(node: &PlanNode, mode: FunctionMode) -> Result<Vec<Vec<Value>>> {
             Ok(keyed.into_iter().map(|(_, r)| r).collect())
         }
         PlanNode::Limit { input, n } => {
-            let mut rows = run(input, mode)?;
+            let mut rows = run(input, ctx)?;
             rows.truncate(*n);
             Ok(rows)
         }
     }
 }
 
-fn scan_all(table: &Arc<dyn TableProvider>) -> Result<Vec<Vec<Value>>> {
-    let ids = table.row_ids();
-    let mut out = Vec::with_capacity(ids.len());
-    for id in ids {
-        out.push(table.fetch(id)?.as_ref().clone());
-    }
-    Ok(out)
+/// Fetches `ids` from `table` as row handles, morsel-parallel, without
+/// copying row values (the handles share the heap's `Arc<Row>`s).
+fn fetch_rows(
+    table: &Arc<dyn TableProvider>,
+    ids: Vec<jackpine_storage::RowId>,
+    ctx: &ExecCtx,
+) -> Result<Vec<LazyRow>> {
+    ctx.parallel_morsels(&ids, |chunk| {
+        let mut out = Vec::with_capacity(chunk.len());
+        for id in chunk {
+            out.push(LazyRow::one(table.fetch(*id)?));
+        }
+        Ok(out)
+    })
 }
 
 fn probe_envelope(
@@ -267,13 +498,13 @@ fn probe_envelope(
     expand: &Option<BoundExpr>,
     mode: FunctionMode,
 ) -> Result<Envelope> {
-    let v = eval(query, &[], mode)?;
+    let v = eval_const(query, mode)?;
     let g = v
         .as_geom()
         .ok_or_else(|| SqlError::Type("spatial index probe must be a geometry".into()))?;
     let mut env = g.envelope();
     if let Some(e) = expand {
-        let d = eval(e, &[], mode)?
+        let d = eval_const(e, mode)?
             .as_f64()
             .ok_or_else(|| SqlError::Type("DWithin distance must be numeric".into()))?;
         env = env.expanded_by(d);
@@ -308,53 +539,64 @@ pub fn compare_values(a: &Value, b: &Value) -> std::cmp::Ordering {
     }
 }
 
-/// Evaluates a bound expression over a tuple.
+/// Evaluates a bound expression over a materialized tuple.
 pub fn eval(e: &BoundExpr, row: &[Value], mode: FunctionMode) -> Result<Value> {
+    eval_view(e, &SliceView(row), mode)
+}
+
+/// Evaluates a constant expression (no column references).
+fn eval_const(e: &BoundExpr, mode: FunctionMode) -> Result<Value> {
+    eval_view(e, &SliceView(&[]), mode)
+}
+
+/// Evaluates a bound expression over any tuple view (materialized slice
+/// or late-materialized [`LazyRow`]).
+pub fn eval_view(e: &BoundExpr, row: &dyn TupleView, mode: FunctionMode) -> Result<Value> {
     Ok(match e {
         BoundExpr::Literal(v) => v.clone(),
         BoundExpr::Column(i) => row
-            .get(*i)
+            .col(*i)
             .cloned()
             .ok_or_else(|| SqlError::Type(format!("column offset {i} out of range")))?,
         BoundExpr::Func { name, args } => {
             let mut vals = Vec::with_capacity(args.len());
             for a in args {
-                vals.push(eval(a, row, mode)?);
+                vals.push(eval_view(a, row, mode)?);
             }
             functions::call(mode, name, &vals)?
         }
         BoundExpr::Binary { op, left, right } => {
-            let l = eval(left, row, mode)?;
+            let l = eval_view(left, row, mode)?;
             // Short-circuit logic.
             match op {
                 BinOp::And => {
                     if !truthy(&l) {
                         return Ok(Value::Int(0));
                     }
-                    return Ok(Value::Int(i64::from(truthy(&eval(right, row, mode)?))));
+                    return Ok(Value::Int(i64::from(truthy(&eval_view(right, row, mode)?))));
                 }
                 BinOp::Or => {
                     if truthy(&l) {
                         return Ok(Value::Int(1));
                     }
-                    return Ok(Value::Int(i64::from(truthy(&eval(right, row, mode)?))));
+                    return Ok(Value::Int(i64::from(truthy(&eval_view(right, row, mode)?))));
                 }
                 _ => {}
             }
-            let r = eval(right, row, mode)?;
+            let r = eval_view(right, row, mode)?;
             eval_binary(*op, &l, &r)?
         }
-        BoundExpr::Not(inner) => Value::Int(i64::from(!truthy(&eval(inner, row, mode)?))),
-        BoundExpr::Neg(inner) => match eval(inner, row, mode)? {
+        BoundExpr::Not(inner) => Value::Int(i64::from(!truthy(&eval_view(inner, row, mode)?))),
+        BoundExpr::Neg(inner) => match eval_view(inner, row, mode)? {
             Value::Int(i) => Value::Int(-i),
             Value::Float(f) => Value::Float(-f),
             Value::Null => Value::Null,
             other => return Err(SqlError::Type(format!("cannot negate {other:?}"))),
         },
         BoundExpr::Between { expr, lo, hi } => {
-            let v = eval(expr, row, mode)?;
-            let lo = eval(lo, row, mode)?;
-            let hi = eval(hi, row, mode)?;
+            let v = eval_view(expr, row, mode)?;
+            let lo = eval_view(lo, row, mode)?;
+            let hi = eval_view(hi, row, mode)?;
             if v.is_null() || lo.is_null() || hi.is_null() {
                 Value::Int(0)
             } else {
@@ -364,7 +606,7 @@ pub fn eval(e: &BoundExpr, row: &[Value], mode: FunctionMode) -> Result<Value> {
             }
         }
         BoundExpr::IsNull { expr, negated } => {
-            let v = eval(expr, row, mode)?;
+            let v = eval_view(expr, row, mode)?;
             Value::Int(i64::from(v.is_null() != *negated))
         }
     })
@@ -423,9 +665,7 @@ fn arith(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
     let (a, b) = match (l.as_f64(), r.as_f64()) {
         (Some(a), Some(b)) => (a, b),
         _ => {
-            return Err(SqlError::Type(format!(
-                "arithmetic on non-numeric values {l:?} and {r:?}"
-            )))
+            return Err(SqlError::Type(format!("arithmetic on non-numeric values {l:?} and {r:?}")))
         }
     };
     Ok(match op {
@@ -443,63 +683,107 @@ fn arith(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
     })
 }
 
-fn eval_aggregate(agg: &AggExpr, rows: &[Vec<Value>], mode: FunctionMode) -> Result<Value> {
+/// Global (ungrouped) aggregate: argument expressions are evaluated
+/// morsel-parallel, then folded serially **in row order**, so float sums
+/// are bit-identical to the single-threaded result.
+fn eval_aggregate(agg: &AggExpr, rows: &[LazyRow], ctx: &ExecCtx) -> Result<Value> {
+    let mode = ctx.mode;
+    let arg_values = |e: &BoundExpr| -> Result<Vec<Value>> {
+        ctx.parallel_morsels(rows, |chunk| {
+            let mut out = Vec::with_capacity(chunk.len());
+            for row in chunk {
+                out.push(eval_view(e, row, mode)?);
+            }
+            Ok(out)
+        })
+    };
     match agg {
         AggExpr::CountStar => Ok(Value::Int(rows.len() as i64)),
         AggExpr::Count(e) => {
+            Ok(Value::Int(arg_values(e)?.iter().filter(|v| !v.is_null()).count() as i64))
+        }
+        AggExpr::Sum(e) | AggExpr::Avg(e) => {
+            fold_sum(agg, arg_values(e)?.iter().map(|v| v.as_f64()))
+        }
+        AggExpr::Min(e) | AggExpr::Max(e) => fold_minmax(agg, arg_values(e)?.into_iter()),
+    }
+}
+
+/// Grouped aggregate over one `keyed[i..j]` run: rows are aggregated in
+/// place through the key/row pairs — no per-group copies.
+fn eval_aggregate_slice(
+    agg: &AggExpr,
+    group: &[(Vec<Value>, LazyRow)],
+    mode: FunctionMode,
+) -> Result<Value> {
+    match agg {
+        AggExpr::CountStar => Ok(Value::Int(group.len() as i64)),
+        AggExpr::Count(e) => {
             let mut n = 0i64;
-            for row in rows {
-                if !eval(e, row, mode)?.is_null() {
+            for (_, row) in group {
+                if !eval_view(e, row, mode)?.is_null() {
                     n += 1;
                 }
             }
             Ok(Value::Int(n))
         }
         AggExpr::Sum(e) | AggExpr::Avg(e) => {
-            let mut sum = 0.0;
-            let mut n = 0usize;
-            for row in rows {
-                let v = eval(e, row, mode)?;
-                if let Some(f) = v.as_f64() {
-                    sum += f;
-                    n += 1;
-                }
+            let mut vals = Vec::with_capacity(group.len());
+            for (_, row) in group {
+                vals.push(eval_view(e, row, mode)?.as_f64());
             }
-            if n == 0 {
-                return Ok(Value::Null);
-            }
-            Ok(match agg {
-                AggExpr::Sum(_) => Value::Float(sum),
-                _ => Value::Float(sum / n as f64),
-            })
+            fold_sum(agg, vals.into_iter())
         }
         AggExpr::Min(e) | AggExpr::Max(e) => {
-            let mut best: Option<Value> = None;
-            for row in rows {
-                let v = eval(e, row, mode)?;
-                if v.is_null() {
-                    continue;
-                }
-                best = Some(match best {
-                    None => v,
-                    Some(b) => {
-                        let keep_new = match agg {
-                            AggExpr::Min(_) => {
-                                compare_values(&v, &b) == std::cmp::Ordering::Less
-                            }
-                            _ => compare_values(&v, &b) == std::cmp::Ordering::Greater,
-                        };
-                        if keep_new {
-                            v
-                        } else {
-                            b
-                        }
-                    }
-                });
+            let mut vals = Vec::with_capacity(group.len());
+            for (_, row) in group {
+                vals.push(eval_view(e, row, mode)?);
             }
-            Ok(best.unwrap_or(Value::Null))
+            fold_minmax(agg, vals.into_iter())
         }
     }
+}
+
+/// Serial in-order SUM/AVG fold over pre-evaluated argument values.
+fn fold_sum(agg: &AggExpr, values: impl Iterator<Item = Option<f64>>) -> Result<Value> {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values.flatten() {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        return Ok(Value::Null);
+    }
+    Ok(match agg {
+        AggExpr::Sum(_) => Value::Float(sum),
+        _ => Value::Float(sum / n as f64),
+    })
+}
+
+/// Serial in-order MIN/MAX fold over pre-evaluated argument values.
+fn fold_minmax(agg: &AggExpr, values: impl Iterator<Item = Value>) -> Result<Value> {
+    let mut best: Option<Value> = None;
+    for v in values {
+        if v.is_null() {
+            continue;
+        }
+        best = Some(match best {
+            None => v,
+            Some(b) => {
+                let keep_new = match agg {
+                    AggExpr::Min(_) => compare_values(&v, &b) == std::cmp::Ordering::Less,
+                    _ => compare_values(&v, &b) == std::cmp::Ordering::Greater,
+                };
+                if keep_new {
+                    v
+                } else {
+                    b
+                }
+            }
+        });
+    }
+    Ok(best.unwrap_or(Value::Null))
 }
 
 #[cfg(test)]
@@ -529,41 +813,56 @@ mod tests {
 
     #[test]
     fn arithmetic_semantics() {
-        assert_eq!(
-            eval_binary(BinOp::Add, &Value::Int(2), &Value::Int(3)).unwrap(),
-            Value::Int(5)
-        );
-        assert_eq!(
-            eval_binary(BinOp::Div, &Value::Int(1), &Value::Int(0)).unwrap(),
-            Value::Null
-        );
+        assert_eq!(eval_binary(BinOp::Add, &Value::Int(2), &Value::Int(3)).unwrap(), Value::Int(5));
+        assert_eq!(eval_binary(BinOp::Div, &Value::Int(1), &Value::Int(0)).unwrap(), Value::Null);
         assert_eq!(
             eval_binary(BinOp::Mul, &Value::Float(2.0), &Value::Int(3)).unwrap(),
             Value::Float(6.0)
         );
-        assert_eq!(
-            eval_binary(BinOp::Add, &Value::Null, &Value::Int(3)).unwrap(),
-            Value::Null
-        );
+        assert_eq!(eval_binary(BinOp::Add, &Value::Null, &Value::Int(3)).unwrap(), Value::Null);
         assert!(eval_binary(BinOp::Add, &Value::Text("a".into()), &Value::Int(1)).is_err());
     }
 
     #[test]
     fn is_null_logic() {
-        let e = BoundExpr::IsNull {
-            expr: Box::new(BoundExpr::Literal(Value::Null)),
-            negated: false,
-        };
+        let e =
+            BoundExpr::IsNull { expr: Box::new(BoundExpr::Literal(Value::Null)), negated: false };
         assert_eq!(eval(&e, &[], FunctionMode::Exact).unwrap(), Value::Int(1));
-        let e = BoundExpr::IsNull {
-            expr: Box::new(BoundExpr::Literal(Value::Int(5))),
-            negated: true,
-        };
+        let e =
+            BoundExpr::IsNull { expr: Box::new(BoundExpr::Literal(Value::Int(5))), negated: true };
         assert_eq!(eval(&e, &[], FunctionMode::Exact).unwrap(), Value::Int(1));
-        let e = BoundExpr::IsNull {
-            expr: Box::new(BoundExpr::Literal(Value::Int(5))),
-            negated: false,
-        };
+        let e =
+            BoundExpr::IsNull { expr: Box::new(BoundExpr::Literal(Value::Int(5))), negated: false };
         assert_eq!(eval(&e, &[], FunctionMode::Exact).unwrap(), Value::Int(0));
+    }
+
+    #[test]
+    fn lazy_row_column_walk() {
+        let a = Arc::new(vec![Value::Int(1), Value::Int(2)]);
+        let b = Arc::new(vec![Value::Int(3)]);
+        let joined = LazyRow::one(a).join(&LazyRow::one(b));
+        assert_eq!(joined.col(0), Some(&Value::Int(1)));
+        assert_eq!(joined.col(2), Some(&Value::Int(3)));
+        assert_eq!(joined.col(3), None);
+        assert_eq!(joined.materialize(), vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+    }
+
+    #[test]
+    fn morsel_dispatch_preserves_order_and_errors() {
+        let ctx = ExecCtx { mode: FunctionMode::Exact, workers: 4 };
+        let items: Vec<usize> = (0..10_000).collect();
+        let out = ctx.parallel_morsels(&items, |chunk| Ok(chunk.to_vec())).unwrap();
+        assert_eq!(out, items);
+        // Errors surface deterministically regardless of worker count.
+        let err = ctx
+            .parallel_morsels(&items, |chunk| {
+                if chunk.contains(&4321) {
+                    Err(SqlError::Type("boom".into()))
+                } else {
+                    Ok(chunk.to_vec())
+                }
+            })
+            .unwrap_err();
+        assert!(matches!(err, SqlError::Type(_)));
     }
 }

@@ -118,21 +118,16 @@ pub fn call(mode: FunctionMode, name: &str, args: &[Value]) -> Result<Value> {
         "ST_X" => point_component(&upper, args, |c| c.x),
         "ST_Y" => point_component(&upper, args, |c| c.y),
         "ST_AREA" => Ok(Value::Float(alg::area(geom_arg(&upper, args, 0)?))),
-        "ST_LENGTH" | "ST_PERIMETER" => {
-            Ok(Value::Float(alg::length(geom_arg(&upper, args, 0)?)))
-        }
-        "ST_DIMENSION" => {
-            Ok(Value::Int(geom_arg(&upper, args, 0)?.dimension().as_i32() as i64))
-        }
+        "ST_LENGTH" | "ST_PERIMETER" => Ok(Value::Float(alg::length(geom_arg(&upper, args, 0)?))),
+        "ST_DIMENSION" => Ok(Value::Int(geom_arg(&upper, args, 0)?.dimension().as_i32() as i64)),
         "ST_NUMPOINTS" | "ST_NPOINTS" => {
             Ok(Value::Int(geom_arg(&upper, args, 0)?.num_coords() as i64))
         }
-        "ST_GEOMETRYTYPE" => Ok(Value::Text(
-            format!("ST_{}", geom_arg(&upper, args, 0)?.geometry_type().wkt_keyword()),
-        )),
-        "ST_ENVELOPE" => {
-            Ok(Value::Geom(envelope_geometry(&geom_arg(&upper, args, 0)?.envelope())))
-        }
+        "ST_GEOMETRYTYPE" => Ok(Value::Text(format!(
+            "ST_{}",
+            geom_arg(&upper, args, 0)?.geometry_type().wkt_keyword()
+        ))),
+        "ST_ENVELOPE" => Ok(Value::Geom(envelope_geometry(&geom_arg(&upper, args, 0)?.envelope()))),
         "ST_BOUNDARY" => Ok(Value::Geom(geom_arg(&upper, args, 0)?.boundary())),
         "ST_CENTROID" => {
             let g = geom_arg(&upper, args, 0)?;
@@ -147,23 +142,21 @@ pub fn call(mode: FunctionMode, name: &str, args: &[Value]) -> Result<Value> {
             let g = geom_arg(&upper, args, 0)?;
             let d = num_arg(&upper, args, 1)?;
             let quad = match args.get(2) {
-                Some(v) => v
-                    .as_f64()
-                    .ok_or_else(|| SqlError::Type("quad_segs must be numeric".into()))?
-                    as usize,
+                Some(v) => {
+                    v.as_f64().ok_or_else(|| SqlError::Type("quad_segs must be numeric".into()))?
+                        as usize
+                }
                 None => alg::buffer::DEFAULT_QUAD_SEGS,
             };
             Ok(Value::Geom(alg::buffer::buffer_with_segments(g, d, quad)?))
         }
         "ST_CONVEXHULL" => Ok(Value::Geom(alg::convex_hull(geom_arg(&upper, args, 0)?)?)),
-        "ST_SIMPLIFY" => Ok(Value::Geom(alg::simplify(
-            geom_arg(&upper, args, 0)?,
-            num_arg(&upper, args, 1)?,
-        )?)),
-        "ST_UNION" => Ok(Value::Geom(alg::union(
-            geom_arg(&upper, args, 0)?,
-            geom_arg(&upper, args, 1)?,
-        )?)),
+        "ST_SIMPLIFY" => {
+            Ok(Value::Geom(alg::simplify(geom_arg(&upper, args, 0)?, num_arg(&upper, args, 1)?)?))
+        }
+        "ST_UNION" => {
+            Ok(Value::Geom(alg::union(geom_arg(&upper, args, 0)?, geom_arg(&upper, args, 1)?)?))
+        }
         "ST_INTERSECTION" => Ok(Value::Geom(alg::intersection(
             geom_arg(&upper, args, 0)?,
             geom_arg(&upper, args, 1)?,
@@ -210,9 +203,7 @@ pub fn call(mode: FunctionMode, name: &str, args: &[Value]) -> Result<Value> {
             let g = geom_arg(&upper, args, 0)?;
             let member = match g {
                 Geometry::MultiPoint(m) => m.0.get(n - 1).copied().map(Geometry::Point),
-                Geometry::MultiLineString(m) => {
-                    m.0.get(n - 1).cloned().map(Geometry::LineString)
-                }
+                Geometry::MultiLineString(m) => m.0.get(n - 1).cloned().map(Geometry::LineString),
                 Geometry::MultiPolygon(m) => m.0.get(n - 1).cloned().map(Geometry::Polygon),
                 Geometry::GeometryCollection(c) => c.0.get(n - 1).cloned(),
                 single if n == 1 => Some(single.clone()),
@@ -221,13 +212,13 @@ pub fn call(mode: FunctionMode, name: &str, args: &[Value]) -> Result<Value> {
             Ok(member.map(Value::Geom).unwrap_or(Value::Null))
         }
         "ST_POINTONSURFACE" => match geom_arg(&upper, args, 0)? {
-            Geometry::Polygon(p) => Ok(Value::Geom(Geometry::Point(Point::from_coord(
-                topo::interior_point(p),
-            )?))),
+            Geometry::Polygon(p) => {
+                Ok(Value::Geom(Geometry::Point(Point::from_coord(topo::interior_point(p))?)))
+            }
             Geometry::MultiPolygon(m) => match m.0.first() {
-                Some(p) => Ok(Value::Geom(Geometry::Point(Point::from_coord(
-                    topo::interior_point(p),
-                )?))),
+                Some(p) => {
+                    Ok(Value::Geom(Geometry::Point(Point::from_coord(topo::interior_point(p))?)))
+                }
                 None => Ok(Value::Null),
             },
             Geometry::Point(p) => Ok(Value::Geom(Geometry::Point(*p))),
@@ -244,8 +235,8 @@ pub fn call(mode: FunctionMode, name: &str, args: &[Value]) -> Result<Value> {
         }
         "ST_GEOMFROMWKB" => {
             let hex = text_arg(&upper, args, 0)?;
-            let bytes = hex_decode(hex)
-                .ok_or_else(|| SqlError::Type("malformed hex WKB".into()))?;
+            let bytes =
+                hex_decode(hex).ok_or_else(|| SqlError::Type("malformed hex WKB".into()))?;
             Ok(Value::Geom(jackpine_geom::wkb::decode(&bytes)?))
         }
 
@@ -265,12 +256,10 @@ pub fn call(mode: FunctionMode, name: &str, args: &[Value]) -> Result<Value> {
             let angle = num_arg(&upper, args, 1)?;
             let origin = match (args.get(2), args.get(3)) {
                 (Some(x), Some(y)) => jackpine_geom::Coord::new(
-                    x.as_f64().ok_or_else(|| {
-                        SqlError::Type("rotation origin must be numeric".into())
-                    })?,
-                    y.as_f64().ok_or_else(|| {
-                        SqlError::Type("rotation origin must be numeric".into())
-                    })?,
+                    x.as_f64()
+                        .ok_or_else(|| SqlError::Type("rotation origin must be numeric".into()))?,
+                    y.as_f64()
+                        .ok_or_else(|| SqlError::Type("rotation origin must be numeric".into()))?,
                 ),
                 _ => jackpine_geom::Coord::new(0.0, 0.0),
             };
@@ -288,9 +277,7 @@ pub fn call(mode: FunctionMode, name: &str, args: &[Value]) -> Result<Value> {
         "ST_LENGTHSPHERE" => {
             Ok(Value::Float(alg::geodesic::length_sphere(geom_arg(&upper, args, 0)?)))
         }
-        "ST_AREASPHERE" => {
-            Ok(Value::Float(alg::geodesic::area_sphere(geom_arg(&upper, args, 0)?)))
-        }
+        "ST_AREASPHERE" => Ok(Value::Float(alg::geodesic::area_sphere(geom_arg(&upper, args, 0)?))),
 
         // ----- metric predicates -------------------------------------------
         "ST_DISTANCE" => {
@@ -387,9 +374,7 @@ fn mbr_predicate(upper: &str, a: &Envelope, b: &Envelope) -> bool {
         "ST_OVERLAPS" | "ST_CROSSES" => {
             // Interiors intersect, neither contains the other.
             match a.intersection(b) {
-                Some(i) => {
-                    i.area() > 0.0 && !a.contains_envelope(b) && !b.contains_envelope(a)
-                }
+                Some(i) => i.area() > 0.0 && !a.contains_envelope(b) && !b.contains_envelope(a),
                 None => false,
             }
         }
@@ -404,9 +389,7 @@ fn envelope_geometry(e: &Envelope) -> Geometry {
         return Geometry::GeometryCollection(GeometryCollection(vec![]));
     }
     if e.width() == 0.0 && e.height() == 0.0 {
-        return Geometry::Point(
-            Point::new(e.min_x, e.min_y).expect("finite envelope corner"),
-        );
+        return Geometry::Point(Point::new(e.min_x, e.min_y).expect("finite envelope corner"));
     }
     if e.width() == 0.0 || e.height() == 0.0 {
         let l = LineString::new(vec![
@@ -453,12 +436,14 @@ fn hex_decode(s: &str) -> Option<Vec<u8>> {
     if !s.len().is_multiple_of(2) {
         return None;
     }
-    (0..s.len() / 2)
-        .map(|i| u8::from_str_radix(s.get(2 * i..2 * i + 2)?, 16).ok())
-        .collect()
+    (0..s.len() / 2).map(|i| u8::from_str_radix(s.get(2 * i..2 * i + 2)?, 16).ok()).collect()
 }
 
-fn point_component(fname: &str, args: &[Value], f: impl Fn(jackpine_geom::Coord) -> f64) -> Result<Value> {
+fn point_component(
+    fname: &str,
+    args: &[Value],
+    f: impl Fn(jackpine_geom::Coord) -> f64,
+) -> Result<Value> {
     match geom_arg(fname, args, 0)? {
         Geometry::Point(p) => Ok(match p.coord() {
             Some(c) => Value::Float(f(c)),
@@ -480,8 +465,14 @@ mod tests {
     fn constructors_and_accessors() {
         let g = call(FunctionMode::Exact, "ST_GeomFromText", &[Value::Text("POINT (1 2)".into())])
             .unwrap();
-        assert_eq!(call(FunctionMode::Exact, "ST_X", std::slice::from_ref(&g)).unwrap(), Value::Float(1.0));
-        assert_eq!(call(FunctionMode::Exact, "ST_Y", std::slice::from_ref(&g)).unwrap(), Value::Float(2.0));
+        assert_eq!(
+            call(FunctionMode::Exact, "ST_X", std::slice::from_ref(&g)).unwrap(),
+            Value::Float(1.0)
+        );
+        assert_eq!(
+            call(FunctionMode::Exact, "ST_Y", std::slice::from_ref(&g)).unwrap(),
+            Value::Float(2.0)
+        );
         assert_eq!(
             call(FunctionMode::Exact, "ST_AsText", &[g]).unwrap(),
             Value::Text("POINT (1 2)".into())
@@ -491,12 +482,18 @@ mod tests {
     #[test]
     fn measures() {
         let sq = geom("POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))");
-        assert_eq!(call(FunctionMode::Exact, "ST_Area", std::slice::from_ref(&sq)).unwrap(), Value::Float(4.0));
+        assert_eq!(
+            call(FunctionMode::Exact, "ST_Area", std::slice::from_ref(&sq)).unwrap(),
+            Value::Float(4.0)
+        );
         assert_eq!(
             call(FunctionMode::Exact, "ST_Length", std::slice::from_ref(&sq)).unwrap(),
             Value::Float(8.0)
         );
-        assert_eq!(call(FunctionMode::Exact, "ST_Dimension", std::slice::from_ref(&sq)).unwrap(), Value::Int(2));
+        assert_eq!(
+            call(FunctionMode::Exact, "ST_Dimension", std::slice::from_ref(&sq)).unwrap(),
+            Value::Int(2)
+        );
         assert_eq!(call(FunctionMode::Exact, "ST_NumPoints", &[sq]).unwrap(), Value::Int(5));
     }
 
@@ -531,12 +528,8 @@ mod tests {
         let b = geom("POLYGON ((1 1, 3 1, 3 3, 1 3, 1 1))");
         let m = call(FunctionMode::Exact, "ST_Relate", &[a.clone(), b.clone()]).unwrap();
         assert_eq!(m, Value::Text("212101212".into()));
-        let hit = call(
-            FunctionMode::Exact,
-            "ST_Relate",
-            &[a, b, Value::Text("T*T***T**".into())],
-        )
-        .unwrap();
+        let hit = call(FunctionMode::Exact, "ST_Relate", &[a, b, Value::Text("T*T***T**".into())])
+            .unwrap();
         assert_eq!(hit, Value::Int(1));
     }
 
@@ -617,17 +610,17 @@ mod accessor_tests {
     #[test]
     fn structural_accessors() {
         let line = geom("LINESTRING (0 0, 1 0, 1 1)");
-        assert_eq!(call(FunctionMode::Exact, "ST_IsClosed", std::slice::from_ref(&line)).unwrap(), Value::Int(0));
+        assert_eq!(
+            call(FunctionMode::Exact, "ST_IsClosed", std::slice::from_ref(&line)).unwrap(),
+            Value::Int(0)
+        );
         let ring = geom("LINESTRING (0 0, 1 0, 1 1, 0 0)");
         assert_eq!(call(FunctionMode::Exact, "ST_IsClosed", &[ring]).unwrap(), Value::Int(1));
         assert_eq!(
             call(FunctionMode::Exact, "ST_StartPoint", std::slice::from_ref(&line)).unwrap(),
             geom("POINT (0 0)")
         );
-        assert_eq!(
-            call(FunctionMode::Exact, "ST_EndPoint", &[line]).unwrap(),
-            geom("POINT (1 1)")
-        );
+        assert_eq!(call(FunctionMode::Exact, "ST_EndPoint", &[line]).unwrap(), geom("POINT (1 1)"));
         assert_eq!(
             call(FunctionMode::Exact, "ST_IsEmpty", &[geom("POINT EMPTY")]).unwrap(),
             Value::Int(1)
@@ -676,8 +669,7 @@ mod accessor_tests {
         let hexv = call(FunctionMode::Exact, "ST_AsBinary", std::slice::from_ref(&g)).unwrap();
         let hex = hexv.as_str().unwrap().to_string();
         assert!(hex.chars().all(|c| c.is_ascii_hexdigit()));
-        let back =
-            call(FunctionMode::Exact, "ST_GeomFromWKB", &[Value::Text(hex)]).unwrap();
+        let back = call(FunctionMode::Exact, "ST_GeomFromWKB", &[Value::Text(hex)]).unwrap();
         assert_eq!(back, g);
         // Malformed input is an error, not a panic.
         assert!(call(FunctionMode::Exact, "ST_GeomFromWKB", &[Value::Text("zz".into())]).is_err());

@@ -193,11 +193,7 @@ impl Parser {
                 items.push(SelectItem::Wildcard);
             } else {
                 let expr = self.expr()?;
-                let alias = if self.accept_kw("AS") {
-                    Some(self.ident()?)
-                } else {
-                    None
-                };
+                let alias = if self.accept_kw("AS") { Some(self.ident()?) } else { None };
                 items.push(SelectItem::Expr { expr, alias });
             }
             if !self.accept(&TokenKind::Comma) {
@@ -270,9 +266,9 @@ impl Parser {
 
         let limit = if self.accept_kw("LIMIT") {
             match self.advance() {
-                TokenKind::Number(n) => Some(
-                    n.parse::<usize>().map_err(|_| self.err("LIMIT must be an integer"))?,
-                ),
+                TokenKind::Number(n) => {
+                    Some(n.parse::<usize>().map_err(|_| self.err("LIMIT must be an integer"))?)
+                }
                 _ => return Err(self.err("expected a number after LIMIT")),
             }
         } else {
@@ -337,11 +333,7 @@ impl Parser {
             let lo = self.additive()?;
             self.expect_kw("AND")?;
             let hi = self.additive()?;
-            return Ok(Expr::Between {
-                expr: Box::new(left),
-                lo: Box::new(lo),
-                hi: Box::new(hi),
-            });
+            return Ok(Expr::Between { expr: Box::new(left), lo: Box::new(lo), hi: Box::new(hi) });
         }
         if self.accept_kw("IS") {
             let negated = self.accept_kw("NOT");
@@ -461,9 +453,8 @@ impl Parser {
 }
 
 fn is_clause_keyword(s: &str) -> bool {
-    const KW: [&str; 11] = [
-        "WHERE", "JOIN", "INNER", "ON", "ORDER", "LIMIT", "GROUP", "AND", "OR", "AS", "FROM",
-    ];
+    const KW: [&str; 11] =
+        ["WHERE", "JOIN", "INNER", "ON", "ORDER", "LIMIT", "GROUP", "AND", "OR", "AS", "FROM"];
     KW.iter().any(|k| s.eq_ignore_ascii_case(k))
 }
 
@@ -500,10 +491,8 @@ mod tests {
 
     #[test]
     fn spatial_function_calls() {
-        let s = sel(
-            "SELECT COUNT(*) FROM arealm a JOIN areawater b \
-             ON ST_Overlaps(a.geom, b.geom) WHERE a.id > 5",
-        );
+        let s = sel("SELECT COUNT(*) FROM arealm a JOIN areawater b \
+             ON ST_Overlaps(a.geom, b.geom) WHERE a.id > 5");
         assert_eq!(s.from.len(), 2);
         assert_eq!(s.filters.len(), 2); // ON term + WHERE term
         match &s.items[0] {
@@ -577,10 +566,7 @@ mod tests {
         assert!(parse("SELECT * FROM").is_err());
         assert!(parse("SELECT * FROM t WHERE").is_err());
         assert!(parse("SELECT * FROM t garbage garbage").is_err());
-        assert!(matches!(
-            parse("DROP TABLE t").unwrap(),
-            Statement::DropTable { .. }
-        ));
+        assert!(matches!(parse("DROP TABLE t").unwrap(), Statement::DropTable { .. }));
         assert!(parse("DROP t").is_err());
         assert!(parse("DELETE t").is_err()); // missing FROM
         assert!(parse("SELECT * FROM t LIMIT abc").is_err());

@@ -258,10 +258,7 @@ impl Layout {
     /// Offsets covered by the table at `idx`.
     fn table_range(&self, idx: usize) -> std::ops::Range<usize> {
         let start = self.tables[idx].offset;
-        let end = self
-            .tables
-            .get(idx + 1)
-            .map_or(self.columns.len(), |t| t.offset);
+        let end = self.tables.get(idx + 1).map_or(self.columns.len(), |t| t.offset);
         start..end
     }
 }
@@ -281,8 +278,7 @@ fn fold_constants(e: BoundExpr) -> BoundExpr {
     // Only fold cheap, profile-independent constructors; predicate and
     // analysis calls are left for the evaluator, where the engine profile
     // decides their semantics and availability.
-    const FOLDABLE: [&str; 4] =
-        ["ST_GEOMFROMTEXT", "ST_POINT", "ST_MAKEPOINT", "ST_MAKEENVELOPE"];
+    const FOLDABLE: [&str; 4] = ["ST_GEOMFROMTEXT", "ST_POINT", "ST_MAKEPOINT", "ST_MAKEENVELOPE"];
     match e {
         BoundExpr::Func { name, args } => {
             let args: Vec<BoundExpr> = args.into_iter().map(fold_constants).collect();
@@ -297,9 +293,7 @@ fn fold_constants(e: BoundExpr) -> BoundExpr {
                         })
                         .collect();
                     if let Some(vals) = vals {
-                        if let Ok(v) =
-                            crate::functions::call(FunctionMode::Exact, name, &vals)
-                        {
+                        if let Ok(v) = crate::functions::call(FunctionMode::Exact, name, &vals) {
                             return BoundExpr::Literal(v);
                         }
                     }
@@ -329,16 +323,12 @@ fn fold_constants(e: BoundExpr) -> BoundExpr {
 fn bind_raw(expr: &Expr, layout: &Layout) -> Result<BoundExpr> {
     Ok(match expr {
         Expr::Literal(v) => BoundExpr::Literal(v.clone()),
-        Expr::Column { table, name } => {
-            BoundExpr::Column(layout.resolve(table.as_deref(), name)?)
-        }
+        Expr::Column { table, name } => BoundExpr::Column(layout.resolve(table.as_deref(), name)?),
         Expr::Func { name, args } => BoundExpr::Func {
             name: name.clone(),
             args: args.iter().map(|a| bind_raw(a, layout)).collect::<Result<_>>()?,
         },
-        Expr::Star => {
-            return Err(SqlError::Type("'*' is only valid inside COUNT(*)".into()))
-        }
+        Expr::Star => return Err(SqlError::Type("'*' is only valid inside COUNT(*)".into())),
         Expr::Binary { op, left, right } => BoundExpr::Binary {
             op: *op,
             left: Box::new(bind_raw(left, layout)?),
@@ -351,10 +341,9 @@ fn bind_raw(expr: &Expr, layout: &Layout) -> Result<BoundExpr> {
             lo: Box::new(bind_raw(lo, layout)?),
             hi: Box::new(bind_raw(hi, layout)?),
         },
-        Expr::IsNull { expr, negated } => BoundExpr::IsNull {
-            expr: Box::new(bind_raw(expr, layout)?),
-            negated: *negated,
-        },
+        Expr::IsNull { expr, negated } => {
+            BoundExpr::IsNull { expr: Box::new(bind_raw(expr, layout)?), negated: *negated }
+        }
     })
 }
 
@@ -396,11 +385,8 @@ fn referenced_tables(expr: &Expr, layout: &Layout, out: &mut Vec<usize>) -> Resu
 
 impl Layout {
     fn table_range_of(&self, t: &BoundTable) -> std::ops::Range<usize> {
-        let idx = self
-            .tables
-            .iter()
-            .position(|x| std::ptr::eq(x, t))
-            .expect("table belongs to layout");
+        let idx =
+            self.tables.iter().position(|x| std::ptr::eq(x, t)).expect("table belongs to layout");
         self.table_range(idx)
     }
 }
@@ -501,9 +487,7 @@ pub fn plan_select(
                 if applied_multi[mi] {
                     continue;
                 }
-                if let Some((probe, right_col)) =
-                    spatial_join_form(f, &layout, &covered, t_idx)?
-                {
+                if let Some((probe, right_col)) = spatial_join_form(f, &layout, &covered, t_idx)? {
                     spatial_join = Some((mi, probe, right_col));
                     break;
                 }
@@ -630,9 +614,7 @@ fn choose_access(
     // k-NN path: single table, ORDER BY ST_Distance(geom, const) LIMIT k,
     // no other filters (refinement slack handles minor post-filtering).
     if layout.tables.len() == 1 && select.order_by.len() == 1 && filters.is_empty() {
-        if let (Some(k), (Expr::Func { name, args }, true)) =
-            (select.limit, &select.order_by[0])
-        {
+        if let (Some(k), (Expr::Func { name, args }, true)) = (select.limit, &select.order_by[0]) {
             if name.eq_ignore_ascii_case("ST_Distance") && args.len() == 2 {
                 for (col_side, const_side) in [(&args[0], &args[1]), (&args[1], &args[0])] {
                     if let Some(col) = table_geometry_column(col_side, t_idx, t, layout)? {
@@ -795,11 +777,8 @@ fn plan_projection(
     });
 
     if any_agg || !select.group_by.is_empty() {
-        let group_by: Vec<BoundExpr> = select
-            .group_by
-            .iter()
-            .map(|e| bind(e, layout))
-            .collect::<Result<_>>()?;
+        let group_by: Vec<BoundExpr> =
+            select.group_by.iter().map(|e| bind(e, layout)).collect::<Result<_>>()?;
         let mut outputs: Vec<(AggOutput, String)> = Vec::new();
         for item in &select.items {
             let SelectItem::Expr { expr, alias } = item else {
@@ -828,23 +807,14 @@ fn plan_projection(
                 }
             }
             // Non-aggregate item: must match a GROUP BY expression.
-            let pos = select
-                .group_by
-                .iter()
-                .position(|g| g == expr)
-                .ok_or_else(|| {
-                    SqlError::Type(
-                        "non-aggregate select expression must appear in GROUP BY".into(),
-                    )
-                })?;
+            let pos = select.group_by.iter().position(|g| g == expr).ok_or_else(|| {
+                SqlError::Type("non-aggregate select expression must appear in GROUP BY".into())
+            })?;
             let label = alias.clone().unwrap_or_else(|| default_label(expr));
             outputs.push((AggOutput::Group(pos), label));
         }
         let columns = outputs.iter().map(|(_, l)| l.clone()).collect();
-        return Ok((
-            PlanNode::Aggregate { input: Box::new(input), group_by, outputs },
-            columns,
-        ));
+        return Ok((PlanNode::Aggregate { input: Box::new(input), group_by, outputs }, columns));
     }
 
     // Plain projection.
@@ -936,12 +906,7 @@ impl PlanNode {
                 input.describe_into(depth + 1, out);
             }
             PlanNode::Aggregate { input, group_by, outputs } => {
-                let _ = writeln!(
-                    out,
-                    "Aggregate groups={} cols={}",
-                    group_by.len(),
-                    outputs.len()
-                );
+                let _ = writeln!(out, "Aggregate groups={} cols={}", group_by.len(), outputs.len());
                 input.describe_into(depth + 1, out);
             }
             PlanNode::Sort { input, keys } => {

@@ -164,9 +164,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let mut j = i;
-                while j < bytes.len()
-                    && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_')
-                {
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
                     j += 1;
                 }
                 out.push(Token {
@@ -232,10 +230,7 @@ mod tests {
     #[test]
     fn operators() {
         let k = kinds("a <> b != c <= d >= e < f > g");
-        assert_eq!(
-            k.iter().filter(|t| matches!(t, TokenKind::Neq)).count(),
-            2
-        );
+        assert_eq!(k.iter().filter(|t| matches!(t, TokenKind::Neq)).count(), 2);
         assert!(k.contains(&TokenKind::Le));
         assert!(k.contains(&TokenKind::Ge));
     }

@@ -1,7 +1,7 @@
 //! The catalog: name → table resolution.
 
+use crate::sync::RwLock;
 use crate::{HeapFile, Result, Schema, StorageError};
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -54,11 +54,8 @@ impl Catalog {
         let mut next = self.next_id.write();
         let id = TableId(*next);
         *next += 1;
-        let table = Arc::new(Table {
-            id,
-            name: name.to_string(),
-            heap: HeapFile::new(Arc::new(schema)),
-        });
+        let table =
+            Arc::new(Table { id, name: name.to_string(), heap: HeapFile::new(Arc::new(schema)) });
         tables.insert(key, table.clone());
         Ok(table)
     }
@@ -79,8 +76,7 @@ impl Catalog {
 
     /// Names of all tables, sorted.
     pub fn table_names(&self) -> Vec<String> {
-        let mut names: Vec<String> =
-            self.tables.read().values().map(|t| t.name.clone()).collect();
+        let mut names: Vec<String> = self.tables.read().values().map(|t| t.name.clone()).collect();
         names.sort();
         names
     }

@@ -2,8 +2,8 @@
 //! decoded-row cache that the benchmark's cold mode can evict.
 
 use crate::page::Page;
+use crate::sync::{Mutex, RwLock};
 use crate::{Result, Row, Schema, StorageError, Value};
-use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -26,6 +26,11 @@ pub struct HeapStats {
     pub cache_misses: u64,
 }
 
+/// Shards in the decoded-row cache. The morsel executor fetches rows
+/// from many worker threads at once; sharding the cache lock by row id
+/// keeps those fetches from serializing on one mutex.
+const CACHE_SHARDS: usize = 16;
+
 /// A heap file: pages of serialized rows plus a decoded-row cache.
 ///
 /// All methods take `&self`; interior locks make the heap shareable across
@@ -34,7 +39,7 @@ pub struct HeapStats {
 pub struct HeapFile {
     schema: Arc<Schema>,
     pages: RwLock<Vec<Page>>,
-    cache: Mutex<HashMap<RowId, Arc<Row>>>,
+    cache: [Mutex<HashMap<RowId, Arc<Row>>>; CACHE_SHARDS],
     row_count: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -46,11 +51,18 @@ impl HeapFile {
         HeapFile {
             schema,
             pages: RwLock::new(vec![Page::new()]),
-            cache: Mutex::new(HashMap::new()),
+            cache: std::array::from_fn(|_| Mutex::new(HashMap::new())),
             row_count: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
+    }
+
+    fn cache_shard(&self, id: RowId) -> &Mutex<HashMap<RowId, Arc<Row>>> {
+        // Consecutive slots land in different shards, so a scan's worker
+        // threads spread their lock traffic.
+        &self.cache
+            [(id.page as usize).wrapping_mul(31).wrapping_add(id.slot as usize) % CACHE_SHARDS]
     }
 
     /// The row schema.
@@ -85,13 +97,13 @@ impl HeapFile {
         drop(pages);
         self.row_count.fetch_add(1, Ordering::Relaxed);
         // Freshly inserted rows are hot.
-        self.cache.lock().insert(id, Arc::new(row));
+        self.cache_shard(id).lock().insert(id, Arc::new(row));
         Ok(id)
     }
 
     /// Fetches a row, consulting the decoded-row cache first.
     pub fn get(&self, id: RowId) -> Result<Arc<Row>> {
-        if let Some(row) = self.cache.lock().get(&id).cloned() {
+        if let Some(row) = self.cache_shard(id).lock().get(&id).cloned() {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(row);
         }
@@ -100,13 +112,12 @@ impl HeapFile {
         let page = pages
             .get(id.page as usize)
             .ok_or(StorageError::RowNotFound { page: id.page, slot: id.slot })?;
-        let bytes = page.get(id.slot).map_err(|_| StorageError::RowNotFound {
-            page: id.page,
-            slot: id.slot,
-        })?;
+        let bytes = page
+            .get(id.slot)
+            .map_err(|_| StorageError::RowNotFound { page: id.page, slot: id.slot })?;
         let row = Arc::new(Value::decode_row(bytes)?);
         drop(pages);
-        self.cache.lock().insert(id, row.clone());
+        self.cache_shard(id).lock().insert(id, row.clone());
         Ok(row)
     }
 
@@ -120,7 +131,7 @@ impl HeapFile {
         drop(pages);
         if deleted {
             self.row_count.fetch_sub(1, Ordering::Relaxed);
-            self.cache.lock().remove(&id);
+            self.cache_shard(id).lock().remove(&id);
         }
         deleted
     }
@@ -148,7 +159,9 @@ impl HeapFile {
 
     /// Drops the decoded-row cache — the benchmark's cold-run switch.
     pub fn clear_cache(&self) {
-        self.cache.lock().clear();
+        for shard in &self.cache {
+            shard.lock().clear();
+        }
     }
 
     /// Cache counters.

@@ -22,6 +22,7 @@ mod error;
 mod heap;
 pub mod page;
 mod schema;
+pub mod sync;
 mod value;
 
 pub use catalog::{Catalog, Table, TableId};

@@ -87,7 +87,9 @@ impl Page {
 
     /// Iterates the live tuples as `(slot, bytes)`.
     pub fn iter(&self) -> impl Iterator<Item = (u16, &[u8])> {
-        self.slots.iter().enumerate().filter(|&(_i, &(_off, len))| len > 0).map(|(i, &(off, len))| (i as u16, &self.data[off as usize..off as usize + len as usize]))
+        self.slots.iter().enumerate().filter(|&(_i, &(_off, len))| len > 0).map(
+            |(i, &(off, len))| (i as u16, &self.data[off as usize..off as usize + len as usize]),
+        )
     }
 }
 

@@ -1,0 +1,84 @@
+//! Poison-free lock wrappers over `std::sync`.
+//!
+//! The workspace previously used `parking_lot`, whose locks have no
+//! poisoning and whose `lock()`/`read()`/`write()` return guards
+//! directly. These thin wrappers keep that calling convention on top of
+//! the standard library (zero-dependency offline builds): a panic while
+//! holding a lock does not poison it for other threads — the next
+//! acquirer simply proceeds, which matches `parking_lot` semantics.
+
+use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+
+/// A mutual-exclusion lock whose `lock()` returns the guard directly.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex holding `value`.
+    pub fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Acquires the lock, ignoring poisoning.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A reader-writer lock whose `read()`/`write()` return guards directly.
+#[derive(Debug, Default)]
+pub struct RwLock<T>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Creates a new lock holding `value`.
+    pub fn new(value: T) -> Self {
+        RwLock(std::sync::RwLock::new(value))
+    }
+
+    /// Acquires a shared read guard, ignoring poisoning.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquires an exclusive write guard, ignoring poisoning.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_guards_exclusive_access() {
+        let m = Mutex::new(0);
+        *m.lock() += 5;
+        assert_eq!(*m.lock(), 5);
+    }
+
+    #[test]
+    fn rwlock_read_and_write() {
+        let l = RwLock::new(vec![1]);
+        l.write().push(2);
+        assert_eq!(l.read().len(), 2);
+    }
+
+    #[test]
+    fn survives_poisoning_panic() {
+        let m = std::sync::Arc::new(Mutex::new(1));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        // parking_lot semantics: the lock is still usable afterwards.
+        assert_eq!(*m.lock(), 1);
+    }
+}

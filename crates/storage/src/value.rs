@@ -1,7 +1,7 @@
 //! Typed SQL values and their page codec.
 
 use crate::{Result, StorageError};
-use bytes::{Buf, BufMut, BytesMut};
+use jackpine_geom::codec::{PutBytes, TakeBytes};
 use jackpine_geom::{wkb, Geometry};
 use std::fmt;
 
@@ -63,7 +63,7 @@ impl Value {
     }
 
     /// Serializes the value into `buf` (tag byte + payload).
-    pub fn encode(&self, buf: &mut BytesMut) {
+    pub fn encode(&self, buf: &mut Vec<u8>) {
         match self {
             Value::Null => buf.put_u8(0),
             Value::Int(i) => {
@@ -127,8 +127,8 @@ impl Value {
     }
 
     /// Serializes a whole row.
-    pub fn encode_row(row: &[Value]) -> BytesMut {
-        let mut buf = BytesMut::with_capacity(64);
+    pub fn encode_row(row: &[Value]) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64);
         buf.put_u16_le(row.len() as u16);
         for v in row {
             v.encode(&mut buf);
@@ -180,12 +180,8 @@ mod tests {
 
     #[test]
     fn roundtrip_scalars() {
-        let row = vec![
-            Value::Null,
-            Value::Int(-42),
-            Value::Float(3.25),
-            Value::Text("Oak St".into()),
-        ];
+        let row =
+            vec![Value::Null, Value::Int(-42), Value::Float(3.25), Value::Text("Oak St".into())];
         let bytes = Value::encode_row(&row);
         assert_eq!(Value::decode_row(&bytes).unwrap(), row);
     }
@@ -203,7 +199,7 @@ mod tests {
     fn corrupt_payloads_rejected() {
         assert!(Value::decode_row(&[]).is_err());
         assert!(Value::decode_row(&[2, 0]).is_err()); // claims 2 values, none present
-        let mut bad = Value::encode_row(&[Value::Text("hello".into())]).to_vec();
+        let mut bad = Value::encode_row(&[Value::Text("hello".into())]);
         bad.truncate(bad.len() - 2);
         assert!(Value::decode_row(&bad).is_err());
         // Unknown tag.

@@ -30,8 +30,7 @@ mod relate;
 pub use error::TopoError;
 pub use matrix::IntersectionMatrix;
 pub use predicates::{
-    contains, covered_by, covers, crosses, disjoint, equals, intersects, overlaps, touches,
-    within,
+    contains, covered_by, covers, crosses, disjoint, equals, intersects, overlaps, touches, within,
 };
 pub use relate::{interior_point, relate};
 

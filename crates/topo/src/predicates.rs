@@ -105,17 +105,9 @@ mod tests {
         // Same region, different vertex order/start.
         assert!(equals(&g(SQ), &g("POLYGON ((2 0, 2 2, 0 2, 0 0, 2 0))")).unwrap());
         assert!(!equals(&g(SQ), &g(SQ_SHIFT)).unwrap());
-        assert!(equals(
-            &g("LINESTRING (0 0, 2 0)"),
-            &g("LINESTRING (2 0, 0 0)")
-        )
-        .unwrap());
+        assert!(equals(&g("LINESTRING (0 0, 2 0)"), &g("LINESTRING (2 0, 0 0)")).unwrap());
         // Same line with an extra interior vertex.
-        assert!(equals(
-            &g("LINESTRING (0 0, 2 0)"),
-            &g("LINESTRING (0 0, 1 0, 2 0)")
-        )
-        .unwrap());
+        assert!(equals(&g("LINESTRING (0 0, 2 0)"), &g("LINESTRING (0 0, 1 0, 2 0)")).unwrap());
     }
 
     #[test]
@@ -135,29 +127,17 @@ mod tests {
         assert!(touches(&g("POINT (2 1)"), &g(SQ)).unwrap());
         assert!(!touches(&g("POINT (1 1)"), &g(SQ)).unwrap());
         // Lines meeting end-to-end.
-        assert!(touches(
-            &g("LINESTRING (0 0, 1 0)"),
-            &g("LINESTRING (1 0, 2 0)")
-        )
-        .unwrap());
+        assert!(touches(&g("LINESTRING (0 0, 1 0)"), &g("LINESTRING (1 0, 2 0)")).unwrap());
     }
 
     #[test]
     fn crosses_pred() {
-        assert!(crosses(
-            &g("LINESTRING (0 0, 2 2)"),
-            &g("LINESTRING (0 2, 2 0)")
-        )
-        .unwrap());
+        assert!(crosses(&g("LINESTRING (0 0, 2 2)"), &g("LINESTRING (0 2, 2 0)")).unwrap());
         assert!(crosses(&g("LINESTRING (-1 1, 3 1)"), &g(SQ)).unwrap());
         // A line fully inside does not cross.
         assert!(!crosses(&g("LINESTRING (0.5 1, 1.5 1)"), &g(SQ)).unwrap());
         // Touching lines do not cross.
-        assert!(!crosses(
-            &g("LINESTRING (0 0, 1 0)"),
-            &g("LINESTRING (1 0, 2 0)")
-        )
-        .unwrap());
+        assert!(!crosses(&g("LINESTRING (0 0, 1 0)"), &g("LINESTRING (1 0, 2 0)")).unwrap());
         // Multipoint crossing a polygon: some in, some out.
         assert!(crosses(&g("MULTIPOINT ((1 1), (9 9))"), &g(SQ)).unwrap());
     }
@@ -180,24 +160,12 @@ mod tests {
         assert!(!overlaps(&g(SQ), &g(SQ_INNER)).unwrap()); // containment
         assert!(!overlaps(&g(SQ), &g(SQ_EDGE)).unwrap()); // touch
         assert!(!overlaps(&g(SQ), &g(SQ)).unwrap()); // equal
-        // Collinear partially overlapping lines.
-        assert!(overlaps(
-            &g("LINESTRING (0 0, 2 0)"),
-            &g("LINESTRING (1 0, 3 0)")
-        )
-        .unwrap());
+                                                     // Collinear partially overlapping lines.
+        assert!(overlaps(&g("LINESTRING (0 0, 2 0)"), &g("LINESTRING (1 0, 3 0)")).unwrap());
         // Crossing lines do not overlap (dim-0 intersection).
-        assert!(!overlaps(
-            &g("LINESTRING (0 0, 2 2)"),
-            &g("LINESTRING (0 2, 2 0)")
-        )
-        .unwrap());
+        assert!(!overlaps(&g("LINESTRING (0 0, 2 2)"), &g("LINESTRING (0 2, 2 0)")).unwrap());
         // Point sets sharing some but not all members.
-        assert!(overlaps(
-            &g("MULTIPOINT ((0 0), (1 1))"),
-            &g("MULTIPOINT ((1 1), (2 2))")
-        )
-        .unwrap());
+        assert!(overlaps(&g("MULTIPOINT ((0 0), (1 1))"), &g("MULTIPOINT ((1 1), (2 2))")).unwrap());
     }
 
     #[test]
@@ -210,11 +178,7 @@ mod tests {
 
     #[test]
     fn predicate_consistency_within_implies_covered_by() {
-        let pairs = [
-            (SQ_INNER, SQ),
-            ("POINT (1 1)", SQ),
-            ("LINESTRING (0.5 1, 1.5 1)", SQ),
-        ];
+        let pairs = [(SQ_INNER, SQ), ("POINT (1 1)", SQ), ("LINESTRING (0.5 1, 1.5 1)", SQ)];
         for (a, b) in pairs {
             assert!(within(&g(a), &g(b)).unwrap(), "{a} within {b}");
             assert!(covered_by(&g(a), &g(b)).unwrap(), "{a} coveredBy {b}");

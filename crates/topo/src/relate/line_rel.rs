@@ -267,13 +267,7 @@ mod tests {
     fn line_area_boundary_coverage() {
         // A line tracing the full square boundary: EB must be F.
         let square = Polygon::from_xy(&[(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)]).unwrap();
-        let trace = lineset(&[&[
-            (0.0, 0.0),
-            (1.0, 0.0),
-            (1.0, 1.0),
-            (0.0, 1.0),
-            (0.0, 0.0),
-        ]]);
+        let trace = lineset(&[&[(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0), (0.0, 0.0)]]);
         let m = lines_areas(&trace, &[square]);
         assert_eq!(m.get(Position::Exterior, Position::Boundary), Dimension::Empty);
         assert_eq!(m.get(Position::Interior, Position::Boundary), Dimension::One);

@@ -123,26 +123,17 @@ mod tests {
 
     #[test]
     fn point_in_polygon_within() {
-        assert_eq!(
-            rel("POINT (1 1)", "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))"),
-            "0FFFFF212"
-        );
+        assert_eq!(rel("POINT (1 1)", "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))"), "0FFFFF212");
     }
 
     #[test]
     fn point_on_polygon_boundary() {
-        assert_eq!(
-            rel("POINT (2 1)", "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))"),
-            "F0FFFF212"
-        );
+        assert_eq!(rel("POINT (2 1)", "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))"), "F0FFFF212");
     }
 
     #[test]
     fn point_outside_polygon() {
-        assert_eq!(
-            rel("POINT (9 9)", "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))"),
-            "FF0FFF212"
-        );
+        assert_eq!(rel("POINT (9 9)", "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))"), "FF0FFF212");
     }
 
     // ------------------------------------------------------------------
@@ -151,73 +142,46 @@ mod tests {
 
     #[test]
     fn crossing_lines() {
-        assert_eq!(
-            rel("LINESTRING (0 0, 2 2)", "LINESTRING (0 2, 2 0)"),
-            "0F1FF0102"
-        );
+        assert_eq!(rel("LINESTRING (0 0, 2 2)", "LINESTRING (0 2, 2 0)"), "0F1FF0102");
     }
 
     #[test]
     fn touching_lines_at_endpoints() {
-        assert_eq!(
-            rel("LINESTRING (0 0, 1 0)", "LINESTRING (1 0, 2 0)"),
-            "FF1F00102"
-        );
+        assert_eq!(rel("LINESTRING (0 0, 1 0)", "LINESTRING (1 0, 2 0)"), "FF1F00102");
     }
 
     #[test]
     fn equal_lines() {
-        assert_eq!(
-            rel("LINESTRING (0 0, 2 0)", "LINESTRING (0 0, 2 0)"),
-            "1FFF0FFF2"
-        );
+        assert_eq!(rel("LINESTRING (0 0, 2 0)", "LINESTRING (0 0, 2 0)"), "1FFF0FFF2");
         // Also equal when traversed in reverse.
-        assert_eq!(
-            rel("LINESTRING (0 0, 2 0)", "LINESTRING (2 0, 0 0)"),
-            "1FFF0FFF2"
-        );
+        assert_eq!(rel("LINESTRING (0 0, 2 0)", "LINESTRING (2 0, 0 0)"), "1FFF0FFF2");
     }
 
     #[test]
     fn overlapping_collinear_lines() {
-        assert_eq!(
-            rel("LINESTRING (0 0, 2 0)", "LINESTRING (1 0, 3 0)"),
-            "1010F0102"
-        );
+        assert_eq!(rel("LINESTRING (0 0, 2 0)", "LINESTRING (1 0, 3 0)"), "1010F0102");
     }
 
     #[test]
     fn line_within_line() {
-        assert_eq!(
-            rel("LINESTRING (1 0, 2 0)", "LINESTRING (0 0, 3 0)"),
-            "1FF0FF102"
-        );
+        assert_eq!(rel("LINESTRING (1 0, 2 0)", "LINESTRING (0 0, 3 0)"), "1FF0FF102");
     }
 
     #[test]
     fn t_junction_lines() {
         // B's endpoint meets A's interior.
-        assert_eq!(
-            rel("LINESTRING (0 0, 2 0)", "LINESTRING (1 0, 1 1)"),
-            "F01FF0102"
-        );
+        assert_eq!(rel("LINESTRING (0 0, 2 0)", "LINESTRING (1 0, 1 1)"), "F01FF0102");
     }
 
     #[test]
     fn disjoint_lines() {
-        assert_eq!(
-            rel("LINESTRING (0 0, 1 0)", "LINESTRING (5 5, 6 5)"),
-            "FF1FF0102"
-        );
+        assert_eq!(rel("LINESTRING (0 0, 1 0)", "LINESTRING (5 5, 6 5)"), "FF1FF0102");
     }
 
     #[test]
     fn closed_line_has_no_boundary() {
         // A ring-shaped linestring: boundary row must be all F.
-        let m = rel(
-            "LINESTRING (0 0, 1 0, 1 1, 0 0)",
-            "LINESTRING (5 5, 6 5)",
-        );
+        let m = rel("LINESTRING (0 0, 1 0, 1 1, 0 0)", "LINESTRING (5 5, 6 5)");
         assert_eq!(m, "FF1FFF102");
     }
 
@@ -282,10 +246,7 @@ mod tests {
     #[test]
     fn equal_polygons() {
         assert_eq!(
-            rel(
-                "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))",
-                "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))"
-            ),
+            rel("POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))", "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))"),
             "2FFF1FFF2"
         );
     }
@@ -293,10 +254,7 @@ mod tests {
     #[test]
     fn overlapping_polygons() {
         assert_eq!(
-            rel(
-                "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))",
-                "POLYGON ((1 1, 3 1, 3 3, 1 3, 1 1))"
-            ),
+            rel("POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))", "POLYGON ((1 1, 3 1, 3 3, 1 3, 1 1))"),
             "212101212"
         );
     }
@@ -304,10 +262,7 @@ mod tests {
     #[test]
     fn disjoint_polygons() {
         assert_eq!(
-            rel(
-                "POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))",
-                "POLYGON ((5 5, 6 5, 6 6, 5 6, 5 5))"
-            ),
+            rel("POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))", "POLYGON ((5 5, 6 5, 6 6, 5 6, 5 5))"),
             "FF2FF1212"
         );
     }
@@ -315,10 +270,7 @@ mod tests {
     #[test]
     fn polygon_within_polygon() {
         assert_eq!(
-            rel(
-                "POLYGON ((1 1, 2 1, 2 2, 1 2, 1 1))",
-                "POLYGON ((0 0, 3 0, 3 3, 0 3, 0 0))"
-            ),
+            rel("POLYGON ((1 1, 2 1, 2 2, 1 2, 1 1))", "POLYGON ((0 0, 3 0, 3 3, 0 3, 0 0))"),
             "2FF1FF212"
         );
     }
@@ -326,10 +278,7 @@ mod tests {
     #[test]
     fn polygon_contains_polygon() {
         assert_eq!(
-            rel(
-                "POLYGON ((0 0, 3 0, 3 3, 0 3, 0 0))",
-                "POLYGON ((1 1, 2 1, 2 2, 1 2, 1 1))"
-            ),
+            rel("POLYGON ((0 0, 3 0, 3 3, 0 3, 0 0))", "POLYGON ((1 1, 2 1, 2 2, 1 2, 1 1))"),
             "212FF1FF2"
         );
     }
@@ -337,10 +286,7 @@ mod tests {
     #[test]
     fn touching_polygons_share_edge() {
         assert_eq!(
-            rel(
-                "POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))",
-                "POLYGON ((1 0, 2 0, 2 1, 1 1, 1 0))"
-            ),
+            rel("POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))", "POLYGON ((1 0, 2 0, 2 1, 1 1, 1 0))"),
             "FF2F11212"
         );
     }
@@ -348,10 +294,7 @@ mod tests {
     #[test]
     fn touching_polygons_at_corner() {
         assert_eq!(
-            rel(
-                "POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))",
-                "POLYGON ((1 1, 2 1, 2 2, 1 2, 1 1))"
-            ),
+            rel("POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))", "POLYGON ((1 1, 2 1, 2 2, 1 2, 1 1))"),
             "FF2F01212"
         );
     }
@@ -409,10 +352,7 @@ mod tests {
             ("POINT (1 1)", "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))"),
             ("LINESTRING (-1 1, 3 1)", "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))"),
             ("LINESTRING (0 0, 2 2)", "LINESTRING (0 2, 2 0)"),
-            (
-                "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))",
-                "POLYGON ((1 1, 3 1, 3 3, 1 3, 1 1))",
-            ),
+            ("POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))", "POLYGON ((1 1, 3 1, 3 3, 1 3, 1 1))"),
             ("MULTIPOINT ((0 0), (3 3))", "LINESTRING (0 0, 2 0)"),
         ];
         for (a, b) in cases {

@@ -59,9 +59,7 @@ fn on_lines_interior(p: Coord, ls: &LineSet) -> bool {
     // Interior vertices and interior-of-segment points both qualify; an
     // endpoint shared by an even number of curves also does (mod-2 rule).
     coord_on_lines(p, &ls.lines)
-        || ls.lines.iter().any(|l| {
-            l.segments().any(|(a, b)| point_in_segment_interior(p, a, b))
-        })
+        || ls.lines.iter().any(|l| l.segments().any(|(a, b)| point_in_segment_interior(p, a, b)))
 }
 
 /// Matrix of a point set against a polygon set.
@@ -102,7 +100,10 @@ mod tests {
         // Two curves meeting at (1,0): the junction is interior (mod-2).
         let a = LineString::from_xy(&[(0.0, 0.0), (1.0, 0.0)]).unwrap();
         let b = LineString::from_xy(&[(1.0, 0.0), (2.0, 0.0)]).unwrap();
-        let ls = LineSet { boundary: super::super::shape::mod2_boundary(&[a.clone(), b.clone()]), lines: vec![a, b] };
+        let ls = LineSet {
+            boundary: super::super::shape::mod2_boundary(&[a.clone(), b.clone()]),
+            lines: vec![a, b],
+        };
         let m = points_lines(&[c(1.0, 0.0)], &ls);
         assert_eq!(m.get(Position::Interior, Position::Interior), Dimension::Zero);
         assert_eq!(m.get(Position::Interior, Position::Boundary), Dimension::Empty);

@@ -78,14 +78,8 @@ pub fn areas_areas(a: &[Polygon], b: &[Polygon]) -> IntersectionMatrix {
     }
 
     // Interior-point probes (each located against the whole other set).
-    let a_probe_in_b = a
-        .iter()
-        .map(|p| locate_in_areas(interior_point(p), b))
-        .collect::<Vec<_>>();
-    let b_probe_in_a = b
-        .iter()
-        .map(|p| locate_in_areas(interior_point(p), a))
-        .collect::<Vec<_>>();
+    let a_probe_in_b = a.iter().map(|p| locate_in_areas(interior_point(p), b)).collect::<Vec<_>>();
+    let b_probe_in_a = b.iter().map(|p| locate_in_areas(interior_point(p), a)).collect::<Vec<_>>();
 
     // Interior × interior: the interiors meet iff a boundary of one runs
     // through the interior of the other (an open set: any boundary point
@@ -104,15 +98,11 @@ pub fn areas_areas(a: &[Polygon], b: &[Polygon]) -> IntersectionMatrix {
     // outside B, or B's boundary runs strictly inside A (so points of B's
     // exterior lie arbitrarily close inside A's interior), or some member
     // of A sits entirely in B's exterior (probe).
-    let ie = oa.outside
-        || ob.inside
-        || a_probe_in_b.contains(&Location::Exterior);
+    let ie = oa.outside || ob.inside || a_probe_in_b.contains(&Location::Exterior);
     if ie {
         m.set(Position::Interior, Position::Exterior, Dimension::Two);
     }
-    let ei = ob.outside
-        || oa.inside
-        || b_probe_in_a.contains(&Location::Exterior);
+    let ei = ob.outside || oa.inside || b_probe_in_a.contains(&Location::Exterior);
     if ei {
         m.set(Position::Exterior, Position::Interior, Dimension::Two);
     }

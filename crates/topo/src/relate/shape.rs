@@ -47,13 +47,16 @@ pub fn decompose(g: &Geometry) -> Result<Shape> {
             Ok(Shape::Lines(LineSet { lines, boundary }))
         }
         (false, false, true) => Ok(Shape::Areas(areas)),
-        _ => Err(TopoError::Unsupported(
-            "geometry collection mixes dimension families".into(),
-        )),
+        _ => Err(TopoError::Unsupported("geometry collection mixes dimension families".into())),
     }
 }
 
-fn collect(g: &Geometry, pts: &mut Vec<Coord>, lines: &mut Vec<LineString>, areas: &mut Vec<Polygon>) {
+fn collect(
+    g: &Geometry,
+    pts: &mut Vec<Coord>,
+    lines: &mut Vec<LineString>,
+    areas: &mut Vec<Polygon>,
+) {
     match g {
         Geometry::Point(p) => pts.extend(p.coord()),
         Geometry::MultiPoint(m) => pts.extend(m.0.iter().filter_map(|p| p.coord())),
@@ -186,10 +189,7 @@ pub fn split_line_by_areas(
         }
     }
     for piece in pending {
-        resolved.push(LinePortion {
-            class: PortionClass::Outside,
-            coords: piece.coords().to_vec(),
-        })
+        resolved.push(LinePortion { class: PortionClass::Outside, coords: piece.coords().to_vec() })
     }
     resolved
 }
@@ -262,16 +262,10 @@ mod tests {
         };
         let line = LineString::from_xy(&[(-1.0, 1.0), (7.0, 1.0)]).unwrap();
         let portions = split_line_by_areas(&line, &[a, b]);
-        let inside_len: f64 = portions
-            .iter()
-            .filter(|p| p.class == PortionClass::Inside)
-            .map(|p| p.length())
-            .sum();
-        let outside_len: f64 = portions
-            .iter()
-            .filter(|p| p.class == PortionClass::Outside)
-            .map(|p| p.length())
-            .sum();
+        let inside_len: f64 =
+            portions.iter().filter(|p| p.class == PortionClass::Inside).map(|p| p.length()).sum();
+        let outside_len: f64 =
+            portions.iter().filter(|p| p.class == PortionClass::Outside).map(|p| p.length()).sum();
         assert!((inside_len - 4.0).abs() < 1e-9, "inside = {inside_len}");
         assert!((outside_len - 4.0).abs() < 1e-9, "outside = {outside_len}");
     }

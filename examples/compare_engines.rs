@@ -26,10 +26,7 @@ fn main() {
     let ring_wkt = wkt::write(&ring);
     println!("toxic spill at ({:.4}, {:.4}), impact radius 0.08°\n", site.x, site.y);
 
-    println!(
-        "{:<12} {:>10} {:>10} {:>10} {:>9}",
-        "engine", "roads", "water", "people", "ms"
-    );
+    println!("{:<12} {:>10} {:>10} {:>10} {:>9}", "engine", "roads", "water", "people", "ms");
     for profile in EngineProfile::ALL {
         let db = Arc::new(SpatialDb::new(profile));
         load_dataset(&db, &data).expect("load");

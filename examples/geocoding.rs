@@ -38,17 +38,13 @@ fn main() {
                 let hi = row[1].as_i64().unwrap_or(1);
                 let geom = row[2].as_geom().expect("road geometry");
                 // Interpolate the position along the centreline.
-                let Geometry::LineString(line) =
-                    wkt::parse(&wkt::write(geom)).expect("roundtrip")
+                let Geometry::LineString(line) = wkt::parse(&wkt::write(geom)).expect("roundtrip")
                 else {
                     unreachable!("roads are linestrings");
                 };
                 let t = (number - lo) as f64 / (hi - lo).max(1) as f64;
                 let pos = line.interpolate(t * line.length()).expect("non-empty road");
-                println!(
-                    "  {number} {} ({}) -> ({:.5}, {:.5})",
-                    road.name, road.zip, pos.x, pos.y
-                );
+                println!("  {number} {} ({}) -> ({:.5}, {:.5})", road.name, road.zip, pos.x, pos.y);
             }
             None => println!("  {number} {} ({}): no match", road.name, road.zip),
         }
@@ -67,9 +63,6 @@ fn main() {
             ))
             .expect("knn");
         let row = &r.rows[0];
-        println!(
-            "  fix ({x:.5}, {y:.5}) -> near {} block of {} ({})",
-            row[2], row[0], row[1]
-        );
+        println!("  fix ({x:.5}, {y:.5}) -> near {} block of {} ({})", row[2], row[0], row[1]);
     }
 }

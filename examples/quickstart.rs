@@ -21,10 +21,8 @@ fn main() {
         (3, "Hilltop Green", "POLYGON ((2 5, 5 5, 5 8, 2 8, 2 5))"),
     ];
     for (id, name, wkt) in parks {
-        db.execute(&format!(
-            "INSERT INTO parks VALUES ({id}, '{name}', ST_GeomFromText('{wkt}'))"
-        ))
-        .unwrap();
+        db.execute(&format!("INSERT INTO parks VALUES ({id}, '{name}', ST_GeomFromText('{wkt}'))"))
+            .unwrap();
     }
     let cafes = [
         (1, "Bean There", "POINT (1 1)"),
@@ -33,19 +31,15 @@ fn main() {
         (4, "Drip Drop", "POINT (3 6)"),
     ];
     for (id, name, wkt) in cafes {
-        db.execute(&format!(
-            "INSERT INTO cafes VALUES ({id}, '{name}', ST_GeomFromText('{wkt}'))"
-        ))
-        .unwrap();
+        db.execute(&format!("INSERT INTO cafes VALUES ({id}, '{name}', ST_GeomFromText('{wkt}'))"))
+            .unwrap();
     }
     db.create_spatial_index("parks", "geom").unwrap();
     db.create_spatial_index("cafes", "geom").unwrap();
 
     // 1. Window search: what's on this map tile?
     let r = db
-        .execute(
-            "SELECT name FROM parks WHERE MBRIntersects(geom, ST_MakeEnvelope(0, 0, 5, 5))",
-        )
+        .execute("SELECT name FROM parks WHERE MBRIntersects(geom, ST_MakeEnvelope(0, 0, 5, 5))")
         .unwrap();
     println!("parks on tile (0,0)-(5,5):");
     for row in &r.rows {
@@ -54,9 +48,7 @@ fn main() {
 
     // 2. Topological predicate: cafés inside a park.
     let r = db
-        .execute(
-            "SELECT c.name, p.name FROM cafes c JOIN parks p ON ST_Within(c.geom, p.geom)",
-        )
+        .execute("SELECT c.name, p.name FROM cafes c JOIN parks p ON ST_Within(c.geom, p.geom)")
         .unwrap();
     println!("\ncafés inside parks:");
     for row in &r.rows {

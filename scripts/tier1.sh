@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 gate: formatting, release build, full test suite — all offline.
+# Run from anywhere; works with no network and no crates registry.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo build --release"
+cargo build --release --offline
+
+echo "== cargo test -q (workspace)"
+cargo test -q --workspace --offline
+
+echo "tier-1 green"

@@ -60,10 +60,7 @@ fn mbr_profile_returns_supersets_on_monotone_predicates() {
         assert!(m >= e, "{}: MBR count {m} below exact {e}", q.id);
         strictly_larger |= m > e;
     }
-    assert!(
-        strictly_larger,
-        "at this scale, at least one MBR count should show false positives"
-    );
+    assert!(strictly_larger, "at this scale, at least one MBR count should show false positives");
 }
 
 #[test]
@@ -87,8 +84,7 @@ fn micro_queries_have_nontrivial_answers() {
     let mut nonzero = 0;
     let mut total = 0;
     for q in topo_suite(&data) {
-        if let Some(v) = db.execute(&q.sql).expect("query runs").scalar().and_then(Value::as_i64)
-        {
+        if let Some(v) = db.execute(&q.sql).expect("query runs").scalar().and_then(Value::as_i64) {
             total += 1;
             if v > 0 {
                 nonzero += 1;

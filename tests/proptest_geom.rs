@@ -1,151 +1,199 @@
-//! Property tests pinning the geometry kernel's invariants.
+//! Randomized tests pinning the geometry kernel's invariants
+//! (deterministic seeded PRNG; more iterations under `slow-tests`).
 
 mod common;
 
-use common::{geometry, point, polygon, star_polygon};
+use common::{cases, geometry, point, polygon, star_polygon, test_rng};
+use jackpine::geom::algorithms::locate::{locate_in_polygon, Location};
+use jackpine::geom::algorithms::orientation::{orient2d, Orientation};
 use jackpine::geom::algorithms::{
     area, buffer, convex_hull, difference, distance, intersection, simplify, union,
 };
-use jackpine::geom::algorithms::locate::{locate_in_polygon, Location};
-use jackpine::geom::algorithms::orientation::{orient2d, Orientation};
 use jackpine::geom::{wkb, wkt, Coord, Geometry};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+// ----- serialization roundtrips ------------------------------------
 
-    // ----- serialization roundtrips ------------------------------------
-
-    #[test]
-    fn wkt_roundtrip(g in geometry()) {
+#[test]
+fn wkt_roundtrip() {
+    let mut rng = test_rng("wkt_roundtrip");
+    for _ in 0..cases(64) {
+        let g = geometry(&mut rng);
         let text = wkt::write(&g);
         let back = wkt::parse(&text).expect("written WKT must parse");
         // Float formatting is exact (shortest roundtrip form), so the
         // geometry must be bit-identical.
-        prop_assert_eq!(g, back);
+        assert_eq!(g, back);
     }
+}
 
-    #[test]
-    fn wkb_roundtrip(g in geometry()) {
+#[test]
+fn wkb_roundtrip() {
+    let mut rng = test_rng("wkb_roundtrip");
+    for _ in 0..cases(64) {
+        let g = geometry(&mut rng);
         let bytes = wkb::encode(&g);
         let back = wkb::decode(&bytes).expect("encoded WKB must decode");
-        prop_assert_eq!(g, back);
+        assert_eq!(g, back);
     }
+}
 
-    // ----- orientation predicate ----------------------------------------
+// ----- orientation predicate ----------------------------------------
 
-    #[test]
-    fn orient2d_cyclic_invariance(
-        (ax, ay, bx, by, cx, cy) in (-1e3..1e3f64, -1e3..1e3f64, -1e3..1e3f64,
-                                     -1e3..1e3f64, -1e3..1e3f64, -1e3..1e3f64)
-    ) {
-        let (a, b, c) = (Coord::new(ax, ay), Coord::new(bx, by), Coord::new(cx, cy));
-        prop_assert_eq!(orient2d(a, b, c), orient2d(b, c, a));
-        prop_assert_eq!(orient2d(a, b, c), orient2d(c, a, b));
+#[test]
+fn orient2d_cyclic_invariance() {
+    let mut rng = test_rng("orient2d_cyclic_invariance");
+    for _ in 0..cases(64) {
+        let mut c = || Coord::new(rng.gen_range(-1e3..1e3f64), rng.gen_range(-1e3..1e3f64));
+        let (a, b, c) = (c(), c(), c());
+        assert_eq!(orient2d(a, b, c), orient2d(b, c, a));
+        assert_eq!(orient2d(a, b, c), orient2d(c, a, b));
         // Swapping two points flips the sign.
-        prop_assert_eq!(orient2d(a, b, c), orient2d(b, a, c).reversed());
+        assert_eq!(orient2d(a, b, c), orient2d(b, a, c).reversed());
     }
+}
 
-    #[test]
-    fn orient2d_degenerate_duplicates_are_collinear(
-        (ax, ay, bx, by) in (-1e3..1e3f64, -1e3..1e3f64, -1e3..1e3f64, -1e3..1e3f64)
-    ) {
-        let (a, b) = (Coord::new(ax, ay), Coord::new(bx, by));
-        prop_assert_eq!(orient2d(a, a, b), Orientation::Collinear);
-        prop_assert_eq!(orient2d(a, b, b), Orientation::Collinear);
-        prop_assert_eq!(orient2d(a, b, a), Orientation::Collinear);
+#[test]
+fn orient2d_degenerate_duplicates_are_collinear() {
+    let mut rng = test_rng("orient2d_degenerate");
+    for _ in 0..cases(64) {
+        let mut c = || Coord::new(rng.gen_range(-1e3..1e3f64), rng.gen_range(-1e3..1e3f64));
+        let (a, b) = (c(), c());
+        assert_eq!(orient2d(a, a, b), Orientation::Collinear);
+        assert_eq!(orient2d(a, b, b), Orientation::Collinear);
+        assert_eq!(orient2d(a, b, a), Orientation::Collinear);
     }
+}
 
-    // ----- hull -----------------------------------------------------------
+// ----- hull -----------------------------------------------------------
 
-    #[test]
-    fn convex_hull_contains_inputs_and_is_idempotent(g in geometry()) {
+#[test]
+fn convex_hull_contains_inputs_and_is_idempotent() {
+    let mut rng = test_rng("convex_hull");
+    for _ in 0..cases(64) {
+        let g = geometry(&mut rng);
         let hull = convex_hull(&g).expect("hull computes");
         // Hull area dominates the input's.
-        prop_assert!(area(&hull) + 1e-9 >= area(&g));
+        assert!(area(&hull) + 1e-9 >= area(&g));
         // Idempotence.
         let hull2 = convex_hull(&hull).expect("hull of hull computes");
-        prop_assert!((area(&hull) - area(&hull2)).abs() <= 1e-9 * area(&hull).max(1.0));
+        assert!((area(&hull) - area(&hull2)).abs() <= 1e-9 * area(&hull).max(1.0));
         // Every original vertex is inside or on the hull.
         if let (Geometry::Polygon(hp), Geometry::Polygon(p)) = (&hull, &g) {
             for c in p.exterior().coords() {
-                prop_assert_ne!(locate_in_polygon(*c, hp), Location::Exterior);
+                assert_ne!(locate_in_polygon(*c, hp), Location::Exterior);
             }
         }
     }
+}
 
-    // ----- measures ---------------------------------------------------------
+// ----- measures ---------------------------------------------------------
 
-    #[test]
-    fn area_is_nonnegative_and_envelope_bounds_it(g in geometry()) {
+#[test]
+fn area_is_nonnegative_and_envelope_bounds_it() {
+    let mut rng = test_rng("area_nonnegative");
+    for _ in 0..cases(64) {
+        let g = geometry(&mut rng);
         let a = area(&g);
-        prop_assert!(a >= 0.0);
+        assert!(a >= 0.0);
         let env = g.envelope();
-        prop_assert!(a <= env.area() + 1e-9);
+        assert!(a <= env.area() + 1e-9);
     }
+}
 
-    // ----- simplification -----------------------------------------------------
+// ----- simplification -----------------------------------------------------
 
-    #[test]
-    fn simplify_never_adds_vertices(g in geometry(), tol in 0.0..5.0f64) {
+#[test]
+fn simplify_never_adds_vertices() {
+    let mut rng = test_rng("simplify_never_adds");
+    for _ in 0..cases(64) {
+        let g = geometry(&mut rng);
+        let tol = rng.gen_range(0.0..5.0f64);
         let s = simplify(&g, tol).expect("simplify computes");
-        prop_assert!(s.num_coords() <= g.num_coords());
+        assert!(s.num_coords() <= g.num_coords());
         // The simplified geometry stays within the original envelope.
-        prop_assert!(g.envelope().expanded_by(1e-9).contains_envelope(&s.envelope()));
+        assert!(g.envelope().expanded_by(1e-9).contains_envelope(&s.envelope()));
     }
+}
 
-    // ----- overlay ---------------------------------------------------------------
+// ----- overlay ---------------------------------------------------------------
 
-    #[test]
-    fn overlay_inclusion_exclusion(a in star_polygon(), b in star_polygon()) {
-        let (ga, gb) = (Geometry::Polygon(a), Geometry::Polygon(b));
+#[test]
+fn overlay_inclusion_exclusion() {
+    let mut rng = test_rng("overlay_inclusion_exclusion");
+    for _ in 0..cases(64) {
+        let ga = Geometry::Polygon(star_polygon(&mut rng));
+        let gb = Geometry::Polygon(star_polygon(&mut rng));
         let u = area(&union(&ga, &gb).expect("union computes"));
         let i = area(&intersection(&ga, &gb).expect("intersection computes"));
         let total = area(&ga) + area(&gb);
         let tol = total.max(1.0) * 1e-6;
-        prop_assert!((u + i - total).abs() < tol, "|A∪B|+|A∩B| = {} vs |A|+|B| = {}", u + i, total);
+        assert!((u + i - total).abs() < tol, "|A∪B|+|A∩B| = {} vs |A|+|B| = {}", u + i, total);
         // Monotonicity.
-        prop_assert!(u + tol >= area(&ga).max(area(&gb)));
-        prop_assert!(i <= area(&ga).min(area(&gb)) + tol);
+        assert!(u + tol >= area(&ga).max(area(&gb)));
+        assert!(i <= area(&ga).min(area(&gb)) + tol);
     }
+}
 
-    #[test]
-    fn difference_partitions_area(a in star_polygon(), b in star_polygon()) {
-        let (ga, gb) = (Geometry::Polygon(a), Geometry::Polygon(b));
+#[test]
+fn difference_partitions_area() {
+    let mut rng = test_rng("difference_partitions_area");
+    for _ in 0..cases(64) {
+        let ga = Geometry::Polygon(star_polygon(&mut rng));
+        let gb = Geometry::Polygon(star_polygon(&mut rng));
         let d = area(&difference(&ga, &gb).expect("difference computes"));
         let i = area(&intersection(&ga, &gb).expect("intersection computes"));
         let tol = (area(&ga) + area(&gb)).max(1.0) * 1e-6;
-        prop_assert!((d + i - area(&ga)).abs() < tol, "|A−B| + |A∩B| = {} vs |A| = {}", d + i, area(&ga));
+        assert!(
+            (d + i - area(&ga)).abs() < tol,
+            "|A−B| + |A∩B| = {} vs |A| = {}",
+            d + i,
+            area(&ga)
+        );
     }
+}
 
-    // ----- distance -----------------------------------------------------------------
+// ----- distance -----------------------------------------------------------------
 
-    #[test]
-    fn distance_is_symmetric_and_nonnegative(a in geometry(), b in geometry()) {
+#[test]
+fn distance_is_symmetric_and_nonnegative() {
+    let mut rng = test_rng("distance_symmetric");
+    for _ in 0..cases(64) {
+        let a = geometry(&mut rng);
+        let b = geometry(&mut rng);
         let d1 = distance(&a, &b);
         let d2 = distance(&b, &a);
-        prop_assert!(d1 >= 0.0);
-        prop_assert!((d1 - d2).abs() < 1e-9 || (d1.is_infinite() && d2.is_infinite()));
-        prop_assert_eq!(distance(&a, &a), 0.0);
+        assert!(d1 >= 0.0);
+        assert!((d1 - d2).abs() < 1e-9 || (d1.is_infinite() && d2.is_infinite()));
+        assert_eq!(distance(&a, &a), 0.0);
     }
+}
 
-    #[test]
-    fn positive_distance_implies_envelope_gap_bound(a in polygon(), b in polygon()) {
+#[test]
+fn positive_distance_implies_envelope_gap_bound() {
+    let mut rng = test_rng("distance_envelope_gap");
+    for _ in 0..cases(64) {
+        let a = polygon(&mut rng);
+        let b = polygon(&mut rng);
         // Geometry distance is at least the envelope distance.
         let d = distance(&a, &b);
         let ed = a.envelope().distance_to_envelope(&b.envelope());
-        prop_assert!(d + 1e-9 >= ed, "geom distance {d} < envelope distance {ed}");
+        assert!(d + 1e-9 >= ed, "geom distance {d} < envelope distance {ed}");
     }
+}
 
-    // ----- buffer ---------------------------------------------------------------------
+// ----- buffer ---------------------------------------------------------------------
 
-    #[test]
-    fn point_buffer_area_brackets_circle(p in point(), r in 0.1..5.0f64) {
+#[test]
+fn point_buffer_area_brackets_circle() {
+    let mut rng = test_rng("point_buffer_area");
+    for _ in 0..cases(64) {
+        let p = point(&mut rng);
+        let r = rng.gen_range(0.1..5.0f64);
         let b = buffer(&p, r).expect("buffer computes");
         let a = area(&b);
         let exact = std::f64::consts::PI * r * r;
         // Inscribed polygon: below πr² but within 2 %.
-        prop_assert!(a <= exact + 1e-9);
-        prop_assert!(a >= exact * 0.97, "buffer area {a} too small vs {exact}");
+        assert!(a <= exact + 1e-9);
+        assert!(a >= exact * 0.97, "buffer area {a} too small vs {exact}");
     }
 }

@@ -1,79 +1,130 @@
-//! Fuzz-style property tests for the SQL front end: the parser must never
-//! panic, and well-formed statements must round-trip through execution
-//! deterministically.
+//! Fuzz-style randomized tests for the SQL front end: the parser must
+//! never panic, and well-formed statements must round-trip through
+//! execution deterministically (deterministic seeded PRNG).
 
+mod common;
+
+use common::{cases, test_rng};
+use jackpine::datagen::rng::Rng;
 use jackpine::engine::{EngineProfile, SpatialDb};
 use jackpine::sql::parser::parse;
-use proptest::prelude::*;
 use std::sync::Arc;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn join_fragments(rng: &mut Rng, vocab: &[&str], max: usize) -> String {
+    let n = rng.gen_range(0..max);
+    (0..n).map(|_| vocab[rng.gen_range(0..vocab.len())]).collect::<Vec<_>>().join(" ")
+}
 
-    /// Arbitrary printable garbage: the parser may reject it, but must
-    /// never panic or loop.
-    #[test]
-    fn parser_never_panics_on_garbage(input in "[ -~]{0,120}") {
+/// Arbitrary printable garbage: the parser may reject it, but must
+/// never panic or loop.
+#[test]
+fn parser_never_panics_on_garbage() {
+    let mut rng = test_rng("parser_never_panics_on_garbage");
+    for _ in 0..cases(256) {
+        let len = rng.gen_range(0..121usize);
+        let input: String =
+            (0..len).map(|_| char::from(rng.gen_range(0x20..0x7fi64) as u8)).collect();
         let _ = parse(&input);
     }
+}
 
-    /// Garbage built from SQL-looking fragments (much more likely to get
-    /// deep into the grammar than uniform noise).
-    #[test]
-    fn parser_never_panics_on_sql_shaped_garbage(
-        parts in proptest::collection::vec(
-            prop_oneof![
-                Just("SELECT"), Just("FROM"), Just("WHERE"), Just("JOIN"),
-                Just("ON"), Just("ORDER"), Just("BY"), Just("GROUP"),
-                Just("LIMIT"), Just("AND"), Just("OR"), Just("NOT"),
-                Just("BETWEEN"), Just("IS"), Just("NULL"), Just("*"),
-                Just(","), Just("("), Just(")"), Just("="), Just("<"),
-                Just(">"), Just("<="), Just("'txt'"), Just("42"), Just("1.5"),
-                Just("tbl"), Just("a"), Just("geom"),
-                Just("ST_Area"), Just("COUNT"), Just("ST_GeomFromText"),
-                Just("INSERT"), Just("INTO"), Just("VALUES"), Just("DELETE"),
-                Just("UPDATE"), Just("SET"), Just("EXPLAIN"),
-            ],
-            0..24,
-        )
-    ) {
-        let sql = parts.join(" ");
+/// Garbage built from SQL-looking fragments (much more likely to get
+/// deep into the grammar than uniform noise).
+#[test]
+fn parser_never_panics_on_sql_shaped_garbage() {
+    const VOCAB: &[&str] = &[
+        "SELECT",
+        "FROM",
+        "WHERE",
+        "JOIN",
+        "ON",
+        "ORDER",
+        "BY",
+        "GROUP",
+        "LIMIT",
+        "AND",
+        "OR",
+        "NOT",
+        "BETWEEN",
+        "IS",
+        "NULL",
+        "*",
+        ",",
+        "(",
+        ")",
+        "=",
+        "<",
+        ">",
+        "<=",
+        "'txt'",
+        "42",
+        "1.5",
+        "tbl",
+        "a",
+        "geom",
+        "ST_Area",
+        "COUNT",
+        "ST_GeomFromText",
+        "INSERT",
+        "INTO",
+        "VALUES",
+        "DELETE",
+        "UPDATE",
+        "SET",
+        "EXPLAIN",
+    ];
+    let mut rng = test_rng("parser_never_panics_on_sql_shaped_garbage");
+    for _ in 0..cases(256) {
+        let sql = join_fragments(&mut rng, VOCAB, 24);
         let _ = parse(&sql);
     }
+}
 
-    /// The engine surface must be panic-free too: executing arbitrary
-    /// SQL-shaped text returns Ok or Err, never aborts.
-    #[test]
-    fn engine_never_panics_on_sql_shaped_garbage(
-        parts in proptest::collection::vec(
-            prop_oneof![
-                Just("SELECT"), Just("COUNT"), Just("(*)"), Just("FROM"),
-                Just("t"), Just("WHERE"), Just("id"), Just("="), Just("1"),
-                Just("ST_Within"), Just("(geom,"), Just("geom)"),
-                Just("ORDER BY"), Just("LIMIT 5"), Just("GROUP BY"),
-            ],
-            0..16,
-        )
-    ) {
-        let db = Arc::new(SpatialDb::new(EngineProfile::ExactRtree));
-        db.execute("CREATE TABLE t (id BIGINT, geom GEOMETRY)").expect("ddl");
-        db.execute("INSERT INTO t VALUES (1, ST_GeomFromText('POINT (0 0)'))").expect("dml");
-        let sql = parts.join(" ");
+/// The engine surface must be panic-free too: executing arbitrary
+/// SQL-shaped text returns Ok or Err, never aborts.
+#[test]
+fn engine_never_panics_on_sql_shaped_garbage() {
+    const VOCAB: &[&str] = &[
+        "SELECT",
+        "COUNT",
+        "(*)",
+        "FROM",
+        "t",
+        "WHERE",
+        "id",
+        "=",
+        "1",
+        "ST_Within",
+        "(geom,",
+        "geom)",
+        "ORDER BY",
+        "LIMIT 5",
+        "GROUP BY",
+    ];
+    let mut rng = test_rng("engine_never_panics_on_sql_shaped_garbage");
+    let db = Arc::new(SpatialDb::new(EngineProfile::ExactRtree));
+    db.execute("CREATE TABLE t (id BIGINT, geom GEOMETRY)").expect("ddl");
+    db.execute("INSERT INTO t VALUES (1, ST_GeomFromText('POINT (0 0)'))").expect("dml");
+    for _ in 0..cases(256) {
+        let sql = join_fragments(&mut rng, VOCAB, 16);
         let _ = db.execute(&sql);
     }
+}
 
-    /// Statements the generator KNOWS are valid must parse.
-    #[test]
-    fn generated_valid_selects_parse(
-        cols in proptest::collection::vec(prop_oneof![Just("id"), Just("name")], 1..3),
-        limit in proptest::option::of(1..100usize),
-        desc in any::<bool>(),
-    ) {
+/// Statements the generator KNOWS are valid must parse.
+#[test]
+fn generated_valid_selects_parse() {
+    let mut rng = test_rng("generated_valid_selects_parse");
+    for _ in 0..cases(256) {
+        let ncols = rng.gen_range(1..3usize);
+        let cols: Vec<&str> =
+            (0..ncols).map(|_| if rng.gen_bool(0.5) { "id" } else { "name" }).collect();
+        let desc = rng.gen_bool(0.5);
         let mut sql = format!("SELECT {} FROM t WHERE id > 0", cols.join(", "));
         sql.push_str(&format!(" ORDER BY id {}", if desc { "DESC" } else { "ASC" }));
-        if let Some(n) = limit {
-            sql.push_str(&format!(" LIMIT {n}"));
+        if rng.gen_bool(0.5) {
+            sql.push_str(&format!(" LIMIT {}", rng.gen_range(1..100usize)));
         }
-        prop_assert!(parse(&sql).is_ok(), "failed to parse {sql}");
+        assert!(parse(&sql).is_ok(), "failed to parse {sql}");
     }
 }

@@ -1,20 +1,23 @@
-//! Property tests: SQL execution must agree with direct computation over
-//! the same data, for both scalar filters and spatial predicates.
+//! Randomized tests: SQL execution must agree with direct computation
+//! over the same data, for both scalar filters and spatial predicates
+//! (deterministic seeded PRNG).
 
+mod common;
+
+use common::{cases, test_rng};
 use jackpine::engine::{EngineProfile, SpatialConnector, SpatialDb};
 use jackpine::geom::{Coord, Envelope};
 use jackpine::storage::Value;
-use proptest::prelude::*;
 use std::sync::Arc;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn scalar_filters_match_manual_evaluation(
-        rows in proptest::collection::vec((-50i64..50, -50i64..50), 0..60),
-        threshold in -50i64..50,
-    ) {
+#[test]
+fn scalar_filters_match_manual_evaluation() {
+    let mut rng = test_rng("scalar_filters_match_manual_evaluation");
+    for _ in 0..cases(24) {
+        let n = rng.gen_range(0..60usize);
+        let rows: Vec<(i64, i64)> =
+            (0..n).map(|_| (rng.gen_range(-50..50i64), rng.gen_range(-50..50i64))).collect();
+        let threshold = rng.gen_range(-50..50i64);
         let db = Arc::new(SpatialDb::new(EngineProfile::ExactRtree));
         db.execute("CREATE TABLE t (a BIGINT, b BIGINT)").expect("ddl");
         for (a, b) in &rows {
@@ -24,48 +27,59 @@ proptest! {
             .execute(&format!("SELECT COUNT(*) FROM t WHERE a < b AND a >= {threshold}"))
             .expect("query");
         let want = rows.iter().filter(|(a, b)| a < b && *a >= threshold).count() as i64;
-        prop_assert_eq!(r.scalar().and_then(Value::as_i64), Some(want));
+        assert_eq!(r.scalar().and_then(Value::as_i64), Some(want));
 
         // Aggregates over the same predicate.
         let r = db
             .execute(&format!("SELECT SUM(a), MIN(b), MAX(b) FROM t WHERE a >= {threshold}"))
             .expect("aggregate");
-        let selected: Vec<&(i64, i64)> =
-            rows.iter().filter(|(a, _)| *a >= threshold).collect();
+        let selected: Vec<&(i64, i64)> = rows.iter().filter(|(a, _)| *a >= threshold).collect();
         if selected.is_empty() {
-            prop_assert!(r.rows[0][0].is_null());
+            assert!(r.rows[0][0].is_null());
         } else {
             let sum: i64 = selected.iter().map(|(a, _)| a).sum();
             let min = selected.iter().map(|(_, b)| *b).min().expect("non-empty");
             let max = selected.iter().map(|(_, b)| *b).max().expect("non-empty");
-            prop_assert_eq!(r.rows[0][0].as_f64(), Some(sum as f64));
-            prop_assert_eq!(r.rows[0][1].as_i64(), Some(min));
-            prop_assert_eq!(r.rows[0][2].as_i64(), Some(max));
+            assert_eq!(r.rows[0][0].as_f64(), Some(sum as f64));
+            assert_eq!(r.rows[0][1].as_i64(), Some(min));
+            assert_eq!(r.rows[0][2].as_i64(), Some(max));
         }
     }
+}
 
-    #[test]
-    fn order_by_and_limit_are_correct(
-        mut values in proptest::collection::vec(-1000i64..1000, 1..50),
-        limit in 1..20usize,
-    ) {
+#[test]
+fn order_by_and_limit_are_correct() {
+    let mut rng = test_rng("order_by_and_limit_are_correct");
+    for _ in 0..cases(24) {
+        let n = rng.gen_range(1..50usize);
+        let mut values: Vec<i64> = (0..n).map(|_| rng.gen_range(-1000..1000i64)).collect();
+        let limit = rng.gen_range(1..20usize);
         let db = Arc::new(SpatialDb::new(EngineProfile::ExactRtree));
         db.execute("CREATE TABLE t (v BIGINT)").expect("ddl");
         for v in &values {
             db.execute(&format!("INSERT INTO t VALUES ({v})")).expect("insert");
         }
-        let r = db.execute(&format!("SELECT v FROM t ORDER BY v DESC LIMIT {limit}")).expect("query");
+        let r =
+            db.execute(&format!("SELECT v FROM t ORDER BY v DESC LIMIT {limit}")).expect("query");
         values.sort_unstable_by(|a, b| b.cmp(a));
         let want: Vec<i64> = values.iter().take(limit).copied().collect();
         let got: Vec<i64> = r.rows.iter().filter_map(|row| row[0].as_i64()).collect();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
+}
 
-    #[test]
-    fn spatial_window_counts_match_brute_force(
-        pts in proptest::collection::vec((-100.0..100.0f64, -100.0..100.0f64), 1..80),
-        (wx, wy, ww, wh) in (-100.0..100.0f64, -100.0..100.0f64, 1.0..50.0f64, 1.0..50.0f64),
-    ) {
+#[test]
+fn spatial_window_counts_match_brute_force() {
+    let mut rng = test_rng("spatial_window_counts_match_brute_force");
+    for _ in 0..cases(24) {
+        let n = rng.gen_range(1..80usize);
+        let pts: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.gen_range(-100.0..100.0f64), rng.gen_range(-100.0..100.0f64)))
+            .collect();
+        let wx = rng.gen_range(-100.0..100.0f64);
+        let wy = rng.gen_range(-100.0..100.0f64);
+        let ww = rng.gen_range(1.0..50.0f64);
+        let wh = rng.gen_range(1.0..50.0f64);
         let window = Envelope::new(wx, wy, wx + ww, wy + wh);
         for profile in [EngineProfile::ExactRtree, EngineProfile::ExactGrid] {
             let db = Arc::new(SpatialDb::new(profile));
@@ -89,22 +103,27 @@ proptest! {
                 .iter()
                 .filter(|(x, y)| window.contains_coord_strict(Coord::new(*x, *y)))
                 .count() as i64;
-            prop_assert_eq!(got, Some(want), "profile {:?}", profile);
+            assert_eq!(got, Some(want), "profile {profile:?}");
         }
     }
+}
 
-    #[test]
-    fn index_plan_equals_sequential_plan(
-        pts in proptest::collection::vec((-100.0..100.0f64, -100.0..100.0f64), 1..60),
-        (qx, qy, r) in (-100.0..100.0f64, -100.0..100.0f64, 1.0..40.0f64),
-    ) {
+#[test]
+fn index_plan_equals_sequential_plan() {
+    let mut rng = test_rng("index_plan_equals_sequential_plan");
+    for _ in 0..cases(24) {
+        let n = rng.gen_range(1..60usize);
+        let pts: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.gen_range(-100.0..100.0f64), rng.gen_range(-100.0..100.0f64)))
+            .collect();
+        let qx = rng.gen_range(-100.0..100.0f64);
+        let qy = rng.gen_range(-100.0..100.0f64);
+        let r = rng.gen_range(1.0..40.0f64);
         let db = Arc::new(SpatialDb::new(EngineProfile::ExactRtree));
         db.execute("CREATE TABLE p (id BIGINT, geom GEOMETRY)").expect("ddl");
         for (i, (x, y)) in pts.iter().enumerate() {
-            db.execute(&format!(
-                "INSERT INTO p VALUES ({i}, ST_GeomFromText('POINT ({x} {y})'))"
-            ))
-            .expect("insert");
+            db.execute(&format!("INSERT INTO p VALUES ({i}, ST_GeomFromText('POINT ({x} {y})'))"))
+                .expect("insert");
         }
         db.create_spatial_index("p", "geom").expect("index");
         let sql = format!(
@@ -114,6 +133,6 @@ proptest! {
         let with = db.execute(&sql).expect("indexed");
         db.set_use_spatial_index(false);
         let without = db.execute(&sql).expect("sequential");
-        prop_assert_eq!(with, without);
+        assert_eq!(with, without);
     }
 }

@@ -1,88 +1,119 @@
-//! Property tests pinning the DE-9IM engine's invariants.
+//! Randomized tests pinning the DE-9IM engine's invariants
+//! (deterministic seeded PRNG; more iterations under `slow-tests`).
 
 mod common;
 
-use common::{geometry, star_polygon};
+use common::{cases, geometry, star_polygon, test_rng};
 use jackpine::geom::Geometry;
 use jackpine::topo::{
     contains, covered_by, covers, disjoint, equals, intersects, relate, touches, within,
 };
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn relate_transpose_symmetry(a in geometry(), b in geometry()) {
+#[test]
+fn relate_transpose_symmetry() {
+    let mut rng = test_rng("relate_transpose_symmetry");
+    for _ in 0..cases(48) {
+        let a = geometry(&mut rng);
+        let b = geometry(&mut rng);
         let ab = relate(&a, &b).expect("relate computes");
         let ba = relate(&b, &a).expect("relate computes");
-        prop_assert_eq!(ab.transposed(), ba, "transpose symmetry: {} vs {}", ab, ba);
+        assert_eq!(ab.transposed(), ba, "transpose symmetry: {} vs {}", ab, ba);
     }
+}
 
-    #[test]
-    fn disjoint_is_not_intersects(a in geometry(), b in geometry()) {
-        prop_assert_ne!(
+#[test]
+fn disjoint_is_not_intersects() {
+    let mut rng = test_rng("disjoint_is_not_intersects");
+    for _ in 0..cases(48) {
+        let a = geometry(&mut rng);
+        let b = geometry(&mut rng);
+        assert_ne!(
             disjoint(&a, &b).expect("disjoint computes"),
             intersects(&a, &b).expect("intersects computes")
         );
     }
+}
 
-    #[test]
-    fn every_geometry_equals_and_intersects_itself(g in geometry()) {
-        prop_assert!(equals(&g, &g).expect("equals computes"));
-        prop_assert!(intersects(&g, &g).expect("intersects computes"));
-        prop_assert!(covers(&g, &g).expect("covers computes"));
-        prop_assert!(covered_by(&g, &g).expect("coveredBy computes"));
-        prop_assert!(!touches(&g, &g).expect("touches computes"));
+#[test]
+fn every_geometry_equals_and_intersects_itself() {
+    let mut rng = test_rng("every_geometry_equals_itself");
+    for _ in 0..cases(48) {
+        let g = geometry(&mut rng);
+        assert!(equals(&g, &g).expect("equals computes"));
+        assert!(intersects(&g, &g).expect("intersects computes"));
+        assert!(covers(&g, &g).expect("covers computes"));
+        assert!(covered_by(&g, &g).expect("coveredBy computes"));
+        assert!(!touches(&g, &g).expect("touches computes"));
     }
+}
 
-    #[test]
-    fn within_contains_duality(a in geometry(), b in geometry()) {
-        prop_assert_eq!(
+#[test]
+fn within_contains_duality() {
+    let mut rng = test_rng("within_contains_duality");
+    for _ in 0..cases(48) {
+        let a = geometry(&mut rng);
+        let b = geometry(&mut rng);
+        assert_eq!(
             within(&a, &b).expect("within computes"),
             contains(&b, &a).expect("contains computes")
         );
         // within implies coveredBy and intersects.
         if within(&a, &b).expect("within computes") {
-            prop_assert!(covered_by(&a, &b).expect("coveredBy computes"));
-            prop_assert!(intersects(&a, &b).expect("intersects computes"));
+            assert!(covered_by(&a, &b).expect("coveredBy computes"));
+            assert!(intersects(&a, &b).expect("intersects computes"));
         }
     }
+}
 
-    #[test]
-    fn touching_geometries_intersect_but_interiors_do_not(a in geometry(), b in geometry()) {
+#[test]
+fn touching_geometries_intersect_but_interiors_do_not() {
+    let mut rng = test_rng("touching_geometries_intersect");
+    for _ in 0..cases(48) {
+        let a = geometry(&mut rng);
+        let b = geometry(&mut rng);
         if touches(&a, &b).expect("touches computes") {
-            prop_assert!(intersects(&a, &b).expect("intersects computes"));
+            assert!(intersects(&a, &b).expect("intersects computes"));
             let m = relate(&a, &b).expect("relate computes");
-            prop_assert!(m.matches("F********").expect("pattern valid"),
-                "touching pair has nonempty interior intersection: {}", m);
+            assert!(
+                m.matches("F********").expect("pattern valid"),
+                "touching pair has nonempty interior intersection: {}",
+                m
+            );
         }
     }
+}
 
-    #[test]
-    fn predicate_agrees_with_matrix_pattern(a in star_polygon(), b in star_polygon()) {
-        let (ga, gb) = (Geometry::Polygon(a), Geometry::Polygon(b));
+#[test]
+fn predicate_agrees_with_matrix_pattern() {
+    let mut rng = test_rng("predicate_agrees_with_matrix_pattern");
+    for _ in 0..cases(48) {
+        let ga = Geometry::Polygon(star_polygon(&mut rng));
+        let gb = Geometry::Polygon(star_polygon(&mut rng));
         let m = relate(&ga, &gb).expect("relate computes");
-        prop_assert_eq!(
+        assert_eq!(
             within(&ga, &gb).expect("within computes"),
             m.matches("T*F**F***").expect("pattern valid")
         );
-        prop_assert_eq!(
+        assert_eq!(
             disjoint(&ga, &gb).expect("disjoint computes"),
             m.matches("FF*FF****").expect("pattern valid")
         );
     }
+}
 
-    #[test]
-    fn scaled_up_convex_polygon_contains_original(p in star_polygon()) {
-        use jackpine::geom::algorithms::convex_hull;
-        use jackpine::geom::{Coord, Polygon, Ring};
+#[test]
+fn scaled_up_convex_polygon_contains_original() {
+    use jackpine::geom::algorithms::convex_hull;
+    use jackpine::geom::{Coord, Polygon, Ring};
+    let mut rng = test_rng("scaled_up_convex_polygon");
+    for _ in 0..cases(48) {
+        let p = star_polygon(&mut rng);
         // Convexify first: dilating a CONVEX polygon by 2x about any
         // interior point contains the original (not true for concave
         // shapes about an arbitrary centre).
         let Geometry::Polygon(hull) = convex_hull(&Geometry::Polygon(p)).expect("hull computes")
         else {
-            return Ok(()); // degenerate (collinear) input: nothing to test
+            continue; // degenerate (collinear) input: nothing to test
         };
         // The vertex centroid of a convex polygon is strictly interior.
         let vs = hull.exterior().coords();
@@ -97,13 +128,11 @@ proptest! {
             .iter()
             .map(|v| Coord::new(c.x + (v.x - c.x) * 2.0, c.y + (v.y - c.y) * 2.0))
             .collect();
-        let big = Geometry::Polygon(Polygon::new(
-            Ring::new(pts).expect("scaled ring valid"),
-            Vec::new(),
-        ));
+        let big =
+            Geometry::Polygon(Polygon::new(Ring::new(pts).expect("scaled ring valid"), Vec::new()));
         let small = Geometry::Polygon(hull);
-        prop_assert!(within(&small, &big).expect("within computes"));
-        prop_assert!(contains(&big, &small).expect("contains computes"));
-        prop_assert!(!disjoint(&small, &big).expect("disjoint computes"));
+        assert!(within(&small, &big).expect("within computes"));
+        assert!(contains(&big, &small).expect("contains computes"));
+        assert!(!disjoint(&small, &big).expect("disjoint computes"));
     }
 }

@@ -29,11 +29,7 @@ fn scalar_f64(db: &Arc<SpatialDb>, sql: &str) -> f64 {
 #[test]
 fn crosses_count_matches_brute_force() {
     let (data, db) = setup();
-    let river = data
-        .areawater
-        .iter()
-        .find(|w| w.name.ends_with("RIVER"))
-        .expect("river exists");
+    let river = data.areawater.iter().find(|w| w.name.ends_with("RIVER")).expect("river exists");
     let river_geom = Geometry::Polygon(river.geom.clone());
     let want = data
         .roads
@@ -59,11 +55,8 @@ fn county_touch_pairs_match_brute_force() {
     let mut want = 0i64;
     for (i, a) in data.counties.iter().enumerate() {
         for b in &data.counties[i + 1..] {
-            if topo::touches(
-                &Geometry::Polygon(a.geom.clone()),
-                &Geometry::Polygon(b.geom.clone()),
-            )
-            .expect("touches")
+            if topo::touches(&Geometry::Polygon(a.geom.clone()), &Geometry::Polygon(b.geom.clone()))
+                .expect("touches")
             {
                 want += 1;
             }
@@ -97,16 +90,12 @@ fn total_landmark_area_matches_brute_force() {
 #[test]
 fn points_within_window_match_brute_force() {
     let (data, db) = setup();
-    let window = wkt::parse(
-        "POLYGON ((-102 28, -97 28, -97 33, -102 33, -102 28))",
-    )
-    .expect("window wkt");
+    let window =
+        wkt::parse("POLYGON ((-102 28, -97 28, -97 33, -102 33, -102 28))").expect("window wkt");
     let want = data
         .pointlm
         .iter()
-        .filter(|p| {
-            topo::within(&Geometry::Point(p.geom), &window).expect("within")
-        })
+        .filter(|p| topo::within(&Geometry::Point(p.geom), &window).expect("within"))
         .count() as i64;
     let got = scalar_i64(
         &db,
@@ -130,8 +119,7 @@ fn overlap_pairs_and_intersection_area_match_brute_force() {
             let gw = Geometry::Polygon(w.geom.clone());
             if topo::overlaps(&ga, &gw).expect("overlaps") {
                 pairs += 1;
-                area_sum +=
-                    alg::area(&alg::intersection(&ga, &gw).expect("intersection computes"));
+                area_sum += alg::area(&alg::intersection(&ga, &gw).expect("intersection computes"));
             }
         }
     }
@@ -189,12 +177,8 @@ fn group_by_category_matches_brute_force() {
     for a in &data.arealm {
         *want.entry(a.category.as_str()).or_default() += 1;
     }
-    let got: Vec<(String, i64)> = r
-        .rows
-        .iter()
-        .map(|row| (row[0].to_string(), row[1].as_i64().expect("count")))
-        .collect();
-    let want: Vec<(String, i64)> =
-        want.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
+    let got: Vec<(String, i64)> =
+        r.rows.iter().map(|row| (row[0].to_string(), row[1].as_i64().expect("count"))).collect();
+    let want: Vec<(String, i64)> = want.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
     assert_eq!(got, want);
 }
