@@ -2,13 +2,20 @@
 //! evaluation (see the experiment index in DESIGN.md).
 //!
 //! ```text
-//! repro [--scale S] [--reps R] [--sessions N] [--workers W] [--csv DIR] <experiment>...
+//! repro [--scale S] [--reps R] [--sessions N] [--workers W] [--csv DIR]
+//!       [--persist DIR] [--wal on|off] <experiment>...
 //! experiments: t1 t2 t3 f1..f8 all bench-json
 //! ```
 //!
 //! `--workers 0` (the default) uses the machine's available parallelism;
 //! `--workers 1` forces serial execution. The worker count in effect is
 //! recorded under every report header.
+//!
+//! `--persist DIR` runs every engine with crash-safe durability attached:
+//! an atomic snapshot plus write-ahead log under `DIR/<engine>/`, so the
+//! scenario insert traffic exercises the WAL append path. `--wal off`
+//! keeps the snapshot but detaches the log (snapshot-only durability).
+//! Both knobs are recorded under every report header.
 //!
 //! `bench-json` times the spatial-join micros and the join-heavy macro
 //! scenarios at `workers=1` vs. the configured worker count and writes
@@ -25,7 +32,7 @@ use jackpine_core::micro::{analysis_suite, topo_suite, BenchQuery};
 use jackpine_core::report::{fmt_ms, fmt_qps, Table};
 use jackpine_core::Stats;
 use jackpine_datagen::{TigerConfig, TigerDataset};
-use jackpine_engine::{EngineProfile, SpatialConnector, SpatialDb};
+use jackpine_engine::{DurabilityOptions, EngineProfile, SpatialConnector, SpatialDb};
 use std::sync::Arc;
 
 struct Options {
@@ -34,6 +41,8 @@ struct Options {
     sessions: usize,
     workers: usize,
     csv_dir: Option<String>,
+    persist_dir: Option<String>,
+    wal: bool,
     experiments: Vec<String>,
 }
 
@@ -44,6 +53,8 @@ fn parse_args() -> Options {
         sessions: 5,
         workers: 0,
         csv_dir: None,
+        persist_dir: None,
+        wal: true,
         experiments: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -54,6 +65,14 @@ fn parse_args() -> Options {
             "--sessions" => opts.sessions = expect_num(args.next(), "--sessions") as usize,
             "--workers" => opts.workers = expect_num(args.next(), "--workers") as usize,
             "--csv" => opts.csv_dir = Some(args.next().unwrap_or_else(|| usage())),
+            "--persist" => opts.persist_dir = Some(args.next().unwrap_or_else(|| usage())),
+            "--wal" => {
+                opts.wal = match args.next().as_deref() {
+                    Some("on") => true,
+                    Some("off") => false,
+                    _ => usage(),
+                }
+            }
             "--help" | "-h" => {
                 usage();
             }
@@ -84,7 +103,7 @@ fn expect_num(v: Option<String>, flag: &str) -> f64 {
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale S] [--reps R] [--sessions N] [--workers W] [--csv DIR] \
-         <t1|t2|t3|f1..f8|all|bench-json>..."
+         [--persist DIR] [--wal on|off] <t1|t2|t3|f1..f8|all|bench-json>..."
     );
     std::process::exit(2)
 }
@@ -106,6 +125,24 @@ fn main() {
     }
     let workers = engines.first().map(|e| e.workers()).unwrap_or(1);
     println!("intra-query workers = {workers}\n");
+
+    // Crash-safe durability: snapshot (+ WAL unless --wal off) per engine.
+    if let Some(dir) = &opts.persist_dir {
+        for e in &engines {
+            let edir = std::path::Path::new(dir).join(e.name());
+            if opts.wal {
+                SpatialDb::set_durability(e, Some(&edir), DurabilityOptions::default())
+                    .expect("attach durability");
+            } else {
+                std::fs::create_dir_all(&edir).expect("create persist dir");
+                e.save(edir.join(jackpine_engine::SNAPSHOT_FILE)).expect("write snapshot");
+            }
+        }
+        println!(
+            "durability: snapshots under {dir}/<engine>/, WAL {}\n",
+            if opts.wal { "on" } else { "off" }
+        );
+    }
     let mut tables: Vec<Table> = Vec::new();
 
     if want("t1") {
@@ -161,8 +198,12 @@ fn main() {
     }
 
     // Record run context under every table header.
+    let persist_note = match &opts.persist_dir {
+        Some(dir) => format!("persist={dir} wal={}", if opts.wal { "on" } else { "off" }),
+        None => "persist=off".to_string(),
+    };
     for t in &mut tables {
-        t.context = format!("workers={workers}");
+        t.context = format!("workers={workers} {persist_note}");
     }
 
     if opts.experiments.iter().any(|x| x == "bench-json") {

@@ -35,6 +35,18 @@ pub trait SpatialConnector: Send + Sync {
     fn workers(&self) -> usize {
         1
     }
+
+    /// Enables crash-safe durability (atomic snapshot + write-ahead log
+    /// under `dir`, fsync per append when `sync`), or disables it with
+    /// `None`. Systems without a durable path ignore the call.
+    fn set_durability(&self, _dir: Option<&std::path::Path>, _sync: bool) -> Result<()> {
+        Ok(())
+    }
+
+    /// The active durability directory, if durability is enabled.
+    fn durability_dir(&self) -> Option<std::path::PathBuf> {
+        None
+    }
 }
 
 impl SpatialConnector for Arc<SpatialDb> {
@@ -64,6 +76,14 @@ impl SpatialConnector for Arc<SpatialDb> {
 
     fn workers(&self) -> usize {
         SpatialDb::workers(self)
+    }
+
+    fn set_durability(&self, dir: Option<&std::path::Path>, sync: bool) -> Result<()> {
+        SpatialDb::set_durability(self, dir, crate::DurabilityOptions { sync_each_append: sync })
+    }
+
+    fn durability_dir(&self) -> Option<std::path::PathBuf> {
+        SpatialDb::durability_dir(self)
     }
 }
 

@@ -1,6 +1,7 @@
 //! The `SpatialDb` facade: catalog + heaps + indexes + SQL, under one
 //! engine profile.
 
+use crate::wal::{Wal, WalRecord};
 use crate::EngineProfile;
 use jackpine_geom::{Coord, Envelope};
 use jackpine_index::{GridIndex, OrderedIndex, RTree, RTreeConfig};
@@ -14,6 +15,7 @@ use jackpine_storage::{
 };
 use std::collections::HashMap;
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// Errors surfaced by [`SpatialDb`].
@@ -25,6 +27,11 @@ pub enum EngineError {
     Storage(StorageError),
     /// Index management error (bad column, wrong type, duplicate index).
     Index(String),
+    /// Persistence error: snapshot/WAL I/O failure or on-disk corruption
+    /// (bad magic, checksum mismatch, truncated file). Distinct from
+    /// [`EngineError::Index`] so callers can tell storage failures from
+    /// index failures.
+    Persist(String),
 }
 
 impl fmt::Display for EngineError {
@@ -33,6 +40,7 @@ impl fmt::Display for EngineError {
             EngineError::Sql(e) => write!(f, "{e}"),
             EngineError::Storage(e) => write!(f, "{e}"),
             EngineError::Index(m) => write!(f, "index error: {m}"),
+            EngineError::Persist(m) => write!(f, "persistence error: {m}"),
         }
     }
 }
@@ -114,6 +122,27 @@ struct TableIndexes {
     ordered: HashMap<usize, OrderedIndex<Key, RowId>>,
 }
 
+/// File name of the atomic snapshot inside a durability directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.jkpn";
+/// File name of the write-ahead log inside a durability directory.
+pub const WAL_FILE: &str = "wal.jkwl";
+
+/// Tuning knobs for crash-safe durability.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DurabilityOptions {
+    /// fsync the write-ahead log after every append. Off by default:
+    /// the benchmark's crash model is torn files, not lost page cache,
+    /// and per-append fsync dominates insert latency.
+    pub sync_each_append: bool,
+}
+
+/// Attached durability: the open WAL plus the directory its snapshot
+/// lives in. (The fsync policy lives inside the [`Wal`].)
+struct DurabilityState {
+    wal: Wal,
+    dir: PathBuf,
+}
+
 /// An embedded spatial database instance under one [`EngineProfile`].
 pub struct SpatialDb {
     profile: EngineProfile,
@@ -131,6 +160,11 @@ pub struct SpatialDb {
     /// index builds. Defaults to the machine's available parallelism;
     /// `1` means fully serial execution.
     workers: std::sync::atomic::AtomicUsize,
+    /// Crash-safe durability (snapshot + WAL), when attached.
+    ///
+    /// Lock order: this lock is always taken *before* `indexes`, the
+    /// plan cache, or any heap lock, never after.
+    durability: RwLock<Option<DurabilityState>>,
 }
 
 impl SpatialDb {
@@ -146,6 +180,97 @@ impl SpatialDb {
             plan_cache_hits: std::sync::atomic::AtomicU64::new(0),
             plan_cache_misses: std::sync::atomic::AtomicU64::new(0),
             workers: std::sync::atomic::AtomicUsize::new(default_workers()),
+            durability: RwLock::new(None),
+        }
+    }
+
+    /// Opens (or creates) a crash-safe database under `dir`: loads the
+    /// atomic snapshot if one exists, replays every intact write-ahead-log
+    /// record on top of it, then checkpoints — folding the replayed tail
+    /// into a fresh snapshot and truncating the log — so recovery is
+    /// idempotent. `profile` is used only when the directory holds no
+    /// snapshot yet; otherwise the stored profile wins.
+    ///
+    /// A crash at *any* byte offset of a snapshot save or WAL append
+    /// leaves this returning a consistent state: the snapshot is replaced
+    /// atomically (old or new, never torn), and a torn or bit-flipped WAL
+    /// tail is detected by its checksum and dropped.
+    pub fn open_durable(
+        dir: impl AsRef<Path>,
+        profile: EngineProfile,
+        opts: DurabilityOptions,
+    ) -> crate::Result<Arc<SpatialDb>> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)
+            .map_err(|e| EngineError::Persist(format!("create durability dir: {e}")))?;
+        let snap = dir.join(SNAPSHOT_FILE);
+        let db =
+            if snap.exists() { SpatialDb::open(&snap)? } else { Arc::new(SpatialDb::new(profile)) };
+        let replay = Wal::replay(dir.join(WAL_FILE))?;
+        for rec in replay.records {
+            db.apply_wal_record(rec)?;
+        }
+        // Checkpoint: replayed writes become part of the snapshot and the
+        // log restarts empty.
+        db.save(&snap)?;
+        let wal = Wal::create(dir.join(WAL_FILE), opts.sync_each_append)?;
+        *db.durability.write() = Some(DurabilityState { wal, dir: dir.to_path_buf() });
+        Ok(db)
+    }
+
+    /// Attaches durability to an already-loaded database: writes a
+    /// snapshot under `dir` and opens a fresh WAL that every subsequent
+    /// `CREATE TABLE`, `INSERT` and `CREATE INDEX` appends to. `None`
+    /// detaches, returning the instance to purely in-memory operation.
+    pub fn set_durability(&self, dir: Option<&Path>, opts: DurabilityOptions) -> crate::Result<()> {
+        match dir {
+            Some(dir) => {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| EngineError::Persist(format!("create durability dir: {e}")))?;
+                // Take the write lock first so no write sneaks between
+                // the snapshot and the fresh log.
+                let mut guard = self.durability.write();
+                self.save(dir.join(SNAPSHOT_FILE))?;
+                let wal = Wal::create(dir.join(WAL_FILE), opts.sync_each_append)?;
+                *guard = Some(DurabilityState { wal, dir: dir.to_path_buf() });
+            }
+            None => *self.durability.write() = None,
+        }
+        Ok(())
+    }
+
+    /// The durability directory, when durability is attached.
+    pub fn durability_dir(&self) -> Option<PathBuf> {
+        self.durability.read().as_ref().map(|d| d.dir.clone())
+    }
+
+    /// Folds all logged writes into a fresh atomic snapshot and truncates
+    /// the WAL. A no-op without attached durability.
+    ///
+    /// Runs automatically after `DELETE`/`UPDATE`/`DROP TABLE`: those
+    /// operations have no WAL record shape (the log is append-only over
+    /// inserts and DDL creations), so the snapshot is re-cut instead.
+    pub fn checkpoint(&self) -> crate::Result<()> {
+        let guard = self.durability.write();
+        if let Some(d) = guard.as_ref() {
+            self.save(d.dir.join(SNAPSHOT_FILE))?;
+            d.wal.reset()?;
+        }
+        Ok(())
+    }
+
+    /// Applies one replayed WAL record (never re-logged: replay runs
+    /// before a WAL is attached).
+    fn apply_wal_record(self: &Arc<Self>, rec: WalRecord) -> crate::Result<()> {
+        match rec {
+            WalRecord::CreateTable { name, columns } => self.create_table(&name, columns),
+            WalRecord::Insert { table, row } => self.insert_row(&table, row).map(|_| ()),
+            WalRecord::CreateSpatialIndex { table, column } => {
+                self.create_spatial_index(&table, &column)
+            }
+            WalRecord::CreateOrderedIndex { table, column } => {
+                self.create_ordered_index(&table, &column)
+            }
         }
     }
 
@@ -195,15 +320,31 @@ impl SpatialDb {
 
     /// Creates a table programmatically.
     pub fn create_table(&self, name: &str, columns: Vec<ColumnDef>) -> crate::Result<()> {
+        // Held across apply + log so a concurrent checkpoint cannot cut
+        // its snapshot between the two (which would replay this create
+        // twice after a crash).
+        let durability = self.durability.read();
+        let logged = durability.as_ref().map(|_| columns.clone());
         let schema = Schema::new(columns)?;
         self.catalog.create_table(name, schema)?;
         self.indexes.write().insert(name.to_ascii_lowercase(), TableIndexes::default());
         self.plan_cache.write().clear();
+        if let (Some(d), Some(columns)) = (durability.as_ref(), logged) {
+            d.wal.append(&WalRecord::CreateTable { name: name.to_string(), columns })?;
+        }
         Ok(())
     }
 
     /// Inserts a row programmatically, maintaining any indexes.
     pub fn insert_row(&self, table: &str, row: Row) -> crate::Result<RowId> {
+        self.insert_row_impl(table, row, true)
+    }
+
+    /// The insert path. `log = false` is used by `UPDATE`'s internal
+    /// delete-and-reinsert, whose durability comes from the checkpoint
+    /// that follows it rather than from WAL records.
+    fn insert_row_impl(&self, table: &str, row: Row, log: bool) -> crate::Result<RowId> {
+        let durability = self.durability.read();
         let t = self.catalog.table(table)?;
         let id = t.heap.insert(row.clone())?;
         let mut indexes = self.indexes.write();
@@ -219,12 +360,19 @@ impl SpatialDb {
                 }
             }
         }
+        drop(indexes);
+        if log {
+            if let Some(d) = durability.as_ref() {
+                d.wal.append(&WalRecord::Insert { table: table.to_string(), row })?;
+            }
+        }
         Ok(id)
     }
 
     /// Builds a spatial index on a geometry column. Uses R\*-tree STR
     /// bulk loading or grid construction depending on the profile.
     pub fn create_spatial_index(&self, table: &str, column: &str) -> crate::Result<()> {
+        let durability = self.durability.read();
         let t = self.catalog.table(table)?;
         let col = t.schema().column_index(column)?;
         if t.schema().columns()[col].ty != DataType::Geometry {
@@ -272,11 +420,18 @@ impl SpatialDb {
         }
         drop(indexes);
         self.plan_cache.write().clear();
+        if let Some(d) = durability.as_ref() {
+            d.wal.append(&WalRecord::CreateSpatialIndex {
+                table: table.to_string(),
+                column: column.to_string(),
+            })?;
+        }
         Ok(())
     }
 
     /// Builds an ordered (attribute) index on an integer or text column.
     pub fn create_ordered_index(&self, table: &str, column: &str) -> crate::Result<()> {
+        let durability = self.durability.read();
         let t = self.catalog.table(table)?;
         let col = t.schema().column_index(column)?;
         match t.schema().columns()[col].ty {
@@ -303,6 +458,12 @@ impl SpatialDb {
         }
         drop(indexes);
         self.plan_cache.write().clear();
+        if let Some(d) = durability.as_ref() {
+            d.wal.append(&WalRecord::CreateOrderedIndex {
+                table: table.to_string(),
+                column: column.to_string(),
+            })?;
+        }
         Ok(())
     }
 
@@ -352,6 +513,9 @@ impl SpatialDb {
             }
             Statement::Delete { table, filters } => {
                 let n = self.delete_where(&table, &filters)?;
+                // Deletions have no WAL record shape; re-cut the snapshot
+                // so the durable state reflects them.
+                self.checkpoint()?;
                 Ok(affected(n))
             }
             Statement::DropTable { name } => {
@@ -361,10 +525,12 @@ impl SpatialDb {
                 }
                 self.indexes.write().remove(&name.to_ascii_lowercase());
                 self.plan_cache.write().clear();
+                self.checkpoint()?;
                 Ok(affected(0))
             }
             Statement::Update { table, assignments, filters } => {
                 let n = self.update_where(&table, &assignments, &filters)?;
+                self.checkpoint()?;
                 Ok(affected(n))
             }
             Statement::Explain(inner) => match *inner {
@@ -525,7 +691,9 @@ impl SpatialDb {
                 }
             }
             t.heap.delete(id);
-            self.insert_row(table, new_row)?;
+            // Durability for the reinsert comes from the checkpoint the
+            // UPDATE statement runs afterwards, not from a WAL record.
+            self.insert_row_impl(table, new_row, false)?;
         }
         Ok(n)
     }

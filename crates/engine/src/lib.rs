@@ -15,13 +15,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checksum;
 mod connector;
 mod db;
+pub mod failpoint;
 mod persist;
 mod profile;
+pub mod wal;
 
 pub use connector::{all_profiles, SpatialConnector};
-pub use db::{EngineError, SpatialDb};
+pub use db::{DurabilityOptions, EngineError, SpatialDb, SNAPSHOT_FILE, WAL_FILE};
 pub use profile::EngineProfile;
 
 /// Result alias for engine operations.

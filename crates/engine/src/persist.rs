@@ -1,11 +1,15 @@
 //! Database persistence: save a [`SpatialDb`] to a single file and open
 //! it again, rebuilding indexes.
 //!
-//! Format (all little-endian):
+//! Format v2 (all little-endian):
 //!
 //! ```text
-//! magic "JKPN" | version u32 | profile u8 | table count u32
-//! per table:
+//! header (25 bytes):
+//!   magic "JKPN" | version u32 = 2 | profile u8
+//!   table count u32 | body len u64 | body crc32 u32
+//! body, per table:
+//!   block len u32 | block bytes | block crc32 u32
+//! block bytes:
 //!   name (u32 len + utf8) | column count u32
 //!   per column: name (u32 len + utf8) | type tag u8
 //!   spatial-index column count u32 | column ids u32...
@@ -13,10 +17,30 @@
 //!   row count u64 | per row: u32 len + row bytes (the heap codec)
 //! ```
 //!
-//! Indexes are stored as *definitions* and rebuilt on open (bulk loads are
-//! fast and this keeps the file format independent of index internals —
-//! the same trade-off SQLite's `REINDEX`-on-restore makes).
+//! Durability rules:
+//!
+//! * **Atomic replacement** — [`SpatialDb::save`] writes to a `.tmp`
+//!   sibling, fsyncs it, then renames over the destination (and fsyncs
+//!   the directory). A crash at any point leaves either the old file or
+//!   the new one, never a torn hybrid.
+//! * **Checksums** — the header carries a CRC32 of the whole body and
+//!   each table block carries its own; [`SpatialDb::open`] verifies both
+//!   before trusting a byte, so truncation and bit rot surface as
+//!   [`EngineError::Persist`], never as a panic or a silently short
+//!   table.
+//! * **Consistent counts** — row payloads are streamed into the block
+//!   first and the row count written from what was actually streamed, so
+//!   a concurrent insert cannot produce a count/payload mismatch.
+//! * **Bounded allocation** — every `with_capacity` on a count read from
+//!   the file is clamped by the bytes remaining, so a corrupt count
+//!   cannot pre-allocate gigabytes before validation catches it.
+//!
+//! Version-1 files (no checksums) are still readable. Indexes are stored
+//! as *definitions* and rebuilt on open (bulk loads are fast and this
+//! keeps the file format independent of index internals — the same
+//! trade-off SQLite's `REINDEX`-on-restore makes).
 
+use crate::checksum::crc32;
 use crate::{EngineError, EngineProfile, Result, SpatialDb};
 use jackpine_geom::codec::{PutBytes, TakeBytes};
 use jackpine_storage::{ColumnDef, DataType, Value};
@@ -25,17 +49,20 @@ use std::path::Path;
 use std::sync::Arc;
 
 const MAGIC: &[u8; 4] = b"JKPN";
-const VERSION: u32 = 1;
+const VERSION_V1: u32 = 1;
+const VERSION: u32 = 2;
+/// magic + version + profile + table count + body len + body crc.
+const HEADER_LEN: usize = 4 + 4 + 1 + 4 + 8 + 4;
 
 fn io_err(e: std::io::Error) -> EngineError {
-    EngineError::Index(format!("persistence I/O: {e}"))
+    EngineError::Persist(format!("persistence I/O: {e}"))
 }
 
 fn corrupt(msg: &str) -> EngineError {
-    EngineError::Index(format!("persistence: {msg}"))
+    EngineError::Persist(format!("persistence: {msg}"))
 }
 
-fn type_tag(ty: DataType) -> u8 {
+pub(crate) fn type_tag(ty: DataType) -> u8 {
     match ty {
         DataType::Int => 0,
         DataType::Float => 1,
@@ -44,7 +71,7 @@ fn type_tag(ty: DataType) -> u8 {
     }
 }
 
-fn tag_type(tag: u8) -> Option<DataType> {
+pub(crate) fn tag_type(tag: u8) -> Option<DataType> {
     match tag {
         0 => Some(DataType::Int),
         1 => Some(DataType::Float),
@@ -89,142 +116,264 @@ fn get_str(data: &mut &[u8]) -> Result<String> {
     Ok(s)
 }
 
-impl SpatialDb {
-    /// Serializes every table (schema, index definitions, rows) to `path`.
-    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
-        let mut buf: Vec<u8> = Vec::with_capacity(1 << 16);
-        buf.put_slice(MAGIC);
-        buf.put_u32_le(VERSION);
-        buf.put_u8(profile_tag(self.profile()));
+/// Writes `bytes` to `path` atomically: temp sibling, fsync, rename,
+/// directory fsync. Readers of `path` see either the old content or the
+/// new content, whatever the crash timing.
+pub(crate) fn atomic_write(path: &Path, bytes: &[u8]) -> Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    {
+        let mut f = std::fs::File::create(&tmp).map_err(io_err)?;
+        f.write_all(bytes).map_err(io_err)?;
+        // The rename must not be reordered before the data reaches disk.
+        f.sync_all().map_err(io_err)?;
+    }
+    std::fs::rename(&tmp, path).map_err(io_err)?;
+    // Persist the rename itself. Directory fsync is not supported on
+    // every platform/filesystem; failure to sync is not failure to save.
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
 
+impl SpatialDb {
+    /// Serializes every table (schema, index definitions, rows) to the
+    /// complete format-v2 byte image, checksums included.
+    pub fn snapshot_bytes(&self) -> Result<Vec<u8>> {
         let names = self.table_names();
-        buf.put_u32_le(names.len() as u32);
+        let mut body: Vec<u8> = Vec::with_capacity(1 << 16);
         for name in &names {
             let table = self.table(name)?;
             let schema = table.schema().clone();
-            put_str(&mut buf, &table.name);
-            buf.put_u32_le(schema.arity() as u32);
+            let mut block: Vec<u8> = Vec::with_capacity(1 << 12);
+            put_str(&mut block, &table.name);
+            block.put_u32_le(schema.arity() as u32);
             for col in schema.columns() {
-                put_str(&mut buf, &col.name);
-                buf.put_u8(type_tag(col.ty));
+                put_str(&mut block, &col.name);
+                block.put_u8(type_tag(col.ty));
             }
             let (spatial_cols, ordered_cols) = self.index_definitions(name);
-            buf.put_u32_le(spatial_cols.len() as u32);
+            block.put_u32_le(spatial_cols.len() as u32);
             for c in spatial_cols {
-                buf.put_u32_le(c as u32);
+                block.put_u32_le(c as u32);
             }
-            buf.put_u32_le(ordered_cols.len() as u32);
+            block.put_u32_le(ordered_cols.len() as u32);
             for c in ordered_cols {
-                buf.put_u32_le(c as u32);
+                block.put_u32_le(c as u32);
             }
 
-            buf.put_u64_le(table.heap.len() as u64);
+            // One consistent view: stream the rows first, then write the
+            // count of rows actually streamed. Reading `heap.len()` up
+            // front would race with concurrent inserts and produce a
+            // file that `open()` must reject.
+            let mut rows_buf: Vec<u8> = Vec::with_capacity(1 << 12);
+            let mut nrows: u64 = 0;
             table.heap.scan(|_, row| {
                 let bytes = Value::encode_row(row);
-                buf.put_u32_le(bytes.len() as u32);
-                buf.put_slice(&bytes);
+                rows_buf.put_u32_le(bytes.len() as u32);
+                rows_buf.put_slice(&bytes);
+                nrows += 1;
             })?;
+            block.put_u64_le(nrows);
+            block.put_slice(&rows_buf);
+
+            body.put_u32_le(block.len() as u32);
+            let block_crc = crc32(&block);
+            body.put_slice(&block);
+            body.put_u32_le(block_crc);
         }
 
-        let mut f = std::fs::File::create(path).map_err(io_err)?;
-        f.write_all(&buf).map_err(io_err)?;
-        Ok(())
+        let mut out: Vec<u8> = Vec::with_capacity(HEADER_LEN + body.len());
+        out.put_slice(MAGIC);
+        out.put_u32_le(VERSION);
+        out.put_u8(profile_tag(self.profile()));
+        out.put_u32_le(names.len() as u32);
+        out.put_u64_le(body.len() as u64);
+        out.put_u32_le(crc32(&body));
+        out.put_slice(&body);
+        Ok(out)
     }
 
-    /// Opens a database saved with [`SpatialDb::save`], rebuilding every
-    /// index. The stored engine profile is restored.
+    /// Serializes every table to `path`, atomically: the bytes go to a
+    /// `<path>.tmp` sibling, are fsynced, and are renamed into place. A
+    /// crash mid-save leaves the previous file untouched.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        let bytes = self.snapshot_bytes()?;
+        atomic_write(path.as_ref(), &bytes)
+    }
+
+    /// Opens a database saved with [`SpatialDb::save`], verifying
+    /// checksums and rebuilding every index. The stored engine profile
+    /// is restored. Corrupt or truncated files fail with
+    /// [`EngineError::Persist`]; they never panic and never load a
+    /// silently short table.
     pub fn open(path: impl AsRef<Path>) -> Result<Arc<SpatialDb>> {
         let mut raw = Vec::new();
         std::fs::File::open(path).map_err(io_err)?.read_to_end(&mut raw).map_err(io_err)?;
-        let mut data: &[u8] = &raw;
+        Self::open_bytes(&raw)
+    }
 
+    /// Opens a database from an in-memory snapshot image (the content of
+    /// a [`SpatialDb::save`] file).
+    pub fn open_bytes(raw: &[u8]) -> Result<Arc<SpatialDb>> {
+        let mut data: &[u8] = raw;
         if data.remaining() < 9 || &data[..4] != MAGIC {
             return Err(corrupt("bad magic"));
         }
         data.advance(4);
         let version = data.get_u32_le();
-        if version != VERSION {
-            return Err(corrupt(&format!("unsupported version {version}")));
+        match version {
+            VERSION_V1 => Self::open_v1(data),
+            VERSION => Self::open_v2(data),
+            other => Err(corrupt(&format!("unsupported version {other}"))),
+        }
+    }
+
+    /// Format v2: checksummed header + framed table blocks.
+    fn open_v2(mut data: &[u8]) -> Result<Arc<SpatialDb>> {
+        if data.remaining() < HEADER_LEN - 8 {
+            return Err(corrupt("truncated header"));
+        }
+        let profile = tag_profile(data.get_u8()).ok_or_else(|| corrupt("unknown profile tag"))?;
+        let ntables = data.get_u32_le();
+        let body_len = data.get_u64_le();
+        let body_crc = data.get_u32_le();
+        // The byte count is exact: truncation and appended garbage both
+        // fail here, before any content is inspected.
+        if data.remaining() as u64 != body_len {
+            return Err(corrupt(&format!(
+                "body length mismatch: header says {body_len}, file holds {}",
+                data.remaining()
+            )));
+        }
+        if crc32(data) != body_crc {
+            return Err(corrupt("file checksum mismatch"));
+        }
+
+        let db = Arc::new(SpatialDb::new(profile));
+        for _ in 0..ntables {
+            if data.remaining() < 4 {
+                return Err(corrupt("truncated table block length"));
+            }
+            let block_len = data.get_u32_le() as usize;
+            if data.remaining() < block_len + 4 {
+                return Err(corrupt("truncated table block"));
+            }
+            let block = &data[..block_len];
+            data.advance(block_len);
+            let want_crc = data.get_u32_le();
+            if crc32(block) != want_crc {
+                return Err(corrupt("table block checksum mismatch"));
+            }
+            let mut cursor = block;
+            load_table(&db, &mut cursor)?;
+            if cursor.remaining() != 0 {
+                return Err(corrupt("trailing bytes in table block"));
+            }
+        }
+        if data.remaining() != 0 {
+            return Err(corrupt("trailing bytes after last table"));
+        }
+        Ok(db)
+    }
+
+    /// Legacy format v1: no checksums, one continuous stream.
+    fn open_v1(mut data: &[u8]) -> Result<Arc<SpatialDb>> {
+        if data.remaining() < 1 {
+            return Err(corrupt("truncated profile tag"));
         }
         let profile = tag_profile(data.get_u8()).ok_or_else(|| corrupt("unknown profile tag"))?;
         let db = Arc::new(SpatialDb::new(profile));
-
         if data.remaining() < 4 {
             return Err(corrupt("truncated table count"));
         }
         let ntables = data.get_u32_le();
         for _ in 0..ntables {
-            let name = get_str(&mut data)?;
-            if data.remaining() < 4 {
-                return Err(corrupt("truncated column count"));
-            }
-            let ncols = data.get_u32_le();
-            let mut cols = Vec::with_capacity(ncols as usize);
-            for _ in 0..ncols {
-                let cname = get_str(&mut data)?;
-                if data.remaining() < 1 {
-                    return Err(corrupt("truncated column type"));
-                }
-                let ty = tag_type(data.get_u8()).ok_or_else(|| corrupt("unknown type tag"))?;
-                cols.push(ColumnDef::new(&cname, ty));
-            }
-            let schema_cols = cols.clone();
-            db.create_table(&name, cols)?;
-
-            let read_cols = |data: &mut &[u8]| -> Result<Vec<usize>> {
-                if data.remaining() < 4 {
-                    return Err(corrupt("truncated index count"));
-                }
-                let n = data.get_u32_le();
-                let mut out = Vec::with_capacity(n as usize);
-                for _ in 0..n {
-                    if data.remaining() < 4 {
-                        return Err(corrupt("truncated index column"));
-                    }
-                    out.push(data.get_u32_le() as usize);
-                }
-                Ok(out)
-            };
-            let spatial_cols = read_cols(&mut data)?;
-            let ordered_cols = read_cols(&mut data)?;
-
-            if data.remaining() < 8 {
-                return Err(corrupt("truncated row count"));
-            }
-            let nrows = data.get_u64_le();
-            for _ in 0..nrows {
-                if data.remaining() < 4 {
-                    return Err(corrupt("truncated row length"));
-                }
-                let len = data.get_u32_le() as usize;
-                if data.remaining() < len {
-                    return Err(corrupt("truncated row payload"));
-                }
-                let row = Value::decode_row(&data[..len])?;
-                data.advance(len);
-                db.insert_row(&name, row)?;
-            }
-
-            // Rebuild indexes from their definitions (bulk path).
-            for c in spatial_cols {
-                let col_name = schema_cols
-                    .get(c)
-                    .ok_or_else(|| corrupt("spatial index column out of range"))?
-                    .name
-                    .clone();
-                db.create_spatial_index(&name, &col_name)?;
-            }
-            for c in ordered_cols {
-                let col_name = schema_cols
-                    .get(c)
-                    .ok_or_else(|| corrupt("ordered index column out of range"))?
-                    .name
-                    .clone();
-                db.create_ordered_index(&name, &col_name)?;
-            }
+            load_table(&db, &mut data)?;
         }
         Ok(db)
     }
+}
+
+/// Parses one serialized table (schema, index definitions, rows) from
+/// `data` and loads it into `db`, rebuilding the indexes at the end (the
+/// bulk path). Shared by the v1 and v2 readers and by WAL recovery.
+fn load_table(db: &Arc<SpatialDb>, data: &mut &[u8]) -> Result<()> {
+    let name = get_str(data)?;
+    if data.remaining() < 4 {
+        return Err(corrupt("truncated column count"));
+    }
+    let ncols = data.get_u32_le() as usize;
+    // Clamp: a column needs ≥ 5 encoded bytes, so a corrupt count cannot
+    // pre-allocate more than the data could possibly hold.
+    let mut cols = Vec::with_capacity(ncols.min(data.remaining() / 5 + 1));
+    for _ in 0..ncols {
+        let cname = get_str(data)?;
+        if data.remaining() < 1 {
+            return Err(corrupt("truncated column type"));
+        }
+        let ty = tag_type(data.get_u8()).ok_or_else(|| corrupt("unknown type tag"))?;
+        cols.push(ColumnDef::new(&cname, ty));
+    }
+    let schema_cols = cols.clone();
+    db.create_table(&name, cols)?;
+
+    let read_cols = |data: &mut &[u8]| -> Result<Vec<usize>> {
+        if data.remaining() < 4 {
+            return Err(corrupt("truncated index count"));
+        }
+        let n = data.get_u32_le() as usize;
+        let mut out = Vec::with_capacity(n.min(data.remaining() / 4 + 1));
+        for _ in 0..n {
+            if data.remaining() < 4 {
+                return Err(corrupt("truncated index column"));
+            }
+            out.push(data.get_u32_le() as usize);
+        }
+        Ok(out)
+    };
+    let spatial_cols = read_cols(data)?;
+    let ordered_cols = read_cols(data)?;
+
+    if data.remaining() < 8 {
+        return Err(corrupt("truncated row count"));
+    }
+    let nrows = data.get_u64_le();
+    for _ in 0..nrows {
+        if data.remaining() < 4 {
+            return Err(corrupt("truncated row length"));
+        }
+        let len = data.get_u32_le() as usize;
+        if data.remaining() < len {
+            return Err(corrupt("truncated row payload"));
+        }
+        let row = Value::decode_row(&data[..len])?;
+        data.advance(len);
+        db.insert_row(&name, row)?;
+    }
+
+    // Rebuild indexes from their definitions (bulk path).
+    for c in spatial_cols {
+        let col_name = schema_cols
+            .get(c)
+            .ok_or_else(|| corrupt("spatial index column out of range"))?
+            .name
+            .clone();
+        db.create_spatial_index(&name, &col_name)?;
+    }
+    for c in ordered_cols {
+        let col_name = schema_cols
+            .get(c)
+            .ok_or_else(|| corrupt("ordered index column out of range"))?
+            .name
+            .clone();
+        db.create_ordered_index(&name, &col_name)?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -298,5 +447,71 @@ mod tests {
         std::fs::remove_file(&path).ok();
         assert_eq!(restored.profile(), EngineProfile::ExactRtree);
         assert!(restored.table_names().is_empty());
+    }
+
+    #[test]
+    fn save_leaves_no_temp_file_and_replaces_atomically() {
+        let db = Arc::new(SpatialDb::new(EngineProfile::ExactRtree));
+        db.execute("CREATE TABLE t (id BIGINT)").unwrap();
+        db.execute("INSERT INTO t VALUES (1)").unwrap();
+        let path = temp_path("atomic");
+        db.save(&path).unwrap();
+        // Save again over the existing file (the rename path).
+        db.execute("INSERT INTO t VALUES (2)").unwrap();
+        db.save(&path).unwrap();
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        assert!(!std::path::Path::new(&tmp).exists(), "temp file must not survive a save");
+        let restored = SpatialDb::open(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let r = restored.execute("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(r.scalar().unwrap().to_string(), "2");
+    }
+
+    #[test]
+    fn legacy_v1_files_still_open() {
+        // Hand-build a minimal v1 image: one table, one row, no indexes.
+        let mut buf: Vec<u8> = Vec::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION_V1);
+        buf.put_u8(profile_tag(EngineProfile::ExactRtree));
+        buf.put_u32_le(1); // one table
+        put_str(&mut buf, "t");
+        buf.put_u32_le(1); // one column
+        put_str(&mut buf, "id");
+        buf.put_u8(type_tag(DataType::Int));
+        buf.put_u32_le(0); // no spatial indexes
+        buf.put_u32_le(0); // no ordered indexes
+        buf.put_u64_le(1); // one row
+        let row = Value::encode_row(&vec![Value::Int(42)]);
+        buf.put_u32_le(row.len() as u32);
+        buf.put_slice(&row);
+
+        let db = SpatialDb::open_bytes(&buf).unwrap();
+        let r = db.execute("SELECT id FROM t").unwrap();
+        assert_eq!(r.rows[0][0].to_string(), "42");
+    }
+
+    #[test]
+    fn corrupt_count_cannot_preallocate() {
+        // A v1 file claiming 4 billion columns must fail fast on the
+        // clamped path, not allocate gigabytes first.
+        let mut buf: Vec<u8> = Vec::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION_V1);
+        buf.put_u8(profile_tag(EngineProfile::ExactRtree));
+        buf.put_u32_le(1);
+        put_str(&mut buf, "t");
+        buf.put_u32_le(u32::MAX); // absurd column count
+        let err = SpatialDb::open_bytes(&buf).err().expect("must fail");
+        assert!(matches!(err, EngineError::Persist(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn persistence_errors_are_persist_variant() {
+        let err = SpatialDb::open("/nonexistent/dir/x.db").err().expect("must fail");
+        assert!(matches!(err, EngineError::Persist(_)), "got {err:?}");
+        let err = SpatialDb::open_bytes(b"garbage!!").err().expect("must fail");
+        assert!(matches!(err, EngineError::Persist(_)), "got {err:?}");
     }
 }

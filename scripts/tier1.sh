@@ -15,4 +15,7 @@ cargo build --release --offline
 echo "== cargo test -q (workspace)"
 cargo test -q --workspace --offline
 
+echo "== durability gate (fault-injection + truncation fuzz, fast mode)"
+cargo test -q -p jackpine --test durability --offline
+
 echo "tier-1 green"
