@@ -1,6 +1,7 @@
 //! CRC32 (IEEE 802.3, reflected polynomial `0xEDB88320`) — the checksum
 //! guarding every persisted byte: per-table blocks and the file-level
-//! digest in snapshot format v2, and every write-ahead-log frame.
+//! digest (header fields + body) in snapshot format v3, and every
+//! write-ahead-log frame.
 //!
 //! In-tree (the workspace builds fully offline with zero external
 //! crates); the 256-entry table is computed at compile time. CRC32

@@ -136,11 +136,14 @@ pub struct DurabilityOptions {
     pub sync_each_append: bool,
 }
 
-/// Attached durability: the open WAL plus the directory its snapshot
-/// lives in. (The fsync policy lives inside the [`Wal`].)
+/// Attached durability: the open WAL, the directory its snapshot lives
+/// in, and the current generation — the stamp shared by the snapshot
+/// and the WAL cut against it. (The fsync policy lives inside the
+/// [`Wal`].)
 struct DurabilityState {
     wal: Wal,
     dir: PathBuf,
+    generation: u64,
 }
 
 /// An embedded spatial database instance under one [`EngineProfile`].
@@ -193,8 +196,11 @@ impl SpatialDb {
     ///
     /// A crash at *any* byte offset of a snapshot save or WAL append
     /// leaves this returning a consistent state: the snapshot is replaced
-    /// atomically (old or new, never torn), and a torn or bit-flipped WAL
-    /// tail is detected by its checksum and dropped.
+    /// atomically (old or new, never torn), a torn or bit-flipped WAL
+    /// tail is detected by its checksum and dropped, and a WAL whose
+    /// generation does not match the snapshot's (a crash between a
+    /// checkpoint's snapshot rename and its log truncation) is discarded
+    /// rather than replayed — its records are already in the snapshot.
     pub fn open_durable(
         dir: impl AsRef<Path>,
         profile: EngineProfile,
@@ -204,17 +210,26 @@ impl SpatialDb {
         std::fs::create_dir_all(dir)
             .map_err(|e| EngineError::Persist(format!("create durability dir: {e}")))?;
         let snap = dir.join(SNAPSHOT_FILE);
-        let db =
-            if snap.exists() { SpatialDb::open(&snap)? } else { Arc::new(SpatialDb::new(profile)) };
+        let (db, snap_gen) = if snap.exists() {
+            SpatialDb::open_gen(&snap)?
+        } else {
+            (Arc::new(SpatialDb::new(profile)), 0)
+        };
         let replay = Wal::replay(dir.join(WAL_FILE))?;
-        for rec in replay.records {
-            db.apply_wal_record(rec)?;
+        if replay.generation == snap_gen {
+            for rec in replay.records {
+                db.apply_wal_record(rec)?;
+            }
         }
-        // Checkpoint: replayed writes become part of the snapshot and the
-        // log restarts empty.
-        db.save(&snap)?;
-        let wal = Wal::create(dir.join(WAL_FILE), opts.sync_each_append)?;
-        *db.durability.write() = Some(DurabilityState { wal, dir: dir.to_path_buf() });
+        // Checkpoint: replayed writes become part of the snapshot and
+        // the log restarts empty. The snapshot (at the next generation)
+        // lands first, so a crash before the fresh WAL exists leaves a
+        // stale log whose generation no longer matches — harmless.
+        let gen = snap_gen.max(replay.generation) + 1;
+        db.save_gen(&snap, gen)?;
+        let wal = Wal::create(dir.join(WAL_FILE), opts.sync_each_append, gen)?;
+        *db.durability.write() =
+            Some(DurabilityState { wal, dir: dir.to_path_buf(), generation: gen });
         Ok(db)
     }
 
@@ -230,9 +245,17 @@ impl SpatialDb {
                 // Take the write lock first so no write sneaks between
                 // the snapshot and the fresh log.
                 let mut guard = self.durability.write();
-                self.save(dir.join(SNAPSHOT_FILE))?;
-                let wal = Wal::create(dir.join(WAL_FILE), opts.sync_each_append)?;
-                *guard = Some(DurabilityState { wal, dir: dir.to_path_buf() });
+                // Stamp past anything already in the directory, so that
+                // a crash between the snapshot and the fresh WAL cannot
+                // leave a stale log whose generation collides with the
+                // new snapshot's.
+                let snap = dir.join(SNAPSHOT_FILE);
+                let gen = SpatialDb::peek_snapshot_generation(&snap)
+                    .max(Wal::peek_generation(dir.join(WAL_FILE)))
+                    + 1;
+                self.save_gen(&snap, gen)?;
+                let wal = Wal::create(dir.join(WAL_FILE), opts.sync_each_append, gen)?;
+                *guard = Some(DurabilityState { wal, dir: dir.to_path_buf(), generation: gen });
             }
             None => *self.durability.write() = None,
         }
@@ -250,11 +273,20 @@ impl SpatialDb {
     /// Runs automatically after `DELETE`/`UPDATE`/`DROP TABLE`: those
     /// operations have no WAL record shape (the log is append-only over
     /// inserts and DDL creations), so the snapshot is re-cut instead.
+    ///
+    /// Crash-atomic: the new snapshot carries the next generation and
+    /// replaces the old one atomically *before* the log is truncated to
+    /// that same generation. A crash between the two leaves the new
+    /// snapshot next to the old log — whose generation no longer
+    /// matches, so recovery discards it instead of replaying records
+    /// the snapshot already contains.
     pub fn checkpoint(&self) -> crate::Result<()> {
-        let guard = self.durability.write();
-        if let Some(d) = guard.as_ref() {
-            self.save(d.dir.join(SNAPSHOT_FILE))?;
-            d.wal.reset()?;
+        let mut guard = self.durability.write();
+        if let Some(d) = guard.as_mut() {
+            let gen = d.generation + 1;
+            self.save_gen(d.dir.join(SNAPSHOT_FILE), gen)?;
+            d.wal.reset(gen)?;
+            d.generation = gen;
         }
         Ok(())
     }
@@ -512,10 +544,15 @@ impl SpatialDb {
                 Ok(affected(0))
             }
             Statement::Delete { table, filters } => {
-                let n = self.delete_where(&table, &filters)?;
                 // Deletions have no WAL record shape; re-cut the snapshot
-                // so the durable state reflects them.
-                self.checkpoint()?;
+                // so the durable state reflects them. The checkpoint runs
+                // even when the delete errors partway: some rows may
+                // already be gone, and recovering a pre-statement state a
+                // client never observed would silently resurrect them.
+                let res = self.delete_where(&table, &filters);
+                let ck = self.checkpoint();
+                let n = res?;
+                ck?;
                 Ok(affected(n))
             }
             Statement::DropTable { name } => {
@@ -529,8 +566,12 @@ impl SpatialDb {
                 Ok(affected(0))
             }
             Statement::Update { table, assignments, filters } => {
-                let n = self.update_where(&table, &assignments, &filters)?;
-                self.checkpoint()?;
+                // As with DELETE: checkpoint even on a partial failure,
+                // so already-applied delete+reinsert pairs reach disk.
+                let res = self.update_where(&table, &assignments, &filters);
+                let ck = self.checkpoint();
+                let n = res?;
+                ck?;
                 Ok(affected(n))
             }
             Statement::Explain(inner) => match *inner {

@@ -1,12 +1,13 @@
 //! Database persistence: save a [`SpatialDb`] to a single file and open
 //! it again, rebuilding indexes.
 //!
-//! Format v2 (all little-endian):
+//! Format v3 (all little-endian):
 //!
 //! ```text
-//! header (25 bytes):
-//!   magic "JKPN" | version u32 = 2 | profile u8
-//!   table count u32 | body len u64 | body crc32 u32
+//! header (33 bytes):
+//!   magic "JKPN" | version u32 = 3 | profile u8 | generation u64
+//!   table count u32 | body len u64 | file crc32 u32
+//!   (the file crc covers profile..body-len plus the whole body)
 //! body, per table:
 //!   block len u32 | block bytes | block crc32 u32
 //! block bytes:
@@ -19,15 +20,22 @@
 //!
 //! Durability rules:
 //!
-//! * **Atomic replacement** — [`SpatialDb::save`] writes to a `.tmp`
-//!   sibling, fsyncs it, then renames over the destination (and fsyncs
-//!   the directory). A crash at any point leaves either the old file or
-//!   the new one, never a torn hybrid.
-//! * **Checksums** — the header carries a CRC32 of the whole body and
-//!   each table block carries its own; [`SpatialDb::open`] verifies both
-//!   before trusting a byte, so truncation and bit rot surface as
-//!   [`EngineError::Persist`], never as a panic or a silently short
-//!   table.
+//! * **Atomic replacement** — [`SpatialDb::save`] writes to a uniquely
+//!   named temp sibling, fsyncs it, then renames over the destination
+//!   (and fsyncs the directory). A crash at any point leaves either the
+//!   old file or the new one, never a torn hybrid; concurrent saves to
+//!   the same path never share a temp file.
+//! * **Checksums** — the header carries a CRC32 of its own fields plus
+//!   the whole body, and each table block carries its own;
+//!   [`SpatialDb::open`] verifies both before trusting a byte, so
+//!   truncation and bit rot surface as [`EngineError::Persist`], never
+//!   as a panic or a silently short table.
+//! * **Generations** — the header's generation number ties the snapshot
+//!   to the write-ahead log cut against it (the WAL header stores the
+//!   same value). Recovery replays a WAL only when the generations
+//!   match, so a crash between a checkpoint's snapshot rename and its
+//!   log truncation can never replay stale records over the new
+//!   snapshot.
 //! * **Consistent counts** — row payloads are streamed into the block
 //!   first and the row count written from what was actually streamed, so
 //!   a concurrent insert cannot produce a count/payload mismatch.
@@ -35,12 +43,13 @@
 //!   the file is clamped by the bytes remaining, so a corrupt count
 //!   cannot pre-allocate gigabytes before validation catches it.
 //!
-//! Version-1 files (no checksums) are still readable. Indexes are stored
+//! Version-1 (no checksums) and version-2 (no generation) files are
+//! still readable. Indexes are stored
 //! as *definitions* and rebuilt on open (bulk loads are fast and this
 //! keeps the file format independent of index internals — the same
 //! trade-off SQLite's `REINDEX`-on-restore makes).
 
-use crate::checksum::crc32;
+use crate::checksum::{crc32, Crc32};
 use crate::{EngineError, EngineProfile, Result, SpatialDb};
 use jackpine_geom::codec::{PutBytes, TakeBytes};
 use jackpine_storage::{ColumnDef, DataType, Value};
@@ -50,9 +59,15 @@ use std::sync::Arc;
 
 const MAGIC: &[u8; 4] = b"JKPN";
 const VERSION_V1: u32 = 1;
-const VERSION: u32 = 2;
-/// magic + version + profile + table count + body len + body crc.
-const HEADER_LEN: usize = 4 + 4 + 1 + 4 + 8 + 4;
+const VERSION_V2: u32 = 2;
+const VERSION: u32 = 3;
+/// v3: profile + generation + table count + body len (the header bytes
+/// the file checksum covers).
+const META_LEN: usize = 1 + 8 + 4 + 8;
+/// v3: magic + version + covered meta + file crc.
+const HEADER_LEN: usize = 4 + 4 + META_LEN + 4;
+/// v2: magic + version + profile + table count + body len + body crc.
+const HEADER_LEN_V2: usize = 4 + 4 + 1 + 4 + 8 + 4;
 
 fn io_err(e: std::io::Error) -> EngineError {
     EngineError::Persist(format!("persistence I/O: {e}"))
@@ -118,18 +133,28 @@ fn get_str(data: &mut &[u8]) -> Result<String> {
 
 /// Writes `bytes` to `path` atomically: temp sibling, fsync, rename,
 /// directory fsync. Readers of `path` see either the old content or the
-/// new content, whatever the crash timing.
+/// new content, whatever the crash timing. The temp name is unique per
+/// call (pid + counter), so concurrent saves to the same path each
+/// stage a private file and the last complete rename wins — two writers
+/// can never interleave into one temp image.
 pub(crate) fn atomic_write(path: &Path, bytes: &[u8]) -> Result<()> {
+    static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let mut tmp = path.as_os_str().to_owned();
-    tmp.push(".tmp");
+    tmp.push(format!(".{}.{seq}.tmp", std::process::id()));
     let tmp = std::path::PathBuf::from(tmp);
     {
         let mut f = std::fs::File::create(&tmp).map_err(io_err)?;
-        f.write_all(bytes).map_err(io_err)?;
         // The rename must not be reordered before the data reaches disk.
-        f.sync_all().map_err(io_err)?;
+        if let Err(e) = f.write_all(bytes).and_then(|_| f.sync_all()) {
+            std::fs::remove_file(&tmp).ok();
+            return Err(io_err(e));
+        }
     }
-    std::fs::rename(&tmp, path).map_err(io_err)?;
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        std::fs::remove_file(&tmp).ok();
+        return Err(io_err(e));
+    }
     // Persist the rename itself. Directory fsync is not supported on
     // every platform/filesystem; failure to sync is not failure to save.
     if let Some(dir) = path.parent() {
@@ -142,8 +167,15 @@ pub(crate) fn atomic_write(path: &Path, bytes: &[u8]) -> Result<()> {
 
 impl SpatialDb {
     /// Serializes every table (schema, index definitions, rows) to the
-    /// complete format-v2 byte image, checksums included.
+    /// complete format-v3 byte image, checksums included, at generation
+    /// 0 (the standalone-snapshot generation; checkpoints stamp real
+    /// ones via [`SpatialDb::snapshot_bytes_gen`]).
     pub fn snapshot_bytes(&self) -> Result<Vec<u8>> {
+        self.snapshot_bytes_gen(0)
+    }
+
+    /// [`SpatialDb::snapshot_bytes`] with an explicit generation stamp.
+    pub(crate) fn snapshot_bytes_gen(&self, generation: u64) -> Result<Vec<u8>> {
         let names = self.table_names();
         let mut body: Vec<u8> = Vec::with_capacity(1 << 16);
         for name in &names {
@@ -187,22 +219,38 @@ impl SpatialDb {
             body.put_u32_le(block_crc);
         }
 
+        // The file checksum covers the header's own fields (profile,
+        // generation, counts) as well as the body, so a bit flip
+        // anywhere in the file is detected.
+        let mut meta: Vec<u8> = Vec::with_capacity(META_LEN);
+        meta.put_u8(profile_tag(self.profile()));
+        meta.put_u64_le(generation);
+        meta.put_u32_le(names.len() as u32);
+        meta.put_u64_le(body.len() as u64);
+        let mut crc = Crc32::new();
+        crc.update(&meta);
+        crc.update(&body);
+
         let mut out: Vec<u8> = Vec::with_capacity(HEADER_LEN + body.len());
         out.put_slice(MAGIC);
         out.put_u32_le(VERSION);
-        out.put_u8(profile_tag(self.profile()));
-        out.put_u32_le(names.len() as u32);
-        out.put_u64_le(body.len() as u64);
-        out.put_u32_le(crc32(&body));
+        out.put_slice(&meta);
+        out.put_u32_le(crc.finish());
         out.put_slice(&body);
         Ok(out)
     }
 
     /// Serializes every table to `path`, atomically: the bytes go to a
-    /// `<path>.tmp` sibling, are fsynced, and are renamed into place. A
-    /// crash mid-save leaves the previous file untouched.
+    /// uniquely named temp sibling, are fsynced, and are renamed into
+    /// place. A crash mid-save leaves the previous file untouched.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
-        let bytes = self.snapshot_bytes()?;
+        self.save_gen(path, 0)
+    }
+
+    /// [`SpatialDb::save`] with an explicit generation stamp (used by
+    /// checkpoints to tie the snapshot to the WAL cut against it).
+    pub(crate) fn save_gen(&self, path: impl AsRef<Path>, generation: u64) -> Result<()> {
+        let bytes = self.snapshot_bytes_gen(generation)?;
         atomic_write(path.as_ref(), &bytes)
     }
 
@@ -212,14 +260,25 @@ impl SpatialDb {
     /// [`EngineError::Persist`]; they never panic and never load a
     /// silently short table.
     pub fn open(path: impl AsRef<Path>) -> Result<Arc<SpatialDb>> {
+        Self::open_gen(path).map(|(db, _)| db)
+    }
+
+    /// Opens a snapshot file, also returning its generation stamp (0 for
+    /// v1/v2 files, which predate generations).
+    pub(crate) fn open_gen(path: impl AsRef<Path>) -> Result<(Arc<SpatialDb>, u64)> {
         let mut raw = Vec::new();
         std::fs::File::open(path).map_err(io_err)?.read_to_end(&mut raw).map_err(io_err)?;
-        Self::open_bytes(&raw)
+        Self::open_bytes_gen(&raw)
     }
 
     /// Opens a database from an in-memory snapshot image (the content of
     /// a [`SpatialDb::save`] file).
     pub fn open_bytes(raw: &[u8]) -> Result<Arc<SpatialDb>> {
+        Self::open_bytes_gen(raw).map(|(db, _)| db)
+    }
+
+    /// [`SpatialDb::open_bytes`], also returning the generation stamp.
+    pub(crate) fn open_bytes_gen(raw: &[u8]) -> Result<(Arc<SpatialDb>, u64)> {
         let mut data: &[u8] = raw;
         if data.remaining() < 9 || &data[..4] != MAGIC {
             return Err(corrupt("bad magic"));
@@ -227,23 +286,73 @@ impl SpatialDb {
         data.advance(4);
         let version = data.get_u32_le();
         match version {
-            VERSION_V1 => Self::open_v1(data),
-            VERSION => Self::open_v2(data),
+            VERSION_V1 => Ok((Self::open_v1(data)?, 0)),
+            VERSION_V2 => Ok((Self::open_v2(data)?, 0)),
+            VERSION => Self::open_v3(data),
             other => Err(corrupt(&format!("unsupported version {other}"))),
         }
     }
 
-    /// Format v2: checksummed header + framed table blocks.
-    fn open_v2(mut data: &[u8]) -> Result<Arc<SpatialDb>> {
+    /// The generation stamp of the snapshot at `path`, without loading
+    /// its tables. Best effort: a missing, legacy, or unreadable file
+    /// reports generation 0.
+    pub(crate) fn peek_snapshot_generation(path: impl AsRef<Path>) -> u64 {
+        let mut head = [0u8; 4 + 4 + 1 + 8];
+        let Ok(mut f) = std::fs::File::open(path) else { return 0 };
+        if f.read_exact(&mut head).is_err() {
+            return 0;
+        }
+        let mut data: &[u8] = &head;
+        if &data[..4] != MAGIC {
+            return 0;
+        }
+        data.advance(4);
+        if data.get_u32_le() != VERSION {
+            return 0;
+        }
+        data.advance(1); // profile
+        data.get_u64_le()
+    }
+
+    /// Format v3: generation-stamped header whose checksum covers both
+    /// the header fields and the framed table blocks.
+    fn open_v3(mut data: &[u8]) -> Result<(Arc<SpatialDb>, u64)> {
         if data.remaining() < HEADER_LEN - 8 {
+            return Err(corrupt("truncated header"));
+        }
+        let meta = &data[..META_LEN];
+        let profile = tag_profile(data.get_u8()).ok_or_else(|| corrupt("unknown profile tag"))?;
+        let generation = data.get_u64_le();
+        let ntables = data.get_u32_le();
+        let body_len = data.get_u64_le();
+        let file_crc = data.get_u32_le();
+        // The byte count is exact: truncation and appended garbage both
+        // fail here, before any content is inspected.
+        if data.remaining() as u64 != body_len {
+            return Err(corrupt(&format!(
+                "body length mismatch: header says {body_len}, file holds {}",
+                data.remaining()
+            )));
+        }
+        let mut crc = Crc32::new();
+        crc.update(meta);
+        crc.update(data);
+        if crc.finish() != file_crc {
+            return Err(corrupt("file checksum mismatch"));
+        }
+        Ok((Self::load_blocks(data, profile, ntables)?, generation))
+    }
+
+    /// Format v2: checksummed header + framed table blocks, no
+    /// generation (the body checksum does not cover the header fields).
+    fn open_v2(mut data: &[u8]) -> Result<Arc<SpatialDb>> {
+        if data.remaining() < HEADER_LEN_V2 - 8 {
             return Err(corrupt("truncated header"));
         }
         let profile = tag_profile(data.get_u8()).ok_or_else(|| corrupt("unknown profile tag"))?;
         let ntables = data.get_u32_le();
         let body_len = data.get_u64_le();
         let body_crc = data.get_u32_le();
-        // The byte count is exact: truncation and appended garbage both
-        // fail here, before any content is inspected.
         if data.remaining() as u64 != body_len {
             return Err(corrupt(&format!(
                 "body length mismatch: header says {body_len}, file holds {}",
@@ -253,7 +362,15 @@ impl SpatialDb {
         if crc32(data) != body_crc {
             return Err(corrupt("file checksum mismatch"));
         }
+        Self::load_blocks(data, profile, ntables)
+    }
 
+    /// Parses `ntables` checksummed table blocks (the v2/v3 body).
+    fn load_blocks(
+        mut data: &[u8],
+        profile: EngineProfile,
+        ntables: u32,
+    ) -> Result<Arc<SpatialDb>> {
         let db = Arc::new(SpatialDb::new(profile));
         for _ in 0..ntables {
             if data.remaining() < 4 {
@@ -294,6 +411,12 @@ impl SpatialDb {
         let ntables = data.get_u32_le();
         for _ in 0..ntables {
             load_table(&db, &mut data)?;
+        }
+        // Legacy files are exactly consumed; leftovers mean the bytes
+        // were never a v1 image (e.g. a v3 file whose version byte was
+        // flipped so that its generation field reads as a table count).
+        if data.remaining() != 0 {
+            return Err(corrupt("trailing bytes after last table"));
         }
         Ok(db)
     }
@@ -459,9 +582,15 @@ mod tests {
         // Save again over the existing file (the rename path).
         db.execute("INSERT INTO t VALUES (2)").unwrap();
         db.save(&path).unwrap();
-        let mut tmp = path.as_os_str().to_owned();
-        tmp.push(".tmp");
-        assert!(!std::path::Path::new(&tmp).exists(), "temp file must not survive a save");
+        // No temp sibling (any `<name>.*.tmp`) may survive a save.
+        let stem = path.file_name().unwrap().to_string_lossy().to_string();
+        for entry in std::fs::read_dir(path.parent().unwrap()).unwrap() {
+            let name = entry.unwrap().file_name().to_string_lossy().to_string();
+            assert!(
+                !(name.starts_with(&stem) && name.ends_with(".tmp")),
+                "temp file {name} survived a save"
+            );
+        }
         let restored = SpatialDb::open(&path).unwrap();
         std::fs::remove_file(&path).ok();
         let r = restored.execute("SELECT COUNT(*) FROM t").unwrap();
@@ -490,6 +619,57 @@ mod tests {
         let db = SpatialDb::open_bytes(&buf).unwrap();
         let r = db.execute("SELECT id FROM t").unwrap();
         assert_eq!(r.rows[0][0].to_string(), "42");
+    }
+
+    #[test]
+    fn legacy_v2_files_still_open() {
+        // Hand-build a minimal v2 image (pre-generation: body-only file
+        // checksum): one table, one row, no indexes.
+        let mut block: Vec<u8> = Vec::new();
+        put_str(&mut block, "t");
+        block.put_u32_le(1); // one column
+        put_str(&mut block, "id");
+        block.put_u8(type_tag(DataType::Int));
+        block.put_u32_le(0); // no spatial indexes
+        block.put_u32_le(0); // no ordered indexes
+        block.put_u64_le(1); // one row
+        let row = Value::encode_row(&vec![Value::Int(43)]);
+        block.put_u32_le(row.len() as u32);
+        block.put_slice(&row);
+
+        let mut body: Vec<u8> = Vec::new();
+        body.put_u32_le(block.len() as u32);
+        let block_crc = crc32(&block);
+        body.put_slice(&block);
+        body.put_u32_le(block_crc);
+
+        let mut buf: Vec<u8> = Vec::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION_V2);
+        buf.put_u8(profile_tag(EngineProfile::ExactRtree));
+        buf.put_u32_le(1); // one table
+        buf.put_u64_le(body.len() as u64);
+        buf.put_u32_le(crc32(&body));
+        buf.put_slice(&body);
+
+        let (db, generation) = SpatialDb::open_bytes_gen(&buf).unwrap();
+        assert_eq!(generation, 0, "v2 predates generations");
+        let r = db.execute("SELECT id FROM t").unwrap();
+        assert_eq!(r.rows[0][0].to_string(), "43");
+    }
+
+    #[test]
+    fn generation_stamp_roundtrips_and_peeks() {
+        let db = Arc::new(SpatialDb::new(EngineProfile::ExactRtree));
+        db.execute("CREATE TABLE t (id BIGINT)").unwrap();
+        let path = temp_path("generation");
+        db.save_gen(&path, 41).unwrap();
+        assert_eq!(SpatialDb::peek_snapshot_generation(&path), 41);
+        let (_, generation) = SpatialDb::open_gen(&path).unwrap();
+        assert_eq!(generation, 41);
+        std::fs::remove_file(&path).ok();
+        // Missing files peek as generation 0.
+        assert_eq!(SpatialDb::peek_snapshot_generation(&path), 0);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! File layout (all little-endian):
 //!
 //! ```text
-//! magic "JKWL" | version u32
+//! magic "JKWL" | version u32 | generation u64
 //! per record: payload len u32 | crc32(payload) u32 | payload
 //! ```
 //!
@@ -15,6 +15,13 @@
 //! crash mid-append can only lose the suffix it was writing, never
 //! resurrect garbage. That is the same tail-scan rule PostgreSQL and
 //! SQLite's WAL use.
+//!
+//! The header's generation number ties the log to the snapshot it was
+//! cut against: a checkpoint writes the new snapshot (stamped with the
+//! next generation) *before* truncating the log, so a crash between the
+//! two leaves a stale log whose generation no longer matches — recovery
+//! sees the mismatch and discards it instead of replaying records the
+//! snapshot already contains.
 
 use crate::checksum::crc32;
 use crate::persist::{tag_type, type_tag};
@@ -27,10 +34,10 @@ use std::path::{Path, PathBuf};
 
 /// WAL file magic.
 pub const WAL_MAGIC: &[u8; 4] = b"JKWL";
-/// WAL format version.
-pub const WAL_VERSION: u32 = 1;
+/// WAL format version (2 added the generation field).
+pub const WAL_VERSION: u32 = 2;
 /// Bytes of file header before the first record frame.
-pub const WAL_HEADER_LEN: usize = 8;
+pub const WAL_HEADER_LEN: usize = 16;
 /// Bytes of framing (length + checksum) per record.
 pub const FRAME_OVERHEAD: usize = 8;
 
@@ -190,11 +197,12 @@ impl WalRecord {
     }
 }
 
-/// The WAL header bytes (magic + version).
-pub fn wal_header() -> Vec<u8> {
+/// The WAL header bytes (magic + version + generation).
+pub fn wal_header(generation: u64) -> Vec<u8> {
     let mut buf = Vec::with_capacity(WAL_HEADER_LEN);
     buf.put_slice(WAL_MAGIC);
     buf.put_u32_le(WAL_VERSION);
+    buf.put_u64_le(generation);
     buf
 }
 
@@ -205,6 +213,11 @@ pub struct Replay {
     pub records: Vec<WalRecord>,
     /// Bytes of torn or corrupt tail that were ignored (0 for a clean log).
     pub ignored_tail: usize,
+    /// The generation of the snapshot this log was cut against (0 when
+    /// the file was missing or its header torn — `records` is empty in
+    /// both cases). A log is replayable only over the snapshot whose
+    /// generation matches.
+    pub generation: u64,
 }
 
 /// An open, appendable write-ahead log.
@@ -217,11 +230,12 @@ pub struct Wal {
 
 impl Wal {
     /// Creates (or truncates to empty) the log at `path` and writes the
-    /// file header. With `sync`, every append is fsynced.
-    pub fn create(path: impl AsRef<Path>, sync: bool) -> Result<Wal> {
+    /// file header, stamped with the generation of the snapshot the log
+    /// is cut against. With `sync`, every append is fsynced.
+    pub fn create(path: impl AsRef<Path>, sync: bool, generation: u64) -> Result<Wal> {
         let path = path.as_ref().to_path_buf();
         let mut file = std::fs::File::create(&path).map_err(io_err)?;
-        file.write_all(&wal_header()).map_err(io_err)?;
+        file.write_all(&wal_header(generation)).map_err(io_err)?;
         if sync {
             file.sync_data().map_err(io_err)?;
         }
@@ -246,38 +260,74 @@ impl Wal {
         Ok(())
     }
 
-    /// Truncates the log back to an empty (header-only) state, after a
-    /// checkpoint has made its records redundant.
-    pub fn reset(&self) -> Result<()> {
+    /// Truncates the log back to an empty (header-only) state at the
+    /// given generation, after a checkpoint has made its records
+    /// redundant. Every intermediate crash state (empty file, partial
+    /// header) replays to zero records, so the truncation itself is
+    /// crash-safe.
+    pub fn reset(&self, generation: u64) -> Result<()> {
         let mut file = self.file.lock();
         file.set_len(0).map_err(io_err)?;
         // Rewind: set_len does not move the write cursor.
         use std::io::Seek;
         file.seek(std::io::SeekFrom::Start(0)).map_err(io_err)?;
-        file.write_all(&wal_header()).map_err(io_err)?;
+        file.write_all(&wal_header(generation)).map_err(io_err)?;
         if self.sync {
             file.sync_data().map_err(io_err)?;
         }
         Ok(())
     }
 
-    /// Scans the log at `path`, returning every intact record and the
-    /// size of any ignored torn tail. A missing file replays to nothing,
-    /// and so does a file shorter than its header (a crash while
-    /// [`Wal::create`] was writing it). A *complete* header with the
-    /// wrong magic or version is rejected: that is corruption of the log
-    /// head, which no crash during create or append can produce.
+    /// The generation stamp of the log at `path`, without replaying it.
+    /// Best effort: a missing, legacy, or unreadable header reports 0.
+    pub fn peek_generation(path: impl AsRef<Path>) -> u64 {
+        use std::io::Read;
+        let mut head = [0u8; WAL_HEADER_LEN];
+        let Ok(mut f) = std::fs::File::open(path) else { return 0 };
+        if f.read_exact(&mut head).is_err() {
+            return 0;
+        }
+        let mut data: &[u8] = &head;
+        if &data[..4] != WAL_MAGIC {
+            return 0;
+        }
+        data.advance(4);
+        if data.get_u32_le() != WAL_VERSION {
+            return 0;
+        }
+        data.get_u64_le()
+    }
+
+    /// Scans the log at `path`, returning every intact record, the log's
+    /// generation, and the size of any ignored torn tail. A missing file
+    /// replays to nothing, and so does a strict prefix of a valid header
+    /// (a crash while [`Wal::create`] was writing it). Header bytes that
+    /// could *not* have come from a torn header write — wrong magic or
+    /// version — are rejected: that is corruption of the log head, which
+    /// no crash during create or append can produce.
     pub fn replay(path: impl AsRef<Path>) -> Result<Replay> {
         let raw = match std::fs::read(path.as_ref()) {
             Ok(b) => b,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                return Ok(Replay { records: Vec::new(), ignored_tail: 0 })
+                return Ok(Replay { records: Vec::new(), ignored_tail: 0, generation: 0 })
             }
             Err(e) => return Err(io_err(e)),
         };
         let mut data: &[u8] = &raw;
         if data.remaining() < WAL_HEADER_LEN {
-            return Ok(Replay { records: Vec::new(), ignored_tail: data.remaining() });
+            // Short header: torn create if it is a prefix of a valid
+            // header (the generation bytes, 8.., may hold any value),
+            // corruption otherwise.
+            let fixed = wal_header(0);
+            let n = data.remaining().min(8);
+            if data[..n] != fixed[..n] {
+                return Err(persist_err("WAL: bad header"));
+            }
+            return Ok(Replay {
+                records: Vec::new(),
+                ignored_tail: data.remaining(),
+                generation: 0,
+            });
         }
         if &data[..4] != WAL_MAGIC {
             return Err(persist_err("WAL: bad magic"));
@@ -287,6 +337,7 @@ impl Wal {
         if version != WAL_VERSION {
             return Err(persist_err(&format!("WAL: unsupported version {version}")));
         }
+        let generation = data.get_u64_le();
         let mut records = Vec::new();
         while data.remaining() >= FRAME_OVERHEAD {
             let tail = data.remaining();
@@ -295,24 +346,26 @@ impl Wal {
             let want_crc = peek.get_u32_le();
             if peek.remaining() < len {
                 // Torn frame: the append was cut off mid-payload.
-                return Ok(Replay { records, ignored_tail: tail });
+                return Ok(Replay { records, ignored_tail: tail, generation });
             }
             if crc32(&peek[..len]) != want_crc {
                 // Bit rot or a torn length field; nothing past this
                 // point can be trusted.
-                return Ok(Replay { records, ignored_tail: tail });
+                return Ok(Replay { records, ignored_tail: tail, generation });
             }
-            match WalRecord::decode(&peek[..len]) {
-                Ok(rec) => records.push(rec),
-                // Checksum passed but the payload does not parse: a
-                // record written by a newer/therefore-unknown schema.
-                // Stop, as with any other untrusted tail.
-                Err(_) => return Ok(Replay { records, ignored_tail: tail }),
-            }
+            // The checksum passed, so these are the bytes that were
+            // appended — if they do not parse, that is a format bug or
+            // version skew, not a torn write. Silently dropping this
+            // record (and every committed record behind it) would be
+            // data loss, so fail loudly instead.
+            let rec = WalRecord::decode(&peek[..len]).map_err(|e| {
+                persist_err(format!("WAL: checksum-valid record failed to decode: {e}"))
+            })?;
+            records.push(rec);
             data = &peek[len..];
         }
         let ignored_tail = data.remaining();
-        Ok(Replay { records, ignored_tail })
+        Ok(Replay { records, ignored_tail, generation })
     }
 }
 
@@ -357,7 +410,7 @@ mod tests {
     #[test]
     fn append_and_replay() {
         let path = temp_path("roundtrip");
-        let wal = Wal::create(&path, false).unwrap();
+        let wal = Wal::create(&path, false, 7).unwrap();
         for rec in sample_records() {
             wal.append(&rec).unwrap();
         }
@@ -366,12 +419,13 @@ mod tests {
         std::fs::remove_file(&path).ok();
         assert_eq!(replay.records, sample_records());
         assert_eq!(replay.ignored_tail, 0);
+        assert_eq!(replay.generation, 7);
     }
 
     #[test]
     fn torn_tail_is_dropped_not_fatal() {
         let path = temp_path("torn");
-        let wal = Wal::create(&path, false).unwrap();
+        let wal = Wal::create(&path, false, 1).unwrap();
         let recs = sample_records();
         for rec in &recs {
             wal.append(rec).unwrap();
@@ -388,16 +442,18 @@ mod tests {
     }
 
     #[test]
-    fn reset_empties_the_log() {
+    fn reset_empties_the_log_and_restamps_the_generation() {
         let path = temp_path("reset");
-        let wal = Wal::create(&path, true).unwrap();
+        let wal = Wal::create(&path, true, 1).unwrap();
         wal.append(&sample_records()[0]).unwrap();
-        wal.reset().unwrap();
+        wal.reset(2).unwrap();
         wal.append(&sample_records()[3]).unwrap();
         drop(wal);
         let replay = Wal::replay(&path).unwrap();
-        std::fs::remove_file(&path).ok();
         assert_eq!(replay.records, vec![sample_records()[3].clone()]);
+        assert_eq!(replay.generation, 2);
+        assert_eq!(Wal::peek_generation(&path), 2);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]
@@ -407,6 +463,35 @@ mod tests {
         assert!(Wal::replay(&path).is_err());
         std::fs::write(&path, b"JKWL\x63\x00\x00\x00").unwrap();
         assert!(Wal::replay(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_header_replays_to_nothing() {
+        let path = temp_path("tornhead");
+        // Any strict prefix of a valid header is a crash during create.
+        let head = wal_header(0x0102_0304_0506_0708);
+        for cut in 0..head.len() {
+            std::fs::write(&path, &head[..cut]).unwrap();
+            let replay = Wal::replay(&path).unwrap();
+            assert!(replay.records.is_empty(), "cut at {cut}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checksum_valid_but_undecodable_record_is_an_error() {
+        let path = temp_path("undecodable");
+        // A frame whose CRC is correct but whose payload is an unknown
+        // record kind: format bug or version skew, not a torn write.
+        let payload = [0xEEu8, 0x01, 0x02];
+        let mut bytes = wal_header(0);
+        bytes.put_u32_le(payload.len() as u32);
+        bytes.put_u32_le(crc32(&payload));
+        bytes.put_slice(&payload);
+        std::fs::write(&path, &bytes).unwrap();
+        let err = Wal::replay(&path).err().expect("must fail, not silently drop");
+        assert!(matches!(err, EngineError::Persist(_)), "got {err:?}");
         std::fs::remove_file(&path).ok();
     }
 }
