@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! repro [--scale S] [--reps R] [--sessions N] [--workers W] [--csv DIR]
-//!       [--persist DIR] [--wal on|off] <experiment>...
+//!       [--persist DIR] [--wal on|off] [--trace] [--metrics-json FILE]
+//!       <experiment>...
 //! experiments: t1 t2 t3 f1..f8 all bench-json
 //! ```
 //!
@@ -21,6 +22,11 @@
 //! scenarios at `workers=1` vs. the configured worker count and writes
 //! `BENCH_1.json` (github-action-benchmark `customSmallerIsBetter`
 //! entries), checking that both settings return identical results.
+//!
+//! `--trace` prints an EXPLAIN ANALYZE-style trace (per-stage timings
+//! plus engine counters) for every micro-benchmark query on the
+//! exact-rtree engine. `--metrics-json FILE` writes each engine's final
+//! metrics snapshot as one JSON object keyed by engine name.
 
 use jackpine_bench::{all_engines, dataset, engine_with_data, DEFAULT_SCALE};
 use jackpine_core::driver::{CacheMode, Driver};
@@ -43,6 +49,8 @@ struct Options {
     csv_dir: Option<String>,
     persist_dir: Option<String>,
     wal: bool,
+    trace: bool,
+    metrics_json: Option<String>,
     experiments: Vec<String>,
 }
 
@@ -55,6 +63,8 @@ fn parse_args() -> Options {
         csv_dir: None,
         persist_dir: None,
         wal: true,
+        trace: false,
+        metrics_json: None,
         experiments: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -73,6 +83,8 @@ fn parse_args() -> Options {
                     _ => usage(),
                 }
             }
+            "--trace" => opts.trace = true,
+            "--metrics-json" => opts.metrics_json = Some(args.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => {
                 usage();
             }
@@ -103,7 +115,8 @@ fn expect_num(v: Option<String>, flag: &str) -> f64 {
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale S] [--reps R] [--sessions N] [--workers W] [--csv DIR] \
-         [--persist DIR] [--wal on|off] <t1|t2|t3|f1..f8|all|bench-json>..."
+         [--persist DIR] [--wal on|off] [--trace] [--metrics-json FILE] \
+         <t1|t2|t3|f1..f8|all|bench-json>..."
     );
     std::process::exit(2)
 }
@@ -202,16 +215,37 @@ fn main() {
         Some(dir) => format!("persist={dir} wal={}", if opts.wal { "on" } else { "off" }),
         None => "persist=off".to_string(),
     };
+    let trace_note = if opts.trace { " trace=on" } else { "" };
     for t in &mut tables {
-        t.context = format!("workers={workers} {persist_note}");
+        t.context = format!("workers={workers} {persist_note}{trace_note}");
     }
 
     if opts.experiments.iter().any(|x| x == "bench-json") {
         bench_json(&data, &opts);
     }
 
+    if opts.trace {
+        trace_report(&data, &engines);
+    }
+
     for t in &tables {
         println!("{}", t.render());
+    }
+
+    if let Some(path) = &opts.metrics_json {
+        let mut json = String::from("{\n");
+        for (i, e) in engines.iter().enumerate() {
+            json.push_str(&format!(
+                "  \"{}\": {}{}\n",
+                e.name(),
+                SpatialDb::metrics_snapshot(e).to_json(),
+                if i + 1 < engines.len() { "," } else { "" }
+            ));
+        }
+        json.push('}');
+        json.push('\n');
+        std::fs::write(path, json).expect("write metrics json");
+        eprintln!("wrote {path}");
     }
 
     if let Some(dir) = &opts.csv_dir {
@@ -617,6 +651,32 @@ fn bench_json(data: &TigerDataset, opts: &Options) {
     json.push_str("]\n");
     std::fs::write("BENCH_1.json", json).expect("write BENCH_1.json");
     println!("wrote BENCH_1.json ({} entries)\n", entries.len());
+}
+
+// ---------------------------------------------------------------------------
+// --trace: per-query stage timings and engine counters
+// ---------------------------------------------------------------------------
+
+/// Prints an EXPLAIN ANALYZE-style trace for every micro-benchmark query
+/// (topological and analysis suites) on the exact-rtree engine.
+fn trace_report(data: &TigerDataset, engines: &[Arc<SpatialDb>]) {
+    let db = engines
+        .iter()
+        .find(|e| e.profile() == EngineProfile::ExactRtree)
+        .expect("exact-rtree engine present");
+    println!("Query traces (exact-rtree)");
+    println!("--------------------------");
+    let topo = topo_suite(data);
+    let analysis = analysis_suite(data);
+    for q in topo.iter().chain(analysis.iter()) {
+        match db.execute_traced(&q.sql) {
+            Ok((_, trace)) => {
+                println!("[{}] {}", q.id, q.name);
+                println!("{}", trace.render());
+            }
+            Err(err) => println!("[{}] {}: error: {err}", q.id, q.name),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -32,6 +32,13 @@ impl BenchResult {
     }
 }
 
+/// Elapsed time since `start`, clamped to zero. Some virtualised clocks
+/// hand out non-monotonic `Instant`s across cores; a sample must never
+/// go "negative" (panic or wrap), only floor at zero.
+pub fn monotonic_elapsed(start: Instant) -> Duration {
+    Instant::now().checked_duration_since(start).unwrap_or(Duration::ZERO)
+}
+
 /// Times `f` (`samples` runs after one warm-up) and prints one line.
 pub fn bench(group: &str, id: &str, samples: usize, mut f: impl FnMut()) -> BenchResult {
     f(); // warm-up: touch caches, first-use lazies, page faults
@@ -39,7 +46,7 @@ pub fn bench(group: &str, id: &str, samples: usize, mut f: impl FnMut()) -> Benc
     for _ in 0..samples.max(1) {
         let start = Instant::now();
         f();
-        out.push(start.elapsed());
+        out.push(monotonic_elapsed(start));
     }
     let result = BenchResult { label: format!("{group}/{id}"), samples: out };
     println!(
@@ -63,5 +70,17 @@ mod tests {
         assert_eq!(runs, 4); // warm-up + 3 samples
         assert_eq!(r.samples.len(), 3);
         assert!(r.min() <= r.mean() || r.samples.iter().all(|s| s.is_zero()));
+    }
+
+    #[test]
+    fn monotonic_elapsed_never_negative() {
+        // A start instant in the "future" (as far as the clock allows)
+        // must clamp to zero rather than panic or wrap.
+        let later = Instant::now() + Duration::from_secs(3600);
+        assert_eq!(monotonic_elapsed(later), Duration::ZERO);
+        // And a genuine past instant reports forward progress.
+        let start = Instant::now();
+        std::hint::black_box((0..1000).sum::<u64>());
+        assert!(monotonic_elapsed(start) >= Duration::ZERO);
     }
 }

@@ -2,6 +2,7 @@
 //! the way the original harness drove any database with a JDBC driver.
 
 use crate::{EngineProfile, Result, SpatialDb};
+use jackpine_obs::{MetricsSnapshot, QueryTrace};
 use jackpine_sqlmini::ResultSet;
 use std::sync::Arc;
 
@@ -47,6 +48,19 @@ pub trait SpatialConnector: Send + Sync {
     fn durability_dir(&self) -> Option<std::path::PathBuf> {
         None
     }
+
+    /// Executes one SQL statement and returns its query trace (per-stage
+    /// timings plus the engine-counter delta) alongside the result.
+    /// Systems without tracing return `None` for the trace.
+    fn execute_traced(&self, sql: &str) -> Result<(ResultSet, Option<QueryTrace>)> {
+        self.execute(sql).map(|r| (r, None))
+    }
+
+    /// A point-in-time copy of the system's engine metrics, when it
+    /// exposes any.
+    fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        None
+    }
 }
 
 impl SpatialConnector for Arc<SpatialDb> {
@@ -84,6 +98,14 @@ impl SpatialConnector for Arc<SpatialDb> {
 
     fn durability_dir(&self) -> Option<std::path::PathBuf> {
         SpatialDb::durability_dir(self)
+    }
+
+    fn execute_traced(&self, sql: &str) -> Result<(ResultSet, Option<QueryTrace>)> {
+        SpatialDb::execute_traced(self, sql).map(|(r, t)| (r, Some(t)))
+    }
+
+    fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        Some(SpatialDb::metrics_snapshot(self))
     }
 }
 

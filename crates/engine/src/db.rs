@@ -4,7 +4,8 @@
 use crate::wal::{Wal, WalRecord};
 use crate::EngineProfile;
 use jackpine_geom::{Coord, Envelope};
-use jackpine_index::{GridIndex, OrderedIndex, RTree, RTreeConfig};
+use jackpine_index::{GridIndex, OrderedIndex, ProbeStats, RTree, RTreeConfig};
+use jackpine_obs::{EngineMetrics, MetricsSnapshot, QueryTrace, Stage};
 use jackpine_sqlmini::ast::Statement;
 use jackpine_sqlmini::plan::PlanOptions;
 use jackpine_sqlmini::provider::{CatalogProvider, TableProvider};
@@ -17,6 +18,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Errors surfaced by [`SpatialDb`].
 #[derive(Clone, Debug, PartialEq)]
@@ -72,18 +74,23 @@ impl SpatialIdx {
         }
     }
 
-    fn window(&self, env: &Envelope) -> Vec<RowId> {
-        match self {
-            SpatialIdx::Rtree(t) => t.window(env),
-            SpatialIdx::Grid(g) => g.window(env),
-        }
+    /// Window query that also reports how much work the probe did
+    /// (nodes/cells inspected, candidates emitted).
+    fn window_probe(&self, env: &Envelope) -> (Vec<RowId>, ProbeStats) {
+        let mut out = Vec::new();
+        let stats = match self {
+            SpatialIdx::Rtree(t) => t.query_window_probe(env, |_, v| out.push(*v)),
+            SpatialIdx::Grid(g) => g.query_window_probe(env, |_, v| out.push(*v)),
+        };
+        (out, stats)
     }
 
-    fn nearest(&self, q: Coord, k: usize) -> Vec<RowId> {
-        match self {
-            SpatialIdx::Rtree(t) => t.nearest(q, k).into_iter().map(|(_, v)| v).collect(),
-            SpatialIdx::Grid(g) => g.nearest(q, k).into_iter().map(|(_, v)| v).collect(),
-        }
+    fn nearest_probe(&self, q: Coord, k: usize) -> (Vec<RowId>, ProbeStats) {
+        let (hits, stats) = match self {
+            SpatialIdx::Rtree(t) => t.nearest_probe(q, k),
+            SpatialIdx::Grid(g) => g.nearest_probe(q, k),
+        };
+        (hits.into_iter().map(|(_, v)| v).collect(), stats)
     }
 
     fn remove(&mut self, env: &Envelope, id: RowId) {
@@ -168,6 +175,10 @@ pub struct SpatialDb {
     /// Lock order: this lock is always taken *before* `indexes`, the
     /// plan cache, or any heap lock, never after.
     durability: RwLock<Option<DurabilityState>>,
+    /// Engine-wide observability registry: every counter and stage
+    /// histogram this instance records into, shared with the executor,
+    /// the WAL, and the provider adapters.
+    metrics: Arc<EngineMetrics>,
 }
 
 impl SpatialDb {
@@ -184,6 +195,7 @@ impl SpatialDb {
             plan_cache_misses: std::sync::atomic::AtomicU64::new(0),
             workers: std::sync::atomic::AtomicUsize::new(default_workers()),
             durability: RwLock::new(None),
+            metrics: Arc::new(EngineMetrics::new()),
         }
     }
 
@@ -227,7 +239,8 @@ impl SpatialDb {
         // stale log whose generation no longer matches — harmless.
         let gen = snap_gen.max(replay.generation) + 1;
         db.save_gen(&snap, gen)?;
-        let wal = Wal::create(dir.join(WAL_FILE), opts.sync_each_append, gen)?;
+        let mut wal = Wal::create(dir.join(WAL_FILE), opts.sync_each_append, gen)?;
+        wal.set_metrics(db.metrics.clone());
         *db.durability.write() =
             Some(DurabilityState { wal, dir: dir.to_path_buf(), generation: gen });
         Ok(db)
@@ -254,7 +267,8 @@ impl SpatialDb {
                     .max(Wal::peek_generation(dir.join(WAL_FILE)))
                     + 1;
                 self.save_gen(&snap, gen)?;
-                let wal = Wal::create(dir.join(WAL_FILE), opts.sync_each_append, gen)?;
+                let mut wal = Wal::create(dir.join(WAL_FILE), opts.sync_each_append, gen)?;
+                wal.set_metrics(self.metrics.clone());
                 *guard = Some(DurabilityState { wal, dir: dir.to_path_buf(), generation: gen });
             }
             None => *self.durability.write() = None,
@@ -320,7 +334,17 @@ impl SpatialDb {
     }
 
     fn exec_options(&self) -> exec::ExecOptions {
-        exec::ExecOptions { workers: self.workers() }
+        exec::ExecOptions { workers: self.workers(), metrics: Some(self.metrics.clone()) }
+    }
+
+    /// The engine's observability registry (shared, always-on).
+    pub fn metrics(&self) -> &Arc<EngineMetrics> {
+        &self.metrics
+    }
+
+    /// A point-in-time copy of every engine counter and histogram.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
     }
 
     /// The engine profile.
@@ -499,33 +523,119 @@ impl SpatialDb {
         Ok(())
     }
 
+    /// Drops the spatial index on `table.column`. Errors if no such
+    /// index exists. Invalidates cached plans and re-cuts the durable
+    /// snapshot, so recovery cannot resurrect the index from a logged
+    /// `CREATE INDEX` record.
+    pub fn drop_spatial_index(&self, table: &str, column: &str) -> crate::Result<()> {
+        let t = self.catalog.table(table)?;
+        let col = t.schema().column_index(column)?;
+        let removed = self
+            .indexes
+            .write()
+            .get_mut(&table.to_ascii_lowercase())
+            .and_then(|ti| ti.spatial.remove(&col));
+        if removed.is_none() {
+            return Err(EngineError::Index(format!("no spatial index on '{table}.{column}'")));
+        }
+        self.plan_cache.write().clear();
+        self.checkpoint()
+    }
+
+    /// Drops the ordered index on `table.column`. Errors if no such
+    /// index exists. Same invalidation rules as
+    /// [`SpatialDb::drop_spatial_index`].
+    pub fn drop_ordered_index(&self, table: &str, column: &str) -> crate::Result<()> {
+        let t = self.catalog.table(table)?;
+        let col = t.schema().column_index(column)?;
+        let removed = self
+            .indexes
+            .write()
+            .get_mut(&table.to_ascii_lowercase())
+            .and_then(|ti| ti.ordered.remove(&col));
+        if removed.is_none() {
+            return Err(EngineError::Index(format!("no ordered index on '{table}.{column}'")));
+        }
+        self.plan_cache.write().clear();
+        self.checkpoint()
+    }
+
     /// Runs one SQL statement.
     pub fn execute(self: &Arc<Self>, sql: &str) -> crate::Result<ResultSet> {
-        match parser::parse(sql)? {
+        self.metrics.queries.incr();
+        let t0 = Instant::now();
+        let stmt = parser::parse(sql)?;
+        self.metrics.record_stage(Stage::Parse, t0.elapsed());
+        self.execute_statement(stmt, Some(sql))
+    }
+
+    /// Runs one SQL statement and returns the per-query trace alongside
+    /// the result: per-stage timings and the engine-counter delta
+    /// attributable to this statement. Concurrent statements on the same
+    /// instance bleed into each other's deltas — trace under a single
+    /// client connection, the way EXPLAIN ANALYZE is used.
+    pub fn execute_traced(self: &Arc<Self>, sql: &str) -> crate::Result<(ResultSet, QueryTrace)> {
+        let before = self.metrics.snapshot();
+        let t0 = Instant::now();
+        let result = self.execute(sql)?;
+        let total = t0.elapsed();
+        let delta = self.metrics.snapshot().delta_since(&before);
+        let trace = QueryTrace::new(sql, total, result.rows.len(), delta);
+        Ok((result, trace))
+    }
+
+    /// Plans a SELECT, consulting the plan cache when `sql` carries the
+    /// statement's cache key (`None` — used by EXPLAIN ANALYZE — always
+    /// plans fresh). Records plan-stage time and cache hit/miss counters.
+    fn plan_or_cached(
+        self: &Arc<Self>,
+        select: &jackpine_sqlmini::ast::Select,
+        sql: Option<&str>,
+    ) -> crate::Result<Arc<jackpine_sqlmini::plan::PlannedSelect>> {
+        let t0 = Instant::now();
+        let result = (|| {
+            let cache_on = *self.plan_cache_enabled.read() && sql.is_some();
+            if cache_on {
+                if let Some(planned) = self.plan_cache.read().get(sql.unwrap()).cloned() {
+                    self.plan_cache_hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    self.metrics.plan_cache_hits.incr();
+                    return Ok(planned);
+                }
+            }
+            self.plan_cache_misses.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.metrics.plan_cache_misses.incr();
+            let opts = PlanOptions {
+                mode: self.profile.function_mode(),
+                use_spatial_index: *self.use_spatial_index.read(),
+            };
+            let adapter = DbCatalogAdapter { db: self.clone() };
+            let planned = Arc::new(plan::plan_select(&adapter, select, &opts)?);
+            if cache_on {
+                let mut cache = self.plan_cache.write();
+                // Bound the cache: macro scenarios generate many
+                // one-off statements; cap like a real statement cache.
+                if cache.len() >= 512 {
+                    cache.clear();
+                }
+                cache.insert(sql.unwrap().to_string(), planned.clone());
+            }
+            Ok(planned)
+        })();
+        self.metrics.record_stage(Stage::Plan, t0.elapsed());
+        result
+    }
+
+    /// Runs one parsed statement. `sql` is the statement's text when it
+    /// came through [`SpatialDb::execute`] (used as the plan-cache key);
+    /// `None` bypasses the cache.
+    fn execute_statement(
+        self: &Arc<Self>,
+        stmt: Statement,
+        sql: Option<&str>,
+    ) -> crate::Result<ResultSet> {
+        match stmt {
             Statement::Select(select) => {
-                let cache_on = *self.plan_cache_enabled.read();
-                if cache_on {
-                    if let Some(planned) = self.plan_cache.read().get(sql).cloned() {
-                        self.plan_cache_hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        return Ok(exec::execute_with(&planned, &self.exec_options())?);
-                    }
-                }
-                self.plan_cache_misses.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let opts = PlanOptions {
-                    mode: self.profile.function_mode(),
-                    use_spatial_index: *self.use_spatial_index.read(),
-                };
-                let adapter = DbCatalogAdapter { db: self.clone() };
-                let planned = Arc::new(plan::plan_select(&adapter, &select, &opts)?);
-                if cache_on {
-                    let mut cache = self.plan_cache.write();
-                    // Bound the cache: macro scenarios generate many
-                    // one-off statements; cap like a real statement cache.
-                    if cache.len() >= 512 {
-                        cache.clear();
-                    }
-                    cache.insert(sql.to_string(), planned.clone());
-                }
+                let planned = self.plan_or_cached(&select, sql)?;
                 Ok(exec::execute_with(&planned, &self.exec_options())?)
             }
             Statement::CreateTable { name, columns } => {
@@ -592,6 +702,25 @@ impl SpatialDb {
                 }
                 _ => Err(EngineError::Sql(SqlError::Type("EXPLAIN supports only SELECT".into()))),
             },
+            Statement::ExplainAnalyze(inner) => {
+                if !matches!(*inner, Statement::Select(_)) {
+                    return Err(EngineError::Sql(SqlError::Type(
+                        "EXPLAIN ANALYZE supports only SELECT".into(),
+                    )));
+                }
+                // Execute the inner SELECT for real (bypassing the plan
+                // cache so the plan stage is always exercised), bracketed
+                // by metric snapshots; the delta is this query's trace.
+                let before = self.metrics.snapshot();
+                let t0 = Instant::now();
+                let result = self.execute_statement(*inner, None)?;
+                let total = t0.elapsed();
+                let delta = self.metrics.snapshot().delta_since(&before);
+                let trace = QueryTrace::new(sql.unwrap_or(""), total, result.rows.len(), delta);
+                let rows =
+                    trace.render().lines().map(|l| vec![Value::Text(l.to_string())]).collect();
+                Ok(ResultSet { columns: vec!["analyze".into()], rows })
+            }
             Statement::Insert { table, rows } => {
                 let mode = self.profile.function_mode();
                 let mut n = 0;
@@ -850,13 +979,19 @@ impl TableProvider for DbTableAdapter {
     }
 
     fn fetch(&self, id: RowId) -> jackpine_sqlmini::Result<Arc<Row>> {
+        self.db.metrics.heap_rows_fetched.incr();
         self.table.heap.get(id).map_err(SqlError::from)
     }
 
     fn spatial_candidates(&self, col: usize, env: &Envelope) -> Option<Vec<RowId>> {
         let indexes = self.db.indexes.read();
         let ti = indexes.get(&self.key)?;
-        Some(ti.spatial.get(&col)?.window(env))
+        let (ids, stats) = ti.spatial.get(&col)?.window_probe(env);
+        let m = &self.db.metrics;
+        m.index_probes.incr();
+        m.index_candidates.add(stats.candidates);
+        m.index_nodes_visited.add(stats.nodes_visited);
+        Some(ids)
     }
 
     fn ordered_candidates(&self, col: usize, key: &Value) -> Option<Vec<RowId>> {
@@ -864,13 +999,22 @@ impl TableProvider for DbTableAdapter {
         let ti = indexes.get(&self.key)?;
         let idx = ti.ordered.get(&col)?;
         let k = Key::from_value(key)?;
-        Some(idx.get(&k).to_vec())
+        let ids = idx.get(&k).to_vec();
+        let m = &self.db.metrics;
+        m.index_probes.incr();
+        m.index_candidates.add(ids.len() as u64);
+        Some(ids)
     }
 
     fn nearest(&self, col: usize, query: Coord, k: usize) -> Option<Vec<RowId>> {
         let indexes = self.db.indexes.read();
         let ti = indexes.get(&self.key)?;
-        Some(ti.spatial.get(&col)?.nearest(query, k))
+        let (ids, stats) = ti.spatial.get(&col)?.nearest_probe(query, k);
+        let m = &self.db.metrics;
+        m.index_probes.incr();
+        m.index_candidates.add(stats.candidates);
+        m.index_nodes_visited.add(stats.nodes_visited);
+        Some(ids)
     }
 }
 

@@ -226,6 +226,8 @@ pub struct Wal {
     file: Mutex<std::fs::File>,
     path: PathBuf,
     sync: bool,
+    /// Metrics registry counting appends and fsyncs, when attached.
+    metrics: Option<std::sync::Arc<jackpine_obs::EngineMetrics>>,
 }
 
 impl Wal {
@@ -239,7 +241,13 @@ impl Wal {
         if sync {
             file.sync_data().map_err(io_err)?;
         }
-        Ok(Wal { file: Mutex::new(file), path, sync })
+        Ok(Wal { file: Mutex::new(file), path, sync, metrics: None })
+    }
+
+    /// Attaches a metrics registry: subsequent appends count into
+    /// `wal_appends`, and their fsyncs into `wal_fsyncs`.
+    pub fn set_metrics(&mut self, metrics: std::sync::Arc<jackpine_obs::EngineMetrics>) {
+        self.metrics = Some(metrics);
     }
 
     /// The log's file path.
@@ -256,6 +264,12 @@ impl Wal {
         file.write_all(&frame).map_err(io_err)?;
         if self.sync {
             file.sync_data().map_err(io_err)?;
+        }
+        if let Some(m) = &self.metrics {
+            m.wal_appends.incr();
+            if self.sync {
+                m.wal_fsyncs.incr();
+            }
         }
         Ok(())
     }

@@ -124,9 +124,20 @@ impl<T: Clone> GridIndex<T> {
     }
 
     /// Calls `visit` once per entry whose envelope intersects `window`.
-    pub fn query_window(&self, window: &Envelope, mut visit: impl FnMut(&Envelope, &T)) {
+    pub fn query_window(&self, window: &Envelope, visit: impl FnMut(&Envelope, &T)) {
+        self.query_window_probe(window, visit);
+    }
+
+    /// [`GridIndex::query_window`] that also reports how many grid cells
+    /// the probe inspected and how many candidates it emitted.
+    pub fn query_window_probe(
+        &self,
+        window: &Envelope,
+        mut visit: impl FnMut(&Envelope, &T),
+    ) -> crate::ProbeStats {
+        let mut stats = crate::ProbeStats::default();
         if window.is_empty() {
-            return;
+            return stats;
         }
         let mut stamps = self.stamps.lock().expect("stamp lock");
         stamps.0 += 1;
@@ -134,6 +145,7 @@ impl<T: Clone> GridIndex<T> {
         let (c0, c1, r0, r1) = self.cell_range(window);
         for r in r0..=r1 {
             for c in c0..=c1 {
+                stats.nodes_visited += 1;
                 for &id in &self.cells[r * self.cols + c] {
                     let stamp = &mut stamps.1[id as usize];
                     if *stamp == epoch {
@@ -145,11 +157,13 @@ impl<T: Clone> GridIndex<T> {
                     }
                     let (env, value) = &self.entries[id as usize];
                     if env.intersects(window) {
+                        stats.candidates += 1;
                         visit(env, value);
                     }
                 }
             }
         }
+        stats
     }
 
     /// Removes one entry matching `env` exactly for which `pred` holds,
@@ -181,8 +195,15 @@ impl<T: Clone> GridIndex<T> {
     /// k-nearest-neighbour search by expanding square ring of cells.
     /// Returns `(distance, payload)` pairs in ascending distance order.
     pub fn nearest(&self, query: Coord, k: usize) -> Vec<(f64, T)> {
+        self.nearest_probe(query, k).0
+    }
+
+    /// [`GridIndex::nearest`] that also reports how many grid cells the
+    /// ring search inspected and how many results it produced.
+    pub fn nearest_probe(&self, query: Coord, k: usize) -> (Vec<(f64, T)>, crate::ProbeStats) {
+        let mut stats = crate::ProbeStats::default();
         if k == 0 || self.entries.is_empty() {
-            return Vec::new();
+            return (Vec::new(), stats);
         }
         let mut best: Vec<(f64, u32)> = Vec::new();
         let qc = self.col_of(query.x);
@@ -204,6 +225,7 @@ impl<T: Clone> GridIndex<T> {
             let mut any_cell = false;
             for (r, c) in ring_cells(qr, qc, radius, self.rows, self.cols) {
                 any_cell = true;
+                stats.nodes_visited += 1;
                 for &id in &self.cells[r * self.cols + c] {
                     let stamp = &mut stamps.1[id as usize];
                     if *stamp == epoch {
@@ -225,7 +247,10 @@ impl<T: Clone> GridIndex<T> {
                 break; // ring fully outside the grid
             }
         }
-        best.into_iter().map(|(d, id)| (d, self.entries[id as usize].1.clone())).collect()
+        stats.candidates = best.len() as u64;
+        let out =
+            best.into_iter().map(|(d, id)| (d, self.entries[id as usize].1.clone())).collect();
+        (out, stats)
     }
 }
 
@@ -356,6 +381,24 @@ mod tests {
         assert!(g.is_empty());
         let (g, _) = build(10);
         assert!(g.nearest(Coord::new(0.5, 0.5), 0).is_empty());
+    }
+
+    #[test]
+    fn probe_stats_reflect_work() {
+        let (g, _) = build(1500);
+        let window = Envelope::new(500.0, 200.0, 800.0, 300.0);
+        let mut hits = 0u64;
+        let stats = g.query_window_probe(&window, |_, _| hits += 1);
+        assert_eq!(stats.candidates, hits);
+        assert!(hits > 0);
+        // Cells visited = the covered cell range, never the whole grid.
+        assert!(stats.nodes_visited >= 1);
+        assert!((stats.nodes_visited as usize) < 32 * 32);
+
+        let (nn, nn_stats) = g.nearest_probe(Coord::new(473.0, 519.0), 8);
+        assert_eq!(nn.len(), 8);
+        assert_eq!(nn_stats.candidates, 8);
+        assert!(nn_stats.nodes_visited >= 1);
     }
 
     #[test]

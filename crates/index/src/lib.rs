@@ -36,3 +36,24 @@ pub struct IndexStats {
     /// Internal nodes (R-tree) or occupied cells (grid).
     pub nodes: usize,
 }
+
+/// Cost of a single index probe, reported by the `*_probe` query
+/// variants for the observability layer. Both fields are deterministic
+/// functions of the index contents and the query, never of scheduling.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProbeStats {
+    /// Tree nodes (R-tree) or grid cells inspected during the probe.
+    pub nodes_visited: u64,
+    /// Candidate entries emitted to the caller.
+    pub candidates: u64,
+}
+
+impl ProbeStats {
+    /// Component-wise sum, for aggregating probes.
+    pub fn merge(self, other: ProbeStats) -> ProbeStats {
+        ProbeStats {
+            nodes_visited: self.nodes_visited + other.nodes_visited,
+            candidates: self.candidates + other.candidates,
+        }
+    }
+}

@@ -607,7 +607,24 @@ impl<T: Clone> RTree<T> {
 
     /// Calls `visit` for every entry whose envelope intersects `window`.
     pub fn query_window(&self, window: &Envelope, mut visit: impl FnMut(&Envelope, &T)) {
-        self.query_rec(self.root, window, &mut visit);
+        let mut nodes_visited = 0u64;
+        self.query_rec(self.root, window, &mut visit, &mut nodes_visited);
+    }
+
+    /// [`RTree::query_window`] that also reports how many tree nodes the
+    /// probe inspected and how many candidates it emitted.
+    pub fn query_window_probe(
+        &self,
+        window: &Envelope,
+        mut visit: impl FnMut(&Envelope, &T),
+    ) -> crate::ProbeStats {
+        let mut stats = crate::ProbeStats::default();
+        let mut counting = |e: &Envelope, v: &T| {
+            stats.candidates += 1;
+            visit(e, v);
+        };
+        self.query_rec(self.root, window, &mut counting, &mut stats.nodes_visited);
+        stats
     }
 
     /// Collects the payloads of every entry intersecting `window`.
@@ -617,7 +634,14 @@ impl<T: Clone> RTree<T> {
         out
     }
 
-    fn query_rec(&self, node_id: usize, window: &Envelope, visit: &mut impl FnMut(&Envelope, &T)) {
+    fn query_rec(
+        &self,
+        node_id: usize,
+        window: &Envelope,
+        visit: &mut impl FnMut(&Envelope, &T),
+        nodes_visited: &mut u64,
+    ) {
+        *nodes_visited += 1;
         match &self.nodes[node_id] {
             Node::Leaf { entries } => {
                 for (e, v) in entries {
@@ -629,7 +653,7 @@ impl<T: Clone> RTree<T> {
             Node::Internal { entries } => {
                 for (e, child) in entries {
                     if e.intersects(window) {
-                        self.query_rec(*child, window, visit);
+                        self.query_rec(*child, window, visit, nodes_visited);
                     }
                 }
             }
@@ -639,6 +663,12 @@ impl<T: Clone> RTree<T> {
     /// Best-first k-nearest-neighbour search from `query`, by envelope
     /// distance. Returns `(distance, payload)` pairs in ascending order.
     pub fn nearest(&self, query: Coord, k: usize) -> Vec<(f64, T)> {
+        self.nearest_probe(query, k).0
+    }
+
+    /// [`RTree::nearest`] that also reports how many tree nodes the
+    /// best-first search expanded and how many results it produced.
+    pub fn nearest_probe(&self, query: Coord, k: usize) -> (Vec<(f64, T)>, crate::ProbeStats) {
         #[derive(PartialEq)]
         struct Cand {
             dist: f64,
@@ -658,38 +688,43 @@ impl<T: Clone> RTree<T> {
             }
         }
 
+        let mut stats = crate::ProbeStats::default();
         let mut out: Vec<(f64, T)> = Vec::with_capacity(k);
         if k == 0 || self.is_empty() {
-            return out;
+            return (out, stats);
         }
         let mut heap: BinaryHeap<Cand> = BinaryHeap::new();
         heap.push(Cand { dist: 0.0, node: Some(self.root), entry: 0 });
         while let Some(c) = heap.pop() {
             match c.node {
-                Some(node_id) => match &self.nodes[node_id] {
-                    Node::Internal { entries } => {
-                        for (e, child) in entries {
-                            heap.push(Cand {
-                                dist: e.distance_to_coord(query),
-                                node: Some(*child),
-                                entry: 0,
-                            });
+                Some(node_id) => {
+                    stats.nodes_visited += 1;
+                    match &self.nodes[node_id] {
+                        Node::Internal { entries } => {
+                            for (e, child) in entries {
+                                heap.push(Cand {
+                                    dist: e.distance_to_coord(query),
+                                    node: Some(*child),
+                                    entry: 0,
+                                });
+                            }
+                        }
+                        Node::Leaf { entries } => {
+                            for (i, (e, _)) in entries.iter().enumerate() {
+                                heap.push(Cand {
+                                    dist: e.distance_to_coord(query),
+                                    node: None,
+                                    entry: i | (node_id << 32),
+                                });
+                            }
                         }
                     }
-                    Node::Leaf { entries } => {
-                        for (i, (e, _)) in entries.iter().enumerate() {
-                            heap.push(Cand {
-                                dist: e.distance_to_coord(query),
-                                node: None,
-                                entry: i | (node_id << 32),
-                            });
-                        }
-                    }
-                },
+                }
                 None => {
                     let node_id = c.entry >> 32;
                     let i = c.entry & 0xFFFF_FFFF;
                     if let Node::Leaf { entries } = &self.nodes[node_id] {
+                        stats.candidates += 1;
                         out.push((c.dist, entries[i].1.clone()));
                         if out.len() == k {
                             break;
@@ -698,7 +733,7 @@ impl<T: Clone> RTree<T> {
                 }
             }
         }
-        out
+        (out, stats)
     }
 }
 
@@ -1017,6 +1052,28 @@ mod tests {
         assert_eq!(s.entries, 1000);
         assert!(s.height >= 2, "1000 entries with M=16 must be at least 2 levels");
         assert!(s.nodes > 1000 / 16);
+    }
+
+    #[test]
+    fn probe_stats_reflect_work() {
+        let items = cloud(2000);
+        let t = RTree::bulk_load(RTreeConfig::default(), items.clone());
+        let window = Envelope::new(100.0, 100.0, 300.0, 300.0);
+        let mut hits = 0u64;
+        let stats = t.query_window_probe(&window, |_, _| hits += 1);
+        assert_eq!(stats.candidates, hits);
+        assert!(hits > 0);
+        // The probe visited at least the root, and a selective window
+        // must not walk the entire tree.
+        assert!(stats.nodes_visited >= 1);
+        assert!((stats.nodes_visited as usize) < t.nodes.len());
+        // Probe results match the plain query path.
+        assert_eq!(t.window(&window).len() as u64, stats.candidates);
+
+        let (nn, nn_stats) = t.nearest_probe(Coord::new(500.0, 500.0), 10);
+        assert_eq!(nn.len(), 10);
+        assert_eq!(nn_stats.candidates, 10);
+        assert!(nn_stats.nodes_visited >= 1);
     }
 
     #[test]

@@ -1,0 +1,35 @@
+//! Query observability for the Jackpine engine: lock-cheap counters and
+//! histograms, an engine-wide metrics registry, and per-query traces.
+//!
+//! The crate is deliberately dependency-free and engine-agnostic: it
+//! knows about *stages* and *counters*, not about SQL or geometry, so it
+//! sits below every other crate in the workspace. Recording costs one
+//! relaxed atomic op per event (sharded to avoid cache-line contention),
+//! which keeps always-on metrics under the 2% overhead budget documented
+//! in DESIGN.md.
+//!
+//! The surfaces, bottom-up:
+//!
+//! * [`Counter`] — sharded atomic event counter.
+//! * [`Histogram`] / [`HistogramSnapshot`] — fixed log2-bucket latency
+//!   histogram.
+//! * [`EngineMetrics`] / [`MetricsSnapshot`] — the named registry every
+//!   subsystem records into, with canonical counter ordering, snapshot
+//!   deltas, and a split between deterministic and scheduling-dependent
+//!   counters that the test harness relies on.
+//! * [`QueryTrace`] — per-query view (stage timings + counter delta),
+//!   rendered as `EXPLAIN ANALYZE`-style text or JSON.
+
+#![forbid(unsafe_code)]
+
+mod counter;
+mod histogram;
+mod metrics;
+mod trace;
+
+pub use counter::Counter;
+pub use histogram::{Histogram, HistogramSnapshot, BUCKETS};
+pub use metrics::{
+    EngineMetrics, MetricsSnapshot, Stage, DETERMINISTIC_COUNTERS, SCHEDULING_COUNTERS,
+};
+pub use trace::QueryTrace;

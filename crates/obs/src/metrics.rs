@@ -1,0 +1,290 @@
+//! The engine metrics registry: every counter and histogram the engine
+//! exposes, under canonical names, with snapshot/delta support.
+//!
+//! Counters fall into two classes, and the split is load-bearing for
+//! tests:
+//!
+//! * **deterministic** — a function of the statement sequence alone,
+//!   identical at any intra-query worker count (index probes, candidate
+//!   and hit counts, heap rows fetched, WAL appends). The parallel
+//!   equivalence suite asserts exact equality of these across worker
+//!   counts.
+//! * **scheduling-dependent** — morsel dispatch counts, queue waits and
+//!   stage timings, which legitimately vary run to run.
+
+use crate::counter::Counter;
+use crate::histogram::{Histogram, HistogramSnapshot};
+use std::time::Duration;
+
+/// The stages a query passes through, in pipeline order. The order here
+/// is the canonical render/snapshot order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// SQL text → AST.
+    Parse,
+    /// AST → plan tree (or plan-cache lookup).
+    Plan,
+    /// Spatial/ordered index window or nearest probe.
+    IndexProbe,
+    /// Exact predicate refinement (DE-9IM and friends) over candidates.
+    Refine,
+    /// Row materialization of the final result set.
+    Materialize,
+}
+
+impl Stage {
+    /// All stages in pipeline order.
+    pub const ALL: [Stage; 5] =
+        [Stage::Parse, Stage::Plan, Stage::IndexProbe, Stage::Refine, Stage::Materialize];
+
+    /// Stable snake_case name used in snapshots and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Parse => "parse",
+            Stage::Plan => "plan",
+            Stage::IndexProbe => "index_probe",
+            Stage::Refine => "refine",
+            Stage::Materialize => "materialize",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Canonical counter names, in snapshot order: deterministic counters
+/// first, scheduling-dependent ones after.
+pub const DETERMINISTIC_COUNTERS: [&str; 9] = [
+    "queries",
+    "index_probes",
+    "index_candidates",
+    "index_nodes_visited",
+    "refine_candidates",
+    "refine_hits",
+    "heap_rows_fetched",
+    "wal_appends",
+    "wal_fsyncs",
+];
+
+/// Counters whose value depends on scheduling (worker count, cache
+/// state), snapshot-ordered after the deterministic set.
+pub const SCHEDULING_COUNTERS: [&str; 3] =
+    ["plan_cache_hits", "plan_cache_misses", "morsels_dispatched"];
+
+/// All counters and histograms the engine maintains. One instance per
+/// `SpatialDb`, shared by reference with every subsystem that records.
+#[derive(Debug, Default)]
+pub struct EngineMetrics {
+    /// Statements executed (of any kind).
+    pub queries: Counter,
+    /// Index probe calls (window, ordered range, nearest).
+    pub index_probes: Counter,
+    /// Candidate rows returned by index probes.
+    pub index_candidates: Counter,
+    /// Index tree nodes / grid cells inspected while probing.
+    pub index_nodes_visited: Counter,
+    /// Rows entering exact-predicate refinement.
+    pub refine_candidates: Counter,
+    /// Rows surviving refinement.
+    pub refine_hits: Counter,
+    /// Heap rows fetched during scans and candidate lookups.
+    pub heap_rows_fetched: Counter,
+    /// WAL records appended.
+    pub wal_appends: Counter,
+    /// WAL fsync (`sync_data`) calls.
+    pub wal_fsyncs: Counter,
+    /// Plan-cache hits.
+    pub plan_cache_hits: Counter,
+    /// Plan-cache misses (fresh plans).
+    pub plan_cache_misses: Counter,
+    /// Morsels claimed by parallel workers (serial execution claims none).
+    pub morsels_dispatched: Counter,
+    /// Nanoseconds from query start to each morsel claim.
+    pub morsel_wait_ns: Histogram,
+    /// Self-time per stage, nanoseconds (indexed by `Stage`).
+    stage_ns: [Histogram; 5],
+}
+
+impl EngineMetrics {
+    /// A zeroed registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one self-time sample for a stage.
+    #[inline]
+    pub fn record_stage(&self, stage: Stage, elapsed: Duration) {
+        self.stage_ns[stage.index()].record(elapsed.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    fn counter(&self, name: &str) -> &Counter {
+        match name {
+            "queries" => &self.queries,
+            "index_probes" => &self.index_probes,
+            "index_candidates" => &self.index_candidates,
+            "index_nodes_visited" => &self.index_nodes_visited,
+            "refine_candidates" => &self.refine_candidates,
+            "refine_hits" => &self.refine_hits,
+            "heap_rows_fetched" => &self.heap_rows_fetched,
+            "wal_appends" => &self.wal_appends,
+            "wal_fsyncs" => &self.wal_fsyncs,
+            "plan_cache_hits" => &self.plan_cache_hits,
+            "plan_cache_misses" => &self.plan_cache_misses,
+            "morsels_dispatched" => &self.morsels_dispatched,
+            other => panic!("unknown counter {other:?}"),
+        }
+    }
+
+    /// A point-in-time copy of every counter and histogram, in canonical
+    /// order. Safe to call from any thread at any time.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters =
+            Vec::with_capacity(DETERMINISTIC_COUNTERS.len() + SCHEDULING_COUNTERS.len());
+        for name in DETERMINISTIC_COUNTERS.iter().chain(SCHEDULING_COUNTERS.iter()) {
+            counters.push((*name, self.counter(name).get()));
+        }
+        MetricsSnapshot {
+            counters,
+            stages: Stage::ALL.map(|s| (s, self.stage_ns[s.index()].snapshot())),
+            morsel_wait_ns: self.morsel_wait_ns.snapshot(),
+        }
+    }
+}
+
+/// A point-in-time copy of an [`EngineMetrics`], used both as the
+/// machine-readable API surface and as the subtrahend for per-query
+/// deltas.
+#[derive(Clone, Debug)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` in canonical order: [`DETERMINISTIC_COUNTERS`]
+    /// then [`SCHEDULING_COUNTERS`].
+    pub counters: Vec<(&'static str, u64)>,
+    /// Per-stage self-time histograms in [`Stage::ALL`] order.
+    pub stages: [(Stage, HistogramSnapshot); 5],
+    /// Morsel queue-wait histogram.
+    pub morsel_wait_ns: HistogramSnapshot,
+}
+
+impl MetricsSnapshot {
+    /// Value of a counter by canonical name; panics on unknown names so
+    /// golden tests catch renames.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("unknown counter {name:?}"))
+    }
+
+    /// The worker-count-invariant subset, in canonical order. Two runs
+    /// of the same statement sequence must produce equal vectors here
+    /// regardless of `workers`.
+    pub fn deterministic_counters(&self) -> Vec<(&'static str, u64)> {
+        self.counters.iter().filter(|(n, _)| DETERMINISTIC_COUNTERS.contains(n)).copied().collect()
+    }
+
+    /// Difference against an earlier snapshot, saturating per entry.
+    pub fn delta_since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(name, v)| (*name, v.saturating_sub(earlier.counter(name))))
+                .collect(),
+            stages: Stage::ALL.map(|s| {
+                let now = &self.stages[s.index()].1;
+                let then = &earlier.stages[s.index()].1;
+                (s, now.delta_since(then))
+            }),
+            morsel_wait_ns: self.morsel_wait_ns.delta_since(&earlier.morsel_wait_ns),
+        }
+    }
+
+    /// Serialises the snapshot as a single JSON object (hand-rolled:
+    /// the workspace is zero-dependency). Counter names are emitted in
+    /// canonical order; stage histograms report count/sum/max.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{name}\":{v}"));
+        }
+        out.push_str("},\"stages\":{");
+        for (i, (stage, h)) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"sum_ns\":{},\"max_ns\":{}}}",
+                stage.name(),
+                h.count,
+                h.sum,
+                h.max
+            ));
+        }
+        out.push_str(&format!(
+            "}},\"morsel_wait_ns\":{{\"count\":{},\"sum_ns\":{},\"max_ns\":{}}}}}",
+            self.morsel_wait_ns.count, self.morsel_wait_ns.sum, self.morsel_wait_ns.max
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_order_is_canonical() {
+        let m = EngineMetrics::new();
+        let names: Vec<&str> = m.snapshot().counters.iter().map(|(n, _)| *n).collect();
+        let expected: Vec<&str> =
+            DETERMINISTIC_COUNTERS.iter().chain(SCHEDULING_COUNTERS.iter()).copied().collect();
+        assert_eq!(names, expected);
+    }
+
+    #[test]
+    fn delta_counts_only_new_events() {
+        let m = EngineMetrics::new();
+        m.queries.incr();
+        m.index_probes.add(3);
+        let before = m.snapshot();
+        m.index_probes.add(2);
+        m.refine_hits.add(7);
+        let delta = m.snapshot().delta_since(&before);
+        assert_eq!(delta.counter("queries"), 0);
+        assert_eq!(delta.counter("index_probes"), 2);
+        assert_eq!(delta.counter("refine_hits"), 7);
+    }
+
+    #[test]
+    fn stage_record_round_trips() {
+        let m = EngineMetrics::new();
+        m.record_stage(Stage::Refine, Duration::from_nanos(1500));
+        let snap = m.snapshot();
+        let refine = &snap.stages[Stage::Refine as usize].1;
+        assert_eq!(refine.count, 1);
+        assert_eq!(refine.sum, 1500);
+    }
+
+    #[test]
+    fn json_shape() {
+        let m = EngineMetrics::new();
+        m.queries.incr();
+        let json = m.snapshot().to_json();
+        assert!(json.starts_with("{\"counters\":{\"queries\":1,"));
+        assert!(json.contains("\"stages\":{\"parse\":"));
+        assert!(json.ends_with("}}"));
+    }
+
+    #[test]
+    fn deterministic_subset_excludes_scheduling() {
+        let m = EngineMetrics::new();
+        let det = m.snapshot().deterministic_counters();
+        assert_eq!(det.len(), DETERMINISTIC_COUNTERS.len());
+        assert!(det.iter().all(|(n, _)| !SCHEDULING_COUNTERS.contains(n)));
+    }
+}

@@ -1,0 +1,166 @@
+//! Span-style per-query traces.
+//!
+//! A [`QueryTrace`] is the per-query view of the metrics registry: the
+//! engine snapshots [`EngineMetrics`](crate::EngineMetrics) before and
+//! after a statement and hands the delta here, together with the SQL
+//! text and wall-clock total. The trace renders as `EXPLAIN ANALYZE`-
+//! style text and serialises to JSON for the harness.
+
+use crate::metrics::MetricsSnapshot;
+use std::time::Duration;
+
+/// Everything observed while executing one statement.
+#[derive(Clone, Debug)]
+pub struct QueryTrace {
+    /// The statement, verbatim.
+    pub sql: String,
+    /// Wall-clock execution time, including parse and plan.
+    pub total: Duration,
+    /// Rows in the final result set.
+    pub rows: usize,
+    /// Metrics delta attributable to this statement. Stage entries with
+    /// zero samples are stages the query never entered.
+    pub delta: MetricsSnapshot,
+}
+
+impl QueryTrace {
+    /// Builds a trace from a before/after metrics delta.
+    pub fn new(sql: &str, total: Duration, rows: usize, delta: MetricsSnapshot) -> Self {
+        QueryTrace { sql: sql.to_string(), total, rows, delta }
+    }
+
+    /// Names of the stages this query actually passed through, in
+    /// pipeline order — the golden-trace suite asserts on this.
+    pub fn stage_names(&self) -> Vec<&'static str> {
+        self.delta.stages.iter().filter(|(_, h)| h.count > 0).map(|(s, _)| s.name()).collect()
+    }
+
+    /// Total self-time recorded for a stage, zero if never entered.
+    pub fn stage_ns(&self, name: &str) -> u64 {
+        self.delta.stages.iter().find(|(s, _)| s.name() == name).map(|(_, h)| h.sum).unwrap_or(0)
+    }
+
+    /// Shorthand for a counter in the delta.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.delta.counter(name)
+    }
+
+    /// `EXPLAIN ANALYZE`-style rendering: one line per stage the query
+    /// entered, then each non-zero counter.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "query: {}\ntotal: {:.3} ms, rows: {}\n",
+            self.sql,
+            self.total.as_secs_f64() * 1e3,
+            self.rows
+        ));
+        for (stage, h) in &self.delta.stages {
+            if h.count == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "  stage {:<12} {:>10.3} ms  ({} sample{})\n",
+                stage.name(),
+                h.sum as f64 / 1e6,
+                h.count,
+                if h.count == 1 { "" } else { "s" }
+            ));
+        }
+        for (name, v) in &self.delta.counters {
+            if *v > 0 {
+                out.push_str(&format!("  counter {:<20} {v}\n", name));
+            }
+        }
+        if self.delta.morsel_wait_ns.count > 0 {
+            out.push_str(&format!(
+                "  morsel wait: {} claims, mean {:.3} ms, max {:.3} ms\n",
+                self.delta.morsel_wait_ns.count,
+                self.delta.morsel_wait_ns.mean() as f64 / 1e6,
+                self.delta.morsel_wait_ns.max as f64 / 1e6
+            ));
+        }
+        out
+    }
+
+    /// JSON form: SQL, totals, and the full metrics delta.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"sql\":{},\"total_ns\":{},\"rows\":{},\"delta\":{}}}",
+            json_string(&self.sql),
+            self.total.as_nanos(),
+            self.rows,
+            self.delta.to_json()
+        )
+    }
+}
+
+/// Minimal JSON string escaping (the workspace is zero-dependency).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{EngineMetrics, Stage};
+
+    fn sample_trace() -> QueryTrace {
+        let m = EngineMetrics::new();
+        let before = m.snapshot();
+        m.queries.incr();
+        m.index_probes.incr();
+        m.index_candidates.add(10);
+        m.refine_candidates.add(10);
+        m.refine_hits.add(4);
+        m.record_stage(Stage::Parse, Duration::from_nanos(10_000));
+        m.record_stage(Stage::Refine, Duration::from_nanos(250_000));
+        QueryTrace::new("SELECT 1", Duration::from_millis(1), 4, m.snapshot().delta_since(&before))
+    }
+
+    #[test]
+    fn stage_names_in_pipeline_order() {
+        let t = sample_trace();
+        assert_eq!(t.stage_names(), vec!["parse", "refine"]);
+        assert_eq!(t.stage_ns("refine"), 250_000);
+        assert_eq!(t.stage_ns("materialize"), 0);
+    }
+
+    #[test]
+    fn render_mentions_stages_and_counters() {
+        let t = sample_trace();
+        let text = t.render();
+        assert!(text.contains("stage parse"));
+        assert!(text.contains("stage refine"));
+        assert!(text.contains("counter index_probes"));
+        assert!(text.contains("rows: 4"));
+    }
+
+    #[test]
+    fn json_escapes_sql() {
+        let m = EngineMetrics::new();
+        let t = QueryTrace::new(
+            "SELECT \"x\"\nFROM t",
+            Duration::ZERO,
+            0,
+            m.snapshot().delta_since(&m.snapshot()),
+        );
+        let json = t.to_json();
+        assert!(json.contains("\\\"x\\\""));
+        assert!(json.contains("\\n"));
+    }
+}

@@ -44,6 +44,9 @@ pub enum Statement {
     },
     /// `EXPLAIN SELECT ...` — show the plan instead of executing it.
     Explain(Box<Statement>),
+    /// `EXPLAIN ANALYZE SELECT ...` — execute the statement and show its
+    /// trace (per-stage timings and engine counters) instead of its rows.
+    ExplainAnalyze(Box<Statement>),
 }
 
 /// A `SELECT` statement.

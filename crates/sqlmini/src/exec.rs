@@ -20,9 +20,11 @@ use crate::plan::{AggExpr, AggOutput, BoundExpr, PlanNode, PlannedSelect};
 use crate::provider::TableProvider;
 use crate::{Result, SqlError};
 use jackpine_geom::Envelope;
+use jackpine_obs::{EngineMetrics, Stage};
 use jackpine_storage::{Row, Value};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Rows per morsel. Inputs at or below this size always run serially,
 /// so small queries pay no thread overhead.
@@ -63,16 +65,13 @@ impl ResultSet {
 }
 
 /// Executor knobs.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct ExecOptions {
-    /// Worker threads for morsel dispatch; `1` = serial execution.
+    /// Worker threads for morsel dispatch; `0` and `1` = serial execution.
     pub workers: usize,
-}
-
-impl Default for ExecOptions {
-    fn default() -> Self {
-        ExecOptions { workers: 1 }
-    }
+    /// Metrics registry to record stage timings, refine counters and
+    /// morsel dispatch into; `None` executes uninstrumented.
+    pub metrics: Option<Arc<EngineMetrics>>,
 }
 
 /// Executes a planned `SELECT` serially (one worker).
@@ -82,11 +81,16 @@ pub fn execute(plan: &PlannedSelect) -> Result<ResultSet> {
 
 /// Executes a planned `SELECT` with explicit executor options.
 pub fn execute_with(plan: &PlannedSelect, opts: &ExecOptions) -> Result<ResultSet> {
-    let ctx = ExecCtx { mode: plan.mode, workers: opts.workers.max(1) };
+    let ctx =
+        ExecCtx { mode: plan.mode, workers: opts.workers.max(1), metrics: opts.metrics.clone() };
     let lazy = run(&plan.root, &ctx)?;
     // Final materialization: the only place surviving rows are deep-copied.
+    let t0 = ctx.metrics.as_ref().map(|_| Instant::now());
     let rows =
         ctx.parallel_morsels(&lazy, |chunk| Ok(chunk.iter().map(LazyRow::materialize).collect()))?;
+    if let (Some(m), Some(t0)) = (&ctx.metrics, t0) {
+        m.record_stage(Stage::Materialize, t0.elapsed());
+    }
     Ok(ResultSet { columns: plan.columns.clone(), rows })
 }
 
@@ -209,9 +213,28 @@ impl TupleView for SliceView<'_> {
 struct ExecCtx {
     mode: FunctionMode,
     workers: usize,
+    metrics: Option<Arc<EngineMetrics>>,
 }
 
 impl ExecCtx {
+    /// Runs `f`, recording its elapsed time as one sample of `stage` when
+    /// metrics are attached — but only when `f` returns `Some`, so a query
+    /// whose index was dropped does not report an `index_probe` stage for
+    /// the sequential-scan fallback.
+    fn stage_if_some<T>(&self, stage: Stage, f: impl FnOnce() -> Option<T>) -> Option<T> {
+        match &self.metrics {
+            Some(m) => {
+                let t0 = Instant::now();
+                let out = f();
+                if out.is_some() {
+                    m.record_stage(stage, t0.elapsed());
+                }
+                out
+            }
+            None => f(),
+        }
+    }
+
     /// Applies `f` to morsels of `items`, concatenating outputs in morsel
     /// order. With one worker (or one morsel's worth of input) this is a
     /// single direct call on the current thread; otherwise morsels are
@@ -233,6 +256,8 @@ impl ExecCtx {
         let morsels: Vec<&[I]> = items.chunks(MORSEL_SIZE).collect();
         let nworkers = self.workers.min(morsels.len());
         let counter = AtomicUsize::new(0);
+        let metrics = self.metrics.as_deref();
+        let dispatch_start = Instant::now();
         let mut results: Vec<(usize, Result<Vec<O>>)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..nworkers)
                 .map(|_| {
@@ -243,6 +268,15 @@ impl ExecCtx {
                             let Some(morsel) = morsels.get(idx) else {
                                 break;
                             };
+                            if let Some(m) = metrics {
+                                // Queue wait: how long this morsel sat
+                                // between dispatch start and its claim.
+                                m.morsels_dispatched.incr();
+                                m.morsel_wait_ns.record(
+                                    dispatch_start.elapsed().as_nanos().min(u64::MAX as u128)
+                                        as u64,
+                                );
+                            }
                             local.push((idx, f(morsel)));
                         }
                         local
@@ -271,14 +305,16 @@ fn run(node: &PlanNode, ctx: &ExecCtx) -> Result<Vec<LazyRow>> {
         PlanNode::Scan { table } => fetch_rows(table, table.row_ids(), ctx),
         PlanNode::SpatialIndexScan { table, col, query, expand } => {
             let env = probe_envelope(query, expand, mode)?;
-            match table.spatial_candidates(*col, &env) {
+            let ids = ctx.stage_if_some(Stage::IndexProbe, || table.spatial_candidates(*col, &env));
+            match ids {
                 Some(ids) => fetch_rows(table, ids, ctx),
                 None => fetch_rows(table, table.row_ids(), ctx),
             }
         }
         PlanNode::OrderedIndexScan { table, col, key } => {
             let key = eval_const(key, mode)?;
-            match table.ordered_candidates(*col, &key) {
+            let ids = ctx.stage_if_some(Stage::IndexProbe, || table.ordered_candidates(*col, &key));
+            match ids {
                 Some(ids) => fetch_rows(table, ids, ctx),
                 None => fetch_rows(table, table.row_ids(), ctx),
             }
@@ -292,19 +328,27 @@ fn run(node: &PlanNode, ctx: &ExecCtx) -> Result<Vec<LazyRow>> {
                 .envelope()
                 .center()
                 .ok_or_else(|| SqlError::Type("k-NN query geometry is empty".into()))?;
-            match table.nearest(*col, center, *k) {
+            let ids = ctx.stage_if_some(Stage::IndexProbe, || table.nearest(*col, center, *k));
+            match ids {
                 Some(ids) => fetch_rows(table, ids, ctx),
                 None => fetch_rows(table, table.row_ids(), ctx),
             }
         }
         PlanNode::Filter { input, predicate } => {
             let rows = run(input, ctx)?;
+            let metrics = ctx.metrics.as_deref();
             ctx.parallel_morsels(&rows, |chunk| {
+                let t0 = metrics.map(|_| Instant::now());
                 let mut out = Vec::with_capacity(chunk.len());
                 for row in chunk {
                     if truthy(&eval_view(predicate, row, mode)?) {
                         out.push(row.clone());
                     }
+                }
+                if let (Some(m), Some(t0)) = (metrics, t0) {
+                    m.refine_candidates.add(chunk.len() as u64);
+                    m.refine_hits.add(out.len() as u64);
+                    m.record_stage(Stage::Refine, t0.elapsed());
                 }
                 Ok(out)
             })
@@ -333,7 +377,9 @@ fn run(node: &PlanNode, ctx: &ExecCtx) -> Result<Vec<LazyRow>> {
                     .ok_or_else(|| SqlError::Type("DWithin distance must be numeric".into()))?,
                 None => 0.0,
             };
+            let metrics = ctx.metrics.as_deref();
             ctx.parallel_morsels(&l, |chunk| {
+                let t0 = metrics.map(|_| Instant::now());
                 let mut out = Vec::new();
                 for lr in chunk {
                     let g = eval_view(probe, lr, mode)?;
@@ -350,6 +396,9 @@ fn run(node: &PlanNode, ctx: &ExecCtx) -> Result<Vec<LazyRow>> {
                     for id in ids {
                         out.push(lr.join_handle(right.fetch(id)?));
                     }
+                }
+                if let (Some(m), Some(t0)) = (metrics, t0) {
+                    m.record_stage(Stage::IndexProbe, t0.elapsed());
                 }
                 Ok(out)
             })
@@ -849,7 +898,7 @@ mod tests {
 
     #[test]
     fn morsel_dispatch_preserves_order_and_errors() {
-        let ctx = ExecCtx { mode: FunctionMode::Exact, workers: 4 };
+        let ctx = ExecCtx { mode: FunctionMode::Exact, workers: 4, metrics: None };
         let items: Vec<usize> = (0..10_000).collect();
         let out = ctx.parallel_morsels(&items, |chunk| Ok(chunk.to_vec())).unwrap();
         assert_eq!(out, items);

@@ -99,6 +99,9 @@ impl Parser {
 
     fn statement(&mut self) -> Result<Statement> {
         if self.accept_kw("EXPLAIN") {
+            if self.accept_kw("ANALYZE") {
+                return Ok(Statement::ExplainAnalyze(Box::new(self.statement()?)));
+            }
             return Ok(Statement::Explain(Box::new(self.statement()?)));
         }
         if self.accept_kw("UPDATE") {

@@ -18,4 +18,18 @@ cargo test -q --workspace --offline
 echo "== durability gate (fault-injection + truncation fuzz, fast mode)"
 cargo test -q -p jackpine --test durability --offline
 
+echo "== observability gate (golden traces + metrics invariants)"
+cargo test -q -p jackpine --test observability --offline
+grep -q '#!\[forbid(unsafe_code)\]' crates/obs/src/lib.rs \
+  || { echo "crates/obs must forbid unsafe_code"; exit 1; }
+
+echo "== repro --trace smoke (every micro query emits a trace)"
+cargo run --release --offline -p jackpine-bench --bin repro -- \
+  --scale 0.01 --reps 1 --trace --metrics-json /tmp/jackpine_metrics.json t1 \
+  > /tmp/jackpine_trace.txt
+grep -q 'stage plan' /tmp/jackpine_trace.txt \
+  || { echo "repro --trace emitted no stage lines"; exit 1; }
+python3 -c "import json; json.load(open('/tmp/jackpine_metrics.json'))" 2>/dev/null \
+  || { echo "--metrics-json wrote invalid JSON"; exit 1; }
+
 echo "tier-1 green"

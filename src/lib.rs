@@ -9,6 +9,8 @@
 //! * [`topo`] — DE-9IM intersection matrices and the named topological
 //!   predicates,
 //! * [`index`] — R\*-tree, grid and ordered indexes,
+//! * [`obs`] — the query-observability layer: engine counters, stage
+//!   histograms and per-query traces,
 //! * [`storage`] — slotted-page heaps, schemas and the catalog,
 //! * [`sql`] — the SQL front end (parser, planner, executor),
 //! * [`engine`] — the three benchmarked engine profiles behind the
@@ -40,6 +42,7 @@ pub use jackpine_datagen as datagen;
 pub use jackpine_engine as engine;
 pub use jackpine_geom as geom;
 pub use jackpine_index as index;
+pub use jackpine_obs as obs;
 pub use jackpine_sqlmini as sql;
 pub use jackpine_storage as storage;
 pub use jackpine_topo as topo;

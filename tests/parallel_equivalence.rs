@@ -78,6 +78,71 @@ fn macro_scenario_steps_identical_at_any_worker_count() {
     }
 }
 
+/// The deterministic engine counters (index probes, candidates, refine
+/// counts, heap fetches) are a function of the statement sequence alone:
+/// two fresh engines running the same suite at different worker counts
+/// must report byte-identical values for them. Scheduling-dependent
+/// counters (morsel dispatch, queue waits) are explicitly excluded.
+#[test]
+fn deterministic_counters_equal_across_worker_counts() {
+    let data = TigerDataset::generate(&TigerConfig { scale: SCALE, ..TigerConfig::default() });
+    let run_suite = |workers: usize| {
+        let db = test_db(&data);
+        db.set_workers(workers);
+        let before = db.metrics_snapshot();
+        for q in topo_suite(&data) {
+            let _ = db.execute(&q.sql);
+        }
+        db.metrics_snapshot().delta_since(&before).deterministic_counters()
+    };
+    let serial = run_suite(1);
+    assert!(
+        serial.iter().any(|(_, v)| *v > 0),
+        "suite must move at least one deterministic counter: {serial:?}"
+    );
+    for workers in [2usize, 4] {
+        let parallel = run_suite(workers);
+        assert_eq!(
+            serial, parallel,
+            "deterministic counters differ between workers=1 and workers={workers}"
+        );
+    }
+}
+
+/// Metric snapshots are safe at any moment: a thread hammering
+/// `metrics_snapshot()` (and its JSON rendering) while parallel queries
+/// run must never panic, and every mid-flight snapshot stays internally
+/// sane (candidates ≥ hits can be momentarily torn, but counters never
+/// go backwards).
+#[test]
+fn mid_flight_snapshots_never_panic() {
+    let data = TigerDataset::generate(&TigerConfig { scale: SCALE, ..TigerConfig::default() });
+    let db = test_db(&data);
+    db.set_workers(4);
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let observer = scope.spawn(|| {
+            let mut last_queries = 0u64;
+            let mut snapshots = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let snap = db.metrics_snapshot();
+                let queries = snap.counter("queries");
+                assert!(queries >= last_queries, "counter went backwards");
+                last_queries = queries;
+                let _ = snap.to_json();
+                snapshots += 1;
+            }
+            snapshots
+        });
+        for q in topo_suite(&data) {
+            db.execute(&q.sql).expect(q.id);
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let snapshots = observer.join().expect("observer thread must not panic");
+        assert!(snapshots > 0, "observer never got a snapshot in");
+    });
+}
+
 #[test]
 fn datagen_row_counts_pinned_at_quarter_scale() {
     let data = TigerDataset::generate(&TigerConfig { scale: 0.25, ..TigerConfig::default() });

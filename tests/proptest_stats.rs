@@ -1,0 +1,160 @@
+//! Randomized tests for the two statistics layers: the benchmark's
+//! latency summaries (`jackpine::bench::Stats`) and the observability
+//! histograms (`jackpine::obs`). Deterministic seeded PRNG, no external
+//! crates.
+
+mod common;
+
+use common::{cases, test_rng};
+use jackpine::bench::Stats;
+use jackpine::datagen::rng::Rng;
+use jackpine::obs::{Counter, Histogram, HistogramSnapshot};
+use std::time::Duration;
+
+fn random_samples(rng: &mut Rng, max_len: usize) -> Vec<Duration> {
+    let n = rng.gen_range(1..max_len);
+    (0..n).map(|_| Duration::from_nanos(rng.gen_range(0..5_000_000_000u64))).collect()
+}
+
+#[test]
+fn stats_quantiles_are_ordered() {
+    let mut rng = test_rng("stats_quantiles_are_ordered");
+    for _ in 0..cases(200) {
+        let samples = random_samples(&mut rng, 400);
+        let s = Stats::from_durations(&samples);
+        assert_eq!(s.n, samples.len());
+        assert!(s.min_ms <= s.p50_ms, "min {} > p50 {}", s.min_ms, s.p50_ms);
+        assert!(s.p50_ms <= s.p95_ms, "p50 {} > p95 {}", s.p50_ms, s.p95_ms);
+        assert!(s.p95_ms <= s.max_ms, "p95 {} > max {}", s.p95_ms, s.max_ms);
+        // The mean lies within [min, max], and std is finite and
+        // non-negative.
+        assert!(s.min_ms <= s.mean_ms + 1e-12 && s.mean_ms <= s.max_ms + 1e-12);
+        assert!(s.std_ms >= 0.0 && s.std_ms.is_finite());
+    }
+}
+
+#[test]
+fn stats_are_permutation_invariant() {
+    let mut rng = test_rng("stats_are_permutation_invariant");
+    for _ in 0..cases(100) {
+        let mut samples = random_samples(&mut rng, 100);
+        let a = Stats::from_durations(&samples);
+        // Fisher–Yates shuffle with the same PRNG.
+        for i in (1..samples.len()).rev() {
+            let j = rng.gen_range(0..(i + 1));
+            samples.swap(i, j);
+        }
+        let b = Stats::from_durations(&samples);
+        assert_eq!(a, b, "statistics depend on sample order");
+    }
+}
+
+#[test]
+fn histogram_quantiles_are_ordered_and_bounding() {
+    let mut rng = test_rng("histogram_quantiles_are_ordered_and_bounding");
+    for _ in 0..cases(100) {
+        let h = Histogram::new();
+        let n = rng.gen_range(1..500usize);
+        let mut max = 0u64;
+        let mut sum = 0u64;
+        for _ in 0..n {
+            // Mix tiny and huge magnitudes to cross many buckets.
+            let shift = rng.gen_range(0..60u64);
+            let v = rng.gen_range(0..u64::MAX >> shift);
+            h.record(v);
+            max = max.max(v);
+            sum = sum.wrapping_add(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, n as u64);
+        assert_eq!(s.sum, sum);
+        assert_eq!(s.max, max);
+        let (p50, p95, p100) = (s.quantile(0.5), s.quantile(0.95), s.quantile(1.0));
+        assert!(p50 <= p95, "p50 {p50} > p95 {p95}");
+        assert!(p95 <= p100, "p95 {p95} > p100 {p100}");
+        // Bucket upper bounds over-report by at most 2x (and never
+        // under-report the true max). The saturating top bucket reports
+        // u64::MAX for anything at or above 2^62, so the 2x bound only
+        // applies below it.
+        assert!(p100 >= max);
+        if max > 0 && max < 1 << 62 {
+            assert!(p100 <= max.saturating_mul(2), "p100 {p100} > 2*max {max}");
+        }
+    }
+}
+
+#[test]
+fn histogram_merge_is_monotone_and_commutative() {
+    let mut rng = test_rng("histogram_merge_is_monotone_and_commutative");
+    for _ in 0..cases(100) {
+        let (a, b) = (Histogram::new(), Histogram::new());
+        for _ in 0..rng.gen_range(0..200usize) {
+            a.record(rng.gen_range(0..1_000_000u64));
+        }
+        for _ in 0..rng.gen_range(0..200usize) {
+            b.record(rng.gen_range(0..1_000_000u64));
+        }
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        let merged = sa.merge(&sb);
+        assert_eq!(merged, sb.merge(&sa), "merge must be commutative");
+        assert_eq!(merged.count, sa.count + sb.count);
+        assert_eq!(merged.sum, sa.sum + sb.sum);
+        assert_eq!(merged.max, sa.max.max(sb.max));
+        // Quantiles are monotone under merge with a larger-valued side:
+        // merging can only move any quantile between the two inputs'.
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            let (qa, qb, qm) = (sa.quantile(q), sb.quantile(q), merged.quantile(q));
+            if sa.count > 0 && sb.count > 0 {
+                assert!(
+                    qm >= qa.min(qb) && qm <= qa.max(qb),
+                    "q{q}: merged {qm} outside [{}, {}]",
+                    qa.min(qb),
+                    qa.max(qb)
+                );
+            }
+        }
+        // Identity: merging with an empty histogram changes nothing.
+        assert_eq!(sa.merge(&HistogramSnapshot::empty()), sa);
+    }
+}
+
+#[test]
+fn histogram_delta_inverts_merge() {
+    let mut rng = test_rng("histogram_delta_inverts_merge");
+    for _ in 0..cases(100) {
+        let h = Histogram::new();
+        for _ in 0..rng.gen_range(0..100usize) {
+            h.record(rng.gen_range(0..1_000u64));
+        }
+        let before = h.snapshot();
+        for _ in 0..rng.gen_range(0..100usize) {
+            h.record(rng.gen_range(0..1_000u64));
+        }
+        let after = h.snapshot();
+        let delta = after.delta_since(&before);
+        let rebuilt = before.merge(&delta);
+        assert_eq!(rebuilt.buckets, after.buckets);
+        assert_eq!(rebuilt.count, after.count);
+        assert_eq!(rebuilt.sum, after.sum);
+    }
+}
+
+#[test]
+fn counter_sums_concurrent_increments() {
+    let mut rng = test_rng("counter_sums_concurrent_increments");
+    for _ in 0..cases(8) {
+        let c = Counter::new();
+        let threads = rng.gen_range(1..9usize);
+        let per_thread = rng.gen_range(1..2_000u64);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    for _ in 0..per_thread {
+                        c.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), threads as u64 * per_thread);
+    }
+}
