@@ -1,0 +1,70 @@
+//! `bench-diff` — the bench-regression comparator.
+//!
+//! ```text
+//! bench-diff [--threshold PCT] <baseline.json> <new.json>
+//! ```
+//!
+//! Loads two `BENCH_*.json` runs (schema v1 bare arrays or v2 versioned
+//! objects), pairs entries by name, and prints one verdict line per
+//! pair. A pair counts as a **regression** only when both sides carry
+//! sample statistics, the Welch 95% confidence interval on the
+//! difference of means excludes zero, *and* the relative slowdown
+//! exceeds the threshold (default 5%). Pairs without variance data are
+//! advisory: printed, never failing — which is what lets CI compare a
+//! checked-in baseline from another machine without flakiness.
+//!
+//! Exit status: 0 when no regressions, 1 when at least one, 2 on usage
+//! or parse errors (including unknown schema versions).
+
+use jackpine_core::benchreport::{diff_runs, parse_bench_json, BenchRun};
+
+/// Default minimum relative slowdown (percent) for a regression.
+const DEFAULT_THRESHOLD_PCT: f64 = 5.0;
+
+fn usage() -> ! {
+    eprintln!("usage: bench-diff [--threshold PCT] <baseline.json> <new.json>");
+    std::process::exit(2)
+}
+
+fn load(path: &str) -> BenchRun {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench-diff: cannot read {path}: {e}");
+        std::process::exit(2)
+    });
+    parse_bench_json(&text).unwrap_or_else(|e| {
+        eprintln!("bench-diff: {path}: {e}");
+        std::process::exit(2)
+    })
+}
+
+fn main() {
+    let mut threshold = DEFAULT_THRESHOLD_PCT;
+    let mut files: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--threshold" => {
+                threshold = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--threshold needs a numeric percent");
+                    std::process::exit(2)
+                })
+            }
+            "--help" | "-h" => usage(),
+            f if f.starts_with('-') => usage(),
+            f => files.push(f.to_string()),
+        }
+    }
+    let [base_path, new_path] = files.as_slice() else { usage() };
+
+    let base = load(base_path);
+    let new = load(new_path);
+    println!(
+        "baseline: {base_path} (schema v{}), new: {new_path} (schema v{}), threshold {threshold}%",
+        base.schema_version, new.schema_version
+    );
+    let report = diff_runs(&base, &new, threshold);
+    print!("{}", report.render());
+    if report.regressions() > 0 {
+        std::process::exit(1);
+    }
+}

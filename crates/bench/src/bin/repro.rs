@@ -4,7 +4,8 @@
 //! ```text
 //! repro [--scale S] [--reps R] [--sessions N] [--workers W] [--csv DIR]
 //!       [--persist DIR] [--wal on|off] [--trace] [--metrics-json FILE]
-//!       <experiment>...
+//!       [--trace-export FILE] [--top-queries K] [--bench-out FILE]
+//!       [--recorder on|off] <experiment>...
 //! experiments: t1 t2 t3 f1..f8 all bench-json
 //! ```
 //!
@@ -26,7 +27,19 @@
 //! `--trace` prints an EXPLAIN ANALYZE-style trace (per-stage timings
 //! plus engine counters) for every micro-benchmark query on the
 //! exact-rtree engine. `--metrics-json FILE` writes each engine's final
-//! metrics snapshot as one JSON object keyed by engine name.
+//! metrics snapshot as one versioned JSON object keyed by engine name.
+//!
+//! `--trace-export FILE` runs the micro suites traced on the exact-rtree
+//! engine and writes the traces as Chrome trace-event JSON (loadable in
+//! `chrome://tracing` or Perfetto): one span per query with its stage
+//! spans nested, and a separate lane marking morsel-parallel sections.
+//!
+//! `--top-queries K` prints the top K statement shapes by execution
+//! count from the flight recorder's fingerprint table after the run.
+//! `--recorder off` disables retrospective recording (flight recorder,
+//! slow-query log, fingerprint stats) — the overhead-ablation switch.
+//! `--bench-out FILE` redirects the `bench-json` output file (default
+//! `BENCH_1.json`).
 
 use jackpine_bench::{all_engines, dataset, engine_with_data, DEFAULT_SCALE};
 use jackpine_core::driver::{CacheMode, Driver};
@@ -51,6 +64,10 @@ struct Options {
     wal: bool,
     trace: bool,
     metrics_json: Option<String>,
+    trace_export: Option<String>,
+    top_queries: Option<usize>,
+    bench_out: String,
+    recorder: bool,
     experiments: Vec<String>,
 }
 
@@ -65,6 +82,10 @@ fn parse_args() -> Options {
         wal: true,
         trace: false,
         metrics_json: None,
+        trace_export: None,
+        top_queries: None,
+        bench_out: "BENCH_1.json".to_string(),
+        recorder: true,
         experiments: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -85,6 +106,18 @@ fn parse_args() -> Options {
             }
             "--trace" => opts.trace = true,
             "--metrics-json" => opts.metrics_json = Some(args.next().unwrap_or_else(|| usage())),
+            "--trace-export" => opts.trace_export = Some(args.next().unwrap_or_else(|| usage())),
+            "--top-queries" => {
+                opts.top_queries = Some(expect_num(args.next(), "--top-queries") as usize)
+            }
+            "--bench-out" => opts.bench_out = args.next().unwrap_or_else(|| usage()),
+            "--recorder" => {
+                opts.recorder = match args.next().as_deref() {
+                    Some("on") => true,
+                    Some("off") => false,
+                    _ => usage(),
+                }
+            }
             "--help" | "-h" => {
                 usage();
             }
@@ -116,6 +149,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale S] [--reps R] [--sessions N] [--workers W] [--csv DIR] \
          [--persist DIR] [--wal on|off] [--trace] [--metrics-json FILE] \
+         [--trace-export FILE] [--top-queries K] [--bench-out FILE] [--recorder on|off] \
          <t1|t2|t3|f1..f8|all|bench-json>..."
     );
     std::process::exit(2)
@@ -135,6 +169,7 @@ fn main() {
     let engines = all_engines(&data);
     for e in &engines {
         e.set_workers(opts.workers);
+        e.set_flight_recorder(opts.recorder);
     }
     let workers = engines.first().map(|e| e.workers()).unwrap_or(1);
     println!("intra-query workers = {workers}\n");
@@ -228,22 +263,32 @@ fn main() {
         trace_report(&data, &engines);
     }
 
+    if let Some(path) = &opts.trace_export {
+        trace_export(&data, &engines, path);
+    }
+
     for t in &tables {
         println!("{}", t.render());
     }
 
+    if let Some(k) = opts.top_queries {
+        top_queries_report(&engines, k);
+    }
+
     if let Some(path) = &opts.metrics_json {
-        let mut json = String::from("{\n");
+        let mut json = format!(
+            "{{\n  \"schema_version\": {},\n  \"engines\": {{\n",
+            jackpine_core::benchreport::BENCH_SCHEMA_VERSION
+        );
         for (i, e) in engines.iter().enumerate() {
             json.push_str(&format!(
-                "  \"{}\": {}{}\n",
+                "    \"{}\": {}{}\n",
                 e.name(),
                 SpatialDb::metrics_snapshot(e).to_json(),
                 if i + 1 < engines.len() { "," } else { "" }
             ));
         }
-        json.push('}');
-        json.push('\n');
+        json.push_str("  }\n}\n");
         std::fs::write(path, json).expect("write metrics json");
         eprintln!("wrote {path}");
     }
@@ -546,24 +591,23 @@ fn f7_drilldown(data: &TigerDataset, engines: &[Arc<SpatialDb>], sessions: usize
 // bench-json: serial vs. parallel timings for CI tracking
 // ---------------------------------------------------------------------------
 
-struct JsonBench {
-    name: String,
-    value: f64,
-    unit: &'static str,
-}
-
 /// Times the spatial-join micros (T02/T05/T08/T10) and the join-heavy
 /// macro scenarios (M4 flood risk, M6 toxic spill) at `workers=1` vs. the
-/// configured worker count, asserting identical results, and writes
-/// `BENCH_1.json` in github-action-benchmark `customSmallerIsBetter`
-/// shape. Ratio entries are parallel-over-serial, so smaller is better
-/// there too (0.5 = a 2x speedup).
+/// configured worker count, asserting identical results, and writes a
+/// schema-v2 bench file (default `BENCH_1.json`, see `--bench-out`).
+/// The `value` fields keep the github-action-benchmark
+/// `customSmallerIsBetter` meaning; timed entries additionally carry
+/// per-sample statistics so `bench-diff` can apply confidence intervals.
+/// Ratio entries are parallel-over-serial, so smaller is better there
+/// too (0.5 = a 2x speedup).
 fn bench_json(data: &TigerDataset, opts: &Options) {
+    use jackpine_core::benchreport::{BenchEntry, BenchRun, BENCH_SCHEMA_VERSION};
     let db = engine_with_data(EngineProfile::ExactRtree, data);
     db.set_workers(opts.workers);
+    db.set_flight_recorder(opts.recorder);
     let workers = db.workers();
     let driver = Driver { repetitions: opts.reps, warmup: 1, cache_mode: CacheMode::Warm };
-    let mut entries: Vec<JsonBench> = Vec::new();
+    let mut entries: Vec<BenchEntry> = Vec::new();
 
     let suite = topo_suite(data);
     let picks = ["T02", "T05", "T08", "T10"];
@@ -587,20 +631,23 @@ fn bench_json(data: &TigerDataset, opts: &Options) {
             fmt_ms(parallel.stats.mean_ms),
             1.0 / ratio
         );
-        entries.push(JsonBench {
+        entries.push(BenchEntry {
             name: format!("micro/{} workers=1", q.id),
             value: serial.stats.mean_ms,
-            unit: "ms",
+            unit: "ms".into(),
+            stats: Some(serial.stats),
         });
-        entries.push(JsonBench {
+        entries.push(BenchEntry {
             name: format!("micro/{} workers={workers}", q.id),
             value: parallel.stats.mean_ms,
-            unit: "ms",
+            unit: "ms".into(),
+            stats: Some(parallel.stats),
         });
-        entries.push(JsonBench {
+        entries.push(BenchEntry {
             name: format!("micro/{} parallel_over_serial", q.id),
             value: ratio,
-            unit: "ratio",
+            unit: "ratio".into(),
+            stats: None,
         });
     }
 
@@ -621,36 +668,35 @@ fn bench_json(data: &TigerDataset, opts: &Options) {
             fmt_ms(parallel_ms),
             1.0 / ratio
         );
-        entries.push(JsonBench {
+        entries.push(BenchEntry {
             name: format!("macro/{} workers=1", s.id),
             value: serial_ms,
-            unit: "ms/query",
+            unit: "ms/query".into(),
+            stats: None,
         });
-        entries.push(JsonBench {
+        entries.push(BenchEntry {
             name: format!("macro/{} workers={workers}", s.id),
             value: parallel_ms,
-            unit: "ms/query",
+            unit: "ms/query".into(),
+            stats: None,
         });
-        entries.push(JsonBench {
+        entries.push(BenchEntry {
             name: format!("macro/{} parallel_over_serial", s.id),
             value: ratio,
-            unit: "ratio",
+            unit: "ratio".into(),
+            stats: None,
         });
     }
 
-    let mut json = String::from("[\n");
-    for (i, e) in entries.iter().enumerate() {
-        json.push_str(&format!(
-            "  {{ \"name\": \"{}\", \"value\": {:.6}, \"unit\": \"{}\" }}{}\n",
-            e.name,
-            e.value,
-            e.unit,
-            if i + 1 < entries.len() { "," } else { "" }
-        ));
-    }
-    json.push_str("]\n");
-    std::fs::write("BENCH_1.json", json).expect("write BENCH_1.json");
-    println!("wrote BENCH_1.json ({} entries)\n", entries.len());
+    let run = BenchRun { schema_version: BENCH_SCHEMA_VERSION, entries };
+    std::fs::write(&opts.bench_out, run.to_json())
+        .unwrap_or_else(|e| panic!("write {}: {e}", opts.bench_out));
+    println!(
+        "wrote {} (schema v{}, {} entries)\n",
+        opts.bench_out,
+        BENCH_SCHEMA_VERSION,
+        run.entries.len()
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -676,6 +722,71 @@ fn trace_report(data: &TigerDataset, engines: &[Arc<SpatialDb>]) {
             }
             Err(err) => println!("[{}] {}: error: {err}", q.id, q.name),
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// --trace-export: Chrome trace-event JSON of the micro suites
+// ---------------------------------------------------------------------------
+
+/// Runs the topological and analysis micro suites traced on the
+/// exact-rtree engine and writes the traces as Chrome trace-event JSON:
+/// one "X" span per query (named by query id) with its stage spans
+/// nested, plus a worker lane marking morsel-parallel sections.
+fn trace_export(data: &TigerDataset, engines: &[Arc<SpatialDb>], path: &str) {
+    let db = engines
+        .iter()
+        .find(|e| e.profile() == EngineProfile::ExactRtree)
+        .expect("exact-rtree engine present");
+    let topo = topo_suite(data);
+    let analysis = analysis_suite(data);
+    let mut traced: Vec<(String, jackpine_obs::QueryTrace)> = Vec::new();
+    for q in topo.iter().chain(analysis.iter()) {
+        match db.execute_traced(&q.sql) {
+            Ok((_, trace)) => traced.push((q.id.to_string(), trace)),
+            Err(err) => eprintln!("warning: trace-export {}: {err}", q.id),
+        }
+    }
+    let pairs: Vec<(&str, &jackpine_obs::QueryTrace)> =
+        traced.iter().map(|(id, t)| (id.as_str(), t)).collect();
+    let json = jackpine_obs::chrome_trace_json(&pairs);
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("wrote {path} ({} query spans)", pairs.len());
+}
+
+// ---------------------------------------------------------------------------
+// --top-queries: fingerprint stats from the flight recorder
+// ---------------------------------------------------------------------------
+
+/// Prints the top `k` statement shapes by execution count, per engine,
+/// from the always-on fingerprint stats table.
+fn top_queries_report(engines: &[Arc<SpatialDb>], k: usize) {
+    for e in engines {
+        let top = SpatialDb::query_stats(e, k);
+        if top.is_empty() {
+            continue;
+        }
+        let mut t = Table::new(
+            format!("Top {k} queries by executions ({})", e.name()),
+            &["fingerprint", "execs", "errs", "mean ms", "p95 ms", "rows", "statement shape"],
+        );
+        for s in &top {
+            let mut shape = s.normalized.clone();
+            if shape.len() > 60 {
+                shape.truncate(57);
+                shape.push_str("...");
+            }
+            t.push_row(vec![
+                format!("{:016x}", s.digest),
+                s.executions().to_string(),
+                s.errors.to_string(),
+                fmt_ms(s.mean_ms()),
+                fmt_ms(s.p95_ms()),
+                s.rows.to_string(),
+                shape,
+            ]);
+        }
+        println!("{}", t.render());
     }
 }
 

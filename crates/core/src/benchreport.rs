@@ -1,0 +1,729 @@
+//! Bench-run JSON schema and the noise-aware regression comparator.
+//!
+//! The repro harness persists benchmark runs as `BENCH_*.json`. Two
+//! schema versions exist in the wild:
+//!
+//! * **v1** — a bare array of `{name, value, unit}` entries (the
+//!   original format; no variance information).
+//! * **v2** — an object `{"schema_version": 2, "entries": [...]}` where
+//!   each entry may additionally carry per-query sample statistics
+//!   (`n`, `mean_ms`, `std_ms`, `min_ms`, `p50_ms`, `p95_ms`,
+//!   `max_ms`), enabling statistically grounded comparisons.
+//!
+//! [`diff_runs`] pairs entries by name and classifies each delta with a
+//! [`Verdict`]. The rule is deliberately conservative: a pair is only a
+//! **Regression** (or **Improvement**) when both sides carry variance
+//! data *and* the Welch 95% confidence interval around the difference
+//! of means excludes zero *and* the relative change exceeds the caller's
+//! threshold. Pairs without variance data — v1 baselines, ratio
+//! entries — are **Advisory**: reported, never failing. That is what
+//! makes `bench-diff old.json new.json` usable as a CI gate: cross-
+//! machine timing noise cannot produce a spurious hard failure, while a
+//! reproducible slowdown with tight intervals still trips it.
+//!
+//! Everything here is hand-rolled because the workspace is
+//! zero-dependency: a minimal recursive-descent JSON reader lives at the
+//! bottom of the file.
+
+use crate::stats::{t95, Stats};
+
+/// Current bench JSON schema version written by the harness.
+pub const BENCH_SCHEMA_VERSION: u64 = 2;
+
+/// One measured quantity in a bench run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchEntry {
+    /// Stable identifier, e.g. `micro/T02 workers=1`. Pairing key.
+    pub name: String,
+    /// The headline value (mean for timed entries).
+    pub value: f64,
+    /// Unit label: `ms`, `ms/query`, `ratio`.
+    pub unit: String,
+    /// Per-sample statistics (v2 entries only).
+    pub stats: Option<Stats>,
+}
+
+/// A parsed `BENCH_*.json` file.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchRun {
+    /// Schema version the file declared (1 for bare-array files).
+    pub schema_version: u64,
+    /// Entries in file order.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchRun {
+    /// Serializes as schema v2 JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"schema_version\": {},\n", BENCH_SCHEMA_VERSION));
+        out.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{ \"name\": {}, \"value\": {:.6}, \"unit\": {}",
+                json_string(&e.name),
+                e.value,
+                json_string(&e.unit)
+            ));
+            if let Some(s) = &e.stats {
+                out.push_str(&format!(
+                    ", \"n\": {}, \"mean_ms\": {:.6}, \"std_ms\": {:.6}, \"min_ms\": {:.6}, \
+                     \"p50_ms\": {:.6}, \"p95_ms\": {:.6}, \"max_ms\": {:.6}",
+                    s.n, s.mean_ms, s.std_ms, s.min_ms, s.p50_ms, s.p95_ms, s.max_ms
+                ));
+            }
+            out.push_str(" }");
+            if i + 1 < self.entries.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Parses a bench JSON file, accepting schema v1 (bare array) and v2
+/// (versioned object). Unknown versions are rejected with an error
+/// naming the version found and the versions understood.
+pub fn parse_bench_json(text: &str) -> Result<BenchRun, String> {
+    let json = Json::parse(text)?;
+    match json {
+        Json::Arr(items) => {
+            // v1: bare array, no version marker.
+            let entries = items
+                .iter()
+                .map(|it| parse_entry(it))
+                .collect::<Result<Vec<BenchEntry>, String>>()?;
+            Ok(BenchRun { schema_version: 1, entries })
+        }
+        Json::Obj(_) => {
+            let version = json
+                .get("schema_version")
+                .and_then(Json::as_f64)
+                .ok_or("object-form bench JSON must carry a numeric \"schema_version\"")?
+                as u64;
+            if version != BENCH_SCHEMA_VERSION {
+                return Err(format!(
+                    "unsupported bench schema_version {version}; this tool understands \
+                     version {BENCH_SCHEMA_VERSION} (and version 1 bare-array files)"
+                ));
+            }
+            let entries = json
+                .get("entries")
+                .and_then(Json::as_arr)
+                .ok_or("bench JSON missing \"entries\" array")?
+                .iter()
+                .map(parse_entry)
+                .collect::<Result<Vec<BenchEntry>, String>>()?;
+            Ok(BenchRun { schema_version: version, entries })
+        }
+        _ => Err("bench JSON must be an array (v1) or object (v2)".into()),
+    }
+}
+
+fn parse_entry(j: &Json) -> Result<BenchEntry, String> {
+    let name =
+        j.get("name").and_then(Json::as_str).ok_or("bench entry missing \"name\"")?.to_string();
+    let value =
+        j.get("value").and_then(Json::as_f64).ok_or_else(|| format!("{name}: missing value"))?;
+    let unit = j.get("unit").and_then(Json::as_str).unwrap_or("").to_string();
+    let stats = match j.get("n").and_then(Json::as_f64) {
+        Some(n) if n >= 1.0 => {
+            let f = |k: &str| j.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+            Some(Stats {
+                n: n as usize,
+                mean_ms: j.get("mean_ms").and_then(Json::as_f64).unwrap_or(value),
+                std_ms: f("std_ms"),
+                min_ms: f("min_ms"),
+                p50_ms: f("p50_ms"),
+                p95_ms: f("p95_ms"),
+                max_ms: f("max_ms"),
+            })
+        }
+        _ => None,
+    };
+    Ok(BenchEntry { name, value, unit, stats })
+}
+
+/// Classification of one paired delta.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Statistically significant slowdown beyond the threshold.
+    Regression,
+    /// Statistically significant speedup beyond the threshold.
+    Improvement,
+    /// Within noise or below the threshold.
+    Unchanged,
+    /// No variance data on one or both sides — reported, never failing.
+    Advisory,
+}
+
+impl Verdict {
+    /// Stable lowercase label for report output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Verdict::Regression => "REGRESSION",
+            Verdict::Improvement => "improvement",
+            Verdict::Unchanged => "unchanged",
+            Verdict::Advisory => "advisory",
+        }
+    }
+}
+
+/// One paired comparison in a diff report.
+#[derive(Clone, Debug)]
+pub struct DiffEntry {
+    /// The shared entry name.
+    pub name: String,
+    /// Unit label (from the newer run).
+    pub unit: String,
+    /// Baseline headline value.
+    pub base: f64,
+    /// New headline value.
+    pub new: f64,
+    /// Relative change in percent ((new-base)/base · 100).
+    pub delta_pct: f64,
+    /// Welch 95% half-width on the difference of means, in the entry's
+    /// unit; `None` when either side lacks variance data.
+    pub ci95_ms: Option<f64>,
+    /// The classification.
+    pub verdict: Verdict,
+}
+
+/// The full comparison of two runs.
+#[derive(Clone, Debug, Default)]
+pub struct DiffReport {
+    /// Paired entries, file order of the newer run.
+    pub entries: Vec<DiffEntry>,
+    /// Names present only in the baseline run.
+    pub only_in_base: Vec<String>,
+    /// Names present only in the newer run.
+    pub only_in_new: Vec<String>,
+}
+
+impl DiffReport {
+    /// Number of hard regressions.
+    pub fn regressions(&self) -> usize {
+        self.entries.iter().filter(|e| e.verdict == Verdict::Regression).count()
+    }
+
+    /// Renders the report as aligned text, one line per pair, with a
+    /// summary line at the bottom (the line tier1 greps).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let width = self.entries.iter().map(|e| e.name.len()).max().unwrap_or(4).max(4);
+        for e in &self.entries {
+            let ci = match e.ci95_ms {
+                Some(hw) => format!("±{hw:.3}"),
+                None => "±n/a".to_string(),
+            };
+            out.push_str(&format!(
+                "{:<width$}  {:>12.6} -> {:>12.6} {:<8} {:>+8.2}% {:>10}  {}\n",
+                e.name,
+                e.base,
+                e.new,
+                e.unit,
+                e.delta_pct,
+                ci,
+                e.verdict.label()
+            ));
+        }
+        for name in &self.only_in_base {
+            out.push_str(&format!("{name:<width$}  only in baseline\n"));
+        }
+        for name in &self.only_in_new {
+            out.push_str(&format!("{name:<width$}  only in new run\n"));
+        }
+        let improvements =
+            self.entries.iter().filter(|e| e.verdict == Verdict::Improvement).count();
+        let advisory = self.entries.iter().filter(|e| e.verdict == Verdict::Advisory).count();
+        out.push_str(&format!(
+            "compared {} entries: {} regressions, {} improvements, {} advisory\n",
+            self.entries.len(),
+            self.regressions(),
+            improvements,
+            advisory
+        ));
+        out
+    }
+}
+
+/// Pairs two runs by entry name and classifies every delta.
+/// `threshold_pct` is the minimum relative change (percent) a
+/// statistically significant delta must reach to count as a regression
+/// or improvement.
+pub fn diff_runs(base: &BenchRun, new: &BenchRun, threshold_pct: f64) -> DiffReport {
+    let mut report = DiffReport::default();
+    for e in &new.entries {
+        match base.entries.iter().find(|b| b.name == e.name) {
+            Some(b) => report.entries.push(classify(b, e, threshold_pct)),
+            None => report.only_in_new.push(e.name.clone()),
+        }
+    }
+    for b in &base.entries {
+        if !new.entries.iter().any(|e| e.name == b.name) {
+            report.only_in_base.push(b.name.clone());
+        }
+    }
+    report
+}
+
+fn classify(base: &BenchEntry, new: &BenchEntry, threshold_pct: f64) -> DiffEntry {
+    let delta = new.value - base.value;
+    let delta_pct = if base.value.abs() > 1e-12 { delta / base.value * 100.0 } else { 0.0 };
+
+    let (ci95_ms, verdict) = match (&base.stats, &new.stats) {
+        (Some(sb), Some(sn)) if sb.n >= 2 && sn.n >= 2 && base.value.abs() > 1e-12 => {
+            let hw = welch_ci95(sb, sn);
+            let mean_delta = sn.mean_ms - sb.mean_ms;
+            let significant = mean_delta.abs() > hw;
+            let v = if significant && delta_pct > threshold_pct {
+                Verdict::Regression
+            } else if significant && delta_pct < -threshold_pct {
+                Verdict::Improvement
+            } else {
+                Verdict::Unchanged
+            };
+            (Some(hw), v)
+        }
+        // No variance estimate on one or both sides: the delta may be
+        // pure noise (different machine, single rep, derived ratio), so
+        // it can inform but never fail.
+        _ => (None, Verdict::Advisory),
+    };
+
+    DiffEntry {
+        name: new.name.clone(),
+        unit: new.unit.clone(),
+        base: base.value,
+        new: new.value,
+        delta_pct,
+        ci95_ms,
+        verdict,
+    }
+}
+
+/// Welch 95% half-width on the difference of two sample means, with the
+/// Welch–Satterthwaite degrees-of-freedom approximation feeding the
+/// Student-t table in [`crate::stats::t95`].
+fn welch_ci95(a: &Stats, b: &Stats) -> f64 {
+    let va = a.std_ms * a.std_ms / a.n as f64;
+    let vb = b.std_ms * b.std_ms / b.n as f64;
+    let se = (va + vb).sqrt();
+    if se == 0.0 {
+        return 0.0;
+    }
+    let df_num = (va + vb) * (va + vb);
+    let df_den = va * va / (a.n - 1) as f64 + vb * vb / (b.n - 1) as f64;
+    let df = if df_den > 0.0 { (df_num / df_den).floor() as usize } else { a.n + b.n - 2 };
+    t95(df.max(1)) * se
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader (zero-dependency workspace).
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (parsed as f64).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, insertion-ordered.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (None for non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// String slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Element slice, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.bytes.get(self.pos) == Some(&c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", c as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
+            Some(c) => Err(format!("unexpected '{}' at byte {}", *c as char, self.pos)),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("bad \\u escape")?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(&c) => {
+                    // Multi-byte UTF-8 passes through unmodified.
+                    let len = match c {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(self.pos..self.pos + len)
+                        .and_then(|b| std::str::from_utf8(b).ok())
+                        .ok_or("bad utf-8 in string")?;
+                    out.push_str(chunk);
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(n: usize, mean: f64, std: f64) -> Stats {
+        Stats {
+            n,
+            mean_ms: mean,
+            std_ms: std,
+            min_ms: 0.0,
+            p50_ms: mean,
+            p95_ms: mean,
+            max_ms: mean,
+        }
+    }
+
+    fn entry(name: &str, value: f64, stats: Option<Stats>) -> BenchEntry {
+        BenchEntry { name: name.into(), value, unit: "ms".into(), stats }
+    }
+
+    #[test]
+    fn parses_v1_bare_array() {
+        let run = parse_bench_json(
+            r#"[ { "name": "micro/T02 workers=1", "value": 1.911062, "unit": "ms" } ]"#,
+        )
+        .unwrap();
+        assert_eq!(run.schema_version, 1);
+        assert_eq!(run.entries.len(), 1);
+        assert_eq!(run.entries[0].name, "micro/T02 workers=1");
+        assert!(run.entries[0].stats.is_none());
+    }
+
+    #[test]
+    fn v2_roundtrips_through_to_json() {
+        let run = BenchRun {
+            schema_version: BENCH_SCHEMA_VERSION,
+            entries: vec![entry("a", 1.5, Some(stats(5, 1.5, 0.2))), entry("b", 2.0, None)],
+        };
+        let reparsed = parse_bench_json(&run.to_json()).unwrap();
+        assert_eq!(reparsed.schema_version, BENCH_SCHEMA_VERSION);
+        assert_eq!(reparsed.entries.len(), 2);
+        let s = reparsed.entries[0].stats.as_ref().unwrap();
+        assert_eq!(s.n, 5);
+        assert!((s.std_ms - 0.2).abs() < 1e-9);
+        assert!(reparsed.entries[1].stats.is_none());
+    }
+
+    #[test]
+    fn unknown_schema_version_rejected_with_clear_error() {
+        let err = parse_bench_json(r#"{ "schema_version": 99, "entries": [] }"#).unwrap_err();
+        assert!(err.contains("unsupported bench schema_version 99"), "{err}");
+        assert!(err.contains("understands version 2"), "{err}");
+    }
+
+    #[test]
+    fn self_diff_is_all_unchanged() {
+        let run = BenchRun {
+            schema_version: 2,
+            entries: vec![
+                entry("a", 1.5, Some(stats(5, 1.5, 0.2))),
+                entry("b", 9.0, Some(stats(3, 9.0, 1.0))),
+            ],
+        };
+        let report = diff_runs(&run, &run, 5.0);
+        assert_eq!(report.regressions(), 0);
+        assert!(report.entries.iter().all(|e| e.verdict == Verdict::Unchanged));
+        assert!(report.render().contains("0 regressions"));
+    }
+
+    #[test]
+    fn significant_slowdown_is_a_regression() {
+        let base = BenchRun {
+            schema_version: 2,
+            entries: vec![entry("q", 10.0, Some(stats(10, 10.0, 0.1)))],
+        };
+        let new = BenchRun {
+            schema_version: 2,
+            entries: vec![entry("q", 13.0, Some(stats(10, 13.0, 0.1)))],
+        };
+        let report = diff_runs(&base, &new, 5.0);
+        assert_eq!(report.regressions(), 1);
+        assert_eq!(report.entries[0].verdict, Verdict::Regression);
+        // Reversed direction: an improvement, never a regression.
+        let report = diff_runs(&new, &base, 5.0);
+        assert_eq!(report.regressions(), 0);
+        assert_eq!(report.entries[0].verdict, Verdict::Improvement);
+    }
+
+    #[test]
+    fn noisy_delta_stays_unchanged() {
+        // +30% but the spread dwarfs the delta → not significant.
+        let base = BenchRun {
+            schema_version: 2,
+            entries: vec![entry("q", 10.0, Some(stats(3, 10.0, 8.0)))],
+        };
+        let new = BenchRun {
+            schema_version: 2,
+            entries: vec![entry("q", 13.0, Some(stats(3, 13.0, 8.0)))],
+        };
+        let report = diff_runs(&base, &new, 5.0);
+        assert_eq!(report.entries[0].verdict, Verdict::Unchanged);
+        assert_eq!(report.regressions(), 0);
+    }
+
+    #[test]
+    fn v1_pairs_are_advisory_never_failing() {
+        let base = BenchRun { schema_version: 1, entries: vec![entry("q", 1.0, None)] };
+        let new = BenchRun {
+            schema_version: 2,
+            entries: vec![entry("q", 100.0, Some(stats(5, 100.0, 0.1)))],
+        };
+        let report = diff_runs(&base, &new, 5.0);
+        assert_eq!(report.entries[0].verdict, Verdict::Advisory);
+        assert_eq!(report.regressions(), 0);
+        assert!(report.render().contains("advisory"));
+    }
+
+    #[test]
+    fn unpaired_entries_are_listed_not_failed() {
+        let base = BenchRun { schema_version: 1, entries: vec![entry("old", 1.0, None)] };
+        let new = BenchRun { schema_version: 1, entries: vec![entry("new", 1.0, None)] };
+        let report = diff_runs(&base, &new, 5.0);
+        assert_eq!(report.entries.len(), 0);
+        assert_eq!(report.only_in_base, vec!["old"]);
+        assert_eq!(report.only_in_new, vec!["new"]);
+        assert_eq!(report.regressions(), 0);
+    }
+
+    #[test]
+    fn json_reader_handles_nesting_and_escapes() {
+        let v =
+            Json::parse(r#"{ "a": [1, -2.5e1, "x\nyA"], "b": { "c": true, "d": null } }"#).unwrap();
+        assert_eq!(v.get("a").and_then(Json::as_arr).unwrap().len(), 3);
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[1].as_f64(), Some(-25.0));
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[2].as_str(), Some("x\nyA"));
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("b").unwrap().get("d"), Some(&Json::Null));
+        assert!(Json::parse("[1, 2,]").is_err());
+        assert!(Json::parse("{} trailing").is_err());
+    }
+
+    #[test]
+    fn real_baseline_file_shape_parses() {
+        // The exact shape BENCH_1.json uses.
+        let text = r#"[
+  { "name": "micro/T02 workers=1", "value": 1.911062, "unit": "ms" },
+  { "name": "macro/M6 parallel_over_serial", "value": 0.584321, "unit": "ratio" }
+]"#;
+        let run = parse_bench_json(text).unwrap();
+        assert_eq!(run.schema_version, 1);
+        assert_eq!(run.entries.len(), 2);
+        assert_eq!(run.entries[1].unit, "ratio");
+    }
+}

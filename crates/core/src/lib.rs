@@ -24,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod benchreport;
 pub mod dataset;
 pub mod driver;
 pub mod features;

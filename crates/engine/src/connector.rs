@@ -2,9 +2,10 @@
 //! the way the original harness drove any database with a JDBC driver.
 
 use crate::{EngineProfile, Result, SpatialDb};
-use jackpine_obs::{MetricsSnapshot, QueryTrace};
+use jackpine_obs::{FingerprintStats, MetricsSnapshot, QueryTrace};
 use jackpine_sqlmini::ResultSet;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A benchmarkable spatial database connection.
 ///
@@ -61,6 +62,30 @@ pub trait SpatialConnector: Send + Sync {
     fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
         None
     }
+
+    /// The most recent completed query traces from the system's flight
+    /// recorder, oldest first. Systems without one return nothing.
+    fn recent_traces(&self) -> Vec<Arc<QueryTrace>> {
+        Vec::new()
+    }
+
+    /// Retained slow-query traces, oldest first.
+    fn slow_queries(&self) -> Vec<Arc<QueryTrace>> {
+        Vec::new()
+    }
+
+    /// Sets the slow-query threshold, where the system has a slow log.
+    fn set_slow_query_threshold(&self, _threshold: Duration) {}
+
+    /// Top `k` statement shapes by execution count with per-fingerprint
+    /// rolling stats, where the system fingerprints statements.
+    fn query_stats(&self, _k: usize) -> Vec<FingerprintStats> {
+        Vec::new()
+    }
+
+    /// Turns retrospective recording (flight recorder, slow log,
+    /// fingerprint stats) on or off, where the system supports it.
+    fn set_flight_recorder(&self, _on: bool) {}
 }
 
 impl SpatialConnector for Arc<SpatialDb> {
@@ -106,6 +131,26 @@ impl SpatialConnector for Arc<SpatialDb> {
 
     fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
         Some(SpatialDb::metrics_snapshot(self))
+    }
+
+    fn recent_traces(&self) -> Vec<Arc<QueryTrace>> {
+        SpatialDb::recent_traces(self)
+    }
+
+    fn slow_queries(&self) -> Vec<Arc<QueryTrace>> {
+        SpatialDb::slow_queries(self)
+    }
+
+    fn set_slow_query_threshold(&self, threshold: Duration) {
+        SpatialDb::set_slow_query_threshold(self, threshold)
+    }
+
+    fn query_stats(&self, k: usize) -> Vec<FingerprintStats> {
+        SpatialDb::query_stats(self, k)
+    }
+
+    fn set_flight_recorder(&self, on: bool) {
+        SpatialDb::set_flight_recorder(self, on)
     }
 }
 

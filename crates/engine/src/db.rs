@@ -5,7 +5,10 @@ use crate::wal::{Wal, WalRecord};
 use crate::EngineProfile;
 use jackpine_geom::{Coord, Envelope};
 use jackpine_index::{GridIndex, OrderedIndex, ProbeStats, RTree, RTreeConfig};
-use jackpine_obs::{EngineMetrics, MetricsSnapshot, QueryTrace, Stage};
+use jackpine_obs::{
+    digest, EngineMetrics, FingerprintStats, FlightRecorder, MetricsSnapshot, QueryStatsTable,
+    QueryTrace, SlowQueryLog, Stage,
+};
 use jackpine_sqlmini::ast::Statement;
 use jackpine_sqlmini::plan::PlanOptions;
 use jackpine_sqlmini::provider::{CatalogProvider, TableProvider};
@@ -18,7 +21,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Errors surfaced by [`SpatialDb`].
 #[derive(Clone, Debug, PartialEq)]
@@ -179,7 +182,36 @@ pub struct SpatialDb {
     /// histogram this instance records into, shared with the executor,
     /// the WAL, and the provider adapters.
     metrics: Arc<EngineMetrics>,
+    /// Always-on flight recorder: the last N completed query traces.
+    recorder: FlightRecorder,
+    /// Threshold-gated view of the same stream: only slow queries.
+    slow_log: SlowQueryLog,
+    /// Per-fingerprint rolling statistics (`pg_stat_statements`-style).
+    query_stats: QueryStatsTable,
+    /// Master switch for retrospective recording (recorder + slow log +
+    /// fingerprint stats). On by default; the off position is the
+    /// overhead-ablation setting.
+    recording: std::sync::atomic::AtomicBool,
+    /// Raw-text → `(fingerprint, normalized shape)` cache so repeat
+    /// executions of the same statement text skip re-tokenization —
+    /// benchmark loops re-run statements with multi-KB WKT literals.
+    /// Keyed by an FNV-1a hash of the raw text; bounded, cleared when
+    /// full.
+    fingerprint_cache: RwLock<HashMap<u64, (u64, Arc<str>)>>,
 }
+
+/// Traces retained by the default flight recorder.
+pub const FLIGHT_RECORDER_CAPACITY: usize = 256;
+/// Slow traces retained by the default slow-query log.
+pub const SLOW_LOG_CAPACITY: usize = 64;
+/// Default slow-query threshold. Warm micro queries run in microseconds
+/// to low milliseconds, so 100 ms marks genuinely pathological
+/// statements without admitting ordinary cold-cache noise.
+pub const SLOW_QUERY_THRESHOLD: Duration = Duration::from_millis(100);
+/// Distinct statement shapes tracked by the fingerprint stats table.
+pub const QUERY_STATS_CAPACITY: usize = 512;
+/// Raw statement texts cached for fingerprint reuse.
+const FINGERPRINT_CACHE_CAPACITY: usize = 1024;
 
 impl SpatialDb {
     /// Creates an empty database under the given profile.
@@ -196,6 +228,11 @@ impl SpatialDb {
             workers: std::sync::atomic::AtomicUsize::new(default_workers()),
             durability: RwLock::new(None),
             metrics: Arc::new(EngineMetrics::new()),
+            recorder: FlightRecorder::new(FLIGHT_RECORDER_CAPACITY),
+            slow_log: SlowQueryLog::new(SLOW_LOG_CAPACITY, SLOW_QUERY_THRESHOLD),
+            query_stats: QueryStatsTable::new(QUERY_STATS_CAPACITY),
+            recording: std::sync::atomic::AtomicBool::new(true),
+            fingerprint_cache: RwLock::new(HashMap::new()),
         }
     }
 
@@ -560,13 +597,112 @@ impl SpatialDb {
         self.checkpoint()
     }
 
-    /// Runs one SQL statement.
+    /// Runs one SQL statement. With recording on (the default), the
+    /// completed statement lands in the flight recorder, the slow-query
+    /// log (if slow enough) and the fingerprint stats table.
     pub fn execute(self: &Arc<Self>, sql: &str) -> crate::Result<ResultSet> {
+        use std::sync::atomic::Ordering;
+        if !self.recording.load(Ordering::Relaxed) {
+            return self.execute_unrecorded(sql);
+        }
+        let before = self.metrics.snapshot();
+        let t0 = Instant::now();
+        let result = self.execute_unrecorded(sql);
+        let total = t0.elapsed();
+        let (fp, normalized) = self.fingerprint_of(sql);
+        match &result {
+            Ok(r) => {
+                self.query_stats.record(fp, &normalized, total, r.rows.len() as u64, false);
+                let delta = self.metrics.snapshot().delta_since(&before);
+                let trace = Arc::new(QueryTrace::new(sql, total, r.rows.len(), delta));
+                self.recorder.push(trace.clone());
+                self.slow_log.offer(&trace);
+            }
+            // Failed statements have no meaningful counter delta or row
+            // count; they are visible through the error column of the
+            // fingerprint table instead of the trace ring.
+            Err(_) => self.query_stats.record(fp, &normalized, total, 0, true),
+        }
+        result
+    }
+
+    /// The statement's fingerprint and normalized shape, served from the
+    /// raw-text cache when the same text has executed before. A 64-bit
+    /// collision between distinct raw texts would merge their stats; at
+    /// cache scale (≤ [`FINGERPRINT_CACHE_CAPACITY`] live entries) that
+    /// is vanishingly unlikely and only affects reporting, never results.
+    fn fingerprint_of(&self, sql: &str) -> (u64, Arc<str>) {
+        let raw = digest(sql);
+        if let Some(hit) = self.fingerprint_cache.read().get(&raw) {
+            return hit.clone();
+        }
+        let normalized: Arc<str> = jackpine_sqlmini::fingerprint::normalize(sql).into();
+        let fp = digest(&normalized);
+        let mut cache = self.fingerprint_cache.write();
+        if cache.len() >= FINGERPRINT_CACHE_CAPACITY {
+            cache.clear();
+        }
+        cache.insert(raw, (fp, Arc::clone(&normalized)));
+        (fp, normalized)
+    }
+
+    /// The execution path itself, with no retrospective recording.
+    fn execute_unrecorded(self: &Arc<Self>, sql: &str) -> crate::Result<ResultSet> {
         self.metrics.queries.incr();
         let t0 = Instant::now();
         let stmt = parser::parse(sql)?;
         self.metrics.record_stage(Stage::Parse, t0.elapsed());
         self.execute_statement(stmt, Some(sql))
+    }
+
+    /// Enables or disables retrospective recording (flight recorder,
+    /// slow-query log, fingerprint stats). On by default; the off
+    /// position exists for the overhead ablation and leaves previously
+    /// recorded traces in place.
+    pub fn set_flight_recorder(&self, on: bool) {
+        self.recording.store(on, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Whether retrospective recording is currently on.
+    pub fn flight_recorder_enabled(&self) -> bool {
+        self.recording.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// The flight recorder itself (capacity/eviction accounting).
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// The most recent completed traces, oldest first, up to the
+    /// recorder capacity. Traces stay in the ring.
+    pub fn recent_traces(&self) -> Vec<Arc<QueryTrace>> {
+        self.recorder.recent()
+    }
+
+    /// Removes and returns every retained trace, oldest first.
+    pub fn drain_traces(&self) -> Vec<Arc<QueryTrace>> {
+        self.recorder.drain()
+    }
+
+    /// Retained slow-query traces, oldest first.
+    pub fn slow_queries(&self) -> Vec<Arc<QueryTrace>> {
+        self.slow_log.recent()
+    }
+
+    /// The current slow-query threshold.
+    pub fn slow_query_threshold(&self) -> Duration {
+        self.slow_log.threshold()
+    }
+
+    /// Sets the slow-query threshold. `Duration::ZERO` logs everything.
+    pub fn set_slow_query_threshold(&self, threshold: Duration) {
+        self.slow_log.set_threshold(threshold);
+    }
+
+    /// The top `k` statement shapes by execution count, with rolling
+    /// latency/row/error statistics per fingerprint.
+    pub fn query_stats(&self, k: usize) -> Vec<FingerprintStats> {
+        self.query_stats.top(k)
     }
 
     /// Runs one SQL statement and returns the per-query trace alongside

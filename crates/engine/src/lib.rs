@@ -24,7 +24,10 @@ mod profile;
 pub mod wal;
 
 pub use connector::{all_profiles, SpatialConnector};
-pub use db::{DurabilityOptions, EngineError, SpatialDb, SNAPSHOT_FILE, WAL_FILE};
+pub use db::{
+    DurabilityOptions, EngineError, SpatialDb, FLIGHT_RECORDER_CAPACITY, QUERY_STATS_CAPACITY,
+    SLOW_LOG_CAPACITY, SLOW_QUERY_THRESHOLD, SNAPSHOT_FILE, WAL_FILE,
+};
 pub use profile::EngineProfile;
 
 /// Result alias for engine operations.

@@ -1,0 +1,184 @@
+//! Chrome trace-event export.
+//!
+//! Serialises a sequence of completed [`QueryTrace`]s into the Chrome
+//! trace-event JSON format (the `{"traceEvents": [...]}` flavour), which
+//! loads directly in `chrome://tracing` and Perfetto. Each query becomes
+//! a complete ("X") span on the query lane, with its stage self-times
+//! nested as child spans, and morsel-parallel queries additionally mark
+//! a span on a worker lane so parallel sections are visible at a glance.
+//!
+//! Traces carry durations but not absolute start times (the recorder
+//! stores deltas, not wall-clock anchors), so the exporter lays queries
+//! end-to-end on a synthetic timeline: span *widths* are real measured
+//! time, span *positions* are bookkeeping. That is the honest rendering
+//! for retrospective data and keeps the output deterministic.
+
+use crate::trace::{json_string, QueryTrace};
+
+/// Process id used for all emitted events.
+const PID: u64 = 1;
+/// Thread lane for query + stage spans.
+const TID_QUERY: u64 = 1;
+/// Thread lane for morsel/worker activity.
+const TID_WORKERS: u64 = 2;
+/// Synthetic gap between consecutive queries, microseconds.
+const GAP_US: u64 = 5;
+
+/// Renders `(label, trace)` pairs as Chrome trace-event JSON. Labels
+/// name the query spans (falling back to the SQL text when empty); the
+/// full SQL always rides along in the span `args`.
+pub fn chrome_trace_json(traces: &[(&str, &QueryTrace)]) -> String {
+    let mut events: Vec<String> = Vec::with_capacity(traces.len() * 8 + 3);
+    events.push(metadata("process_name", PID, TID_QUERY, "jackpine"));
+    events.push(metadata("thread_name", PID, TID_QUERY, "queries"));
+    events.push(metadata("thread_name", PID, TID_WORKERS, "morsel workers"));
+
+    let mut cursor_us: u64 = 0;
+    for (label, trace) in traces {
+        let total_us = ns_to_us(trace.total.as_nanos().min(u64::MAX as u128) as u64);
+        let name = if label.is_empty() { trace.sql.as_str() } else { label };
+        events.push(complete_event(
+            name,
+            "query",
+            TID_QUERY,
+            cursor_us,
+            total_us,
+            &format!(
+                "{{\"sql\":{},\"rows\":{},\"index_probes\":{},\"refine_hits\":{}}}",
+                json_string(&trace.sql),
+                trace.rows,
+                trace.counter("index_probes"),
+                trace.counter("refine_hits")
+            ),
+        ));
+
+        // Stage spans nest under the query span, laid out sequentially
+        // in pipeline order (stages are self-times, so end-to-end is the
+        // faithful layout; any remainder is unattributed engine time).
+        let mut stage_us = cursor_us;
+        for (stage, h) in &trace.delta.stages {
+            if h.count == 0 {
+                continue;
+            }
+            let dur = ns_to_us(h.sum).min(cursor_us + total_us - stage_us);
+            events.push(complete_event(
+                stage.name(),
+                "stage",
+                TID_QUERY,
+                stage_us,
+                dur,
+                &format!("{{\"samples\":{}}}", h.count),
+            ));
+            stage_us += dur;
+        }
+
+        // Morsel-parallel queries get a worker-lane span covering the
+        // query interval, so parallel sections stand out visually.
+        let morsels = trace.counter("morsels_dispatched");
+        if morsels > 0 {
+            events.push(complete_event(
+                "morsels",
+                "workers",
+                TID_WORKERS,
+                cursor_us,
+                total_us,
+                &format!(
+                    "{{\"morsels\":{},\"wait_mean_ns\":{}}}",
+                    morsels,
+                    trace.delta.morsel_wait_ns.mean()
+                ),
+            ));
+        }
+
+        cursor_us += total_us + GAP_US;
+    }
+
+    let mut out = String::from("{\"traceEvents\":[");
+    out.push_str(&events.join(","));
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// Nanoseconds to whole microseconds, floored at 1 so even sub-μs spans
+/// stay visible (and valid) in trace viewers.
+fn ns_to_us(ns: u64) -> u64 {
+    (ns / 1_000).max(1)
+}
+
+fn metadata(kind: &str, pid: u64, tid: u64, name: &str) -> String {
+    format!(
+        "{{\"name\":{},\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":{}}}}}",
+        json_string(kind),
+        json_string(name)
+    )
+}
+
+fn complete_event(name: &str, cat: &str, tid: u64, ts_us: u64, dur_us: u64, args: &str) -> String {
+    format!(
+        "{{\"name\":{},\"cat\":{},\"ph\":\"X\",\"pid\":{PID},\"tid\":{tid},\
+         \"ts\":{ts_us},\"dur\":{dur_us},\"args\":{args}}}",
+        json_string(name),
+        json_string(cat)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{EngineMetrics, Stage};
+    use std::time::Duration;
+
+    fn traced(sql: &str) -> QueryTrace {
+        let m = EngineMetrics::new();
+        let before = m.snapshot();
+        m.queries.incr();
+        m.index_probes.incr();
+        m.morsels_dispatched.add(3);
+        m.record_stage(Stage::Parse, Duration::from_micros(50));
+        m.record_stage(Stage::Refine, Duration::from_micros(400));
+        QueryTrace::new(sql, Duration::from_millis(1), 7, m.snapshot().delta_since(&before))
+    }
+
+    #[test]
+    fn emits_query_stage_and_worker_spans() {
+        let t = traced("SELECT 1");
+        let json = chrome_trace_json(&[("T01", &t)]);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"T01\""));
+        assert!(json.contains("\"cat\":\"query\""));
+        assert!(json.contains("\"name\":\"parse\""));
+        assert!(json.contains("\"name\":\"refine\""));
+        assert!(json.contains("\"cat\":\"workers\""), "morsel lane missing: {json}");
+        assert!(json.contains("\"ph\":\"M\""));
+    }
+
+    #[test]
+    fn timeline_is_sequential_and_durations_positive() {
+        let a = traced("SELECT a");
+        let b = traced("SELECT b");
+        let json = chrome_trace_json(&[("qa", &a), ("qb", &b)]);
+        // Both query spans present; the second starts after the first
+        // (total 1000 μs + 5 μs gap → ts 1005).
+        assert!(json.contains("\"name\":\"qa\""));
+        assert!(json.contains("\"name\":\"qb\""));
+        assert!(json.contains("\"ts\":0,\"dur\":1000"));
+        assert!(json.contains("\"ts\":1005,\"dur\":1000"), "{json}");
+        assert!(!json.contains("\"dur\":0"));
+    }
+
+    #[test]
+    fn empty_label_falls_back_to_sql() {
+        let t = traced("SELECT fallback");
+        let json = chrome_trace_json(&[("", &t)]);
+        assert!(json.contains("\"name\":\"SELECT fallback\""));
+    }
+
+    #[test]
+    fn empty_input_is_valid_json_with_metadata_only() {
+        let json = chrome_trace_json(&[]);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("\"displayTimeUnit\":\"ms\"}"));
+        assert!(json.contains("process_name"));
+        assert!(!json.contains("\"ph\":\"X\""));
+    }
+}

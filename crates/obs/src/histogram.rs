@@ -92,6 +92,17 @@ impl HistogramSnapshot {
         HistogramSnapshot { buckets: [0; BUCKETS], count: 0, sum: 0, max: 0 }
     }
 
+    /// Records one sample into this (non-atomic) snapshot. Used where a
+    /// histogram accumulates under an outer lock — e.g. the per-
+    /// fingerprint stats table — and paying 67 atomics per value would
+    /// be waste.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
     /// Mean sample value, zero when empty.
     pub fn mean(&self) -> u64 {
         if self.count == 0 {

@@ -19,17 +19,30 @@
 //!   counters that the test harness relies on.
 //! * [`QueryTrace`] — per-query view (stage timings + counter delta),
 //!   rendered as `EXPLAIN ANALYZE`-style text or JSON.
+//! * [`FlightRecorder`] / [`SlowQueryLog`] — the always-on retrospective
+//!   ring of completed traces and its threshold-gated slow-query view.
+//! * [`QueryStatsTable`] / [`FingerprintStats`] — per-fingerprint
+//!   rolling statistics (`pg_stat_statements`-style), keyed by the
+//!   stable [`digest`] of a normalized statement.
+//! * [`chrome_trace_json`] — Chrome trace-event (Perfetto-loadable)
+//!   export of a trace sequence.
 
 #![forbid(unsafe_code)]
 
 mod counter;
+mod export;
+mod fingerprint;
 mod histogram;
 mod metrics;
+mod ring;
 mod trace;
 
 pub use counter::Counter;
+pub use export::chrome_trace_json;
+pub use fingerprint::{digest, FingerprintStats, QueryStatsTable};
 pub use histogram::{Histogram, HistogramSnapshot, BUCKETS};
 pub use metrics::{
     EngineMetrics, MetricsSnapshot, Stage, DETERMINISTIC_COUNTERS, SCHEDULING_COUNTERS,
 };
+pub use ring::{FlightRecorder, SlowQueryLog};
 pub use trace::QueryTrace;

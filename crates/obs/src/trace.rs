@@ -67,6 +67,18 @@ impl QueryTrace {
                 if h.count == 1 { "" } else { "s" }
             ));
         }
+        // Index probe stats get a dedicated summary line so the SQL
+        // surface (EXPLAIN ANALYZE) exposes the same detail as the
+        // ProbeStats API: how many probes ran, how much of the tree they
+        // touched, and how many candidates survived the filter step.
+        let probes = self.counter("index_probes");
+        if probes > 0 {
+            out.push_str(&format!(
+                "  index probes: {probes} ({} nodes visited, {} candidates)\n",
+                self.counter("index_nodes_visited"),
+                self.counter("index_candidates")
+            ));
+        }
         for (name, v) in &self.delta.counters {
             if *v > 0 {
                 out.push_str(&format!("  counter {:<20} {v}\n", name));
@@ -96,7 +108,7 @@ impl QueryTrace {
 }
 
 /// Minimal JSON string escaping (the workspace is zero-dependency).
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -147,6 +159,7 @@ mod tests {
         assert!(text.contains("stage parse"));
         assert!(text.contains("stage refine"));
         assert!(text.contains("counter index_probes"));
+        assert!(text.contains("index probes: 1 (0 nodes visited, 10 candidates)"), "{text}");
         assert!(text.contains("rows: 4"));
     }
 

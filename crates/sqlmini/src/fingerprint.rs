@@ -1,0 +1,130 @@
+//! Statement normalization for query fingerprinting.
+//!
+//! [`normalize`] folds a statement to its *shape*: literals become `?`,
+//! identifiers and keywords are lowercased, and whitespace/comments
+//! collapse to single separators, so `SELECT * FROM t WHERE id = 7` and
+//! `select  *  from T where ID=42 -- hot` normalize identically. The
+//! `obs` crate hashes the normalized text into the stable fingerprint
+//! digest that keys the per-statement stats table.
+//!
+//! Normalization rides the real tokenizer rather than regex-mangling the
+//! text, so it is literal-exact: string contents, escapes and comments
+//! can never leak into the shape. Statements that fail to tokenize fall
+//! back to a lossier character-level fold (lowercase + whitespace
+//! collapse) — errors still deserve a fingerprint, or the error counts
+//! in the stats table would have nowhere to live.
+
+use crate::token::{tokenize, TokenKind};
+
+/// Normalizes a statement to its fingerprint shape.
+pub fn normalize(sql: &str) -> String {
+    match tokenize(sql) {
+        Ok(tokens) => {
+            let mut out = String::with_capacity(sql.len());
+            for t in &tokens {
+                let piece: &str = match &t.kind {
+                    TokenKind::Ident(s) => {
+                        if !out.is_empty() {
+                            out.push(' ');
+                        }
+                        out.extend(s.chars().flat_map(char::to_lowercase));
+                        continue;
+                    }
+                    TokenKind::Number(_) | TokenKind::StringLit(_) => "?",
+                    TokenKind::LParen => "(",
+                    TokenKind::RParen => ")",
+                    TokenKind::Comma => ",",
+                    TokenKind::Dot => ".",
+                    TokenKind::Star => "*",
+                    TokenKind::Plus => "+",
+                    TokenKind::Minus => "-",
+                    TokenKind::Slash => "/",
+                    TokenKind::Eq => "=",
+                    TokenKind::Neq => "<>",
+                    TokenKind::Lt => "<",
+                    TokenKind::Le => "<=",
+                    TokenKind::Gt => ">",
+                    TokenKind::Ge => ">=",
+                    TokenKind::Eof => continue,
+                };
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                out.push_str(piece);
+            }
+            out
+        }
+        Err(_) => {
+            // Untokenizable text: lowercase and collapse whitespace so
+            // repeated occurrences of the same broken statement still
+            // share a fingerprint.
+            let mut out = String::with_capacity(sql.len());
+            let mut pending_space = false;
+            for c in sql.chars() {
+                if c.is_whitespace() {
+                    pending_space = !out.is_empty();
+                } else {
+                    if pending_space {
+                        out.push(' ');
+                        pending_space = false;
+                    }
+                    out.extend(c.to_lowercase());
+                }
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literals_fold_to_placeholder() {
+        assert_eq!(
+            normalize("SELECT * FROM t WHERE id = 7"),
+            normalize("SELECT * FROM t WHERE id = 42")
+        );
+        assert_eq!(
+            normalize("SELECT name FROM t WHERE name = 'Main St'"),
+            normalize("SELECT name FROM t WHERE name = 'Elm Ave'")
+        );
+        assert_eq!(normalize("SELECT 1"), "select ?");
+    }
+
+    #[test]
+    fn case_whitespace_and_comments_fold() {
+        assert_eq!(
+            normalize("select  a.B ,c FROM  T -- comment\n WHERE x>=1"),
+            normalize("SELECT A.b, C from t where X >= 2.5")
+        );
+        assert_eq!(normalize("SELECT a FROM t"), "select a from t");
+    }
+
+    #[test]
+    fn distinct_shapes_stay_distinct() {
+        assert_ne!(normalize("SELECT a FROM t"), normalize("SELECT b FROM t"));
+        assert_ne!(normalize("SELECT a FROM t WHERE x = 1"), normalize("SELECT a FROM t"));
+        assert_ne!(
+            normalize("SELECT a FROM t WHERE x < 1"),
+            normalize("SELECT a FROM t WHERE x <= 1")
+        );
+    }
+
+    #[test]
+    fn literal_contents_never_leak() {
+        // A string literal containing keywords must not change the shape.
+        assert_eq!(
+            normalize("SELECT a FROM t WHERE s = 'DROP TABLE u'"),
+            normalize("SELECT a FROM t WHERE s = 'x'")
+        );
+    }
+
+    #[test]
+    fn untokenizable_falls_back_to_character_fold() {
+        let n = normalize("SELECT # broken");
+        assert_eq!(n, "select # broken");
+        assert_eq!(n, normalize("  select   #  BROKEN "));
+    }
+}

@@ -20,6 +20,7 @@
 pub mod ast;
 mod error;
 pub mod exec;
+pub mod fingerprint;
 pub mod functions;
 pub mod parser;
 pub mod plan;

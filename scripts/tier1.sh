@@ -23,13 +23,43 @@ cargo test -q -p jackpine --test observability --offline
 grep -q '#!\[forbid(unsafe_code)\]' crates/obs/src/lib.rs \
   || { echo "crates/obs must forbid unsafe_code"; exit 1; }
 
+echo "== flight recorder gate (ring concurrency + fingerprint properties)"
+cargo test -q -p jackpine --test flight_recorder --offline
+cargo test -q -p jackpine --test proptest_fingerprint --offline
+
 echo "== repro --trace smoke (every micro query emits a trace)"
 cargo run --release --offline -p jackpine-bench --bin repro -- \
-  --scale 0.01 --reps 1 --trace --metrics-json /tmp/jackpine_metrics.json t1 \
+  --scale 0.01 --reps 1 --trace --metrics-json /tmp/jackpine_metrics.json \
+  --trace-export /tmp/jackpine_chrome_trace.json t1 \
   > /tmp/jackpine_trace.txt
 grep -q 'stage plan' /tmp/jackpine_trace.txt \
   || { echo "repro --trace emitted no stage lines"; exit 1; }
-python3 -c "import json; json.load(open('/tmp/jackpine_metrics.json'))" 2>/dev/null \
-  || { echo "--metrics-json wrote invalid JSON"; exit 1; }
+python3 - <<'EOF' || { echo "--metrics-json wrote invalid JSON"; exit 1; }
+import json
+m = json.load(open('/tmp/jackpine_metrics.json'))
+assert m["schema_version"] == 2, f"metrics schema_version {m.get('schema_version')} != 2"
+assert m["engines"], "metrics-json has no engines"
+EOF
+
+echo "== trace export gate (Chrome trace JSON, >=1 span per query)"
+python3 - <<'EOF' || { echo "--trace-export wrote an invalid Chrome trace"; exit 1; }
+import json
+t = json.load(open('/tmp/jackpine_chrome_trace.json'))
+events = t["traceEvents"]
+queries = [e for e in events if e.get("cat") == "query" and e.get("ph") == "X"]
+stages = [e for e in events if e.get("cat") == "stage" and e.get("ph") == "X"]
+assert queries, "no query spans exported"
+assert len(stages) >= len(queries), f"{len(stages)} stage spans < {len(queries)} query spans"
+assert all(e["dur"] >= 1 for e in queries + stages), "zero-duration span"
+EOF
+
+echo "== bench-diff gate (self-comparison is clean, checked-in runs compare)"
+cargo run --release --offline -p jackpine-bench --bin bench-diff -- \
+  BENCH_1.json BENCH_1.json > /tmp/jackpine_bench_diff.txt
+grep -q ' 0 regressions' /tmp/jackpine_bench_diff.txt \
+  || { echo "bench-diff self-comparison reported regressions"; exit 1; }
+cargo run --release --offline -p jackpine-bench --bin bench-diff -- \
+  BENCH_1.json BENCH_4.json > /dev/null \
+  || { echo "bench-diff BENCH_1 vs BENCH_4 failed"; exit 1; }
 
 echo "tier-1 green"

@@ -201,6 +201,8 @@ fn explain_analyze_renders_trace() {
     assert!(text.contains("total:"), "analyze output was:\n{text}");
     assert!(text.contains("stage plan"), "analyze output was:\n{text}");
     assert!(text.contains("counter index_probes"), "analyze output was:\n{text}");
+    assert!(text.contains("index probes:"), "probe summary missing:\n{text}");
+    assert!(text.contains("nodes visited"), "probe summary missing:\n{text}");
 
     // Only SELECT can be analyzed.
     assert!(db.execute("EXPLAIN ANALYZE DELETE FROM pts").is_err());

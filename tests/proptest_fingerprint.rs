@@ -1,0 +1,175 @@
+//! Property tests for query-fingerprint normalization (seeded PRNG, no
+//! external crates): literal-insensitivity, case/whitespace folding,
+//! digest stability, and collision-freedom over the benchmark's own
+//! query corpus.
+
+mod common;
+
+use common::{cases, test_rng};
+use jackpine::bench::micro::{analysis_suite, topo_suite};
+use jackpine::datagen::rng::Rng;
+use jackpine::datagen::{TigerConfig, TigerDataset};
+use jackpine::obs::digest;
+use jackpine::sql::fingerprint::normalize;
+use std::collections::HashMap;
+
+/// A random literal: integer, decimal, or quoted string. Numbers stay
+/// nonnegative — a leading `-` is a separate token, hence part of the
+/// statement shape rather than the literal.
+fn literal(rng: &mut Rng) -> String {
+    match rng.gen_range(0..3usize) {
+        0 => format!("{}", rng.gen_range(0..10_000i64)),
+        1 => format!("{:.4}", rng.gen_range(0.0..1000.0f64)),
+        _ => {
+            let n = rng.gen_range(0..12usize);
+            let s: String =
+                (0..n).map(|_| char::from(b'a' + rng.gen_range(0..26i64) as u8)).collect();
+            format!("'{s}'")
+        }
+    }
+}
+
+/// Statement templates with two literal slots, spanning the grammar the
+/// benchmark exercises.
+fn template(rng: &mut Rng, l1: &str, l2: &str) -> String {
+    match rng.gen_range(0..5usize) {
+        0 => format!("SELECT COUNT(*) FROM roads WHERE id = {l1} AND name = {l2}"),
+        1 => format!(
+            "SELECT id FROM pointlm WHERE ST_Within(geom, ST_MakeEnvelope({l1}, 0, {l2}, 9))"
+        ),
+        2 => format!("INSERT INTO pts VALUES ({l1}, {l2})"),
+        3 => format!("SELECT a.id FROM t a WHERE x >= {l1} ORDER BY id LIMIT {l2}"),
+        _ => format!("UPDATE roads SET name = {l2} WHERE id = {l1}"),
+    }
+}
+
+/// Changing only the literals never changes the fingerprint.
+#[test]
+fn literal_insensitivity() {
+    let mut rng = test_rng("literal_insensitivity");
+    for _ in 0..cases(200) {
+        let t = rng.gen_range(0..5u64);
+        let (a1, a2) = (literal(&mut rng), literal(&mut rng));
+        let (b1, b2) = (literal(&mut rng), literal(&mut rng));
+        // Seeding both draws with the same value picks the same template.
+        let qa = template(&mut Rng::seed_from_u64(t), &a1, &a2);
+        let qb = template(&mut Rng::seed_from_u64(t), &b1, &b2);
+        assert_eq!(
+            normalize(&qa),
+            normalize(&qb),
+            "literal change altered the shape:\n  {qa}\n  {qb}"
+        );
+        assert_eq!(digest(&normalize(&qa)), digest(&normalize(&qb)));
+    }
+}
+
+/// Random case flips and whitespace injection between tokens fold away.
+#[test]
+fn case_and_whitespace_folding() {
+    const WS: &[&str] = &[" ", "  ", "\t", "\n", " \n "];
+    let mut rng = test_rng("case_and_whitespace_folding");
+    for _ in 0..cases(200) {
+        let parts = [
+            "SELECT",
+            "COUNT",
+            "(",
+            "*",
+            ")",
+            "FROM",
+            "roads",
+            "WHERE",
+            "ST_Crosses",
+            "(",
+            "geom",
+            ",",
+            "ST_GeomFromText",
+            "(",
+            "'LINESTRING (0 0, 1 1)'",
+            ")",
+            ")",
+            "AND",
+            "id",
+            ">=",
+            "42",
+        ];
+        let canonical = parts.join(" ");
+        // Rebuild with random whitespace and random per-char case on
+        // identifiers (string literals must survive untouched).
+        let mut mangled = String::new();
+        for p in parts {
+            let piece: String = if p.starts_with('\'') {
+                p.to_string()
+            } else {
+                p.chars()
+                    .map(|c| {
+                        if rng.gen_range(0..2i64) == 0 {
+                            c.to_ascii_uppercase()
+                        } else {
+                            c.to_ascii_lowercase()
+                        }
+                    })
+                    .collect()
+            };
+            mangled.push_str(&piece);
+            mangled.push_str(WS[rng.gen_range(0..WS.len())]);
+        }
+        assert_eq!(
+            normalize(&canonical),
+            normalize(&mangled),
+            "case/whitespace mangling altered the shape:\n  {mangled}"
+        );
+    }
+}
+
+/// Normalization is idempotent and the digest is stable across calls.
+#[test]
+fn normalize_is_idempotent_and_digest_pinned() {
+    let mut rng = test_rng("normalize_is_idempotent_and_digest_pinned");
+    for _ in 0..cases(100) {
+        let (l1, l2) = (literal(&mut rng), literal(&mut rng));
+        let q = template(&mut rng, &l1, &l2);
+        let n1 = normalize(&q);
+        assert_eq!(n1, normalize(&n1), "normalize must be idempotent on {q}");
+        assert_eq!(digest(&n1), digest(&n1));
+    }
+    // Frozen end-to-end: stored fingerprints must survive upgrades, so
+    // the normalized text and its FNV-1a digest are pinned verbatim.
+    assert_eq!(normalize("SELECT * FROM t WHERE id = 1"), "select * from t where id = ?");
+    assert_eq!(digest("select * from t where id = ?"), 0x90356c2a5f55a6f1);
+}
+
+/// Distinct statement shapes never collide across the benchmark's own
+/// query corpus (every micro query, topological and analysis).
+#[test]
+fn benchmark_corpus_has_no_collisions() {
+    let data = TigerDataset::generate(&TigerConfig { scale: 0.01, ..TigerConfig::default() });
+    let mut by_digest: HashMap<u64, String> = HashMap::new();
+    for q in topo_suite(&data).iter().chain(analysis_suite(&data).iter()) {
+        let shape = normalize(&q.sql);
+        let d = digest(&shape);
+        if let Some(prev) = by_digest.insert(d, shape.clone()) {
+            assert_eq!(
+                prev, shape,
+                "digest collision between distinct shapes:\n  {prev}\n  {shape}"
+            );
+        }
+    }
+    // The corpus has many genuinely distinct shapes, not one.
+    assert!(by_digest.len() >= 20, "corpus too small: {}", by_digest.len());
+}
+
+/// Randomly generated distinct shapes (varying identifiers, not
+/// literals) get distinct digests.
+#[test]
+fn random_distinct_shapes_stay_distinct() {
+    let mut rng = test_rng("random_distinct_shapes_stay_distinct");
+    let mut by_digest: HashMap<u64, String> = HashMap::new();
+    for i in 0..cases(300) {
+        // Identifier varies with i, so every shape is genuinely new.
+        let q = format!("SELECT col_{i} FROM table_{} WHERE x = 5", rng.gen_range(0..10i64));
+        let shape = normalize(&q);
+        if let Some(prev) = by_digest.insert(digest(&shape), shape.clone()) {
+            assert_eq!(prev, shape, "collision:\n  {prev}\n  {shape}");
+        }
+    }
+}
