@@ -5,7 +5,7 @@
 //! repro [--scale S] [--reps R] [--sessions N] [--workers W] [--csv DIR]
 //!       [--persist DIR] [--wal on|off] [--trace] [--metrics-json FILE]
 //!       [--trace-export FILE] [--top-queries K] [--bench-out FILE]
-//!       [--recorder on|off] <experiment>...
+//!       [--recorder on|off] [--prepared on|off] <experiment>...
 //! experiments: t1 t2 t3 f1..f8 all bench-json
 //! ```
 //!
@@ -38,6 +38,10 @@
 //! count from the flight recorder's fingerprint table after the run.
 //! `--recorder off` disables retrospective recording (flight recorder,
 //! slow-query log, fingerprint stats) — the overhead-ablation switch.
+//! `--prepared off` disables the prepared-geometry refine fast path
+//! (monotone-chain indexes + per-table preparation cache) — the
+//! ablation switch for the indexed DE-9IM kernels. `bench-json` always
+//! measures both settings on its refine-heavy polygon-polygon entries.
 //! `--bench-out FILE` redirects the `bench-json` output file (default
 //! `BENCH_1.json`).
 
@@ -68,6 +72,7 @@ struct Options {
     top_queries: Option<usize>,
     bench_out: String,
     recorder: bool,
+    prepared: bool,
     experiments: Vec<String>,
 }
 
@@ -86,6 +91,7 @@ fn parse_args() -> Options {
         top_queries: None,
         bench_out: "BENCH_1.json".to_string(),
         recorder: true,
+        prepared: true,
         experiments: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -113,6 +119,13 @@ fn parse_args() -> Options {
             "--bench-out" => opts.bench_out = args.next().unwrap_or_else(|| usage()),
             "--recorder" => {
                 opts.recorder = match args.next().as_deref() {
+                    Some("on") => true,
+                    Some("off") => false,
+                    _ => usage(),
+                }
+            }
+            "--prepared" => {
+                opts.prepared = match args.next().as_deref() {
                     Some("on") => true,
                     Some("off") => false,
                     _ => usage(),
@@ -150,7 +163,7 @@ fn usage() -> ! {
         "usage: repro [--scale S] [--reps R] [--sessions N] [--workers W] [--csv DIR] \
          [--persist DIR] [--wal on|off] [--trace] [--metrics-json FILE] \
          [--trace-export FILE] [--top-queries K] [--bench-out FILE] [--recorder on|off] \
-         <t1|t2|t3|f1..f8|all|bench-json>..."
+         [--prepared on|off] <t1|t2|t3|f1..f8|all|bench-json>..."
     );
     std::process::exit(2)
 }
@@ -170,6 +183,7 @@ fn main() {
     for e in &engines {
         e.set_workers(opts.workers);
         e.set_flight_recorder(opts.recorder);
+        e.set_prepared(opts.prepared);
     }
     let workers = engines.first().map(|e| e.workers()).unwrap_or(1);
     println!("intra-query workers = {workers}\n");
@@ -251,8 +265,9 @@ fn main() {
         None => "persist=off".to_string(),
     };
     let trace_note = if opts.trace { " trace=on" } else { "" };
+    let prepared_note = if opts.prepared { "" } else { " prepared=off" };
     for t in &mut tables {
-        t.context = format!("workers={workers} {persist_note}{trace_note}");
+        t.context = format!("workers={workers} {persist_note}{trace_note}{prepared_note}");
     }
 
     if opts.experiments.iter().any(|x| x == "bench-json") {
@@ -593,8 +608,10 @@ fn f7_drilldown(data: &TigerDataset, engines: &[Arc<SpatialDb>], sessions: usize
 
 /// Times the spatial-join micros (T02/T05/T08/T10) and the join-heavy
 /// macro scenarios (M4 flood risk, M6 toxic spill) at `workers=1` vs. the
-/// configured worker count, asserting identical results, and writes a
-/// schema-v2 bench file (default `BENCH_1.json`, see `--bench-out`).
+/// configured worker count, asserting identical results, plus two
+/// refine-heavy polygon-polygon joins (PP1/PP2) with the prepared
+/// fast path off vs. on, and writes a schema-v2 bench file (default
+/// `BENCH_1.json`, see `--bench-out`).
 /// The `value` fields keep the github-action-benchmark
 /// `customSmallerIsBetter` meaning; timed entries additionally carry
 /// per-sample statistics so `bench-diff` can apply confidence intervals.
@@ -605,6 +622,7 @@ fn bench_json(data: &TigerDataset, opts: &Options) {
     let db = engine_with_data(EngineProfile::ExactRtree, data);
     db.set_workers(opts.workers);
     db.set_flight_recorder(opts.recorder);
+    db.set_prepared(opts.prepared);
     let workers = db.workers();
     let driver = Driver { repetitions: opts.reps, warmup: 1, cache_mode: CacheMode::Warm };
     let mut entries: Vec<BenchEntry> = Vec::new();
@@ -650,6 +668,58 @@ fn bench_json(data: &TigerDataset, opts: &Options) {
             stats: None,
         });
     }
+
+    // Refine-heavy polygon-polygon joins, measured with the prepared
+    // fast path off and on. Adjacent county polygons (and the landmarks
+    // inside them) have envelopes that all pass the index prefilter, so
+    // nearly every candidate pair reaches the DE-9IM refine stage —
+    // exactly the work prepared geometries accelerate. Run serially so
+    // the ratio isolates the refine kernels from scheduling effects.
+    let refine_heavy = [
+        (
+            "PP1",
+            "SELECT COUNT(*) FROM county a JOIN county b ON ST_Intersects(a.geom, b.geom) \
+             WHERE a.id < b.id",
+        ),
+        ("PP2", "SELECT COUNT(*) FROM county c JOIN arealm a ON ST_Contains(c.geom, a.geom)"),
+    ];
+    db.set_workers(1);
+    for (id, sql) in refine_heavy {
+        db.set_prepared(false);
+        let naive_rows = db.execute(sql).expect("naive run");
+        let naive = driver.run_query(&db, id, sql).expect("naive timing");
+        db.set_prepared(true);
+        let prepared_rows = db.execute(sql).expect("prepared run");
+        let prepared = driver.run_query(&db, id, sql).expect("prepared timing");
+        assert_eq!(naive_rows, prepared_rows, "{id}: prepared on/off disagree");
+        let ratio = prepared.stats.mean_ms / naive.stats.mean_ms;
+        println!(
+            "micro {id}: prepared=off {} ms, prepared=on {} ms ({:.2}x speedup)",
+            fmt_ms(naive.stats.mean_ms),
+            fmt_ms(prepared.stats.mean_ms),
+            1.0 / ratio
+        );
+        entries.push(BenchEntry {
+            name: format!("micro/{id} prepared=off"),
+            value: naive.stats.mean_ms,
+            unit: "ms".into(),
+            stats: Some(naive.stats),
+        });
+        entries.push(BenchEntry {
+            name: format!("micro/{id} prepared=on"),
+            value: prepared.stats.mean_ms,
+            unit: "ms".into(),
+            stats: Some(prepared.stats),
+        });
+        entries.push(BenchEntry {
+            name: format!("micro/{id} prepared_over_naive"),
+            value: ratio,
+            unit: "ratio".into(),
+            stats: None,
+        });
+    }
+    db.set_prepared(opts.prepared);
+    db.set_workers(workers);
 
     let config = ScenarioConfig { seed: 0xbead, sessions: opts.sessions };
     let scenarios = all_scenarios(data, &config);

@@ -12,7 +12,7 @@ use jackpine_obs::{
 use jackpine_sqlmini::ast::Statement;
 use jackpine_sqlmini::plan::PlanOptions;
 use jackpine_sqlmini::provider::{CatalogProvider, TableProvider};
-use jackpine_sqlmini::{exec, parser, plan, ResultSet, SqlError};
+use jackpine_sqlmini::{exec, parser, plan, PreparedCache, ResultSet, SqlError};
 use jackpine_storage::sync::RwLock;
 use jackpine_storage::{
     Catalog, ColumnDef, DataType, Row, RowId, Schema, StorageError, Table, Value,
@@ -198,6 +198,13 @@ pub struct SpatialDb {
     /// Keyed by an FNV-1a hash of the raw text; bounded, cleared when
     /// full.
     fingerprint_cache: RwLock<HashMap<u64, (u64, Arc<str>)>>,
+    /// Prepared-geometry cache shared with the executor's refine stage,
+    /// keyed by heap-row identity. Invalidated wholesale on DML, index
+    /// drops and table drops.
+    prepared_cache: Arc<PreparedCache>,
+    /// Master switch for the prepared-geometry fast path (the
+    /// `--prepared off` ablation). On by default.
+    prepared_enabled: RwLock<bool>,
 }
 
 /// Traces retained by the default flight recorder.
@@ -233,6 +240,8 @@ impl SpatialDb {
             query_stats: QueryStatsTable::new(QUERY_STATS_CAPACITY),
             recording: std::sync::atomic::AtomicBool::new(true),
             fingerprint_cache: RwLock::new(HashMap::new()),
+            prepared_cache: Arc::new(PreparedCache::new()),
+            prepared_enabled: RwLock::new(true),
         }
     }
 
@@ -371,7 +380,26 @@ impl SpatialDb {
     }
 
     fn exec_options(&self) -> exec::ExecOptions {
-        exec::ExecOptions { workers: self.workers(), metrics: Some(self.metrics.clone()) }
+        let prepared =
+            if *self.prepared_enabled.read() { Some(self.prepared_cache.clone()) } else { None };
+        exec::ExecOptions { workers: self.workers(), metrics: Some(self.metrics.clone()), prepared }
+    }
+
+    /// Enables or disables the prepared-geometry fast path (ablation
+    /// switch). Disabling also drops every cached preparation.
+    pub fn set_prepared(&self, on: bool) {
+        *self.prepared_enabled.write() = on;
+        self.prepared_cache.clear();
+    }
+
+    /// Whether the prepared-geometry fast path is on.
+    pub fn prepared_enabled(&self) -> bool {
+        *self.prepared_enabled.read()
+    }
+
+    /// Live entries in the prepared-geometry cache (invalidation tests).
+    pub fn prepared_cache_len(&self) -> usize {
+        self.prepared_cache.len()
     }
 
     /// The engine's observability registry (shared, always-on).
@@ -454,6 +482,11 @@ impl SpatialDb {
             }
         }
         drop(indexes);
+        // Coarse invalidation: any write drops every cached preparation.
+        // (Pointer-keyed entries for other rows would still be sound,
+        // but wholesale clearing also sheds entries pinning deleted
+        // rows, keeping the cache's memory bounded by live data.)
+        self.prepared_cache.clear();
         if log {
             if let Some(d) = durability.as_ref() {
                 d.wal.append(&WalRecord::Insert { table: table.to_string(), row })?;
@@ -576,6 +609,7 @@ impl SpatialDb {
             return Err(EngineError::Index(format!("no spatial index on '{table}.{column}'")));
         }
         self.plan_cache.write().clear();
+        self.prepared_cache.clear();
         self.checkpoint()
     }
 
@@ -594,6 +628,7 @@ impl SpatialDb {
             return Err(EngineError::Index(format!("no ordered index on '{table}.{column}'")));
         }
         self.plan_cache.write().clear();
+        self.prepared_cache.clear();
         self.checkpoint()
     }
 
@@ -808,6 +843,7 @@ impl SpatialDb {
                 }
                 self.indexes.write().remove(&name.to_ascii_lowercase());
                 self.plan_cache.write().clear();
+                self.prepared_cache.clear();
                 self.checkpoint()?;
                 Ok(affected(0))
             }
@@ -924,6 +960,7 @@ impl SpatialDb {
             }
             t.heap.delete(*id);
         }
+        self.prepared_cache.clear();
         Ok(victims.len())
     }
 
@@ -999,14 +1036,19 @@ impl SpatialDb {
             t.heap.delete(id);
             // Durability for the reinsert comes from the checkpoint the
             // UPDATE statement runs afterwards, not from a WAL record.
+            // (The reinsert also clears the prepared cache.)
             self.insert_row_impl(table, new_row, false)?;
         }
+        self.prepared_cache.clear();
         Ok(n)
     }
 
-    /// Evicts all decoded-row caches (cold-run support).
+    /// Evicts all decoded-row caches (cold-run support). Also drops
+    /// cached geometry preparations: they pin the decoded rows they were
+    /// built from, which a cold run must not retain.
     pub fn clear_caches(&self) {
         self.catalog.clear_all_caches();
+        self.prepared_cache.clear();
     }
 
     /// The underlying catalog table (for loaders and tests).
@@ -1646,6 +1688,91 @@ mod plan_cache_tests {
         db.set_use_spatial_index(false);
         let b = db.execute(sql).unwrap();
         assert_eq!(a, b, "answers must not depend on the plan-cache state");
+    }
+}
+
+#[cfg(test)]
+mod prepared_cache_tests {
+    use super::*;
+
+    /// Overlapping unit-height rectangles along the x axis, spatially
+    /// indexed, so a self-join refines many polygon-polygon pairs.
+    fn db_with_polys() -> Arc<SpatialDb> {
+        let db = Arc::new(SpatialDb::new(EngineProfile::ExactRtree));
+        db.execute("CREATE TABLE lots (id BIGINT, geom GEOMETRY)").unwrap();
+        for i in 0..10 {
+            let x0 = i as f64;
+            let x1 = x0 + 1.5;
+            db.execute(&format!(
+                "INSERT INTO lots VALUES ({i}, ST_GeomFromText('POLYGON (({x0} 0, {x1} 0, \
+                 {x1} 1, {x0} 1, {x0} 0))'))"
+            ))
+            .unwrap();
+        }
+        db.create_spatial_index("lots", "geom").unwrap();
+        db.set_workers(1);
+        db
+    }
+
+    const JOIN: &str = "SELECT COUNT(*) FROM lots a, lots b WHERE ST_Intersects(a.geom, b.geom)";
+
+    #[test]
+    fn join_populates_cache_and_prepared_path_agrees_with_naive() {
+        let db = db_with_polys();
+        let with = db.execute(JOIN).unwrap();
+        assert!(db.prepared_cache_len() > 0, "spatial join must populate the cache");
+        let m = db.metrics_snapshot();
+        assert!(m.counter("prepared_cache_hits") > 0, "inner geometries must be reused");
+
+        db.set_prepared(false);
+        assert_eq!(db.prepared_cache_len(), 0, "disabling drops preparations");
+        let before = db.metrics_snapshot();
+        let without = db.execute(JOIN).unwrap();
+        assert_eq!(with, without, "prepared fast path must not change answers");
+        let delta = db.metrics_snapshot().delta_since(&before);
+        assert_eq!(delta.counter("prepared_cache_misses"), 0, "disabled path must not prepare");
+        assert_eq!(db.prepared_cache_len(), 0);
+    }
+
+    #[test]
+    fn dml_and_index_drop_invalidate() {
+        let db = db_with_polys();
+        let populate = |db: &Arc<SpatialDb>| {
+            db.execute(JOIN).unwrap();
+            assert!(db.prepared_cache_len() > 0, "query must repopulate the cache");
+        };
+
+        populate(&db);
+        db.execute("INSERT INTO lots VALUES (100, ST_GeomFromText('POINT (50 50)'))").unwrap();
+        assert_eq!(db.prepared_cache_len(), 0, "INSERT must invalidate");
+
+        populate(&db);
+        db.execute("UPDATE lots SET geom = ST_Translate(geom, 20, 0) WHERE id = 100").unwrap();
+        assert_eq!(db.prepared_cache_len(), 0, "UPDATE must invalidate");
+
+        populate(&db);
+        db.execute("DELETE FROM lots WHERE id = 100").unwrap();
+        assert_eq!(db.prepared_cache_len(), 0, "DELETE must invalidate");
+
+        populate(&db);
+        db.drop_spatial_index("lots", "geom").unwrap();
+        assert_eq!(db.prepared_cache_len(), 0, "index drop must invalidate");
+
+        // Still correct (and repopulating) without the index.
+        populate(&db);
+    }
+
+    #[test]
+    fn results_match_across_predicates_with_and_without_prepared() {
+        let db = db_with_polys();
+        for pred in ["ST_Intersects", "ST_Touches", "ST_Overlaps", "ST_Within", "ST_Equals"] {
+            let sql = format!("SELECT COUNT(*) FROM lots a, lots b WHERE {pred}(a.geom, b.geom)");
+            db.set_prepared(true);
+            let on = db.execute(&sql).unwrap();
+            db.set_prepared(false);
+            let off = db.execute(&sql).unwrap();
+            assert_eq!(on, off, "{pred}: prepared on/off must agree");
+        }
     }
 }
 

@@ -6,7 +6,8 @@
 
 use super::locate::{locate_in_polygon, Location};
 use super::segment::{segment_intersection, SegmentIntersection};
-use crate::{Coord, LineString, Polygon};
+use super::tolerance::{param_on_segment, OVERLAP_TOL, PARAM_EPS};
+use crate::{Coord, Envelope, LineString, Polygon};
 
 /// Classification of a line portion relative to a polygon.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -44,6 +45,35 @@ impl LinePortion {
 /// is impossible — they merge — but a zero-length touch does not create a
 /// portion at all; use the portion endpoints to detect such touch points).
 pub fn split_line_by_polygon(line: &LineString, poly: &Polygon) -> Vec<LinePortion> {
+    split_line_core(
+        line,
+        &poly.envelope(),
+        |_seg_env, f| {
+            for (c, d) in poly.rings().flat_map(|r| r.segments()) {
+                f(c, d);
+            }
+        },
+        |p| locate_in_polygon(p, poly),
+    )
+}
+
+/// The shared splitting engine behind both the naive path (above) and the
+/// prepared-geometry path ([`crate::prepared`]).
+///
+/// `boundary_edges` must yield, for a query segment envelope, a superset
+/// of the polygon-boundary edges whose envelope intersects it (extra
+/// edges are harmless: envelope-disjoint pairs classify as
+/// [`SegmentIntersection::None`] under the exact predicates and
+/// contribute no cut). `locate` must implement the exact semantics of
+/// [`locate_in_polygon`]. Under those contracts the output is
+/// bit-identical regardless of the edge source — which is the guarantee
+/// the prepared fast path is built on.
+pub(crate) fn split_line_core(
+    line: &LineString,
+    poly_env: &Envelope,
+    mut boundary_edges: impl FnMut(&Envelope, &mut dyn FnMut(Coord, Coord)),
+    mut locate: impl FnMut(Coord) -> Location,
+) -> Vec<LinePortion> {
     let mut portions: Vec<LinePortion> = Vec::new();
     let mut cut_params: Vec<f64> = Vec::new();
     let mut overlaps: Vec<(f64, f64)> = Vec::new();
@@ -59,28 +89,26 @@ pub fn split_line_by_polygon(line: &LineString, poly: &Polygon) -> Vec<LinePorti
         overlaps.clear();
         cut_params.push(0.0);
         cut_params.push(1.0);
-        let seg_env = crate::Envelope::from_coords([a, b].iter());
-        if seg_env.intersects(&poly.envelope()) {
-            for (c, d) in poly.rings().flat_map(|r| r.segments()) {
-                match segment_intersection(a, b, c, d) {
-                    SegmentIntersection::None => {}
-                    SegmentIntersection::Point(p) => cut_params.push(param_on_segment(a, b, p)),
-                    SegmentIntersection::Overlap(p, q) => {
-                        let (tp, tq) = (param_on_segment(a, b, p), param_on_segment(a, b, q));
-                        cut_params.push(tp);
-                        cut_params.push(tq);
-                        overlaps.push((tp.min(tq), tp.max(tq)));
-                    }
+        let seg_env = Envelope::from_coords([a, b].iter());
+        if seg_env.intersects(poly_env) {
+            boundary_edges(&seg_env, &mut |c, d| match segment_intersection(a, b, c, d) {
+                SegmentIntersection::None => {}
+                SegmentIntersection::Point(p) => cut_params.push(param_on_segment(a, b, p)),
+                SegmentIntersection::Overlap(p, q) => {
+                    let (tp, tq) = (param_on_segment(a, b, p), param_on_segment(a, b, q));
+                    cut_params.push(tp);
+                    cut_params.push(tq);
+                    overlaps.push((tp.min(tq), tp.max(tq)));
                 }
-            }
+            });
         }
         cut_params.sort_by(f64::total_cmp);
-        cut_params.dedup_by(|x, y| (*x - *y).abs() < 1e-12);
+        cut_params.dedup_by(|x, y| (*x - *y).abs() < PARAM_EPS);
 
         // Classify each sub-piece.
         for w in cut_params.windows(2) {
             let (t0, t1) = (w[0], w[1]);
-            if t1 - t0 < 1e-12 {
+            if t1 - t0 < PARAM_EPS {
                 continue;
             }
             let p0 = a.lerp(b, t0);
@@ -88,13 +116,13 @@ pub fn split_line_by_polygon(line: &LineString, poly: &Polygon) -> Vec<LinePorti
             if p0 == p1 {
                 continue;
             }
-            let tol = 1e-9;
-            let on_boundary = overlaps.iter().any(|&(lo, hi)| lo <= t0 + tol && t1 <= hi + tol);
+            let on_boundary =
+                overlaps.iter().any(|&(lo, hi)| lo <= t0 + OVERLAP_TOL && t1 <= hi + OVERLAP_TOL);
             let class = if on_boundary {
                 PortionClass::OnBoundary
             } else {
                 let mid = a.lerp(b, (t0 + t1) * 0.5);
-                match locate_in_polygon(mid, poly) {
+                match locate(mid) {
                     Location::Interior => PortionClass::Inside,
                     Location::Boundary => PortionClass::OnBoundary,
                     Location::Exterior => PortionClass::Outside,
@@ -104,22 +132,6 @@ pub fn split_line_by_polygon(line: &LineString, poly: &Polygon) -> Vec<LinePorti
         }
     }
     portions
-}
-
-/// Parametric position of `p` (known to lie on segment `a b`) in `[0, 1]`.
-fn param_on_segment(a: Coord, b: Coord, p: Coord) -> f64 {
-    let dx = (b.x - a.x).abs();
-    let dy = (b.y - a.y).abs();
-    let t = if dx >= dy {
-        if b.x == a.x {
-            0.0
-        } else {
-            (p.x - a.x) / (b.x - a.x)
-        }
-    } else {
-        (p.y - a.y) / (b.y - a.y)
-    };
-    t.clamp(0.0, 1.0)
 }
 
 /// Appends a piece, merging with the previous portion when the class

@@ -21,6 +21,7 @@ pub mod measures;
 pub mod orientation;
 pub mod segment;
 pub mod simplify;
+pub mod tolerance;
 
 pub use affine::{affine, rotate, scale, translate, AffineTransform};
 pub use buffer::buffer;
@@ -33,3 +34,4 @@ pub use measures::{area, centroid, length};
 pub use orientation::{orient2d, Orientation};
 pub use segment::{segment_intersection, SegmentIntersection};
 pub use simplify::simplify;
+pub use tolerance::{param_on_segment, OVERLAP_TOL, PARAM_EPS};

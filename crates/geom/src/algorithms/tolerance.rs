@@ -1,0 +1,79 @@
+//! The shared tolerances and parametric helpers of the exact relate
+//! pipeline.
+//!
+//! Every algorithm that books parametric positions along a segment
+//! (line splitting, interval coverage, DE-9IM curve bookkeeping) must
+//! use the *same* epsilons and the same projection, or the naive and
+//! prepared (indexed) evaluation paths drift apart and stop being
+//! bit-identical. This module is the single home for those constants:
+//! duplicating them at a call site is a bug.
+//!
+//! Note the layering: geometric *decisions* (on which side, on the
+//! segment or not) are always made with the exact predicates in
+//! [`super::orientation`] and [`super::segment`]; the tolerances here
+//! apply only to 1-D parametric arithmetic performed *after* those
+//! exact classifications.
+
+use crate::Coord;
+
+/// Tolerance for comparing parametric positions in `[0, 1]` along a
+/// segment: cut positions closer than this are treated as the same cut,
+/// and interval endpoints within this of each other are considered to
+/// meet.
+pub const PARAM_EPS: f64 = 1e-12;
+
+/// Tolerance for testing whether a parametric sub-interval lies inside a
+/// collinear-overlap interval (boundary classification of line pieces).
+/// Looser than [`PARAM_EPS`] because the interval endpoints themselves
+/// carry the rounding of projected intersection coordinates.
+pub const OVERLAP_TOL: f64 = 1e-9;
+
+/// Parametric position of `p` (known to lie on segment `a b`) in
+/// `[0, 1]`, projected on the dominant axis for stability.
+///
+/// This is the one sanctioned way to turn an exact incidence back into a
+/// 1-D parameter; both the naive and the prepared relate paths route
+/// through it.
+pub fn param_on_segment(a: Coord, b: Coord, p: Coord) -> f64 {
+    let dx = (b.x - a.x).abs();
+    let dy = (b.y - a.y).abs();
+    let t = if dx >= dy {
+        if b.x == a.x {
+            0.0
+        } else {
+            (p.x - a.x) / (b.x - a.x)
+        }
+    } else {
+        (p.y - a.y) / (b.y - a.y)
+    };
+    t.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_projects_on_dominant_axis() {
+        let a = Coord::new(0.0, 0.0);
+        let b = Coord::new(4.0, 1.0);
+        assert_eq!(param_on_segment(a, b, Coord::new(2.0, 0.5)), 0.5);
+        // Vertical segment: the y axis dominates.
+        let c = Coord::new(0.0, 4.0);
+        assert_eq!(param_on_segment(a, c, Coord::new(0.0, 1.0)), 0.25);
+    }
+
+    #[test]
+    fn param_is_clamped() {
+        let a = Coord::new(0.0, 0.0);
+        let b = Coord::new(1.0, 0.0);
+        assert_eq!(param_on_segment(a, b, Coord::new(-1.0, 0.0)), 0.0);
+        assert_eq!(param_on_segment(a, b, Coord::new(2.0, 0.0)), 1.0);
+    }
+
+    #[test]
+    fn degenerate_segment_maps_to_zero() {
+        let a = Coord::new(1.0, 1.0);
+        assert_eq!(param_on_segment(a, a, a), 0.0);
+    }
+}

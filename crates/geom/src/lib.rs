@@ -31,6 +31,7 @@ mod multi;
 mod point;
 /// Polygon and ring types.
 pub mod polygon;
+pub mod prepared;
 pub mod wkb;
 pub mod wkt;
 

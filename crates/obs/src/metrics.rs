@@ -55,13 +55,14 @@ impl Stage {
 
 /// Canonical counter names, in snapshot order: deterministic counters
 /// first, scheduling-dependent ones after.
-pub const DETERMINISTIC_COUNTERS: [&str; 9] = [
+pub const DETERMINISTIC_COUNTERS: [&str; 10] = [
     "queries",
     "index_probes",
     "index_candidates",
     "index_nodes_visited",
     "refine_candidates",
     "refine_hits",
+    "refine_short_circuits",
     "heap_rows_fetched",
     "wal_appends",
     "wal_fsyncs",
@@ -69,8 +70,13 @@ pub const DETERMINISTIC_COUNTERS: [&str; 9] = [
 
 /// Counters whose value depends on scheduling (worker count, cache
 /// state), snapshot-ordered after the deterministic set.
-pub const SCHEDULING_COUNTERS: [&str; 3] =
-    ["plan_cache_hits", "plan_cache_misses", "morsels_dispatched"];
+pub const SCHEDULING_COUNTERS: [&str; 5] = [
+    "plan_cache_hits",
+    "plan_cache_misses",
+    "prepared_cache_hits",
+    "prepared_cache_misses",
+    "morsels_dispatched",
+];
 
 /// All counters and histograms the engine maintains. One instance per
 /// `SpatialDb`, shared by reference with every subsystem that records.
@@ -88,6 +94,10 @@ pub struct EngineMetrics {
     pub refine_candidates: Counter,
     /// Rows surviving refinement.
     pub refine_hits: Counter,
+    /// Refine decisions made by a prepared-geometry short-circuit
+    /// (envelope reject / shared-point accept) without a full DE-9IM
+    /// matrix.
+    pub refine_short_circuits: Counter,
     /// Heap rows fetched during scans and candidate lookups.
     pub heap_rows_fetched: Counter,
     /// WAL records appended.
@@ -98,6 +108,10 @@ pub struct EngineMetrics {
     pub plan_cache_hits: Counter,
     /// Plan-cache misses (fresh plans).
     pub plan_cache_misses: Counter,
+    /// Prepared-geometry cache hits (inner geometry reused across pairs).
+    pub prepared_cache_hits: Counter,
+    /// Prepared-geometry cache misses (fresh preparation built).
+    pub prepared_cache_misses: Counter,
     /// Morsels claimed by parallel workers (serial execution claims none).
     pub morsels_dispatched: Counter,
     /// Nanoseconds from query start to each morsel claim.
@@ -126,11 +140,14 @@ impl EngineMetrics {
             "index_nodes_visited" => &self.index_nodes_visited,
             "refine_candidates" => &self.refine_candidates,
             "refine_hits" => &self.refine_hits,
+            "refine_short_circuits" => &self.refine_short_circuits,
             "heap_rows_fetched" => &self.heap_rows_fetched,
             "wal_appends" => &self.wal_appends,
             "wal_fsyncs" => &self.wal_fsyncs,
             "plan_cache_hits" => &self.plan_cache_hits,
             "plan_cache_misses" => &self.plan_cache_misses,
+            "prepared_cache_hits" => &self.prepared_cache_hits,
+            "prepared_cache_misses" => &self.prepared_cache_misses,
             "morsels_dispatched" => &self.morsels_dispatched,
             other => panic!("unknown counter {other:?}"),
         }

@@ -79,6 +79,18 @@ impl QueryTrace {
                 self.counter("index_candidates")
             ));
         }
+        // Prepared-geometry stats mirror the index-probe summary: cache
+        // effectiveness plus how many refine decisions short-circuited
+        // before a full DE-9IM matrix.
+        let prep_hits = self.counter("prepared_cache_hits");
+        let prep_misses = self.counter("prepared_cache_misses");
+        if prep_hits + prep_misses > 0 {
+            out.push_str(&format!(
+                "  prepared cache: {prep_hits} hits / {prep_misses} misses ({:.1}% hit rate), {} short-circuits\n",
+                100.0 * prep_hits as f64 / (prep_hits + prep_misses) as f64,
+                self.counter("refine_short_circuits")
+            ));
+        }
         for (name, v) in &self.delta.counters {
             if *v > 0 {
                 out.push_str(&format!("  counter {:<20} {v}\n", name));

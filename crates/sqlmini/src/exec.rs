@@ -17,18 +17,25 @@
 use crate::ast::BinOp;
 use crate::functions::{self, FunctionMode};
 use crate::plan::{AggExpr, AggOutput, BoundExpr, PlanNode, PlannedSelect};
+use crate::prepared::PreparedCache;
 use crate::provider::TableProvider;
 use crate::{Result, SqlError};
 use jackpine_geom::Envelope;
 use jackpine_obs::{EngineMetrics, Stage};
 use jackpine_storage::{Row, Value};
+use jackpine_topo::{PredicateKind, PredicateOutcome, PreparedGeometry};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Rows per morsel. Inputs at or below this size always run serially,
-/// so small queries pay no thread overhead.
+/// Rows per morsel claimed by one worker at a time.
 pub const MORSEL_SIZE: usize = 1024;
+
+/// Inputs at or below this row count always run serially, regardless of
+/// the worker setting: thread spawn plus result stitching costs more
+/// than the parallel win on small inputs (a few-thousand-row filter is
+/// measurably *slower* at 4 workers than at 1).
+pub const MIN_PARALLEL_ROWS: usize = 4096;
 
 /// Upper bound on speculative `Vec` capacity hints (rows). Join outputs
 /// can legitimately exceed this; it only caps the *pre-allocation*, so a
@@ -72,6 +79,9 @@ pub struct ExecOptions {
     /// Metrics registry to record stage timings, refine counters and
     /// morsel dispatch into; `None` executes uninstrumented.
     pub metrics: Option<Arc<EngineMetrics>>,
+    /// Prepared-geometry cache for the refine stage; `None` disables the
+    /// prepared fast path (the `--prepared off` ablation).
+    pub prepared: Option<Arc<PreparedCache>>,
 }
 
 /// Executes a planned `SELECT` serially (one worker).
@@ -81,8 +91,12 @@ pub fn execute(plan: &PlannedSelect) -> Result<ResultSet> {
 
 /// Executes a planned `SELECT` with explicit executor options.
 pub fn execute_with(plan: &PlannedSelect, opts: &ExecOptions) -> Result<ResultSet> {
-    let ctx =
-        ExecCtx { mode: plan.mode, workers: opts.workers.max(1), metrics: opts.metrics.clone() };
+    let ctx = ExecCtx {
+        mode: plan.mode,
+        workers: opts.workers.max(1),
+        metrics: opts.metrics.clone(),
+        prepared: opts.prepared.clone(),
+    };
     let lazy = run(&plan.root, &ctx)?;
     // Final materialization: the only place surviving rows are deep-copied.
     let t0 = ctx.metrics.as_ref().map(|_| Instant::now());
@@ -153,6 +167,26 @@ impl LazyRow {
         }
     }
 
+    /// The handle part holding flat column offset `i`, plus the offset
+    /// inside it — the physical row identity the prepared-geometry cache
+    /// keys by. `None` for owned (materialized) tuples, which have no
+    /// stable identity to cache under.
+    fn col_part(&self, i: usize) -> Option<(&Arc<Row>, usize)> {
+        match self {
+            LazyRow::Handles(parts) => {
+                let mut i = i;
+                for part in parts {
+                    if i < part.len() {
+                        return Some((part, i));
+                    }
+                    i -= part.len();
+                }
+                None
+            }
+            LazyRow::Owned(_) => None,
+        }
+    }
+
     /// Deep-copies the row into a flat tuple.
     fn materialize(&self) -> Vec<Value> {
         match self {
@@ -214,6 +248,7 @@ struct ExecCtx {
     mode: FunctionMode,
     workers: usize,
     metrics: Option<Arc<EngineMetrics>>,
+    prepared: Option<Arc<PreparedCache>>,
 }
 
 impl ExecCtx {
@@ -236,11 +271,12 @@ impl ExecCtx {
     }
 
     /// Applies `f` to morsels of `items`, concatenating outputs in morsel
-    /// order. With one worker (or one morsel's worth of input) this is a
-    /// single direct call on the current thread; otherwise morsels are
-    /// claimed by scoped worker threads off a shared counter. Morsel
-    /// boundaries depend only on `MORSEL_SIZE`, and outputs are stitched
-    /// by morsel index, so results are identical for any worker count.
+    /// order. With one worker — or at most [`MIN_PARALLEL_ROWS`] items,
+    /// where dispatch overhead beats the win — this is a single direct
+    /// call on the current thread; otherwise morsels are claimed by
+    /// scoped worker threads off a shared counter. Morsel boundaries
+    /// depend only on `MORSEL_SIZE`, and outputs are stitched by morsel
+    /// index, so results are identical for any worker count.
     fn parallel_morsels<I, O>(
         &self,
         items: &[I],
@@ -250,7 +286,7 @@ impl ExecCtx {
         I: Sync,
         O: Send,
     {
-        if self.workers <= 1 || items.len() <= MORSEL_SIZE {
+        if self.workers <= 1 || items.len() <= MIN_PARALLEL_ROWS {
             return f(items);
         }
         let morsels: Vec<&[I]> = items.chunks(MORSEL_SIZE).collect();
@@ -291,6 +327,103 @@ impl ExecCtx {
             out.extend(r?);
         }
         Ok(out)
+    }
+
+    /// Recognizes the filter shapes the prepared-geometry fast path
+    /// accelerates: a top-level `pred(x, y)` where `pred` is a named
+    /// DE-9IM predicate under exact semantics and `x`/`y` are geometry
+    /// columns or constant geometry expressions — with a cache attached.
+    /// Anything else returns `None` and evaluates generically.
+    fn prepared_filter(&self, predicate: &BoundExpr) -> Option<PreparedFilter<'_>> {
+        let cache = self.prepared.as_deref()?;
+        if self.mode != FunctionMode::Exact {
+            return None;
+        }
+        let BoundExpr::Func { name, args } = predicate else {
+            return None;
+        };
+        let kind = PredicateKind::from_sql_name(&name.to_ascii_uppercase())?;
+        let [a, b] = args.as_slice() else {
+            return None;
+        };
+        let operand = |e: &BoundExpr| -> Option<PreparedOperand> {
+            match e {
+                BoundExpr::Column(i) => Some(PreparedOperand::Column(*i)),
+                // A constant operand that fails to evaluate, or is not a
+                // geometry, is left to the generic path — which raises
+                // the error per row, or not at all over an empty input.
+                e if e.is_constant() => match eval_const(e, FunctionMode::Exact) {
+                    Ok(Value::Geom(g)) => {
+                        Some(PreparedOperand::Constant(Arc::new(PreparedGeometry::new(&g))))
+                    }
+                    _ => None,
+                },
+                _ => None,
+            }
+        };
+        Some(PreparedFilter {
+            kind,
+            a: operand(a)?,
+            b: operand(b)?,
+            cache,
+            metrics: self.metrics.as_deref(),
+        })
+    }
+}
+
+/// A refine predicate bound to the prepared fast path: constant operands
+/// prepared once up front, column operands prepared per distinct heap
+/// row through the shared cache.
+struct PreparedFilter<'a> {
+    kind: PredicateKind,
+    a: PreparedOperand,
+    b: PreparedOperand,
+    cache: &'a PreparedCache,
+    metrics: Option<&'a EngineMetrics>,
+}
+
+enum PreparedOperand {
+    /// Tuple column offset.
+    Column(usize),
+    /// Constant geometry, prepared at filter construction.
+    Constant(Arc<PreparedGeometry>),
+}
+
+impl PreparedFilter<'_> {
+    /// The prepared geometry for one operand of one row; `None` when the
+    /// value is not a geometry (NULL or type mismatch), sending the row
+    /// to the generic evaluator.
+    fn operand(&self, op: &PreparedOperand, row: &LazyRow) -> Option<Arc<PreparedGeometry>> {
+        match op {
+            PreparedOperand::Constant(p) => Some(Arc::clone(p)),
+            PreparedOperand::Column(i) => match row.col_part(*i) {
+                Some((part, off)) => match &part[off] {
+                    Value::Geom(g) => Some(self.cache.get_or_prepare(part, off, g, self.metrics)),
+                    _ => None,
+                },
+                // Owned tuple: no stable identity to cache under, so
+                // prepare fresh. Still a miss — the work was done.
+                None => match row.col(*i) {
+                    Some(Value::Geom(g)) => {
+                        if let Some(m) = self.metrics {
+                            m.prepared_cache_misses.incr();
+                        }
+                        Some(Arc::new(PreparedGeometry::new(g)))
+                    }
+                    _ => None,
+                },
+            },
+        }
+    }
+
+    /// Evaluates the predicate for one row. `Ok(None)` means an operand
+    /// was not a plain geometry — the caller falls back to the generic
+    /// evaluator, which reproduces exact naive errors and semantics.
+    fn eval_row(&self, row: &LazyRow) -> Result<Option<PredicateOutcome>> {
+        let (Some(a), Some(b)) = (self.operand(&self.a, row), self.operand(&self.b, row)) else {
+            return Ok(None);
+        };
+        Ok(Some(jackpine_topo::evaluate(self.kind, &a, &b)?))
     }
 }
 
@@ -337,17 +470,31 @@ fn run(node: &PlanNode, ctx: &ExecCtx) -> Result<Vec<LazyRow>> {
         PlanNode::Filter { input, predicate } => {
             let rows = run(input, ctx)?;
             let metrics = ctx.metrics.as_deref();
+            let fast = ctx.prepared_filter(predicate);
             ctx.parallel_morsels(&rows, |chunk| {
                 let t0 = metrics.map(|_| Instant::now());
                 let mut out = Vec::with_capacity(chunk.len());
+                let mut short_circuits = 0u64;
                 for row in chunk {
-                    if truthy(&eval_view(predicate, row, mode)?) {
+                    let keep = match fast.as_ref().map(|f| f.eval_row(row)).transpose()?.flatten() {
+                        Some(outcome) => {
+                            short_circuits += u64::from(outcome.short_circuit);
+                            outcome.value
+                        }
+                        // Not the fast-path shape, or an operand wasn't a
+                        // plain geometry value: the generic evaluator
+                        // decides, reproducing exact errors and NULL
+                        // semantics.
+                        None => truthy(&eval_view(predicate, row, mode)?),
+                    };
+                    if keep {
                         out.push(row.clone());
                     }
                 }
                 if let (Some(m), Some(t0)) = (metrics, t0) {
                     m.refine_candidates.add(chunk.len() as u64);
                     m.refine_hits.add(out.len() as u64);
+                    m.refine_short_circuits.add(short_circuits);
                     m.record_stage(Stage::Refine, t0.elapsed());
                 }
                 Ok(out)
@@ -898,7 +1045,7 @@ mod tests {
 
     #[test]
     fn morsel_dispatch_preserves_order_and_errors() {
-        let ctx = ExecCtx { mode: FunctionMode::Exact, workers: 4, metrics: None };
+        let ctx = ExecCtx { mode: FunctionMode::Exact, workers: 4, metrics: None, prepared: None };
         let items: Vec<usize> = (0..10_000).collect();
         let out = ctx.parallel_morsels(&items, |chunk| Ok(chunk.to_vec())).unwrap();
         assert_eq!(out, items);

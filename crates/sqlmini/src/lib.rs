@@ -24,6 +24,7 @@ pub mod fingerprint;
 pub mod functions;
 pub mod parser;
 pub mod plan;
+pub mod prepared;
 pub mod provider;
 pub mod token;
 
@@ -31,6 +32,7 @@ pub use error::SqlError;
 pub use exec::{execute, ResultSet};
 pub use functions::FunctionMode;
 pub use plan::{plan_select, PlanNode, PlanOptions};
+pub use prepared::PreparedCache;
 
 /// Result alias for SQL operations.
 pub type Result<T> = std::result::Result<T, SqlError>;

@@ -1,0 +1,162 @@
+//! Prepared-geometry cache for the refine stage.
+//!
+//! An index-nested-loop spatial join evaluates its predicate against the
+//! same inner-table geometry once per candidate *pair*, so the cost of
+//! building a [`PreparedGeometry`] (monotone chains, edge bins) is repaid
+//! many times over — but only if the preparation survives from one pair
+//! to the next. This cache holds preparations keyed by the physical
+//! identity of the heap row the geometry came from: the `Arc` pointer of
+//! the row handle plus the column offset inside it.
+//!
+//! Keying by pointer identity is sound because every entry *pins* its
+//! row handle: while the entry lives, the allocation cannot be freed and
+//! the address cannot be reused by a different row. A deleted row's
+//! entry is merely dead weight (its row never flows through the executor
+//! again), and an updated row is a delete-plus-reinsert that arrives
+//! under a fresh `Arc` — a guaranteed miss. The engine still clears the
+//! cache wholesale on DML and index drops to bound that dead weight.
+//!
+//! The cache is capacity-bounded with clear-when-full semantics, the
+//! same policy as the engine's fingerprint cache: benchmark loops touch
+//! a bounded working set, so eviction sophistication buys nothing.
+
+use jackpine_geom::Geometry;
+use jackpine_obs::EngineMetrics;
+use jackpine_storage::sync::RwLock;
+use jackpine_storage::Row;
+use jackpine_topo::PreparedGeometry;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Prepared geometries retained before the cache clears itself.
+pub const PREPARED_CACHE_CAPACITY: usize = 1024;
+
+/// One cached preparation, pinning the heap row whose address keys it.
+struct Entry {
+    /// Keeps the row allocation alive so the keying address cannot be
+    /// reused by a different row while this entry exists.
+    _pin: Arc<Row>,
+    prepared: Arc<PreparedGeometry>,
+}
+
+/// A concurrent, capacity-bounded cache of [`PreparedGeometry`]s keyed
+/// by heap-row identity. Shared by reference between the engine (which
+/// invalidates it on DML) and the executor (which populates it during
+/// refine).
+#[derive(Default)]
+pub struct PreparedCache {
+    map: RwLock<HashMap<(usize, usize), Entry>>,
+}
+
+impl std::fmt::Debug for PreparedCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedCache").field("len", &self.len()).finish()
+    }
+}
+
+impl PreparedCache {
+    /// An empty cache.
+    pub fn new() -> PreparedCache {
+        PreparedCache::default()
+    }
+
+    /// Drops every cached preparation (DML / index-drop invalidation).
+    pub fn clear(&self) {
+        self.map.write().clear();
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// `true` when no preparations are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+
+    /// The preparation of column `col` of the heap row behind `part`,
+    /// building and caching it on first sight. `g` must be the geometry
+    /// stored at that column. Records hit/miss counters when metrics are
+    /// attached.
+    pub(crate) fn get_or_prepare(
+        &self,
+        part: &Arc<Row>,
+        col: usize,
+        g: &Geometry,
+        metrics: Option<&EngineMetrics>,
+    ) -> Arc<PreparedGeometry> {
+        let key = (Arc::as_ptr(part) as usize, col);
+        if let Some(e) = self.map.read().get(&key) {
+            if let Some(m) = metrics {
+                m.prepared_cache_hits.incr();
+            }
+            return e.prepared.clone();
+        }
+        if let Some(m) = metrics {
+            m.prepared_cache_misses.incr();
+        }
+        // Build outside any lock: preparation is the expensive part.
+        let prepared = Arc::new(PreparedGeometry::new(g));
+        let mut map = self.map.write();
+        if map.len() >= PREPARED_CACHE_CAPACITY {
+            map.clear();
+        }
+        let entry = map
+            .entry(key)
+            .or_insert_with(|| Entry { _pin: Arc::clone(part), prepared: Arc::clone(&prepared) });
+        Arc::clone(&entry.prepared)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jackpine_geom::wkt;
+    use jackpine_storage::Value;
+
+    fn row_with_geom(text: &str) -> Arc<Row> {
+        Arc::new(vec![Value::Int(1), Value::Geom(wkt::parse(text).unwrap())])
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let cache = PreparedCache::new();
+        let m = EngineMetrics::new();
+        let row = row_with_geom("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))");
+        let Some(Value::Geom(g)) = row.get(1) else { panic!() };
+        let a = cache.get_or_prepare(&row, 1, g, Some(&m));
+        let b = cache.get_or_prepare(&row, 1, g, Some(&m));
+        assert!(Arc::ptr_eq(&a, &b), "same row must reuse the preparation");
+        assert_eq!(m.prepared_cache_hits.get(), 1);
+        assert_eq!(m.prepared_cache_misses.get(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_rows_get_distinct_entries() {
+        let cache = PreparedCache::new();
+        let r1 = row_with_geom("POINT (1 1)");
+        let r2 = row_with_geom("POINT (2 2)");
+        for r in [&r1, &r2] {
+            let Some(Value::Geom(g)) = r.get(1) else { panic!() };
+            cache.get_or_prepare(r, 1, g, None);
+        }
+        assert_eq!(cache.len(), 2);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn clears_when_full() {
+        let cache = PreparedCache::new();
+        let mut rows = Vec::new();
+        for i in 0..PREPARED_CACHE_CAPACITY + 1 {
+            let r = row_with_geom(&format!("POINT ({i} 0)"));
+            let Some(Value::Geom(g)) = r.get(1) else { panic!() };
+            cache.get_or_prepare(&r, 1, g, None);
+            rows.push(r); // keep the Arcs alive so keys stay distinct
+        }
+        assert!(cache.len() <= PREPARED_CACHE_CAPACITY, "capacity must bound the cache");
+    }
+}

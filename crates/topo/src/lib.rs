@@ -25,13 +25,16 @@
 mod error;
 mod matrix;
 pub mod predicates;
+pub mod prepared;
 mod relate;
 
 pub use error::TopoError;
 pub use matrix::IntersectionMatrix;
 pub use predicates::{
     contains, covered_by, covers, crosses, disjoint, equals, intersects, overlaps, touches, within,
+    PredicateKind,
 };
+pub use prepared::{evaluate, relate_prepared, PredicateOutcome, PreparedGeometry};
 pub use relate::{interior_point, relate};
 
 /// Result alias for topological computations.

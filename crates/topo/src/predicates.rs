@@ -2,51 +2,139 @@
 //! defined as DE-9IM pattern matches — exactly the relations Jackpine's
 //! topological micro benchmark queries.
 
+use crate::matrix::IntersectionMatrix;
 use crate::{relate, Result};
 use jackpine_geom::{Dimension, Geometry};
 
+/// The ten named predicates, as data — so callers (the SQL layer, the
+/// prepared-geometry evaluator) can route a predicate by value instead
+/// of by function pointer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PredicateKind {
+    /// [`equals`]
+    Equals,
+    /// [`disjoint`]
+    Disjoint,
+    /// [`intersects`]
+    Intersects,
+    /// [`touches`]
+    Touches,
+    /// [`crosses`]
+    Crosses,
+    /// [`within`]
+    Within,
+    /// [`contains`]
+    Contains,
+    /// [`overlaps`]
+    Overlaps,
+    /// [`covers`]
+    Covers,
+    /// [`covered_by`]
+    CoveredBy,
+}
+
+impl PredicateKind {
+    /// Map an upper-cased SQL function name (`ST_INTERSECTS`, …) to its
+    /// predicate kind. Returns `None` for non-topological functions.
+    pub fn from_sql_name(upper: &str) -> Option<PredicateKind> {
+        Some(match upper {
+            "ST_EQUALS" => PredicateKind::Equals,
+            "ST_DISJOINT" => PredicateKind::Disjoint,
+            "ST_INTERSECTS" => PredicateKind::Intersects,
+            "ST_TOUCHES" => PredicateKind::Touches,
+            "ST_CROSSES" => PredicateKind::Crosses,
+            "ST_WITHIN" => PredicateKind::Within,
+            "ST_CONTAINS" => PredicateKind::Contains,
+            "ST_OVERLAPS" => PredicateKind::Overlaps,
+            "ST_COVERS" => PredicateKind::Covers,
+            "ST_COVEREDBY" => PredicateKind::CoveredBy,
+            _ => return None,
+        })
+    }
+}
+
+/// Evaluate a named predicate against an already-computed DE-9IM matrix
+/// for operands of dimensions `da` × `db`. This is the single pattern
+/// table shared by the naive wrappers below and the prepared path, so
+/// the two can never drift.
+pub(crate) fn eval_matrix(
+    kind: PredicateKind,
+    m: &IntersectionMatrix,
+    da: Dimension,
+    db: Dimension,
+) -> Result<bool> {
+    match kind {
+        PredicateKind::Equals => m.matches("T*F**FFF*"),
+        PredicateKind::Disjoint => m.matches("FF*FF****"),
+        PredicateKind::Intersects => Ok(!m.matches("FF*FF****")?),
+        PredicateKind::Touches => {
+            Ok(m.matches("FT*******")? || m.matches("F**T*****")? || m.matches("F***T****")?)
+        }
+        PredicateKind::Crosses => {
+            if da < db {
+                m.matches("T*T******")
+            } else if da > db {
+                m.matches("T*****T**")
+            } else if da == Dimension::One && db == Dimension::One {
+                m.matches("0********")
+            } else {
+                Ok(false)
+            }
+        }
+        PredicateKind::Within => m.matches("T*F**F***"),
+        PredicateKind::Contains => eval_matrix(PredicateKind::Within, &m.transposed(), db, da),
+        PredicateKind::Overlaps => {
+            if da != db {
+                return Ok(false);
+            }
+            match da {
+                Dimension::Zero | Dimension::Two => m.matches("T*T***T**"),
+                Dimension::One => m.matches("1*T***T**"),
+                _ => Ok(false),
+            }
+        }
+        PredicateKind::Covers => Ok(m.matches("T*****FF*")?
+            || m.matches("*T****FF*")?
+            || m.matches("***T**FF*")?
+            || m.matches("****T*FF*")?),
+        PredicateKind::CoveredBy => eval_matrix(PredicateKind::Covers, &m.transposed(), db, da),
+    }
+}
+
+fn eval(kind: PredicateKind, a: &Geometry, b: &Geometry) -> Result<bool> {
+    eval_matrix(kind, &relate(a, b)?, a.dimension(), b.dimension())
+}
+
 /// `a` and `b` are topologically equal (same point set): `T*F**FFF*`.
 pub fn equals(a: &Geometry, b: &Geometry) -> Result<bool> {
-    relate(a, b)?.matches("T*F**FFF*")
+    eval(PredicateKind::Equals, a, b)
 }
 
 /// `a` and `b` share no point: `FF*FF****`.
 pub fn disjoint(a: &Geometry, b: &Geometry) -> Result<bool> {
-    relate(a, b)?.matches("FF*FF****")
+    eval(PredicateKind::Disjoint, a, b)
 }
 
 /// `a` and `b` share at least one point (negation of [`disjoint`]).
 pub fn intersects(a: &Geometry, b: &Geometry) -> Result<bool> {
-    Ok(!disjoint(a, b)?)
+    eval(PredicateKind::Intersects, a, b)
 }
 
 /// `a` touches `b`: they intersect, but only at boundaries
 /// (`FT*******`, `F**T*****` or `F***T****`).
 pub fn touches(a: &Geometry, b: &Geometry) -> Result<bool> {
-    let m = relate(a, b)?;
-    Ok(m.matches("FT*******")? || m.matches("F**T*****")? || m.matches("F***T****")?)
+    eval(PredicateKind::Touches, a, b)
 }
 
 /// `a` crosses `b`: interiors intersect in a lower dimension than the
 /// operands allow.
 pub fn crosses(a: &Geometry, b: &Geometry) -> Result<bool> {
-    let m = relate(a, b)?;
-    let da = a.dimension();
-    let db = b.dimension();
-    if da < db {
-        m.matches("T*T******")
-    } else if da > db {
-        m.matches("T*****T**")
-    } else if da == Dimension::One && db == Dimension::One {
-        m.matches("0********")
-    } else {
-        Ok(false)
-    }
+    eval(PredicateKind::Crosses, a, b)
 }
 
 /// `a` lies within `b`: `T*F**F***`.
 pub fn within(a: &Geometry, b: &Geometry) -> Result<bool> {
-    relate(a, b)?.matches("T*F**F***")
+    eval(PredicateKind::Within, a, b)
 }
 
 /// `a` contains `b` (transpose of [`within`]).
@@ -57,26 +145,12 @@ pub fn contains(a: &Geometry, b: &Geometry) -> Result<bool> {
 /// `a` overlaps `b`: same dimension, interiors intersect, and each has
 /// interior points the other lacks.
 pub fn overlaps(a: &Geometry, b: &Geometry) -> Result<bool> {
-    let m = relate(a, b)?;
-    let da = a.dimension();
-    let db = b.dimension();
-    if da != db {
-        return Ok(false);
-    }
-    match da {
-        Dimension::Zero | Dimension::Two => m.matches("T*T***T**"),
-        Dimension::One => m.matches("1*T***T**"),
-        _ => Ok(false),
-    }
+    eval(PredicateKind::Overlaps, a, b)
 }
 
 /// `a` covers `b`: every point of `b` is a point of `a`.
 pub fn covers(a: &Geometry, b: &Geometry) -> Result<bool> {
-    let m = relate(a, b)?;
-    Ok(m.matches("T*****FF*")?
-        || m.matches("*T****FF*")?
-        || m.matches("***T**FF*")?
-        || m.matches("****T*FF*")?)
+    eval(PredicateKind::Covers, a, b)
 }
 
 /// `a` is covered by `b` (transpose of [`covers`]).

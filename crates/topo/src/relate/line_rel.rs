@@ -1,19 +1,28 @@
 //! DE-9IM computation for curve operands (line/line and line/area).
+//!
+//! The kernels are written against the [`CurveIndex`] / [`AreaOps`]
+//! traits so the naive path and the prepared (indexed) path execute the
+//! same matrix logic; only candidate retrieval differs, and the indexes
+//! only ever prune envelope-disjoint pairs, which the exact segment
+//! predicates classify as non-interacting anyway.
 
-use super::shape::{locate_in_areas, split_line_by_areas, LineSet};
+use super::shape::{AreaOps, CurveIndex, LineSet, NaiveAreas, NaiveCurves};
 use crate::matrix::{IntersectionMatrix, Position};
 use jackpine_geom::algorithms::locate::Location;
 use jackpine_geom::algorithms::segment::{
     point_on_segment, segment_intersection, SegmentIntersection,
 };
-use jackpine_geom::{Coord, Dimension, LineString, Polygon};
-
-/// Tolerance for parametric interval bookkeeping (purely 1-D arithmetic on
-/// already-exact classifications).
-const T_EPS: f64 = 1e-12;
+use jackpine_geom::algorithms::tolerance::{param_on_segment, PARAM_EPS};
+use jackpine_geom::{Coord, Dimension, Envelope, LineString, Polygon};
 
 /// Matrix of two curve sets.
 pub fn lines_lines(a: &LineSet, b: &LineSet) -> IntersectionMatrix {
+    lines_lines_ix(&NaiveCurves(a), &NaiveCurves(b))
+}
+
+/// [`lines_lines`] over candidate-filtered curve sources.
+pub(crate) fn lines_lines_ix(ia: &dyn CurveIndex, ib: &dyn CurveIndex) -> IntersectionMatrix {
+    let (a, b) = (ia.line_set(), ib.line_set());
     let mut m = IntersectionMatrix::empty();
     m.set(Position::Exterior, Position::Exterior, Dimension::Two);
 
@@ -25,24 +34,22 @@ pub fn lines_lines(a: &LineSet, b: &LineSet) -> IntersectionMatrix {
     for la in &a.lines {
         for (p, q) in la.segments() {
             intervals.clear();
-            for lb in &b.lines {
-                for (r, s) in lb.segments() {
-                    match segment_intersection(p, q, r, s) {
-                        SegmentIntersection::None => {}
-                        SegmentIntersection::Point(x) => crossing_points.push(x),
-                        SegmentIntersection::Overlap(x, y) => {
-                            shared_dim1 = true;
-                            intervals.push(interval(p, q, x, y));
-                        }
+            ib.candidates(&Envelope::from_coords([p, q].iter()), &mut |r, s| {
+                match segment_intersection(p, q, r, s) {
+                    SegmentIntersection::None => {}
+                    SegmentIntersection::Point(x) => crossing_points.push(x),
+                    SegmentIntersection::Overlap(x, y) => {
+                        shared_dim1 = true;
+                        intervals.push(interval(p, q, x, y));
                     }
                 }
-            }
+            });
             if !covers_unit(&mut intervals) {
                 a_covered = false;
             }
         }
     }
-    let b_covered = curve_set_covered(&b.lines, &a.lines);
+    let b_covered = b.lines.iter().all(|l| curve_covered(l, ia));
 
     // Interior × interior.
     if shared_dim1 {
@@ -58,7 +65,7 @@ pub fn lines_lines(a: &LineSet, b: &LineSet) -> IntersectionMatrix {
 
     // Boundary rows/columns from endpoint classification.
     for &e in &a.boundary {
-        if on_curves(e, &b.lines) {
+        if on_curves(e, ib) {
             if b.boundary.contains(&e) {
                 m.set_at_least(Position::Boundary, Position::Boundary, Dimension::Zero);
             } else {
@@ -69,7 +76,7 @@ pub fn lines_lines(a: &LineSet, b: &LineSet) -> IntersectionMatrix {
         }
     }
     for &e in &b.boundary {
-        if on_curves(e, &a.lines) {
+        if on_curves(e, ia) {
             if !a.boundary.contains(&e) {
                 m.set_at_least(Position::Interior, Position::Boundary, Dimension::Zero);
             }
@@ -90,14 +97,20 @@ pub fn lines_lines(a: &LineSet, b: &LineSet) -> IntersectionMatrix {
 
 /// Matrix of a curve set against a polygon set.
 pub fn lines_areas(l: &LineSet, areas: &[Polygon]) -> IntersectionMatrix {
+    lines_areas_ix(&NaiveCurves(l), &NaiveAreas(areas))
+}
+
+/// [`lines_areas`] over candidate-filtered sources.
+pub(crate) fn lines_areas_ix(il: &dyn CurveIndex, areas: &dyn AreaOps) -> IntersectionMatrix {
     use jackpine_geom::algorithms::line_split::PortionClass;
 
+    let l = il.line_set();
     let mut m = IntersectionMatrix::empty();
     m.set(Position::Exterior, Position::Exterior, Dimension::Two);
     m.set(Position::Exterior, Position::Interior, Dimension::Two);
 
     for line in &l.lines {
-        for portion in split_line_by_areas(line, areas) {
+        for portion in areas.split(line) {
             match portion.class {
                 PortionClass::Inside => {
                     m.set_at_least(Position::Interior, Position::Interior, Dimension::One);
@@ -111,7 +124,7 @@ pub fn lines_areas(l: &LineSet, areas: &[Polygon]) -> IntersectionMatrix {
             }
             // Point events: any portion vertex on the areas' boundary.
             for &c in &portion.coords {
-                if locate_in_areas(c, areas) == Location::Boundary {
+                if areas.locate(c) == Location::Boundary {
                     if l.boundary.contains(&c) {
                         m.set_at_least(Position::Boundary, Position::Boundary, Dimension::Zero);
                     } else {
@@ -123,7 +136,7 @@ pub fn lines_areas(l: &LineSet, areas: &[Polygon]) -> IntersectionMatrix {
     }
 
     for &e in &l.boundary {
-        match locate_in_areas(e, areas) {
+        match areas.locate(e) {
             Location::Interior => {
                 m.set_at_least(Position::Boundary, Position::Interior, Dimension::Zero)
             }
@@ -137,10 +150,10 @@ pub fn lines_areas(l: &LineSet, areas: &[Polygon]) -> IntersectionMatrix {
     }
 
     // E × B: does any part of the areas' boundary escape the curve set?
-    let rings_covered = areas.iter().all(|p| {
-        p.rings().all(|r| {
+    let rings_covered = (0..areas.len()).all(|i| {
+        areas.polygon(i).rings().all(|r| {
             let ring_line = r.to_linestring();
-            curve_covered(&ring_line, &l.lines)
+            curve_covered(&ring_line, il)
         })
     });
     if !rings_covered {
@@ -149,28 +162,30 @@ pub fn lines_areas(l: &LineSet, areas: &[Polygon]) -> IntersectionMatrix {
     m
 }
 
-/// `true` when `c` lies on any segment of `lines`.
-fn on_curves(c: Coord, lines: &[LineString]) -> bool {
-    lines.iter().any(|l| l.segments().any(|(a, b)| point_on_segment(c, a, b)))
+/// `true` when `c` lies on any segment of the curve source. Only
+/// segments whose envelope contains `c` can pass [`point_on_segment`],
+/// so the candidate filter loses nothing.
+fn on_curves(c: Coord, ix: &dyn CurveIndex) -> bool {
+    let mut hit = false;
+    ix.candidates(&Envelope::from_coord(c), &mut |a, b| {
+        hit = hit || point_on_segment(c, a, b);
+    });
+    hit
 }
 
-/// `true` when every segment of every member of `subject` is covered by
-/// collinear overlaps with `cover`.
-fn curve_set_covered(subject: &[LineString], cover: &[LineString]) -> bool {
-    subject.iter().all(|l| curve_covered(l, cover))
-}
-
-fn curve_covered(l: &LineString, cover: &[LineString]) -> bool {
+/// `true` when every segment of `l` is covered by collinear overlaps
+/// with the cover source. Pruned (envelope-disjoint) pairs can never
+/// produce an `Overlap`, and the interval set is sorted before the
+/// coverage test, so candidate order is irrelevant.
+fn curve_covered(l: &LineString, cover: &dyn CurveIndex) -> bool {
     let mut intervals: Vec<(f64, f64)> = Vec::new();
     for (p, q) in l.segments() {
         intervals.clear();
-        for lc in cover {
-            for (r, s) in lc.segments() {
-                if let SegmentIntersection::Overlap(x, y) = segment_intersection(p, q, r, s) {
-                    intervals.push(interval(p, q, x, y));
-                }
+        cover.candidates(&Envelope::from_coords([p, q].iter()), &mut |r, s| {
+            if let SegmentIntersection::Overlap(x, y) = segment_intersection(p, q, r, s) {
+                intervals.push(interval(p, q, x, y));
             }
-        }
+        });
         if !covers_unit(&mut intervals) {
             return false;
         }
@@ -180,24 +195,9 @@ fn curve_covered(l: &LineString, cover: &[LineString]) -> bool {
 
 /// The parametric interval of collinear overlap `[x, y]` on segment `p q`.
 fn interval(p: Coord, q: Coord, x: Coord, y: Coord) -> (f64, f64) {
-    let tx = param(p, q, x);
-    let ty = param(p, q, y);
+    let tx = param_on_segment(p, q, x);
+    let ty = param_on_segment(p, q, y);
     (tx.min(ty), tx.max(ty))
-}
-
-fn param(a: Coord, b: Coord, p: Coord) -> f64 {
-    let dx = (b.x - a.x).abs();
-    let dy = (b.y - a.y).abs();
-    let t = if dx >= dy {
-        if b.x == a.x {
-            0.0
-        } else {
-            (p.x - a.x) / (b.x - a.x)
-        }
-    } else {
-        (p.y - a.y) / (b.y - a.y)
-    };
-    t.clamp(0.0, 1.0)
 }
 
 /// `true` when the merged intervals cover `[0, 1]`.
@@ -208,15 +208,15 @@ fn covers_unit(intervals: &mut [(f64, f64)]) -> bool {
     intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut reach: f64 = 0.0;
     for &(lo, hi) in intervals.iter() {
-        if lo > reach + T_EPS {
+        if lo > reach + PARAM_EPS {
             return false;
         }
         reach = reach.max(hi);
-        if reach >= 1.0 - T_EPS {
+        if reach >= 1.0 - PARAM_EPS {
             return true;
         }
     }
-    reach >= 1.0 - T_EPS
+    reach >= 1.0 - PARAM_EPS
 }
 
 #[cfg(test)]

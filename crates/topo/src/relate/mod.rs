@@ -1,9 +1,9 @@
 //! DE-9IM matrix computation, organized by operand dimension pair.
 
-mod line_rel;
-mod point_rel;
-mod poly_rel;
-mod shape;
+pub(crate) mod line_rel;
+pub(crate) mod point_rel;
+pub(crate) mod poly_rel;
+pub(crate) mod shape;
 
 use crate::matrix::{IntersectionMatrix, Position};
 use crate::Result;
@@ -40,23 +40,55 @@ fn relate_shapes(a: &Shape, b: &Shape) -> IntersectionMatrix {
     }
 }
 
+/// The dimension-family facts [`empty_vs_family`] needs about the
+/// non-empty operand — shared by the naive and prepared dispatchers.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum FamilyKind {
+    /// No point at all.
+    Empty,
+    /// A finite point set.
+    Points,
+    /// A curve set; `has_boundary` is false for purely closed curves.
+    Lines {
+        /// Whether the curve set's mod-2 boundary is non-empty.
+        has_boundary: bool,
+    },
+    /// A polygon set.
+    Areas,
+}
+
+impl Shape {
+    pub(crate) fn family(&self) -> FamilyKind {
+        match self {
+            Shape::Empty => FamilyKind::Empty,
+            Shape::Points(_) => FamilyKind::Points,
+            Shape::Lines(l) => FamilyKind::Lines { has_boundary: !l.boundary.is_empty() },
+            Shape::Areas(_) => FamilyKind::Areas,
+        }
+    }
+}
+
 /// Matrix for "empty geometry vs `other`": only the exterior row of the
 /// empty operand can intersect anything.
 fn empty_vs(other: &Shape) -> IntersectionMatrix {
+    empty_vs_family(other.family())
+}
+
+pub(crate) fn empty_vs_family(other: FamilyKind) -> IntersectionMatrix {
     let mut m = IntersectionMatrix::empty();
     m.set(Position::Exterior, Position::Exterior, Dimension::Two);
     match other {
-        Shape::Empty => {}
-        Shape::Points(_) => {
+        FamilyKind::Empty => {}
+        FamilyKind::Points => {
             m.set(Position::Exterior, Position::Interior, Dimension::Zero);
         }
-        Shape::Lines(l) => {
+        FamilyKind::Lines { has_boundary } => {
             m.set(Position::Exterior, Position::Interior, Dimension::One);
-            if !l.boundary.is_empty() {
+            if has_boundary {
                 m.set(Position::Exterior, Position::Boundary, Dimension::Zero);
             }
         }
-        Shape::Areas(_) => {
+        FamilyKind::Areas => {
             m.set(Position::Exterior, Position::Interior, Dimension::Two);
             m.set(Position::Exterior, Position::Boundary, Dimension::One);
         }

@@ -1,6 +1,6 @@
 //! DE-9IM computation where the first operand is a point set.
 
-use super::shape::{coord_on_lines, locate_in_areas, LineSet};
+use super::shape::{coord_on_lines, LineSet};
 use crate::matrix::{IntersectionMatrix, Position};
 use jackpine_geom::algorithms::locate::Location;
 use jackpine_geom::algorithms::segment::point_in_segment_interior;
@@ -64,13 +64,21 @@ fn on_lines_interior(p: Coord, ls: &LineSet) -> bool {
 
 /// Matrix of a point set against a polygon set.
 pub fn points_areas(pts: &[Coord], areas: &[Polygon]) -> IntersectionMatrix {
+    points_areas_ix(pts, &super::shape::NaiveAreas(areas))
+}
+
+/// [`points_areas`] over a candidate-filtered areal source.
+pub(crate) fn points_areas_ix(
+    pts: &[Coord],
+    areas: &dyn super::shape::AreaOps,
+) -> IntersectionMatrix {
     let mut m = IntersectionMatrix::empty();
     m.set(Position::Exterior, Position::Exterior, Dimension::Two);
     m.set(Position::Exterior, Position::Interior, Dimension::Two);
     m.set(Position::Exterior, Position::Boundary, Dimension::One);
 
     for &p in pts {
-        let cell = match locate_in_areas(p, areas) {
+        let cell = match areas.locate(p) {
             Location::Interior => Position::Interior,
             Location::Boundary => Position::Boundary,
             Location::Exterior => Position::Exterior,

@@ -6,7 +6,7 @@
 //! boundary observations plus interior-point probes, per the containment
 //! arguments documented inline.
 
-use super::shape::{interior_point, locate_in_areas, split_line_by_areas};
+use super::shape::{AreaOps, NaiveAreas};
 use crate::matrix::{IntersectionMatrix, Position};
 use jackpine_geom::algorithms::line_split::PortionClass;
 use jackpine_geom::algorithms::locate::Location;
@@ -25,12 +25,12 @@ struct BoundaryObs {
     outside: bool,
 }
 
-fn observe(subject: &[Polygon], other: &[Polygon]) -> BoundaryObs {
+fn observe(subject: &dyn AreaOps, other: &dyn AreaOps) -> BoundaryObs {
     let mut obs = BoundaryObs::default();
-    for poly in subject {
-        for ring in poly.rings() {
+    for pi in 0..subject.len() {
+        for ring in subject.polygon(pi).rings() {
             let line = ring.to_linestring();
-            for portion in split_line_by_areas(&line, other) {
+            for portion in other.split(&line) {
                 match portion.class {
                     PortionClass::Inside => obs.inside = true,
                     PortionClass::OnBoundary => obs.on_boundary_dim1 = true,
@@ -38,7 +38,7 @@ fn observe(subject: &[Polygon], other: &[Polygon]) -> BoundaryObs {
                 }
                 if !obs.on_boundary_dim0 {
                     for &c in &portion.coords {
-                        if locate_in_areas(c, other) == Location::Boundary {
+                        if other.locate(c) == Location::Boundary {
                             obs.on_boundary_dim0 = true;
                             break;
                         }
@@ -52,6 +52,11 @@ fn observe(subject: &[Polygon], other: &[Polygon]) -> BoundaryObs {
 
 /// Matrix of two polygon sets (each with pairwise disjoint interiors).
 pub fn areas_areas(a: &[Polygon], b: &[Polygon]) -> IntersectionMatrix {
+    areas_areas_ix(&NaiveAreas(a), &NaiveAreas(b))
+}
+
+/// [`areas_areas`] over candidate-filtered sources.
+pub(crate) fn areas_areas_ix(a: &dyn AreaOps, b: &dyn AreaOps) -> IntersectionMatrix {
     let mut m = IntersectionMatrix::empty();
     m.set(Position::Exterior, Position::Exterior, Dimension::Two);
 
@@ -78,8 +83,8 @@ pub fn areas_areas(a: &[Polygon], b: &[Polygon]) -> IntersectionMatrix {
     }
 
     // Interior-point probes (each located against the whole other set).
-    let a_probe_in_b = a.iter().map(|p| locate_in_areas(interior_point(p), b)).collect::<Vec<_>>();
-    let b_probe_in_a = b.iter().map(|p| locate_in_areas(interior_point(p), a)).collect::<Vec<_>>();
+    let a_probe_in_b = (0..a.len()).map(|i| b.locate(a.probe(i))).collect::<Vec<_>>();
+    let b_probe_in_a = (0..b.len()).map(|i| a.locate(b.probe(i))).collect::<Vec<_>>();
 
     // Interior × interior: the interiors meet iff a boundary of one runs
     // through the interior of the other (an open set: any boundary point
@@ -121,7 +126,7 @@ mod tests {
     fn observations_for_overlap() {
         let a = [sq(0.0, 0.0, 2.0)];
         let b = [sq(1.0, 1.0, 2.0)];
-        let obs = observe(&a, &b);
+        let obs = observe(&NaiveAreas(&a), &NaiveAreas(&b));
         assert!(obs.inside);
         assert!(obs.outside);
         assert!(obs.on_boundary_dim0); // crossing points at (2,1) and (1,2)

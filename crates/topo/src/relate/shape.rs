@@ -2,9 +2,10 @@
 //! relate algorithms operate on, plus shared point-set helpers.
 
 use crate::{Result, TopoError};
+use jackpine_geom::algorithms::line_split::LinePortion;
 use jackpine_geom::algorithms::locate::{locate_in_polygon, Location};
 use jackpine_geom::algorithms::segment::point_on_segment;
-use jackpine_geom::{Coord, Geometry, LineString, Polygon};
+use jackpine_geom::{Coord, Envelope, Geometry, LineString, Polygon};
 
 /// A set of linestrings together with its combinatorial (mod-2) boundary.
 #[derive(Debug)]
@@ -101,6 +102,77 @@ pub fn coord_on_lines(c: Coord, lines: &[LineString]) -> bool {
     lines.iter().any(|l| l.segments().any(|(a, b)| point_on_segment(c, a, b)))
 }
 
+/// Candidate-filtered access to a curve set's segments.
+///
+/// The relate kernels are written against this trait so the naive path
+/// (every segment is always a candidate) and the prepared path (chain
+/// indexes) run the *same* matrix logic. An implementation must yield a
+/// **superset** of the segments whose envelope intersects `qenv`; extra
+/// segments are harmless because the exact per-pair predicates classify
+/// envelope-disjoint pairs as non-interacting.
+pub(crate) trait CurveIndex {
+    /// The underlying curve set.
+    fn line_set(&self) -> &LineSet;
+    /// Calls `f` with every candidate segment for the query window.
+    fn candidates(&self, qenv: &Envelope, f: &mut dyn FnMut(Coord, Coord));
+}
+
+/// The unindexed curve source: every segment is always a candidate.
+pub(crate) struct NaiveCurves<'a>(pub &'a LineSet);
+
+impl CurveIndex for NaiveCurves<'_> {
+    fn line_set(&self) -> &LineSet {
+        self.0
+    }
+    fn candidates(&self, _qenv: &Envelope, f: &mut dyn FnMut(Coord, Coord)) {
+        for l in &self.0.lines {
+            for (a, b) in l.segments() {
+                f(a, b);
+            }
+        }
+    }
+}
+
+/// Candidate-filtered access to a polygon set (pairwise disjoint
+/// interiors), mirroring [`CurveIndex`] for the areal kernels. `split`
+/// and `locate` must be bit-identical to [`split_line_by_areas`] and
+/// [`locate_in_areas`]; `probe` must be bit-identical to
+/// [`interior_point`] of the `i`-th member (caching is fine — the
+/// function is deterministic).
+pub(crate) trait AreaOps {
+    /// Number of member polygons.
+    fn len(&self) -> usize;
+    /// The `i`-th member polygon.
+    fn polygon(&self, i: usize) -> &Polygon;
+    /// Splits `line` by the whole set's boundary.
+    fn split(&self, line: &LineString) -> Vec<LinePortion>;
+    /// Locates `c` against the whole set.
+    fn locate(&self, c: Coord) -> Location;
+    /// An interior point of the `i`-th member.
+    fn probe(&self, i: usize) -> Coord;
+}
+
+/// The unindexed polygon source.
+pub(crate) struct NaiveAreas<'a>(pub &'a [Polygon]);
+
+impl AreaOps for NaiveAreas<'_> {
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn polygon(&self, i: usize) -> &Polygon {
+        &self.0[i]
+    }
+    fn split(&self, line: &LineString) -> Vec<LinePortion> {
+        split_line_by_areas(line, self.0)
+    }
+    fn locate(&self, c: Coord) -> Location {
+        locate_in_areas(c, self.0)
+    }
+    fn probe(&self, i: usize) -> Coord {
+        interior_point(&self.0[i])
+    }
+}
+
 /// Locates `c` relative to a polygon set with pairwise disjoint interiors:
 /// interior of any member wins, then boundary of any member.
 pub fn locate_in_areas(c: Coord, areas: &[Polygon]) -> Location {
@@ -165,14 +237,29 @@ pub fn split_line_by_areas(
     line: &LineString,
     areas: &[Polygon],
 ) -> Vec<jackpine_geom::algorithms::line_split::LinePortion> {
-    use jackpine_geom::algorithms::line_split::{split_line_by_polygon, LinePortion, PortionClass};
+    use jackpine_geom::algorithms::line_split::split_line_by_polygon;
+    split_line_by_areas_with(line, areas.len(), &mut |i, piece| {
+        split_line_by_polygon(piece, &areas[i])
+    })
+}
+
+/// The member-by-member splitting loop behind [`split_line_by_areas`],
+/// parameterized over the per-polygon splitter so the prepared path can
+/// substitute its indexed one. `split_one(i, piece)` must behave like
+/// `split_line_by_polygon(piece, &areas[i])`.
+pub(crate) fn split_line_by_areas_with(
+    line: &LineString,
+    n_polys: usize,
+    split_one: &mut dyn FnMut(usize, &LineString) -> Vec<LinePortion>,
+) -> Vec<LinePortion> {
+    use jackpine_geom::algorithms::line_split::PortionClass;
 
     let mut resolved: Vec<LinePortion> = Vec::new();
     let mut pending: Vec<LineString> = vec![line.clone()];
-    for poly in areas {
+    for i in 0..n_polys {
         let mut still_outside: Vec<LineString> = Vec::new();
         for piece in pending {
-            for portion in split_line_by_polygon(&piece, poly) {
+            for portion in split_one(i, &piece) {
                 match portion.class {
                     PortionClass::Inside | PortionClass::OnBoundary => resolved.push(portion),
                     PortionClass::Outside => {

@@ -27,6 +27,9 @@ echo "== flight recorder gate (ring concurrency + fingerprint properties)"
 cargo test -q -p jackpine --test flight_recorder --offline
 cargo test -q -p jackpine --test proptest_fingerprint --offline
 
+echo "== prepared-geometry gate (prepared == naive DE-9IM equivalence corpus)"
+cargo test -q -p jackpine --test prepared_equivalence --offline
+
 echo "== repro --trace smoke (every micro query emits a trace)"
 cargo run --release --offline -p jackpine-bench --bin repro -- \
   --scale 0.01 --reps 1 --trace --metrics-json /tmp/jackpine_metrics.json \
@@ -61,5 +64,8 @@ grep -q ' 0 regressions' /tmp/jackpine_bench_diff.txt \
 cargo run --release --offline -p jackpine-bench --bin bench-diff -- \
   BENCH_1.json BENCH_4.json > /dev/null \
   || { echo "bench-diff BENCH_1 vs BENCH_4 failed"; exit 1; }
+cargo run --release --offline -p jackpine-bench --bin bench-diff -- \
+  BENCH_4.json BENCH_5.json > /dev/null \
+  || { echo "bench-diff BENCH_4 vs BENCH_5 failed"; exit 1; }
 
 echo "tier-1 green"

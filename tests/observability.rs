@@ -51,12 +51,22 @@ fn counter_names_are_golden() {
             "index_nodes_visited",
             "refine_candidates",
             "refine_hits",
+            "refine_short_circuits",
             "heap_rows_fetched",
             "wal_appends",
             "wal_fsyncs",
         ]
     );
-    assert_eq!(SCHEDULING_COUNTERS, ["plan_cache_hits", "plan_cache_misses", "morsels_dispatched"]);
+    assert_eq!(
+        SCHEDULING_COUNTERS,
+        [
+            "plan_cache_hits",
+            "plan_cache_misses",
+            "prepared_cache_hits",
+            "prepared_cache_misses",
+            "morsels_dispatched",
+        ]
+    );
     assert_eq!(
         Stage::ALL.map(Stage::name),
         ["parse", "plan", "index_probe", "refine", "materialize"]
