@@ -2,10 +2,11 @@
 //! evaluation (see the experiment index in DESIGN.md).
 //!
 //! ```text
-//! repro [--scale S] [--reps R] [--sessions N] [--workers W] [--csv DIR]
-//!       [--persist DIR] [--wal on|off] [--trace] [--metrics-json FILE]
-//!       [--trace-export FILE] [--top-queries K] [--bench-out FILE]
-//!       [--recorder on|off] [--prepared on|off] <experiment>...
+//! repro [--scale S] [--reps R] [--quick] [--sessions N] [--workers W]
+//!       [--csv DIR] [--persist DIR] [--wal on|off] [--trace]
+//!       [--metrics-json FILE] [--trace-export FILE] [--top-queries K]
+//!       [--bench-out FILE] [--recorder on|off] [--prepared on|off]
+//!       [--vectorized on|off] [--batch-size N] <experiment>...
 //! experiments: t1 t2 t3 f1..f8 all bench-json
 //! ```
 //!
@@ -42,6 +43,13 @@
 //! (monotone-chain indexes + per-table preparation cache) — the
 //! ablation switch for the indexed DE-9IM kernels. `bench-json` always
 //! measures both settings on its refine-heavy polygon-polygon entries.
+//! `--vectorized off` disables the vectorized batch executor (columnar
+//! MBR prefilter + selection-vector refine) and `--batch-size N` sets
+//! its rows-per-batch (0 = executor default); `bench-json` always
+//! measures the row path vs. the batch path plus a batch-size sweep on
+//! its refine-heaviest micro. `--reps` defaults to 10 timed repetitions
+//! after one warmup; `--quick` drops to a single repetition for smoke
+//! runs (CI tier 1), where confidence intervals are not needed.
 //! `--bench-out FILE` redirects the `bench-json` output file (default
 //! `BENCH_1.json`).
 
@@ -73,13 +81,15 @@ struct Options {
     bench_out: String,
     recorder: bool,
     prepared: bool,
+    vectorized: bool,
+    batch_size: usize,
     experiments: Vec<String>,
 }
 
 fn parse_args() -> Options {
     let mut opts = Options {
         scale: DEFAULT_SCALE,
-        reps: 3,
+        reps: 10,
         sessions: 5,
         workers: 0,
         csv_dir: None,
@@ -92,6 +102,8 @@ fn parse_args() -> Options {
         bench_out: "BENCH_1.json".to_string(),
         recorder: true,
         prepared: true,
+        vectorized: true,
+        batch_size: 0,
         experiments: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -99,6 +111,7 @@ fn parse_args() -> Options {
         match a.as_str() {
             "--scale" => opts.scale = expect_num(args.next(), "--scale"),
             "--reps" => opts.reps = expect_num(args.next(), "--reps") as usize,
+            "--quick" => opts.reps = 1,
             "--sessions" => opts.sessions = expect_num(args.next(), "--sessions") as usize,
             "--workers" => opts.workers = expect_num(args.next(), "--workers") as usize,
             "--csv" => opts.csv_dir = Some(args.next().unwrap_or_else(|| usage())),
@@ -131,6 +144,14 @@ fn parse_args() -> Options {
                     _ => usage(),
                 }
             }
+            "--vectorized" => {
+                opts.vectorized = match args.next().as_deref() {
+                    Some("on") => true,
+                    Some("off") => false,
+                    _ => usage(),
+                }
+            }
+            "--batch-size" => opts.batch_size = expect_num(args.next(), "--batch-size") as usize,
             "--help" | "-h" => {
                 usage();
             }
@@ -160,10 +181,11 @@ fn expect_num(v: Option<String>, flag: &str) -> f64 {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--scale S] [--reps R] [--sessions N] [--workers W] [--csv DIR] \
+        "usage: repro [--scale S] [--reps R] [--quick] [--sessions N] [--workers W] [--csv DIR] \
          [--persist DIR] [--wal on|off] [--trace] [--metrics-json FILE] \
          [--trace-export FILE] [--top-queries K] [--bench-out FILE] [--recorder on|off] \
-         [--prepared on|off] <t1|t2|t3|f1..f8|all|bench-json>..."
+         [--prepared on|off] [--vectorized on|off] [--batch-size N] \
+         <t1|t2|t3|f1..f8|all|bench-json>..."
     );
     std::process::exit(2)
 }
@@ -184,6 +206,8 @@ fn main() {
         e.set_workers(opts.workers);
         e.set_flight_recorder(opts.recorder);
         e.set_prepared(opts.prepared);
+        e.set_vectorized(opts.vectorized);
+        e.set_batch_size(opts.batch_size);
     }
     let workers = engines.first().map(|e| e.workers()).unwrap_or(1);
     println!("intra-query workers = {workers}\n");
@@ -266,8 +290,16 @@ fn main() {
     };
     let trace_note = if opts.trace { " trace=on" } else { "" };
     let prepared_note = if opts.prepared { "" } else { " prepared=off" };
+    let vectorized_note = if opts.vectorized { "" } else { " vectorized=off" };
+    let batch_note = match opts.batch_size {
+        0 => String::new(),
+        n => format!(" batch_size={n}"),
+    };
     for t in &mut tables {
-        t.context = format!("workers={workers} {persist_note}{trace_note}{prepared_note}");
+        t.context = format!(
+            "workers={workers} {persist_note}{trace_note}{prepared_note}{vectorized_note}\
+             {batch_note}"
+        );
     }
 
     if opts.experiments.iter().any(|x| x == "bench-json") {
@@ -610,8 +642,9 @@ fn f7_drilldown(data: &TigerDataset, engines: &[Arc<SpatialDb>], sessions: usize
 /// macro scenarios (M4 flood risk, M6 toxic spill) at `workers=1` vs. the
 /// configured worker count, asserting identical results, plus two
 /// refine-heavy polygon-polygon joins (PP1/PP2) with the prepared
-/// fast path off vs. on, and writes a schema-v2 bench file (default
-/// `BENCH_1.json`, see `--bench-out`).
+/// fast path off vs. on, a vectorized-executor ablation (row path vs.
+/// batch path plus a batch-size sweep on T10), and writes a schema-v2
+/// bench file (default `BENCH_1.json`, see `--bench-out`).
 /// The `value` fields keep the github-action-benchmark
 /// `customSmallerIsBetter` meaning; timed entries additionally carry
 /// per-sample statistics so `bench-diff` can apply confidence intervals.
@@ -623,6 +656,8 @@ fn bench_json(data: &TigerDataset, opts: &Options) {
     db.set_workers(opts.workers);
     db.set_flight_recorder(opts.recorder);
     db.set_prepared(opts.prepared);
+    db.set_vectorized(opts.vectorized);
+    db.set_batch_size(opts.batch_size);
     let workers = db.workers();
     let driver = Driver { repetitions: opts.reps, warmup: 1, cache_mode: CacheMode::Warm };
     let mut entries: Vec<BenchEntry> = Vec::new();
@@ -633,40 +668,45 @@ fn bench_json(data: &TigerDataset, opts: &Options) {
         db.set_workers(1);
         let serial_rows = db.execute(&q.sql).expect("serial run");
         let serial = driver.run_query(&db, q.id, &q.sql).expect("serial timing");
-        db.set_workers(workers);
-        let parallel_rows = db.execute(&q.sql).expect("parallel run");
-        let parallel = driver.run_query(&db, q.id, &q.sql).expect("parallel timing");
-        assert_eq!(
-            serial_rows, parallel_rows,
-            "{}: workers=1 and workers={workers} disagree",
-            q.id
-        );
-        let ratio = parallel.stats.mean_ms / serial.stats.mean_ms;
-        println!(
-            "micro {}: workers=1 {} ms, workers={workers} {} ms ({:.2}x speedup)",
-            q.id,
-            fmt_ms(serial.stats.mean_ms),
-            fmt_ms(parallel.stats.mean_ms),
-            1.0 / ratio
-        );
+        println!("micro {}: workers=1 {} ms", q.id, fmt_ms(serial.stats.mean_ms));
         entries.push(BenchEntry {
             name: format!("micro/{} workers=1", q.id),
             value: serial.stats.mean_ms,
             unit: "ms".into(),
             stats: Some(serial.stats),
         });
-        entries.push(BenchEntry {
-            name: format!("micro/{} workers={workers}", q.id),
-            value: parallel.stats.mean_ms,
-            unit: "ms".into(),
-            stats: Some(parallel.stats),
-        });
-        entries.push(BenchEntry {
-            name: format!("micro/{} parallel_over_serial", q.id),
-            value: ratio,
-            unit: "ratio".into(),
-            stats: None,
-        });
+        // On a single-core host the "parallel" configuration is the
+        // serial one; emitting it would duplicate the entry name and
+        // break bench-diff's pairing-by-name.
+        if workers > 1 {
+            db.set_workers(workers);
+            let parallel_rows = db.execute(&q.sql).expect("parallel run");
+            let parallel = driver.run_query(&db, q.id, &q.sql).expect("parallel timing");
+            assert_eq!(
+                serial_rows, parallel_rows,
+                "{}: workers=1 and workers={workers} disagree",
+                q.id
+            );
+            let ratio = parallel.stats.mean_ms / serial.stats.mean_ms;
+            println!(
+                "micro {}: workers={workers} {} ms ({:.2}x speedup)",
+                q.id,
+                fmt_ms(parallel.stats.mean_ms),
+                1.0 / ratio
+            );
+            entries.push(BenchEntry {
+                name: format!("micro/{} workers={workers}", q.id),
+                value: parallel.stats.mean_ms,
+                unit: "ms".into(),
+                stats: Some(parallel.stats),
+            });
+            entries.push(BenchEntry {
+                name: format!("micro/{} parallel_over_serial", q.id),
+                value: ratio,
+                unit: "ratio".into(),
+                stats: None,
+            });
+        }
     }
 
     // Refine-heavy polygon-polygon joins, measured with the prepared
@@ -718,6 +758,60 @@ fn bench_json(data: &TigerDataset, opts: &Options) {
             stats: None,
         });
     }
+    // Vectorized-executor ablation on the refine-heaviest micro: the
+    // row-at-a-time filter vs. batch execution, then a batch-size sweep.
+    // Serial with the prepared cache on, so the comparison isolates the
+    // columnar MBR prefilter and the batch-amortized prepared probes
+    // from scheduling effects.
+    let t10 = suite.iter().find(|q| q.id == "T10").expect("T10 exists");
+    db.set_prepared(true);
+    db.set_vectorized(false);
+    let row_rows = db.execute(&t10.sql).expect("row-path run");
+    let row = driver.run_query(&db, "T10", &t10.sql).expect("row-path timing");
+    db.set_vectorized(true);
+    let vectorized_rows = db.execute(&t10.sql).expect("vectorized run");
+    let vectorized = driver.run_query(&db, "T10", &t10.sql).expect("vectorized timing");
+    assert_eq!(row_rows, vectorized_rows, "T10: vectorized on/off disagree");
+    let ratio = vectorized.stats.mean_ms / row.stats.mean_ms;
+    println!(
+        "micro T10: vectorized=off {} ms, vectorized=on {} ms ({:.2}x speedup)",
+        fmt_ms(row.stats.mean_ms),
+        fmt_ms(vectorized.stats.mean_ms),
+        1.0 / ratio
+    );
+    entries.push(BenchEntry {
+        name: "micro/T10 vectorized=off".into(),
+        value: row.stats.mean_ms,
+        unit: "ms".into(),
+        stats: Some(row.stats),
+    });
+    entries.push(BenchEntry {
+        name: "micro/T10 vectorized=on".into(),
+        value: vectorized.stats.mean_ms,
+        unit: "ms".into(),
+        stats: Some(vectorized.stats),
+    });
+    entries.push(BenchEntry {
+        name: "micro/T10 vectorized_over_row".into(),
+        value: ratio,
+        unit: "ratio".into(),
+        stats: None,
+    });
+    for bs in [128usize, 1024, 4096] {
+        db.set_batch_size(bs);
+        let rows = db.execute(&t10.sql).expect("batch-size run");
+        assert_eq!(rows, row_rows, "T10: batch_size={bs} disagrees");
+        let m = driver.run_query(&db, "T10", &t10.sql).expect("batch-size timing");
+        println!("micro T10: batch_size={bs} {} ms", fmt_ms(m.stats.mean_ms));
+        entries.push(BenchEntry {
+            name: format!("micro/T10 batch_size={bs}"),
+            value: m.stats.mean_ms,
+            unit: "ms".into(),
+            stats: Some(m.stats),
+        });
+    }
+    db.set_batch_size(opts.batch_size);
+    db.set_vectorized(opts.vectorized);
     db.set_prepared(opts.prepared);
     db.set_workers(workers);
 
@@ -726,36 +820,38 @@ fn bench_json(data: &TigerDataset, opts: &Options) {
     for s in scenarios.iter().filter(|s| s.id == "M4" || s.id == "M6") {
         db.set_workers(1);
         let serial = run_scenario(&db, s).expect("serial scenario");
-        db.set_workers(workers);
-        let parallel = run_scenario(&db, s).expect("parallel scenario");
         let serial_ms = 1e3 / serial.throughput_qps();
-        let parallel_ms = 1e3 / parallel.throughput_qps();
-        let ratio = parallel_ms / serial_ms;
-        println!(
-            "macro {}: workers=1 {} ms/query, workers={workers} {} ms/query ({:.2}x speedup)",
-            s.id,
-            fmt_ms(serial_ms),
-            fmt_ms(parallel_ms),
-            1.0 / ratio
-        );
+        println!("macro {}: workers=1 {} ms/query", s.id, fmt_ms(serial_ms));
         entries.push(BenchEntry {
             name: format!("macro/{} workers=1", s.id),
             value: serial_ms,
             unit: "ms/query".into(),
             stats: None,
         });
-        entries.push(BenchEntry {
-            name: format!("macro/{} workers={workers}", s.id),
-            value: parallel_ms,
-            unit: "ms/query".into(),
-            stats: None,
-        });
-        entries.push(BenchEntry {
-            name: format!("macro/{} parallel_over_serial", s.id),
-            value: ratio,
-            unit: "ratio".into(),
-            stats: None,
-        });
+        if workers > 1 {
+            db.set_workers(workers);
+            let parallel = run_scenario(&db, s).expect("parallel scenario");
+            let parallel_ms = 1e3 / parallel.throughput_qps();
+            let ratio = parallel_ms / serial_ms;
+            println!(
+                "macro {}: workers={workers} {} ms/query ({:.2}x speedup)",
+                s.id,
+                fmt_ms(parallel_ms),
+                1.0 / ratio
+            );
+            entries.push(BenchEntry {
+                name: format!("macro/{} workers={workers}", s.id),
+                value: parallel_ms,
+                unit: "ms/query".into(),
+                stats: None,
+            });
+            entries.push(BenchEntry {
+                name: format!("macro/{} parallel_over_serial", s.id),
+                value: ratio,
+                unit: "ratio".into(),
+                stats: None,
+            });
+        }
     }
 
     let run = BenchRun { schema_version: BENCH_SCHEMA_VERSION, entries };

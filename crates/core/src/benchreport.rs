@@ -91,10 +91,8 @@ pub fn parse_bench_json(text: &str) -> Result<BenchRun, String> {
     match json {
         Json::Arr(items) => {
             // v1: bare array, no version marker.
-            let entries = items
-                .iter()
-                .map(|it| parse_entry(it))
-                .collect::<Result<Vec<BenchEntry>, String>>()?;
+            let entries =
+                items.iter().map(parse_entry).collect::<Result<Vec<BenchEntry>, String>>()?;
             Ok(BenchRun { schema_version: 1, entries })
         }
         Json::Obj(_) => {

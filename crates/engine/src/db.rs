@@ -205,6 +205,13 @@ pub struct SpatialDb {
     /// Master switch for the prepared-geometry fast path (the
     /// `--prepared off` ablation). On by default.
     prepared_enabled: RwLock<bool>,
+    /// Master switch for the vectorized batch executor (columnar MBR
+    /// prefilter + selection-vector refine). On by default; off restores
+    /// the row-at-a-time filter path for ablations and equivalence runs.
+    vectorized_enabled: std::sync::atomic::AtomicBool,
+    /// Rows per batch on the vectorized path; `0` means the executor
+    /// default ([`jackpine_sqlmini::batch::DEFAULT_BATCH_SIZE`]).
+    batch_size: std::sync::atomic::AtomicUsize,
 }
 
 /// Traces retained by the default flight recorder.
@@ -242,6 +249,8 @@ impl SpatialDb {
             fingerprint_cache: RwLock::new(HashMap::new()),
             prepared_cache: Arc::new(PreparedCache::new()),
             prepared_enabled: RwLock::new(true),
+            vectorized_enabled: std::sync::atomic::AtomicBool::new(true),
+            batch_size: std::sync::atomic::AtomicUsize::new(0),
         }
     }
 
@@ -382,7 +391,39 @@ impl SpatialDb {
     fn exec_options(&self) -> exec::ExecOptions {
         let prepared =
             if *self.prepared_enabled.read() { Some(self.prepared_cache.clone()) } else { None };
-        exec::ExecOptions { workers: self.workers(), metrics: Some(self.metrics.clone()), prepared }
+        exec::ExecOptions {
+            workers: self.workers(),
+            metrics: Some(self.metrics.clone()),
+            prepared,
+            vectorized: self.vectorized_enabled(),
+            batch_size: self.batch_size(),
+        }
+    }
+
+    /// Enables or disables the vectorized batch executor (ablation
+    /// switch). Results are bit-identical either way — only the filter
+    /// execution strategy changes.
+    pub fn set_vectorized(&self, on: bool) {
+        self.vectorized_enabled.store(on, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Whether the vectorized batch executor is on.
+    pub fn vectorized_enabled(&self) -> bool {
+        self.vectorized_enabled.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Sets the vectorized path's rows-per-batch. `0` restores the
+    /// executor default. Results are bit-identical at any setting.
+    pub fn set_batch_size(&self, rows: usize) {
+        self.batch_size.store(rows, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// The current rows-per-batch setting.
+    pub fn batch_size(&self) -> usize {
+        match self.batch_size.load(std::sync::atomic::Ordering::Relaxed) {
+            0 => jackpine_sqlmini::batch::DEFAULT_BATCH_SIZE,
+            n => n,
+        }
     }
 
     /// Enables or disables the prepared-geometry fast path (ablation
@@ -1194,6 +1235,15 @@ impl TableProvider for DbTableAdapter {
         m.index_nodes_visited.add(stats.nodes_visited);
         Some(ids)
     }
+
+    fn fetch_mbrs(&self, col: usize, ids: &[RowId]) -> Option<Vec<Option<[f64; 4]>>> {
+        // Served from the heap's per-(row, column) quad cache. Not
+        // counted as heap row fetches: the rows themselves were already
+        // fetched (and counted) by the scan feeding the filter. Any
+        // storage error falls back to the executor's row-walk gather,
+        // which surfaces errors through the normal fetch path.
+        self.table.heap.mbrs(col, ids).ok()
+    }
 }
 
 #[cfg(test)]
@@ -1773,6 +1823,73 @@ mod prepared_cache_tests {
             let off = db.execute(&sql).unwrap();
             assert_eq!(on, off, "{pred}: prepared on/off must agree");
         }
+    }
+}
+
+#[cfg(test)]
+mod vectorized_tests {
+    use super::*;
+
+    fn db_with_polys() -> Arc<SpatialDb> {
+        let db = Arc::new(SpatialDb::new(EngineProfile::ExactRtree));
+        db.execute("CREATE TABLE lots (id BIGINT, geom GEOMETRY)").unwrap();
+        for i in 0..12 {
+            let x0 = i as f64;
+            let x1 = x0 + 1.5;
+            db.execute(&format!(
+                "INSERT INTO lots VALUES ({i}, ST_GeomFromText('POLYGON (({x0} 0, {x1} 0, \
+                 {x1} 1, {x0} 1, {x0} 0))'))"
+            ))
+            .unwrap();
+        }
+        db.create_spatial_index("lots", "geom").unwrap();
+        db.set_workers(1);
+        db
+    }
+
+    #[test]
+    fn knobs_round_trip() {
+        let db = db_with_polys();
+        assert!(db.vectorized_enabled(), "vectorized path is on by default");
+        assert_eq!(db.batch_size(), jackpine_sqlmini::batch::DEFAULT_BATCH_SIZE);
+        db.set_batch_size(7);
+        assert_eq!(db.batch_size(), 7);
+        db.set_batch_size(0); // restores the default
+        assert_eq!(db.batch_size(), jackpine_sqlmini::batch::DEFAULT_BATCH_SIZE);
+        db.set_vectorized(false);
+        assert!(!db.vectorized_enabled());
+    }
+
+    #[test]
+    fn vectorized_on_off_and_batch_sizes_agree() {
+        let db = db_with_polys();
+        let sql = "SELECT COUNT(*) FROM lots a, lots b WHERE ST_Intersects(a.geom, b.geom)";
+        db.set_vectorized(true);
+        let on = db.execute(sql).unwrap();
+        db.set_vectorized(false);
+        let off = db.execute(sql).unwrap();
+        assert_eq!(on, off, "vectorized on/off must agree");
+        db.set_vectorized(true);
+        for bs in [1, 3, 4096] {
+            db.set_batch_size(bs);
+            assert_eq!(db.execute(sql).unwrap(), on, "batch_size={bs} must agree");
+        }
+    }
+
+    #[test]
+    fn vectorized_filter_populates_batch_counters() {
+        let db = db_with_polys();
+        let before = db.metrics_snapshot();
+        db.execute("SELECT COUNT(*) FROM lots a, lots b WHERE ST_Disjoint(a.geom, b.geom)")
+            .unwrap();
+        let delta = db.metrics_snapshot().delta_since(&before);
+        assert!(delta.counter("batches_dispatched") > 0, "vectorized path must run");
+        assert!(delta.counter("prefilter_rejects") > 0, "disjoint pairs decided by MBR");
+        assert_eq!(
+            delta.counter("prefilter_rejects") + delta.counter("selvec_survivors"),
+            delta.counter("refine_candidates"),
+            "every candidate is either MBR-decided or refined"
+        );
     }
 }
 

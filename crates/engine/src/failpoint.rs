@@ -60,10 +60,9 @@ impl<W: Write> Write for FailpointFile<W> {
         match self.failpoint {
             Failpoint::Truncate { offset } => {
                 if self.written >= offset {
-                    return Err(std::io::Error::new(
-                        std::io::ErrorKind::Other,
-                        format!("failpoint: simulated crash at byte {offset}"),
-                    ));
+                    return Err(std::io::Error::other(format!(
+                        "failpoint: simulated crash at byte {offset}"
+                    )));
                 }
                 let room = (offset - self.written) as usize;
                 let take = buf.len().min(room);

@@ -612,7 +612,7 @@ mod tests {
         buf.put_u32_le(0); // no spatial indexes
         buf.put_u32_le(0); // no ordered indexes
         buf.put_u64_le(1); // one row
-        let row = Value::encode_row(&vec![Value::Int(42)]);
+        let row = Value::encode_row(&[Value::Int(42)]);
         buf.put_u32_le(row.len() as u32);
         buf.put_slice(&row);
 
@@ -633,7 +633,7 @@ mod tests {
         block.put_u32_le(0); // no spatial indexes
         block.put_u32_le(0); // no ordered indexes
         block.put_u64_le(1); // one row
-        let row = Value::encode_row(&vec![Value::Int(43)]);
+        let row = Value::encode_row(&[Value::Int(43)]);
         block.put_u32_le(row.len() as u32);
         block.put_slice(&row);
 

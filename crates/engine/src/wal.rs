@@ -182,7 +182,7 @@ impl WalRecord {
                 let column = get_str(&mut data)?;
                 Ok(WalRecord::CreateOrderedIndex { table, column })
             }
-            other => Err(persist_err(&format!("WAL: unknown record kind {other}"))),
+            other => Err(persist_err(format!("WAL: unknown record kind {other}"))),
         }
     }
 
@@ -349,7 +349,7 @@ impl Wal {
         data.advance(4);
         let version = data.get_u32_le();
         if version != WAL_VERSION {
-            return Err(persist_err(&format!("WAL: unsupported version {version}")));
+            return Err(persist_err(format!("WAL: unsupported version {version}")));
         }
         let generation = data.get_u64_le();
         let mut records = Vec::new();
@@ -504,7 +504,7 @@ mod tests {
         bytes.put_u32_le(crc32(&payload));
         bytes.put_slice(&payload);
         std::fs::write(&path, &bytes).unwrap();
-        let err = Wal::replay(&path).err().expect("must fail, not silently drop");
+        let err = Wal::replay(&path).expect_err("must fail, not silently drop");
         assert!(matches!(err, EngineError::Persist(_)), "got {err:?}");
         std::fs::remove_file(&path).ok();
     }

@@ -31,6 +31,10 @@ enum Node<T> {
     Leaf { entries: Vec<(Envelope, T)> },
 }
 
+/// One packer thread's share of bulk-load work: `(slice index, slice)`
+/// pairs, each slice an exclusive borrow of a run of input items.
+type SliceBatch<'a, T> = Vec<(usize, &'a mut [(Envelope, T)])>;
+
 impl<T> Node<T> {
     fn len(&self) -> usize {
         match self {
@@ -441,8 +445,7 @@ impl<T: Clone> RTree<T> {
         let leaf_count = n.div_ceil(cap);
         let slice_count = (leaf_count as f64).sqrt().ceil() as usize;
         let slice_size = n.div_ceil(slice_count);
-        let mut assigned: Vec<Vec<(usize, &mut [(Envelope, T)])>> =
-            (0..workers).map(|_| Vec::new()).collect();
+        let mut assigned: Vec<SliceBatch<'_, T>> = (0..workers).map(|_| Vec::new()).collect();
         for (i, slice) in items.chunks_mut(slice_size).enumerate() {
             assigned[i % workers].push((i, slice));
         }

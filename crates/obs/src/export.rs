@@ -60,7 +60,14 @@ pub fn chrome_trace_json(traces: &[(&str, &QueryTrace)]) -> String {
             if h.count == 0 {
                 continue;
             }
+            // Clamp so stages never spill past the query span. Sub-μs
+            // stages are floored to 1 μs, so once the floors have used
+            // up the whole span the clamp hits 0 — drop those rather
+            // than emit zero-width (invalid) spans.
             let dur = ns_to_us(h.sum).min(cursor_us + total_us - stage_us);
+            if dur == 0 {
+                continue;
+            }
             events.push(complete_event(
                 stage.name(),
                 "stage",
@@ -164,6 +171,27 @@ mod tests {
         assert!(json.contains("\"ts\":0,\"dur\":1000"));
         assert!(json.contains("\"ts\":1005,\"dur\":1000"), "{json}");
         assert!(!json.contains("\"dur\":0"));
+    }
+
+    #[test]
+    fn sub_us_stage_floors_never_emit_zero_width_spans() {
+        // Three sub-μs stages each floor to 1 μs inside a 2 μs query
+        // span: the third would clamp to zero width and must be
+        // dropped, not emitted with dur 0.
+        let m = EngineMetrics::new();
+        let before = m.snapshot();
+        m.record_stage(Stage::Parse, Duration::from_nanos(100));
+        m.record_stage(Stage::Prefilter, Duration::from_nanos(100));
+        m.record_stage(Stage::Refine, Duration::from_nanos(100));
+        let t = QueryTrace::new(
+            "SELECT tiny",
+            Duration::from_micros(2),
+            1,
+            m.snapshot().delta_since(&before),
+        );
+        let json = chrome_trace_json(&[("tiny", &t)]);
+        assert!(!json.contains("\"dur\":0"), "{json}");
+        assert!(json.contains("\"name\":\"parse\""));
     }
 
     #[test]

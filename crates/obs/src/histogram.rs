@@ -105,11 +105,7 @@ impl HistogramSnapshot {
 
     /// Mean sample value, zero when empty.
     pub fn mean(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.sum / self.count
-        }
+        self.sum.checked_div(self.count).unwrap_or(0)
     }
 
     /// Nearest-rank quantile, reported as the upper bound of the bucket

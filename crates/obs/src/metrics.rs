@@ -26,6 +26,9 @@ pub enum Stage {
     Plan,
     /// Spatial/ordered index window or nearest probe.
     IndexProbe,
+    /// Vectorized envelope prefilter over packed MBR columns (the
+    /// batch executor's branch-free reject pass before refinement).
+    Prefilter,
     /// Exact predicate refinement (DE-9IM and friends) over candidates.
     Refine,
     /// Row materialization of the final result set.
@@ -34,8 +37,14 @@ pub enum Stage {
 
 impl Stage {
     /// All stages in pipeline order.
-    pub const ALL: [Stage; 5] =
-        [Stage::Parse, Stage::Plan, Stage::IndexProbe, Stage::Refine, Stage::Materialize];
+    pub const ALL: [Stage; 6] = [
+        Stage::Parse,
+        Stage::Plan,
+        Stage::IndexProbe,
+        Stage::Prefilter,
+        Stage::Refine,
+        Stage::Materialize,
+    ];
 
     /// Stable snake_case name used in snapshots and JSON.
     pub fn name(self) -> &'static str {
@@ -43,6 +52,7 @@ impl Stage {
             Stage::Parse => "parse",
             Stage::Plan => "plan",
             Stage::IndexProbe => "index_probe",
+            Stage::Prefilter => "prefilter",
             Stage::Refine => "refine",
             Stage::Materialize => "materialize",
         }
@@ -55,7 +65,7 @@ impl Stage {
 
 /// Canonical counter names, in snapshot order: deterministic counters
 /// first, scheduling-dependent ones after.
-pub const DETERMINISTIC_COUNTERS: [&str; 10] = [
+pub const DETERMINISTIC_COUNTERS: [&str; 12] = [
     "queries",
     "index_probes",
     "index_candidates",
@@ -63,6 +73,8 @@ pub const DETERMINISTIC_COUNTERS: [&str; 10] = [
     "refine_candidates",
     "refine_hits",
     "refine_short_circuits",
+    "prefilter_rejects",
+    "selvec_survivors",
     "heap_rows_fetched",
     "wal_appends",
     "wal_fsyncs",
@@ -70,12 +82,14 @@ pub const DETERMINISTIC_COUNTERS: [&str; 10] = [
 
 /// Counters whose value depends on scheduling (worker count, cache
 /// state), snapshot-ordered after the deterministic set.
-pub const SCHEDULING_COUNTERS: [&str; 5] = [
+pub const SCHEDULING_COUNTERS: [&str; 7] = [
     "plan_cache_hits",
     "plan_cache_misses",
     "prepared_cache_hits",
     "prepared_cache_misses",
+    "prepared_cache_evictions",
     "morsels_dispatched",
+    "batches_dispatched",
 ];
 
 /// All counters and histograms the engine maintains. One instance per
@@ -98,6 +112,13 @@ pub struct EngineMetrics {
     /// (envelope reject / shared-point accept) without a full DE-9IM
     /// matrix.
     pub refine_short_circuits: Counter,
+    /// Rows decided by the vectorized envelope prefilter (no refine
+    /// needed). Zero on the row-at-a-time path.
+    pub prefilter_rejects: Counter,
+    /// Selection-vector entries that survived the prefilter and entered
+    /// batch refinement. `prefilter_rejects + selvec_survivors ==
+    /// refine_candidates` on vectorized filters.
+    pub selvec_survivors: Counter,
     /// Heap rows fetched during scans and candidate lookups.
     pub heap_rows_fetched: Counter,
     /// WAL records appended.
@@ -112,12 +133,17 @@ pub struct EngineMetrics {
     pub prepared_cache_hits: Counter,
     /// Prepared-geometry cache misses (fresh preparation built).
     pub prepared_cache_misses: Counter,
+    /// Entries evicted from the prepared-geometry cache when full
+    /// (least-recently-hit fraction).
+    pub prepared_cache_evictions: Counter,
     /// Morsels claimed by parallel workers (serial execution claims none).
     pub morsels_dispatched: Counter,
+    /// Batches processed by the vectorized filter path.
+    pub batches_dispatched: Counter,
     /// Nanoseconds from query start to each morsel claim.
     pub morsel_wait_ns: Histogram,
     /// Self-time per stage, nanoseconds (indexed by `Stage`).
-    stage_ns: [Histogram; 5],
+    stage_ns: [Histogram; 6],
 }
 
 impl EngineMetrics {
@@ -141,6 +167,8 @@ impl EngineMetrics {
             "refine_candidates" => &self.refine_candidates,
             "refine_hits" => &self.refine_hits,
             "refine_short_circuits" => &self.refine_short_circuits,
+            "prefilter_rejects" => &self.prefilter_rejects,
+            "selvec_survivors" => &self.selvec_survivors,
             "heap_rows_fetched" => &self.heap_rows_fetched,
             "wal_appends" => &self.wal_appends,
             "wal_fsyncs" => &self.wal_fsyncs,
@@ -148,7 +176,9 @@ impl EngineMetrics {
             "plan_cache_misses" => &self.plan_cache_misses,
             "prepared_cache_hits" => &self.prepared_cache_hits,
             "prepared_cache_misses" => &self.prepared_cache_misses,
+            "prepared_cache_evictions" => &self.prepared_cache_evictions,
             "morsels_dispatched" => &self.morsels_dispatched,
+            "batches_dispatched" => &self.batches_dispatched,
             other => panic!("unknown counter {other:?}"),
         }
     }
@@ -178,7 +208,7 @@ pub struct MetricsSnapshot {
     /// then [`SCHEDULING_COUNTERS`].
     pub counters: Vec<(&'static str, u64)>,
     /// Per-stage self-time histograms in [`Stage::ALL`] order.
-    pub stages: [(Stage, HistogramSnapshot); 5],
+    pub stages: [(Stage, HistogramSnapshot); 6],
     /// Morsel queue-wait histogram.
     pub morsel_wait_ns: HistogramSnapshot,
 }

@@ -79,6 +79,18 @@ impl QueryTrace {
                 self.counter("index_candidates")
             ));
         }
+        // Vectorized-filter stats: how much of the refine input the
+        // branch-free envelope prefilter decided outright, and how many
+        // selection-vector entries went on to exact refinement.
+        let rejects = self.counter("prefilter_rejects");
+        let survivors = self.counter("selvec_survivors");
+        if rejects + survivors > 0 {
+            out.push_str(&format!(
+                "  prefilter: {rejects} of {} decided by MBR ({:.1}% reject rate), {survivors} refined\n",
+                rejects + survivors,
+                100.0 * rejects as f64 / (rejects + survivors) as f64
+            ));
+        }
         // Prepared-geometry stats mirror the index-probe summary: cache
         // effectiveness plus how many refine decisions short-circuited
         // before a full DE-9IM matrix.

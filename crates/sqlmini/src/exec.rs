@@ -15,27 +15,37 @@
 //! materialize actual tuples.
 
 use crate::ast::BinOp;
+use crate::batch::{MbrColumn, MbrQuad, DEFAULT_BATCH_SIZE};
 use crate::functions::{self, FunctionMode};
 use crate::plan::{AggExpr, AggOutput, BoundExpr, PlanNode, PlannedSelect};
 use crate::prepared::PreparedCache;
 use crate::provider::TableProvider;
 use crate::{Result, SqlError};
-use jackpine_geom::Envelope;
+use jackpine_geom::{Envelope, Geometry};
 use jackpine_obs::{EngineMetrics, Stage};
 use jackpine_storage::{Row, Value};
 use jackpine_topo::{PredicateKind, PredicateOutcome, PreparedGeometry};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-/// Rows per morsel claimed by one worker at a time.
+/// Rows per morsel claimed by one worker at a time — at non-default
+/// batch sizes, rounded to a whole number of batches so batch boundaries
+/// are identical at every worker count.
 pub const MORSEL_SIZE: usize = 1024;
 
-/// Inputs at or below this row count always run serially, regardless of
-/// the worker setting: thread spawn plus result stitching costs more
-/// than the parallel win on small inputs (a few-thousand-row filter is
-/// measurably *slower* at 4 workers than at 1).
-pub const MIN_PARALLEL_ROWS: usize = 4096;
+/// Batches per input at or below which dispatch stays serial, regardless
+/// of the worker setting: thread spawn plus result stitching costs more
+/// than the parallel win on small inputs. At the default batch size this
+/// reproduces the historical 4096-row cutoff (a few-thousand-row filter
+/// is measurably *slower* at 4 workers than at 1).
+pub const MIN_PARALLEL_BATCHES: usize = 4;
+
+/// The historical row-count cutoff, equal to
+/// `MIN_PARALLEL_BATCHES * DEFAULT_BATCH_SIZE`; kept for doc links and
+/// ablation scripts.
+pub const MIN_PARALLEL_ROWS: usize = MIN_PARALLEL_BATCHES * DEFAULT_BATCH_SIZE;
 
 /// Upper bound on speculative `Vec` capacity hints (rows). Join outputs
 /// can legitimately exceed this; it only caps the *pre-allocation*, so a
@@ -72,7 +82,7 @@ impl ResultSet {
 }
 
 /// Executor knobs.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct ExecOptions {
     /// Worker threads for morsel dispatch; `0` and `1` = serial execution.
     pub workers: usize,
@@ -82,6 +92,24 @@ pub struct ExecOptions {
     /// Prepared-geometry cache for the refine stage; `None` disables the
     /// prepared fast path (the `--prepared off` ablation).
     pub prepared: Option<Arc<PreparedCache>>,
+    /// Vectorized batch execution of spatial filters (columnar MBR
+    /// prefilter + selection-vector refine). `false` restores the
+    /// row-at-a-time path — the `set_vectorized(off)` ablation.
+    pub vectorized: bool,
+    /// Rows per batch on the vectorized path; clamped to at least 1.
+    pub batch_size: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            workers: 0,
+            metrics: None,
+            prepared: None,
+            vectorized: true,
+            batch_size: DEFAULT_BATCH_SIZE,
+        }
+    }
 }
 
 /// Executes a planned `SELECT` serially (one worker).
@@ -96,6 +124,8 @@ pub fn execute_with(plan: &PlannedSelect, opts: &ExecOptions) -> Result<ResultSe
         workers: opts.workers.max(1),
         metrics: opts.metrics.clone(),
         prepared: opts.prepared.clone(),
+        vectorized: opts.vectorized,
+        batch_size: opts.batch_size.max(1),
     };
     let lazy = run(&plan.root, &ctx)?;
     // Final materialization: the only place surviving rows are deep-copied.
@@ -249,6 +279,8 @@ struct ExecCtx {
     workers: usize,
     metrics: Option<Arc<EngineMetrics>>,
     prepared: Option<Arc<PreparedCache>>,
+    vectorized: bool,
+    batch_size: usize,
 }
 
 impl ExecCtx {
@@ -270,13 +302,21 @@ impl ExecCtx {
         }
     }
 
+    /// Rows per morsel: the smallest multiple of the batch size at or
+    /// above [`MORSEL_SIZE`] (just `MORSEL_SIZE` at default settings).
+    /// Morsels being whole batches makes global batch boundaries a pure
+    /// function of position — identical at every worker count.
+    fn morsel_rows(&self) -> usize {
+        (MORSEL_SIZE / self.batch_size).max(1) * self.batch_size
+    }
+
     /// Applies `f` to morsels of `items`, concatenating outputs in morsel
-    /// order. With one worker — or at most [`MIN_PARALLEL_ROWS`] items,
-    /// where dispatch overhead beats the win — this is a single direct
-    /// call on the current thread; otherwise morsels are claimed by
-    /// scoped worker threads off a shared counter. Morsel boundaries
-    /// depend only on `MORSEL_SIZE`, and outputs are stitched by morsel
-    /// index, so results are identical for any worker count.
+    /// order. With one worker — or at most [`MIN_PARALLEL_BATCHES`]
+    /// batches of items, where dispatch overhead beats the win — this is
+    /// a single direct call on the current thread; otherwise morsels are
+    /// claimed by scoped worker threads off a shared counter. Morsel
+    /// boundaries depend only on morsel size, and outputs are stitched by
+    /// morsel index, so results are identical for any worker count.
     fn parallel_morsels<I, O>(
         &self,
         items: &[I],
@@ -286,10 +326,26 @@ impl ExecCtx {
         I: Sync,
         O: Send,
     {
-        if self.workers <= 1 || items.len() <= MIN_PARALLEL_ROWS {
-            return f(items);
+        self.parallel_morsels_indexed(items, |_, chunk| f(chunk))
+    }
+
+    /// [`parallel_morsels`](Self::parallel_morsels), with the morsel's
+    /// global item offset passed to `f` — the vectorized filter uses it
+    /// to index pre-gathered MBR columns.
+    fn parallel_morsels_indexed<I, O>(
+        &self,
+        items: &[I],
+        f: impl Fn(usize, &[I]) -> Result<Vec<O>> + Sync,
+    ) -> Result<Vec<O>>
+    where
+        I: Sync,
+        O: Send,
+    {
+        if self.workers <= 1 || items.len() <= MIN_PARALLEL_BATCHES * self.batch_size {
+            return f(0, items);
         }
-        let morsels: Vec<&[I]> = items.chunks(MORSEL_SIZE).collect();
+        let morsel_rows = self.morsel_rows();
+        let morsels: Vec<&[I]> = items.chunks(morsel_rows).collect();
         let nworkers = self.workers.min(morsels.len());
         let counter = AtomicUsize::new(0);
         let metrics = self.metrics.as_deref();
@@ -313,7 +369,7 @@ impl ExecCtx {
                                         as u64,
                                 );
                             }
-                            local.push((idx, f(morsel)));
+                            local.push((idx, f(idx * morsel_rows, morsel)));
                         }
                         local
                     })
@@ -329,13 +385,12 @@ impl ExecCtx {
         Ok(out)
     }
 
-    /// Recognizes the filter shapes the prepared-geometry fast path
-    /// accelerates: a top-level `pred(x, y)` where `pred` is a named
-    /// DE-9IM predicate under exact semantics and `x`/`y` are geometry
-    /// columns or constant geometry expressions — with a cache attached.
+    /// Recognizes the filter shapes both fast paths (prepared row path
+    /// and vectorized batch path) accelerate: a top-level `pred(x, y)`
+    /// where `pred` is a named DE-9IM predicate under exact semantics and
+    /// `x`/`y` are geometry columns or constant geometry expressions.
     /// Anything else returns `None` and evaluates generically.
-    fn prepared_filter(&self, predicate: &BoundExpr) -> Option<PreparedFilter<'_>> {
-        let cache = self.prepared.as_deref()?;
+    fn spatial_shape(&self, predicate: &BoundExpr) -> Option<SpatialShape> {
         if self.mode != FunctionMode::Exact {
             return None;
         }
@@ -346,29 +401,56 @@ impl ExecCtx {
         let [a, b] = args.as_slice() else {
             return None;
         };
-        let operand = |e: &BoundExpr| -> Option<PreparedOperand> {
+        let operand = |e: &BoundExpr| -> Option<ShapeOperand> {
             match e {
-                BoundExpr::Column(i) => Some(PreparedOperand::Column(*i)),
+                BoundExpr::Column(i) => Some(ShapeOperand::Column(*i)),
                 // A constant operand that fails to evaluate, or is not a
                 // geometry, is left to the generic path — which raises
                 // the error per row, or not at all over an empty input.
                 e if e.is_constant() => match eval_const(e, FunctionMode::Exact) {
-                    Ok(Value::Geom(g)) => {
-                        Some(PreparedOperand::Constant(Arc::new(PreparedGeometry::new(&g))))
-                    }
+                    Ok(Value::Geom(g)) => Some(ShapeOperand::Constant(g)),
                     _ => None,
                 },
                 _ => None,
             }
         };
+        Some(SpatialShape { kind, a: operand(a)?, b: operand(b)? })
+    }
+
+    /// Binds a recognized shape to the row-at-a-time prepared fast path —
+    /// requires a cache.
+    fn prepared_filter(&self, predicate: &BoundExpr) -> Option<PreparedFilter<'_>> {
+        let cache = self.prepared.as_deref()?;
+        let shape = self.spatial_shape(predicate)?;
+        let operand = |o: ShapeOperand| match o {
+            ShapeOperand::Column(i) => PreparedOperand::Column(i),
+            ShapeOperand::Constant(g) => {
+                PreparedOperand::Constant(Arc::new(PreparedGeometry::new(&g)))
+            }
+        };
         Some(PreparedFilter {
-            kind,
-            a: operand(a)?,
-            b: operand(b)?,
+            kind: shape.kind,
+            a: operand(shape.a),
+            b: operand(shape.b),
             cache,
             metrics: self.metrics.as_deref(),
         })
     }
+}
+
+/// A recognized top-level spatial predicate: `kind(a, b)` over columns
+/// and/or constant geometries.
+struct SpatialShape {
+    kind: PredicateKind,
+    a: ShapeOperand,
+    b: ShapeOperand,
+}
+
+enum ShapeOperand {
+    /// Tuple column offset.
+    Column(usize),
+    /// Constant geometry, evaluated once at recognition.
+    Constant(Geometry),
 }
 
 /// A refine predicate bound to the prepared fast path: constant operands
@@ -468,6 +550,11 @@ fn run(node: &PlanNode, ctx: &ExecCtx) -> Result<Vec<LazyRow>> {
             }
         }
         PlanNode::Filter { input, predicate } => {
+            if ctx.vectorized {
+                if let Some(shape) = ctx.spatial_shape(predicate) {
+                    return vectorized_filter(input, predicate, shape, ctx);
+                }
+            }
             let rows = run(input, ctx)?;
             let metrics = ctx.metrics.as_deref();
             let fast = ctx.prepared_filter(predicate);
@@ -684,6 +771,344 @@ fn fetch_rows(
         let mut out = Vec::with_capacity(chunk.len());
         for id in chunk {
             out.push(LazyRow::one(table.fetch(*id)?));
+        }
+        Ok(out)
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized filter
+// ---------------------------------------------------------------------------
+
+/// One bound operand of a vectorized filter.
+struct VecOperand {
+    /// Column offset for column operands, `None` for constants.
+    col: Option<usize>,
+    /// Constant operand's envelope quad.
+    const_quad: Option<MbrQuad>,
+    /// Constant operand's preparation — built only when a cache is
+    /// attached, i.e. the refine stage takes the prepared path.
+    const_prepared: Option<Arc<PreparedGeometry>>,
+    /// MBR quads for every input row in global row order, gathered from
+    /// the heap's quad cache when the filter sits directly on a table
+    /// scan. `None` falls back to the per-chunk memoized gather.
+    pregathered: Option<Vec<Option<MbrQuad>>>,
+}
+
+impl VecOperand {
+    /// Whether row `i` of the current batch has a geometry in this
+    /// operand (constants always do; column operands consult the
+    /// gathered column's validity mask).
+    fn valid_at(&self, gathered: &MbrColumn, i: usize) -> bool {
+        match self.col {
+            Some(_) => gathered.valid[i],
+            None => true,
+        }
+    }
+}
+
+/// Chunk-local envelope memo for the generic (join-shaped) gather: the
+/// same heap row repeats across consecutive output rows of an index
+/// join, so a last-pointer fast path plus a per-chunk map computes each
+/// distinct row's envelope once per chunk. Keying by `Arc` pointer is
+/// sound for the memo's lifetime because the chunk borrows every row.
+#[derive(Default)]
+struct GatherMemo {
+    last: Option<(usize, Option<MbrQuad>)>,
+    map: HashMap<usize, Option<MbrQuad>>,
+}
+
+impl GatherMemo {
+    fn mbr_of(&mut self, row: &LazyRow, col: usize) -> Option<MbrQuad> {
+        match row.col_part(col) {
+            Some((part, off)) => {
+                let ptr = Arc::as_ptr(part) as usize;
+                if let Some((p, q)) = self.last {
+                    if p == ptr {
+                        return q;
+                    }
+                }
+                let q = *self.map.entry(ptr).or_insert_with(|| part[off].mbr());
+                self.last = Some((ptr, q));
+                q
+            }
+            // Owned tuple: no stable identity to memo under.
+            None => row.col(col).and_then(Value::mbr),
+        }
+    }
+}
+
+/// Chunk-local memo of the last resolved preparation per operand: one
+/// cache probe amortized across a run of identical row pointers — the
+/// batch-amortized prepared refine.
+#[derive(Default)]
+struct PrepMemo {
+    last: Option<(usize, Arc<PreparedGeometry>)>,
+}
+
+fn resolve_prepared(
+    op: &VecOperand,
+    row: &LazyRow,
+    cache: &PreparedCache,
+    metrics: Option<&EngineMetrics>,
+    memo: &mut PrepMemo,
+) -> Option<Arc<PreparedGeometry>> {
+    let col = match op.col {
+        None => return op.const_prepared.clone(),
+        Some(c) => c,
+    };
+    match row.col_part(col) {
+        Some((part, off)) => {
+            let ptr = Arc::as_ptr(part) as usize;
+            if let Some((p, prepared)) = &memo.last {
+                if *p == ptr {
+                    // The row path would have probed the cache and hit.
+                    if let Some(m) = metrics {
+                        m.prepared_cache_hits.incr();
+                    }
+                    return Some(Arc::clone(prepared));
+                }
+            }
+            match &part[off] {
+                Value::Geom(g) => {
+                    let prepared = cache.get_or_prepare(part, off, g, metrics);
+                    memo.last = Some((ptr, Arc::clone(&prepared)));
+                    Some(prepared)
+                }
+                _ => None,
+            }
+        }
+        // Owned tuple: no stable identity to cache under, so prepare
+        // fresh. Still a miss — the work was done.
+        None => match row.col(col) {
+            Some(Value::Geom(g)) => {
+                if let Some(m) = metrics {
+                    m.prepared_cache_misses.incr();
+                }
+                Some(Arc::new(PreparedGeometry::new(g)))
+            }
+            _ => None,
+        },
+    }
+}
+
+/// The packed quad of a geometry's envelope, NaN-encoded when empty —
+/// must agree exactly with [`Value::mbr`].
+fn quad_of(g: &Geometry) -> MbrQuad {
+    let e = g.envelope();
+    if e.is_empty() {
+        [f64::NAN; 4]
+    } else {
+        [e.min_x, e.min_y, e.max_x, e.max_y]
+    }
+}
+
+/// Scalar positive-form envelope test over packed quads; false against
+/// any NaN bound, like the columnar kernels.
+fn quads_intersect(a: MbrQuad, b: MbrQuad) -> bool {
+    (a[0] <= b[2]) & (b[0] <= a[2]) & (a[1] <= b[3]) & (b[1] <= a[3])
+}
+
+/// Gathers one batch of MBR quads for a column operand into `out`
+/// (cleared first). Constants leave `out` empty. Prefers the
+/// pre-gathered scan quads; otherwise walks the rows through the memo.
+fn gather_column(
+    op: &VecOperand,
+    batch: &[LazyRow],
+    global_offset: usize,
+    out: &mut MbrColumn,
+    memo: &mut GatherMemo,
+) {
+    out.clear();
+    let Some(col) = op.col else { return };
+    if let Some(pre) = &op.pregathered {
+        for q in &pre[global_offset..global_offset + batch.len()] {
+            out.push(*q);
+        }
+        return;
+    }
+    for row in batch {
+        out.push(memo.mbr_of(row, col));
+    }
+}
+
+/// Executes `Filter(input, kind(a, b))` on the vectorized batch path:
+/// fixed-size batches, a columnar MBR gather, a branch-free envelope
+/// prefilter writing decided rows straight into the keep mask, and a
+/// refine pass over the surviving selection-vector entries.
+///
+/// Decision semantics mirror the row path bit for bit. The prefilter
+/// applies only the *unconditional* envelope gate — the one both
+/// `topo::evaluate` and the naive SQL predicates apply before any other
+/// work, even for unsupported geometry types: an env-disjoint valid pair
+/// is decided `false` (`true` for Disjoint) with no error possible.
+/// Every other row runs the same refine code as the row path, in
+/// ascending row order, so result rows, error choice and NULL semantics
+/// are identical at any batch size and worker count.
+fn vectorized_filter(
+    input: &PlanNode,
+    predicate: &BoundExpr,
+    shape: SpatialShape,
+    ctx: &ExecCtx,
+) -> Result<Vec<LazyRow>> {
+    // Filters sitting directly on a base-table scan expose their row
+    // ids, letting MBR columns be gathered from the heap's packed quad
+    // cache instead of touching each geometry. The scan logic here
+    // mirrors the corresponding `run` arms, stage recording included.
+    let scanned = match input {
+        PlanNode::Scan { table } => Some((table, table.row_ids())),
+        PlanNode::SpatialIndexScan { table, col, query, expand } => {
+            let env = probe_envelope(query, expand, ctx.mode)?;
+            let ids = ctx
+                .stage_if_some(Stage::IndexProbe, || table.spatial_candidates(*col, &env))
+                .unwrap_or_else(|| table.row_ids());
+            Some((table, ids))
+        }
+        _ => None,
+    };
+    let (rows, scanned) = match scanned {
+        Some((table, ids)) => (fetch_rows(table, ids.clone(), ctx)?, Some((table, ids))),
+        None => (run(input, ctx)?, None),
+    };
+
+    let SpatialShape { kind, a, b } = shape;
+    let bind = |op: ShapeOperand| -> VecOperand {
+        match op {
+            ShapeOperand::Column(i) => VecOperand {
+                col: Some(i),
+                const_quad: None,
+                const_prepared: None,
+                pregathered: scanned.as_ref().and_then(|(t, ids)| t.fetch_mbrs(i, ids)),
+            },
+            ShapeOperand::Constant(g) => VecOperand {
+                col: None,
+                const_quad: Some(quad_of(&g)),
+                const_prepared: ctx.prepared.is_some().then(|| Arc::new(PreparedGeometry::new(&g))),
+                pregathered: None,
+            },
+        }
+    };
+    let a = bind(a);
+    let b = bind(b);
+
+    let metrics = ctx.metrics.as_deref();
+    let cache = ctx.prepared.as_deref();
+    let bs = ctx.batch_size;
+    let mode = ctx.mode;
+    ctx.parallel_morsels_indexed(&rows, |base, chunk| {
+        let mut out = Vec::with_capacity(chunk.len());
+        let mut col_a = MbrColumn::with_capacity(bs.min(chunk.len()));
+        let mut col_b = MbrColumn::with_capacity(bs.min(chunk.len()));
+        let mut hit: Vec<bool> = Vec::new();
+        let mut keep: Vec<bool> = Vec::new();
+        let mut sel: Vec<u32> = Vec::new();
+        let mut gather_a = GatherMemo::default();
+        let mut gather_b = GatherMemo::default();
+        let mut prep_a = PrepMemo::default();
+        let mut prep_b = PrepMemo::default();
+        let mut rejects = 0u64;
+        let mut survivors = 0u64;
+        let mut short_circuits = 0u64;
+        let mut batches = 0u64;
+        let mut prefilter_time = Duration::ZERO;
+        let mut refine_time = Duration::ZERO;
+        let mut offset = 0usize;
+        while offset < chunk.len() {
+            let batch = &chunk[offset..(offset + bs).min(chunk.len())];
+            batches += 1;
+
+            // Prefilter: columnar gather plus branch-free envelope test.
+            let t0 = metrics.map(|_| Instant::now());
+            gather_column(&a, batch, base + offset, &mut col_a, &mut gather_a);
+            gather_column(&b, batch, base + offset, &mut col_b, &mut gather_b);
+            match (a.const_quad, b.const_quad) {
+                (None, None) => col_a.intersects_pairwise(&col_b, &mut hit),
+                (None, Some(q)) => col_a.intersects_const(q, &mut hit),
+                (Some(q), None) => col_b.intersects_const(q, &mut hit),
+                (Some(qa), Some(qb)) => {
+                    // Constant vs constant: one scalar test decides the
+                    // whole batch's prefilter outcome.
+                    let h = quads_intersect(qa, qb);
+                    hit.clear();
+                    hit.resize(batch.len(), h);
+                }
+            }
+            keep.clear();
+            keep.resize(batch.len(), false);
+            sel.clear();
+            for (i, &h) in hit.iter().enumerate() {
+                if a.valid_at(&col_a, i) & b.valid_at(&col_b, i) & !h {
+                    // Decided by the envelope gate alone; Disjoint is
+                    // the one predicate an env-disjoint pair satisfies.
+                    keep[i] = kind == PredicateKind::Disjoint;
+                    rejects += 1;
+                } else {
+                    sel.push(i as u32);
+                }
+            }
+            #[cfg(debug_assertions)]
+            debug_assert!(crate::batch::selvec_is_sorted_unique(&sel, batch.len()));
+            survivors += sel.len() as u64;
+            if let Some(t0) = t0 {
+                prefilter_time += t0.elapsed();
+            }
+
+            // Refine: exact evaluation over the selection vector, in
+            // ascending row order (error ordering matches the row path).
+            let t1 = metrics.map(|_| Instant::now());
+            for &i in &sel {
+                let i = i as usize;
+                let row = &batch[i];
+                let valid = a.valid_at(&col_a, i) && b.valid_at(&col_b, i);
+                keep[i] = match (valid, cache) {
+                    (true, Some(c)) => {
+                        match (
+                            resolve_prepared(&a, row, c, metrics, &mut prep_a),
+                            resolve_prepared(&b, row, c, metrics, &mut prep_b),
+                        ) {
+                            (Some(pa), Some(pb)) => {
+                                let outcome = jackpine_topo::evaluate(kind, &pa, &pb)?;
+                                short_circuits += u64::from(outcome.short_circuit);
+                                outcome.value
+                            }
+                            _ => truthy(&eval_view(predicate, row, mode)?),
+                        }
+                    }
+                    // No cache (the `--prepared off` ablation) or a
+                    // non-geometry operand: the generic evaluator
+                    // decides, reproducing exact naive errors and NULL
+                    // semantics.
+                    _ => truthy(&eval_view(predicate, row, mode)?),
+                };
+            }
+            if let Some(t1) = t1 {
+                refine_time += t1.elapsed();
+            }
+
+            for (row, &k) in batch.iter().zip(&keep) {
+                if k {
+                    out.push(row.clone());
+                }
+            }
+            offset += bs;
+        }
+        if let Some(m) = metrics {
+            m.refine_candidates.add(chunk.len() as u64);
+            m.refine_hits.add(out.len() as u64);
+            m.prefilter_rejects.add(rejects);
+            m.selvec_survivors.add(survivors);
+            m.batches_dispatched.add(batches);
+            // Short-circuit accounting stays comparable with the row
+            // path: with the prepared path active, each envelope reject
+            // is exactly the short-circuit `evaluate` would have
+            // reported; with it off the row path records none there.
+            m.refine_short_circuits.add(if cache.is_some() {
+                rejects + short_circuits
+            } else {
+                short_circuits
+            });
+            m.record_stage(Stage::Prefilter, prefilter_time);
+            m.record_stage(Stage::Refine, refine_time);
         }
         Ok(out)
     })
@@ -1045,7 +1470,14 @@ mod tests {
 
     #[test]
     fn morsel_dispatch_preserves_order_and_errors() {
-        let ctx = ExecCtx { mode: FunctionMode::Exact, workers: 4, metrics: None, prepared: None };
+        let ctx = ExecCtx {
+            mode: FunctionMode::Exact,
+            workers: 4,
+            metrics: None,
+            prepared: None,
+            vectorized: true,
+            batch_size: DEFAULT_BATCH_SIZE,
+        };
         let items: Vec<usize> = (0..10_000).collect();
         let out = ctx.parallel_morsels(&items, |chunk| Ok(chunk.to_vec())).unwrap();
         assert_eq!(out, items);

@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod batch;
 mod error;
 pub mod exec;
 pub mod fingerprint;

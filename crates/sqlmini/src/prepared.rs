@@ -16,9 +16,13 @@
 //! under a fresh `Arc` — a guaranteed miss. The engine still clears the
 //! cache wholesale on DML and index drops to bound that dead weight.
 //!
-//! The cache is capacity-bounded with clear-when-full semantics, the
-//! same policy as the engine's fingerprint cache: benchmark loops touch
-//! a bounded working set, so eviction sophistication buys nothing.
+//! The cache is capacity-bounded. Overflow used to clear the map
+//! wholesale, which dumps hot preparations under churn (a join whose
+//! inner working set slightly exceeds capacity re-prepares *everything*
+//! each round). It now evicts only the least-recently-hit quarter of the
+//! entries: each hit stamps its entry from a global monotone tick, and
+//! overflow drops the entries below the quarter-quantile stamp, so hot
+//! inner geometries survive.
 
 use jackpine_geom::Geometry;
 use jackpine_obs::EngineMetrics;
@@ -26,10 +30,15 @@ use jackpine_storage::sync::RwLock;
 use jackpine_storage::Row;
 use jackpine_topo::PreparedGeometry;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Prepared geometries retained before the cache clears itself.
+/// Prepared geometries retained before eviction kicks in.
 pub const PREPARED_CACHE_CAPACITY: usize = 1024;
+
+/// Denominator of the eviction fraction: a full cache drops the
+/// least-recently-hit `1/EVICT_DENOMINATOR` of its entries.
+const EVICT_DENOMINATOR: usize = 4;
 
 /// One cached preparation, pinning the heap row whose address keys it.
 struct Entry {
@@ -37,6 +46,10 @@ struct Entry {
     /// reused by a different row while this entry exists.
     _pin: Arc<Row>,
     prepared: Arc<PreparedGeometry>,
+    /// Tick of the most recent hit (or the insert), from the cache's
+    /// global counter. Updated under the read lock — stamping a hit must
+    /// not serialize concurrent refine workers.
+    last_hit: AtomicU64,
 }
 
 /// A concurrent, capacity-bounded cache of [`PreparedGeometry`]s keyed
@@ -46,6 +59,10 @@ struct Entry {
 #[derive(Default)]
 pub struct PreparedCache {
     map: RwLock<HashMap<(usize, usize), Entry>>,
+    /// Monotone hit/insert tick feeding the eviction stamps.
+    tick: AtomicU64,
+    /// Entries evicted by capacity overflow (not by `clear`).
+    evicted: AtomicU64,
 }
 
 impl std::fmt::Debug for PreparedCache {
@@ -75,6 +92,15 @@ impl PreparedCache {
         self.map.read().is_empty()
     }
 
+    /// Entries evicted by capacity overflow over the cache's lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed)
+    }
+
     /// The preparation of column `col` of the heap row behind `part`,
     /// building and caching it on first sight. `g` must be the geometry
     /// stored at that column. Records hit/miss counters when metrics are
@@ -88,6 +114,7 @@ impl PreparedCache {
     ) -> Arc<PreparedGeometry> {
         let key = (Arc::as_ptr(part) as usize, col);
         if let Some(e) = self.map.read().get(&key) {
+            e.last_hit.store(self.next_tick(), Ordering::Relaxed);
             if let Some(m) = metrics {
                 m.prepared_cache_hits.incr();
             }
@@ -100,13 +127,32 @@ impl PreparedCache {
         let prepared = Arc::new(PreparedGeometry::new(g));
         let mut map = self.map.write();
         if map.len() >= PREPARED_CACHE_CAPACITY {
-            map.clear();
+            let dropped = evict_least_recently_hit(&mut map);
+            self.evicted.fetch_add(dropped, Ordering::Relaxed);
+            if let Some(m) = metrics {
+                m.prepared_cache_evictions.add(dropped);
+            }
         }
-        let entry = map
-            .entry(key)
-            .or_insert_with(|| Entry { _pin: Arc::clone(part), prepared: Arc::clone(&prepared) });
+        let entry = map.entry(key).or_insert_with(|| Entry {
+            _pin: Arc::clone(part),
+            prepared: Arc::clone(&prepared),
+            last_hit: AtomicU64::new(self.next_tick()),
+        });
         Arc::clone(&entry.prepared)
     }
+}
+
+/// Drops the coldest `1/EVICT_DENOMINATOR` of the map by hit stamp and
+/// returns how many entries left. Stamps are unique (one tick per hit or
+/// insert), so the quantile cut is exact.
+fn evict_least_recently_hit(map: &mut HashMap<(usize, usize), Entry>) -> u64 {
+    let target = (map.len() / EVICT_DENOMINATOR).max(1);
+    let mut stamps: Vec<u64> = map.values().map(|e| e.last_hit.load(Ordering::Relaxed)).collect();
+    let (_, threshold, _) = stamps.select_nth_unstable(target - 1);
+    let threshold = *threshold;
+    let before = map.len();
+    map.retain(|_, e| e.last_hit.load(Ordering::Relaxed) > threshold);
+    (before - map.len()) as u64
 }
 
 #[cfg(test)]
@@ -148,15 +194,38 @@ mod tests {
     }
 
     #[test]
-    fn clears_when_full() {
+    fn overflow_evicts_a_fraction_and_keeps_hot_entries() {
         let cache = PreparedCache::new();
+        let m = EngineMetrics::new();
         let mut rows = Vec::new();
-        for i in 0..PREPARED_CACHE_CAPACITY + 1 {
+        for i in 0..PREPARED_CACHE_CAPACITY {
             let r = row_with_geom(&format!("POINT ({i} 0)"));
             let Some(Value::Geom(g)) = r.get(1) else { panic!() };
             cache.get_or_prepare(&r, 1, g, None);
             rows.push(r); // keep the Arcs alive so keys stay distinct
         }
-        assert!(cache.len() <= PREPARED_CACHE_CAPACITY, "capacity must bound the cache");
+        assert_eq!(cache.len(), PREPARED_CACHE_CAPACITY);
+
+        // Re-hit the first entry so its stamp beats every cold insert.
+        let hot = &rows[0];
+        let Some(Value::Geom(hot_g)) = hot.get(1) else { panic!() };
+        let hot_prep = cache.get_or_prepare(hot, 1, hot_g, None);
+
+        // One more insert overflows the cache and triggers eviction.
+        let extra = row_with_geom("POINT (-1 -1)");
+        let Some(Value::Geom(g)) = extra.get(1) else { panic!() };
+        cache.get_or_prepare(&extra, 1, g, Some(&m));
+
+        let evicted = PREPARED_CACHE_CAPACITY / 4;
+        assert_eq!(cache.len(), PREPARED_CACHE_CAPACITY - evicted + 1);
+        assert_eq!(cache.evictions(), evicted as u64);
+        assert_eq!(m.prepared_cache_evictions.get(), evicted as u64);
+
+        // The hot entry survived: probing it again returns the same
+        // preparation without a fresh miss.
+        let again = cache.get_or_prepare(hot, 1, hot_g, Some(&m));
+        assert!(Arc::ptr_eq(&hot_prep, &again), "hot entry must survive eviction");
+        assert_eq!(m.prepared_cache_hits.get(), 1, "hot probe must hit");
+        assert_eq!(m.prepared_cache_misses.get(), 1, "only the overflow insert missed");
     }
 }

@@ -32,6 +32,16 @@ pub trait TableProvider: Send + Sync {
     /// The `k` rows nearest to `query` by envelope distance of column
     /// `col`, served by a spatial index.
     fn nearest(&self, col: usize, query: Coord, k: usize) -> Option<Vec<RowId>>;
+
+    /// Packed MBR quads (`[min_x, min_y, max_x, max_y]`, NaN bounds for
+    /// empty geometries, `None` per row for non-geometry values) of
+    /// column `col` for each id, in input order — the vectorized
+    /// filter's column-gather path. Implementations without a fast MBR
+    /// store return `None` and the executor computes envelopes from the
+    /// fetched rows instead.
+    fn fetch_mbrs(&self, _col: usize, _ids: &[RowId]) -> Option<Vec<Option<[f64; 4]>>> {
+        None
+    }
 }
 
 /// Name → table resolution.

@@ -31,6 +31,11 @@ pub struct HeapStats {
 /// keeps those fetches from serializing on one mutex.
 const CACHE_SHARDS: usize = 16;
 
+/// One shard of the row cache.
+type RowCacheShard = Mutex<HashMap<RowId, Arc<Row>>>;
+/// One shard of the MBR quad cache, keyed by `(row, column)`.
+type MbrCacheShard = Mutex<HashMap<(RowId, usize), Option<[f64; 4]>>>;
+
 /// A heap file: pages of serialized rows plus a decoded-row cache.
 ///
 /// All methods take `&self`; interior locks make the heap shareable across
@@ -39,7 +44,13 @@ const CACHE_SHARDS: usize = 16;
 pub struct HeapFile {
     schema: Arc<Schema>,
     pages: RwLock<Vec<Page>>,
-    cache: [Mutex<HashMap<RowId, Arc<Row>>>; CACHE_SHARDS],
+    cache: [RowCacheShard; CACHE_SHARDS],
+    /// Per-(row, column) geometry MBR quads, gathered batch-wise by the
+    /// vectorized executor. Computing an envelope walks every coordinate
+    /// of the geometry, so caching the 32-byte quad here turns the
+    /// executor's MBR-column gather into an O(1) copy per row. Sharded
+    /// like the row cache; invalidated with it.
+    mbr_cache: [MbrCacheShard; CACHE_SHARDS],
     row_count: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -52,17 +63,33 @@ impl HeapFile {
             schema,
             pages: RwLock::new(vec![Page::new()]),
             cache: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            mbr_cache: std::array::from_fn(|_| Mutex::new(HashMap::new())),
             row_count: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
     }
 
-    fn cache_shard(&self, id: RowId) -> &Mutex<HashMap<RowId, Arc<Row>>> {
+    fn cache_shard(&self, id: RowId) -> &RowCacheShard {
         // Consecutive slots land in different shards, so a scan's worker
         // threads spread their lock traffic.
         &self.cache
             [(id.page as usize).wrapping_mul(31).wrapping_add(id.slot as usize) % CACHE_SHARDS]
+    }
+
+    fn mbr_shard(&self, id: RowId) -> &MbrCacheShard {
+        &self.mbr_cache
+            [(id.page as usize).wrapping_mul(31).wrapping_add(id.slot as usize) % CACHE_SHARDS]
+    }
+
+    /// Drops any cached MBR quads for `id`. Row ids can be reused after
+    /// a delete, so both delete and insert must invalidate.
+    fn invalidate_mbrs(&self, id: RowId) {
+        let ncols = self.schema.columns().len();
+        let mut shard = self.mbr_shard(id).lock();
+        for col in 0..ncols {
+            shard.remove(&(id, col));
+        }
     }
 
     /// The row schema.
@@ -96,7 +123,9 @@ impl HeapFile {
         let id = RowId { page: page_idx as u32, slot };
         drop(pages);
         self.row_count.fetch_add(1, Ordering::Relaxed);
-        // Freshly inserted rows are hot.
+        // Freshly inserted rows are hot; a reused slot must not serve a
+        // stale MBR.
+        self.invalidate_mbrs(id);
         self.cache_shard(id).lock().insert(id, Arc::new(row));
         Ok(id)
     }
@@ -132,6 +161,7 @@ impl HeapFile {
         if deleted {
             self.row_count.fetch_sub(1, Ordering::Relaxed);
             self.cache_shard(id).lock().remove(&id);
+            self.invalidate_mbrs(id);
         }
         deleted
     }
@@ -157,9 +187,30 @@ impl HeapFile {
         Ok(())
     }
 
+    /// Cached MBR quad of `row[col]` (see [`Value::mbr`]); computes and
+    /// caches on miss. `None` when the column holds a non-geometry.
+    pub fn mbr(&self, id: RowId, col: usize) -> Result<Option<[f64; 4]>> {
+        if let Some(m) = self.mbr_shard(id).lock().get(&(id, col)) {
+            return Ok(*m);
+        }
+        let row = self.get(id)?;
+        let m = row.get(col).and_then(Value::mbr);
+        self.mbr_shard(id).lock().insert((id, col), m);
+        Ok(m)
+    }
+
+    /// Batch MBR gather: one quad per id, in input order — the
+    /// vectorized executor's column-load path.
+    pub fn mbrs(&self, col: usize, ids: &[RowId]) -> Result<Vec<Option<[f64; 4]>>> {
+        ids.iter().map(|&id| self.mbr(id, col)).collect()
+    }
+
     /// Drops the decoded-row cache — the benchmark's cold-run switch.
     pub fn clear_cache(&self) {
         for shard in &self.cache {
+            shard.lock().clear();
+        }
+        for shard in &self.mbr_cache {
             shard.lock().clear();
         }
     }
@@ -253,6 +304,37 @@ mod tests {
         let s2 = h.stats();
         assert_eq!(s2.cache_misses, 1);
         assert_eq!(s2.cache_hits, 2);
+    }
+
+    #[test]
+    fn mbr_cache_round_trip_and_invalidation() {
+        let schema = Arc::new(
+            Schema::new(vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("geom", DataType::Geometry),
+            ])
+            .unwrap(),
+        );
+        let h = HeapFile::new(schema);
+        let g = jackpine_geom::wkt::parse("LINESTRING (0 0, 4 2)").unwrap();
+        let id = h.insert(vec![Value::Int(1), Value::Geom(g)]).unwrap();
+
+        assert_eq!(h.mbr(id, 1).unwrap(), Some([0.0, 0.0, 4.0, 2.0]));
+        assert_eq!(h.mbr(id, 0).unwrap(), None, "non-geometry column has no MBR");
+        // Batch accessor agrees with the scalar one and preserves order.
+        assert_eq!(h.mbrs(1, &[id, id]).unwrap(), vec![Some([0.0, 0.0, 4.0, 2.0]); 2]);
+
+        // Delete then reuse the slot: the cached quad must not leak into
+        // the new row.
+        assert!(h.delete(id));
+        let g2 = jackpine_geom::wkt::parse("POINT (9 9)").unwrap();
+        let id2 = h.insert(vec![Value::Int(2), Value::Geom(g2)]).unwrap();
+        assert_eq!(h.mbr(id2, 1).unwrap(), Some([9.0, 9.0, 9.0, 9.0]));
+
+        // clear_cache drops MBR quads too (cold-run switch), and the
+        // value is recomputed identically from page bytes.
+        h.clear_cache();
+        assert_eq!(h.mbr(id2, 1).unwrap(), Some([9.0, 9.0, 9.0, 9.0]));
     }
 
     #[test]

@@ -62,6 +62,22 @@ impl Value {
         }
     }
 
+    /// The geometry's MBR as a packed `[min_x, min_y, max_x, max_y]`
+    /// quad, the layout the vectorized executor's columnar prefilter
+    /// consumes. Empty geometries encode as all-NaN so the positive-form
+    /// intersection test (`a.min <= b.max && ...`) rejects them, exactly
+    /// like `Envelope::intersects` on an empty envelope. `None` for
+    /// non-geometry values.
+    pub fn mbr(&self) -> Option<[f64; 4]> {
+        let g = self.as_geom()?;
+        let e = g.envelope();
+        if e.is_empty() {
+            Some([f64::NAN; 4])
+        } else {
+            Some([e.min_x, e.min_y, e.max_x, e.max_y])
+        }
+    }
+
     /// Serializes the value into `buf` (tag byte + payload).
     pub fn encode(&self, buf: &mut Vec<u8>) {
         match self {

@@ -250,28 +250,20 @@ pub fn evaluate(
     if a.supported() && b.supported() {
         match kind {
             // Equal point sets have equal envelopes.
-            PredicateKind::Equals => {
-                if a.env != b.env {
-                    return sc(false);
-                }
-            }
+            PredicateKind::Equals if a.env != b.env => return sc(false),
             // a ⊆ b (within / covered-by) forces env(a) ⊆ env(b).
-            PredicateKind::Within | PredicateKind::CoveredBy => {
-                if !b.env.contains_envelope(&a.env) {
-                    return sc(false);
-                }
+            PredicateKind::Within | PredicateKind::CoveredBy
+                if !b.env.contains_envelope(&a.env) =>
+            {
+                return sc(false)
             }
-            PredicateKind::Contains | PredicateKind::Covers => {
-                if !a.env.contains_envelope(&b.env) {
-                    return sc(false);
-                }
+            PredicateKind::Contains | PredicateKind::Covers if !a.env.contains_envelope(&b.env) => {
+                return sc(false)
             }
             // A single shared point decides intersects/disjoint; only a
             // *found* point is conclusive (absence proves nothing).
-            PredicateKind::Intersects | PredicateKind::Disjoint => {
-                if quick_shared_point(a, b) {
-                    return sc(kind == PredicateKind::Intersects);
-                }
+            PredicateKind::Intersects | PredicateKind::Disjoint if quick_shared_point(a, b) => {
+                return sc(kind == PredicateKind::Intersects)
             }
             _ => {}
         }

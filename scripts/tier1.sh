@@ -9,6 +9,9 @@ export CARGO_NET_OFFLINE=true
 echo "== cargo fmt --check"
 cargo fmt --all --check
 
+echo "== cargo clippy -D warnings (all targets)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
 echo "== cargo build --release"
 cargo build --release --offline
 
@@ -30,9 +33,12 @@ cargo test -q -p jackpine --test proptest_fingerprint --offline
 echo "== prepared-geometry gate (prepared == naive DE-9IM equivalence corpus)"
 cargo test -q -p jackpine --test prepared_equivalence --offline
 
+echo "== vectorized-executor gate (batch path == row path, all batch shapes)"
+cargo test -q -p jackpine --test vectorized_equivalence --offline
+
 echo "== repro --trace smoke (every micro query emits a trace)"
 cargo run --release --offline -p jackpine-bench --bin repro -- \
-  --scale 0.01 --reps 1 --trace --metrics-json /tmp/jackpine_metrics.json \
+  --scale 0.01 --quick --trace --metrics-json /tmp/jackpine_metrics.json \
   --trace-export /tmp/jackpine_chrome_trace.json t1 \
   > /tmp/jackpine_trace.txt
 grep -q 'stage plan' /tmp/jackpine_trace.txt \
@@ -67,5 +73,8 @@ cargo run --release --offline -p jackpine-bench --bin bench-diff -- \
 cargo run --release --offline -p jackpine-bench --bin bench-diff -- \
   BENCH_4.json BENCH_5.json > /dev/null \
   || { echo "bench-diff BENCH_4 vs BENCH_5 failed"; exit 1; }
+cargo run --release --offline -p jackpine-bench --bin bench-diff -- \
+  BENCH_5.json BENCH_6.json > /dev/null \
+  || { echo "bench-diff BENCH_5 vs BENCH_6 failed"; exit 1; }
 
 echo "tier-1 green"

@@ -467,6 +467,6 @@ fn persistence_and_index_errors_are_distinct_variants() {
     let err = SpatialDb::open_bytes(b"definitely not a database").err().expect("must fail");
     assert!(matches!(err, EngineError::Persist(_)), "got {err:?}");
     let db = sample_db();
-    let err = db.create_spatial_index("pois", "name").err().expect("must fail");
+    let err = db.create_spatial_index("pois", "name").expect_err("must fail");
     assert!(matches!(err, EngineError::Index(_)), "got {err:?}");
 }

@@ -52,6 +52,8 @@ fn counter_names_are_golden() {
             "refine_candidates",
             "refine_hits",
             "refine_short_circuits",
+            "prefilter_rejects",
+            "selvec_survivors",
             "heap_rows_fetched",
             "wal_appends",
             "wal_fsyncs",
@@ -64,12 +66,14 @@ fn counter_names_are_golden() {
             "plan_cache_misses",
             "prepared_cache_hits",
             "prepared_cache_misses",
+            "prepared_cache_evictions",
             "morsels_dispatched",
+            "batches_dispatched",
         ]
     );
     assert_eq!(
         Stage::ALL.map(Stage::name),
-        ["parse", "plan", "index_probe", "refine", "materialize"]
+        ["parse", "plan", "index_probe", "prefilter", "refine", "materialize"]
     );
 }
 
@@ -117,6 +121,17 @@ fn golden_traces_for_every_predicate_family() {
                 q.id
             );
         }
+
+        // Vectorized-filter arithmetic: every row the prefilter decided
+        // plus every selection-vector survivor was a refine candidate.
+        // (Generic, non-vectorized filters add candidates without
+        // prefilter counts, hence `<=`.)
+        assert!(
+            trace.counter("prefilter_rejects") + trace.counter("selvec_survivors")
+                <= trace.counter("refine_candidates"),
+            "{}: prefilter accounting exceeds refine candidates",
+            q.id
+        );
     }
 }
 

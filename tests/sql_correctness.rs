@@ -4,7 +4,7 @@
 
 use jackpine::bench::load_dataset;
 use jackpine::datagen::{TigerConfig, TigerDataset};
-use jackpine::engine::{EngineProfile, SpatialConnector, SpatialDb};
+use jackpine::engine::{EngineProfile, SpatialDb};
 use jackpine::geom::algorithms as alg;
 use jackpine::geom::{wkt, Geometry};
 use jackpine::storage::Value;

@@ -1,0 +1,309 @@
+//! Vectorized-vs-row equivalence: the batch executor (columnar MBR
+//! prefilter + selection-vector refine) must be **bit-identical** to the
+//! row-at-a-time filter — same rows in the same order, same errors, same
+//! NULL semantics, same DE-9IM outcomes — at every worker count and
+//! batch size, including batch sizes that leave ragged tails (1, 7) and
+//! the default (1024, larger than every corpus here so a whole morsel is
+//! one batch).
+//!
+//! The corpus mixes grid-snapped polygons/lines/points (shared edges and
+//! corner contacts are common, not measure-zero), NULL geometries,
+//! empty geometries (NaN-envelope encoding), and — for the error-path
+//! checks — mixed-dimension geometry collections that the DE-9IM
+//! machinery rejects, so refine-stage errors must surface identically
+//! and at the same first row on both paths.
+
+use jackpine::bench::load_dataset;
+use jackpine::bench::micro::{analysis_suite, topo_suite};
+use jackpine::datagen::{TigerConfig, TigerDataset};
+use jackpine::engine::{EngineProfile, SpatialDb};
+use jackpine::sql::ResultSet;
+use std::sync::Arc;
+
+/// Deterministic 64-bit LCG (same constants as the in-tree PRNG).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 16
+    }
+
+    fn below(&mut self, n: u64) -> i64 {
+        (self.next() % n) as i64
+    }
+}
+
+/// Grid-snapped WKT corpus: rectangles, triangles, line walks, points,
+/// plus pinned boundary-contact cases, one empty geometry and NULLs
+/// (added by the loader). Integer coordinates make touches/equality
+/// common.
+fn corpus_wkts(seed: u64) -> Vec<String> {
+    let mut rng = Lcg(seed);
+    let mut all: Vec<String> = vec![
+        // Shared full edge, corner-only contact, identical squares.
+        "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))".into(),
+        "POLYGON ((2 0, 4 0, 4 2, 2 2, 2 0))".into(),
+        "POLYGON ((4 2, 6 2, 6 4, 4 4, 4 2))".into(),
+        "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))".into(),
+        // Donut with a square exactly filling the hole ring.
+        "POLYGON ((-1 -1, 3 -1, 3 3, -1 3, -1 -1), (0 0, 2 0, 2 2, 0 2, 0 0))".into(),
+        "POLYGON ((0.5 0.5, 1.5 0.5, 1.5 1.5, 0.5 1.5, 0.5 0.5))".into(),
+        // Lines on an edge, through an interior, ending on a boundary.
+        "LINESTRING (0 0, 2 0)".into(),
+        "LINESTRING (-1 1, 3 1)".into(),
+        "LINESTRING (2 2, 5 5)".into(),
+        // Boundary vertex, edge point, interior point.
+        "POINT (0 0)".into(),
+        "POINT (1 0)".into(),
+        "POINT (1 1)".into(),
+        // Empty geometry: NaN-quad envelope, intersects nothing.
+        "GEOMETRYCOLLECTION EMPTY".into(),
+    ];
+    for _ in 0..8 {
+        let (x, y) = (rng.below(8), rng.below(8));
+        let (w, h) = (1 + rng.below(4), 1 + rng.below(4));
+        all.push(format!(
+            "POLYGON (({x} {y}, {} {y}, {} {}, {x} {}, {x} {y}))",
+            x + w,
+            x + w,
+            y + h,
+            y + h
+        ));
+        let (px, py) = (rng.below(10), rng.below(10));
+        all.push(format!("POINT ({px} {py})"));
+        let (mut lx, mut ly) = (rng.below(8), rng.below(8));
+        let mut pts = vec![format!("{lx} {ly}")];
+        for _ in 0..2 + rng.below(3) {
+            match rng.below(4) {
+                0 => lx += 1 + rng.below(2),
+                1 => lx -= 1 + rng.below(2),
+                2 => ly += 1 + rng.below(2),
+                _ => ly -= 1 + rng.below(2),
+            }
+            pts.push(format!("{lx} {ly}"));
+        }
+        all.push(format!("LINESTRING ({})", pts.join(", ")));
+    }
+    all
+}
+
+/// A table of the corpus with NULL-geometry rows and a non-geometry
+/// column, spatially indexed. NULL operands make some predicates
+/// (e.g. `ST_Disjoint`) raise a type error — identically on both paths
+/// — so the counter test, which needs every query to succeed, builds
+/// its table with `with_nulls = false`.
+fn corpus_db_with(seed: u64, with_nulls: bool) -> Arc<SpatialDb> {
+    let db = Arc::new(SpatialDb::new(EngineProfile::ExactRtree));
+    db.execute("CREATE TABLE shapes (id BIGINT, tag TEXT, geom GEOMETRY)").unwrap();
+    for (i, w) in corpus_wkts(seed).iter().enumerate() {
+        db.execute(&format!("INSERT INTO shapes VALUES ({i}, 't{i}', ST_GeomFromText('{w}'))"))
+            .unwrap();
+    }
+    if with_nulls {
+        db.execute("INSERT INTO shapes VALUES (900, 'null-geom', NULL)").unwrap();
+        db.execute("INSERT INTO shapes VALUES (901, NULL, NULL)").unwrap();
+    }
+    db.create_spatial_index("shapes", "geom").unwrap();
+    db
+}
+
+fn corpus_db(seed: u64) -> Arc<SpatialDb> {
+    corpus_db_with(seed, true)
+}
+
+const PREDICATES: [&str; 10] = [
+    "ST_Equals",
+    "ST_Disjoint",
+    "ST_Intersects",
+    "ST_Touches",
+    "ST_Crosses",
+    "ST_Within",
+    "ST_Contains",
+    "ST_Overlaps",
+    "ST_Covers",
+    "ST_CoveredBy",
+];
+
+/// Worker counts × batch sizes the vectorized path is swept over.
+const WORKERS: [usize; 2] = [1, 4];
+const BATCH_SIZES: [usize; 3] = [1, 7, 1024];
+
+/// Runs `sql` with the row path (vectorized off, serial) as the
+/// reference, then asserts the vectorized path reproduces it exactly —
+/// same `ResultSet` (content **and** order) or the same error message —
+/// at every worker count and batch size.
+fn assert_equivalent(db: &Arc<SpatialDb>, label: &str, sql: &str) {
+    db.set_vectorized(false);
+    db.set_workers(1);
+    let reference = db.execute(sql);
+    db.set_vectorized(true);
+    for workers in WORKERS {
+        for bs in BATCH_SIZES {
+            db.set_workers(workers);
+            db.set_batch_size(bs);
+            let vectorized = db.execute(sql);
+            match (&reference, &vectorized) {
+                (Ok(r), Ok(v)) => assert_eq!(
+                    r, v,
+                    "{label}: row path vs vectorized (workers={workers}, batch={bs}) differ"
+                ),
+                (Err(r), Err(v)) => assert_eq!(
+                    r.to_string(),
+                    v.to_string(),
+                    "{label}: error text differs (workers={workers}, batch={bs})"
+                ),
+                (r, v) => panic!(
+                    "{label}: row path gave {} but vectorized (workers={workers}, batch={bs}) \
+                     gave {}",
+                    if r.is_ok() { "Ok" } else { "Err" },
+                    if v.is_ok() { "Ok" } else { "Err" }
+                ),
+            }
+        }
+    }
+    db.set_workers(1);
+    db.set_batch_size(0);
+}
+
+/// Every named predicate over every ordered corpus pair — self-join,
+/// column-column operands (the pairwise kernel) — plus NULL rows that
+/// must vanish from every predicate's output on both paths.
+#[test]
+fn self_joins_identical_across_paths() {
+    let db = corpus_db(0x9e3779b97f4a7c15);
+    for pred in PREDICATES {
+        let sql = format!("SELECT a.id, b.id FROM shapes a, shapes b WHERE {pred}(a.geom, b.geom)");
+        assert_equivalent(&db, pred, &sql);
+    }
+}
+
+/// Constant-probe filters (the column-vs-constant kernel) through the
+/// spatial index scan, including a probe that overlaps nothing.
+#[test]
+fn constant_filters_identical_across_paths() {
+    let db = corpus_db(0xdecafbad);
+    let probes = [
+        "POLYGON ((0 0, 3 0, 3 3, 0 3, 0 0))",
+        "POLYGON ((100 100, 101 100, 101 101, 100 101, 100 100))",
+        "POINT (1 1)",
+    ];
+    for probe in probes {
+        for pred in ["ST_Intersects", "ST_Disjoint", "ST_Within", "ST_Contains"] {
+            let sql = format!(
+                "SELECT id, tag FROM shapes WHERE {pred}(geom, \
+                 ST_GeomFromText('{probe}'))"
+            );
+            assert_equivalent(&db, &format!("{pred}/{probe}"), &sql);
+        }
+    }
+}
+
+/// Mixed-dimension geometry collections make the DE-9IM refine error
+/// out — but only for pairs whose envelopes intersect, so the prefilter
+/// must not change *which* row errors first. Both paths must return the
+/// same error text, and with prepared on and off.
+#[test]
+fn refine_errors_surface_identically() {
+    let db = corpus_db(0xfeedface);
+    // Envelope overlaps the whole grid corpus, so refine is reached.
+    db.execute(
+        "INSERT INTO shapes VALUES (800, 'mixed', ST_GeomFromText('GEOMETRYCOLLECTION (\
+         POINT (1 1), LINESTRING (0 0, 6 6))'))",
+    )
+    .unwrap();
+    for prepared in [true, false] {
+        db.set_prepared(prepared);
+        for pred in ["ST_Intersects", "ST_Touches", "ST_Equals"] {
+            let sql = format!("SELECT a.id FROM shapes a, shapes b WHERE {pred}(a.geom, b.geom)");
+            assert_equivalent(&db, &format!("{pred} prepared={prepared}"), &sql);
+        }
+        // A disjoint constant probe never refines against the mixed
+        // collection: both paths must succeed despite the poison row.
+        let ok = "SELECT COUNT(*) FROM shapes WHERE ST_Intersects(geom, \
+                  ST_GeomFromText('POLYGON ((50 50, 51 50, 51 51, 50 51, 50 50))'))";
+        db.set_vectorized(false);
+        assert!(db.execute(ok).is_ok(), "row path must skip env-disjoint poison row");
+        db.set_vectorized(true);
+        assert!(db.execute(ok).is_ok(), "vectorized must skip env-disjoint poison row");
+    }
+    db.set_prepared(true);
+}
+
+/// The full micro suites on generated TIGER data: realistic queries
+/// (index scans, joins, aggregates, analysis functions) must agree
+/// between the two executors at every worker count and batch size.
+#[test]
+fn micro_suites_identical_across_paths() {
+    let data = TigerDataset::generate(&TigerConfig { scale: 0.02, ..TigerConfig::default() });
+    let db = Arc::new(SpatialDb::new(EngineProfile::ExactRtree));
+    load_dataset(&db, &data).expect("dataset loads");
+    for q in topo_suite(&data).iter().chain(analysis_suite(&data).iter()) {
+        assert_equivalent(&db, q.id, &q.sql);
+    }
+}
+
+/// Sorted string rows, for content comparison in the counter test.
+fn sorted_rows(r: &ResultSet) -> Vec<Vec<String>> {
+    let mut rows: Vec<Vec<String>> =
+        r.rows.iter().map(|row| row.iter().map(|v| v.to_string()).collect()).collect();
+    rows.sort();
+    rows
+}
+
+/// Deterministic counters are a function of the statement sequence
+/// alone on the vectorized path: every (worker count, batch size)
+/// combination must report byte-identical values, and the refine
+/// counters shared with the row path (`refine_candidates`, `refine_hits`,
+/// `refine_short_circuits`) must match it exactly. The vectorized-only
+/// counters satisfy `prefilter_rejects + selvec_survivors ==
+/// refine_candidates` on this all-spatial workload.
+#[test]
+fn deterministic_counters_stable_across_batch_shapes() {
+    let suite: Vec<String> = PREDICATES
+        .iter()
+        .map(|p| format!("SELECT COUNT(*) FROM shapes a, shapes b WHERE {p}(a.geom, b.geom)"))
+        .collect();
+    let run = |vectorized: bool, workers: usize, bs: usize| {
+        let db = corpus_db_with(0x5eed, false);
+        db.set_vectorized(vectorized);
+        db.set_workers(workers);
+        db.set_batch_size(bs);
+        let before = db.metrics_snapshot();
+        let rows: Vec<_> = suite.iter().map(|sql| sorted_rows(&db.execute(sql).unwrap())).collect();
+        (rows, db.metrics_snapshot().delta_since(&before).deterministic_counters())
+    };
+
+    let (ref_rows, row_counters) = run(false, 1, 1024);
+    let (vec_rows, reference) = run(true, 1, 1024);
+    assert_eq!(ref_rows, vec_rows, "row and vectorized paths disagree on results");
+
+    let pick = |cs: &[(&str, u64)], name: &str| {
+        cs.iter().find(|(n, _)| *n == name).map(|(_, v)| *v).unwrap()
+    };
+    for shared in ["refine_candidates", "refine_hits", "refine_short_circuits"] {
+        assert_eq!(
+            pick(&row_counters, shared),
+            pick(&reference, shared),
+            "{shared} differs between row and vectorized paths"
+        );
+    }
+    assert_eq!(
+        pick(&reference, "prefilter_rejects") + pick(&reference, "selvec_survivors"),
+        pick(&reference, "refine_candidates"),
+        "every vectorized candidate is either MBR-decided or refined"
+    );
+    assert!(pick(&reference, "prefilter_rejects") > 0, "corpus must exercise the prefilter");
+    assert_eq!(pick(&row_counters, "prefilter_rejects"), 0, "row path must not prefilter");
+
+    for workers in WORKERS {
+        for bs in BATCH_SIZES {
+            let (rows, counters) = run(true, workers, bs);
+            assert_eq!(ref_rows, rows, "results differ at workers={workers}, batch={bs}");
+            assert_eq!(
+                reference, counters,
+                "deterministic counters differ at workers={workers}, batch={bs}"
+            );
+        }
+    }
+}
