@@ -854,6 +854,79 @@ fn bench_json(data: &TigerDataset, opts: &Options) {
         }
     }
 
+    // Multi-session write throughput: open-loop single-row INSERTs from
+    // concurrent sessions against one durable engine with per-commit
+    // fsync, a fixed total statement count, so the entry measures the
+    // commit path (MVCC publish + group-committed WAL) rather than data
+    // volume. Sessions share the fsync cost through the group-commit
+    // pipeline, so per-statement latency should not grow linearly with
+    // the session count.
+    let total_inserts = 2000usize;
+    let mut serial_insert_ms = None;
+    for sessions in [1usize, 4] {
+        let dir = std::env::temp_dir()
+            .join(format!("jackpine-bench-mvcc-{}-{sessions}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create bench persist dir");
+        let wdb = SpatialDb::open_durable(
+            &dir,
+            EngineProfile::ExactRtree,
+            DurabilityOptions { sync_each_append: true },
+        )
+        .expect("open durable bench engine");
+        wdb.execute("CREATE TABLE writes (id BIGINT, geom GEOMETRY)").expect("create");
+        let per_session = total_inserts / sessions;
+        let mut samples = Vec::with_capacity(opts.reps);
+        for rep in 0..opts.reps.max(1) {
+            let t0 = std::time::Instant::now();
+            std::thread::scope(|s| {
+                for w in 0..sessions {
+                    let wdb = wdb.clone();
+                    s.spawn(move || {
+                        let base = (rep * sessions + w) * per_session;
+                        for i in 0..per_session {
+                            let id = base + i;
+                            wdb.execute(&format!(
+                                "INSERT INTO writes VALUES ({id}, \
+                                 ST_GeomFromText('POINT ({} {})'))",
+                                id % 100,
+                                id / 100
+                            ))
+                            .expect("open-loop insert");
+                        }
+                    });
+                }
+            });
+            samples.push(t0.elapsed());
+        }
+        let stats = Stats::from_durations(&samples);
+        let per_stmt_ms = stats.mean_ms / total_inserts as f64;
+        println!(
+            "mvcc insert: sessions={sessions} {} ms for {total_inserts} statements \
+             ({:.4} ms/stmt)",
+            fmt_ms(stats.mean_ms),
+            per_stmt_ms
+        );
+        entries.push(BenchEntry {
+            name: format!("mvcc/insert-2000 sessions={sessions}"),
+            value: stats.mean_ms,
+            unit: "ms".into(),
+            stats: Some(stats),
+        });
+        if sessions == 1 {
+            serial_insert_ms = Some(stats.mean_ms);
+        } else if let Some(serial) = serial_insert_ms {
+            entries.push(BenchEntry {
+                name: format!("mvcc/insert-2000 multi_over_single sessions={sessions}"),
+                value: stats.mean_ms / serial,
+                unit: "ratio".into(),
+                stats: None,
+            });
+        }
+        drop(wdb);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     let run = BenchRun { schema_version: BENCH_SCHEMA_VERSION, entries };
     std::fs::write(&opts.bench_out, run.to_json())
         .unwrap_or_else(|e| panic!("write {}: {e}", opts.bench_out));

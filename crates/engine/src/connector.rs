@@ -1,5 +1,13 @@
 //! The portability layer: Jackpine drives any backend through this trait,
 //! the way the original harness drove any database with a JDBC driver.
+//!
+//! Sessions: a connector is `Send + Sync` and every method is `&self`,
+//! so each benchmark client thread simply shares the connector — the
+//! engine gives every SELECT an MVCC snapshot (readers never block on
+//! writers) and serializes DML statements through its internal writer
+//! lock with group-committed WAL fsyncs, so multi-session scenarios
+//! (F4/F8 and the `mvcc/` bench entries) need no per-thread connection
+//! objects or external locking.
 
 use crate::{EngineProfile, Result, SpatialDb};
 use jackpine_obs::{FingerprintStats, MetricsSnapshot, QueryTrace};

@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod checksum;
+pub mod commit;
 mod connector;
 mod db;
 pub mod failpoint;

@@ -38,7 +38,12 @@
 //!   snapshot.
 //! * **Consistent counts** — row payloads are streamed into the block
 //!   first and the row count written from what was actually streamed, so
-//!   a concurrent insert cannot produce a count/payload mismatch.
+//!   a concurrent insert cannot produce a count/payload mismatch. The
+//!   stream walks the latest committed state only: logically-deleted
+//!   rows awaiting vacuum are skipped, so truncating their pending WAL
+//!   `Delete` records at the same cut is harmless — the snapshot never
+//!   contained the victims, and recovery cannot resurrect them. (The
+//!   checkpoint holds the writer lock, so no statement is mid-publish.)
 //! * **Bounded allocation** — every `with_capacity` on a count read from
 //!   the file is clamped by the bytes remaining, so a corrupt count
 //!   cannot pre-allocate gigabytes before validation catches it.

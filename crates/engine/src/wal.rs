@@ -34,8 +34,12 @@ use std::path::{Path, PathBuf};
 
 /// WAL file magic.
 pub const WAL_MAGIC: &[u8; 4] = b"JKWL";
-/// WAL format version (2 added the generation field).
-pub const WAL_VERSION: u32 = 2;
+/// WAL format version (2 added the generation field; 3 added logical
+/// `Delete` records so DML no longer forces a checkpoint).
+pub const WAL_VERSION: u32 = 3;
+/// Oldest version replay still accepts. Version 2 logs contain a strict
+/// subset of version 3's record kinds, so they replay unchanged.
+pub const WAL_MIN_VERSION: u32 = 2;
 /// Bytes of file header before the first record frame.
 pub const WAL_HEADER_LEN: usize = 16;
 /// Bytes of framing (length + checksum) per record.
@@ -80,12 +84,24 @@ pub enum WalRecord {
         /// Indexed column name.
         column: String,
     },
+    /// One logically deleted row, identified by its full encoded value
+    /// rather than a `RowId`: row ids are not stable across a snapshot
+    /// reload (the snapshot compacts the heap), while byte-for-byte row
+    /// equality is — and it handles NaN coordinates, which `PartialEq`
+    /// on decoded values would not.
+    Delete {
+        /// Source table.
+        table: String,
+        /// The deleted row's values.
+        row: Row,
+    },
 }
 
 const KIND_CREATE_TABLE: u8 = 0;
 const KIND_INSERT: u8 = 1;
 const KIND_SPATIAL_INDEX: u8 = 2;
 const KIND_ORDERED_INDEX: u8 = 3;
+const KIND_DELETE: u8 = 4;
 
 fn put_str(buf: &mut Vec<u8>, s: &str) {
     buf.put_u32_le(s.len() as u32);
@@ -136,6 +152,11 @@ impl WalRecord {
                 put_str(&mut buf, table);
                 put_str(&mut buf, column);
             }
+            WalRecord::Delete { table, row } => {
+                buf.put_u8(KIND_DELETE);
+                put_str(&mut buf, table);
+                buf.put_slice(&Value::encode_row(row));
+            }
         }
         buf
     }
@@ -181,6 +202,11 @@ impl WalRecord {
                 let table = get_str(&mut data)?;
                 let column = get_str(&mut data)?;
                 Ok(WalRecord::CreateOrderedIndex { table, column })
+            }
+            KIND_DELETE => {
+                let table = get_str(&mut data)?;
+                let row = Value::decode_row(data)?;
+                Ok(WalRecord::Delete { table, row })
             }
             other => Err(persist_err(format!("WAL: unknown record kind {other}"))),
         }
@@ -228,6 +254,9 @@ pub struct Wal {
     sync: bool,
     /// Metrics registry counting appends and fsyncs, when attached.
     metrics: Option<std::sync::Arc<jackpine_obs::EngineMetrics>>,
+    /// Fault injection (tests): when set, the next append attempts fail
+    /// with an I/O-shaped error without touching the file.
+    fail_appends: std::sync::atomic::AtomicBool,
 }
 
 impl Wal {
@@ -241,7 +270,13 @@ impl Wal {
         if sync {
             file.sync_data().map_err(io_err)?;
         }
-        Ok(Wal { file: Mutex::new(file), path, sync, metrics: None })
+        Ok(Wal {
+            file: Mutex::new(file),
+            path,
+            sync,
+            metrics: None,
+            fail_appends: std::sync::atomic::AtomicBool::new(false),
+        })
     }
 
     /// Attaches a metrics registry: subsequent appends count into
@@ -255,10 +290,33 @@ impl Wal {
         &self.path
     }
 
+    /// Whether appends are durable (fsync-backed). The group-commit
+    /// pipeline consults this to decide if a batch needs an fsync at
+    /// all.
+    pub fn sync_enabled(&self) -> bool {
+        self.sync
+    }
+
+    /// Fault injection for tests: while enabled, every append attempt
+    /// fails without touching the file, simulating a full or failing
+    /// disk at the worst possible moment.
+    #[doc(hidden)]
+    pub fn set_fail_appends(&self, fail: bool) {
+        self.fail_appends.store(fail, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    fn check_fail(&self) -> Result<()> {
+        if self.fail_appends.load(std::sync::atomic::Ordering::SeqCst) {
+            return Err(persist_err("WAL I/O: injected append failure"));
+        }
+        Ok(())
+    }
+
     /// Appends one framed record. The frame is written with a single
     /// `write_all`, so a crash leaves at worst one torn frame at the tail
     /// — which replay detects and drops.
     pub fn append(&self, record: &WalRecord) -> Result<()> {
+        self.check_fail()?;
         let frame = record.frame();
         let mut file = self.file.lock();
         file.write_all(&frame).map_err(io_err)?;
@@ -270,6 +328,42 @@ impl Wal {
             if self.sync {
                 m.wal_fsyncs.incr();
             }
+        }
+        Ok(())
+    }
+
+    /// Appends a batch of framed records with a single `write_all` and
+    /// **no fsync** — the commit pipeline's staging write. A crash can
+    /// tear at most the batch's own tail, which replay drops; durability
+    /// arrives with the next [`Wal::sync`]. Counts one `wal_appends` per
+    /// record.
+    pub fn write_frames(&self, records: &[WalRecord]) -> Result<()> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        self.check_fail()?;
+        let mut buf = Vec::with_capacity(records.len() * 64);
+        for rec in records {
+            buf.extend_from_slice(&rec.frame());
+        }
+        let mut file = self.file.lock();
+        file.write_all(&buf).map_err(io_err)?;
+        drop(file);
+        if let Some(m) = &self.metrics {
+            m.wal_appends.add(records.len() as u64);
+        }
+        Ok(())
+    }
+
+    /// Flushes everything written so far to stable storage (one
+    /// `sync_data`). The group-commit leader calls this once per batch,
+    /// amortizing the fsync across every commit in it.
+    pub fn sync(&self) -> Result<()> {
+        let file = self.file.lock();
+        file.sync_data().map_err(io_err)?;
+        drop(file);
+        if let Some(m) = &self.metrics {
+            m.wal_fsyncs.incr();
         }
         Ok(())
     }
@@ -306,7 +400,8 @@ impl Wal {
             return 0;
         }
         data.advance(4);
-        if data.get_u32_le() != WAL_VERSION {
+        let version = data.get_u32_le();
+        if !(WAL_MIN_VERSION..=WAL_VERSION).contains(&version) {
             return 0;
         }
         data.get_u64_le()
@@ -348,7 +443,7 @@ impl Wal {
         }
         data.advance(4);
         let version = data.get_u32_le();
-        if version != WAL_VERSION {
+        if !(WAL_MIN_VERSION..=WAL_VERSION).contains(&version) {
             return Err(persist_err(format!("WAL: unsupported version {version}")));
         }
         let generation = data.get_u64_le();
@@ -410,6 +505,7 @@ mod tests {
             WalRecord::Insert { table: "t".into(), row: vec![Value::Int(8), Value::Null] },
             WalRecord::CreateOrderedIndex { table: "t".into(), column: "name".into() },
             WalRecord::CreateSpatialIndex { table: "t".into(), column: "geom".into() },
+            WalRecord::Delete { table: "t".into(), row: vec![Value::Int(7), Value::Null] },
         ]
     }
 
@@ -491,6 +587,63 @@ mod tests {
             assert!(replay.records.is_empty(), "cut at {cut}");
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v2_logs_still_replay() {
+        let path = temp_path("v2");
+        let wal = Wal::create(&path, false, 4).unwrap();
+        // v2 record kinds only (Delete is v3-new).
+        let recs: Vec<WalRecord> = sample_records()
+            .into_iter()
+            .filter(|r| !matches!(r, WalRecord::Delete { .. }))
+            .collect();
+        for rec in &recs {
+            wal.append(rec).unwrap();
+        }
+        drop(wal);
+        // Restamp the header version to 2.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[4..8].copy_from_slice(&2u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let replay = Wal::replay(&path).unwrap();
+        assert_eq!(replay.records, recs);
+        assert_eq!(replay.generation, 4);
+        assert_eq!(Wal::peek_generation(&path), 4);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn write_frames_batch_replays_like_individual_appends() {
+        let path = temp_path("frames");
+        let wal = Wal::create(&path, false, 1).unwrap();
+        let recs = sample_records();
+        wal.write_frames(&recs).unwrap();
+        wal.write_frames(&[]).unwrap(); // no-op
+        wal.sync().unwrap();
+        drop(wal);
+        let replay = Wal::replay(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(replay.records, recs);
+        assert_eq!(replay.ignored_tail, 0);
+    }
+
+    #[test]
+    fn injected_append_failure_leaves_no_partial_frames() {
+        let path = temp_path("failinject");
+        let wal = Wal::create(&path, false, 1).unwrap();
+        let recs = sample_records();
+        wal.append(&recs[0]).unwrap();
+        wal.set_fail_appends(true);
+        assert!(wal.append(&recs[1]).is_err());
+        assert!(wal.write_frames(&recs[1..3]).is_err());
+        wal.set_fail_appends(false);
+        wal.append(&recs[1]).unwrap();
+        drop(wal);
+        let replay = Wal::replay(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(replay.records, recs[..2]);
+        assert_eq!(replay.ignored_tail, 0, "failed appends wrote nothing");
     }
 
     #[test]

@@ -82,7 +82,7 @@ pub const DETERMINISTIC_COUNTERS: [&str; 12] = [
 
 /// Counters whose value depends on scheduling (worker count, cache
 /// state), snapshot-ordered after the deterministic set.
-pub const SCHEDULING_COUNTERS: [&str; 7] = [
+pub const SCHEDULING_COUNTERS: [&str; 9] = [
     "plan_cache_hits",
     "plan_cache_misses",
     "prepared_cache_hits",
@@ -90,6 +90,8 @@ pub const SCHEDULING_COUNTERS: [&str; 7] = [
     "prepared_cache_evictions",
     "morsels_dispatched",
     "batches_dispatched",
+    "group_commit_batches",
+    "group_commit_size",
 ];
 
 /// All counters and histograms the engine maintains. One instance per
@@ -140,8 +142,18 @@ pub struct EngineMetrics {
     pub morsels_dispatched: Counter,
     /// Batches processed by the vectorized filter path.
     pub batches_dispatched: Counter,
+    /// Fsync batches flushed by the group-commit pipeline (one leader
+    /// `sync_data` per batch).
+    pub group_commit_batches: Counter,
+    /// Commits covered by those batches; `group_commit_size /
+    /// group_commit_batches` is the mean batch size, and the pipeline
+    /// guarantees at most one fsync per batch.
+    pub group_commit_size: Counter,
     /// Nanoseconds from query start to each morsel claim.
     pub morsel_wait_ns: Histogram,
+    /// Microseconds each committing session waited for its group-commit
+    /// batch to reach disk (queue wait + shared fsync).
+    pub commit_wait_us: Histogram,
     /// Self-time per stage, nanoseconds (indexed by `Stage`).
     stage_ns: [Histogram; 6],
 }
@@ -179,6 +191,8 @@ impl EngineMetrics {
             "prepared_cache_evictions" => &self.prepared_cache_evictions,
             "morsels_dispatched" => &self.morsels_dispatched,
             "batches_dispatched" => &self.batches_dispatched,
+            "group_commit_batches" => &self.group_commit_batches,
+            "group_commit_size" => &self.group_commit_size,
             other => panic!("unknown counter {other:?}"),
         }
     }
@@ -195,6 +209,7 @@ impl EngineMetrics {
             counters,
             stages: Stage::ALL.map(|s| (s, self.stage_ns[s.index()].snapshot())),
             morsel_wait_ns: self.morsel_wait_ns.snapshot(),
+            commit_wait_us: self.commit_wait_us.snapshot(),
         }
     }
 }
@@ -211,6 +226,8 @@ pub struct MetricsSnapshot {
     pub stages: [(Stage, HistogramSnapshot); 6],
     /// Morsel queue-wait histogram.
     pub morsel_wait_ns: HistogramSnapshot,
+    /// Group-commit wait histogram (microseconds per committed session).
+    pub commit_wait_us: HistogramSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -245,6 +262,7 @@ impl MetricsSnapshot {
                 (s, now.delta_since(then))
             }),
             morsel_wait_ns: self.morsel_wait_ns.delta_since(&earlier.morsel_wait_ns),
+            commit_wait_us: self.commit_wait_us.delta_since(&earlier.commit_wait_us),
         }
     }
 
@@ -273,8 +291,12 @@ impl MetricsSnapshot {
             ));
         }
         out.push_str(&format!(
-            "}},\"morsel_wait_ns\":{{\"count\":{},\"sum_ns\":{},\"max_ns\":{}}}}}",
+            "}},\"morsel_wait_ns\":{{\"count\":{},\"sum_ns\":{},\"max_ns\":{}}}",
             self.morsel_wait_ns.count, self.morsel_wait_ns.sum, self.morsel_wait_ns.max
+        ));
+        out.push_str(&format!(
+            ",\"commit_wait_us\":{{\"count\":{},\"sum_us\":{},\"max_us\":{}}}}}",
+            self.commit_wait_us.count, self.commit_wait_us.sum, self.commit_wait_us.max
         ));
         out
     }

@@ -19,7 +19,7 @@ use crate::batch::{MbrColumn, MbrQuad, DEFAULT_BATCH_SIZE};
 use crate::functions::{self, FunctionMode};
 use crate::plan::{AggExpr, AggOutput, BoundExpr, PlanNode, PlannedSelect};
 use crate::prepared::PreparedCache;
-use crate::provider::TableProvider;
+use crate::provider::{SnapshotHandle, TableProvider};
 use crate::{Result, SqlError};
 use jackpine_geom::{Envelope, Geometry};
 use jackpine_obs::{EngineMetrics, Stage};
@@ -98,6 +98,12 @@ pub struct ExecOptions {
     pub vectorized: bool,
     /// Rows per batch on the vectorized path; clamped to at least 1.
     pub batch_size: usize,
+    /// The statement snapshot, when the engine pinned one. Every
+    /// snapshot-capable provider in the plan is resolved to a pinned
+    /// copy before execution starts, so all reads — scans, index
+    /// probes, join-side fetches — observe one commit generation.
+    /// `None` reads providers live (tests and embedded use).
+    pub snapshot: Option<Arc<dyn SnapshotHandle>>,
 }
 
 impl Default for ExecOptions {
@@ -108,6 +114,7 @@ impl Default for ExecOptions {
             prepared: None,
             vectorized: true,
             batch_size: DEFAULT_BATCH_SIZE,
+            snapshot: None,
         }
     }
 }
@@ -126,6 +133,7 @@ pub fn execute_with(plan: &PlannedSelect, opts: &ExecOptions) -> Result<ResultSe
         prepared: opts.prepared.clone(),
         vectorized: opts.vectorized,
         batch_size: opts.batch_size.max(1),
+        pins: build_pins(&plan.root, opts.snapshot.as_ref()),
     };
     let lazy = run(&plan.root, &ctx)?;
     // Final materialization: the only place surviving rows are deep-copied.
@@ -281,9 +289,48 @@ struct ExecCtx {
     prepared: Option<Arc<PreparedCache>>,
     vectorized: bool,
     batch_size: usize,
+    /// Plan-provider identity (thin `Arc` pointer) → its snapshot-pinned
+    /// replacement. Built once per statement; empty when executing
+    /// without a snapshot. Cached plans hold live providers, so pinning
+    /// per execution is what lets one plan serve many snapshots.
+    pins: HashMap<usize, Arc<dyn TableProvider>>,
+}
+
+/// Thin-pointer identity of a provider `Arc` (vtable discarded): the
+/// pin-map key. A self-join shares one `Arc`, hence one pin.
+fn provider_key(table: &Arc<dyn TableProvider>) -> usize {
+    Arc::as_ptr(table) as *const () as usize
+}
+
+/// Resolves every distinct provider in the plan to its snapshot-pinned
+/// copy. Providers that decline (`pin_snapshot` → `None`) are read live.
+fn build_pins(
+    root: &PlanNode,
+    snapshot: Option<&Arc<dyn SnapshotHandle>>,
+) -> HashMap<usize, Arc<dyn TableProvider>> {
+    let mut pins = HashMap::new();
+    if let Some(snap) = snapshot {
+        let mut providers = Vec::new();
+        root.collect_providers(&mut providers);
+        for p in providers {
+            let key = provider_key(p);
+            if let std::collections::hash_map::Entry::Vacant(e) = pins.entry(key) {
+                if let Some(pinned) = p.pin_snapshot(snap) {
+                    e.insert(pinned);
+                }
+            }
+        }
+    }
+    pins
 }
 
 impl ExecCtx {
+    /// The provider to actually read from: the snapshot-pinned copy when
+    /// the statement pinned one, otherwise `table` itself.
+    fn src<'a>(&'a self, table: &'a Arc<dyn TableProvider>) -> &'a Arc<dyn TableProvider> {
+        self.pins.get(&provider_key(table)).unwrap_or(table)
+    }
+
     /// Runs `f`, recording its elapsed time as one sample of `stage` when
     /// metrics are attached — but only when `f` returns `Some`, so a query
     /// whose index was dropped does not report an `index_probe` stage for
@@ -517,8 +564,12 @@ fn run(node: &PlanNode, ctx: &ExecCtx) -> Result<Vec<LazyRow>> {
     let mode = ctx.mode;
     match node {
         PlanNode::SingleRow => Ok(vec![LazyRow::empty()]),
-        PlanNode::Scan { table } => fetch_rows(table, table.row_ids(), ctx),
+        PlanNode::Scan { table } => {
+            let table = ctx.src(table);
+            fetch_rows(table, table.row_ids(), ctx)
+        }
         PlanNode::SpatialIndexScan { table, col, query, expand } => {
+            let table = ctx.src(table);
             let env = probe_envelope(query, expand, mode)?;
             let ids = ctx.stage_if_some(Stage::IndexProbe, || table.spatial_candidates(*col, &env));
             match ids {
@@ -527,6 +578,7 @@ fn run(node: &PlanNode, ctx: &ExecCtx) -> Result<Vec<LazyRow>> {
             }
         }
         PlanNode::OrderedIndexScan { table, col, key } => {
+            let table = ctx.src(table);
             let key = eval_const(key, mode)?;
             let ids = ctx.stage_if_some(Stage::IndexProbe, || table.ordered_candidates(*col, &key));
             match ids {
@@ -535,6 +587,7 @@ fn run(node: &PlanNode, ctx: &ExecCtx) -> Result<Vec<LazyRow>> {
             }
         }
         PlanNode::KnnScan { table, col, query, k } => {
+            let table = ctx.src(table);
             let g = eval_const(query, mode)?;
             let geom = g
                 .as_geom()
@@ -604,6 +657,7 @@ fn run(node: &PlanNode, ctx: &ExecCtx) -> Result<Vec<LazyRow>> {
             })
         }
         PlanNode::SpatialIndexJoin { left, right, right_col, probe, expand } => {
+            let right = ctx.src(right);
             let l = run(left, ctx)?;
             let expand_by = match expand {
                 Some(e) => eval_const(e, mode)?
@@ -956,8 +1010,12 @@ fn vectorized_filter(
     // cache instead of touching each geometry. The scan logic here
     // mirrors the corresponding `run` arms, stage recording included.
     let scanned = match input {
-        PlanNode::Scan { table } => Some((table, table.row_ids())),
+        PlanNode::Scan { table } => {
+            let table = ctx.src(table);
+            Some((table, table.row_ids()))
+        }
         PlanNode::SpatialIndexScan { table, col, query, expand } => {
+            let table = ctx.src(table);
             let env = probe_envelope(query, expand, ctx.mode)?;
             let ids = ctx
                 .stage_if_some(Stage::IndexProbe, || table.spatial_candidates(*col, &env))
@@ -1477,6 +1535,7 @@ mod tests {
             prepared: None,
             vectorized: true,
             batch_size: DEFAULT_BATCH_SIZE,
+            pins: HashMap::new(),
         };
         let items: Vec<usize> = (0..10_000).collect();
         let out = ctx.parallel_morsels(&items, |chunk| Ok(chunk.to_vec())).unwrap();

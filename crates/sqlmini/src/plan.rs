@@ -919,6 +919,32 @@ impl PlanNode {
             }
         }
     }
+
+    /// Appends every table provider the plan reads (leaves and probed
+    /// join sides) to `out`, duplicates included. The executor uses this
+    /// to pin each distinct provider to the statement snapshot.
+    pub fn collect_providers<'a>(&'a self, out: &mut Vec<&'a Arc<dyn TableProvider>>) {
+        match self {
+            PlanNode::SingleRow => {}
+            PlanNode::Scan { table }
+            | PlanNode::SpatialIndexScan { table, .. }
+            | PlanNode::OrderedIndexScan { table, .. }
+            | PlanNode::KnnScan { table, .. } => out.push(table),
+            PlanNode::Filter { input, .. }
+            | PlanNode::Project { input, .. }
+            | PlanNode::Aggregate { input, .. }
+            | PlanNode::Sort { input, .. }
+            | PlanNode::Limit { input, .. } => input.collect_providers(out),
+            PlanNode::NestedLoopJoin { left, right } => {
+                left.collect_providers(out);
+                right.collect_providers(out);
+            }
+            PlanNode::SpatialIndexJoin { left, right, .. } => {
+                left.collect_providers(out);
+                out.push(right);
+            }
+        }
+    }
 }
 
 /// Binds an expression against a bare `(alias, column)` list, for callers

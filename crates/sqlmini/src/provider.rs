@@ -10,6 +10,17 @@ use jackpine_geom::{Coord, Envelope};
 use jackpine_storage::{Row, RowId, Schema, Value};
 use std::sync::Arc;
 
+/// A statement-scoped snapshot pin, created by the engine before a
+/// SELECT executes and dropped when it finishes. The handle fixes one
+/// commit generation for the whole statement — every table the plan
+/// touches is pinned at the same generation, so multi-table reads are
+/// consistent even while writers commit concurrently — and keeps that
+/// generation's rows reclaimable-proof while any reader holds it.
+pub trait SnapshotHandle: Send + Sync + std::fmt::Debug {
+    /// The commit generation this handle pins.
+    fn generation(&self) -> u64;
+}
+
 /// A readable table with optional index access paths.
 pub trait TableProvider: Send + Sync {
     /// The table's schema.
@@ -40,6 +51,16 @@ pub trait TableProvider: Send + Sync {
     /// store return `None` and the executor computes envelopes from the
     /// fetched rows instead.
     fn fetch_mbrs(&self, _col: usize, _ids: &[RowId]) -> Option<Vec<Option<[f64; 4]>>> {
+        None
+    }
+
+    /// A copy of this provider pinned to the statement snapshot `snap`:
+    /// its reads observe exactly the rows visible at
+    /// `snap.generation()`, regardless of concurrent writers. `None`
+    /// (the default) means the provider has no snapshot support and the
+    /// executor reads it live.
+    fn pin_snapshot(&self, snap: &Arc<dyn SnapshotHandle>) -> Option<Arc<dyn TableProvider>> {
+        let _ = snap;
         None
     }
 }

@@ -1,5 +1,20 @@
 //! Heap files: unordered collections of rows in slotted pages, with a
 //! decoded-row cache that the benchmark's cold mode can evict.
+//!
+//! # Row visibility (MVCC)
+//!
+//! Each row optionally carries a `(born, died)` generation pair in a
+//! side table. A reader pinned at generation `g` sees exactly the rows
+//! with `born <= g && died > g`; rows without an entry are visible at
+//! every generation. Writers stamp new rows with their commit
+//! generation ([`HeapFile::insert_at`]) and delete logically
+//! ([`HeapFile::mark_deleted`]) so concurrent snapshot readers keep
+//! seeing the old version until every snapshot that could need it is
+//! gone — at which point [`HeapFile::reclaim`] tombstones the bytes and
+//! [`HeapFile::settle`] prunes entries the visibility horizon has
+//! passed, restoring the metadata-free fast path. Slots are never
+//! reused (deletes tombstone, inserts append), so a `RowId` names one
+//! row version forever.
 
 use crate::page::Page;
 use crate::sync::{Mutex, RwLock};
@@ -51,10 +66,17 @@ pub struct HeapFile {
     /// executor's MBR-column gather into an O(1) copy per row. Sharded
     /// like the row cache; invalidated with it.
     mbr_cache: [MbrCacheShard; CACHE_SHARDS],
+    /// Per-row `(born, died)` visibility generations. Absent = visible
+    /// at every generation. Kept small by [`HeapFile::settle`]: when
+    /// empty, every visibility query takes the metadata-free fast path.
+    meta: RwLock<HashMap<RowId, (u64, u64)>>,
     row_count: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
 }
+
+/// `died` value of a live row: visible to every future generation.
+const LIVE: u64 = u64::MAX;
 
 impl HeapFile {
     /// Creates an empty heap for rows of `schema`.
@@ -64,6 +86,7 @@ impl HeapFile {
             pages: RwLock::new(vec![Page::new()]),
             cache: std::array::from_fn(|_| Mutex::new(HashMap::new())),
             mbr_cache: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            meta: RwLock::new(HashMap::new()),
             row_count: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -82,8 +105,8 @@ impl HeapFile {
             [(id.page as usize).wrapping_mul(31).wrapping_add(id.slot as usize) % CACHE_SHARDS]
     }
 
-    /// Drops any cached MBR quads for `id`. Row ids can be reused after
-    /// a delete, so both delete and insert must invalidate.
+    /// Drops any cached MBR quads for `id`. Slots are never reused, so
+    /// only deletion (physical removal of the bytes) must invalidate.
     fn invalidate_mbrs(&self, id: RowId) {
         let ncols = self.schema.columns().len();
         let mut shard = self.mbr_shard(id).lock();
@@ -107,8 +130,18 @@ impl HeapFile {
         self.len() == 0
     }
 
-    /// Validates and appends a row; returns its id.
+    /// Validates and appends a row visible at every generation; returns
+    /// its id.
     pub fn insert(&self, row: Row) -> Result<RowId> {
+        self.insert_at(row, 0)
+    }
+
+    /// Validates and appends a row born at generation `born` (`0` =
+    /// visible since the beginning); returns its id. The row is
+    /// invisible to snapshot readers pinned before `born` and becomes
+    /// visible to later snapshots once the owning transaction publishes
+    /// that generation.
+    pub fn insert_at(&self, row: Row, born: u64) -> Result<RowId> {
         self.schema.check_row(&row)?;
         let bytes = Value::encode_row(&row);
         let mut pages = self.pages.write();
@@ -121,13 +154,124 @@ impl HeapFile {
         };
         let slot = pages[page_idx].insert(&bytes);
         let id = RowId { page: page_idx as u32, slot };
+        if born > 0 {
+            // Publish the visibility entry while still holding the pages
+            // lock (lock order: pages before meta): a concurrent snapshot
+            // scan takes both and must never observe the bytes without
+            // the entry gating them, or an unpublished row would leak
+            // into an older snapshot.
+            self.meta.write().insert(id, (born, LIVE));
+        }
         drop(pages);
         self.row_count.fetch_add(1, Ordering::Relaxed);
-        // Freshly inserted rows are hot; a reused slot must not serve a
-        // stale MBR.
-        self.invalidate_mbrs(id);
+        // Slots are never reused, so no stale cache entry can exist for
+        // this id; just warm the row cache.
         self.cache_shard(id).lock().insert(id, Arc::new(row));
         Ok(id)
+    }
+
+    /// Logically deletes a row at generation `died`: snapshots pinned
+    /// before `died` keep seeing it; the bytes stay in place until
+    /// [`HeapFile::reclaim`]. Returns whether a live row existed.
+    pub fn mark_deleted(&self, id: RowId, died: u64) -> bool {
+        let live = {
+            let pages = self.pages.read();
+            pages.get(id.page as usize).is_some_and(|p| p.get(id.slot).is_ok())
+        };
+        if !live {
+            return false;
+        }
+        let mut meta = self.meta.write();
+        match meta.get_mut(&id) {
+            Some((_, d)) if *d != LIVE => return false, // already deleted
+            Some((_, d)) => *d = died,
+            None => {
+                meta.insert(id, (0, died));
+            }
+        }
+        drop(meta);
+        self.row_count.fetch_sub(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Undoes a [`HeapFile::mark_deleted`] (transaction rollback):
+    /// the row becomes live again. Returns whether it was dead.
+    pub fn revive(&self, id: RowId) -> bool {
+        let mut meta = self.meta.write();
+        let revived = match meta.get_mut(&id) {
+            Some((born, d)) if *d != LIVE => {
+                if *born == 0 {
+                    meta.remove(&id);
+                } else {
+                    *d = LIVE;
+                }
+                true
+            }
+            _ => false,
+        };
+        drop(meta);
+        if revived {
+            self.row_count.fetch_add(1, Ordering::Relaxed);
+        }
+        revived
+    }
+
+    /// Physically tombstones a logically-deleted row once no snapshot
+    /// can see it (vacuum). The live-row count was already adjusted by
+    /// [`HeapFile::mark_deleted`].
+    pub fn reclaim(&self, id: RowId) {
+        let mut pages = self.pages.write();
+        if let Some(page) = pages.get_mut(id.page as usize) {
+            page.delete(id.slot);
+        }
+        drop(pages);
+        self.meta.write().remove(&id);
+        self.cache_shard(id).lock().remove(&id);
+        self.invalidate_mbrs(id);
+    }
+
+    /// Prunes visibility entries the horizon has passed: a row born at
+    /// or before `horizon` and never deleted is visible to every
+    /// remaining snapshot, so its entry can revert to the metadata-free
+    /// default. Keeps the common all-settled case on the fast path.
+    pub fn settle(&self, horizon: u64) {
+        let mut meta = self.meta.write();
+        if !meta.is_empty() {
+            meta.retain(|_, (born, died)| *born > horizon || *died != LIVE);
+        }
+    }
+
+    /// Visibility entries currently held (tests and diagnostics).
+    pub fn meta_len(&self) -> usize {
+        self.meta.read().len()
+    }
+
+    /// Filters `ids` down to the rows visible at `gen`, preserving
+    /// order, under one metadata lock take. Ids are assumed physically
+    /// present (index candidates): a probe can only return an id whose
+    /// entries have not been vacuumed yet, and vacuum removes a row from
+    /// every index before it touches the heap, so a metadata-free id
+    /// here is a settled always-visible row. The common settled case
+    /// (no metadata at all) is a single is-empty check.
+    pub fn retain_visible(&self, ids: &mut Vec<RowId>, gen: u64) {
+        let meta = self.meta.read();
+        if meta.is_empty() {
+            return;
+        }
+        ids.retain(|id| match meta.get(id) {
+            Some((born, died)) => *born <= gen && *died > gen,
+            None => true,
+        });
+    }
+
+    /// Whether `id` is visible to a reader pinned at `gen`.
+    pub fn is_visible(&self, id: RowId, gen: u64) -> bool {
+        if let Some((born, died)) = self.meta.read().get(&id) {
+            return *born <= gen && *died > gen;
+        }
+        // No entry: visible at every generation, if physically present.
+        let pages = self.pages.read();
+        pages.get(id.page as usize).is_some_and(|p| p.get(id.slot).is_ok())
     }
 
     /// Fetches a row, consulting the decoded-row cache first.
@@ -150,7 +294,9 @@ impl HeapFile {
         Ok(row)
     }
 
-    /// Deletes a row. Returns whether it existed.
+    /// Immediately and physically deletes a row (single-session paths
+    /// and vacuum). Returns whether it existed. Snapshot-aware deletes
+    /// go through [`HeapFile::mark_deleted`] instead.
     pub fn delete(&self, id: RowId) -> bool {
         let mut pages = self.pages.write();
         let Some(page) = pages.get_mut(id.page as usize) else {
@@ -159,6 +305,7 @@ impl HeapFile {
         let deleted = page.delete(id.slot);
         drop(pages);
         if deleted {
+            self.meta.write().remove(&id);
             self.row_count.fetch_sub(1, Ordering::Relaxed);
             self.cache_shard(id).lock().remove(&id);
             self.invalidate_mbrs(id);
@@ -166,8 +313,66 @@ impl HeapFile {
         deleted
     }
 
-    /// All live row ids, in storage order.
+    /// All currently-live row ids (latest committed state), in storage
+    /// order. Excludes logically-deleted rows awaiting reclaim.
     pub fn row_ids(&self) -> Vec<RowId> {
+        let pages = self.pages.read();
+        let meta = self.meta.read();
+        let mut out = Vec::with_capacity(self.len());
+        if meta.is_empty() {
+            // Settled heap: every physically-present row is live.
+            for (pidx, page) in pages.iter().enumerate() {
+                for (slot, _) in page.iter() {
+                    out.push(RowId { page: pidx as u32, slot });
+                }
+            }
+        } else {
+            for (pidx, page) in pages.iter().enumerate() {
+                for (slot, _) in page.iter() {
+                    let id = RowId { page: pidx as u32, slot };
+                    match meta.get(&id) {
+                        Some((_, died)) if *died != LIVE => {}
+                        _ => out.push(id),
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Row ids visible to a snapshot pinned at generation `gen`, in
+    /// storage order: `born <= gen && died > gen`, plus every
+    /// metadata-free row.
+    pub fn row_ids_visible(&self, gen: u64) -> Vec<RowId> {
+        let pages = self.pages.read();
+        let meta = self.meta.read();
+        let mut out = Vec::with_capacity(self.len());
+        if meta.is_empty() {
+            // Settled heap: every physically-present row is visible at
+            // every generation.
+            for (pidx, page) in pages.iter().enumerate() {
+                for (slot, _) in page.iter() {
+                    out.push(RowId { page: pidx as u32, slot });
+                }
+            }
+        } else {
+            for (pidx, page) in pages.iter().enumerate() {
+                for (slot, _) in page.iter() {
+                    let id = RowId { page: pidx as u32, slot };
+                    match meta.get(&id) {
+                        Some((born, died)) if *born > gen || *died <= gen => {}
+                        _ => out.push(id),
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Every physically-present row id, including logically-deleted rows
+    /// awaiting reclaim. Index builds use this so rows still visible to
+    /// an older pinned snapshot remain probe-able through the new index.
+    pub fn row_ids_any(&self) -> Vec<RowId> {
         let pages = self.pages.read();
         let mut out = Vec::with_capacity(self.len());
         for (pidx, page) in pages.iter().enumerate() {
@@ -178,9 +383,20 @@ impl HeapFile {
         out
     }
 
-    /// Full scan: calls `visit` with every live row.
+    /// Full scan over the latest committed state: calls `visit` with
+    /// every live row.
     pub fn scan(&self, mut visit: impl FnMut(RowId, &Arc<Row>)) -> Result<()> {
         for id in self.row_ids() {
+            let row = self.get(id)?;
+            visit(id, &row);
+        }
+        Ok(())
+    }
+
+    /// Full scan over every physically-present row, including
+    /// logically-deleted ones (index builds).
+    pub fn scan_any(&self, mut visit: impl FnMut(RowId, &Arc<Row>)) -> Result<()> {
+        for id in self.row_ids_any() {
             let row = self.get(id)?;
             visit(id, &row);
         }
@@ -324,8 +540,8 @@ mod tests {
         // Batch accessor agrees with the scalar one and preserves order.
         assert_eq!(h.mbrs(1, &[id, id]).unwrap(), vec![Some([0.0, 0.0, 4.0, 2.0]); 2]);
 
-        // Delete then reuse the slot: the cached quad must not leak into
-        // the new row.
+        // Delete then insert again (slots are never reused, so the new
+        // row gets a fresh id and cannot see the old quad).
         assert!(h.delete(id));
         let g2 = jackpine_geom::wkt::parse("POINT (9 9)").unwrap();
         let id2 = h.insert(vec![Value::Int(2), Value::Geom(g2)]).unwrap();
@@ -335,6 +551,79 @@ mod tests {
         // value is recomputed identically from page bytes.
         h.clear_cache();
         assert_eq!(h.mbr(id2, 1).unwrap(), Some([9.0, 9.0, 9.0, 9.0]));
+    }
+
+    #[test]
+    fn visibility_generations_gate_readers() {
+        let h = heap();
+        let a = h.insert(vec![Value::Int(1), Value::Null]).unwrap(); // born 0
+        let b = h.insert_at(vec![Value::Int(2), Value::Null], 5).unwrap();
+        assert_eq!(h.len(), 2, "len counts latest state, not a snapshot");
+
+        // A snapshot pinned before b's birth sees only a.
+        assert_eq!(h.row_ids_visible(4), vec![a]);
+        assert!(h.is_visible(a, 4));
+        assert!(!h.is_visible(b, 4));
+        // At or after the birth generation, both.
+        assert_eq!(h.row_ids_visible(5), vec![a, b]);
+        assert_eq!(h.row_ids(), vec![a, b]);
+
+        // Logical delete of a at gen 7: old snapshots keep it, newer
+        // ones and the latest view lose it; the bytes stay readable.
+        assert!(h.mark_deleted(a, 7));
+        assert!(!h.mark_deleted(a, 8), "double delete refused");
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.row_ids_visible(6), vec![a, b]);
+        assert_eq!(h.row_ids_visible(7), vec![b]);
+        assert_eq!(h.row_ids(), vec![b]);
+        assert_eq!(h.row_ids_any(), vec![a, b]);
+        assert!(h.get(a).is_ok(), "dead row readable until reclaim");
+
+        // Vacuum: reclaim tombstones the bytes without touching len.
+        h.reclaim(a);
+        assert_eq!(h.len(), 1);
+        assert!(h.get(a).is_err());
+        assert_eq!(h.row_ids_any(), vec![b]);
+
+        // Settling past b's birth drops its entry; the heap is back on
+        // the metadata-free fast path with identical answers.
+        h.settle(5);
+        assert_eq!(h.meta_len(), 0);
+        assert_eq!(h.row_ids(), vec![b]);
+        assert!(h.is_visible(b, 0), "settled rows visible everywhere");
+    }
+
+    #[test]
+    fn revive_rolls_back_logical_delete() {
+        let h = heap();
+        let a = h.insert(vec![Value::Int(1), Value::Null]).unwrap();
+        let b = h.insert_at(vec![Value::Int(2), Value::Null], 3).unwrap();
+        assert!(h.mark_deleted(a, 9));
+        assert!(h.mark_deleted(b, 9));
+        assert_eq!(h.len(), 0);
+
+        assert!(h.revive(a));
+        assert!(h.revive(b));
+        assert!(!h.revive(a), "revive of a live row is a no-op");
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.row_ids(), vec![a, b]);
+        // a reverts to metadata-free; b keeps its birth generation.
+        assert!(!h.is_visible(b, 2));
+        assert!(h.is_visible(a, 0));
+    }
+
+    #[test]
+    fn settle_keeps_unreachable_births_and_pending_deletes() {
+        let h = heap();
+        let a = h.insert_at(vec![Value::Int(1), Value::Null], 4).unwrap();
+        let b = h.insert_at(vec![Value::Int(2), Value::Null], 8).unwrap();
+        assert!(h.mark_deleted(a, 9));
+        h.settle(8);
+        // a is logically deleted (must keep its entry until reclaim);
+        // b's birth has settled.
+        assert_eq!(h.meta_len(), 1);
+        assert!(!h.is_visible(a, 10));
+        assert!(h.is_visible(b, 0));
     }
 
     #[test]

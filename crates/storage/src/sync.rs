@@ -8,6 +8,7 @@
 //! acquirer simply proceeds, which matches `parking_lot` semantics.
 
 use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Duration;
 
 /// A mutual-exclusion lock whose `lock()` returns the guard directly.
 #[derive(Debug, Default)]
@@ -51,6 +52,45 @@ impl<T> RwLock<T> {
     }
 }
 
+/// A condition variable whose waits ignore poisoning, pairing with
+/// [`Mutex`] the way `parking_lot::Condvar` pairs with its mutex. Used
+/// by the engine's group-commit pipeline for leader/follower handoff.
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub fn new() -> Self {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Blocks until notified, re-acquiring the guard's lock.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.0.wait(guard).unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Blocks until notified or `dur` elapses. Returns the guard and
+    /// whether the wait timed out.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        let (guard, timeout) = self.0.wait_timeout(guard, dur).unwrap_or_else(|e| e.into_inner());
+        (guard, timeout.timed_out())
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,5 +120,32 @@ mod tests {
         .join();
         // parking_lot semantics: the lock is still usable afterwards.
         assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn condvar_notifies_waiter() {
+        let pair = std::sync::Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = pair.clone();
+        let waiter = std::thread::spawn(move || {
+            let (lock, cv) = &*pair2;
+            let mut ready = lock.lock();
+            while !*ready {
+                ready = cv.wait(ready);
+            }
+        });
+        {
+            let (lock, cv) = &*pair;
+            *lock.lock() = true;
+            cv.notify_all();
+        }
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn condvar_wait_timeout_expires() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let (_g, timed_out) = cv.wait_timeout(m.lock(), Duration::from_millis(1));
+        assert!(timed_out);
     }
 }

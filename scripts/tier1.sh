@@ -36,6 +36,10 @@ cargo test -q -p jackpine --test prepared_equivalence --offline
 echo "== vectorized-executor gate (batch path == row path, all batch shapes)"
 cargo test -q -p jackpine --test vectorized_equivalence --offline
 
+echo "== interleaving gate (MVCC snapshot isolation + group-commit accounting)"
+cargo test -q -p jackpine --test interleaving --offline
+cargo test -q -p jackpine --test concurrency --offline
+
 echo "== repro --trace smoke (every micro query emits a trace)"
 cargo run --release --offline -p jackpine-bench --bin repro -- \
   --scale 0.01 --quick --trace --metrics-json /tmp/jackpine_metrics.json \
@@ -76,5 +80,8 @@ cargo run --release --offline -p jackpine-bench --bin bench-diff -- \
 cargo run --release --offline -p jackpine-bench --bin bench-diff -- \
   BENCH_5.json BENCH_6.json > /dev/null \
   || { echo "bench-diff BENCH_5 vs BENCH_6 failed"; exit 1; }
+cargo run --release --offline -p jackpine-bench --bin bench-diff -- \
+  BENCH_6.json BENCH_7.json > /dev/null \
+  || { echo "bench-diff BENCH_6 vs BENCH_7 failed"; exit 1; }
 
 echo "tier-1 green"

@@ -2,9 +2,30 @@
 //! parallel readers and under readers racing writers.
 
 use jackpine::engine::{EngineProfile, SpatialConnector, SpatialDb};
+use jackpine::obs::DETERMINISTIC_COUNTERS;
 use jackpine::storage::Value;
 use std::sync::Arc;
 use std::thread;
+
+/// Deterministic xorshift64* — seeded sweeps must replay identically.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
 
 fn seeded_db() -> Arc<SpatialDb> {
     let db = Arc::new(SpatialDb::new(EngineProfile::ExactRtree));
@@ -80,6 +101,184 @@ fn readers_race_writers_without_corruption() {
     }
     let r = db.execute("SELECT COUNT(*) FROM pts").unwrap();
     assert_eq!(r.rows[0][0], Value::Int(400));
+}
+
+/// A seeded multi-session sweep: writers racing readers across every
+/// DML shape plus index DDL, with three invariants a snapshot reader
+/// must never see broken:
+///
+/// 1. A stable region (ids 0..100) that no writer touches spatially —
+///    every windowed count over it returns exactly 100.
+/// 2. A flag column flipped for the whole stable region in one UPDATE —
+///    readers see all-zeros or all-ones, never a mix (statement
+///    atomicity).
+/// 3. Batch churn (each writer INSERTs 5 rows in one statement, then
+///    DELETEs the batch in one statement) — the churn-region count is
+///    always a multiple of 5.
+#[test]
+fn seeded_multi_session_sweep_holds_snapshot_invariants() {
+    let db = Arc::new(SpatialDb::new(EngineProfile::ExactRtree));
+    db.execute("CREATE TABLE sweep (id BIGINT, flag BIGINT, geom GEOMETRY)").unwrap();
+    for i in 0..100 {
+        db.execute(&format!(
+            "INSERT INTO sweep VALUES ({i}, 0, ST_GeomFromText('POINT ({} {})'))",
+            i % 10,
+            i / 10
+        ))
+        .unwrap();
+    }
+    db.create_spatial_index("sweep", "geom").unwrap();
+
+    const SEED: u64 = 0x5eed_cafe;
+    const WRITERS: u64 = 3;
+    const READERS: usize = 3;
+    const ROUNDS: usize = 40;
+
+    thread::scope(|s| {
+        for w in 0..WRITERS {
+            let db = db.clone();
+            s.spawn(move || {
+                let mut rng = Rng::new(SEED ^ (w + 1));
+                // Each writer owns a disjoint id range for batch churn.
+                let base = 1000 * (w + 1);
+                for round in 0..ROUNDS {
+                    match rng.below(3) {
+                        0 => {
+                            // Atomic whole-region flag flip.
+                            db.execute("UPDATE sweep SET flag = 1 - flag WHERE id < 100")
+                                .expect("flip");
+                        }
+                        1 => {
+                            // One INSERT statement, 5 rows, far region.
+                            let tag = base + round as u64;
+                            let vals: Vec<String> = (0..5)
+                                .map(|j| {
+                                    format!(
+                                        "({tag}, -1, ST_GeomFromText('POINT ({} 0)'))",
+                                        5000 + j
+                                    )
+                                })
+                                .collect();
+                            db.execute(&format!("INSERT INTO sweep VALUES {}", vals.join(", ")))
+                                .expect("batch insert");
+                            db.execute(&format!("DELETE FROM sweep WHERE id = {tag}"))
+                                .expect("batch delete");
+                        }
+                        _ => {
+                            // Count-preserving geometry rewrite inside
+                            // the stable window (translate by zero).
+                            db.execute(
+                                "UPDATE sweep SET geom = ST_Translate(geom, 0, 0) \
+                                 WHERE id < 100",
+                            )
+                            .expect("rewrite");
+                        }
+                    }
+                }
+            });
+        }
+        // One DDL session churns an ordered index while DML runs; a
+        // concurrent drop may race a concurrent create, so only the
+        // engine's own invariants (not success) are asserted.
+        {
+            let db = db.clone();
+            s.spawn(move || {
+                for i in 0..20 {
+                    if i % 2 == 0 {
+                        let _ = db.create_ordered_index("sweep", "id");
+                    } else {
+                        let _ = db.drop_ordered_index("sweep", "id");
+                    }
+                }
+            });
+        }
+        for r in 0..READERS {
+            let db = db.clone();
+            s.spawn(move || {
+                let mut rng = Rng::new(SEED ^ (0x1000 + r as u64));
+                for _ in 0..ROUNDS * 2 {
+                    match rng.below(3) {
+                        0 => {
+                            let c = db
+                                .execute(
+                                    "SELECT COUNT(*) FROM sweep WHERE ST_Within(geom, \
+                                     ST_MakeEnvelope(-1, -1, 10.5, 10.5))",
+                                )
+                                .expect("window read");
+                            assert_eq!(
+                                c.rows[0][0],
+                                Value::Int(100),
+                                "stable region count drifted mid-statement"
+                            );
+                        }
+                        1 => {
+                            let c = db
+                                .execute("SELECT COUNT(*) FROM sweep WHERE id < 100 AND flag = 0")
+                                .expect("flag read");
+                            let n = match c.rows[0][0] {
+                                Value::Int(n) => n,
+                                ref other => panic!("count returned {other:?}"),
+                            };
+                            assert!(
+                                n == 0 || n == 100,
+                                "observed a half-applied UPDATE: {n} rows with flag = 0"
+                            );
+                        }
+                        _ => {
+                            let c = db
+                                .execute("SELECT COUNT(*) FROM sweep WHERE id >= 1000")
+                                .expect("churn read");
+                            let n = match c.rows[0][0] {
+                                Value::Int(n) => n,
+                                ref other => panic!("count returned {other:?}"),
+                            };
+                            assert_eq!(
+                                n % 5,
+                                0,
+                                "observed a half-applied batch INSERT/DELETE: {n} churn rows"
+                            );
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    // Quiesced end state: churn drained, stable region intact.
+    let c = db.execute("SELECT COUNT(*) FROM sweep WHERE id >= 1000").unwrap();
+    assert_eq!(c.rows[0][0], Value::Int(0));
+    let c = db.execute("SELECT COUNT(*) FROM sweep").unwrap();
+    assert_eq!(c.rows[0][0], Value::Int(100));
+}
+
+/// After a racing sweep, the deterministic counter set must still be
+/// worker-invariant: the same query, cold caches, produces identical
+/// deterministic deltas at 1 worker and at 4.
+#[test]
+fn deterministic_counters_stay_worker_invariant_after_dml() {
+    let db = seeded_db();
+    // Mix the visibility metadata: leave live tombstone traffic behind.
+    db.execute("UPDATE pts SET geom = ST_Translate(geom, 0, 0) WHERE id < 50").unwrap();
+    db.execute("DELETE FROM pts WHERE id >= 190").unwrap();
+
+    let sql = "SELECT COUNT(*) FROM pts WHERE ST_Within(geom, ST_MakeEnvelope(-1, -1, 9.5, 4.5))";
+    let mut deltas = Vec::new();
+    for workers in [1usize, 4] {
+        db.set_workers(workers);
+        db.clear_caches();
+        let (result, trace) = db.execute_traced(sql).expect("traced read");
+        deltas.push((workers, result, trace));
+    }
+    let (_, r1, t1) = &deltas[0];
+    let (_, r4, t4) = &deltas[1];
+    assert_eq!(r1, r4, "answers must not depend on worker count");
+    for name in DETERMINISTIC_COUNTERS {
+        assert_eq!(
+            t1.counter(name),
+            t4.counter(name),
+            "deterministic counter '{name}' varies with worker count"
+        );
+    }
 }
 
 #[test]

@@ -69,6 +69,8 @@ fn counter_names_are_golden() {
             "prepared_cache_evictions",
             "morsels_dispatched",
             "batches_dispatched",
+            "group_commit_batches",
+            "group_commit_size",
         ]
     );
     assert_eq!(
