@@ -1,0 +1,61 @@
+//! `prom-lint` — strict lint for Prometheus text-exposition output.
+//!
+//! ```text
+//! prom-lint <metrics.txt>...
+//! prom-lint -            # read one exposition from stdin
+//! ```
+//!
+//! Runs [`jackpine_obs::lint_prometheus_text`] over each input and
+//! prints every problem found (missing `HELP`/`TYPE` metadata,
+//! duplicate series, counters not ending in `_total`, malformed
+//! histogram bucket ladders, ...). This is the tier-1 gate behind the
+//! `repro --prom` surface: a malformed `/metrics` page fails the build
+//! here instead of a scrape in production.
+//!
+//! Exit status: 0 when every input lints clean, 1 when any problem was
+//! found, 2 on usage or I/O errors.
+
+use std::io::Read;
+
+fn usage() -> ! {
+    eprintln!("usage: prom-lint <metrics.txt>... (or '-' for stdin)");
+    std::process::exit(2)
+}
+
+fn main() {
+    let inputs: Vec<String> = std::env::args().skip(1).collect();
+    if inputs.is_empty() || inputs.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+    }
+    let mut problems = 0usize;
+    for path in &inputs {
+        let text = if path == "-" {
+            let mut buf = String::new();
+            std::io::stdin().read_to_string(&mut buf).unwrap_or_else(|e| {
+                eprintln!("prom-lint: cannot read stdin: {e}");
+                std::process::exit(2)
+            });
+            buf
+        } else {
+            std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("prom-lint: cannot read {path}: {e}");
+                std::process::exit(2)
+            })
+        };
+        let name = if path == "-" { "<stdin>" } else { path.as_str() };
+        let errors = jackpine_obs::lint_prometheus_text(&text);
+        let samples = text.lines().filter(|l| !l.trim().is_empty() && !l.starts_with('#')).count();
+        if errors.is_empty() {
+            println!("{name}: clean ({samples} samples)");
+        } else {
+            for e in &errors {
+                println!("{name}: {e}");
+            }
+            problems += errors.len();
+        }
+    }
+    if problems > 0 {
+        eprintln!("prom-lint: {problems} problem(s)");
+        std::process::exit(1);
+    }
+}

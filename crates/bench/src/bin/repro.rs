@@ -6,7 +6,8 @@
 //!       [--csv DIR] [--persist DIR] [--wal on|off] [--trace]
 //!       [--metrics-json FILE] [--trace-export FILE] [--top-queries K]
 //!       [--bench-out FILE] [--recorder on|off] [--prepared on|off]
-//!       [--vectorized on|off] [--batch-size N] <experiment>...
+//!       [--vectorized on|off] [--batch-size N] [--prom FILE]
+//!       [--slow-ms N] <experiment>...
 //! experiments: t1 t2 t3 f1..f8 all bench-json
 //! ```
 //!
@@ -52,6 +53,13 @@
 //! runs (CI tier 1), where confidence intervals are not needed.
 //! `--bench-out FILE` redirects the `bench-json` output file (default
 //! `BENCH_1.json`).
+//!
+//! `--prom FILE` writes every engine's final metrics in the Prometheus
+//! text-exposition format (one file, series labeled `engine="..."`) —
+//! the scrape surface, lintable with the `prom-lint` binary. `--slow-ms
+//! N` sets the slow-query log threshold to N milliseconds on every
+//! engine before the run (0 retains every query), so `jp_slow_queries`
+//! and the slow log capture at the chosen sensitivity.
 
 use jackpine_bench::{all_engines, dataset, engine_with_data, DEFAULT_SCALE};
 use jackpine_core::driver::{CacheMode, Driver};
@@ -83,6 +91,8 @@ struct Options {
     prepared: bool,
     vectorized: bool,
     batch_size: usize,
+    prom: Option<String>,
+    slow_ms: Option<u64>,
     experiments: Vec<String>,
 }
 
@@ -104,6 +114,8 @@ fn parse_args() -> Options {
         prepared: true,
         vectorized: true,
         batch_size: 0,
+        prom: None,
+        slow_ms: None,
         experiments: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -152,6 +164,8 @@ fn parse_args() -> Options {
                 }
             }
             "--batch-size" => opts.batch_size = expect_num(args.next(), "--batch-size") as usize,
+            "--prom" => opts.prom = Some(args.next().unwrap_or_else(|| usage())),
+            "--slow-ms" => opts.slow_ms = Some(expect_num(args.next(), "--slow-ms") as u64),
             "--help" | "-h" => {
                 usage();
             }
@@ -184,8 +198,8 @@ fn usage() -> ! {
         "usage: repro [--scale S] [--reps R] [--quick] [--sessions N] [--workers W] [--csv DIR] \
          [--persist DIR] [--wal on|off] [--trace] [--metrics-json FILE] \
          [--trace-export FILE] [--top-queries K] [--bench-out FILE] [--recorder on|off] \
-         [--prepared on|off] [--vectorized on|off] [--batch-size N] \
-         <t1|t2|t3|f1..f8|all|bench-json>..."
+         [--prepared on|off] [--vectorized on|off] [--batch-size N] [--prom FILE] \
+         [--slow-ms N] <t1|t2|t3|f1..f8|all|bench-json>..."
     );
     std::process::exit(2)
 }
@@ -208,6 +222,9 @@ fn main() {
         e.set_prepared(opts.prepared);
         e.set_vectorized(opts.vectorized);
         e.set_batch_size(opts.batch_size);
+        if let Some(ms) = opts.slow_ms {
+            e.set_slow_query_threshold(std::time::Duration::from_millis(ms));
+        }
     }
     let workers = engines.first().map(|e| e.workers()).unwrap_or(1);
     println!("intra-query workers = {workers}\n");
@@ -337,6 +354,15 @@ fn main() {
         }
         json.push_str("  }\n}\n");
         std::fs::write(path, json).expect("write metrics json");
+        eprintln!("wrote {path}");
+    }
+
+    if let Some(path) = &opts.prom {
+        let snaps: Vec<(String, jackpine_obs::MetricsSnapshot)> =
+            engines.iter().map(|e| (e.name(), SpatialDb::metrics_snapshot(e))).collect();
+        let pairs: Vec<(&str, &jackpine_obs::MetricsSnapshot)> =
+            snaps.iter().map(|(n, s)| (n.as_str(), s)).collect();
+        std::fs::write(path, jackpine_obs::prometheus_text(&pairs)).expect("write prometheus text");
         eprintln!("wrote {path}");
     }
 

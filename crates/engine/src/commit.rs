@@ -74,6 +74,10 @@ impl CommitPipeline {
         metrics: Option<&EngineMetrics>,
     ) -> Result<()> {
         let start = Instant::now();
+        // Time spent parked as a follower (leader fsync in flight),
+        // separated out of `commit_wait_us` for the wait-state profiler.
+        let mut follower_wait = std::time::Duration::ZERO;
+        let mut followed = false;
         let mut state = self.state.lock();
         let ticket = state.next_ticket;
         state.next_ticket += 1;
@@ -86,7 +90,10 @@ impl CommitPipeline {
             }
             if state.leader_active {
                 // A leader is flushing; it (or a successor) will wake us.
+                let parked = Instant::now();
                 state = self.cv.wait(state);
+                follower_wait += parked.elapsed();
+                followed = true;
                 continue;
             }
             // Become the leader: one fsync covers every ticket issued so
@@ -119,6 +126,10 @@ impl CommitPipeline {
         };
         drop(state);
         if let Some(m) = metrics {
+            if followed {
+                m.commit_follower_wait_us
+                    .record(follower_wait.as_micros().min(u64::MAX as u128) as u64);
+            }
             m.commit_wait_us.record(start.elapsed().as_micros().min(u64::MAX as u128) as u64);
         }
         result
@@ -185,6 +196,48 @@ mod tests {
         assert_eq!(snap.counter("group_commit_batches"), syncs.load(Ordering::SeqCst));
         assert!(snap.counter("group_commit_batches") <= SESSIONS);
         assert_eq!(snap.commit_wait_us.count, SESSIONS);
+    }
+
+    #[test]
+    fn followers_record_pipeline_wait() {
+        let p = Arc::new(CommitPipeline::new());
+        let m = Arc::new(EngineMetrics::new());
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        std::thread::scope(|s| {
+            {
+                let (p, m) = (p.clone(), m.clone());
+                s.spawn(move || {
+                    p.commit(
+                        || {
+                            release_rx.recv().unwrap();
+                            Ok(())
+                        },
+                        Some(&m),
+                    )
+                    .unwrap();
+                });
+            }
+            // Wait until the first session is mid-fsync (it blocks on the
+            // channel), so the second session must enter as a follower.
+            while !p.state.lock().leader_active {
+                std::thread::yield_now();
+            }
+            {
+                let (p, m) = (p.clone(), m.clone());
+                s.spawn(move || p.commit(|| Ok(()), Some(&m)).unwrap());
+            }
+            // The follower holds the state lock from taking its ticket
+            // until it parks on the condvar, so once we can observe
+            // next_ticket == 3 it is provably parked.
+            while p.state.lock().next_ticket != 3 {
+                std::thread::yield_now();
+            }
+            release_tx.send(()).unwrap();
+        });
+        let snap = m.snapshot();
+        assert_eq!(snap.wait("commit_follower_wait_us").count, 1, "one session followed");
+        assert_eq!(snap.counter("group_commit_batches"), 2, "follower led its own batch");
+        assert_eq!(snap.commit_wait_us.count, 2);
     }
 
     #[test]

@@ -71,6 +71,12 @@ pub trait SpatialConnector: Send + Sync {
         None
     }
 
+    /// Prometheus text-exposition (`/metrics`-style) rendering of the
+    /// system's metrics, when it exposes any.
+    fn prometheus_text(&self) -> Option<String> {
+        None
+    }
+
     /// The most recent completed query traces from the system's flight
     /// recorder, oldest first. Systems without one return nothing.
     fn recent_traces(&self) -> Vec<Arc<QueryTrace>> {
@@ -139,6 +145,10 @@ impl SpatialConnector for Arc<SpatialDb> {
 
     fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
         Some(SpatialDb::metrics_snapshot(self))
+    }
+
+    fn prometheus_text(&self) -> Option<String> {
+        Some(SpatialDb::prometheus_text(self))
     }
 
     fn recent_traces(&self) -> Vec<Arc<QueryTrace>> {

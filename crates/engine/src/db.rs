@@ -2,13 +2,14 @@
 //! engine profile.
 
 use crate::commit::CommitPipeline;
+use crate::syscat;
 use crate::wal::{Wal, WalRecord};
 use crate::EngineProfile;
 use jackpine_geom::{Coord, Envelope};
 use jackpine_index::{GridIndex, OrderedIndex, ProbeStats, RTree, RTreeConfig};
 use jackpine_obs::{
-    digest, EngineMetrics, FingerprintStats, FlightRecorder, MetricsSnapshot, QueryStatsTable,
-    QueryTrace, SlowQueryLog, Stage,
+    digest, EngineMetrics, FingerprintStats, FlightRecorder, HistoryPoint, MetricsHistory,
+    MetricsSnapshot, QueryStatsTable, QueryTrace, SlowQueryLog, Stage, TxnSite,
 };
 use jackpine_sqlmini::ast::Statement;
 use jackpine_sqlmini::plan::PlanOptions;
@@ -238,10 +239,10 @@ pub struct SpatialDb {
     /// Lock order: `durability` (read) before `txn` before
     /// `snapshots`/`indexes`/heap locks.
     txn: Mutex<()>,
-    /// Pinned snapshot generations → reader refcount. The minimum key is
-    /// the vacuum horizon: no logically-deleted row younger than it can
-    /// be physically reclaimed.
-    snapshots: Mutex<HashMap<u64, usize>>,
+    /// Pinned snapshot generations → reader refcount plus first-pin
+    /// time. The minimum key is the vacuum horizon: no logically-deleted
+    /// row younger than it can be physically reclaimed.
+    snapshots: Mutex<HashMap<u64, SnapshotEntry>>,
     /// Logically-deleted rows awaiting physical reclaim (index-entry
     /// removal + heap tombstone) once every snapshot that could see them
     /// is gone. Drained at the start of the next write transaction.
@@ -251,6 +252,32 @@ pub struct SpatialDb {
     ddl_gen: AtomicU64,
     /// Group-commit pipeline batching WAL fsyncs across sessions.
     commit_pipeline: CommitPipeline,
+    /// In-flight statements, keyed by a monotone session id — the rows
+    /// of `jp_sessions`. Entries are registered for the duration of one
+    /// recorded `execute` call.
+    sessions: Mutex<HashMap<u64, SessionInfo>>,
+    /// Monotone id feeding the session registry.
+    session_seq: AtomicU64,
+    /// Time-series ring of whole-engine metrics snapshots sampled at a
+    /// configurable minimum interval — the rows of `jp_metrics_history`.
+    history: MetricsHistory,
+}
+
+/// Book-keeping for one pinned snapshot generation.
+struct SnapshotEntry {
+    /// Live reader pins on this generation.
+    readers: usize,
+    /// When the generation was first pinned; drives the
+    /// oldest-snapshot-age gauge and `jp_snapshots.age_ms`.
+    first_pinned: Instant,
+}
+
+/// One in-flight statement in the session registry.
+struct SessionInfo {
+    /// Statement text, truncated to [`SESSION_SQL_MAX`] bytes.
+    sql: String,
+    /// When execution began.
+    started: Instant,
 }
 
 /// A logically-deleted row whose physical storage (heap bytes + index
@@ -271,6 +298,12 @@ pub const SLOW_LOG_CAPACITY: usize = 64;
 pub const SLOW_QUERY_THRESHOLD: Duration = Duration::from_millis(100);
 /// Distinct statement shapes tracked by the fingerprint stats table.
 pub const QUERY_STATS_CAPACITY: usize = 512;
+/// Metrics snapshots retained by the `jp_metrics_history` ring.
+pub const METRICS_HISTORY_CAPACITY: usize = 64;
+/// Default minimum interval between metrics-history points.
+pub const METRICS_HISTORY_INTERVAL: Duration = Duration::from_secs(1);
+/// Longest statement text retained per session-registry entry.
+const SESSION_SQL_MAX: usize = 512;
 /// Raw statement texts cached for fingerprint reuse.
 const FINGERPRINT_CACHE_CAPACITY: usize = 1024;
 /// When the fingerprint cache fills, the least-recently-hit
@@ -308,6 +341,9 @@ impl SpatialDb {
             pending_reclaim: Mutex::new(Vec::new()),
             ddl_gen: AtomicU64::new(0),
             commit_pipeline: CommitPipeline::new(),
+            sessions: Mutex::new(HashMap::new()),
+            session_seq: AtomicU64::new(0),
+            history: MetricsHistory::new(METRICS_HISTORY_CAPACITY, METRICS_HISTORY_INTERVAL),
         }
     }
 
@@ -414,7 +450,8 @@ impl SpatialDb {
             // out of the snapshot; the durability write lock above
             // already excludes committed-but-unsynced frames, since
             // committing sessions hold the read side end to end.
-            let _txn = self.txn.lock();
+            let (_txn, waited) = self.txn.lock_timed();
+            self.metrics.record_txn_wait(TxnSite::Checkpoint, waited);
             let gen = d.generation + 1;
             self.save_gen(d.dir.join(SNAPSHOT_FILE), gen)?;
             d.wal.reset(gen)?;
@@ -547,9 +584,64 @@ impl SpatialDb {
         &self.metrics
     }
 
-    /// A point-in-time copy of every engine counter and histogram.
+    /// A point-in-time copy of every engine counter, gauge and
+    /// histogram. Gauges (vacuum backlog, pinned snapshots, oldest-pin
+    /// age) are refreshed from engine state first.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.refresh_gauges();
         self.metrics.snapshot()
+    }
+
+    /// Refreshes the point-in-time gauges from engine state: the vacuum
+    /// backlog, the number of distinct pinned snapshot generations, and
+    /// the age of the oldest pin. Two short mutex acquisitions.
+    fn refresh_gauges(&self) {
+        self.metrics.pending_reclaim_rows.set(self.pending_reclaim.lock().len() as u64);
+        let snapshots = self.snapshots.lock();
+        self.metrics.active_snapshots.set(snapshots.len() as u64);
+        let oldest = snapshots.values().map(|e| e.first_pinned).min();
+        drop(snapshots);
+        self.metrics
+            .oldest_snapshot_age_us
+            .set(oldest.map(|t| t.elapsed().as_micros().min(u64::MAX as u128) as u64).unwrap_or(0));
+    }
+
+    /// Prometheus text-exposition rendering of the current metrics
+    /// (gauges refreshed), with every series labeled by the engine
+    /// profile name. The output passes
+    /// [`jackpine_obs::lint_prometheus_text`].
+    pub fn prometheus_text(&self) -> String {
+        jackpine_obs::prometheus_text(&[(self.profile.name(), &self.metrics_snapshot())])
+    }
+
+    /// The retained metrics-history points, oldest first — the rows of
+    /// `jp_metrics_history`. Points are sampled after recorded
+    /// statements, at most one per history interval.
+    pub fn metrics_history(&self) -> Vec<HistoryPoint> {
+        self.history.recent()
+    }
+
+    /// Sets the minimum interval between metrics-history points.
+    /// `Duration::ZERO` samples after every recorded statement.
+    pub fn set_metrics_history_interval(&self, interval: Duration) {
+        self.history.set_interval(interval);
+    }
+
+    /// In-flight statements as `(session id, statement text, elapsed)`
+    /// triples sorted by id — the rows of `jp_sessions`.
+    pub fn active_sessions(&self) -> Vec<(u64, String, Duration)> {
+        let sessions = self.sessions.lock();
+        let mut out: Vec<(u64, String, Duration)> =
+            sessions.iter().map(|(id, s)| (*id, s.sql.clone(), s.started.elapsed())).collect();
+        drop(sessions);
+        out.sort_unstable_by_key(|(id, ..)| *id);
+        out
+    }
+
+    /// WAL status when durability is attached: `(generation,
+    /// sync_each_append)` — the scalar half of `jp_wal`.
+    pub fn wal_status(&self) -> Option<(u64, bool)> {
+        self.durability.read().as_ref().map(|d| (d.generation, d.wal.sync_enabled()))
     }
 
     /// The engine profile.
@@ -586,13 +678,20 @@ impl SpatialDb {
         )
     }
 
-    /// Creates a table programmatically.
+    /// Creates a table programmatically. Names with the `jp_` prefix are
+    /// reserved for the system catalog.
     pub fn create_table(&self, name: &str, columns: Vec<ColumnDef>) -> crate::Result<()> {
+        if syscat::is_system_table(name) {
+            return Err(EngineError::Storage(StorageError::TableExists(format!(
+                "{name} (the jp_ prefix is reserved for the system catalog)"
+            ))));
+        }
         // Held across apply + log so a concurrent checkpoint cannot cut
         // its snapshot between the two (which would replay this create
         // twice after a crash).
         let durability = self.durability.read();
-        let _txn = self.txn.lock();
+        let (_txn, waited) = self.txn.lock_timed();
+        self.metrics.record_txn_wait(TxnSite::Ddl, waited);
         let logged = durability.as_ref().map(|_| columns.clone());
         let schema = Schema::new(columns)?;
         self.catalog.create_table(name, schema)?;
@@ -621,7 +720,8 @@ impl SpatialDb {
     /// released.
     fn insert_rows_txn(&self, table: &str, rows: &[Row]) -> crate::Result<Vec<RowId>> {
         let durability = self.durability.read();
-        let txn = self.txn.lock();
+        let (txn, waited) = self.txn.lock_timed();
+        self.metrics.record_txn_wait(TxnSite::Insert, waited);
         self.vacuum_locked();
         let t = self.catalog.table(table)?;
         let gen = self.commit_gen.load(Ordering::Acquire) + 1;
@@ -714,7 +814,7 @@ impl SpatialDb {
         // A row that died at generation d is invisible to every snapshot
         // pinned at or after d; new pins always take the current commit
         // generation, which is >= every recorded death.
-        let horizon = self.snapshots.lock().keys().copied().min().unwrap_or(u64::MAX);
+        let horizon = snapshot_horizon(&self.snapshots.lock()).unwrap_or(u64::MAX);
         let mut keep = Vec::new();
         for pr in pending.drain(..) {
             if pr.died > horizon {
@@ -737,7 +837,7 @@ impl SpatialDb {
     /// older snapshot still needs it — keeps the settled (metadata-free)
     /// fast path hot under single-session DML streams.
     fn settle_after_publish(&self, t: &Table, gen: u64) {
-        let horizon = self.snapshots.lock().keys().copied().min().unwrap_or(gen).min(gen);
+        let horizon = snapshot_horizon(&self.snapshots.lock()).unwrap_or(gen).min(gen);
         t.heap.settle(horizon);
     }
 
@@ -762,7 +862,18 @@ impl SpatialDb {
 
     /// Currently pinned reader snapshots (diagnostics and tests).
     pub fn active_snapshot_count(&self) -> usize {
-        self.snapshots.lock().values().sum()
+        self.snapshots.lock().values().map(|e| e.readers).sum()
+    }
+
+    /// Currently pinned snapshot generations as `(generation, readers,
+    /// age)` triples sorted by generation — the rows of `jp_snapshots`.
+    pub fn snapshot_pins(&self) -> Vec<(u64, usize, Duration)> {
+        let snapshots = self.snapshots.lock();
+        let mut out: Vec<(u64, usize, Duration)> =
+            snapshots.iter().map(|(gen, e)| (*gen, e.readers, e.first_pinned.elapsed())).collect();
+        drop(snapshots);
+        out.sort_unstable_by_key(|(gen, ..)| *gen);
+        out
     }
 
     /// Logically-deleted rows awaiting physical reclaim (diagnostics and
@@ -777,11 +888,15 @@ impl SpatialDb {
     /// live handle can still see. Readers never take the writer lock —
     /// pinning is one short mutex on the refcount map.
     pub fn pin_snapshot_handle(self: &Arc<Self>) -> Arc<SnapshotGuard> {
+        let pinned = Instant::now();
         let mut snapshots = self.snapshots.lock();
         let gen = self.commit_gen.load(Ordering::Acquire);
-        *snapshots.entry(gen).or_insert(0) += 1;
+        snapshots
+            .entry(gen)
+            .or_insert_with(|| SnapshotEntry { readers: 0, first_pinned: pinned })
+            .readers += 1;
         drop(snapshots);
-        Arc::new(SnapshotGuard { db: Arc::clone(self), gen })
+        Arc::new(SnapshotGuard { db: Arc::clone(self), gen, pinned })
     }
 
     /// Test-only fault injection: makes every subsequent WAL append (and
@@ -797,7 +912,8 @@ impl SpatialDb {
     /// bulk loading or grid construction depending on the profile.
     pub fn create_spatial_index(&self, table: &str, column: &str) -> crate::Result<()> {
         let durability = self.durability.read();
-        let _txn = self.txn.lock();
+        let (_txn, waited) = self.txn.lock_timed();
+        self.metrics.record_txn_wait(TxnSite::Ddl, waited);
         let t = self.catalog.table(table)?;
         let col = t.schema().column_index(column)?;
         if t.schema().columns()[col].ty != DataType::Geometry {
@@ -860,7 +976,8 @@ impl SpatialDb {
     /// Builds an ordered (attribute) index on an integer or text column.
     pub fn create_ordered_index(&self, table: &str, column: &str) -> crate::Result<()> {
         let durability = self.durability.read();
-        let _txn = self.txn.lock();
+        let (_txn, waited) = self.txn.lock_timed();
+        self.metrics.record_txn_wait(TxnSite::Ddl, waited);
         let t = self.catalog.table(table)?;
         let col = t.schema().column_index(column)?;
         match t.schema().columns()[col].ty {
@@ -905,7 +1022,8 @@ impl SpatialDb {
         let t = self.catalog.table(table)?;
         let col = t.schema().column_index(column)?;
         let removed = {
-            let _txn = self.txn.lock();
+            let (_txn, waited) = self.txn.lock_timed();
+            self.metrics.record_txn_wait(TxnSite::Ddl, waited);
             self.indexes
                 .write()
                 .get_mut(&table.to_ascii_lowercase())
@@ -926,7 +1044,8 @@ impl SpatialDb {
         let t = self.catalog.table(table)?;
         let col = t.schema().column_index(column)?;
         let removed = {
-            let _txn = self.txn.lock();
+            let (_txn, waited) = self.txn.lock_timed();
+            self.metrics.record_txn_wait(TxnSite::Ddl, waited);
             self.indexes
                 .write()
                 .get_mut(&table.to_ascii_lowercase())
@@ -948,7 +1067,8 @@ impl SpatialDb {
         if !self.recording.load(Ordering::Relaxed) {
             return self.execute_unrecorded(sql);
         }
-        let before = self.metrics.snapshot();
+        let _session = self.register_session(sql);
+        let before = self.metrics.query_snapshot();
         let t0 = Instant::now();
         let result = self.execute_unrecorded(sql);
         let total = t0.elapsed();
@@ -956,7 +1076,7 @@ impl SpatialDb {
         match &result {
             Ok(r) => {
                 self.query_stats.record(fp, &normalized, total, r.rows.len() as u64, false);
-                let delta = self.metrics.snapshot().delta_since(&before);
+                let delta = self.metrics.query_snapshot().delta_since(&before);
                 let trace = Arc::new(QueryTrace::new(sql, total, r.rows.len(), delta));
                 self.recorder.push(trace.clone());
                 self.slow_log.offer(&trace);
@@ -966,7 +1086,29 @@ impl SpatialDb {
             // fingerprint table instead of the trace ring.
             Err(_) => self.query_stats.record(fp, &normalized, total, 0, true),
         }
+        // Feed the time-series ring; rate-limited inside, so this is a
+        // clock read and one short lock on the fast path.
+        self.history.maybe_record(|| {
+            self.refresh_gauges();
+            self.metrics.snapshot()
+        });
         result
+    }
+
+    /// Registers one in-flight statement for `jp_sessions`; the returned
+    /// slot deregisters it when dropped.
+    fn register_session(self: &Arc<Self>, sql: &str) -> SessionSlot {
+        let id = self.session_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut text = sql.to_string();
+        if text.len() > SESSION_SQL_MAX {
+            let mut end = SESSION_SQL_MAX;
+            while !text.is_char_boundary(end) {
+                end -= 1;
+            }
+            text.truncate(end);
+        }
+        self.sessions.lock().insert(id, SessionInfo { sql: text, started: Instant::now() });
+        SessionSlot { db: Arc::clone(self), id }
     }
 
     /// The statement's fingerprint and normalized shape, served from the
@@ -1069,11 +1211,11 @@ impl SpatialDb {
     /// instance bleed into each other's deltas — trace under a single
     /// client connection, the way EXPLAIN ANALYZE is used.
     pub fn execute_traced(self: &Arc<Self>, sql: &str) -> crate::Result<(ResultSet, QueryTrace)> {
-        let before = self.metrics.snapshot();
+        let before = self.metrics.query_snapshot();
         let t0 = Instant::now();
         let result = self.execute(sql)?;
         let total = t0.elapsed();
-        let delta = self.metrics.snapshot().delta_since(&before);
+        let delta = self.metrics.query_snapshot().delta_since(&before);
         let trace = QueryTrace::new(sql, total, result.rows.len(), delta);
         Ok((result, trace))
     }
@@ -1088,7 +1230,13 @@ impl SpatialDb {
     ) -> crate::Result<Arc<jackpine_sqlmini::plan::PlannedSelect>> {
         let t0 = Instant::now();
         let result = (|| {
-            let cache_on = *self.plan_cache_enabled.read() && sql.is_some();
+            // System-catalog FROMs bypass the cache: a cached plan holds
+            // the providers it was planned against, and a jp_* provider
+            // is a point-in-time materialization that must be rebuilt
+            // per statement.
+            let cache_on = *self.plan_cache_enabled.read()
+                && sql.is_some()
+                && !select.from.iter().any(|t| syscat::is_system_table(&t.table));
             let stamp = self.ddl_gen.load(Ordering::SeqCst);
             if cache_on {
                 // A hit counts only when the entry's DDL stamp is
@@ -1169,7 +1317,8 @@ impl SpatialDb {
             }
             Statement::DropTable { name } => {
                 {
-                    let _txn = self.txn.lock();
+                    let (_txn, waited) = self.txn.lock_timed();
+                    self.metrics.record_txn_wait(TxnSite::Ddl, waited);
                     let existed = self.catalog.drop_table(&name);
                     if !existed {
                         return Err(EngineError::Storage(StorageError::NoSuchTable(name)));
@@ -1218,11 +1367,11 @@ impl SpatialDb {
                 // Execute the inner SELECT for real (bypassing the plan
                 // cache so the plan stage is always exercised), bracketed
                 // by metric snapshots; the delta is this query's trace.
-                let before = self.metrics.snapshot();
+                let before = self.metrics.query_snapshot();
                 let t0 = Instant::now();
                 let result = self.execute_statement(*inner, None)?;
                 let total = t0.elapsed();
-                let delta = self.metrics.snapshot().delta_since(&before);
+                let delta = self.metrics.query_snapshot().delta_since(&before);
                 let trace = QueryTrace::new(sql.unwrap_or(""), total, result.rows.len(), delta);
                 let rows =
                     trace.render().lines().map(|l| vec![Value::Text(l.to_string())]).collect();
@@ -1270,7 +1419,8 @@ impl SpatialDb {
             .collect::<std::result::Result<_, _>>()?;
 
         let durability = self.durability.read();
-        let txn = self.txn.lock();
+        let (txn, waited) = self.txn.lock_timed();
+        self.metrics.record_txn_wait(TxnSite::Delete, waited);
         self.vacuum_locked();
 
         // Find victims first (cannot mutate while scanning; an eval
@@ -1368,7 +1518,8 @@ impl SpatialDb {
             .collect::<crate::Result<_>>()?;
 
         let durability = self.durability.read();
-        let txn = self.txn.lock();
+        let (txn, waited) = self.txn.lock_timed();
+        self.metrics.record_txn_wait(TxnSite::Update, waited);
         self.vacuum_locked();
 
         // Compute every replacement row before touching anything: an
@@ -1498,6 +1649,12 @@ impl SpatialDb {
     }
 }
 
+/// The vacuum horizon: the oldest pinned snapshot generation, `None`
+/// when nothing is pinned.
+fn snapshot_horizon(snapshots: &HashMap<u64, SnapshotEntry>) -> Option<u64> {
+    snapshots.keys().copied().min()
+}
+
 /// Default intra-query worker count: the machine's available parallelism.
 fn default_workers() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
@@ -1558,6 +1715,9 @@ fn eval_const_expr(
 pub struct SnapshotGuard {
     db: Arc<SpatialDb>,
     gen: u64,
+    /// When this pin was taken; its lifetime feeds the
+    /// `snapshot_pin_ns` wait histogram on drop.
+    pinned: Instant,
 }
 
 impl SnapshotHandle for SnapshotGuard {
@@ -1574,13 +1734,28 @@ impl std::fmt::Debug for SnapshotGuard {
 
 impl Drop for SnapshotGuard {
     fn drop(&mut self) {
+        self.db.metrics.record_snapshot_pin(self.pinned.elapsed());
         let mut snapshots = self.db.snapshots.lock();
-        if let Some(n) = snapshots.get_mut(&self.gen) {
-            *n -= 1;
-            if *n == 0 {
+        if let Some(e) = snapshots.get_mut(&self.gen) {
+            e.readers -= 1;
+            if e.readers == 0 {
                 snapshots.remove(&self.gen);
             }
         }
+    }
+}
+
+/// RAII registration of one in-flight statement in the session registry
+/// (`jp_sessions`); deregisters on drop, so error paths and panics
+/// unwind cleanly.
+struct SessionSlot {
+    db: Arc<SpatialDb>,
+    id: u64,
+}
+
+impl Drop for SessionSlot {
+    fn drop(&mut self) {
+        self.db.sessions.lock().remove(&self.id);
     }
 }
 
@@ -1594,6 +1769,12 @@ struct DbCatalogAdapter {
 
 impl CatalogProvider for DbCatalogAdapter {
     fn table(&self, name: &str) -> jackpine_sqlmini::Result<Arc<dyn TableProvider>> {
+        // System-catalog names resolve to point-in-time virtual tables;
+        // unknown jp_* names fall through to the ordinary not-found
+        // error below.
+        if let Some(provider) = syscat::provider(&self.db, name) {
+            return provider;
+        }
         let table = self.db.catalog.table(name).map_err(SqlError::from)?;
         Ok(Arc::new(DbTableAdapter {
             db: self.db.clone(),

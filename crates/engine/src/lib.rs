@@ -22,12 +22,14 @@ mod db;
 pub mod failpoint;
 mod persist;
 mod profile;
+mod syscat;
 pub mod wal;
 
 pub use connector::{all_profiles, SpatialConnector};
 pub use db::{
-    DurabilityOptions, EngineError, SpatialDb, FLIGHT_RECORDER_CAPACITY, QUERY_STATS_CAPACITY,
-    SLOW_LOG_CAPACITY, SLOW_QUERY_THRESHOLD, SNAPSHOT_FILE, WAL_FILE,
+    DurabilityOptions, EngineError, SpatialDb, FLIGHT_RECORDER_CAPACITY, METRICS_HISTORY_CAPACITY,
+    METRICS_HISTORY_INTERVAL, QUERY_STATS_CAPACITY, SLOW_LOG_CAPACITY, SLOW_QUERY_THRESHOLD,
+    SNAPSHOT_FILE, WAL_FILE,
 };
 pub use profile::EngineProfile;
 

@@ -13,7 +13,10 @@
 //! time, span *positions* are bookkeeping. That is the honest rendering
 //! for retrospective data and keeps the output deterministic.
 
+use crate::histogram::{bucket_upper_bound, HistogramSnapshot, BUCKETS};
+use crate::metrics::MetricsSnapshot;
 use crate::trace::{json_string, QueryTrace};
+use std::collections::{HashMap, HashSet};
 
 /// Process id used for all emitted events.
 const PID: u64 = 1;
@@ -129,6 +132,313 @@ fn complete_event(name: &str, cat: &str, tid: u64, ts_us: u64, dur_us: u64, args
     )
 }
 
+/// Namespace prefix for every exported Prometheus series.
+const PROM_PREFIX: &str = "jackpine";
+
+/// Renders `(engine_label, snapshot)` pairs in the Prometheus text
+/// exposition format (version 0.0.4 — the `/metrics` flavour every
+/// scraper accepts), zero-dependency like the rest of the crate.
+///
+/// Conventions (documented in DESIGN.md "System catalog"):
+///
+/// * counters export as `jackpine_<name>_total` (`TYPE counter`);
+/// * gauges export as `jackpine_<name>` (`TYPE gauge`);
+/// * every log2 [`Histogram`](crate::Histogram) exports as a native
+///   Prometheus histogram — cumulative `_bucket{le="..."}` series up to
+///   the highest occupied bucket plus `le="+Inf"`, with `_sum` and
+///   `_count` — under `jackpine_<name>`; per-stage self-times share one
+///   family `jackpine_stage_duration_ns` with a `stage` label.
+///
+/// Each snapshot's series carry an `engine="<label>"` label (omitted
+/// for an empty label), and `# HELP` / `# TYPE` headers appear exactly
+/// once per family no matter how many engines export, so concatenating
+/// engines never produces duplicate metadata.
+pub fn prometheus_text(snapshots: &[(&str, &MetricsSnapshot)]) -> String {
+    let mut out = String::new();
+    if snapshots.is_empty() {
+        return out;
+    }
+    // Family vocabulary comes from the first snapshot; all engines in
+    // one process share a metrics version so the sets agree.
+    let first = snapshots[0].1;
+
+    for (name, _) in &first.counters {
+        let family = format!("{PROM_PREFIX}_{name}_total");
+        header(&mut out, &family, "counter", &format!("Cumulative count of {name} events."));
+        for (engine, snap) in snapshots {
+            if let Some(v) = snap.counter_opt(name) {
+                sample(&mut out, &family, &engine_labels(engine), v);
+            }
+        }
+    }
+    for (name, _) in &first.gauges {
+        let family = format!("{PROM_PREFIX}_{name}");
+        header(&mut out, &family, "gauge", &format!("Current level of {name}."));
+        for (engine, snap) in snapshots {
+            sample(&mut out, &family, &engine_labels(engine), snap.gauge(name));
+        }
+    }
+
+    let stage_family = format!("{PROM_PREFIX}_stage_duration_ns");
+    header(
+        &mut out,
+        &stage_family,
+        "histogram",
+        "Per-stage query self-time, nanoseconds, by pipeline stage.",
+    );
+    for (engine, snap) in snapshots {
+        for (stage, h) in &snap.stages {
+            let mut labels = engine_labels(engine);
+            labels.push(("stage", stage.name().to_string()));
+            histogram_series(&mut out, &stage_family, &labels, h);
+        }
+    }
+
+    type HistGetter = fn(&MetricsSnapshot) -> &HistogramSnapshot;
+    let plain: Vec<(&str, HistGetter)> =
+        vec![("morsel_wait_ns", |s| &s.morsel_wait_ns), ("commit_wait_us", |s| &s.commit_wait_us)];
+    for (name, get) in plain {
+        let family = format!("{PROM_PREFIX}_{name}");
+        header(&mut out, &family, "histogram", &format!("Distribution of {name} samples."));
+        for (engine, snap) in snapshots {
+            histogram_series(&mut out, &family, &engine_labels(engine), get(snap));
+        }
+    }
+    for (name, _) in &first.waits {
+        let family = format!("{PROM_PREFIX}_{name}");
+        header(&mut out, &family, "histogram", &format!("Wait-state distribution of {name}."));
+        for (engine, snap) in snapshots {
+            histogram_series(&mut out, &family, &engine_labels(engine), snap.wait(name));
+        }
+    }
+    out
+}
+
+fn engine_labels(engine: &str) -> Vec<(&'static str, String)> {
+    if engine.is_empty() {
+        Vec::new()
+    } else {
+        vec![("engine", engine.to_string())]
+    }
+}
+
+fn header(out: &mut String, family: &str, kind: &str, help: &str) {
+    out.push_str(&format!("# HELP {family} {help}\n# TYPE {family} {kind}\n"));
+}
+
+fn render_labels(labels: &[(&str, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+fn sample(out: &mut String, family: &str, labels: &[(&str, String)], value: u64) {
+    out.push_str(&format!("{family}{} {value}\n", render_labels(labels)));
+}
+
+/// Emits one histogram's cumulative `_bucket`/`_sum`/`_count` series.
+fn histogram_series(
+    out: &mut String,
+    family: &str,
+    labels: &[(&str, String)],
+    h: &HistogramSnapshot,
+) {
+    let top = (0..BUCKETS).rev().find(|&b| h.buckets[b] > 0);
+    let mut cumulative = 0u64;
+    if let Some(top) = top {
+        for b in 0..=top {
+            cumulative += h.buckets[b];
+            let mut with_le = labels.to_vec();
+            with_le.push(("le", bucket_upper_bound(b).to_string()));
+            out.push_str(&format!("{family}_bucket{} {cumulative}\n", render_labels(&with_le)));
+        }
+    }
+    let mut inf = labels.to_vec();
+    inf.push(("le", "+Inf".to_string()));
+    out.push_str(&format!("{family}_bucket{} {}\n", render_labels(&inf), h.count));
+    out.push_str(&format!("{family}_sum{} {}\n", render_labels(labels), h.sum));
+    out.push_str(&format!("{family}_count{} {}\n", render_labels(labels), h.count));
+}
+
+/// Lints Prometheus text-exposition output, returning every problem
+/// found (empty = clean). Used by the tier-1 gate so a malformed
+/// `/metrics` surface fails the build rather than a scrape.
+///
+/// Checks: every sample has `# HELP` and `# TYPE` metadata; no `TYPE`
+/// appears twice; no two samples share a name + label set; counter
+/// families end in `_total`; histogram bucket series have strictly
+/// increasing `le` values, non-decreasing cumulative counts, end at
+/// `le="+Inf"`, and agree with their `_count` series.
+pub fn lint_prometheus_text(text: &str) -> Vec<String> {
+    let mut errors = Vec::new();
+    let mut helped: HashSet<String> = HashSet::new();
+    let mut typed: HashMap<String, String> = HashMap::new();
+    let mut seen_series: HashSet<String> = HashSet::new();
+    // (family, non-le labels) → ordered (le, cumulative) pairs.
+    let mut buckets: HashMap<(String, String), Vec<(f64, f64)>> = HashMap::new();
+    let mut counts: HashMap<(String, String), f64> = HashMap::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let n = lineno + 1;
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            match rest.split_once(' ') {
+                Some((name, _)) => {
+                    helped.insert(name.to_string());
+                }
+                None => errors.push(format!("line {n}: HELP without text: {line}")),
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let Some((name, kind)) = rest.split_once(' ') else {
+                errors.push(format!("line {n}: TYPE without kind: {line}"));
+                continue;
+            };
+            if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind) {
+                errors.push(format!("line {n}: unknown TYPE kind {kind:?} for {name}"));
+            }
+            if kind == "counter" && !name.ends_with("_total") {
+                errors.push(format!("line {n}: counter {name} must end in _total"));
+            }
+            if typed.insert(name.to_string(), kind.to_string()).is_some() {
+                errors.push(format!("line {n}: duplicate TYPE for {name}"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // free-form comment
+        }
+
+        // Sample line: name[{labels}] value
+        let Some((series, value)) = split_sample(line) else {
+            errors.push(format!("line {n}: unparsable sample: {line}"));
+            continue;
+        };
+        if value.parse::<f64>().is_err() {
+            errors.push(format!("line {n}: non-numeric value {value:?}"));
+            continue;
+        }
+        let (name, labels) = match series.split_once('{') {
+            Some((name, rest)) => match rest.strip_suffix('}') {
+                Some(body) => (name, body),
+                None => {
+                    errors.push(format!("line {n}: unterminated label set: {line}"));
+                    continue;
+                }
+            },
+            None => (series, ""),
+        };
+        if !seen_series.insert(format!("{name}{{{labels}}}")) {
+            errors.push(format!("line {n}: duplicate series {name}{{{labels}}}"));
+        }
+        // Resolve the declaring family: histogram samples are suffixed.
+        let family = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suf| {
+                let base = name.strip_suffix(suf)?;
+                (typed.get(base).map(String::as_str) == Some("histogram")).then_some(base)
+            })
+            .unwrap_or(name);
+        match typed.get(family) {
+            None => errors.push(format!("line {n}: sample {name} has no TYPE metadata")),
+            Some(kind) if kind == "histogram" && family == name => {
+                errors.push(format!(
+                    "line {n}: histogram {name} sampled without _bucket/_sum/_count suffix"
+                ));
+            }
+            Some(_) => {}
+        }
+        if !helped.contains(family) {
+            errors.push(format!("line {n}: sample {name} has no HELP metadata"));
+        }
+
+        // Histogram bookkeeping, keyed by the label set minus `le`.
+        if typed.get(family).map(String::as_str) == Some("histogram") {
+            let mut le = None;
+            let others: Vec<&str> = labels
+                .split(',')
+                .filter(|p| !p.is_empty())
+                .filter(|p| match p.split_once('=') {
+                    Some(("le", v)) => {
+                        le = Some(v.trim_matches('"').to_string());
+                        false
+                    }
+                    _ => true,
+                })
+                .collect();
+            let key = (family.to_string(), others.join(","));
+            let v = value.parse::<f64>().unwrap_or(f64::NAN);
+            if name.ends_with("_bucket") {
+                match le {
+                    None => errors.push(format!("line {n}: bucket series without le label")),
+                    Some(le) => {
+                        let bound = if le == "+Inf" {
+                            f64::INFINITY
+                        } else {
+                            le.parse::<f64>().unwrap_or(f64::NAN)
+                        };
+                        if bound.is_nan() {
+                            errors.push(format!("line {n}: unparsable le {le:?}"));
+                        }
+                        buckets.entry(key).or_default().push((bound, v));
+                    }
+                }
+            } else if name.ends_with("_count") {
+                counts.insert(key, v);
+            }
+        }
+    }
+
+    for ((family, labels), series) in &buckets {
+        let what = if labels.is_empty() { family.clone() } else { format!("{family}{{{labels}}}") };
+        if series.windows(2).any(|w| w[0].0 >= w[1].0) {
+            errors.push(format!("{what}: le values not strictly increasing"));
+        }
+        if series.windows(2).any(|w| w[0].1 > w[1].1) {
+            errors.push(format!("{what}: bucket counts not cumulative (non-monotone)"));
+        }
+        match series.last() {
+            Some((bound, total)) if bound.is_infinite() => {
+                if let Some(count) = counts.get(&(family.clone(), labels.clone())) {
+                    if count != total {
+                        errors.push(format!(
+                            "{what}: _count {count} disagrees with +Inf bucket {total}"
+                        ));
+                    }
+                } else {
+                    errors.push(format!("{what}: histogram missing _count series"));
+                }
+            }
+            _ => errors.push(format!("{what}: last bucket is not le=\"+Inf\"")),
+        }
+    }
+    errors
+}
+
+/// Splits a sample line into (series, value) at the last space outside
+/// a label set — label values may themselves contain spaces.
+fn split_sample(line: &str) -> Option<(&str, &str)> {
+    let split = match line.rfind('}') {
+        Some(end) => end + 1 + line[end + 1..].find(' ')?,
+        None => line.find(' ')?,
+    };
+    let (series, value) = line.split_at(split);
+    let value = value.trim();
+    if series.is_empty() || value.is_empty() || value.contains(' ') {
+        return None;
+    }
+    Some((series, value))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,5 +518,104 @@ mod tests {
         assert!(json.ends_with("\"displayTimeUnit\":\"ms\"}"));
         assert!(json.contains("process_name"));
         assert!(!json.contains("\"ph\":\"X\""));
+    }
+
+    fn busy_metrics() -> EngineMetrics {
+        let m = EngineMetrics::new();
+        m.queries.add(5);
+        m.index_probes.add(3);
+        m.pending_reclaim_rows.set(12);
+        m.record_stage(Stage::Refine, Duration::from_micros(90));
+        m.record_txn_wait(crate::metrics::TxnSite::Insert, Duration::from_nanos(800));
+        m.commit_wait_us.record(40);
+        m.morsel_wait_ns.record(1_000);
+        m
+    }
+
+    #[test]
+    fn prometheus_text_is_lint_clean() {
+        let m = busy_metrics();
+        let snap = m.snapshot();
+        let text = prometheus_text(&[("rtree", &snap)]);
+        assert!(text.contains("# TYPE jackpine_queries_total counter"));
+        assert!(text.contains("jackpine_queries_total{engine=\"rtree\"} 5"));
+        assert!(text.contains("# TYPE jackpine_pending_reclaim_rows gauge"));
+        assert!(text.contains("jackpine_pending_reclaim_rows{engine=\"rtree\"} 12"));
+        assert!(text.contains("# TYPE jackpine_stage_duration_ns histogram"));
+        assert!(text.contains("stage=\"refine\",le=\"+Inf\"} 1"));
+        assert!(text.contains("jackpine_txn_wait_insert_ns_sum{engine=\"rtree\"} 800"));
+        let errors = lint_prometheus_text(&text);
+        assert!(errors.is_empty(), "exporter output must lint clean: {errors:?}");
+    }
+
+    #[test]
+    fn prometheus_multi_engine_emits_metadata_once() {
+        let a = busy_metrics();
+        let b = EngineMetrics::new();
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        let text = prometheus_text(&[("rtree", &sa), ("grid", &sb)]);
+        assert_eq!(text.matches("# TYPE jackpine_queries_total counter").count(), 1);
+        assert!(text.contains("jackpine_queries_total{engine=\"rtree\"} 5"));
+        assert!(text.contains("jackpine_queries_total{engine=\"grid\"} 0"));
+        let errors = lint_prometheus_text(&text);
+        assert!(errors.is_empty(), "two-engine export must lint clean: {errors:?}");
+    }
+
+    #[test]
+    fn prometheus_unlabeled_single_engine() {
+        let m = busy_metrics();
+        let snap = m.snapshot();
+        let text = prometheus_text(&[("", &snap)]);
+        assert!(text.contains("jackpine_queries_total 5\n"));
+        assert!(lint_prometheus_text(&text).is_empty());
+        assert!(prometheus_text(&[]).is_empty());
+    }
+
+    #[test]
+    fn lint_catches_duplicate_series_and_missing_metadata() {
+        let bad = "# HELP m_total help\n# TYPE m_total counter\nm_total 1\nm_total 2\n";
+        let errors = lint_prometheus_text(bad);
+        assert!(errors.iter().any(|e| e.contains("duplicate series")), "{errors:?}");
+
+        let errors = lint_prometheus_text("orphan 3\n");
+        assert!(errors.iter().any(|e| e.contains("no TYPE")), "{errors:?}");
+        assert!(errors.iter().any(|e| e.contains("no HELP")), "{errors:?}");
+
+        let bad = "# HELP c help\n# TYPE c counter\nc 1\n";
+        let errors = lint_prometheus_text(bad);
+        assert!(errors.iter().any(|e| e.contains("must end in _total")), "{errors:?}");
+
+        let dup = "# HELP m_total h\n# TYPE m_total counter\n# TYPE m_total counter\nm_total 1\n";
+        let errors = lint_prometheus_text(dup);
+        assert!(errors.iter().any(|e| e.contains("duplicate TYPE")), "{errors:?}");
+    }
+
+    #[test]
+    fn lint_catches_histogram_shape_errors() {
+        // Non-monotone cumulative counts.
+        let bad = "# HELP h help\n# TYPE h histogram\n\
+                   h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\n\
+                   h_sum 9\nh_count 5\n";
+        let errors = lint_prometheus_text(bad);
+        assert!(errors.iter().any(|e| e.contains("not cumulative")), "{errors:?}");
+
+        // Missing +Inf terminal bucket.
+        let bad = "# HELP h help\n# TYPE h histogram\n\
+                   h_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n";
+        let errors = lint_prometheus_text(bad);
+        assert!(errors.iter().any(|e| e.contains("+Inf")), "{errors:?}");
+
+        // le values out of order.
+        let bad = "# HELP h help\n# TYPE h histogram\n\
+                   h_bucket{le=\"3\"} 1\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\n\
+                   h_sum 1\nh_count 1\n";
+        let errors = lint_prometheus_text(bad);
+        assert!(errors.iter().any(|e| e.contains("strictly increasing")), "{errors:?}");
+
+        // _count disagreeing with the +Inf bucket.
+        let bad = "# HELP h help\n# TYPE h histogram\n\
+                   h_bucket{le=\"+Inf\"} 4\nh_sum 1\nh_count 3\n";
+        let errors = lint_prometheus_text(bad);
+        assert!(errors.iter().any(|e| e.contains("disagrees")), "{errors:?}");
     }
 }

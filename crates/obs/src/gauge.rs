@@ -1,0 +1,47 @@
+//! Point-in-time gauges.
+//!
+//! A [`Gauge`] is a `u64` that reports a current level rather than an
+//! event count: pinned snapshots, vacuum backlog rows, oldest-snapshot
+//! age. Unlike [`Counter`](crate::Counter) it is written rarely (at
+//! refresh points, not on the query hot path), so a single atomic is
+//! enough — no sharding.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A settable point-in-time level.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Overwrites the current level.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// The current level.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_get() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0);
+        g.set(42);
+        assert_eq!(g.get(), 42);
+        g.set(7); // gauges go down as well as up
+        assert_eq!(g.get(), 7);
+    }
+}

@@ -1,0 +1,168 @@
+//! A retrospective ring of whole-engine metrics snapshots.
+//!
+//! "What happened right before the slow query?" needs more than the
+//! current counter values: it needs the recent *trajectory*. The
+//! [`MetricsHistory`] keeps the last N [`MetricsSnapshot`]s, sampled at
+//! a configurable minimum interval from hooks the engine already passes
+//! through (statement completion), so no background thread is needed.
+//! Each retained point carries a monotone sequence number and its age is
+//! reported relative to "now" at read time.
+
+use crate::metrics::MetricsSnapshot;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Poison-ignoring lock (same convention as the flight-recorder ring).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// One retained sample: a whole-engine snapshot plus when it was taken.
+#[derive(Clone, Debug)]
+pub struct HistoryPoint {
+    /// Monotone sample number (starts at 1, never reused).
+    pub seq: u64,
+    /// When the sample was taken.
+    pub at: Instant,
+    /// The engine-wide snapshot at that moment.
+    pub snapshot: MetricsSnapshot,
+}
+
+/// A fixed-capacity ring of timestamped metrics snapshots, oldest
+/// evicted first. Capacity 0 disables recording (the off switch).
+#[derive(Debug)]
+pub struct MetricsHistory {
+    capacity: usize,
+    interval_ns: AtomicU64,
+    buf: Mutex<VecDeque<HistoryPoint>>,
+    seq: AtomicU64,
+}
+
+impl MetricsHistory {
+    /// A history retaining at most `capacity` points, sampling at most
+    /// once per `interval` (`Duration::ZERO` records on every hook).
+    pub fn new(capacity: usize, interval: Duration) -> MetricsHistory {
+        MetricsHistory {
+            capacity,
+            interval_ns: AtomicU64::new(interval.as_nanos().min(u64::MAX as u128) as u64),
+            buf: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum number of points retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The current minimum sampling interval.
+    pub fn interval(&self) -> Duration {
+        Duration::from_nanos(self.interval_ns.load(Ordering::Relaxed))
+    }
+
+    /// Sets the minimum sampling interval.
+    pub fn set_interval(&self, interval: Duration) {
+        self.interval_ns.store(interval.as_nanos().min(u64::MAX as u128) as u64, Ordering::Relaxed);
+    }
+
+    /// Sampling hook: records a point iff the ring is enabled and at
+    /// least the configured interval has passed since the last point.
+    /// The snapshot closure only runs when a point is actually taken, so
+    /// the common (rate-limited) path costs one lock and one `Instant`
+    /// read. Returns whether a point was recorded.
+    pub fn maybe_record(&self, snapshot: impl FnOnce() -> MetricsSnapshot) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        let interval = Duration::from_nanos(self.interval_ns.load(Ordering::Relaxed));
+        let now = Instant::now();
+        let mut buf = lock(&self.buf);
+        if let Some(last) = buf.back() {
+            if now.duration_since(last.at) < interval {
+                return false;
+            }
+        }
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        buf.push_back(HistoryPoint { seq, at: now, snapshot: snapshot() });
+        true
+    }
+
+    /// The retained points, oldest first.
+    pub fn recent(&self) -> Vec<HistoryPoint> {
+        lock(&self.buf).iter().cloned().collect()
+    }
+
+    /// Points currently retained.
+    pub fn len(&self) -> usize {
+        lock(&self.buf).len()
+    }
+
+    /// Whether the ring holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Forgets every retained point (sequence numbers keep advancing).
+    pub fn clear(&self) {
+        lock(&self.buf).clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::EngineMetrics;
+
+    #[test]
+    fn records_and_evicts_oldest() {
+        let m = EngineMetrics::new();
+        let h = MetricsHistory::new(3, Duration::ZERO);
+        for i in 0..5u64 {
+            m.queries.incr();
+            assert!(h.maybe_record(|| m.snapshot()), "point {i} should record");
+        }
+        let points = h.recent();
+        assert_eq!(points.len(), 3);
+        let seqs: Vec<u64> = points.iter().map(|p| p.seq).collect();
+        assert_eq!(seqs, vec![3, 4, 5], "oldest evicted, sequence preserved");
+        assert_eq!(points[2].snapshot.counter("queries"), 5);
+    }
+
+    #[test]
+    fn interval_rate_limits() {
+        let m = EngineMetrics::new();
+        let h = MetricsHistory::new(8, Duration::from_secs(3600));
+        assert!(h.maybe_record(|| m.snapshot()), "first point always records");
+        assert!(!h.maybe_record(|| m.snapshot()), "second arrives inside the interval");
+        assert_eq!(h.len(), 1);
+        h.set_interval(Duration::ZERO);
+        assert_eq!(h.interval(), Duration::ZERO);
+        assert!(h.maybe_record(|| m.snapshot()));
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_and_skips_snapshot_closure() {
+        let h = MetricsHistory::new(0, Duration::ZERO);
+        let recorded = h.maybe_record(|| panic!("snapshot closure must not run when disabled"));
+        assert!(!recorded);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn clear_keeps_sequence_monotone() {
+        let m = EngineMetrics::new();
+        let h = MetricsHistory::new(4, Duration::ZERO);
+        h.maybe_record(|| m.snapshot());
+        h.maybe_record(|| m.snapshot());
+        h.clear();
+        assert!(h.is_empty());
+        h.maybe_record(|| m.snapshot());
+        assert_eq!(h.recent()[0].seq, 3, "sequence numbers never reused");
+    }
+}

@@ -24,25 +24,37 @@
 //! * [`QueryStatsTable`] / [`FingerprintStats`] — per-fingerprint
 //!   rolling statistics (`pg_stat_statements`-style), keyed by the
 //!   stable [`digest`] of a normalized statement.
+//! * [`Gauge`] / [`MetricsHistory`] — point-in-time levels (pinned
+//!   snapshots, vacuum backlog) and a retrospective ring of whole-engine
+//!   snapshots sampled at a configurable interval.
 //! * [`chrome_trace_json`] — Chrome trace-event (Perfetto-loadable)
 //!   export of a trace sequence.
+//! * [`prometheus_text`] / [`lint_prometheus_text`] — `/metrics`-style
+//!   text exposition of a snapshot (counters, gauges, log2 histograms as
+//!   cumulative `_bucket` series) and the strict lint the CI gate runs
+//!   over it.
 
 #![forbid(unsafe_code)]
 
 mod counter;
 mod export;
 mod fingerprint;
+mod gauge;
 mod histogram;
+mod history;
 mod metrics;
 mod ring;
 mod trace;
 
 pub use counter::Counter;
-pub use export::chrome_trace_json;
+pub use export::{chrome_trace_json, lint_prometheus_text, prometheus_text};
 pub use fingerprint::{digest, FingerprintStats, QueryStatsTable};
-pub use histogram::{Histogram, HistogramSnapshot, BUCKETS};
+pub use gauge::Gauge;
+pub use histogram::{bucket_upper_bound, Histogram, HistogramSnapshot, BUCKETS};
+pub use history::{HistoryPoint, MetricsHistory};
 pub use metrics::{
-    EngineMetrics, MetricsSnapshot, Stage, DETERMINISTIC_COUNTERS, SCHEDULING_COUNTERS,
+    EngineMetrics, MetricsSnapshot, Stage, TxnSite, DETERMINISTIC_COUNTERS, GAUGES,
+    SCHEDULING_COUNTERS, WAIT_HISTOGRAMS,
 };
 pub use ring::{FlightRecorder, SlowQueryLog};
 pub use trace::QueryTrace;

@@ -13,6 +13,7 @@
 //!   stage timings, which legitimately vary run to run.
 
 use crate::counter::Counter;
+use crate::gauge::Gauge;
 use crate::histogram::{Histogram, HistogramSnapshot};
 use std::time::Duration;
 
@@ -63,6 +64,44 @@ impl Stage {
     }
 }
 
+/// The sites at which a statement can wait on the exclusive writer txn
+/// lock. Per-site histograms attribute contention to the statement kind
+/// that suffered it, the way `pg_stat_activity` wait events do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TxnSite {
+    /// `INSERT` row batches.
+    Insert,
+    /// `DELETE ... WHERE`.
+    Delete,
+    /// `UPDATE ... WHERE`.
+    Update,
+    /// DDL: create/drop table or index.
+    Ddl,
+    /// Explicit checkpoints.
+    Checkpoint,
+}
+
+impl TxnSite {
+    /// All sites, in the canonical snapshot order.
+    pub const ALL: [TxnSite; 5] =
+        [TxnSite::Insert, TxnSite::Delete, TxnSite::Update, TxnSite::Ddl, TxnSite::Checkpoint];
+
+    /// Stable wait-histogram name used in snapshots and JSON.
+    pub fn wait_name(self) -> &'static str {
+        match self {
+            TxnSite::Insert => "txn_wait_insert_ns",
+            TxnSite::Delete => "txn_wait_delete_ns",
+            TxnSite::Update => "txn_wait_update_ns",
+            TxnSite::Ddl => "txn_wait_ddl_ns",
+            TxnSite::Checkpoint => "txn_wait_checkpoint_ns",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
 /// Canonical counter names, in snapshot order: deterministic counters
 /// first, scheduling-dependent ones after.
 pub const DETERMINISTIC_COUNTERS: [&str; 12] = [
@@ -92,6 +131,25 @@ pub const SCHEDULING_COUNTERS: [&str; 9] = [
     "batches_dispatched",
     "group_commit_batches",
     "group_commit_size",
+];
+
+/// Canonical gauge names, in snapshot order. Gauges report current
+/// levels (not cumulative events) and are refreshed by the engine at
+/// snapshot points, so delta arithmetic never applies to them.
+pub const GAUGES: [&str; 3] =
+    ["active_snapshots", "pending_reclaim_rows", "oldest_snapshot_age_us"];
+
+/// Canonical wait-histogram names, in snapshot order: the per-site
+/// writer-lock waits, then the commit-pipeline follower wait, then the
+/// snapshot-pin lifetime.
+pub const WAIT_HISTOGRAMS: [&str; 7] = [
+    "txn_wait_insert_ns",
+    "txn_wait_delete_ns",
+    "txn_wait_update_ns",
+    "txn_wait_ddl_ns",
+    "txn_wait_checkpoint_ns",
+    "commit_follower_wait_us",
+    "snapshot_pin_ns",
 ];
 
 /// All counters and histograms the engine maintains. One instance per
@@ -154,8 +212,26 @@ pub struct EngineMetrics {
     /// Microseconds each committing session waited for its group-commit
     /// batch to reach disk (queue wait + shared fsync).
     pub commit_wait_us: Histogram,
+    /// Microseconds a committing session spent blocked as a group-commit
+    /// *follower* (waiting for a leader's fsync to cover its ticket) —
+    /// a subset of `commit_wait_us` isolating pure pipeline queueing.
+    pub commit_follower_wait_us: Histogram,
+    /// Nanoseconds each snapshot pin lived, recorded when the last
+    /// reader of a generation releases it. Long pins are what hold back
+    /// the vacuum horizon.
+    pub snapshot_pin_ns: Histogram,
+    /// Currently pinned snapshot generations (distinct generations, not
+    /// reader counts).
+    pub active_snapshots: Gauge,
+    /// Rows awaiting reclamation by the next vacuum pass.
+    pub pending_reclaim_rows: Gauge,
+    /// Age in microseconds of the oldest still-pinned snapshot; zero
+    /// when nothing is pinned.
+    pub oldest_snapshot_age_us: Gauge,
     /// Self-time per stage, nanoseconds (indexed by `Stage`).
     stage_ns: [Histogram; 6],
+    /// Writer txn-lock wait per site, nanoseconds (indexed by `TxnSite`).
+    txn_wait_ns: [Histogram; 5],
 }
 
 impl EngineMetrics {
@@ -168,6 +244,27 @@ impl EngineMetrics {
     #[inline]
     pub fn record_stage(&self, stage: Stage, elapsed: Duration) {
         self.stage_ns[stage.index()].record(elapsed.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Records one writer txn-lock wait at `site`.
+    #[inline]
+    pub fn record_txn_wait(&self, site: TxnSite, waited: Duration) {
+        self.txn_wait_ns[site.index()].record(waited.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Records the lifetime of one released snapshot pin.
+    #[inline]
+    pub fn record_snapshot_pin(&self, lived: Duration) {
+        self.snapshot_pin_ns.record(lived.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    fn gauge(&self, name: &str) -> &Gauge {
+        match name {
+            "active_snapshots" => &self.active_snapshots,
+            "pending_reclaim_rows" => &self.pending_reclaim_rows,
+            "oldest_snapshot_age_us" => &self.oldest_snapshot_age_us,
+            other => panic!("unknown gauge {other:?}"),
+        }
     }
 
     fn counter(&self, name: &str) -> &Counter {
@@ -200,6 +297,25 @@ impl EngineMetrics {
     /// A point-in-time copy of every counter and histogram, in canonical
     /// order. Safe to call from any thread at any time.
     pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut waits = Vec::with_capacity(WAIT_HISTOGRAMS.len());
+        for site in TxnSite::ALL {
+            waits.push((site.wait_name(), self.txn_wait_ns[site.index()].snapshot()));
+        }
+        waits.push(("commit_follower_wait_us", self.commit_follower_wait_us.snapshot()));
+        waits.push(("snapshot_pin_ns", self.snapshot_pin_ns.snapshot()));
+        let mut snap = self.query_snapshot();
+        snap.waits = waits;
+        snap
+    }
+
+    /// The per-query subset of [`Self::snapshot`]: counters, gauges and
+    /// the stage/scheduling histograms, *without* the engine-wide
+    /// wait-state histograms. This is what the recorded-statement path
+    /// snapshots twice per query — skipping the seven wait histograms
+    /// (each a 64-bucket copy) keeps the always-on recording cost inside
+    /// the 2% overhead budget; wait states are engine-level series
+    /// (`jp_metrics`, Prometheus), not per-query deltas.
+    pub fn query_snapshot(&self) -> MetricsSnapshot {
         let mut counters =
             Vec::with_capacity(DETERMINISTIC_COUNTERS.len() + SCHEDULING_COUNTERS.len());
         for name in DETERMINISTIC_COUNTERS.iter().chain(SCHEDULING_COUNTERS.iter()) {
@@ -207,7 +323,9 @@ impl EngineMetrics {
         }
         MetricsSnapshot {
             counters,
+            gauges: GAUGES.iter().map(|name| (*name, self.gauge(name).get())).collect(),
             stages: Stage::ALL.map(|s| (s, self.stage_ns[s.index()].snapshot())),
+            waits: Vec::new(),
             morsel_wait_ns: self.morsel_wait_ns.snapshot(),
             commit_wait_us: self.commit_wait_us.snapshot(),
         }
@@ -222,8 +340,16 @@ pub struct MetricsSnapshot {
     /// `(name, value)` in canonical order: [`DETERMINISTIC_COUNTERS`]
     /// then [`SCHEDULING_COUNTERS`].
     pub counters: Vec<(&'static str, u64)>,
+    /// `(name, level)` point-in-time gauges in [`GAUGES`] order. Gauges
+    /// are levels, not event counts: `delta_since` carries the *later*
+    /// snapshot's values through unchanged.
+    pub gauges: Vec<(&'static str, u64)>,
     /// Per-stage self-time histograms in [`Stage::ALL`] order.
     pub stages: [(Stage, HistogramSnapshot); 6],
+    /// `(name, histogram)` wait-state histograms in [`WAIT_HISTOGRAMS`]
+    /// order: per-site txn-lock waits, commit follower waits, snapshot
+    /// pin lifetimes.
+    pub waits: Vec<(&'static str, HistogramSnapshot)>,
     /// Morsel queue-wait histogram.
     pub morsel_wait_ns: HistogramSnapshot,
     /// Group-commit wait histogram (microseconds per committed session).
@@ -234,11 +360,32 @@ impl MetricsSnapshot {
     /// Value of a counter by canonical name; panics on unknown names so
     /// golden tests catch renames.
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters
+        self.counter_opt(name).unwrap_or_else(|| panic!("unknown counter {name:?}"))
+    }
+
+    /// Value of a counter by name, `None` when this snapshot does not
+    /// carry it — the lenient lookup `delta_since` uses so snapshots
+    /// taken across a counter-vocabulary change never panic.
+    pub fn counter_opt(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| *n == name).map(|(_, v)| *v)
+    }
+
+    /// Level of a gauge by canonical name; panics on unknown names.
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges
             .iter()
             .find(|(n, _)| *n == name)
             .map(|(_, v)| *v)
-            .unwrap_or_else(|| panic!("unknown counter {name:?}"))
+            .unwrap_or_else(|| panic!("unknown gauge {name:?}"))
+    }
+
+    /// A wait-state histogram by canonical name; panics on unknown names.
+    pub fn wait(&self, name: &str) -> &HistogramSnapshot {
+        self.wait_opt(name).unwrap_or_else(|| panic!("unknown wait histogram {name:?}"))
+    }
+
+    fn wait_opt(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.waits.iter().find(|(n, _)| *n == name).map(|(_, h)| h)
     }
 
     /// The worker-count-invariant subset, in canonical order. Two runs
@@ -249,18 +396,34 @@ impl MetricsSnapshot {
     }
 
     /// Difference against an earlier snapshot, saturating per entry.
+    ///
+    /// The two snapshots' name sets may differ (a counter or wait
+    /// histogram introduced after `earlier` was taken): names missing
+    /// from `earlier` are treated as zero there, so they appear in the
+    /// delta with their full later value — never a panic or underflow.
+    /// Gauges are levels, not events, so the delta carries the later
+    /// snapshot's gauge values through unchanged.
     pub fn delta_since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
         MetricsSnapshot {
             counters: self
                 .counters
                 .iter()
-                .map(|(name, v)| (*name, v.saturating_sub(earlier.counter(name))))
+                .map(|(name, v)| (*name, v.saturating_sub(earlier.counter_opt(name).unwrap_or(0))))
                 .collect(),
+            gauges: self.gauges.clone(),
             stages: Stage::ALL.map(|s| {
                 let now = &self.stages[s.index()].1;
                 let then = &earlier.stages[s.index()].1;
                 (s, now.delta_since(then))
             }),
+            waits: self
+                .waits
+                .iter()
+                .map(|(name, h)| match earlier.wait_opt(name) {
+                    Some(then) => (*name, h.delta_since(then)),
+                    None => (*name, h.clone()),
+                })
+                .collect(),
             morsel_wait_ns: self.morsel_wait_ns.delta_since(&earlier.morsel_wait_ns),
             commit_wait_us: self.commit_wait_us.delta_since(&earlier.commit_wait_us),
         }
@@ -295,9 +458,27 @@ impl MetricsSnapshot {
             self.morsel_wait_ns.count, self.morsel_wait_ns.sum, self.morsel_wait_ns.max
         ));
         out.push_str(&format!(
-            ",\"commit_wait_us\":{{\"count\":{},\"sum_us\":{},\"max_us\":{}}}}}",
+            ",\"commit_wait_us\":{{\"count\":{},\"sum_us\":{},\"max_us\":{}}}",
             self.commit_wait_us.count, self.commit_wait_us.sum, self.commit_wait_us.max
         ));
+        out.push_str(",\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{name}\":{v}"));
+        }
+        out.push_str("},\"waits\":{");
+        for (i, (name, h)) in self.waits.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{name}\":{{\"count\":{},\"sum\":{},\"max\":{}}}",
+                h.count, h.sum, h.max
+            ));
+        }
+        out.push_str("}}");
         out
     }
 }
@@ -355,5 +536,89 @@ mod tests {
         let det = m.snapshot().deterministic_counters();
         assert_eq!(det.len(), DETERMINISTIC_COUNTERS.len());
         assert!(det.iter().all(|(n, _)| !SCHEDULING_COUNTERS.contains(n)));
+    }
+
+    /// A counter introduced after the earlier snapshot was taken (e.g. a
+    /// snapshot persisted by an older binary) must surface in the delta
+    /// with its full later value — never a panic, never an underflow.
+    #[test]
+    fn delta_tolerates_counters_missing_from_earlier_snapshot() {
+        let m = EngineMetrics::new();
+        m.queries.add(3);
+        m.group_commit_batches.add(2);
+        let mut earlier = m.snapshot();
+        // Simulate an older counter vocabulary: the earlier snapshot
+        // never heard of group_commit_batches (or any wait histogram).
+        earlier.counters.retain(|(n, _)| *n != "group_commit_batches");
+        earlier.waits.clear();
+        m.queries.incr();
+        m.record_txn_wait(TxnSite::Insert, Duration::from_nanos(500));
+        let delta = m.snapshot().delta_since(&earlier);
+        assert_eq!(delta.counter("queries"), 1, "shared counters still subtract");
+        assert_eq!(
+            delta.counter("group_commit_batches"),
+            2,
+            "missing-from-earlier counters appear with full value"
+        );
+        assert_eq!(delta.wait("txn_wait_insert_ns").count, 1);
+        assert_eq!(delta.wait("txn_wait_insert_ns").sum, 500);
+    }
+
+    /// And the reverse skew: the earlier snapshot carries a counter the
+    /// later one dropped. The delta simply omits it (the later vocabulary
+    /// wins), with no panic on the extra name.
+    #[test]
+    fn delta_ignores_counters_dropped_from_later_snapshot() {
+        let m = EngineMetrics::new();
+        m.queries.incr();
+        let earlier = m.snapshot();
+        let mut later = m.snapshot();
+        later.counters.retain(|(n, _)| *n != "wal_fsyncs");
+        let delta = later.delta_since(&earlier);
+        assert_eq!(delta.counter_opt("wal_fsyncs"), None);
+        assert_eq!(delta.counter("queries"), 0);
+    }
+
+    #[test]
+    fn gauges_are_levels_not_deltas() {
+        let m = EngineMetrics::new();
+        m.pending_reclaim_rows.set(10);
+        let before = m.snapshot();
+        m.pending_reclaim_rows.set(4);
+        m.active_snapshots.set(2);
+        let delta = m.snapshot().delta_since(&before);
+        // A shrinking backlog must read 4, not a saturated 0.
+        assert_eq!(delta.gauge("pending_reclaim_rows"), 4);
+        assert_eq!(delta.gauge("active_snapshots"), 2);
+        let names: Vec<&str> = delta.gauges.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, GAUGES.to_vec());
+    }
+
+    #[test]
+    fn wait_histograms_record_per_site() {
+        let m = EngineMetrics::new();
+        m.record_txn_wait(TxnSite::Delete, Duration::from_nanos(300));
+        m.record_txn_wait(TxnSite::Delete, Duration::from_nanos(700));
+        m.record_snapshot_pin(Duration::from_nanos(900));
+        let snap = m.snapshot();
+        let names: Vec<&str> = snap.waits.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, WAIT_HISTOGRAMS.to_vec());
+        assert_eq!(snap.wait("txn_wait_delete_ns").count, 2);
+        assert_eq!(snap.wait("txn_wait_delete_ns").sum, 1000);
+        assert_eq!(snap.wait("txn_wait_insert_ns").count, 0);
+        assert_eq!(snap.wait("snapshot_pin_ns").max, 900);
+    }
+
+    #[test]
+    fn json_carries_gauges_and_waits() {
+        let m = EngineMetrics::new();
+        m.oldest_snapshot_age_us.set(77);
+        m.record_txn_wait(TxnSite::Update, Duration::from_nanos(5));
+        let json = m.snapshot().to_json();
+        assert!(json.contains("\"gauges\":{\"active_snapshots\":0,"));
+        assert!(json.contains("\"oldest_snapshot_age_us\":77"));
+        assert!(json.contains("\"waits\":{\"txn_wait_insert_ns\":"));
+        assert!(json.contains("\"txn_wait_update_ns\":{\"count\":1,\"sum\":5,\"max\":5}"));
+        assert!(json.ends_with("}}"));
     }
 }

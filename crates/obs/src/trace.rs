@@ -116,6 +116,22 @@ impl QueryTrace {
                 self.delta.morsel_wait_ns.max as f64 / 1e6
             ));
         }
+        // Group-commit stats for DML: how many fsync batches the
+        // statement's commits rode, the mean batch size, and the
+        // commit-wait distribution (quantiles are log2-bucket upper
+        // bounds, like every histogram in this crate).
+        let batches = self.counter("group_commit_batches");
+        if batches > 0 {
+            let size = self.counter("group_commit_size");
+            let wait = &self.delta.commit_wait_us;
+            out.push_str(&format!(
+                "  group commit: {batches} batch{}, mean size {:.1}, commit wait p50 {} us / p99 {} us\n",
+                if batches == 1 { "" } else { "es" },
+                size as f64 / batches as f64,
+                wait.quantile(0.5),
+                wait.quantile(0.99)
+            ));
+        }
         out
     }
 
@@ -185,6 +201,29 @@ mod tests {
         assert!(text.contains("counter index_probes"));
         assert!(text.contains("index probes: 1 (0 nodes visited, 10 candidates)"), "{text}");
         assert!(text.contains("rows: 4"));
+    }
+
+    #[test]
+    fn render_includes_group_commit_stats_for_dml() {
+        let m = EngineMetrics::new();
+        let before = m.snapshot();
+        m.queries.incr();
+        m.group_commit_batches.incr();
+        m.group_commit_size.add(3);
+        m.commit_wait_us.record(120);
+        let t = QueryTrace::new(
+            "INSERT INTO t VALUES (1)",
+            Duration::from_millis(1),
+            0,
+            m.snapshot().delta_since(&before),
+        );
+        let text = t.render();
+        assert!(text.contains("group commit: 1 batch, mean size 3.0"), "{text}");
+        assert!(text.contains("commit wait p50"), "{text}");
+        assert!(text.contains("/ p99"), "{text}");
+        // Read-only statements (no commits) keep the line out entirely.
+        let quiet = sample_trace().render();
+        assert!(!quiet.contains("group commit:"), "{quiet}");
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod plan;
 pub mod prepared;
 pub mod provider;
 pub mod token;
+pub mod virt;
 
 pub use error::SqlError;
 pub use exec::{execute, ResultSet};

@@ -26,6 +26,9 @@ cargo test -q -p jackpine --test observability --offline
 grep -q '#!\[forbid(unsafe_code)\]' crates/obs/src/lib.rs \
   || { echo "crates/obs must forbid unsafe_code"; exit 1; }
 
+echo "== system catalog gate (golden jp_* selects through the planner)"
+cargo test -q -p jackpine --test syscat --offline
+
 echo "== flight recorder gate (ring concurrency + fingerprint properties)"
 cargo test -q -p jackpine --test flight_recorder --offline
 cargo test -q -p jackpine --test proptest_fingerprint --offline
@@ -43,7 +46,8 @@ cargo test -q -p jackpine --test concurrency --offline
 echo "== repro --trace smoke (every micro query emits a trace)"
 cargo run --release --offline -p jackpine-bench --bin repro -- \
   --scale 0.01 --quick --trace --metrics-json /tmp/jackpine_metrics.json \
-  --trace-export /tmp/jackpine_chrome_trace.json t1 \
+  --trace-export /tmp/jackpine_chrome_trace.json \
+  --prom /tmp/jackpine_metrics.prom --slow-ms 0 t1 \
   > /tmp/jackpine_trace.txt
 grep -q 'stage plan' /tmp/jackpine_trace.txt \
   || { echo "repro --trace emitted no stage lines"; exit 1; }
@@ -53,6 +57,11 @@ m = json.load(open('/tmp/jackpine_metrics.json'))
 assert m["schema_version"] == 2, f"metrics schema_version {m.get('schema_version')} != 2"
 assert m["engines"], "metrics-json has no engines"
 EOF
+
+echo "== prometheus export gate (repro --prom output passes the in-tree lint)"
+cargo run --release --offline -p jackpine-bench --bin prom-lint -- \
+  /tmp/jackpine_metrics.prom \
+  || { echo "--prom output failed prometheus lint"; exit 1; }
 
 echo "== trace export gate (Chrome trace JSON, >=1 span per query)"
 python3 - <<'EOF' || { echo "--trace-export wrote an invalid Chrome trace"; exit 1; }
@@ -83,5 +92,8 @@ cargo run --release --offline -p jackpine-bench --bin bench-diff -- \
 cargo run --release --offline -p jackpine-bench --bin bench-diff -- \
   BENCH_6.json BENCH_7.json > /dev/null \
   || { echo "bench-diff BENCH_6 vs BENCH_7 failed"; exit 1; }
+cargo run --release --offline -p jackpine-bench --bin bench-diff -- \
+  BENCH_7R.json BENCH_8.json > /dev/null \
+  || { echo "bench-diff BENCH_7R vs BENCH_8 failed"; exit 1; }
 
 echo "tier-1 green"
