@@ -7,7 +7,8 @@
 //!       [--metrics-json FILE] [--trace-export FILE] [--top-queries K]
 //!       [--bench-out FILE] [--recorder on|off] [--prepared on|off]
 //!       [--vectorized on|off] [--batch-size N] [--prom FILE]
-//!       [--slow-ms N] <experiment>...
+//!       [--slow-ms N] [--pool-mb N] [--pool-policy clock|lru-k]
+//!       [--cold] [--warm] <experiment>...
 //! experiments: t1 t2 t3 f1..f8 all bench-json
 //! ```
 //!
@@ -54,6 +55,17 @@
 //! `--bench-out FILE` redirects the `bench-json` output file (default
 //! `BENCH_1.json`).
 //!
+//! `--pool-mb N` bounds every engine's buffer pool at N MiB (rows page
+//! out through pinned frames, R-tree leaves demand-load; 0 = unbounded,
+//! the default) and `--pool-policy` picks the frame-replacement policy
+//! (`clock` second-chance or `lru-k`). `bench-json` always adds a
+//! cold/warm out-of-core section against a bounded pool: `--cold` drops
+//! the pool between repetitions (every page faults back in from the
+//! backing store, so the entries report honest cold-cache latency plus
+//! the pool's miss/eviction deltas), `--warm` keeps it resident. Each
+//! flag restricts the section to that mode; by default both run, and
+//! cold/warm result sets are asserted identical.
+//!
 //! `--prom FILE` writes every engine's final metrics in the Prometheus
 //! text-exposition format (one file, series labeled `engine="..."`) —
 //! the scrape surface, lintable with the `prom-lint` binary. `--slow-ms
@@ -72,6 +84,7 @@ use jackpine_core::report::{fmt_ms, fmt_qps, Table};
 use jackpine_core::Stats;
 use jackpine_datagen::{TigerConfig, TigerDataset};
 use jackpine_engine::{DurabilityOptions, EngineProfile, SpatialConnector, SpatialDb};
+use jackpine_storage::PAGE_SIZE;
 use std::sync::Arc;
 
 struct Options {
@@ -93,7 +106,24 @@ struct Options {
     batch_size: usize,
     prom: Option<String>,
     slow_ms: Option<u64>,
+    pool_mb: Option<usize>,
+    pool_policy: Option<String>,
+    cold: bool,
+    warm: bool,
     experiments: Vec<String>,
+}
+
+impl Options {
+    /// Whether the bench-json out-of-core section runs cold repetitions.
+    /// Neither `--cold` nor `--warm` selects both modes.
+    fn cold_runs(&self) -> bool {
+        self.cold || !self.warm
+    }
+
+    /// Whether the bench-json out-of-core section runs warm repetitions.
+    fn warm_runs(&self) -> bool {
+        self.warm || !self.cold
+    }
 }
 
 fn parse_args() -> Options {
@@ -116,6 +146,10 @@ fn parse_args() -> Options {
         batch_size: 0,
         prom: None,
         slow_ms: None,
+        pool_mb: None,
+        pool_policy: None,
+        cold: false,
+        warm: false,
         experiments: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -166,6 +200,17 @@ fn parse_args() -> Options {
             "--batch-size" => opts.batch_size = expect_num(args.next(), "--batch-size") as usize,
             "--prom" => opts.prom = Some(args.next().unwrap_or_else(|| usage())),
             "--slow-ms" => opts.slow_ms = Some(expect_num(args.next(), "--slow-ms") as u64),
+            "--pool-mb" => opts.pool_mb = Some(expect_num(args.next(), "--pool-mb") as usize),
+            "--pool-policy" => {
+                let name = args.next().unwrap_or_else(|| usage());
+                if jackpine_storage::ReplacementPolicy::parse(&name).is_none() {
+                    eprintln!("unknown replacement policy: {name} (clock, lru-k)");
+                    std::process::exit(2);
+                }
+                opts.pool_policy = Some(name);
+            }
+            "--cold" => opts.cold = true,
+            "--warm" => opts.warm = true,
             "--help" | "-h" => {
                 usage();
             }
@@ -199,7 +244,8 @@ fn usage() -> ! {
          [--persist DIR] [--wal on|off] [--trace] [--metrics-json FILE] \
          [--trace-export FILE] [--top-queries K] [--bench-out FILE] [--recorder on|off] \
          [--prepared on|off] [--vectorized on|off] [--batch-size N] [--prom FILE] \
-         [--slow-ms N] <t1|t2|t3|f1..f8|all|bench-json>..."
+         [--slow-ms N] [--pool-mb N] [--pool-policy clock|lru-k] [--cold] [--warm] \
+         <t1|t2|t3|f1..f8|all|bench-json>..."
     );
     std::process::exit(2)
 }
@@ -224,6 +270,12 @@ fn main() {
         e.set_batch_size(opts.batch_size);
         if let Some(ms) = opts.slow_ms {
             e.set_slow_query_threshold(std::time::Duration::from_millis(ms));
+        }
+        if let Some(policy) = &opts.pool_policy {
+            SpatialConnector::set_replacement_policy(e, policy);
+        }
+        if let Some(mb) = opts.pool_mb {
+            e.set_pool_bytes(mb * 1024 * 1024);
         }
     }
     let workers = engines.first().map(|e| e.workers()).unwrap_or(1);
@@ -312,10 +364,17 @@ fn main() {
         0 => String::new(),
         n => format!(" batch_size={n}"),
     };
+    let pool_note = match opts.pool_mb {
+        Some(mb) => format!(
+            " pool_mb={mb} policy={}",
+            opts.pool_policy.as_deref().unwrap_or("clock")
+        ),
+        None => String::new(),
+    };
     for t in &mut tables {
         t.context = format!(
             "workers={workers} {persist_note}{trace_note}{prepared_note}{vectorized_note}\
-             {batch_note}"
+             {batch_note}{pool_note}"
         );
     }
 
@@ -669,7 +728,10 @@ fn f7_drilldown(data: &TigerDataset, engines: &[Arc<SpatialDb>], sessions: usize
 /// configured worker count, asserting identical results, plus two
 /// refine-heavy polygon-polygon joins (PP1/PP2) with the prepared
 /// fast path off vs. on, a vectorized-executor ablation (row path vs.
-/// batch path plus a batch-size sweep on T10), and writes a schema-v2
+/// batch path plus a batch-size sweep on T10), an out-of-core section
+/// (cold vs. warm repetitions against a bounded buffer pool, with the
+/// pool's miss/eviction deltas as counter entries and a deliberately
+/// undersized 1 MiB probe that must evict), and writes a schema-v2
 /// bench file (default `BENCH_1.json`, see `--bench-out`).
 /// The `value` fields keep the github-action-benchmark
 /// `customSmallerIsBetter` meaning; timed entries additionally carry
@@ -951,6 +1013,126 @@ fn bench_json(data: &TigerDataset, opts: &Options) {
         }
         drop(wdb);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // Out-of-core: cold vs. warm repetitions against a bounded buffer
+    // pool (default 8 MiB, see --pool-mb). The same data and queries run
+    // on a separate engine whose heap pages and R-tree leaves live
+    // behind the pool; warm repetitions reuse resident frames, cold
+    // repetitions drop the pool first (the driver's cold mode calls
+    // clear_caches, which writes back and empties the frame table), so
+    // every page faults back in from the backing store. The pool's
+    // cold-pin and eviction deltas ride along as counter entries, and a
+    // deliberately undersized 1 MiB probe guarantees a nonzero eviction
+    // count regardless of scale. Results must match the unbounded
+    // engine bit-for-bit — paging is invisible to query semantics.
+    let pool_mb = opts.pool_mb.filter(|&mb| mb > 0).unwrap_or(8);
+    let pdb = engine_with_data(EngineProfile::ExactRtree, data);
+    if let Some(policy) = &opts.pool_policy {
+        SpatialConnector::set_replacement_policy(&pdb, policy);
+    }
+    pdb.set_pool_bytes(pool_mb * 1024 * 1024);
+    pdb.set_workers(1);
+    pdb.set_flight_recorder(opts.recorder);
+    let cold_driver = Driver { repetitions: opts.reps, warmup: 1, cache_mode: CacheMode::Cold };
+    for q in suite.iter().filter(|q| ["T02", "T10"].contains(&q.id)) {
+        let bounded_rows = pdb.execute(&q.sql).expect("bounded-pool run");
+        let unbounded_rows = db.execute(&q.sql).expect("unbounded rerun");
+        assert_eq!(bounded_rows, unbounded_rows, "{}: pool_mb={pool_mb} changes results", q.id);
+        if opts.warm_runs() {
+            let warm = driver.run_query(&pdb, q.id, &q.sql).expect("warm pool timing");
+            println!("pool {}: warm pool_mb={pool_mb} {} ms", q.id, fmt_ms(warm.stats.mean_ms));
+            entries.push(BenchEntry {
+                name: format!("pool/{} warm pool_mb={pool_mb}", q.id),
+                value: warm.stats.mean_ms,
+                unit: "ms".into(),
+                stats: Some(warm.stats),
+            });
+        }
+        if opts.cold_runs() {
+            let before = pdb.pool_stats();
+            let cold = cold_driver.run_query(&pdb, q.id, &q.sql).expect("cold pool timing");
+            let after = pdb.pool_stats();
+            let cold_pins = after.cold_pins - before.cold_pins;
+            let evictions = after.evictions - before.evictions;
+            assert!(cold_pins > 0, "{}: cold repetitions must fault pages back in", q.id);
+            println!(
+                "pool {}: cold pool_mb={pool_mb} {} ms ({cold_pins} cold pins, \
+                 {evictions} evictions)",
+                q.id,
+                fmt_ms(cold.stats.mean_ms)
+            );
+            entries.push(BenchEntry {
+                name: format!("pool/{} cold pool_mb={pool_mb}", q.id),
+                value: cold.stats.mean_ms,
+                unit: "ms".into(),
+                stats: Some(cold.stats),
+            });
+            entries.push(BenchEntry {
+                name: format!("pool/{} cold cold_pins", q.id),
+                value: cold_pins as f64,
+                unit: "count".into(),
+                stats: None,
+            });
+            entries.push(BenchEntry {
+                name: format!("pool/{} cold evictions", q.id),
+                value: evictions as f64,
+                unit: "count".into(),
+                stats: None,
+            });
+        }
+    }
+    if opts.cold_runs() {
+        // The eviction probe. A fixed tiny capacity cannot guarantee
+        // evictions (at small --scale a query's whole working set can
+        // fit in a handful of frames), so calibrate: measure the
+        // query's cold working set in pages through an effectively
+        // unbounded pool, then bound the pool to *half* of it. T10 is
+        // a two-table join, so the working set is always at least two
+        // pages and the half-sized pool must cycle frames through the
+        // replacement policy at every --scale.
+        let t10 = suite.iter().find(|q| q.id == "T10").expect("T10 exists");
+        pdb.set_pool_bytes(4096 * PAGE_SIZE);
+        pdb.clear_caches();
+        let before = pdb.pool_stats();
+        pdb.execute(&t10.sql).expect("calibration run");
+        let working_set = (pdb.pool_stats().cold_pins - before.cold_pins) as usize;
+        assert!(working_set >= 2, "T10 joins two heaps; it must touch at least two pages");
+        let frames = (working_set / 2).max(1);
+        pdb.set_pool_bytes(frames * PAGE_SIZE);
+        let probe_rows = pdb.execute(&t10.sql).expect("undersized-pool run");
+        assert_eq!(
+            probe_rows,
+            db.execute(&t10.sql).expect("unbounded rerun"),
+            "T10: an undersized pool changes results"
+        );
+        let before = pdb.pool_stats();
+        let tiny = Driver { repetitions: 1, warmup: 0, cache_mode: CacheMode::Cold };
+        let m = tiny.run_query(&pdb, "T10", &t10.sql).expect("undersized-pool timing");
+        let after = pdb.pool_stats();
+        let evictions = after.evictions - before.evictions;
+        assert!(
+            evictions > 0,
+            "a pool of {frames} frames must evict during cold T10 ({working_set}-page \
+             working set)"
+        );
+        println!(
+            "pool T10: cold undersized ({frames} of {working_set} frames) {} ms \
+             ({evictions} evictions)",
+            fmt_ms(m.stats.mean_ms)
+        );
+        entries.push(BenchEntry {
+            name: "pool/T10 cold undersized".into(),
+            value: m.stats.mean_ms,
+            unit: "ms".into(),
+            stats: Some(m.stats),
+        });
+        entries.push(BenchEntry {
+            name: "pool/T10 cold evictions undersized".into(),
+            value: evictions as f64,
+            unit: "count".into(),
+            stats: None,
+        });
     }
 
     let run = BenchRun { schema_version: BENCH_SCHEMA_VERSION, entries };

@@ -100,6 +100,21 @@ pub trait SpatialConnector: Send + Sync {
     /// Turns retrospective recording (flight recorder, slow log,
     /// fingerprint stats) on or off, where the system supports it.
     fn set_flight_recorder(&self, _on: bool) {}
+
+    /// Sizes the system's buffer pool in bytes (`0` = unbounded), for
+    /// out-of-core runs. Systems without a pool ignore the call.
+    fn set_pool_bytes(&self, _bytes: usize) {}
+
+    /// Selects the pool's frame-replacement policy by name (`"clock"`,
+    /// `"lru-k"`), where the system has one. Unknown names are ignored.
+    fn set_replacement_policy(&self, _policy: &str) {}
+
+    /// Releases the connection's resources: flushes buffered state and
+    /// reclaims deferred work (e.g. a final index vacuum). Idempotent;
+    /// a default-noop for systems without buffered state.
+    fn close(&self) -> Result<()> {
+        Ok(())
+    }
 }
 
 impl SpatialConnector for Arc<SpatialDb> {
@@ -169,6 +184,20 @@ impl SpatialConnector for Arc<SpatialDb> {
 
     fn set_flight_recorder(&self, on: bool) {
         SpatialDb::set_flight_recorder(self, on)
+    }
+
+    fn set_pool_bytes(&self, bytes: usize) {
+        SpatialDb::set_pool_bytes(self, bytes)
+    }
+
+    fn set_replacement_policy(&self, policy: &str) {
+        if let Some(p) = jackpine_storage::ReplacementPolicy::parse(policy) {
+            SpatialDb::set_replacement_policy(self, p)
+        }
+    }
+
+    fn close(&self) -> Result<()> {
+        SpatialDb::close(self)
     }
 }
 

@@ -6,7 +6,7 @@ use crate::syscat;
 use crate::wal::{Wal, WalRecord};
 use crate::EngineProfile;
 use jackpine_geom::{Coord, Envelope};
-use jackpine_index::{GridIndex, OrderedIndex, ProbeStats, RTree, RTreeConfig};
+use jackpine_index::{GridIndex, LeafPager, OrderedIndex, ProbeStats, RTree, RTreeConfig};
 use jackpine_obs::{
     digest, EngineMetrics, FingerprintStats, FlightRecorder, HistoryPoint, MetricsHistory,
     MetricsSnapshot, QueryStatsTable, QueryTrace, SlowQueryLog, Stage, TxnSite,
@@ -17,7 +17,8 @@ use jackpine_sqlmini::provider::{CatalogProvider, SnapshotHandle, TableProvider}
 use jackpine_sqlmini::{exec, parser, plan, PreparedCache, ResultSet, SqlError};
 use jackpine_storage::sync::{Mutex, RwLock};
 use jackpine_storage::{
-    Catalog, ColumnDef, DataType, Row, RowId, Schema, StorageError, Table, Value,
+    BufferPool, Catalog, ColumnDef, DataType, PoolStats, ReplacementPolicy, Row, RowId, Schema,
+    StorageError, Table, Value,
 };
 use std::collections::HashMap;
 use std::fmt;
@@ -70,6 +71,36 @@ impl From<StorageError> for EngineError {
 enum SpatialIdx {
     Rtree(RTree<RowId>),
     Grid(GridIndex<RowId>),
+}
+
+/// [`LeafPager`] backed by the engine's shared buffer pool: each R-tree
+/// leaf serializes into slot 0 of its own pool page, so spilled leaves
+/// compete for frames with heap pages under one capacity budget (and
+/// show up in the same pin/eviction counters).
+#[derive(Debug)]
+struct PoolLeafPager {
+    pool: Arc<BufferPool>,
+    file: u64,
+}
+
+/// Pool page-file name for a spatial index's spilled leaves.
+fn leaf_file_name(table: &str, col: usize) -> String {
+    format!("idx-{}-{col}", table.to_ascii_lowercase())
+}
+
+impl LeafPager for PoolLeafPager {
+    fn write(&self, leaf: u64, bytes: &[u8]) {
+        let pin = self.pool.pin(self.file, leaf as u32);
+        let mut guard = pin.write();
+        *guard = jackpine_storage::page::Page::new();
+        guard.insert(bytes);
+    }
+
+    fn read(&self, leaf: u64) -> Option<Vec<u8>> {
+        let pin = self.pool.pin(self.file, leaf as u32);
+        let guard = pin.read();
+        guard.get(0).ok().map(|b| b.to_vec())
+    }
 }
 
 impl SpatialIdx {
@@ -452,6 +483,10 @@ impl SpatialDb {
             // committing sessions hold the read side end to end.
             let (_txn, waited) = self.txn.lock_timed();
             self.metrics.record_txn_wait(TxnSite::Checkpoint, waited);
+            // A checkpoint is a natural vacuum point: any row whose
+            // death no pinned snapshot can still see is reclaimed now,
+            // so the snapshot being cut never re-persists it.
+            self.vacuum_locked();
             let gen = d.generation + 1;
             self.save_gen(d.dir.join(SNAPSHOT_FILE), gen)?;
             d.wal.reset(gen)?;
@@ -475,6 +510,8 @@ impl SpatialDb {
             WalRecord::CreateOrderedIndex { table, column } => {
                 self.create_ordered_index(&table, &column)
             }
+            WalRecord::InsertAt { table, id, row } => self.replay_insert_at(&table, id, row),
+            WalRecord::DeleteId { table, id } => self.replay_delete_id(&table, id),
         }
     }
 
@@ -507,6 +544,40 @@ impl SpatialDb {
             self.index_remove_entries(table, id, &victim);
             t.heap.delete(id);
         }
+        Ok(())
+    }
+
+    /// Replays a v4 logged insert: the row returns to the exact heap
+    /// slot it occupied when logged, so later `DeleteId` records (and
+    /// index entries) address the right row even when the table holds
+    /// byte-identical duplicates. The snapshot the WAL was cut against
+    /// is a v4 image, so every pre-existing row already sits at its
+    /// recorded address.
+    fn replay_insert_at(&self, table: &str, id: RowId, row: Row) -> crate::Result<()> {
+        let t = self.catalog.table(table)?;
+        t.heap.place_at(row.clone(), id, 0)?;
+        self.index_insert_entries(table, id, &row);
+        Ok(())
+    }
+
+    /// Replays a v4 logged delete by heap address. A missing row means
+    /// the record's effect is already reflected; replay tolerates it,
+    /// keeping recovery idempotent.
+    fn replay_delete_id(&self, table: &str, id: RowId) -> crate::Result<()> {
+        let t = self.catalog.table(table)?;
+        if let Ok(victim) = t.heap.get(id) {
+            self.index_remove_entries(table, id, &victim);
+            t.heap.delete(id);
+        }
+        Ok(())
+    }
+
+    /// Places a row at its recorded heap address during snapshot load
+    /// (format v4). Unlogged, visible-everywhere — the reload analogue
+    /// of [`SpatialDb::insert_row`] minus id allocation.
+    pub(crate) fn place_row(&self, table: &str, id: RowId, row: Row) -> crate::Result<()> {
+        let t = self.catalog.table(table)?;
+        t.heap.place_at(row, id, 0)?;
         Ok(())
     }
 
@@ -593,8 +664,9 @@ impl SpatialDb {
     }
 
     /// Refreshes the point-in-time gauges from engine state: the vacuum
-    /// backlog, the number of distinct pinned snapshot generations, and
-    /// the age of the oldest pin. Two short mutex acquisitions.
+    /// backlog, the number of distinct pinned snapshot generations, the
+    /// age of the oldest pin, and the buffer pool's frame occupancy and
+    /// lifetime counters. Two short mutex acquisitions.
     fn refresh_gauges(&self) {
         self.metrics.pending_reclaim_rows.set(self.pending_reclaim.lock().len() as u64);
         let snapshots = self.snapshots.lock();
@@ -604,6 +676,14 @@ impl SpatialDb {
         self.metrics
             .oldest_snapshot_age_us
             .set(oldest.map(|t| t.elapsed().as_micros().min(u64::MAX as u128) as u64).unwrap_or(0));
+        let pool = self.catalog.pool().stats();
+        self.metrics.pool_capacity_frames.set(pool.capacity_frames);
+        self.metrics.pool_resident_frames.set(pool.resident_frames);
+        self.metrics.pool_pinned_frames.set(pool.pinned_frames);
+        self.metrics.pool_pin_hits.set(pool.pin_hits);
+        self.metrics.pool_cold_pins.set(pool.cold_pins);
+        self.metrics.pool_evictions.set(pool.evictions);
+        self.metrics.pool_dirty_writebacks.set(pool.dirty_writebacks);
     }
 
     /// Prometheus text-exposition rendering of the current metrics
@@ -741,9 +821,14 @@ impl SpatialDb {
         }
         if result.is_ok() {
             if let Some(d) = durability.as_ref() {
-                let staged: Vec<WalRecord> = rows
+                let staged: Vec<WalRecord> = inserted
                     .iter()
-                    .map(|r| WalRecord::Insert { table: table.to_string(), row: r.clone() })
+                    .zip(rows)
+                    .map(|(id, r)| WalRecord::InsertAt {
+                        table: table.to_string(),
+                        id: *id,
+                        row: r.clone(),
+                    })
                     .collect();
                 result = d.wal.write_frames(&staged);
             }
@@ -948,11 +1033,17 @@ impl SpatialDb {
             }
             SpatialIdx::Grid(g)
         } else {
-            SpatialIdx::Rtree(RTree::bulk_load_parallel(
-                RTreeConfig::default(),
-                items,
-                self.workers(),
-            ))
+            let mut tree = RTree::bulk_load_parallel(RTreeConfig::default(), items, self.workers());
+            // Under a bounded pool, leaves page through it from the
+            // start: inner nodes stay resident, leaf probes pin pool
+            // pages and show up in the pool's hit/miss counters.
+            let pool = self.catalog.pool();
+            if pool.capacity_frames() != 0 {
+                let file = pool.register(&leaf_file_name(table, col));
+                tree.attach_pager(Arc::new(PoolLeafPager { pool: pool.clone(), file }));
+                tree.spill_leaves();
+            }
+            SpatialIdx::Rtree(tree)
         };
 
         let mut indexes = self.indexes.write();
@@ -1400,7 +1491,7 @@ impl SpatialDb {
     /// Deletes the rows of `table` matching the conjunction of `filters`.
     /// One logged write transaction: victims are marked dead at the next
     /// commit generation (index entries stay for older snapshots and are
-    /// reclaimed by vacuum once no pin can see them), logical Delete
+    /// reclaimed by vacuum once no pin can see them), `DeleteId`
     /// records hit the WAL before the generation publishes, and a WAL
     /// failure revives every victim. Returns the number of rows removed.
     fn delete_where(
@@ -1454,10 +1545,7 @@ impl SpatialDb {
         if let Some(d) = durability.as_ref() {
             let staged: Vec<WalRecord> = victims
                 .iter()
-                .map(|(_, row)| WalRecord::Delete {
-                    table: table.to_string(),
-                    row: row.as_ref().clone(),
-                })
+                .map(|(id, _)| WalRecord::DeleteId { table: table.to_string(), id: *id })
                 .collect();
             result = d.wal.write_frames(&staged);
         }
@@ -1491,8 +1579,9 @@ impl SpatialDb {
     /// assignments (right-hand sides may reference the old row). Each
     /// victim becomes a logical delete plus a fresh insert stamped with
     /// the same commit generation, so readers observe either the old row
-    /// or the new one, never both and never neither. The Delete+Insert
-    /// record pairs reach the WAL in one frame batch before the
+    /// or the new one, never both and never neither. The
+    /// `DeleteId`+`InsertAt` record pairs reach the WAL in one frame
+    /// batch before the
     /// generation publishes; a WAL failure rolls every pair back.
     /// Returns the number of rows updated.
     fn update_where(
@@ -1568,14 +1657,14 @@ impl SpatialDb {
         }
         if result.is_ok() {
             if let Some(d) = durability.as_ref() {
-                let mut staged: Vec<WalRecord> = Vec::with_capacity(victims.len() * 2);
-                for (_, old_row, new_row) in &victims {
-                    staged.push(WalRecord::Delete {
+                let mut staged: Vec<WalRecord> = Vec::with_capacity(applied.len() * 2);
+                for ((old_id, new_id), (_, _, new_row)) in applied.iter().zip(victims.iter()) {
+                    staged.push(WalRecord::DeleteId { table: table.to_string(), id: *old_id });
+                    staged.push(WalRecord::InsertAt {
                         table: table.to_string(),
-                        row: old_row.as_ref().clone(),
+                        id: *new_id,
+                        row: new_row.clone(),
                     });
-                    staged
-                        .push(WalRecord::Insert { table: table.to_string(), row: new_row.clone() });
                 }
                 result = d.wal.write_frames(&staged);
             }
@@ -1615,12 +1704,94 @@ impl SpatialDb {
     /// cached geometry preparations: they pin the decoded rows they were
     /// built from, which a cold run must not retain. The plan and
     /// fingerprint caches go too — a cold run that skipped them would
-    /// still be warm where it counts for short queries.
+    /// still be warm where it counts for short queries. The buffer pool
+    /// writes back its dirty frames and drops every unpinned one, and
+    /// spilled R-tree leaves lose their decoded images — so the next
+    /// probe of any page or leaf genuinely goes back to the page store.
     pub fn clear_caches(&self) {
         self.catalog.clear_all_caches();
         self.prepared_cache.clear();
         self.plan_cache.write().clear();
         self.fingerprint_cache.write().clear();
+        let indexes = self.indexes.read();
+        for ti in indexes.values() {
+            for idx in ti.spatial.values() {
+                if let SpatialIdx::Rtree(tree) = idx {
+                    tree.clear_leaf_cache();
+                }
+            }
+        }
+        drop(indexes);
+        self.catalog.pool().clear();
+    }
+
+    /// Sizes the shared buffer pool: heaps and spilled index leaves
+    /// compete for `bytes / PAGE_SIZE` frames (`0` = unbounded, the
+    /// default). Shrinking evicts unpinned frames immediately; R-tree
+    /// leaves are spilled into (or faulted back out of) the pool to
+    /// match the new budget.
+    pub fn set_pool_bytes(&self, bytes: usize) {
+        self.catalog.pool().set_capacity_bytes(bytes);
+        self.respill_indexes();
+    }
+
+    /// Selects the pool's frame-replacement policy (clock or LRU-K).
+    pub fn set_replacement_policy(&self, policy: ReplacementPolicy) {
+        self.catalog.pool().set_policy(policy);
+    }
+
+    /// A point-in-time copy of the buffer pool's counters.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.catalog.pool().stats()
+    }
+
+    /// The pool's current replacement policy.
+    pub fn pool_policy(&self) -> ReplacementPolicy {
+        self.catalog.pool().policy()
+    }
+
+    /// Brings every R-tree's leaf residency in line with the pool
+    /// budget: spilled under a bounded pool, fully resident otherwise.
+    fn respill_indexes(&self) {
+        let pool = self.catalog.pool().clone();
+        let bounded = pool.capacity_frames() != 0;
+        let mut indexes = self.indexes.write();
+        for (tname, ti) in indexes.iter_mut() {
+            for (col, idx) in ti.spatial.iter_mut() {
+                if let SpatialIdx::Rtree(tree) = idx {
+                    if bounded {
+                        if !tree.has_pager() {
+                            let file = pool.register(&leaf_file_name(tname, *col));
+                            tree.attach_pager(Arc::new(PoolLeafPager {
+                                pool: pool.clone(),
+                                file,
+                            }));
+                        }
+                        tree.spill_leaves();
+                    } else {
+                        tree.unspill();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Flushes dirty pool frames and reclaims what no snapshot needs —
+    /// the engine half of `SpatialConnector::close`.
+    pub fn close(&self) -> crate::Result<()> {
+        {
+            let (_txn, waited) = self.txn.lock_timed();
+            self.metrics.record_txn_wait(TxnSite::Checkpoint, waited);
+            self.vacuum_locked();
+        }
+        self.catalog.pool().flush();
+        Ok(())
+    }
+
+    /// Live row ids of `table`, in heap order (diagnostics and tests —
+    /// recovery equivalence asserts on these).
+    pub fn table_row_ids(&self, table: &str) -> crate::Result<Vec<RowId>> {
+        Ok(self.catalog.table(table)?.heap.row_ids())
     }
 
     /// The underlying catalog table (for loaders and tests).
@@ -1821,6 +1992,9 @@ impl TableProvider for DbTableAdapter {
     }
 
     fn spatial_candidates(&self, col: usize, env: &Envelope) -> Option<Vec<RowId>> {
+        // Epoch before the probe: a vacuum racing the probe must be
+        // visible to the visibility filter below.
+        let epoch = self.table.heap.reclaim_epoch();
         let indexes = self.db.indexes.read();
         let ti = indexes.get(&self.key)?;
         let (mut ids, stats) = ti.spatial.get(&col)?.window_probe(env);
@@ -1832,11 +2006,12 @@ impl TableProvider for DbTableAdapter {
         // (not yet born, or dead but unreclaimed); filter them out
         // after counting raw candidates, so index stats stay a property
         // of the index, not of concurrent write traffic.
-        self.table.heap.retain_visible(&mut ids, self.gen());
+        self.table.heap.retain_visible(&mut ids, self.gen(), epoch);
         Some(ids)
     }
 
     fn ordered_candidates(&self, col: usize, key: &Value) -> Option<Vec<RowId>> {
+        let epoch = self.table.heap.reclaim_epoch();
         let indexes = self.db.indexes.read();
         let ti = indexes.get(&self.key)?;
         let idx = ti.ordered.get(&col)?;
@@ -1845,7 +2020,7 @@ impl TableProvider for DbTableAdapter {
         let m = &self.db.metrics;
         m.index_probes.incr();
         m.index_candidates.add(ids.len() as u64);
-        self.table.heap.retain_visible(&mut ids, self.gen());
+        self.table.heap.retain_visible(&mut ids, self.gen(), epoch);
         Some(ids)
     }
 
@@ -1862,12 +2037,13 @@ impl TableProvider for DbTableAdapter {
         // still yields the k nearest visible rows.
         let mut want = k;
         loop {
+            let epoch = self.table.heap.reclaim_epoch();
             let (mut ids, stats) = idx.nearest_probe(query, want);
             m.index_probes.incr();
             m.index_candidates.add(stats.candidates);
             m.index_nodes_visited.add(stats.nodes_visited);
             let exhausted = ids.len() < want;
-            self.table.heap.retain_visible(&mut ids, gen);
+            self.table.heap.retain_visible(&mut ids, gen, epoch);
             if ids.len() >= k || exhausted {
                 ids.truncate(k);
                 return Some(ids);

@@ -1,11 +1,11 @@
 //! Database persistence: save a [`SpatialDb`] to a single file and open
 //! it again, rebuilding indexes.
 //!
-//! Format v3 (all little-endian):
+//! Format v4 (all little-endian):
 //!
 //! ```text
 //! header (33 bytes):
-//!   magic "JKPN" | version u32 = 3 | profile u8 | generation u64
+//!   magic "JKPN" | version u32 = 4 | profile u8 | generation u64
 //!   table count u32 | body len u64 | file crc32 u32
 //!   (the file crc covers profile..body-len plus the whole body)
 //! body, per table:
@@ -15,8 +15,15 @@
 //!   per column: name (u32 len + utf8) | type tag u8
 //!   spatial-index column count u32 | column ids u32...
 //!   ordered-index column count u32 | column ids u32...
-//!   row count u64 | per row: u32 len + row bytes (the heap codec)
+//!   row count u64
+//!   per row: page u32 | slot u32 | u32 len + row bytes (the heap codec)
 //! ```
+//!
+//! v4 records each row's heap address (`RowId`) and reload places rows
+//! back into their original slots, so row ids are **stable across
+//! recovery** — the property WAL v4's `InsertAt`/`DeleteId` records
+//! rely on. v3 blocks are identical except that rows carry no address
+//! and are re-appended in scan order on load.
 //!
 //! Durability rules:
 //!
@@ -65,11 +72,12 @@ use std::sync::Arc;
 const MAGIC: &[u8; 4] = b"JKPN";
 const VERSION_V1: u32 = 1;
 const VERSION_V2: u32 = 2;
-const VERSION: u32 = 3;
-/// v3: profile + generation + table count + body len (the header bytes
-/// the file checksum covers).
+const VERSION_V3: u32 = 3;
+const VERSION: u32 = 4;
+/// v3/v4: profile + generation + table count + body len (the header
+/// bytes the file checksum covers).
 const META_LEN: usize = 1 + 8 + 4 + 8;
-/// v3: magic + version + covered meta + file crc.
+/// v3/v4: magic + version + covered meta + file crc.
 const HEADER_LEN: usize = 4 + 4 + META_LEN + 4;
 /// v2: magic + version + profile + table count + body len + body crc.
 const HEADER_LEN_V2: usize = 4 + 4 + 1 + 4 + 8 + 4;
@@ -209,8 +217,10 @@ impl SpatialDb {
             // file that `open()` must reject.
             let mut rows_buf: Vec<u8> = Vec::with_capacity(1 << 12);
             let mut nrows: u64 = 0;
-            table.heap.scan(|_, row| {
+            table.heap.scan(|id, row| {
                 let bytes = Value::encode_row(row);
+                rows_buf.put_u32_le(id.page);
+                rows_buf.put_u32_le(u32::from(id.slot));
                 rows_buf.put_u32_le(bytes.len() as u32);
                 rows_buf.put_slice(&bytes);
                 nrows += 1;
@@ -293,7 +303,8 @@ impl SpatialDb {
         match version {
             VERSION_V1 => Ok((Self::open_v1(data)?, 0)),
             VERSION_V2 => Ok((Self::open_v2(data)?, 0)),
-            VERSION => Self::open_v3(data),
+            VERSION_V3 => Self::open_v34(data, false),
+            VERSION => Self::open_v34(data, true),
             other => Err(corrupt(&format!("unsupported version {other}"))),
         }
     }
@@ -312,16 +323,17 @@ impl SpatialDb {
             return 0;
         }
         data.advance(4);
-        if data.get_u32_le() != VERSION {
+        if !(VERSION_V3..=VERSION).contains(&data.get_u32_le()) {
             return 0;
         }
         data.advance(1); // profile
         data.get_u64_le()
     }
 
-    /// Format v3: generation-stamped header whose checksum covers both
-    /// the header fields and the framed table blocks.
-    fn open_v3(mut data: &[u8]) -> Result<(Arc<SpatialDb>, u64)> {
+    /// Formats v3 and v4: generation-stamped header whose checksum
+    /// covers both the header fields and the framed table blocks. v4
+    /// rows carry their heap address (`with_ids`).
+    fn open_v34(mut data: &[u8], with_ids: bool) -> Result<(Arc<SpatialDb>, u64)> {
         if data.remaining() < HEADER_LEN - 8 {
             return Err(corrupt("truncated header"));
         }
@@ -345,7 +357,7 @@ impl SpatialDb {
         if crc.finish() != file_crc {
             return Err(corrupt("file checksum mismatch"));
         }
-        Ok((Self::load_blocks(data, profile, ntables)?, generation))
+        Ok((Self::load_blocks(data, profile, ntables, with_ids)?, generation))
     }
 
     /// Format v2: checksummed header + framed table blocks, no
@@ -367,14 +379,15 @@ impl SpatialDb {
         if crc32(data) != body_crc {
             return Err(corrupt("file checksum mismatch"));
         }
-        Self::load_blocks(data, profile, ntables)
+        Self::load_blocks(data, profile, ntables, false)
     }
 
-    /// Parses `ntables` checksummed table blocks (the v2/v3 body).
+    /// Parses `ntables` checksummed table blocks (the v2/v3/v4 body).
     fn load_blocks(
         mut data: &[u8],
         profile: EngineProfile,
         ntables: u32,
+        with_ids: bool,
     ) -> Result<Arc<SpatialDb>> {
         let db = Arc::new(SpatialDb::new(profile));
         for _ in 0..ntables {
@@ -392,7 +405,7 @@ impl SpatialDb {
                 return Err(corrupt("table block checksum mismatch"));
             }
             let mut cursor = block;
-            load_table(&db, &mut cursor)?;
+            load_table(&db, &mut cursor, with_ids)?;
             if cursor.remaining() != 0 {
                 return Err(corrupt("trailing bytes in table block"));
             }
@@ -415,7 +428,7 @@ impl SpatialDb {
         }
         let ntables = data.get_u32_le();
         for _ in 0..ntables {
-            load_table(&db, &mut data)?;
+            load_table(&db, &mut data, false)?;
         }
         // Legacy files are exactly consumed; leftovers mean the bytes
         // were never a v1 image (e.g. a v3 file whose version byte was
@@ -429,8 +442,10 @@ impl SpatialDb {
 
 /// Parses one serialized table (schema, index definitions, rows) from
 /// `data` and loads it into `db`, rebuilding the indexes at the end (the
-/// bulk path). Shared by the v1 and v2 readers and by WAL recovery.
-fn load_table(db: &Arc<SpatialDb>, data: &mut &[u8]) -> Result<()> {
+/// bulk path). Shared by every format reader and by WAL recovery. With
+/// `with_ids` (v4), each row carries its heap address and is placed back
+/// into its original slot, keeping row ids stable across the reload.
+fn load_table(db: &Arc<SpatialDb>, data: &mut &[u8], with_ids: bool) -> Result<()> {
     let name = get_str(data)?;
     if data.remaining() < 4 {
         return Err(corrupt("truncated column count"));
@@ -472,6 +487,17 @@ fn load_table(db: &Arc<SpatialDb>, data: &mut &[u8]) -> Result<()> {
     }
     let nrows = data.get_u64_le();
     for _ in 0..nrows {
+        let id = if with_ids {
+            if data.remaining() < 8 {
+                return Err(corrupt("truncated row id"));
+            }
+            let page = data.get_u32_le();
+            let slot = u16::try_from(data.get_u32_le())
+                .map_err(|_| corrupt("row id slot out of range"))?;
+            Some(jackpine_storage::RowId { page, slot })
+        } else {
+            None
+        };
         if data.remaining() < 4 {
             return Err(corrupt("truncated row length"));
         }
@@ -481,7 +507,14 @@ fn load_table(db: &Arc<SpatialDb>, data: &mut &[u8]) -> Result<()> {
         }
         let row = Value::decode_row(&data[..len])?;
         data.advance(len);
-        db.insert_row(&name, row)?;
+        match id {
+            Some(id) => {
+                db.place_row(&name, id, row)?;
+            }
+            None => {
+                db.insert_row(&name, row)?;
+            }
+        }
     }
 
     // Rebuild indexes from their definitions (bulk path).

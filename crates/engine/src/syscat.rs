@@ -20,6 +20,7 @@
 //! | `jp_sessions` | in-flight statement | the session registry |
 //! | `jp_snapshots` | pinned generation | the MVCC snapshot registry |
 //! | `jp_wal` | engine (single row) | WAL + group-commit state |
+//! | `jp_buffer_pool` | engine (single row) | buffer-pool frames + counters |
 //!
 //! Schemas are documented in DESIGN.md ("System catalog"). Tables are
 //! read-only by construction: DML never resolves through the SQL
@@ -55,6 +56,7 @@ pub(crate) fn provider(
         "jp_sessions" => sessions(db),
         "jp_snapshots" => snapshots(db),
         "jp_wal" => wal(db),
+        "jp_buffer_pool" => buffer_pool(db),
         _ => return None,
     };
     Some(table.map(|t| Arc::new(t) as Arc<dyn TableProvider>))
@@ -298,6 +300,34 @@ fn wal(db: &Arc<SpatialDb>) -> jackpine_sqlmini::Result<VirtualTable> {
     VirtualTable::new(schema, vec![row])
 }
 
+/// `jp_buffer_pool`: one row of buffer-pool state under the active
+/// replacement policy. `capacity_frames` is 0 when the pool is
+/// unbounded (every page stays resident and nothing evicts).
+fn buffer_pool(db: &Arc<SpatialDb>) -> jackpine_sqlmini::Result<VirtualTable> {
+    let schema = cols(&[
+        ("policy", DataType::Text),
+        ("capacity_frames", DataType::Int),
+        ("resident_frames", DataType::Int),
+        ("pinned_frames", DataType::Int),
+        ("pin_hits", DataType::Int),
+        ("cold_pins", DataType::Int),
+        ("evictions", DataType::Int),
+        ("dirty_writebacks", DataType::Int),
+    ])?;
+    let stats = db.pool_stats();
+    let row = vec![
+        Value::Text(db.pool_policy().name().to_string()),
+        int(stats.capacity_frames),
+        int(stats.resident_frames),
+        int(stats.pinned_frames),
+        int(stats.pin_hits),
+        int(stats.cold_pins),
+        int(stats.evictions),
+        int(stats.dirty_writebacks),
+    ];
+    VirtualTable::new(schema, vec![row])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -332,6 +362,7 @@ mod tests {
             "jp_sessions",
             "jp_snapshots",
             "jp_wal",
+            "jp_buffer_pool",
         ] {
             let p = provider(&db, name).unwrap_or_else(|| panic!("{name} resolves"));
             let p = p.unwrap_or_else(|e| panic!("{name} materializes: {e}"));

@@ -28,17 +28,20 @@ use crate::persist::{tag_type, type_tag};
 use crate::{EngineError, Result};
 use jackpine_geom::codec::{PutBytes, TakeBytes};
 use jackpine_storage::sync::Mutex;
-use jackpine_storage::{ColumnDef, Row, Value};
+use jackpine_storage::{ColumnDef, Row, RowId, Value};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
 /// WAL file magic.
 pub const WAL_MAGIC: &[u8; 4] = b"JKWL";
 /// WAL format version (2 added the generation field; 3 added logical
-/// `Delete` records so DML no longer forces a checkpoint).
-pub const WAL_VERSION: u32 = 3;
-/// Oldest version replay still accepts. Version 2 logs contain a strict
-/// subset of version 3's record kinds, so they replay unchanged.
+/// `Delete` records so DML no longer forces a checkpoint; 4 added
+/// `InsertAt`/`DeleteId`, which address rows by `RowId` — v3's
+/// byte-matching `Delete` removes the *wrong* row when a table holds
+/// duplicate rows).
+pub const WAL_VERSION: u32 = 4;
+/// Oldest version replay still accepts. Versions 2 and 3 contain strict
+/// subsets of version 4's record kinds, so they replay unchanged.
 pub const WAL_MIN_VERSION: u32 = 2;
 /// Bytes of file header before the first record frame.
 pub const WAL_HEADER_LEN: usize = 16;
@@ -84,15 +87,35 @@ pub enum WalRecord {
         /// Indexed column name.
         column: String,
     },
-    /// One logically deleted row, identified by its full encoded value
-    /// rather than a `RowId`: row ids are not stable across a snapshot
-    /// reload (the snapshot compacts the heap), while byte-for-byte row
-    /// equality is — and it handles NaN coordinates, which `PartialEq`
-    /// on decoded values would not.
+    /// Legacy (v3) logical delete, identifying the row by its full
+    /// encoded value. Kept for replaying v3 logs only — byte matching
+    /// deletes an *arbitrary* copy when a table holds duplicate rows,
+    /// which is wrong whenever later records address rows by id. New
+    /// logs write [`WalRecord::DeleteId`] instead.
     Delete {
         /// Source table.
         table: String,
         /// The deleted row's values.
+        row: Row,
+    },
+    /// One logically deleted row, addressed by its `RowId` (v4+).
+    /// Row ids are stable across recovery because v4 snapshots record
+    /// each row's id and reload restores rows to their original slots.
+    DeleteId {
+        /// Source table.
+        table: String,
+        /// The deleted row's heap address.
+        id: RowId,
+    },
+    /// One inserted row together with the heap slot it landed in (v4+),
+    /// so replay reproduces the exact same `RowId` the live run handed
+    /// to indexes and later `DeleteId` records.
+    InsertAt {
+        /// Destination table.
+        table: String,
+        /// The heap address the row was placed at.
+        id: RowId,
+        /// The row values.
         row: Row,
     },
 }
@@ -102,10 +125,28 @@ const KIND_INSERT: u8 = 1;
 const KIND_SPATIAL_INDEX: u8 = 2;
 const KIND_ORDERED_INDEX: u8 = 3;
 const KIND_DELETE: u8 = 4;
+const KIND_DELETE_ID: u8 = 5;
+const KIND_INSERT_AT: u8 = 6;
 
 fn put_str(buf: &mut Vec<u8>, s: &str) {
     buf.put_u32_le(s.len() as u32);
     buf.put_slice(s.as_bytes());
+}
+
+fn put_row_id(buf: &mut Vec<u8>, id: RowId) {
+    buf.put_u32_le(id.page);
+    buf.put_u32_le(u32::from(id.slot));
+}
+
+fn get_row_id(data: &mut &[u8]) -> Result<RowId> {
+    if data.remaining() < 8 {
+        return Err(persist_err("WAL: truncated row id"));
+    }
+    let page = data.get_u32_le();
+    let slot = data.get_u32_le();
+    let slot =
+        u16::try_from(slot).map_err(|_| persist_err("WAL: row id slot out of range"))?;
+    Ok(RowId { page, slot })
 }
 
 fn get_str(data: &mut &[u8]) -> Result<String> {
@@ -155,6 +196,17 @@ impl WalRecord {
             WalRecord::Delete { table, row } => {
                 buf.put_u8(KIND_DELETE);
                 put_str(&mut buf, table);
+                buf.put_slice(&Value::encode_row(row));
+            }
+            WalRecord::DeleteId { table, id } => {
+                buf.put_u8(KIND_DELETE_ID);
+                put_str(&mut buf, table);
+                put_row_id(&mut buf, *id);
+            }
+            WalRecord::InsertAt { table, id, row } => {
+                buf.put_u8(KIND_INSERT_AT);
+                put_str(&mut buf, table);
+                put_row_id(&mut buf, *id);
                 buf.put_slice(&Value::encode_row(row));
             }
         }
@@ -207,6 +259,17 @@ impl WalRecord {
                 let table = get_str(&mut data)?;
                 let row = Value::decode_row(data)?;
                 Ok(WalRecord::Delete { table, row })
+            }
+            KIND_DELETE_ID => {
+                let table = get_str(&mut data)?;
+                let id = get_row_id(&mut data)?;
+                Ok(WalRecord::DeleteId { table, id })
+            }
+            KIND_INSERT_AT => {
+                let table = get_str(&mut data)?;
+                let id = get_row_id(&mut data)?;
+                let row = Value::decode_row(data)?;
+                Ok(WalRecord::InsertAt { table, id, row })
             }
             other => Err(persist_err(format!("WAL: unknown record kind {other}"))),
         }
@@ -506,6 +569,12 @@ mod tests {
             WalRecord::CreateOrderedIndex { table: "t".into(), column: "name".into() },
             WalRecord::CreateSpatialIndex { table: "t".into(), column: "geom".into() },
             WalRecord::Delete { table: "t".into(), row: vec![Value::Int(7), Value::Null] },
+            WalRecord::InsertAt {
+                table: "t".into(),
+                id: RowId { page: 3, slot: 41 },
+                row: vec![Value::Int(9), Value::Text("y".into())],
+            },
+            WalRecord::DeleteId { table: "t".into(), id: RowId { page: 3, slot: 41 } },
         ]
     }
 
@@ -593,10 +662,17 @@ mod tests {
     fn v2_logs_still_replay() {
         let path = temp_path("v2");
         let wal = Wal::create(&path, false, 4).unwrap();
-        // v2 record kinds only (Delete is v3-new).
+        // v2 record kinds only (Delete is v3-new; InsertAt/DeleteId v4).
         let recs: Vec<WalRecord> = sample_records()
             .into_iter()
-            .filter(|r| !matches!(r, WalRecord::Delete { .. }))
+            .filter(|r| {
+                !matches!(
+                    r,
+                    WalRecord::Delete { .. }
+                        | WalRecord::DeleteId { .. }
+                        | WalRecord::InsertAt { .. }
+                )
+            })
             .collect();
         for rec in &recs {
             wal.append(rec).unwrap();
@@ -610,6 +686,30 @@ mod tests {
         assert_eq!(replay.records, recs);
         assert_eq!(replay.generation, 4);
         assert_eq!(Wal::peek_generation(&path), 4);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v3_logs_with_byte_matching_deletes_still_replay() {
+        let path = temp_path("v3");
+        let wal = Wal::create(&path, false, 9).unwrap();
+        // v3 record kinds only (InsertAt/DeleteId are v4-new).
+        let recs: Vec<WalRecord> = sample_records()
+            .into_iter()
+            .filter(|r| !matches!(r, WalRecord::DeleteId { .. } | WalRecord::InsertAt { .. }))
+            .collect();
+        assert!(recs.iter().any(|r| matches!(r, WalRecord::Delete { .. })));
+        for rec in &recs {
+            wal.append(rec).unwrap();
+        }
+        drop(wal);
+        // Restamp the header version to 3.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[4..8].copy_from_slice(&3u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let replay = Wal::replay(&path).unwrap();
+        assert_eq!(replay.records, recs);
+        assert_eq!(replay.generation, 9);
         std::fs::remove_file(&path).ok();
     }
 

@@ -23,7 +23,7 @@ mod rtree;
 
 pub use grid::GridIndex;
 pub use ordered::OrderedIndex;
-pub use rtree::{RTree, RTreeConfig};
+pub use rtree::{LeafPager, LeafPayload, RTree, RTreeConfig};
 
 /// Statistics shared by the spatial indexes, for the benchmark's
 /// instrumentation (index structure vs. probe cost).

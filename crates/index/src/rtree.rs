@@ -1,8 +1,114 @@
 //! R\*-tree: the R-tree variant of Beckmann et al. with margin-driven
 //! splits and forced reinsertion, plus Sort-Tile-Recursive bulk loading.
+//!
+//! # Demand-loaded leaves
+//!
+//! A built tree can spill its leaf entries into a [`LeafPager`]
+//! (backed by the engine's buffer pool): [`RTree::spill_leaves`]
+//! serializes each leaf as one blob and empties the in-tree vector,
+//! keeping only the internal levels resident — roughly `1/M` of the
+//! index. Queries load spilled leaves on demand through a decoded-leaf
+//! cache (an `Arc` per leaf, so warm probes cost one clone); the
+//! benchmark's cold switch drops that cache with
+//! [`RTree::clear_leaf_cache`], forcing re-reads through the pager.
+//! Mutations ([`RTree::insert`], [`RTree::remove`]) first fault every
+//! leaf back in ([`RTree::unspill`]) so the R\*-tree invariants work on
+//! resident vectors; the engine re-spills on its next rebuild or pool
+//! reconfiguration.
 
 use jackpine_geom::{Coord, Envelope};
-use std::collections::BinaryHeap;
+use jackpine_storage::sync::Mutex;
+use jackpine_storage::RowId;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::Arc;
+
+/// Backing store for spilled R-tree leaves — implemented by the engine
+/// on top of its buffer pool, one page per leaf.
+pub trait LeafPager: Send + Sync + std::fmt::Debug {
+    /// Stores the serialized image of leaf `leaf`.
+    fn write(&self, leaf: u64, bytes: &[u8]);
+    /// Loads the serialized image of leaf `leaf`, if present.
+    fn read(&self, leaf: u64) -> Option<Vec<u8>>;
+}
+
+/// Payloads that can round-trip through a spilled leaf.
+pub trait LeafPayload: Sized {
+    /// Appends the serialized payload to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Decodes one payload starting at `*pos`, advancing it.
+    fn decode(bytes: &[u8], pos: &mut usize) -> Option<Self>;
+}
+
+impl LeafPayload for RowId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.page.to_le_bytes());
+        out.extend_from_slice(&self.slot.to_le_bytes());
+    }
+
+    fn decode(bytes: &[u8], pos: &mut usize) -> Option<RowId> {
+        let page = u32::from_le_bytes(bytes.get(*pos..*pos + 4)?.try_into().ok()?);
+        let slot = u16::from_le_bytes(bytes.get(*pos + 4..*pos + 6)?.try_into().ok()?);
+        *pos += 6;
+        Some(RowId { page, slot })
+    }
+}
+
+impl LeafPayload for u64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+
+    fn decode(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+        let v = u64::from_le_bytes(bytes.get(*pos..*pos + 8)?.try_into().ok()?);
+        *pos += 8;
+        Some(v)
+    }
+}
+
+impl LeafPayload for usize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode(out);
+    }
+
+    fn decode(bytes: &[u8], pos: &mut usize) -> Option<usize> {
+        u64::decode(bytes, pos).map(|v| v as usize)
+    }
+}
+
+/// Serializes a leaf's entries: `count u32 | (envelope 4×f64 | payload)*`.
+/// Envelope fields are stored as raw little-endian bits so `EMPTY`
+/// (inverted infinities) and NaN coordinates round-trip exactly.
+fn encode_leaf<T: LeafPayload>(entries: &[(Envelope, T)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + entries.len() * 40);
+    out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for (env, value) in entries {
+        for f in [env.min_x, env.min_y, env.max_x, env.max_y] {
+            out.extend_from_slice(&f.to_le_bytes());
+        }
+        value.encode(&mut out);
+    }
+    out
+}
+
+/// Inverse of [`encode_leaf`].
+fn decode_leaf<T: LeafPayload>(bytes: &[u8]) -> Option<Vec<(Envelope, T)>> {
+    let count = u32::from_le_bytes(bytes.get(..4)?.try_into().ok()?) as usize;
+    let mut pos = 4usize;
+    let mut out = Vec::with_capacity(count.min(bytes.len() / 40 + 1));
+    for _ in 0..count {
+        let mut f = [0.0f64; 4];
+        for slot in &mut f {
+            *slot = f64::from_le_bytes(bytes.get(pos..pos + 8)?.try_into().ok()?);
+            pos += 8;
+        }
+        // Direct construction: Envelope::new normalizes bounds, which
+        // would corrupt the EMPTY sentinel.
+        let env = Envelope { min_x: f[0], min_y: f[1], max_x: f[2], max_y: f[3] };
+        let value = T::decode(bytes, &mut pos)?;
+        out.push((env, value));
+    }
+    Some(out)
+}
 
 /// Tuning parameters for an [`RTree`].
 #[derive(Clone, Copy, Debug)]
@@ -60,19 +166,73 @@ impl<T> Node<T> {
     }
 }
 
+/// Read access to one leaf's entries: a borrow when resident, a shared
+/// decoded image when the leaf is spilled.
+enum LeafRef<'a, T> {
+    Resident(&'a [(Envelope, T)]),
+    Loaded(Arc<Vec<(Envelope, T)>>),
+}
+
+impl<T> std::ops::Deref for LeafRef<'_, T> {
+    type Target = [(Envelope, T)];
+    fn deref(&self) -> &Self::Target {
+        match self {
+            LeafRef::Resident(entries) => entries,
+            LeafRef::Loaded(entries) => entries.as_slice(),
+        }
+    }
+}
+
 /// An R\*-tree mapping envelopes to payloads.
 ///
 /// Payloads are `Clone` (row ids in practice). The tree supports one-at-a-
 /// time insertion with forced reinsert, deletion with tree condensation,
 /// STR bulk loading, window queries and best-first k-nearest-neighbour
-/// search.
-#[derive(Clone, Debug)]
+/// search. Leaves can spill to a [`LeafPager`] and load on demand; see
+/// the module docs.
 pub struct RTree<T: Clone> {
     nodes: Vec<Node<T>>,
     root: usize,
     height: usize, // leaf level = 0; root is at `height`
     len: usize,
     config: RTreeConfig,
+    /// Backing store for spilled leaves, when attached.
+    pager: Option<Arc<dyn LeafPager>>,
+    /// Node ids whose leaf entries currently live in the pager.
+    spilled: HashSet<usize>,
+    /// Decoder captured (monomorphized) at spill time, so query paths
+    /// need no `T: LeafPayload` bound.
+    decoder: Option<fn(&[u8]) -> Option<Vec<(Envelope, T)>>>,
+    /// Decoded-leaf cache: warm probes of a spilled leaf cost one
+    /// `Arc` clone; the benchmark's cold switch clears it.
+    leaf_cache: Mutex<HashMap<usize, Arc<Vec<(Envelope, T)>>>>,
+}
+
+impl<T: Clone> Clone for RTree<T> {
+    fn clone(&self) -> Self {
+        RTree {
+            nodes: self.nodes.clone(),
+            root: self.root,
+            height: self.height,
+            len: self.len,
+            config: self.config,
+            pager: self.pager.clone(),
+            spilled: self.spilled.clone(),
+            decoder: self.decoder,
+            leaf_cache: Mutex::new(self.leaf_cache.lock().clone()),
+        }
+    }
+}
+
+impl<T: Clone + std::fmt::Debug> std::fmt::Debug for RTree<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RTree")
+            .field("len", &self.len)
+            .field("height", &self.height)
+            .field("nodes", &self.nodes.len())
+            .field("spilled", &self.spilled.len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<T: Clone> Default for RTree<T> {
@@ -95,6 +255,109 @@ impl<T: Clone> RTree<T> {
             height: 0,
             len: 0,
             config,
+            pager: None,
+            spilled: HashSet::new(),
+            decoder: None,
+            leaf_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Leaf spill / demand loading
+    // ------------------------------------------------------------------
+
+    /// Attaches the pager spilled leaves are written to and read from.
+    pub fn attach_pager(&mut self, pager: Arc<dyn LeafPager>) {
+        self.pager = Some(pager);
+    }
+
+    /// Whether a pager is attached.
+    pub fn has_pager(&self) -> bool {
+        self.pager.is_some()
+    }
+
+    /// Number of leaves currently spilled (diagnostics).
+    pub fn spilled_leaves(&self) -> usize {
+        self.spilled.len()
+    }
+
+    /// Serializes every leaf into the attached pager and drops the
+    /// resident entry vectors; inner nodes stay in memory. A no-op
+    /// without a pager, and for trees of height 0 (the root itself is
+    /// the only leaf — not worth paging).
+    pub fn spill_leaves(&mut self)
+    where
+        T: LeafPayload,
+    {
+        let Some(pager) = self.pager.clone() else { return };
+        if self.height == 0 {
+            return;
+        }
+        self.decoder = Some(decode_leaf::<T>);
+        for (id, node) in self.nodes.iter_mut().enumerate() {
+            if let Node::Leaf { entries } = node {
+                if entries.is_empty() {
+                    continue;
+                }
+                let taken = std::mem::take(entries);
+                pager.write(id as u64, &encode_leaf(&taken));
+                self.spilled.insert(id);
+            }
+        }
+        self.leaf_cache.lock().clear();
+    }
+
+    /// Faults every spilled leaf back into the tree (mutations need
+    /// resident entry vectors). The pager stays attached so the engine
+    /// can re-spill later.
+    pub fn unspill(&mut self) {
+        if self.spilled.is_empty() {
+            return;
+        }
+        let mut ids: Vec<usize> = self.spilled.iter().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let loaded = self.load_leaf(id);
+            if let Node::Leaf { entries } = &mut self.nodes[id] {
+                *entries = loaded.as_ref().clone();
+            }
+        }
+        self.spilled.clear();
+        self.leaf_cache.lock().clear();
+    }
+
+    /// Drops the decoded-leaf cache — the cold-run switch for spilled
+    /// leaves: the next probe of each leaf re-reads through the pager.
+    pub fn clear_leaf_cache(&self) {
+        self.leaf_cache.lock().clear();
+    }
+
+    /// Loads a spilled leaf's entries through the decoded-leaf cache.
+    /// Panics on a missing or undecodable image: the pager is this
+    /// process's own buffer pool, so that is an invariant violation,
+    /// not user-visible corruption.
+    fn load_leaf(&self, node_id: usize) -> Arc<Vec<(Envelope, T)>> {
+        if let Some(hit) = self.leaf_cache.lock().get(&node_id) {
+            return hit.clone();
+        }
+        let pager = self.pager.as_ref().expect("spilled leaf without a pager");
+        let decoder = self.decoder.expect("spilled leaf without a decoder");
+        let bytes =
+            pager.read(node_id as u64).unwrap_or_else(|| panic!("leaf {node_id} lost by pager"));
+        let entries =
+            Arc::new(decoder(&bytes).unwrap_or_else(|| panic!("leaf {node_id} undecodable")));
+        self.leaf_cache.lock().insert(node_id, entries.clone());
+        entries
+    }
+
+    /// Read access to a leaf's entries, resident or spilled.
+    fn leaf_entries(&self, node_id: usize) -> LeafRef<'_, T> {
+        if self.spilled.contains(&node_id) {
+            return LeafRef::Loaded(self.load_leaf(node_id));
+        }
+        match &self.nodes[node_id] {
+            Node::Leaf { entries } => LeafRef::Resident(entries),
+            Node::Internal { .. } => unreachable!("leaf_entries on internal node"),
         }
     }
 
@@ -122,8 +385,10 @@ impl<T: Clone> RTree<T> {
     // Insertion
     // ------------------------------------------------------------------
 
-    /// Inserts an entry.
+    /// Inserts an entry. Faults any spilled leaves back in first:
+    /// structural mutation needs resident entry vectors.
     pub fn insert(&mut self, env: Envelope, value: T) {
+        self.unspill();
         let mut reinserted = vec![false; self.height + 1];
         self.insert_entry(env, Entry::Leaf(value), 0, &mut reinserted);
         self.len += 1;
@@ -310,7 +575,17 @@ impl<T: Clone> RTree<T> {
             return RTree::new(config);
         }
         let cap = config.max_entries;
-        let mut tree = RTree { nodes: Vec::new(), root: 0, height: 0, len: items.len(), config };
+        let mut tree = RTree {
+            nodes: Vec::new(),
+            root: 0,
+            height: 0,
+            len: items.len(),
+            config,
+            pager: None,
+            spilled: HashSet::new(),
+            decoder: None,
+            leaf_cache: Mutex::new(HashMap::new()),
+        };
 
         // Leaf level: sort by x, tile into vertical slices, sort each slice
         // by y, pack runs of `cap`.
@@ -394,7 +669,17 @@ impl<T: Clone> RTree<T> {
             return RTree::bulk_load(config, items);
         }
         let cap = config.max_entries;
-        let mut tree = RTree { nodes: Vec::new(), root: 0, height: 0, len: n, config };
+        let mut tree = RTree {
+            nodes: Vec::new(),
+            root: 0,
+            height: 0,
+            len: n,
+            config,
+            pager: None,
+            spilled: HashSet::new(),
+            decoder: None,
+            leaf_cache: Mutex::new(HashMap::new()),
+        };
 
         // Phase 1 — stable parallel sort by center x: sort contiguous
         // chunks concurrently, then k-way merge preferring the earliest
@@ -518,7 +803,9 @@ impl<T: Clone> RTree<T> {
     /// Removes one entry matching `env` exactly for which `pred` returns
     /// true. Returns the removed payload, if any. Underfull nodes are
     /// condensed by reinserting their entries, recursively up the tree.
+    /// Faults any spilled leaves back in first.
     pub fn remove(&mut self, env: &Envelope, pred: impl Fn(&T) -> bool) -> Option<T> {
+        self.unspill();
         let path = self.find_leaf_path(self.root, env, &pred)?;
         let leaf = *path.last().expect("path never empty");
         let removed = match &mut self.nodes[leaf] {
@@ -646,8 +933,8 @@ impl<T: Clone> RTree<T> {
     ) {
         *nodes_visited += 1;
         match &self.nodes[node_id] {
-            Node::Leaf { entries } => {
-                for (e, v) in entries {
+            Node::Leaf { .. } => {
+                for (e, v) in self.leaf_entries(node_id).iter() {
                     if e.intersects(window) {
                         visit(e, v);
                     }
@@ -712,8 +999,8 @@ impl<T: Clone> RTree<T> {
                                 });
                             }
                         }
-                        Node::Leaf { entries } => {
-                            for (i, (e, _)) in entries.iter().enumerate() {
+                        Node::Leaf { .. } => {
+                            for (i, (e, _)) in self.leaf_entries(node_id).iter().enumerate() {
                                 heap.push(Cand {
                                     dist: e.distance_to_coord(query),
                                     node: None,
@@ -726,9 +1013,9 @@ impl<T: Clone> RTree<T> {
                 None => {
                     let node_id = c.entry >> 32;
                     let i = c.entry & 0xFFFF_FFFF;
-                    if let Node::Leaf { entries } = &self.nodes[node_id] {
+                    if matches!(&self.nodes[node_id], Node::Leaf { .. }) {
                         stats.candidates += 1;
-                        out.push((c.dist, entries[i].1.clone()));
+                        out.push((c.dist, self.leaf_entries(node_id)[i].1.clone()));
                         if out.len() == k {
                             break;
                         }
@@ -1084,5 +1371,125 @@ mod tests {
     fn bad_config_panics() {
         let _: RTree<usize> =
             RTree::new(RTreeConfig { max_entries: 8, min_entries: 5, ..Default::default() });
+    }
+
+    /// HashMap-backed pager for spill tests.
+    #[derive(Debug, Default)]
+    struct MapPager {
+        blobs: Mutex<HashMap<u64, Vec<u8>>>,
+        reads: std::sync::atomic::AtomicU64,
+    }
+
+    impl LeafPager for MapPager {
+        fn write(&self, leaf: u64, bytes: &[u8]) {
+            self.blobs.lock().insert(leaf, bytes.to_vec());
+        }
+        fn read(&self, leaf: u64) -> Option<Vec<u8>> {
+            self.reads.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.blobs.lock().get(&leaf).cloned()
+        }
+    }
+
+    #[test]
+    fn leaf_codec_roundtrip_preserves_payloads_and_empty_envelopes() {
+        let entries: Vec<(Envelope, RowId)> = vec![
+            (Envelope::new(1.0, 2.0, 3.0, 4.0), RowId { page: 0, slot: 0 }),
+            (Envelope::EMPTY, RowId { page: 7, slot: 3 }),
+            (Envelope::new(-5.5, -6.5, -1.0, 0.0), RowId { page: u32::MAX, slot: u16::MAX }),
+        ];
+        let bytes = encode_leaf(&entries);
+        let back = decode_leaf::<RowId>(&bytes).expect("decodes");
+        assert_eq!(back, entries);
+        // EMPTY must survive bit-exactly (Envelope::new would normalize it).
+        assert!(back[1].0.min_x.is_infinite() && back[1].0.max_x.is_infinite());
+        // Truncated images are rejected, not misread.
+        assert!(decode_leaf::<RowId>(&bytes[..bytes.len() - 1]).is_none());
+        assert!(decode_leaf::<RowId>(&[]).is_none());
+    }
+
+    #[test]
+    fn spilled_tree_answers_queries_identically() {
+        let items = cloud(2000);
+        let mut t = RTree::bulk_load(RTreeConfig::default(), items.clone());
+        let window = Envelope::new(100.0, 100.0, 400.0, 350.0);
+        let want_window = {
+            let mut v = t.window(&window);
+            v.sort_unstable();
+            v
+        };
+        let want_knn = t.nearest(Coord::new(500.0, 500.0), 25);
+
+        let pager = Arc::new(MapPager::default());
+        t.attach_pager(pager.clone());
+        t.spill_leaves();
+        assert!(t.spilled_leaves() > 0, "a 2000-entry tree has pageable leaves");
+        assert!(t.has_pager());
+
+        // Cold probe: leaves come back through the pager.
+        let mut got = t.window(&window);
+        got.sort_unstable();
+        assert_eq!(got, want_window);
+        assert!(pager.reads.load(std::sync::atomic::Ordering::Relaxed) > 0);
+
+        // Warm probe: cached decodes, same answers.
+        let reads_before = pager.reads.load(std::sync::atomic::Ordering::Relaxed);
+        let mut warm = t.window(&window);
+        warm.sort_unstable();
+        assert_eq!(warm, want_window);
+        assert_eq!(pager.reads.load(std::sync::atomic::Ordering::Relaxed), reads_before);
+
+        // Cold switch drops the decoded cache; answers still match.
+        t.clear_leaf_cache();
+        assert_eq!(t.nearest(Coord::new(500.0, 500.0), 25), want_knn);
+        assert!(pager.reads.load(std::sync::atomic::Ordering::Relaxed) > reads_before);
+
+        // Clones share the pager and the spilled state.
+        let c = t.clone();
+        let mut cloned = c.window(&window);
+        cloned.sort_unstable();
+        assert_eq!(cloned, want_window);
+    }
+
+    #[test]
+    fn mutation_after_spill_faults_leaves_back_in() {
+        let items = cloud(1500);
+        let mut t = RTree::bulk_load(RTreeConfig::default(), items.clone());
+        t.attach_pager(Arc::new(MapPager::default()));
+        t.spill_leaves();
+        assert!(t.spilled_leaves() > 0);
+
+        t.insert(pt_env(123.5, 456.5), 999_999usize);
+        assert_eq!(t.spilled_leaves(), 0, "insert must unspill");
+        assert_eq!(t.len(), 1501);
+        let got = t.window(&pt_env(123.5, 456.5));
+        assert!(got.contains(&999_999));
+
+        // Full contents intact after the unspill.
+        let mut all = t.window(&Envelope::new(-1.0, -1.0, 1001.0, 1001.0));
+        all.sort_unstable();
+        assert_eq!(all.len(), 1501);
+
+        // Spill again, then remove through the unspill path.
+        t.spill_leaves();
+        assert!(t.spilled_leaves() > 0, "pager stays attached for re-spill");
+        let removed = t.remove(&pt_env(123.5, 456.5), |v| *v == 999_999);
+        assert_eq!(removed, Some(999_999));
+        assert_eq!(t.spilled_leaves(), 0);
+        assert_eq!(t.len(), 1500);
+    }
+
+    #[test]
+    fn height_zero_and_empty_trees_never_spill() {
+        let mut empty: RTree<usize> = RTree::default();
+        empty.attach_pager(Arc::new(MapPager::default()));
+        empty.spill_leaves();
+        assert_eq!(empty.spilled_leaves(), 0);
+
+        let mut tiny = RTree::bulk_load(RTreeConfig::default(), cloud(5));
+        assert_eq!(tiny.stats().height, 1, "5 entries fit in the root leaf");
+        tiny.attach_pager(Arc::new(MapPager::default()));
+        tiny.spill_leaves();
+        assert_eq!(tiny.spilled_leaves(), 0, "root leaf stays resident");
+        assert_eq!(tiny.window(&Envelope::new(-1.0, -1.0, 1001.0, 1001.0)).len(), 5);
     }
 }

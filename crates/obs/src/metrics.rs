@@ -135,9 +135,22 @@ pub const SCHEDULING_COUNTERS: [&str; 9] = [
 
 /// Canonical gauge names, in snapshot order. Gauges report current
 /// levels (not cumulative events) and are refreshed by the engine at
-/// snapshot points, so delta arithmetic never applies to them.
-pub const GAUGES: [&str; 3] =
-    ["active_snapshots", "pending_reclaim_rows", "oldest_snapshot_age_us"];
+/// snapshot points, so delta arithmetic never applies to them. The
+/// `pool_*` entries mirror the buffer pool's state and lifetime
+/// counters (mirrored as gauges because the pool owns the live values
+/// and the engine copies them at snapshot points).
+pub const GAUGES: [&str; 10] = [
+    "active_snapshots",
+    "pending_reclaim_rows",
+    "oldest_snapshot_age_us",
+    "pool_capacity_frames",
+    "pool_resident_frames",
+    "pool_pinned_frames",
+    "pool_pin_hits",
+    "pool_cold_pins",
+    "pool_evictions",
+    "pool_dirty_writebacks",
+];
 
 /// Canonical wait-histogram names, in snapshot order: the per-site
 /// writer-lock waits, then the commit-pipeline follower wait, then the
@@ -228,6 +241,21 @@ pub struct EngineMetrics {
     /// Age in microseconds of the oldest still-pinned snapshot; zero
     /// when nothing is pinned.
     pub oldest_snapshot_age_us: Gauge,
+    /// Buffer-pool frame budget (0 = unbounded).
+    pub pool_capacity_frames: Gauge,
+    /// Frames currently resident in the buffer pool.
+    pub pool_resident_frames: Gauge,
+    /// Frames currently pinned (refcount > 0).
+    pub pool_pinned_frames: Gauge,
+    /// Lifetime pins satisfied by a resident frame.
+    pub pool_pin_hits: Gauge,
+    /// Lifetime pins that had to materialize a frame (page-store read
+    /// or fresh page).
+    pub pool_cold_pins: Gauge,
+    /// Lifetime frames evicted to make room.
+    pub pool_evictions: Gauge,
+    /// Lifetime dirty frames written back to their page store.
+    pub pool_dirty_writebacks: Gauge,
     /// Self-time per stage, nanoseconds (indexed by `Stage`).
     stage_ns: [Histogram; 6],
     /// Writer txn-lock wait per site, nanoseconds (indexed by `TxnSite`).
@@ -263,6 +291,13 @@ impl EngineMetrics {
             "active_snapshots" => &self.active_snapshots,
             "pending_reclaim_rows" => &self.pending_reclaim_rows,
             "oldest_snapshot_age_us" => &self.oldest_snapshot_age_us,
+            "pool_capacity_frames" => &self.pool_capacity_frames,
+            "pool_resident_frames" => &self.pool_resident_frames,
+            "pool_pinned_frames" => &self.pool_pinned_frames,
+            "pool_pin_hits" => &self.pool_pin_hits,
+            "pool_cold_pins" => &self.pool_cold_pins,
+            "pool_evictions" => &self.pool_evictions,
+            "pool_dirty_writebacks" => &self.pool_dirty_writebacks,
             other => panic!("unknown gauge {other:?}"),
         }
     }

@@ -1,5 +1,6 @@
 //! The catalog: name → table resolution.
 
+use crate::pool::BufferPool;
 use crate::sync::RwLock;
 use crate::{HeapFile, Result, Schema, StorageError};
 use std::collections::HashMap;
@@ -27,17 +28,35 @@ impl Table {
     }
 }
 
-/// The set of tables in a database instance.
-#[derive(Debug, Default)]
+/// The set of tables in a database instance. All table heaps share the
+/// catalog's buffer pool, so one capacity budget governs the instance.
+#[derive(Debug)]
 pub struct Catalog {
     tables: RwLock<HashMap<String, Arc<Table>>>,
     next_id: RwLock<u32>,
+    pool: Arc<BufferPool>,
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Catalog::new()
+    }
 }
 
 impl Catalog {
-    /// Creates an empty catalog.
+    /// Creates an empty catalog with its own (unbounded) buffer pool.
     pub fn new() -> Catalog {
-        Catalog::default()
+        Catalog::with_pool(Arc::new(BufferPool::new()))
+    }
+
+    /// Creates an empty catalog whose tables page through `pool`.
+    pub fn with_pool(pool: Arc<BufferPool>) -> Catalog {
+        Catalog { tables: RwLock::new(HashMap::new()), next_id: RwLock::new(0), pool }
+    }
+
+    /// The buffer pool shared by every table in this catalog.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
     }
 
     /// Creates a table.
@@ -54,8 +73,11 @@ impl Catalog {
         let mut next = self.next_id.write();
         let id = TableId(*next);
         *next += 1;
-        let table =
-            Arc::new(Table { id, name: name.to_string(), heap: HeapFile::new(Arc::new(schema)) });
+        let table = Arc::new(Table {
+            id,
+            name: name.to_string(),
+            heap: HeapFile::with_pool(Arc::new(schema), self.pool.clone()),
+        });
         tables.insert(key, table.clone());
         Ok(table)
     }

@@ -1,5 +1,15 @@
-//! Heap files: unordered collections of rows in slotted pages, with a
-//! decoded-row cache that the benchmark's cold mode can evict.
+//! Heap files: unordered collections of rows in slotted pages pinned
+//! through the shared [`BufferPool`], with a decoded-row cache that the
+//! benchmark's cold mode can evict.
+//!
+//! # Out-of-core layout
+//!
+//! Rows live in slotted 8 KiB pages registered as one page file in the
+//! heap's buffer pool. Every page access goes through
+//! [`BufferPool::pin`]; a bounded pool evicts cold pages (writing dirty
+//! ones back to the backing store) and reloads them on demand, so the
+//! heap no longer has to fit in memory. All readers copy rows out while
+//! holding the pin, so no reference ever outlives a frame.
 //!
 //! # Row visibility (MVCC)
 //!
@@ -13,14 +23,26 @@
 //! gone — at which point [`HeapFile::reclaim`] tombstones the bytes and
 //! [`HeapFile::settle`] prunes entries the visibility horizon has
 //! passed, restoring the metadata-free fast path. Slots are never
-//! reused (deletes tombstone, inserts append), so a `RowId` names one
-//! row version forever.
+//! reused by normal inserts (deletes tombstone, inserts append), so a
+//! `RowId` names one row version forever; only WAL replay and snapshot
+//! load ([`HeapFile::place_at`]) write to explicit slots, reproducing
+//! ids recorded on disk.
+//!
+//! # Lock order
+//!
+//! The append path holds a page **write** guard while publishing the
+//! row's visibility entry (meta lock), so the meta lock nests *inside*
+//! page pins. Readers must therefore never hold the meta lock while
+//! pinning a page: scan paths first collect physically-present ids
+//! under individual pins, drop them, and only then consult the meta
+//! table — any row whose bytes they observed has its entry published
+//! by the time the page guard was released.
 
-use crate::page::Page;
+use crate::pool::BufferPool;
 use crate::sync::{Mutex, RwLock};
 use crate::{Result, Row, Schema, StorageError, Value};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A stable row address: page number plus slot within the page.
@@ -51,14 +73,24 @@ type RowCacheShard = Mutex<HashMap<RowId, Arc<Row>>>;
 /// One shard of the MBR quad cache, keyed by `(row, column)`.
 type MbrCacheShard = Mutex<HashMap<(RowId, usize), Option<[f64; 4]>>>;
 
-/// A heap file: pages of serialized rows plus a decoded-row cache.
+/// A heap file: buffer-pool-resident pages of serialized rows plus a
+/// decoded-row cache.
 ///
 /// All methods take `&self`; interior locks make the heap shareable across
 /// the benchmark driver's worker threads.
 #[derive(Debug)]
 pub struct HeapFile {
     schema: Arc<Schema>,
-    pages: RwLock<Vec<Page>>,
+    /// The pool every page access pins through. Shared with the rest of
+    /// the engine when constructed via [`HeapFile::with_pool`].
+    pool: Arc<BufferPool>,
+    /// This heap's page-file id within the pool.
+    file: u64,
+    /// Pages materialized so far (monotone; scans iterate `0..npages`).
+    npages: AtomicU32,
+    /// Serializes appends: the page-full check and new-page creation
+    /// must be atomic with respect to other appenders.
+    append: Mutex<()>,
     cache: [RowCacheShard; CACHE_SHARDS],
     /// Per-(row, column) geometry MBR quads, gathered batch-wise by the
     /// vectorized executor. Computing an envelope walks every coordinate
@@ -73,24 +105,56 @@ pub struct HeapFile {
     row_count: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Reclaim begin/end counters. Lock-free readers capture
+    /// [`HeapFile::reclaim_epoch`] before collecting row ids, take the
+    /// cheap metadata-only classification pass, and re-check both
+    /// counters afterwards: equality proves no reclaim overlapped the
+    /// read, so no id can have lost its metadata entry (and thereby
+    /// misread as settled-visible) mid-pass. Vacuum is rare, so the
+    /// expensive re-verification almost never runs.
+    reclaims_started: AtomicU64,
+    reclaims_finished: AtomicU64,
 }
 
 /// `died` value of a live row: visible to every future generation.
 const LIVE: u64 = u64::MAX;
 
 impl HeapFile {
-    /// Creates an empty heap for rows of `schema`.
+    /// Creates an empty heap for rows of `schema`, backed by a private
+    /// unbounded pool (tests and standalone use; engines share one pool
+    /// via [`HeapFile::with_pool`]).
     pub fn new(schema: Arc<Schema>) -> HeapFile {
+        HeapFile::with_pool(schema, Arc::new(BufferPool::new()))
+    }
+
+    /// Creates an empty heap whose pages live in `pool`.
+    pub fn with_pool(schema: Arc<Schema>, pool: Arc<BufferPool>) -> HeapFile {
+        let file = pool.register("heap");
         HeapFile {
             schema,
-            pages: RwLock::new(vec![Page::new()]),
+            pool,
+            file,
+            npages: AtomicU32::new(1),
+            append: Mutex::new(()),
             cache: std::array::from_fn(|_| Mutex::new(HashMap::new())),
             mbr_cache: std::array::from_fn(|_| Mutex::new(HashMap::new())),
             meta: RwLock::new(HashMap::new()),
             row_count: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            reclaims_started: AtomicU64::new(0),
+            reclaims_finished: AtomicU64::new(0),
         }
+    }
+
+    /// The buffer pool this heap pins pages through.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Pages materialized so far.
+    pub fn page_count(&self) -> u32 {
+        self.npages.load(Ordering::Relaxed)
     }
 
     fn cache_shard(&self, id: RowId) -> &RowCacheShard {
@@ -105,8 +169,9 @@ impl HeapFile {
             [(id.page as usize).wrapping_mul(31).wrapping_add(id.slot as usize) % CACHE_SHARDS]
     }
 
-    /// Drops any cached MBR quads for `id`. Slots are never reused, so
-    /// only deletion (physical removal of the bytes) must invalidate.
+    /// Drops any cached MBR quads for `id`. Slots are never reused by
+    /// appends, so only deletion and replay-time placement must
+    /// invalidate.
     fn invalidate_mbrs(&self, id: RowId) {
         let ncols = self.schema.columns().len();
         let mut shard = self.mbr_shard(id).lock();
@@ -144,39 +209,89 @@ impl HeapFile {
     pub fn insert_at(&self, row: Row, born: u64) -> Result<RowId> {
         self.schema.check_row(&row)?;
         let bytes = Value::encode_row(&row);
-        let mut pages = self.pages.write();
-        let last = pages.len() - 1;
-        let page_idx = if pages[last].fits(bytes.len()) {
-            last
-        } else {
-            pages.push(Page::new());
-            pages.len() - 1
-        };
-        let slot = pages[page_idx].insert(&bytes);
-        let id = RowId { page: page_idx as u32, slot };
-        if born > 0 {
-            // Publish the visibility entry while still holding the pages
-            // lock (lock order: pages before meta): a concurrent snapshot
-            // scan takes both and must never observe the bytes without
-            // the entry gating them, or an unpublished row would leak
-            // into an older snapshot.
-            self.meta.write().insert(id, (born, LIVE));
+        let _append = self.append.lock();
+        let last = self.npages.load(Ordering::Relaxed).saturating_sub(1);
+        let mut target = last;
+        let mut pin = self.pool.pin(self.file, target);
+        if !pin.read().fits(bytes.len()) {
+            drop(pin);
+            target = last + 1;
+            self.npages.store(target + 1, Ordering::Relaxed);
+            pin = self.pool.pin(self.file, target);
         }
-        drop(pages);
+        let id = {
+            let mut guard = pin.write();
+            let slot = guard.insert(&bytes);
+            let id = RowId { page: target, slot };
+            if born > 0 {
+                // Publish the visibility entry while still holding the
+                // page write guard (lock order: pins before meta): a
+                // concurrent scan can only observe the new bytes after
+                // this guard drops, by which time the entry gating them
+                // is in place — an unpublished row can never leak into
+                // an older snapshot.
+                self.meta.write().insert(id, (born, LIVE));
+            }
+            id
+        };
+        drop(pin);
         self.row_count.fetch_add(1, Ordering::Relaxed);
-        // Slots are never reused, so no stale cache entry can exist for
-        // this id; just warm the row cache.
+        // Slots are never reused by appends, so no stale cache entry can
+        // exist for this id; just warm the row cache.
         self.cache_shard(id).lock().insert(id, Arc::new(row));
         Ok(id)
+    }
+
+    /// Writes a row into a *specific* slot — WAL replay and snapshot
+    /// load, which must reproduce `RowId`s recorded on disk exactly.
+    /// Idempotent: re-placing the identical bytes at the same id is a
+    /// no-op, so a crash between replay and checkpoint replays cleanly.
+    ///
+    /// # Errors
+    /// [`StorageError::Corrupt`] when the slot holds a *different* live
+    /// row; schema errors as for [`HeapFile::insert`].
+    pub fn place_at(&self, row: Row, id: RowId, born: u64) -> Result<()> {
+        self.schema.check_row(&row)?;
+        let bytes = Value::encode_row(&row);
+        let _append = self.append.lock();
+        if self.npages.load(Ordering::Relaxed) <= id.page {
+            self.npages.store(id.page + 1, Ordering::Relaxed);
+        }
+        let pin = self.pool.pin(self.file, id.page);
+        {
+            let mut guard = pin.write();
+            if let Ok(existing) = guard.get(id.slot) {
+                if existing == bytes.as_slice() {
+                    return Ok(()); // already applied
+                }
+                return Err(StorageError::Corrupt(format!(
+                    "place_at: slot {}/{} holds a different row",
+                    id.page, id.slot
+                )));
+            }
+            guard.place(id.slot, &bytes)?;
+            if born > 0 {
+                self.meta.write().insert(id, (born, LIVE));
+            }
+        }
+        drop(pin);
+        self.row_count.fetch_add(1, Ordering::Relaxed);
+        self.invalidate_mbrs(id);
+        self.cache_shard(id).lock().insert(id, Arc::new(row));
+        Ok(())
     }
 
     /// Logically deletes a row at generation `died`: snapshots pinned
     /// before `died` keep seeing it; the bytes stay in place until
     /// [`HeapFile::reclaim`]. Returns whether a live row existed.
     pub fn mark_deleted(&self, id: RowId, died: u64) -> bool {
+        if id.page >= self.npages.load(Ordering::Relaxed) {
+            return false;
+        }
         let live = {
-            let pages = self.pages.read();
-            pages.get(id.page as usize).is_some_and(|p| p.get(id.slot).is_ok())
+            let pin = self.pool.pin(self.file, id.page);
+            let present = pin.read().get(id.slot).is_ok();
+            present
         };
         if !live {
             return false;
@@ -219,15 +334,43 @@ impl HeapFile {
     /// Physically tombstones a logically-deleted row once no snapshot
     /// can see it (vacuum). The live-row count was already adjusted by
     /// [`HeapFile::mark_deleted`].
+    ///
+    /// Step order is a contract lock-free readers rely on: the epoch
+    /// counters bracket everything (see the field note), the cache
+    /// entry goes first (so a cache hit always implies the slot is
+    /// still present), the slot second, and the visibility entry last
+    /// (so a metadata-free id whose reclaim has finished is guaranteed
+    /// to have lost its slot — see [`HeapFile::retain_visible`]).
     pub fn reclaim(&self, id: RowId) {
-        let mut pages = self.pages.write();
-        if let Some(page) = pages.get_mut(id.page as usize) {
-            page.delete(id.slot);
-        }
-        drop(pages);
-        self.meta.write().remove(&id);
+        self.reclaims_started.fetch_add(1, Ordering::SeqCst);
         self.cache_shard(id).lock().remove(&id);
+        if id.page < self.npages.load(Ordering::Relaxed) {
+            let pin = self.pool.pin(self.file, id.page);
+            pin.write().delete(id.slot);
+        }
+        self.meta.write().remove(&id);
         self.invalidate_mbrs(id);
+        self.reclaims_finished.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// The reclaim counter to capture *before* collecting row ids from
+    /// an index probe or page sweep; pass it to
+    /// [`HeapFile::retain_visible`] so a vacuum overlapping the
+    /// collection is detected rather than misread.
+    pub fn reclaim_epoch(&self) -> u64 {
+        self.reclaims_started.load(Ordering::SeqCst)
+    }
+
+    /// Whether any [`HeapFile::reclaim`] began after `epoch` was
+    /// captured, or is still in flight now. When this is false, no
+    /// metadata entry can have been dropped by a reclaim since the
+    /// capture, so a metadata-free id observed since then is a settled
+    /// always-visible row — and a row fully reclaimed *before* the
+    /// capture was removed from every index first, so it cannot have
+    /// been collected at all.
+    fn reclaim_overlapped(&self, epoch: u64) -> bool {
+        let started = self.reclaims_started.load(Ordering::SeqCst);
+        started != epoch || self.reclaims_finished.load(Ordering::SeqCst) != started
     }
 
     /// Prunes visibility entries the horizon has passed: a row born at
@@ -247,31 +390,62 @@ impl HeapFile {
     }
 
     /// Filters `ids` down to the rows visible at `gen`, preserving
-    /// order, under one metadata lock take. Ids are assumed physically
-    /// present (index candidates): a probe can only return an id whose
-    /// entries have not been vacuumed yet, and vacuum removes a row from
-    /// every index before it touches the heap, so a metadata-free id
-    /// here is a settled always-visible row. The common settled case
-    /// (no metadata at all) is a single is-empty check.
-    pub fn retain_visible(&self, ids: &mut Vec<RowId>, gen: u64) {
-        let meta = self.meta.read();
-        if meta.is_empty() {
-            return;
+    /// order, under one metadata lock take. `epoch` must have been
+    /// captured via [`HeapFile::reclaim_epoch`] *before* the ids were
+    /// collected (index probe). A metadata-free id is normally a
+    /// settled always-visible row — but a vacuum racing the probe can
+    /// reclaim a dead row after the probe captured its id, dropping
+    /// the entry that recorded its death. The epoch re-check detects
+    /// exactly that overlap; only then does the rare second pass
+    /// verify survivors by physical presence ([`HeapFile::reclaim`]
+    /// drops a row's slot before its entry, so a reclaimed row that
+    /// lost its entry has verifiably lost its slot too). The common
+    /// settled case stays one is-empty check plus two atomic loads.
+    pub fn retain_visible(&self, ids: &mut Vec<RowId>, gen: u64, epoch: u64) {
+        {
+            let meta = self.meta.read();
+            if !meta.is_empty() {
+                ids.retain(|id| match meta.get(id) {
+                    Some((born, died)) => *born <= gen && *died > gen,
+                    None => true,
+                });
+            }
         }
-        ids.retain(|id| match meta.get(id) {
-            Some((born, died)) => *born <= gen && *died > gen,
-            None => true,
-        });
+        if self.reclaim_overlapped(epoch) {
+            // The presence checks run with no metadata lock held: the
+            // metadata lock is never held across a page pin (see the
+            // lock-order note above). Visible survivors are present by
+            // definition (a pinned reader's rows cannot be reclaimed),
+            // so this only ever drops concurrently-reclaimed ids.
+            ids.retain(|id| self.slot_present(*id));
+        }
+    }
+
+    /// Whether `id` physically holds row bytes right now: decoded-row
+    /// cache hit, or a live slot on its page. Readers use this to
+    /// separate settled rows from concurrently-reclaimed ones.
+    fn slot_present(&self, id: RowId) -> bool {
+        if self.cache_shard(id).lock().get(&id).is_some() {
+            return true;
+        }
+        if id.page >= self.npages.load(Ordering::Relaxed) {
+            return false;
+        }
+        let pin = self.pool.pin(self.file, id.page);
+        let present = pin.read().get(id.slot).is_ok();
+        present
     }
 
     /// Whether `id` is visible to a reader pinned at `gen`.
     pub fn is_visible(&self, id: RowId, gen: u64) -> bool {
-        if let Some((born, died)) = self.meta.read().get(&id) {
-            return *born <= gen && *died > gen;
+        // Copy the entry out before touching pages: the meta lock must
+        // never be held across a pin (see the lock-order note above).
+        let entry = self.meta.read().get(&id).copied();
+        if let Some((born, died)) = entry {
+            return born <= gen && died > gen;
         }
         // No entry: visible at every generation, if physically present.
-        let pages = self.pages.read();
-        pages.get(id.page as usize).is_some_and(|p| p.get(id.slot).is_ok())
+        self.slot_present(id)
     }
 
     /// Fetches a row, consulting the decoded-row cache first.
@@ -281,15 +455,19 @@ impl HeapFile {
             return Ok(row);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let pages = self.pages.read();
-        let page = pages
-            .get(id.page as usize)
-            .ok_or(StorageError::RowNotFound { page: id.page, slot: id.slot })?;
-        let bytes = page
-            .get(id.slot)
-            .map_err(|_| StorageError::RowNotFound { page: id.page, slot: id.slot })?;
-        let row = Arc::new(Value::decode_row(bytes)?);
-        drop(pages);
+        if id.page >= self.npages.load(Ordering::Relaxed) {
+            return Err(StorageError::RowNotFound { page: id.page, slot: id.slot });
+        }
+        let row = {
+            let pin = self.pool.pin(self.file, id.page);
+            let guard = pin.read();
+            let bytes = guard
+                .get(id.slot)
+                .map_err(|_| StorageError::RowNotFound { page: id.page, slot: id.slot })?;
+            // Decode while pinned, then copy out: nothing we hand to the
+            // caller can dangle into an evicted frame.
+            Arc::new(Value::decode_row(bytes)?)
+        };
         self.cache_shard(id).lock().insert(id, row.clone());
         Ok(row)
     }
@@ -298,89 +476,104 @@ impl HeapFile {
     /// and vacuum). Returns whether it existed. Snapshot-aware deletes
     /// go through [`HeapFile::mark_deleted`] instead.
     pub fn delete(&self, id: RowId) -> bool {
-        let mut pages = self.pages.write();
-        let Some(page) = pages.get_mut(id.page as usize) else {
+        if id.page >= self.npages.load(Ordering::Relaxed) {
             return false;
+        }
+        // Bracketed by the same epoch counters as reclaim: rollback
+        // paths physically remove rows while lock-free readers may be
+        // mid-sweep, and the epoch check is what keeps them honest.
+        self.reclaims_started.fetch_add(1, Ordering::SeqCst);
+        self.cache_shard(id).lock().remove(&id);
+        let deleted = {
+            let pin = self.pool.pin(self.file, id.page);
+            let removed = pin.write().delete(id.slot);
+            removed
         };
-        let deleted = page.delete(id.slot);
-        drop(pages);
         if deleted {
             self.meta.write().remove(&id);
             self.row_count.fetch_sub(1, Ordering::Relaxed);
-            self.cache_shard(id).lock().remove(&id);
             self.invalidate_mbrs(id);
         }
+        self.reclaims_finished.fetch_add(1, Ordering::SeqCst);
         deleted
+    }
+
+    /// Every physically-present row id, in storage order, collected
+    /// under per-page pins with no other lock held.
+    fn present_ids(&self) -> Vec<RowId> {
+        let npages = self.npages.load(Ordering::Relaxed);
+        let mut out = Vec::with_capacity(self.len());
+        for p in 0..npages {
+            let pin = self.pool.pin(self.file, p);
+            let guard = pin.read();
+            for (slot, _) in guard.iter() {
+                out.push(RowId { page: p, slot });
+            }
+        }
+        out
     }
 
     /// All currently-live row ids (latest committed state), in storage
     /// order. Excludes logically-deleted rows awaiting reclaim.
     pub fn row_ids(&self) -> Vec<RowId> {
-        let pages = self.pages.read();
-        let meta = self.meta.read();
-        let mut out = Vec::with_capacity(self.len());
-        if meta.is_empty() {
-            // Settled heap: every physically-present row is live.
-            for (pidx, page) in pages.iter().enumerate() {
-                for (slot, _) in page.iter() {
-                    out.push(RowId { page: pidx as u32, slot });
-                }
-            }
-        } else {
-            for (pidx, page) in pages.iter().enumerate() {
-                for (slot, _) in page.iter() {
-                    let id = RowId { page: pidx as u32, slot };
-                    match meta.get(&id) {
-                        Some((_, died)) if *died != LIVE => {}
-                        _ => out.push(id),
-                    }
-                }
+        // Collect physical ids first, then filter under one meta read:
+        // the meta lock is never held across a pin. Any row *written*
+        // mid-sweep whose bytes we observed has its entry published
+        // (the writer publishes before releasing the page write
+        // guard), so the later meta read cannot miss it. A row
+        // *reclaimed* mid-sweep would be misread — its entry is gone
+        // by the time we filter — so the sweep retries when the epoch
+        // check reports an overlapping reclaim (rare: vacuum only).
+        loop {
+            let epoch = self.reclaim_epoch();
+            let present = self.present_ids();
+            let meta = self.meta.read();
+            let out = if meta.is_empty() {
+                present // settled heap: every present row is live
+            } else {
+                present
+                    .into_iter()
+                    .filter(|id| !matches!(meta.get(id), Some((_, died)) if *died != LIVE))
+                    .collect()
+            };
+            drop(meta);
+            if !self.reclaim_overlapped(epoch) {
+                return out;
             }
         }
-        out
     }
 
     /// Row ids visible to a snapshot pinned at generation `gen`, in
     /// storage order: `born <= gen && died > gen`, plus every
-    /// metadata-free row.
+    /// metadata-free row. Retries on an overlapping reclaim, exactly
+    /// like [`HeapFile::row_ids`].
     pub fn row_ids_visible(&self, gen: u64) -> Vec<RowId> {
-        let pages = self.pages.read();
-        let meta = self.meta.read();
-        let mut out = Vec::with_capacity(self.len());
-        if meta.is_empty() {
-            // Settled heap: every physically-present row is visible at
-            // every generation.
-            for (pidx, page) in pages.iter().enumerate() {
-                for (slot, _) in page.iter() {
-                    out.push(RowId { page: pidx as u32, slot });
-                }
-            }
-        } else {
-            for (pidx, page) in pages.iter().enumerate() {
-                for (slot, _) in page.iter() {
-                    let id = RowId { page: pidx as u32, slot };
-                    match meta.get(&id) {
-                        Some((born, died)) if *born > gen || *died <= gen => {}
-                        _ => out.push(id),
-                    }
-                }
+        loop {
+            let epoch = self.reclaim_epoch();
+            let present = self.present_ids();
+            let meta = self.meta.read();
+            let out = if meta.is_empty() {
+                present // settled heap: visible at every generation
+            } else {
+                present
+                    .into_iter()
+                    .filter(|id| {
+                        !matches!(meta.get(id), Some((born, died)) if *born > gen || *died <= gen)
+                    })
+                    .collect()
+            };
+            drop(meta);
+            if !self.reclaim_overlapped(epoch) {
+                return out;
             }
         }
-        out
     }
 
     /// Every physically-present row id, including logically-deleted rows
     /// awaiting reclaim. Index builds use this so rows still visible to
     /// an older pinned snapshot remain probe-able through the new index.
     pub fn row_ids_any(&self) -> Vec<RowId> {
-        let pages = self.pages.read();
-        let mut out = Vec::with_capacity(self.len());
-        for (pidx, page) in pages.iter().enumerate() {
-            for (slot, _) in page.iter() {
-                out.push(RowId { page: pidx as u32, slot });
-            }
-        }
-        out
+        self.present_ids()
     }
 
     /// Full scan over the latest committed state: calls `visit` with
@@ -421,7 +614,9 @@ impl HeapFile {
         ids.iter().map(|&id| self.mbr(id, col)).collect()
     }
 
-    /// Drops the decoded-row cache — the benchmark's cold-run switch.
+    /// Drops the decoded-row cache — the benchmark's cold-run switch
+    /// for decoded state. (The buffer pool itself is cleared separately
+    /// via [`BufferPool::clear`] on the shared pool.)
     pub fn clear_cache(&self) {
         for shard in &self.cache {
             shard.lock().clear();
@@ -487,6 +682,55 @@ mod tests {
             assert_eq!(h.get(*id).unwrap()[0], Value::Int(i as i64));
         }
         assert_eq!(h.row_ids().len(), 100);
+    }
+
+    #[test]
+    fn tiny_pool_evicts_and_reloads_identically() {
+        let schema = Arc::new(
+            Schema::new(vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("name", DataType::Text),
+            ])
+            .unwrap(),
+        );
+        let pool = Arc::new(BufferPool::new());
+        pool.set_capacity_bytes(2 * crate::page::PAGE_SIZE);
+        let h = HeapFile::with_pool(schema, pool.clone());
+        let long = "y".repeat(1000);
+        let mut ids = Vec::new();
+        for i in 0..100 {
+            ids.push(h.insert(vec![Value::Int(i), Value::Text(long.clone())]).unwrap());
+        }
+        assert!(pool.stats().evictions > 0, "2-frame pool must evict");
+        h.clear_cache(); // force page reads, not decoded-cache hits
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(h.get(*id).unwrap()[0], Value::Int(i as i64));
+        }
+        assert_eq!(h.row_ids().len(), 100);
+        // And a full cold switch (pool cleared too) still reads back.
+        h.clear_cache();
+        pool.clear();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(h.get(*id).unwrap()[0], Value::Int(i as i64));
+        }
+    }
+
+    #[test]
+    fn place_at_reproduces_recorded_row_ids() {
+        let h = heap();
+        let a = RowId { page: 0, slot: 0 };
+        let b = RowId { page: 0, slot: 2 };
+        let c = RowId { page: 1, slot: 1 };
+        h.place_at(vec![Value::Int(1), Value::Null], a, 0).unwrap();
+        h.place_at(vec![Value::Int(2), Value::Null], b, 0).unwrap();
+        h.place_at(vec![Value::Int(3), Value::Null], c, 0).unwrap();
+        assert_eq!(h.row_ids(), vec![a, b, c]);
+        assert_eq!(h.get(b).unwrap()[0], Value::Int(2));
+        assert_eq!(h.len(), 3);
+        // Idempotent for identical bytes, an error for different ones.
+        h.place_at(vec![Value::Int(2), Value::Null], b, 0).unwrap();
+        assert_eq!(h.len(), 3, "re-place of identical row is a no-op");
+        assert!(h.place_at(vec![Value::Int(9), Value::Null], b, 0).is_err());
     }
 
     #[test]

@@ -21,6 +21,7 @@ mod catalog;
 mod error;
 mod heap;
 pub mod page;
+pub mod pool;
 mod schema;
 pub mod sync;
 mod value;
@@ -28,6 +29,8 @@ mod value;
 pub use catalog::{Catalog, Table, TableId};
 pub use error::StorageError;
 pub use heap::{HeapFile, HeapStats, RowId};
+pub use page::PAGE_SIZE;
+pub use pool::{BufferPool, PageStore, PinnedPage, PoolStats, ReplacementPolicy};
 pub use schema::{ColumnDef, DataType, Schema};
 pub use value::{Row, Value};
 

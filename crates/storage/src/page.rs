@@ -91,6 +91,73 @@ impl Page {
             |(i, &(off, len))| (i as u16, &self.data[off as usize..off as usize + len as usize]),
         )
     }
+
+    /// Writes a tuple into a *specific* slot — WAL replay and snapshot
+    /// load, where `RowId`s recorded on disk must be reproduced exactly.
+    /// Missing intermediate slots are padded with tombstones; a
+    /// tombstoned slot is refilled in place.
+    ///
+    /// # Errors
+    /// [`StorageError::Corrupt`] when the slot already holds a live tuple.
+    pub fn place(&mut self, slot: u16, tuple: &[u8]) -> Result<()> {
+        let idx = slot as usize;
+        while self.slots.len() <= idx {
+            self.slots.push((0, 0)); // tombstone padding
+        }
+        if self.slots[idx].1 > 0 {
+            return Err(StorageError::Corrupt(format!("slot {slot} already occupied")));
+        }
+        let offset = self.data.len() as u32;
+        self.data.extend_from_slice(tuple);
+        self.slots[idx] = (offset, tuple.len() as u32);
+        Ok(())
+    }
+
+    /// Serializes the page for the buffer pool's backing store:
+    /// `slot count u32 | (offset u32, len u32)* | data len u32 | data`,
+    /// all little-endian.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.slots.len() * SLOT_BYTES + self.data.len());
+        out.extend_from_slice(&(self.slots.len() as u32).to_le_bytes());
+        for &(off, len) in &self.slots {
+            out.extend_from_slice(&off.to_le_bytes());
+            out.extend_from_slice(&len.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.data.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.data);
+        out
+    }
+
+    /// Deserializes a page written by [`Page::to_bytes`].
+    ///
+    /// # Errors
+    /// [`StorageError::Corrupt`] when the bytes are truncated or a slot
+    /// points outside the data area.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Page> {
+        let corrupt = || StorageError::Corrupt("page image truncated".into());
+        let take_u32 = |b: &[u8], at: usize| -> Result<u32> {
+            let raw: [u8; 4] = b.get(at..at + 4).ok_or_else(corrupt)?.try_into().unwrap();
+            Ok(u32::from_le_bytes(raw))
+        };
+        let nslots = take_u32(bytes, 0)? as usize;
+        let mut slots = Vec::with_capacity(nslots.min(bytes.len() / SLOT_BYTES + 1));
+        let mut at = 4;
+        for _ in 0..nslots {
+            let off = take_u32(bytes, at)?;
+            let len = take_u32(bytes, at + 4)?;
+            slots.push((off, len));
+            at += SLOT_BYTES;
+        }
+        let dlen = take_u32(bytes, at)? as usize;
+        at += 4;
+        let data = bytes.get(at..at + dlen).ok_or_else(corrupt)?.to_vec();
+        for &(off, len) in &slots {
+            if len > 0 && (off as usize + len as usize) > data.len() {
+                return Err(StorageError::Corrupt("page slot out of bounds".into()));
+            }
+        }
+        Ok(Page { data, slots })
+    }
 }
 
 #[cfg(test)]
@@ -121,6 +188,51 @@ mod tests {
         let live: Vec<&[u8]> = p.iter().map(|(_, b)| b).collect();
         assert_eq!(live, vec![b"a".as_slice(), b"c".as_slice()]);
         assert_eq!(p.slot_count(), 3);
+    }
+
+    #[test]
+    fn serialization_roundtrip_preserves_slots_and_tombstones() {
+        let mut p = Page::new();
+        p.insert(b"alpha");
+        let s1 = p.insert(b"beta");
+        p.insert(b"gamma");
+        p.delete(s1);
+        let img = p.to_bytes();
+        let q = Page::from_bytes(&img).unwrap();
+        assert_eq!(q.slot_count(), 3);
+        assert_eq!(q.get(0).unwrap(), b"alpha");
+        assert!(q.get(1).is_err(), "tombstone survives the roundtrip");
+        assert_eq!(q.get(2).unwrap(), b"gamma");
+        assert_eq!(q.to_bytes(), img, "re-serialization is byte-identical");
+    }
+
+    #[test]
+    fn from_bytes_rejects_garbage() {
+        assert!(Page::from_bytes(&[]).is_err());
+        assert!(Page::from_bytes(&[9, 0, 0, 0, 1]).is_err());
+        // Slot pointing past the data area.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&1u32.to_le_bytes()); // 1 slot
+        bad.extend_from_slice(&100u32.to_le_bytes()); // offset 100
+        bad.extend_from_slice(&8u32.to_le_bytes()); // len 8
+        bad.extend_from_slice(&2u32.to_le_bytes()); // data len 2
+        bad.extend_from_slice(b"xy");
+        assert!(Page::from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn place_pads_refills_and_refuses_live_slots() {
+        let mut p = Page::new();
+        p.place(2, b"two").unwrap();
+        assert_eq!(p.slot_count(), 3);
+        assert!(p.get(0).is_err(), "padding slots are tombstones");
+        assert_eq!(p.get(2).unwrap(), b"two");
+        p.place(0, b"zero").unwrap();
+        assert_eq!(p.get(0).unwrap(), b"zero");
+        assert!(p.place(2, b"clash").is_err(), "live slot refused");
+        p.delete(2);
+        p.place(2, b"again").unwrap();
+        assert_eq!(p.get(2).unwrap(), b"again");
     }
 
     #[test]

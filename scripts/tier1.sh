@@ -43,6 +43,9 @@ echo "== interleaving gate (MVCC snapshot isolation + group-commit accounting)"
 cargo test -q -p jackpine --test interleaving --offline
 cargo test -q -p jackpine --test concurrency --offline
 
+echo "== out-of-core gate (paged heap == unbounded, all pools/policies/workers)"
+cargo test -q -p jackpine --test pool_equivalence --offline
+
 echo "== repro --trace smoke (every micro query emits a trace)"
 cargo run --release --offline -p jackpine-bench --bin repro -- \
   --scale 0.01 --quick --trace --metrics-json /tmp/jackpine_metrics.json \
@@ -95,5 +98,8 @@ cargo run --release --offline -p jackpine-bench --bin bench-diff -- \
 cargo run --release --offline -p jackpine-bench --bin bench-diff -- \
   BENCH_7R.json BENCH_8.json > /dev/null \
   || { echo "bench-diff BENCH_7R vs BENCH_8 failed"; exit 1; }
+cargo run --release --offline -p jackpine-bench --bin bench-diff -- \
+  BENCH_8.json BENCH_9.json > /dev/null \
+  || { echo "bench-diff BENCH_8 vs BENCH_9 failed"; exit 1; }
 
 echo "tier-1 green"

@@ -460,9 +460,9 @@ fn wal_append_failure_leaves_no_phantom_rows() {
 
 #[test]
 fn delete_and_update_replay_from_wal() {
-    // Logical Delete records replay across a reopen that recovers from
-    // the WAL (no clean shutdown checkpoint): the victim is matched by
-    // row bytes, since row ids are not stable across restarts.
+    // DeleteId records replay across a reopen that recovers from the
+    // WAL (no clean shutdown checkpoint): the victim is addressed by
+    // row id, which v4 snapshots keep stable across restarts.
     let dir = scratch_dir("delete-replay");
     {
         let db =
@@ -490,6 +490,161 @@ fn delete_and_update_replay_from_wal() {
         assert_eq!(r.rows[0][0], Value::Text("updated".into()), "replayed update pair");
         std::fs::remove_dir_all(&copy).ok();
     }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn duplicate_rows_replay_deletes_by_row_id_not_bytes() {
+    // Regression for the v3 WAL bug: Delete records carried the row's
+    // canonical bytes and replay removed the *first* byte-matching live
+    // row, so with duplicate rows a crash could resurrect the deleted
+    // copy and kill a survivor. v4 logs DeleteId/InsertAt by row id.
+    // Three byte-identical rows at slots 0..2, delete the middle one:
+    // recovery must keep exactly slots 0 and 2.
+    use jackpine::storage::RowId;
+    let dup = vec![Value::Int(7), Value::Text("dup".into())];
+    let records = vec![
+        WalRecord::CreateTable {
+            name: "t".into(),
+            columns: vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("name", DataType::Text),
+            ],
+        },
+        WalRecord::InsertAt { table: "t".into(), id: RowId { page: 0, slot: 0 }, row: dup.clone() },
+        WalRecord::InsertAt { table: "t".into(), id: RowId { page: 0, slot: 1 }, row: dup.clone() },
+        WalRecord::InsertAt { table: "t".into(), id: RowId { page: 0, slot: 2 }, row: dup.clone() },
+        WalRecord::DeleteId { table: "t".into(), id: RowId { page: 0, slot: 1 } },
+    ];
+    let mut bytes = wal_header(0);
+    for rec in &records {
+        bytes.extend_from_slice(&rec.frame());
+    }
+    let dir = scratch_dir("dup-delete");
+    std::fs::write(dir.join(WAL_FILE), &bytes).unwrap();
+    let db = SpatialDb::open_durable(&dir, EngineProfile::ExactRtree, DurabilityOptions::default())
+        .unwrap();
+    let r = db.execute("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(r.scalar().unwrap().to_string(), "2", "exactly one duplicate was deleted");
+    let mut survivors = db.table_row_ids("t").unwrap();
+    survivors.sort_unstable_by_key(|id| (id.page, id.slot));
+    assert_eq!(
+        survivors,
+        vec![RowId { page: 0, slot: 0 }, RowId { page: 0, slot: 2 }],
+        "replay must delete the logged row id, not the first byte match"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn torn_or_flipped_wal_recovery_is_identical_through_a_tiny_pool() {
+    // The write path that produced this history ran against a two-frame
+    // buffer pool, so pages evicted (dirty-writeback and fault back in)
+    // mid-transaction. For a WAL cut at any offset — and for a bit flip
+    // at any offset — recovery into an unbounded engine and into a
+    // paged engine must answer identically: same rows, or the same
+    // loud corruption error.
+    let src = scratch_dir("pool-sweep-src");
+    let (snapshot, wal) = {
+        let db =
+            SpatialDb::open_durable(&src, EngineProfile::ExactRtree, DurabilityOptions::default())
+                .unwrap();
+        db.set_pool_bytes(2 * 8192);
+        db.execute("CREATE TABLE t (id BIGINT, pad TEXT)").unwrap();
+        let pad = "x".repeat(400);
+        for i in 0..60 {
+            db.execute(&format!("INSERT INTO t VALUES ({i}, '{pad}')")).unwrap();
+        }
+        db.execute("DELETE FROM t WHERE id >= 48").unwrap();
+        db.execute("UPDATE t SET pad = 'small' WHERE id < 9").unwrap();
+        assert!(db.pool_stats().evictions > 0, "two frames must evict across 60 padded rows");
+        // Copy the durable pair while the engine is live — detaching
+        // checkpoints, and the sweep needs the raw log.
+        (std::fs::read(src.join(SNAPSHOT_FILE)).unwrap(), std::fs::read(src.join(WAL_FILE)).unwrap())
+    };
+    std::fs::remove_dir_all(&src).ok();
+
+    // Outer None: recovery refused the image (detected corruption).
+    // Inner None: recovered, but to a catalog without the table (an
+    // image ending before the CreateTable frame).
+    let open_image = |tag: &str, image: &[u8], pool_bytes: usize| {
+        let dir = scratch_dir(&format!("pool-sweep-{tag}"));
+        std::fs::write(dir.join(SNAPSHOT_FILE), &snapshot).unwrap();
+        std::fs::write(dir.join(WAL_FILE), image).unwrap();
+        let rows = match SpatialDb::open_durable(
+            &dir,
+            EngineProfile::ExactRtree,
+            DurabilityOptions::default(),
+        ) {
+            Err(_) => None,
+            Ok(db) => {
+                db.set_pool_bytes(pool_bytes);
+                db.clear_caches();
+                let rows = if db.table_names().is_empty() {
+                    None
+                } else {
+                    Some(db.execute("SELECT id, pad FROM t ORDER BY id").unwrap())
+                };
+                drop(db);
+                Some(rows)
+            }
+        };
+        std::fs::remove_dir_all(&dir).ok();
+        rows
+    };
+    // A coarser stride than the byte sweeps: each image pays two full
+    // recoveries. ~50 points still cross every record kind.
+    let step = (wal.len() / 50).max(sweep_step());
+    for cut in (0..=wal.len()).step_by(step) {
+        let unbounded = open_image("unbounded", &wal[..cut], 0);
+        assert!(unbounded.is_some(), "cut at {cut}: a clean prefix must recover");
+        let paged = open_image("paged", &wal[..cut], 2 * 8192);
+        assert_eq!(unbounded, paged, "cut at {cut}: paged recovery diverged from unbounded");
+    }
+    for offset in (0..wal.len()).step_by(step) {
+        let bit = (offset % 8) as u8;
+        let flipped = apply_failpoint(&wal, Failpoint::BitFlip { offset: offset as u64, bit });
+        let unbounded = open_image("unbounded", &flipped, 0);
+        let paged = open_image("paged", &flipped, 2 * 8192);
+        assert_eq!(
+            unbounded, paged,
+            "flip at {offset}.{bit}: paged recovery diverged from unbounded"
+        );
+    }
+}
+
+#[test]
+fn deferred_vacuum_drains_on_checkpoint_and_close() {
+    // Logically-deleted rows queue for physical reclaim; besides the
+    // next DML statement, a checkpoint and connection close are both
+    // drain points (asserted through the pending_reclaim gauge's
+    // backing count).
+    let dir = scratch_dir("vacuum-triggers");
+    let db = SpatialDb::open_durable(&dir, EngineProfile::ExactRtree, DurabilityOptions::default())
+        .unwrap();
+    db.execute("CREATE TABLE t (id BIGINT, geom GEOMETRY)").unwrap();
+    for i in 0..20 {
+        db.execute(&format!("INSERT INTO t VALUES ({i}, ST_GeomFromText('POINT ({i} 0)'))"))
+            .unwrap();
+    }
+    db.create_spatial_index("t", "geom").unwrap();
+
+    db.execute("DELETE FROM t WHERE id < 5").unwrap();
+    assert!(db.pending_reclaim_len() > 0, "deletes must defer physical reclaim");
+    db.checkpoint().unwrap();
+    assert_eq!(db.pending_reclaim_len(), 0, "checkpoint must vacuum");
+
+    db.execute("DELETE FROM t WHERE id >= 15").unwrap();
+    assert!(db.pending_reclaim_len() > 0, "deletes must defer physical reclaim");
+    db.close().unwrap();
+    assert_eq!(db.pending_reclaim_len(), 0, "close must vacuum");
+    // The survivors are intact after both drains, via index and scan.
+    let r = db.execute("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(r.scalar().unwrap().to_string(), "10");
+    let r = db
+        .execute("SELECT COUNT(*) FROM t WHERE ST_Within(geom, ST_MakeEnvelope(4.5, -1, 9.5, 1))")
+        .unwrap();
+    assert_eq!(r.scalar().unwrap().to_string(), "5");
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -91,6 +91,19 @@ fn system_table_schemas_are_golden() {
                 "group_commit_size",
             ],
         ),
+        (
+            "jp_buffer_pool",
+            &[
+                "policy",
+                "capacity_frames",
+                "resident_frames",
+                "pinned_frames",
+                "pin_hits",
+                "cold_pins",
+                "evictions",
+                "dirty_writebacks",
+            ],
+        ),
     ];
     for (table, cols) in golden {
         let r = db.execute(&format!("SELECT * FROM {table}")).unwrap();
@@ -266,6 +279,33 @@ fn wal_table_tracks_durability_state() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// `jp_buffer_pool` reflects pool state: unbounded by default, and once
+/// bounded it reports the active policy, the frame budget, and live
+/// pin/eviction counters that a cold re-scan advances.
+#[test]
+fn buffer_pool_table_tracks_pool_state() {
+    let db = tiny_db();
+    let r = db
+        .execute("SELECT policy, capacity_frames, pinned_frames FROM jp_buffer_pool")
+        .unwrap();
+    assert_eq!(r.rows.len(), 1, "jp_buffer_pool is single-row");
+    assert_eq!(r.rows[0][0], Value::Text("clock".into()));
+    assert_eq!(r.rows[0][1], Value::Int(0), "default pool is unbounded");
+    assert_eq!(r.rows[0][2], Value::Int(0), "no pins held between statements");
+
+    db.set_pool_bytes(8 * 1024 * 1024);
+    SpatialDb::set_replacement_policy(&db, jackpine::storage::ReplacementPolicy::LruK);
+    db.clear_caches();
+    db.execute("SELECT COUNT(*) FROM pts").unwrap();
+    let r = db
+        .execute("SELECT policy, capacity_frames, cold_pins FROM jp_buffer_pool")
+        .unwrap();
+    assert_eq!(r.rows[0][0], Value::Text("lruk".into()));
+    assert_eq!(r.rows[0][1], Value::Int(1024), "8 MiB of 8 KiB frames");
+    let Value::Int(cold) = r.rows[0][2] else { panic!("cold_pins must be integer") };
+    assert!(cold > 0, "the cold scan faulted pages in");
+}
+
 /// EXPLAIN ANALYZE works on introspection queries: the catalog resolves
 /// through the normal planner, so the analyze path needs no special case.
 #[test]
@@ -298,6 +338,8 @@ fn connector_prometheus_text_lints_clean() {
     assert!(text.contains("# TYPE jackpine_queries_total counter"), "{text}");
     assert!(text.contains("jackpine_txn_wait_insert_ns_count"), "wait histograms export");
     assert!(text.contains("# TYPE jackpine_active_snapshots gauge"), "gauges export");
+    assert!(text.contains("# TYPE jackpine_pool_capacity_frames gauge"), "pool gauges export");
+    assert!(text.contains("jackpine_pool_cold_pins"), "pool counters surface as gauges");
     let errors = lint_prometheus_text(&text);
     assert!(errors.is_empty(), "connector export must lint clean: {errors:?}");
 }
